@@ -1,0 +1,70 @@
+//! **Ablation C (ours)**: the cryptographic building blocks.
+//!
+//! * Signature scheme: DSA (the paper's choice) vs Schnorr over the same
+//!   subgroup — Schnorr saves the modular inversion on the signing path.
+//! * Strong extractor: HMAC-SHA-256 (the paper's "SHA256") vs the
+//!   2-universal Toeplitz extractor — the provable choice costs more on
+//!   large inputs.
+//! * DSA group size: 512 (test) vs 1024 (paper-era default).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fe_crypto::dsa::{Dsa, DsaParams};
+use fe_crypto::extractor::{HmacExtractor, StrongExtractor, ToeplitzExtractor};
+use fe_crypto::schnorr::Schnorr;
+use fe_crypto::sig::SignatureScheme;
+use std::time::Duration;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_crypto");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let msg = b"challenge-c||nonce-a";
+
+    // --- Signatures, 1024-bit group ---
+    let dsa = Dsa::new(DsaParams::dsa_1024_160().clone());
+    let (dsk, dvk) = dsa.keypair_from_seed(b"R");
+    group.bench_function("dsa1024_sign", |b| {
+        b.iter(|| dsa.sign(&dsk, std::hint::black_box(msg)))
+    });
+    let sig = dsa.sign(&dsk, msg);
+    group.bench_function("dsa1024_verify", |b| {
+        b.iter(|| assert!(dsa.verify(&dvk, std::hint::black_box(msg), &sig)))
+    });
+
+    let schnorr = Schnorr::new(DsaParams::dsa_1024_160().clone());
+    let (ssk, svk) = schnorr.keypair_from_seed(b"R");
+    group.bench_function("schnorr1024_sign", |b| {
+        b.iter(|| schnorr.sign(&ssk, std::hint::black_box(msg)))
+    });
+    let ssig = schnorr.sign(&ssk, msg);
+    group.bench_function("schnorr1024_verify", |b| {
+        b.iter(|| assert!(schnorr.verify(&svk, std::hint::black_box(msg), &ssig)))
+    });
+
+    // --- Signatures, 512-bit (test) group, for the size axis ---
+    let dsa512 = Dsa::new(DsaParams::insecure_512().clone());
+    let (dsk512, _dvk512) = dsa512.keypair_from_seed(b"R");
+    group.bench_function("dsa512_sign", |b| {
+        b.iter(|| dsa512.sign(&dsk512, std::hint::black_box(msg)))
+    });
+
+    // --- Extractors over a 5000-coordinate (40 KB) encoded biometric ---
+    let input = vec![0xa5u8; 5000 * 8];
+    let hmac_ext = HmacExtractor::new(32);
+    let hmac_seed = vec![7u8; hmac_ext.seed_len(input.len())];
+    group.bench_function("extractor_hmac_40KB", |b| {
+        b.iter(|| hmac_ext.extract(std::hint::black_box(&input), &hmac_seed))
+    });
+
+    let toeplitz = ToeplitzExtractor::new(32);
+    let toeplitz_seed = vec![0x3cu8; toeplitz.seed_len(input.len())];
+    group.bench_function("extractor_toeplitz_40KB", |b| {
+        b.iter(|| toeplitz.extract(std::hint::black_box(&input), &toeplitz_seed))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! **Ablation B (ours)**: sketch lookup strategies at scale.
+//!
+//! * `scan` — the paper's early-abort linear scan: linear in N but with a
+//!   ~2-coordinate expected cost per non-matching record.
+//! * `bucket` — the LSH-style bucket index (extension): sublinear when
+//!   `ka ≫ t` (here `t = 25`, 7 cells per coordinate).
+//! * `scan_paper_t` — the scan at the paper's own `t = 100`, where no
+//!   coordinate-level index can prune (2 cells per coordinate) and the
+//!   scan is the right answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fe_core::{BucketIndex, ChebyshevSketch, NumberLine, ScanIndex, SecureSketch, SketchIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const DIM: usize = 64;
+const SIZES: [usize; 3] = [1_000, 10_000, 50_000];
+
+fn build(t: u64, users: usize, rng: &mut StdRng) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let line = NumberLine::new(100, 4, 500).unwrap();
+    let scheme = ChebyshevSketch::new(line, t).unwrap();
+    let mut sketches = Vec::with_capacity(users);
+    let mut probes = Vec::with_capacity(users);
+    for _ in 0..users {
+        let x = scheme.line().random_vector(DIM, rng);
+        sketches.push(scheme.sketch(&x, rng).unwrap());
+        let noisy: Vec<i64> = x
+            .iter()
+            .map(|&v| scheme.line().wrap(v + rng.gen_range(-(t as i64)..=t as i64)))
+            .collect();
+        probes.push(scheme.sketch(&noisy, rng).unwrap());
+    }
+    (sketches, probes)
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_index");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let ka = 400u64;
+
+    for &users in &SIZES {
+        let mut rng = StdRng::seed_from_u64(0x1DE + users as u64);
+
+        // Small-noise regime (t = 25): bucket index can prune.
+        let t = 25u64;
+        let (sketches, probes) = build(t, users, &mut rng);
+        let mut scan = ScanIndex::new(t, ka);
+        let mut bucket = BucketIndex::new(t, ka, 4);
+        for s in &sketches {
+            scan.insert(s.clone());
+            bucket.insert(s.clone());
+        }
+        // Probe for the last enrolled user (worst case for the scan).
+        let probe = probes.last().unwrap().clone();
+
+        group.bench_with_input(BenchmarkId::new("scan_t25", users), &users, |b, _| {
+            b.iter(|| scan.lookup(std::hint::black_box(&probe)).expect("found"))
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_t25", users), &users, |b, _| {
+            b.iter(|| bucket.lookup(std::hint::black_box(&probe)).expect("found"))
+        });
+
+        // Paper regime (t = 100): scan only (bucketing cannot prune).
+        let t = 100u64;
+        let (sketches, probes) = build(t, users, &mut rng);
+        let mut scan = ScanIndex::new(t, ka);
+        for s in &sketches {
+            scan.insert(s.clone());
+        }
+        let probe = probes.last().unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("scan_paper_t", users), &users, |b, _| {
+            b.iter(|| scan.lookup(std::hint::black_box(&probe)).expect("found"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **Ablation A (ours)**: the paper's Chebyshev sketch vs the classical
+//! constructions from its related-work section — code-offset over BCH
+//! (Hamming metric) and the fuzzy vault (set metric) — comparing
+//! `Gen`/`Rep` cost at comparable security levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fe_core::baselines::{BinaryFuzzyExtractor, FuzzyVault};
+use fe_core::{ChebyshevSketch, FuzzyExtractor};
+use fe_ecc::Bch;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sketch_families");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1A);
+
+    // --- Chebyshev (the paper), n = 5000 ---
+    let cheb = FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32);
+    let bio = cheb.sketcher().line().random_vector(5000, &mut rng);
+    group.bench_function("chebyshev_gen_n5000", |b| {
+        b.iter(|| cheb.generate(std::hint::black_box(&bio), &mut rng).unwrap())
+    });
+    let (_, helper) = cheb.generate(&bio, &mut rng).unwrap();
+    let noisy: Vec<i64> = bio.iter().map(|x| x + 50).collect();
+    group.bench_function("chebyshev_rep_n5000", |b| {
+        b.iter(|| cheb.reproduce(std::hint::black_box(&noisy), &helper).unwrap())
+    });
+
+    // --- Code-offset BCH(1023, ·, 12): iris-code scale ---
+    let binary = BinaryFuzzyExtractor::new(Bch::new(10, 12).unwrap(), 32);
+    let code_bits = binary.sketcher().input_len();
+    let w = fe_metrics::BitVec::from_fn(code_bits, |_| rng.gen_bool(0.5));
+    group.bench_function("code_offset_gen_1023b", |b| {
+        b.iter(|| binary.generate(std::hint::black_box(&w), &mut rng).unwrap())
+    });
+    let (_, bhelper) = binary.generate(&w, &mut rng).unwrap();
+    let mut wn = w.clone();
+    for i in [5usize, 100, 400, 800, 1000] {
+        wn.flip(i);
+    }
+    group.bench_function("code_offset_rep_1023b_5err", |b| {
+        b.iter(|| binary.reproduce(std::hint::black_box(&wn), &bhelper).unwrap())
+    });
+
+    // --- Fuzzy vault: 24 features, degree-8 secret, 200 chaff ---
+    let vault_scheme = FuzzyVault::new(8, 8, 200).unwrap();
+    let features: BTreeSet<u16> = (1..=24).collect();
+    let secret: Vec<u16> = (40..48).collect();
+    group.bench_function("fuzzy_vault_lock", |b| {
+        b.iter(|| {
+            vault_scheme
+                .lock(std::hint::black_box(&features), &secret, &mut rng)
+                .unwrap()
+        })
+    });
+    let vault = vault_scheme.lock(&features, &secret, &mut rng).unwrap();
+    let reading: BTreeSet<u16> = (3..=26).collect(); // 22-feature overlap
+    group.bench_function("fuzzy_vault_unlock", |b| {
+        b.iter(|| {
+            let got = vault_scheme
+                .unlock(std::hint::black_box(&vault), &reading)
+                .unwrap();
+            assert_eq!(got, secret);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

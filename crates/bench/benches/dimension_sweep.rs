@@ -1,0 +1,40 @@
+//! **Sec. VII text**: "The dimension n of input data is selected from
+//! 1,000 to 31,000 … dimensions have negligible impact to the protocol
+//! performance."
+//!
+//! We sweep the same range. In our implementation the sketch-side work is
+//! O(n) but so cheap next to the fixed-size DSA operations that the curve
+//! stays nearly flat — the paper's observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fe_bench::Population;
+use fe_protocol::SystemParams;
+use std::time::Duration;
+
+const DIMS: [usize; 4] = [1000, 11_000, 21_000, 31_000];
+
+fn bench_dimension_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dimension_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &dim in &DIMS {
+        let params = SystemParams::insecure_test_defaults();
+        let mut pop = Population::build(params, 5, dim, 0xD13 + dim as u64);
+        let reading = pop.genuine_reading(3);
+        group.bench_with_input(BenchmarkId::new("identification", dim), &dim, |b, _| {
+            b.iter(|| {
+                let (outcome, _) = pop
+                    .runner
+                    .identify(std::hint::black_box(&reading), &mut pop.rng)
+                    .expect("identified");
+                assert!(outcome.is_identified());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimension_sweep);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **Figure 4**: speed of the identification protocol vs. database size.
+//!
+//! The paper shows the proposed protocol flat (~110 ms in their Python
+//! setup) while the normal fuzzy-extractor approach grows linearly with
+//! the number of enrolled users. Absolute times differ here (Rust vs
+//! Python, different hardware); the *shape* — flat vs linear — is the
+//! reproduced claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fe_bench::Population;
+use fe_protocol::SystemParams;
+use std::time::Duration;
+
+/// The paper's headline dimension.
+const DIM: usize = 5000;
+const POPULATION_SIZES: [usize; 5] = [1, 5, 10, 25, 50];
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_identification");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &users in &POPULATION_SIZES {
+        // Identify the LAST enrolled user: the worst case for the linear
+        // scan of the normal approach.
+        let params = SystemParams::insecure_test_defaults();
+        let mut pop = Population::build(params, users, DIM, 0xF16_4 + users as u64);
+        let reading = pop.genuine_reading(users - 1);
+
+        group.bench_with_input(
+            BenchmarkId::new("proposed", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    let (outcome, _) = pop
+                        .runner
+                        .identify(std::hint::black_box(&reading), &mut pop.rng)
+                        .expect("identified");
+                    assert!(outcome.is_identified());
+                })
+            },
+        );
+
+        let params = SystemParams::insecure_test_defaults();
+        let mut pop = Population::build(params, users, DIM, 0xF16_4 + users as u64);
+        let reading = pop.genuine_reading(users - 1);
+        group.bench_with_input(
+            BenchmarkId::new("normal", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    let (outcome, _, _) = pop
+                        .runner
+                        .identify_normal(std::hint::black_box(&reading), &mut pop.rng)
+                        .expect("identified");
+                    assert!(outcome.is_identified());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the cryptographic substrate: SHA-256 throughput,
+//! HMAC, modular exponentiation, BCH decode.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fe_bigint::Natural;
+use fe_crypto::{Digest, Hmac, Sha256};
+use fe_ecc::{Bch, BinaryCode};
+use fe_metrics::BitVec;
+use std::time::Duration;
+
+fn bench_crypto_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_crypto");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // SHA-256 over the 40 KB helper-hash input size (n = 5000 × 8 bytes).
+    let data = vec![0x5au8; 40_000];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_40KB", |b| {
+        b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+    });
+    group.bench_function("hmac_sha256_40KB", |b| {
+        b.iter(|| Hmac::<Sha256>::mac(b"key", std::hint::black_box(&data)))
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // Modular exponentiation, the DSA hot path: 1024-bit base/modulus,
+    // 160-bit exponent.
+    let p = Natural::power_of_two(1023).add_u64(1_155_743); // odd 1024-bit
+    let g = Natural::from(0xDEADBEEFu64);
+    let e = Natural::power_of_two(159).add_u64(0x1234_5678);
+    group.bench_function("modpow_1024_160", |b| {
+        b.iter(|| std::hint::black_box(&g).mod_pow(&e, &p))
+    });
+
+    // BCH decode at iris scale with max errors.
+    let code = Bch::new(10, 12).unwrap();
+    let msg = BitVec::from_fn(code.k(), |i| i % 2 == 0);
+    let word = code.encode(&msg).unwrap();
+    let mut corrupted = word.clone();
+    for i in 0..12 {
+        corrupted.flip(i * 85);
+    }
+    group.bench_function("bch1023_decode_12err", |b| {
+        b.iter(|| {
+            code.decode(std::hint::black_box(&corrupted))
+                .expect("correctable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto_micro);
+criterion_main!(benches);

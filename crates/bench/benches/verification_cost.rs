@@ -1,0 +1,48 @@
+//! **Sec. VII text**: "one protocol execution for user verification needs
+//! 99 milliseconds (n = 5000)" and "the identification time is around 110
+//! milliseconds which is close to the speed in verification mode".
+//!
+//! This bench times one full verification-mode run and one full proposed
+//! identification run at n = 5000 so the ratio (≈1.1 in the paper) can be
+//! compared. Absolute numbers are hardware/language-dependent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fe_bench::Population;
+use fe_protocol::SystemParams;
+use std::time::Duration;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let users = 10usize;
+    let params = SystemParams::insecure_test_defaults();
+    let mut pop = Population::build(params, users, 5000, 0x99_5000);
+    let reading = pop.genuine_reading(7);
+
+    group.bench_function("verification_n5000", |b| {
+        b.iter(|| {
+            let (outcome, _) = pop
+                .runner
+                .verify("user-7", std::hint::black_box(&reading), &mut pop.rng)
+                .expect("verified");
+            assert!(outcome.is_identified());
+        })
+    });
+
+    group.bench_function("identification_n5000", |b| {
+        b.iter(|| {
+            let (outcome, _) = pop
+                .runner
+                .identify(std::hint::black_box(&reading), &mut pop.rng)
+                .expect("identified");
+            assert!(outcome.is_identified());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

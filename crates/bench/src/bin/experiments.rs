@@ -1,0 +1,303 @@
+//! Regenerates every table and figure from the paper's evaluation
+//! section as aligned text + CSV (under `target/experiments/`).
+//!
+//! Usage:
+//!   experiments [table2|fig4|verification|dimsweep|falseclose|scanstats|all]
+//!
+//! Absolute timings are this machine's; the paper's claims are *shape*
+//! claims (constant vs linear, identification ≈ verification), which is
+//! what EXPERIMENTS.md records.
+
+use fe_bench::{ms, time_it, write_csv, Population};
+use fe_core::analysis::SketchAnalysis;
+use fe_core::conditions::{sketches_match, sketches_match_counting};
+use fe_core::{ChebyshevSketch, NumberLine, SecureSketch};
+use fe_metrics::{Metric, RingChebyshev};
+use fe_protocol::SystemParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "table2" => table2(),
+        "fig4" => fig4(),
+        "verification" => verification(),
+        "dimsweep" => dimsweep(),
+        "falseclose" => falseclose(),
+        "scanstats" => scanstats(),
+        "all" => {
+            table2();
+            fig4();
+            verification();
+            dimsweep();
+            falseclose();
+            scanstats();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("usage: experiments [table2|fig4|verification|dimsweep|falseclose|scanstats|all]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table II: implementation parameters and the analytic security figures.
+fn table2() {
+    println!("\n== Table II: implementation parameters ==");
+    let n = 5000usize;
+    let analysis = SketchAnalysis::paper_defaults(n);
+    let line = analysis.line();
+    let rows = [
+        ("a", format!("{}", line.a()), "100".to_string()),
+        ("k", format!("{}", line.k()), "4".to_string()),
+        ("v", format!("{}", line.v()), "500".to_string()),
+        ("t", format!("{}", analysis.threshold()), "100".to_string()),
+        (
+            "rep. range",
+            format!("[-{}, {}]", line.half_range(), line.half_range()),
+            "[-100000, 100000]".to_string(),
+        ),
+        (
+            "m̃ (n=5000)",
+            format!("{:.0} bits", analysis.residual_min_entropy_bits()),
+            "≈44,829 bits".to_string(),
+        ),
+        (
+            "storage (n=5000)",
+            format!("{:.0} bits", analysis.storage_bits()),
+            "≈45,000 bits (paper rounding; formula gives 43,238)".to_string(),
+        ),
+        (
+            "random extractor",
+            "HMAC-SHA256".to_string(),
+            "SHA256".to_string(),
+        ),
+        ("signature", "DSA".to_string(), "DSA".to_string()),
+    ];
+    println!("{:<18} {:<28} paper", "parameter", "this repo");
+    let mut csv = Vec::new();
+    for (name, ours, paper) in rows {
+        println!("{name:<18} {ours:<28} {paper}");
+        csv.push(format!("{name},{ours},{paper}"));
+    }
+    let path = write_csv("table2.csv", "parameter,ours,paper", &csv);
+    println!("→ {}", path.display());
+}
+
+/// Fig. 4: identification latency vs database size, proposed vs normal.
+fn fig4() {
+    println!("\n== Fig. 4: identification speed vs database size (n = 5000) ==");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}  (proposed stays flat; normal grows)",
+        "users", "proposed", "normal", "ratio"
+    );
+    let dim = 5000usize;
+    let reps = 3usize;
+    let mut csv = Vec::new();
+    for users in [1usize, 5, 10, 20, 30, 40, 50] {
+        let params = SystemParams::insecure_test_defaults();
+        let mut pop = Population::build(params, users, dim, 0xF1_64 + users as u64);
+        // Identify the last-enrolled user: worst case for the baseline.
+        let reading = pop.genuine_reading(users - 1);
+
+        let mut proposed = f64::MAX;
+        for _ in 0..reps {
+            let (_, secs) = time_it(|| {
+                let (outcome, _) = pop.runner.identify(&reading, &mut pop.rng).unwrap();
+                assert!(outcome.is_identified());
+            });
+            proposed = proposed.min(secs);
+        }
+        let mut normal = f64::MAX;
+        for _ in 0..reps {
+            let (_, secs) = time_it(|| {
+                let (outcome, _, _) = pop.runner.identify_normal(&reading, &mut pop.rng).unwrap();
+                assert!(outcome.is_identified());
+            });
+            normal = normal.min(secs);
+        }
+        println!(
+            "{users:>6} {} {} {:>8.2}x",
+            ms(proposed),
+            ms(normal),
+            normal / proposed
+        );
+        csv.push(format!("{users},{:.6},{:.6}", proposed * 1e3, normal * 1e3));
+    }
+    let path = write_csv("fig4.csv", "users,proposed_ms,normal_ms", &csv);
+    println!("→ {}", path.display());
+}
+
+/// Sec. VII: verification (99 ms in the paper) vs identification (110 ms).
+fn verification() {
+    println!("\n== Sec. VII: verification vs identification cost (n = 5000) ==");
+    let params = SystemParams::insecure_test_defaults();
+    let mut pop = Population::build(params, 10, 5000, 0x99);
+    let reading = pop.genuine_reading(7);
+    let reps = 5usize;
+
+    let mut ver = f64::MAX;
+    for _ in 0..reps {
+        let (_, secs) = time_it(|| {
+            let (o, _) = pop.runner.verify("user-7", &reading, &mut pop.rng).unwrap();
+            assert!(o.is_identified());
+        });
+        ver = ver.min(secs);
+    }
+    let mut ident = f64::MAX;
+    for _ in 0..reps {
+        let (_, secs) = time_it(|| {
+            let (o, _) = pop.runner.identify(&reading, &mut pop.rng).unwrap();
+            assert!(o.is_identified());
+        });
+        ident = ident.min(secs);
+    }
+    println!("verification:   {}   (paper:  99 ms)", ms(ver));
+    println!("identification: {}   (paper: 110 ms)", ms(ident));
+    println!(
+        "ratio:          {:8.3}      (paper: ≈1.11)",
+        ident / ver
+    );
+    let path = write_csv(
+        "verification.csv",
+        "mode,ms",
+        &[
+            format!("verification,{:.6}", ver * 1e3),
+            format!("identification,{:.6}", ident * 1e3),
+        ],
+    );
+    println!("→ {}", path.display());
+}
+
+/// Sec. VII: dimension sweep n = 1000..31000 ("negligible impact").
+///
+/// The paper's claim holds when signature cost dominates (their Python
+/// DSA took ~99 ms). Our Rust DSA is orders of magnitude faster, so we
+/// report two regimes: fast test crypto (O(n) sketch work visible) and
+/// 2048-bit DSA (crypto-dominated, reproducing the paper's flat curve).
+fn dimsweep() {
+    println!("\n== Sec. VII: dimension sweep (verification mode) ==");
+    println!(
+        "{:>7} {:>14} {:>16}",
+        "n", "dsa-512 (fast)", "dsa-2048 (paper regime)"
+    );
+    let reps = 3usize;
+    let mut csv = Vec::new();
+    let params_2048 = SystemParams::new(
+        fe_core::ChebyshevSketch::paper_defaults(),
+        32,
+        fe_crypto::dsa::DsaParams::dsa_2048_256().clone(),
+    );
+    for dim in (1..=31).step_by(5).map(|k| k * 1000) {
+        let mut best = [f64::MAX; 2];
+        for (slot, params) in [
+            SystemParams::insecure_test_defaults(),
+            params_2048.clone(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut pop = Population::build(params, 3, dim, 0xD1_5 + dim as u64);
+            let reading = pop.genuine_reading(1);
+            for _ in 0..reps {
+                let (_, secs) = time_it(|| {
+                    let (o, _) = pop.runner.verify("user-1", &reading, &mut pop.rng).unwrap();
+                    assert!(o.is_identified());
+                });
+                best[slot] = best[slot].min(secs);
+            }
+        }
+        println!("{dim:>7} {} {}", ms(best[0]), ms(best[1]));
+        csv.push(format!(
+            "{dim},{:.6},{:.6}",
+            best[0] * 1e3,
+            best[1] * 1e3
+        ));
+    }
+    let path = write_csv("dimsweep.csv", "n,dsa512_ms,dsa2048_ms", &csv);
+    println!("→ {}", path.display());
+}
+
+/// Theorem 2: measured false-close rate vs the analytic bound, on a
+/// small line where the event is observable.
+fn falseclose() {
+    println!("\n== Theorem 2: false-close probability (small line: a=10, k=4, v=8, t=5) ==");
+    println!(
+        "{:>3} {:>12} {:>12} {:>12} {:>12}",
+        "n", "match_emp", "match_ana", "false_emp", "false_ana"
+    );
+    let line = NumberLine::new(10, 4, 8).unwrap();
+    let t = 5u64;
+    let scheme = ChebyshevSketch::new(line, t).unwrap();
+    let ring = RingChebyshev::new(line.period());
+    let trials = 200_000usize;
+    let mut rng = StdRng::seed_from_u64(0xFC);
+    let mut csv = Vec::new();
+    for n in [1usize, 2, 3] {
+        let mut matches = 0usize;
+        let mut false_close = 0usize;
+        for _ in 0..trials {
+            let x = line.random_vector(n, &mut rng);
+            let y = line.random_vector(n, &mut rng);
+            let sx = scheme.sketch(&x, &mut rng).unwrap();
+            let sy = scheme.sketch(&y, &mut rng).unwrap();
+            if sketches_match(&sx, &sy, t, line.interval_len()) {
+                matches += 1;
+                if ring.distance(&x[..], &y[..]) > t {
+                    false_close += 1;
+                }
+            }
+        }
+        let analysis = SketchAnalysis::new(line, t, n).unwrap();
+        let match_ana = ((2 * t + 1) as f64 / line.interval_len() as f64).powi(n as i32);
+        let false_ana = analysis.log2_false_close_exact().exp2();
+        let match_emp = matches as f64 / trials as f64;
+        let false_emp = false_close as f64 / trials as f64;
+        println!(
+            "{n:>3} {match_emp:>12.5} {match_ana:>12.5} {false_emp:>12.5} {false_ana:>12.5}"
+        );
+        csv.push(format!(
+            "{n},{match_emp:.6},{match_ana:.6},{false_emp:.6},{false_ana:.6}"
+        ));
+    }
+    let path = write_csv(
+        "falseclose.csv",
+        "n,match_empirical,match_analytic,false_empirical,false_analytic",
+        &csv,
+    );
+    println!("→ {}", path.display());
+}
+
+/// The early-abort scan statistics backing the "constant cost" argument:
+/// expected coordinates examined per non-matching record ≈ 1/(1-p),
+/// p = (2t+1)/ka ≈ 0.5025.
+fn scanstats() {
+    println!("\n== Early-abort scan: coordinates examined per non-matching record ==");
+    let scheme = ChebyshevSketch::paper_defaults();
+    let line = scheme.line();
+    let mut rng = StdRng::seed_from_u64(0x5CA9);
+    let dim = 5000usize;
+    let records = 2000usize;
+    let probe_src = line.random_vector(dim, &mut rng);
+    let probe = scheme.sketch(&probe_src, &mut rng).unwrap();
+    let mut total = 0usize;
+    for _ in 0..records {
+        let x = line.random_vector(dim, &mut rng);
+        let s = scheme.sketch(&x, &mut rng).unwrap();
+        let (matched, examined) =
+            sketches_match_counting(&s, &probe, scheme.threshold(), line.interval_len());
+        assert!(!matched, "random record matched a random probe");
+        total += examined;
+    }
+    let measured = total as f64 / records as f64;
+    let analytic = SketchAnalysis::paper_defaults(dim).expected_scan_coordinates();
+    println!("measured: {measured:.3} coordinates/record");
+    println!("analytic: {analytic:.3} (geometric mean, p = (2t+1)/ka)");
+    let path = write_csv(
+        "scanstats.csv",
+        "measured,analytic",
+        &[format!("{measured:.4},{analytic:.4}")],
+    );
+    println!("→ {}", path.display());
+}

@@ -1,0 +1,252 @@
+//! String and byte conversions for [`Natural`].
+
+use crate::{Natural, ParseNaturalError};
+use std::fmt;
+use std::str::FromStr;
+
+impl Natural {
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    ///
+    /// # Errors
+    /// Returns [`ParseNaturalError`] if the string is empty or contains a
+    /// non-hex character.
+    ///
+    /// ```rust
+    /// use fe_bigint::Natural;
+    /// # fn main() -> Result<(), fe_bigint::ParseNaturalError> {
+    /// let n = Natural::from_hex("ff")?;
+    /// assert_eq!(n, Natural::from(255u64));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_hex(s: &str) -> Result<Natural, ParseNaturalError> {
+        if s.is_empty() {
+            return Err(ParseNaturalError::Empty);
+        }
+        let mut limbs: Vec<u64> = Vec::with_capacity(s.len() / 16 + 1);
+        let bytes = s.as_bytes();
+        let mut pos = bytes.len();
+        while pos > 0 {
+            let start = pos.saturating_sub(16);
+            let chunk = &s[start..pos];
+            let limb = u64::from_str_radix(chunk, 16)
+                .map_err(|_| ParseNaturalError::InvalidDigit)?;
+            limbs.push(limb);
+            pos = start;
+        }
+        Ok(Natural::from_limbs(limbs))
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    /// Returns [`ParseNaturalError`] if the string is empty or contains a
+    /// non-decimal character.
+    pub fn from_decimal(s: &str) -> Result<Natural, ParseNaturalError> {
+        if s.is_empty() {
+            return Err(ParseNaturalError::Empty);
+        }
+        let mut acc = Natural::zero();
+        for chunk in s.as_bytes().chunks(19) {
+            let chunk_str =
+                std::str::from_utf8(chunk).map_err(|_| ParseNaturalError::InvalidDigit)?;
+            let v: u64 = chunk_str
+                .parse()
+                .map_err(|_| ParseNaturalError::InvalidDigit)?;
+            acc = acc.mul_u64(10u64.pow(chunk.len() as u32)).add_u64(v);
+        }
+        Ok(acc)
+    }
+
+    /// Lowercase hexadecimal representation (no leading zeros; `"0"` for 0).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&format!("{top:x}"));
+        }
+        for l in iter {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Decimal representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        let mut iter = chunks.iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&top.to_string());
+        }
+        for c in iter {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+
+    /// Big-endian byte representation (minimal length; empty for `0`).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Big-endian byte representation left-padded with zeros to `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Builds a natural from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Natural {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut buf = [0u8; 8];
+            buf[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(buf));
+        }
+        Natural::from_limbs(limbs)
+    }
+}
+
+impl FromStr for Natural {
+    type Err = ParseNaturalError;
+
+    /// Parses decimal by default, or hex with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            Natural::from_hex(hex)
+        } else {
+            Natural::from_decimal(s)
+        }
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Natural(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let n = Natural::from_hex(s).unwrap();
+            assert_eq!(n.to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455",
+            "99999999999999999999999999999999999999999999",
+        ] {
+            let n = Natural::from_decimal(s).unwrap();
+            assert_eq!(n.to_decimal(), s, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn hex_decimal_agree() {
+        let n = Natural::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(n.to_decimal(), "340282366920938463463374607431768211455");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Natural::from_hex(""), Err(ParseNaturalError::Empty));
+        assert_eq!(Natural::from_hex("xyz"), Err(ParseNaturalError::InvalidDigit));
+        assert_eq!(Natural::from_decimal("12a"), Err(ParseNaturalError::InvalidDigit));
+        assert_eq!(Natural::from_decimal("-5"), Err(ParseNaturalError::InvalidDigit));
+    }
+
+    #[test]
+    fn from_str_prefixes() {
+        assert_eq!("0xff".parse::<Natural>().unwrap(), Natural::from(255u64));
+        assert_eq!("255".parse::<Natural>().unwrap(), Natural::from(255u64));
+    }
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let n = Natural::from_hex("0123456789abcdef0011223344556677").unwrap();
+        let bytes = n.to_bytes_be();
+        assert_eq!(Natural::from_bytes_be(&bytes), n);
+        // Leading zero bytes are not emitted.
+        assert_eq!(bytes[0], 0x01);
+    }
+
+    #[test]
+    fn bytes_be_zero() {
+        assert!(Natural::zero().to_bytes_be().is_empty());
+        assert_eq!(Natural::from_bytes_be(&[]), Natural::zero());
+        assert_eq!(Natural::from_bytes_be(&[0, 0, 0]), Natural::zero());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = Natural::from(0xabcdu64);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 0xab, 0xcd]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        Natural::from(0xabcdu64).to_bytes_be_padded(1);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Natural::from(4096u64);
+        assert_eq!(format!("{n}"), "4096");
+        assert_eq!(format!("{n:x}"), "1000");
+        assert_eq!(format!("{n:?}"), "Natural(0x1000)");
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for `fe-bigint`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`crate::Natural`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseNaturalError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a valid digit.
+    InvalidDigit,
+}
+
+impl fmt::Display for ParseNaturalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNaturalError::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseNaturalError::InvalidDigit => write!(f, "invalid digit found in string"),
+        }
+    }
+}
+
+impl Error for ParseNaturalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ParseNaturalError::Empty.to_string(),
+            "cannot parse integer from empty string"
+        );
+        assert_eq!(
+            ParseNaturalError::InvalidDigit.to_string(),
+            "invalid digit found in string"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ParseNaturalError>();
+    }
+}

@@ -1,0 +1,264 @@
+//! Signed arbitrary-precision integers, used by the extended Euclidean
+//! algorithm behind [`crate::Natural::mod_inv`].
+
+use crate::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of an [`Integer`]. Zero is canonically [`Sign::Positive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Positive,
+    /// Strictly negative.
+    Negative,
+}
+
+/// A signed arbitrary-precision integer (sign + magnitude).
+///
+/// This is a deliberately small companion to [`Natural`], providing only the
+/// operations required by Bézout-coefficient bookkeeping: negation, addition,
+/// subtraction, multiplication and comparison.
+///
+/// ```rust
+/// use fe_bigint::{Integer, Natural};
+///
+/// let a = Integer::from(-5i64);
+/// let b = Integer::from(3i64);
+/// assert_eq!(&a + &b, Integer::from(-2i64));
+/// assert_eq!(&a * &b, Integer::from(-15i64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Integer {
+    sign: Sign,
+    magnitude: Natural,
+}
+
+impl Integer {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Integer {
+            sign: Sign::Positive,
+            magnitude: Natural::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Integer::from_natural(Natural::one())
+    }
+
+    /// A non-negative integer from a [`Natural`].
+    pub fn from_natural(n: Natural) -> Self {
+        Integer {
+            sign: Sign::Positive,
+            magnitude: n,
+        }
+    }
+
+    /// Builds an integer from an explicit sign and magnitude.
+    /// A zero magnitude is normalized to positive sign.
+    pub fn with_sign(sign: Sign, magnitude: Natural) -> Self {
+        if magnitude.is_zero() {
+            Integer::zero()
+        } else {
+            Integer { sign, magnitude }
+        }
+    }
+
+    /// The sign (zero is positive).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &Natural {
+        &self.magnitude
+    }
+
+    /// `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Canonical representative modulo `m`, in `[0, m)`.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn mod_floor(&self, m: &Natural) -> Natural {
+        let r = self.magnitude.rem_nat(m);
+        match self.sign {
+            Sign::Positive => r,
+            Sign::Negative => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Integer {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            Integer::with_sign(Sign::Negative, Natural::from(v.unsigned_abs()))
+        } else {
+            Integer::from_natural(Natural::from(v as u64))
+        }
+    }
+}
+
+impl From<Natural> for Integer {
+    fn from(n: Natural) -> Self {
+        Integer::from_natural(n)
+    }
+}
+
+impl Neg for &Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        match self.sign {
+            _ if self.is_zero() => Integer::zero(),
+            Sign::Positive => Integer::with_sign(Sign::Negative, self.magnitude.clone()),
+            Sign::Negative => Integer::with_sign(Sign::Positive, self.magnitude.clone()),
+        }
+    }
+}
+
+impl Add<&Integer> for &Integer {
+    type Output = Integer;
+    fn add(self, rhs: &Integer) -> Integer {
+        match (self.sign, rhs.sign) {
+            (a, b) if a == b => Integer::with_sign(a, &self.magnitude + &rhs.magnitude),
+            _ => match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => Integer::zero(),
+                Ordering::Greater => {
+                    Integer::with_sign(self.sign, &self.magnitude - &rhs.magnitude)
+                }
+                Ordering::Less => Integer::with_sign(rhs.sign, &rhs.magnitude - &self.magnitude),
+            },
+        }
+    }
+}
+
+impl Sub<&Integer> for &Integer {
+    type Output = Integer;
+    fn sub(self, rhs: &Integer) -> Integer {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&Integer> for &Integer {
+    type Output = Integer;
+    fn mul(self, rhs: &Integer) -> Integer {
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        Integer::with_sign(sign, &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl Ord for Integer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Positive, Sign::Negative) => Ordering::Greater,
+            (Sign::Negative, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.magnitude.cmp(&other.magnitude),
+            (Sign::Negative, Sign::Negative) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl PartialOrd for Integer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl fmt::Debug for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Integer({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Integer {
+        Integer::from(v)
+    }
+
+    #[test]
+    fn zero_is_positive_canonical() {
+        let z = Integer::with_sign(Sign::Negative, Natural::zero());
+        assert_eq!(z.sign(), Sign::Positive);
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(&i(5) + &i(-3), i(2));
+        assert_eq!(&i(3) + &i(-5), i(-2));
+        assert_eq!(&i(-3) + &i(-5), i(-8));
+        assert_eq!(&i(5) + &i(-5), Integer::zero());
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(&i(5) - &i(8), i(-3));
+        assert_eq!(-&i(7), i(-7));
+        assert_eq!(-&Integer::zero(), Integer::zero());
+    }
+
+    #[test]
+    fn mul_sign_rules() {
+        assert_eq!(&i(-4) * &i(-6), i(24));
+        assert_eq!(&i(-4) * &i(6), i(-24));
+        assert_eq!(&i(4) * &i(0), Integer::zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(i(-10) < i(-1));
+        assert!(i(-1) < i(0));
+        assert!(i(0) < i(1));
+        assert!(i(1) < i(10));
+    }
+
+    #[test]
+    fn mod_floor_negative() {
+        let m = Natural::from(7u64);
+        assert_eq!(i(-1).mod_floor(&m), Natural::from(6u64));
+        assert_eq!(i(-7).mod_floor(&m), Natural::zero());
+        assert_eq!(i(15).mod_floor(&m), Natural::from(1u64));
+        assert_eq!(i(-15).mod_floor(&m), Natural::from(6u64));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(i(42).to_string(), "42");
+        assert_eq!(Integer::zero().to_string(), "0");
+    }
+}

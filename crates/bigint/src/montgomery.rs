@@ -1,0 +1,269 @@
+//! Montgomery multiplication (CIOS) for fast modular exponentiation with odd
+//! moduli, the hot path of DSA signing and verification.
+
+use crate::Natural;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `n`.
+///
+/// Values are kept in Montgomery form (`x · R mod n` with `R = 2^(64·limbs)`);
+/// [`Montgomery::mul`] computes a product and a reduction in a single
+/// interleaved pass (CIOS — coarsely integrated operand scanning).
+///
+/// # Example
+///
+/// ```rust
+/// use fe_bigint::{montgomery::Montgomery, Natural};
+///
+/// let n = Natural::from(97u64);
+/// let ctx = Montgomery::new(&n).expect("odd modulus");
+/// let a = ctx.to_mont(&Natural::from(5u64));
+/// let b = ctx.to_mont(&Natural::from(7u64));
+/// let ab = ctx.from_mont(&ctx.mul(&a, &b));
+/// assert_eq!(ab, Natural::from(35u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    n: Vec<u64>,
+    n_prime: u64, // -n^{-1} mod 2^64
+    r2: Vec<u64>, // R^2 mod n, used to convert into Montgomery form
+}
+
+/// `-n^{-1} mod 2^64` for odd `n` via Newton iteration on 2-adic inverse.
+fn neg_inv_u64(n0: u64) -> u64 {
+    debug_assert!(n0 & 1 == 1);
+    let mut inv = n0; // correct to 3 bits already (odd)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+impl Montgomery {
+    /// Builds a context for the odd modulus `n`.
+    ///
+    /// Returns `None` if `n` is even or zero (Montgomery reduction requires
+    /// `gcd(n, 2^64) = 1`).
+    pub fn new(n: &Natural) -> Option<Montgomery> {
+        if n.is_zero() || n.is_even() {
+            return None;
+        }
+        let limbs = n.limbs().to_vec();
+        let n_prime = neg_inv_u64(limbs[0]);
+        // R^2 mod n where R = 2^(64*len): compute by shifting.
+        let r2 = Natural::power_of_two(64 * limbs.len() * 2).rem_nat(n);
+        let mut r2_limbs = r2.limbs().to_vec();
+        r2_limbs.resize(limbs.len(), 0);
+        Some(Montgomery {
+            n: limbs,
+            n_prime,
+            r2: r2_limbs,
+        })
+    }
+
+    /// Limb width of the modulus.
+    pub fn limb_len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Montgomery product `a · b · R^{-1} mod n`.
+    ///
+    /// Inputs must be in Montgomery form and exactly `limb_len()` limbs.
+    pub fn mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(a.len(), self.n.len());
+        debug_assert_eq!(b.len(), self.n.len());
+        let len = self.n.len();
+        // CIOS: t has len+2 words.
+        let mut t = vec![0u64; len + 2];
+        for &bi in b.iter() {
+            // t += a * bi
+            let mut carry = 0u128;
+            for j in 0..len {
+                let cur = t[j] as u128 + (a[j] as u128) * (bi as u128) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[len] as u128 + carry;
+            t[len] = cur as u64;
+            t[len + 1] = t[len + 1].wrapping_add((cur >> 64) as u64);
+
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let cur = t[0] as u128 + (m as u128) * (self.n[0] as u128);
+            let mut carry = cur >> 64;
+            for j in 1..len {
+                let cur = t[j] as u128 + (m as u128) * (self.n[j] as u128) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[len] as u128 + carry;
+            t[len - 1] = cur as u64;
+            t[len] = t[len + 1].wrapping_add((cur >> 64) as u64);
+            t[len + 1] = 0;
+        }
+        t.truncate(len + 1);
+        // Conditional subtraction to bring the result below n.
+        if t[len] != 0 || !less_than(&t[..len], &self.n) {
+            crate::arith::sub_limbs_in_place(&mut t, &self.n);
+        }
+        t.truncate(len);
+        t
+    }
+
+    /// Converts `x` (ordinary form, `x < n`) into Montgomery form.
+    pub fn to_mont(&self, x: &Natural) -> Vec<u64> {
+        let mut xl = x.limbs().to_vec();
+        xl.resize(self.n.len(), 0);
+        self.mul(&xl, &self.r2)
+    }
+
+    /// Converts from Montgomery form back to an ordinary [`Natural`].
+    pub fn from_mont(&self, x: &[u64]) -> Natural {
+        let one = {
+            let mut v = vec![0u64; self.n.len()];
+            v[0] = 1;
+            v
+        };
+        Natural::from_limbs(self.mul(x, &one))
+    }
+
+    /// The value `1` in Montgomery form (`R mod n`).
+    pub fn one(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.n.len()];
+        v[0] = 1;
+        self.mul(&v, &self.r2)
+    }
+
+    /// Modular exponentiation `base^exp mod n` using a 4-bit fixed window.
+    pub fn pow(&self, base: &Natural, exp: &Natural) -> Natural {
+        if exp.is_zero() {
+            return Natural::one().rem_nat(&Natural::from_limbs(self.n.clone()));
+        }
+        let base_m = self.to_mont(&base.rem_nat(&Natural::from_limbs(self.n.clone())));
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one());
+        for i in 1..16 {
+            let next = self.mul(&table[i - 1], &base_m);
+            table.push(next);
+        }
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.one();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let idx = w * 4 + (3 - b);
+                digit = (digit << 1) | exp.bit(idx) as usize;
+            }
+            if digit != 0 {
+                acc = self.mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // nothing to multiply for a zero window
+            } else {
+                // leading zero windows: keep acc = 1, not started
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn less_than(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inv_correct() {
+        for n0 in [1u64, 3, 5, 97, 0xffff_ffff_ffff_ffc5, u64::MAX] {
+            let ni = neg_inv_u64(n0);
+            assert_eq!(n0.wrapping_mul(ni), 1u64.wrapping_neg(), "n0={n0}");
+        }
+    }
+
+    #[test]
+    fn rejects_even_modulus() {
+        assert!(Montgomery::new(&Natural::from(10u64)).is_none());
+        assert!(Montgomery::new(&Natural::zero()).is_none());
+        assert!(Montgomery::new(&Natural::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let n = Natural::from(101u64);
+        let ctx = Montgomery::new(&n).unwrap();
+        for x in 0..101u64 {
+            let xm = ctx.to_mont(&Natural::from(x));
+            assert_eq!(ctx.from_mont(&xm), Natural::from(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let n = Natural::from_hex("ffffffffffffffc5").unwrap(); // 64-bit prime
+        let ctx = Montgomery::new(&n).unwrap();
+        let a = Natural::from(0x1234_5678_9abc_def0u64);
+        let b = Natural::from(0x0fed_cba9_8765_4321u64);
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let got = ctx.from_mont(&ctx.mul(&am, &bm));
+        let want = (&a * &b).rem_nat(&n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mul_multi_limb_modulus() {
+        // 192-bit odd modulus.
+        let n = Natural::from_hex("fffffffffffffffffffffffffffffffffffffffffffffff1").unwrap();
+        let ctx = Montgomery::new(&n).unwrap();
+        let a = Natural::from_hex("123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let b = Natural::from_hex("fedcba9876543210fedcba9876543210fedcba987654321").unwrap();
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let got = ctx.from_mont(&ctx.mul(&am, &bm));
+        let want = (&a * &b).rem_nat(&n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pow_matches_small_cases() {
+        let n = Natural::from(1009u64);
+        let ctx = Montgomery::new(&n).unwrap();
+        // 3^10 = 59049; 59049 mod 1009 = 59049 - 58*1009 = 527
+        let got = ctx.pow(&Natural::from(3u64), &Natural::from(10u64));
+        assert_eq!(got, Natural::from(59049u64 % 1009));
+    }
+
+    #[test]
+    fn pow_fermat_little_theorem() {
+        // p prime, a^(p-1) ≡ 1 (mod p)
+        let p = Natural::from_hex("ffffffffffffffc5").unwrap();
+        let ctx = Montgomery::new(&p).unwrap();
+        let exp = p.checked_sub(&Natural::one()).unwrap();
+        let got = ctx.pow(&Natural::from(2u64), &exp);
+        assert_eq!(got, Natural::one());
+    }
+
+    #[test]
+    fn pow_zero_exponent() {
+        let n = Natural::from(97u64);
+        let ctx = Montgomery::new(&n).unwrap();
+        assert_eq!(ctx.pow(&Natural::from(5u64), &Natural::zero()), Natural::one());
+    }
+}

@@ -1,0 +1,117 @@
+//! Random [`Natural`] generation from any [`rand::RngCore`].
+
+use crate::Natural;
+use rand::RngCore;
+
+/// A uniformly random natural with at most `bits` bits.
+pub fn random_bits<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> Natural {
+    if bits == 0 {
+        return Natural::zero();
+    }
+    let limbs_needed = bits.div_ceil(64);
+    let mut limbs = Vec::with_capacity(limbs_needed);
+    for _ in 0..limbs_needed {
+        limbs.push(rng.next_u64());
+    }
+    let excess = limbs_needed * 64 - bits;
+    if excess > 0 {
+        let last = limbs.last_mut().expect("at least one limb");
+        *last >>= excess;
+    }
+    Natural::from_limbs(limbs)
+}
+
+/// A uniformly random natural in `[0, bound)` via rejection sampling.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_below<R: RngCore + ?Sized>(bound: &Natural, rng: &mut R) -> Natural {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_length();
+    loop {
+        let cand = random_bits(bits, rng);
+        if &cand < bound {
+            return cand;
+        }
+    }
+}
+
+/// A uniformly random natural in `[low, high)`.
+///
+/// # Panics
+/// Panics if `low >= high`.
+pub fn random_natural<R: RngCore + ?Sized>(low: &Natural, high: &Natural, rng: &mut R) -> Natural {
+    assert!(low < high, "empty range");
+    let span = high.checked_sub(low).expect("high > low");
+    low + &random_below(&span, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut r = rng();
+        for bits in [0usize, 1, 7, 64, 65, 190] {
+            for _ in 0..50 {
+                let n = random_bits(bits, &mut r);
+                assert!(n.bit_length() <= bits, "bits={bits} got={}", n.bit_length());
+            }
+        }
+    }
+
+    #[test]
+    fn random_bits_hits_top_bit() {
+        // With 100 draws of 8 bits, the top bit should be set at least once.
+        let mut r = rng();
+        let hit = (0..100).any(|_| random_bits(8, &mut r).bit(7));
+        assert!(hit);
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = Natural::from(1000u64);
+        for _ in 0..200 {
+            assert!(random_below(&bound, &mut r) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        let mut r = rng();
+        let bound = Natural::from(3u64);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = random_below(&bound, &mut r).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn random_natural_in_range() {
+        let mut r = rng();
+        let low = Natural::from(100u64);
+        let high = Natural::from(110u64);
+        for _ in 0..100 {
+            let v = random_natural(&low, &high, &mut r);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_natural_empty_range_panics() {
+        let mut r = rng();
+        let x = Natural::from(5u64);
+        random_natural(&x, &x, &mut r);
+    }
+}

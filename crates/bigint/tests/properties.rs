@@ -1,0 +1,132 @@
+//! Property-based tests for `fe-bigint` arithmetic invariants.
+
+use fe_bigint::{Integer, Natural};
+use proptest::prelude::*;
+
+/// Strategy producing naturals up to ~4 limbs from raw limb vectors.
+fn natural() -> impl Strategy<Value = Natural> {
+    prop::collection::vec(any::<u64>(), 0..4).prop_map(Natural::from_limbs)
+}
+
+/// Strategy producing non-zero naturals.
+fn natural_nonzero() -> impl Strategy<Value = Natural> {
+    natural().prop_filter("non-zero", |n| !n.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in natural(), b in natural()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in natural(), b in natural(), c in natural()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in natural(), b in natural()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn mul_commutative(a in natural(), b in natural()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in natural(), b in natural(), c in natural()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in natural(), b in natural_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in natural(), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s), &a * &Natural::power_of_two(s));
+    }
+
+    #[test]
+    fn shr_is_div_by_power_of_two(a in natural(), s in 0usize..200) {
+        prop_assert_eq!(a.shr_bits(s), &a / &Natural::power_of_two(s));
+    }
+
+    #[test]
+    fn hex_roundtrip(a in natural()) {
+        prop_assert_eq!(Natural::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in natural()) {
+        prop_assert_eq!(Natural::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in natural()) {
+        prop_assert_eq!(Natural::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in natural_nonzero(), b in natural_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem_nat(&g).is_zero());
+        prop_assert!(b.rem_nat(&g).is_zero());
+    }
+
+    #[test]
+    fn extended_gcd_bezout(a in natural(), b in natural_nonzero()) {
+        let ext = a.extended_gcd(&b);
+        let lhs = &(&Integer::from(a) * &ext.x) + &(&Integer::from(b) * &ext.y);
+        prop_assert_eq!(lhs, Integer::from(ext.gcd));
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in natural_nonzero(), m in natural_nonzero()) {
+        if let Some(inv) = a.mod_inv(&m) {
+            prop_assert_eq!(a.mod_mul(&inv, &m), Natural::one().rem_nat(&m));
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(base in 0u64..1000, exp in 0u64..64, m in 2u64..10_000) {
+        let naive = {
+            let mut acc = 1u128;
+            for _ in 0..exp {
+                acc = acc * base as u128 % m as u128;
+            }
+            acc as u64
+        };
+        let got = Natural::from(base).mod_pow(&Natural::from(exp), &Natural::from(m));
+        prop_assert_eq!(got, Natural::from(naive));
+    }
+
+    #[test]
+    fn mod_pow_addition_law(base in natural(), e1 in 0u64..200, e2 in 0u64..200, m in natural_nonzero()) {
+        // base^(e1+e2) = base^e1 * base^e2 (mod m)
+        let lhs = base.mod_pow(&Natural::from(e1 + e2), &m);
+        let a = base.mod_pow(&Natural::from(e1), &m);
+        let b = base.mod_pow(&Natural::from(e2), &m);
+        prop_assert_eq!(lhs, a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in natural(), b in natural()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+
+    #[test]
+    fn bit_length_bounds(a in natural_nonzero()) {
+        let bits = a.bit_length();
+        prop_assert!(a < Natural::power_of_two(bits));
+        prop_assert!(a >= Natural::power_of_two(bits - 1));
+    }
+}

@@ -1,0 +1,109 @@
+//! Empirical FAR/FRR measurement.
+
+/// Empirical error rates of a biometric matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRates {
+    /// False accept rate: fraction of impostor trials that were accepted.
+    pub far: f64,
+    /// False reject rate: fraction of genuine trials that were rejected.
+    pub frr: f64,
+    /// Number of genuine trials run.
+    pub genuine_trials: usize,
+    /// Number of impostor trials run.
+    pub impostor_trials: usize,
+}
+
+/// Measures FAR and FRR by Monte Carlo.
+///
+/// `genuine_trial()` must return `true` when a genuine presentation was
+/// **accepted**; `impostor_trial()` must return `true` when an impostor
+/// presentation was **accepted**.
+///
+/// ```rust
+/// use fe_biometric::measure_error_rates;
+///
+/// // A matcher that always accepts genuine and rejects 1-in-4 impostors.
+/// let mut flip = 0u32;
+/// let rates = measure_error_rates(100, 100, || true, || {
+///     flip += 1;
+///     flip % 4 == 0
+/// });
+/// assert_eq!(rates.frr, 0.0);
+/// assert!((rates.far - 0.25).abs() < 1e-9);
+/// ```
+pub fn measure_error_rates(
+    genuine_trials: usize,
+    impostor_trials: usize,
+    mut genuine_trial: impl FnMut() -> bool,
+    mut impostor_trial: impl FnMut() -> bool,
+) -> ErrorRates {
+    let mut false_rejects = 0usize;
+    for _ in 0..genuine_trials {
+        if !genuine_trial() {
+            false_rejects += 1;
+        }
+    }
+    let mut false_accepts = 0usize;
+    for _ in 0..impostor_trials {
+        if impostor_trial() {
+            false_accepts += 1;
+        }
+    }
+    ErrorRates {
+        far: if impostor_trials == 0 {
+            0.0
+        } else {
+            false_accepts as f64 / impostor_trials as f64
+        },
+        frr: if genuine_trials == 0 {
+            0.0
+        } else {
+            false_rejects as f64 / genuine_trials as f64
+        },
+        genuine_trials,
+        impostor_trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matcher() {
+        let rates = measure_error_rates(50, 50, || true, || false);
+        assert_eq!(rates.far, 0.0);
+        assert_eq!(rates.frr, 0.0);
+        assert_eq!(rates.genuine_trials, 50);
+        assert_eq!(rates.impostor_trials, 50);
+    }
+
+    #[test]
+    fn broken_matcher() {
+        let rates = measure_error_rates(10, 10, || false, || true);
+        assert_eq!(rates.far, 1.0);
+        assert_eq!(rates.frr, 1.0);
+    }
+
+    #[test]
+    fn zero_trials_do_not_divide_by_zero() {
+        let rates = measure_error_rates(0, 0, || true, || false);
+        assert_eq!(rates.far, 0.0);
+        assert_eq!(rates.frr, 0.0);
+    }
+
+    #[test]
+    fn fractional_rates() {
+        let mut i = 0u32;
+        let rates = measure_error_rates(
+            100,
+            0,
+            || {
+                i += 1;
+                i % 10 != 0 // reject every 10th genuine
+            },
+            || false,
+        );
+        assert!((rates.frr - 0.10).abs() < 1e-9);
+    }
+}

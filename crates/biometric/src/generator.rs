@@ -1,0 +1,159 @@
+//! Population and template generation matching the paper's experimental
+//! setup (Table II: representation range `[-100000, 100000]`, `n` from
+//! 1000 to 31000).
+
+use crate::noise::NoiseModel;
+use crate::template::Template;
+use rand::Rng;
+use rand::RngCore;
+
+/// Generates synthetic biometric templates uniformly over a feature range.
+///
+/// ```rust
+/// use fe_biometric::PopulationGenerator;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let gen = PopulationGenerator::new(16, -100, 100);
+/// let pop = gen.population(10, &mut rng);
+/// assert_eq!(pop.len(), 10);
+/// assert!(pop.iter().all(|t| t.dim() == 16 && t.in_range(-100, 100)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationGenerator {
+    dim: usize,
+    min: i64,
+    max: i64,
+}
+
+impl PopulationGenerator {
+    /// Creates a generator for `dim`-dimensional templates with features
+    /// uniform in `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `dim == 0`.
+    pub fn new(dim: usize, min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty feature range");
+        assert!(dim > 0, "dimension must be positive");
+        PopulationGenerator { dim, min, max }
+    }
+
+    /// The paper's Table II setup: features in `[-100000, 100000]`.
+    pub fn paper_defaults(dim: usize) -> Self {
+        PopulationGenerator::new(dim, -100_000, 100_000)
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature range `(min, max)`, inclusive.
+    pub fn range(&self) -> (i64, i64) {
+        (self.min, self.max)
+    }
+
+    /// Draws one uniform template.
+    pub fn random_template<R: RngCore + ?Sized>(&self, rng: &mut R) -> Template {
+        Template::new(
+            (0..self.dim)
+                .map(|_| rng.gen_range(self.min..=self.max))
+                .collect(),
+        )
+    }
+
+    /// Draws a population of `count` independent templates (distinct users).
+    pub fn population<R: RngCore + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Template> {
+        (0..count).map(|_| self.random_template(rng)).collect()
+    }
+
+    /// A genuine presentation: the enrolled template plus reading noise.
+    pub fn genuine_reading<R: RngCore + ?Sized>(
+        &self,
+        enrolled: &Template,
+        noise: &impl NoiseModel,
+        rng: &mut R,
+    ) -> Template {
+        Template::new(noise.perturb(enrolled.features(), rng))
+    }
+
+    /// An impostor presentation: a fresh uniform template unrelated to any
+    /// enrolled user.
+    pub fn impostor_reading<R: RngCore + ?Sized>(&self, rng: &mut R) -> Template {
+        self.random_template(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::UniformNoise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn templates_in_range_and_dim() {
+        let mut r = rng();
+        let gen = PopulationGenerator::new(100, -50, 75);
+        for _ in 0..20 {
+            let t = gen.random_template(&mut r);
+            assert_eq!(t.dim(), 100);
+            assert!(t.in_range(-50, 75));
+        }
+    }
+
+    #[test]
+    fn paper_defaults_range() {
+        let gen = PopulationGenerator::paper_defaults(5000);
+        assert_eq!(gen.range(), (-100_000, 100_000));
+        assert_eq!(gen.dim(), 5000);
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        let mut r = rng();
+        let gen = PopulationGenerator::paper_defaults(50);
+        let pop = gen.population(20, &mut r);
+        for i in 0..pop.len() {
+            for j in (i + 1)..pop.len() {
+                assert_ne!(pop[i], pop[j], "duplicate templates {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn genuine_reading_close_impostor_far() {
+        let mut r = rng();
+        let gen = PopulationGenerator::paper_defaults(1000);
+        let enrolled = gen.random_template(&mut r);
+        let noise = UniformNoise::new(100);
+        let genuine = gen.genuine_reading(&enrolled, &noise, &mut r);
+        let impostor = gen.impostor_reading(&mut r);
+        let dev = |a: &Template, b: &Template| {
+            a.features()
+                .iter()
+                .zip(b.features())
+                .map(|(x, y)| x.abs_diff(*y))
+                .max()
+                .unwrap()
+        };
+        assert!(dev(&enrolled, &genuine) <= 100);
+        assert!(dev(&enrolled, &impostor) > 100); // overwhelmingly likely
+    }
+
+    #[test]
+    #[should_panic(expected = "empty feature range")]
+    fn bad_range_panics() {
+        PopulationGenerator::new(10, 5, -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        PopulationGenerator::new(0, -5, 5);
+    }
+}

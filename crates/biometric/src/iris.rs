@@ -1,0 +1,130 @@
+//! An iris-code-style bit-string biometric model for the Hamming-metric
+//! baselines (code-offset sketch / fuzzy commitment).
+
+use fe_metrics::BitVec;
+use rand::Rng;
+use rand::RngCore;
+
+/// Generates fixed-length biometric bit strings with independent per-bit
+/// flip noise between presentations — the standard abstraction of iris
+/// codes in the fuzzy-extractor literature.
+///
+/// ```rust
+/// use fe_biometric::IrisCodeModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let model = IrisCodeModel::new(1023, 0.01);
+/// let enrolled = model.random_code(&mut rng);
+/// let reading = model.genuine_reading(&enrolled, &mut rng);
+/// let flips = enrolled.xor_weight(&reading);
+/// assert!(flips < 40); // ~10 expected at 1% flip rate
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrisCodeModel {
+    bits: usize,
+    flip_prob: f64,
+}
+
+impl IrisCodeModel {
+    /// Creates a model producing `bits`-bit codes with per-bit flip
+    /// probability `flip_prob` between genuine presentations.
+    ///
+    /// # Panics
+    /// Panics if `flip_prob` is outside `[0, 1]` or `bits == 0`.
+    pub fn new(bits: usize, flip_prob: f64) -> Self {
+        assert!(bits > 0, "need at least one bit");
+        assert!((0.0..=1.0).contains(&flip_prob), "probability in [0,1]");
+        IrisCodeModel { bits, flip_prob }
+    }
+
+    /// Code length in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Per-bit flip probability.
+    pub fn flip_prob(&self) -> f64 {
+        self.flip_prob
+    }
+
+    /// Draws a uniformly random enrolled code.
+    pub fn random_code<R: RngCore + ?Sized>(&self, rng: &mut R) -> BitVec {
+        BitVec::from_fn(self.bits, |_| rng.gen_bool(0.5))
+    }
+
+    /// A genuine presentation: each bit of `enrolled` flips independently
+    /// with probability `flip_prob`.
+    pub fn genuine_reading<R: RngCore + ?Sized>(&self, enrolled: &BitVec, rng: &mut R) -> BitVec {
+        assert_eq!(enrolled.len(), self.bits, "code length mismatch");
+        let mut out = enrolled.clone();
+        for i in 0..self.bits {
+            if rng.gen_bool(self.flip_prob) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    /// An impostor presentation: an unrelated random code.
+    pub fn impostor_reading<R: RngCore + ?Sized>(&self, rng: &mut R) -> BitVec {
+        self.random_code(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn code_length() {
+        let mut r = rng();
+        let m = IrisCodeModel::new(256, 0.02);
+        assert_eq!(m.random_code(&mut r).len(), 256);
+    }
+
+    #[test]
+    fn genuine_flip_rate_near_expectation() {
+        let mut r = rng();
+        let m = IrisCodeModel::new(10_000, 0.05);
+        let enrolled = m.random_code(&mut r);
+        let reading = m.genuine_reading(&enrolled, &mut r);
+        let flips = enrolled.xor_weight(&reading);
+        // Expect 500; allow ±200 (way beyond 5σ ≈ 110).
+        assert!((300..700).contains(&flips), "flips={flips}");
+    }
+
+    #[test]
+    fn zero_flip_prob_is_identity() {
+        let mut r = rng();
+        let m = IrisCodeModel::new(100, 0.0);
+        let enrolled = m.random_code(&mut r);
+        assert_eq!(m.genuine_reading(&enrolled, &mut r), enrolled);
+    }
+
+    #[test]
+    fn impostor_is_far() {
+        let mut r = rng();
+        let m = IrisCodeModel::new(1000, 0.01);
+        let enrolled = m.random_code(&mut r);
+        let impostor = m.impostor_reading(&mut r);
+        // Expected Hamming distance 500.
+        let d = enrolled.xor_weight(&impostor);
+        assert!(d > 350, "impostor unexpectedly close: {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "code length mismatch")]
+    fn length_mismatch_panics() {
+        let mut r = rng();
+        let m = IrisCodeModel::new(100, 0.01);
+        let wrong = BitVec::zeros(99);
+        m.genuine_reading(&wrong, &mut r);
+    }
+}

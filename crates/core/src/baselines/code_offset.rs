@@ -1,0 +1,297 @@
+//! The code-offset secure sketch and fuzzy extractor over the Hamming
+//! metric (Juels–Wattenberg / Dodis et al.), built on BCH codes.
+
+use crate::key::ExtractedKey;
+use crate::SketchError;
+use fe_crypto::ct::ct_eq;
+use fe_crypto::extractor::{HmacExtractor, StrongExtractor};
+use fe_crypto::{Digest, Sha256};
+use fe_ecc::{Bch, BinaryCode};
+use fe_metrics::BitVec;
+use rand::Rng;
+use rand::RngCore;
+
+/// Code-offset sketch: `SS(w) = w ⊕ C(r)` for a random codeword `C(r)`;
+/// `Rec(w', s)` decodes `w' ⊕ s` back to the codeword and returns
+/// `s ⊕ C`. Corrects up to the code's error capability in Hamming
+/// distance.
+///
+/// ```rust
+/// use fe_core::baselines::CodeOffsetSketch;
+/// use fe_ecc::Bch;
+/// use fe_metrics::BitVec;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sketch = CodeOffsetSketch::new(Bch::new(6, 3)?); // BCH(63,·,3)
+/// let w = BitVec::from_fn(63, |i| i % 5 == 0);
+/// let s = sketch.sketch(&w, &mut rng)?;
+/// let mut w_noisy = w.clone();
+/// w_noisy.flip(7);
+/// w_noisy.flip(40);
+/// assert_eq!(sketch.recover(&w_noisy, &s)?, w);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodeOffsetSketch {
+    code: Bch,
+}
+
+impl CodeOffsetSketch {
+    /// Builds the sketch over a BCH code.
+    pub fn new(code: Bch) -> Self {
+        CodeOffsetSketch { code }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &Bch {
+        &self.code
+    }
+
+    /// Input length in bits (`n` of the code).
+    pub fn input_len(&self) -> usize {
+        self.code.n()
+    }
+
+    /// Hamming error tolerance.
+    pub fn tolerance(&self) -> usize {
+        self.code.t()
+    }
+
+    /// `SS(w; r) = w ⊕ C(r)`.
+    ///
+    /// # Errors
+    /// [`SketchError::DimensionMismatch`] if `w` is not `n` bits.
+    pub fn sketch<R: RngCore + ?Sized>(
+        &self,
+        w: &BitVec,
+        rng: &mut R,
+    ) -> Result<BitVec, SketchError> {
+        if w.len() != self.code.n() {
+            return Err(SketchError::DimensionMismatch {
+                expected: self.code.n(),
+                got: w.len(),
+            });
+        }
+        let msg = BitVec::from_fn(self.code.k(), |_| rng.gen_bool(0.5));
+        let codeword = self
+            .code
+            .encode(&msg)
+            .map_err(|_| SketchError::BadParameters)?;
+        Ok(&codeword ^ w)
+    }
+
+    /// `Rec(w', s)`: decode `w' ⊕ s` to the nearest codeword `C` and
+    /// return `s ⊕ C`.
+    ///
+    /// # Errors
+    /// [`SketchError::OutOfRange`] when more than `t` bits differ;
+    /// [`SketchError::DimensionMismatch`] on length mismatch.
+    pub fn recover(&self, reading: &BitVec, sketch: &BitVec) -> Result<BitVec, SketchError> {
+        if reading.len() != self.code.n() || sketch.len() != self.code.n() {
+            return Err(SketchError::DimensionMismatch {
+                expected: self.code.n(),
+                got: reading.len(),
+            });
+        }
+        let noisy_codeword = reading ^ sketch;
+        let decoded = self
+            .code
+            .decode(&noisy_codeword)
+            .map_err(|_| SketchError::OutOfRange)?;
+        Ok(&decoded.codeword ^ sketch)
+    }
+}
+
+/// Helper data of the binary fuzzy extractor: sketch, robust tag and
+/// extractor seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryHelperData {
+    /// The code-offset sketch `s`.
+    pub sketch: BitVec,
+    /// Robust binding tag `H(w ‖ s)`.
+    pub tag: Vec<u8>,
+    /// Strong-extractor seed.
+    pub seed: Vec<u8>,
+}
+
+/// Fuzzy extractor over bit-string biometrics (iris-code style), with the
+/// same robust-tag treatment as the paper's construction — the baseline
+/// the ablation bench compares against.
+#[derive(Debug, Clone)]
+pub struct BinaryFuzzyExtractor {
+    sketch: CodeOffsetSketch,
+    extractor: HmacExtractor,
+}
+
+impl BinaryFuzzyExtractor {
+    /// Builds from a code, producing `key_len`-byte keys.
+    pub fn new(code: Bch, key_len: usize) -> Self {
+        BinaryFuzzyExtractor {
+            sketch: CodeOffsetSketch::new(code),
+            extractor: HmacExtractor::new(key_len),
+        }
+    }
+
+    /// The sketch layer.
+    pub fn sketcher(&self) -> &CodeOffsetSketch {
+        &self.sketch
+    }
+
+    fn tag(w: &BitVec, s: &BitVec) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update(b"fe-binary-robust-v1");
+        h.update(&w.to_bytes());
+        h.update(&s.to_bytes());
+        h.finalize()
+    }
+
+    /// `Gen(w) → (R, P)`.
+    ///
+    /// # Errors
+    /// Propagates sketch errors.
+    pub fn generate<R: RngCore + ?Sized>(
+        &self,
+        w: &BitVec,
+        rng: &mut R,
+    ) -> Result<(ExtractedKey, BinaryHelperData), SketchError> {
+        let sketch = self.sketch.sketch(w, rng)?;
+        let tag = Self::tag(w, &sketch);
+        let mut seed = vec![0u8; self.extractor.seed_len(w.to_bytes().len())];
+        rng.fill_bytes(&mut seed);
+        let key = ExtractedKey::new(self.extractor.extract(&w.to_bytes(), &seed));
+        Ok((
+            key,
+            BinaryHelperData { sketch, tag, seed },
+        ))
+    }
+
+    /// `Rep(w', P) → R`.
+    ///
+    /// # Errors
+    /// [`SketchError::OutOfRange`] beyond the code's tolerance;
+    /// [`SketchError::TagMismatch`] on tampered helper data.
+    pub fn reproduce(
+        &self,
+        reading: &BitVec,
+        helper: &BinaryHelperData,
+    ) -> Result<ExtractedKey, SketchError> {
+        let w = self.sketch.recover(reading, &helper.sketch)?;
+        if !ct_eq(&Self::tag(&w, &helper.sketch), &helper.tag) {
+            return Err(SketchError::TagMismatch);
+        }
+        Ok(ExtractedKey::new(
+            self.extractor.extract(&w.to_bytes(), &helper.seed),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    fn extractor() -> BinaryFuzzyExtractor {
+        BinaryFuzzyExtractor::new(Bch::new(6, 4).unwrap(), 32)
+    }
+
+    #[test]
+    fn sketch_recover_within_tolerance() {
+        let mut r = rng();
+        let s = CodeOffsetSketch::new(Bch::new(6, 4).unwrap());
+        let w = BitVec::from_fn(63, |i| i % 3 == 0);
+        let sk = s.sketch(&w, &mut r).unwrap();
+        let mut noisy = w.clone();
+        for p in [1usize, 17, 33, 60] {
+            noisy.flip(p);
+        }
+        assert_eq!(s.recover(&noisy, &sk).unwrap(), w);
+    }
+
+    #[test]
+    fn too_many_flips_fail() {
+        let mut r = rng();
+        let s = CodeOffsetSketch::new(Bch::new(5, 2).unwrap());
+        let w = BitVec::from_fn(31, |i| i % 2 == 0);
+        let sk = s.sketch(&w, &mut r).unwrap();
+        let mut noisy = w.clone();
+        for p in [0usize, 5, 11, 20, 29] {
+            noisy.flip(p);
+        }
+        match s.recover(&noisy, &sk) {
+            Err(SketchError::OutOfRange) => {}
+            Ok(recovered) => assert_ne!(recovered, w),
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut r = rng();
+        let s = CodeOffsetSketch::new(Bch::new(5, 2).unwrap());
+        assert!(matches!(
+            s.sketch(&BitVec::zeros(30), &mut r),
+            Err(SketchError::DimensionMismatch { expected: 31, got: 30 })
+        ));
+    }
+
+    #[test]
+    fn fuzzy_extractor_roundtrip() {
+        let mut r = rng();
+        let fe = extractor();
+        let w = BitVec::from_fn(63, |i| (i * 7) % 11 < 5);
+        let (key, helper) = fe.generate(&w, &mut r).unwrap();
+        let mut noisy = w.clone();
+        noisy.flip(8);
+        noisy.flip(44);
+        assert_eq!(fe.reproduce(&noisy, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn impostor_fails() {
+        let mut r = rng();
+        let fe = extractor();
+        let w = BitVec::from_fn(63, |i| i % 4 == 0);
+        let (_, helper) = fe.generate(&w, &mut r).unwrap();
+        let impostor = BitVec::from_fn(63, |_| {
+            use rand::Rng;
+            r.gen_bool(0.5)
+        });
+        // ~31 expected flips, way beyond t = 4.
+        assert!(fe.reproduce(&impostor, &helper).is_err());
+    }
+
+    #[test]
+    fn tampered_sketch_detected() {
+        let mut r = rng();
+        let fe = extractor();
+        let w = BitVec::from_fn(63, |i| i % 4 == 0);
+        let (_, mut helper) = fe.generate(&w, &mut r).unwrap();
+        helper.sketch.flip(0);
+        // Either Rec self-corrects the flip (1 error ≤ t) but the tag is
+        // computed over a *different* w… actually flipping one sketch bit
+        // shifts the offset, so the recovered w differs in bit 0 → tag
+        // mismatch; or decode fails outright.
+        match fe.reproduce(&w, &helper) {
+            Err(SketchError::TagMismatch) | Err(SketchError::OutOfRange) => {}
+            other => panic!("tampering not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_tag_detected() {
+        let mut r = rng();
+        let fe = extractor();
+        let w = BitVec::from_fn(63, |i| i % 4 == 0);
+        let (_, mut helper) = fe.generate(&w, &mut r).unwrap();
+        helper.tag[5] ^= 1;
+        assert_eq!(fe.reproduce(&w, &helper), Err(SketchError::TagMismatch));
+    }
+}

@@ -1,0 +1,15 @@
+//! Classical fuzzy-extractor constructions, used as comparison baselines
+//! for the paper's Chebyshev sketch (related work, Sec. VIII).
+//!
+//! * [`CodeOffsetSketch`] / [`BinaryFuzzyExtractor`] — the code-offset
+//!   construction over the Hamming metric (Juels–Wattenberg fuzzy
+//!   commitment; Dodis et al. syndrome sketch), instantiated with BCH
+//!   codes from `fe-ecc`.
+//! * [`FuzzyVault`] — the Juels–Sudan fuzzy vault over the set-difference
+//!   metric, decoded with Berlekamp–Welch.
+
+mod code_offset;
+mod fuzzy_vault;
+
+pub use code_offset::{BinaryFuzzyExtractor, BinaryHelperData, CodeOffsetSketch};
+pub use fuzzy_vault::{FuzzyVault, Vault};

@@ -1,0 +1,165 @@
+//! The per-coordinate sketch match conditions (1)–(4) of the proposed
+//! identification protocol (Sec. V, Theorem 2).
+//!
+//! Given an enrolled sketch element `s_i` and a probe sketch element
+//! `s'_i`, the server accepts the pair when one of the paper's four
+//! conditions holds. We implement both the literal four-case form and the
+//! equivalent *cyclic* form — the conditions are exactly "the cyclic
+//! distance between `s_i` and `s'_i` on the ring `Z_{ka}` is at most `t`"
+//! — and property-test their equivalence.
+
+/// Literal transcription of conditions (1)–(4) from the paper.
+///
+/// * (1) `s_i > 0, s'_i > 0`: `|s_i − s'_i| ∈ [0, t]`
+/// * (2) `s_i ≤ 0, s'_i ≤ 0`: `|s_i − s'_i| ∈ [0, t]`
+/// * (3) `s_i > 0, s'_i ≤ 0`: `|s_i − s'_i − ka| ∉ (t, ka−t)`
+/// * (4) `s_i ≤ 0, s'_i > 0`: `|s_i − s'_i + ka| ∉ (t, ka−t)`
+///
+/// ```rust
+/// use fe_core::conditions::paper_conditions_hold;
+///
+/// // Same interval, close offsets.
+/// assert!(paper_conditions_hold(50, 30, 100, 400));
+/// // Opposite signs across a boundary.
+/// assert!(paper_conditions_hold(190, -190, 100, 400));
+/// // Far apart.
+/// assert!(!paper_conditions_hold(150, -30, 100, 400));
+/// ```
+pub fn paper_conditions_hold(s_i: i64, sp_i: i64, t: u64, ka: u64) -> bool {
+    let t = t as i64;
+    let ka = ka as i64;
+    match (s_i > 0, sp_i > 0) {
+        (true, true) | (false, false) => (s_i - sp_i).abs() <= t,
+        (true, false) => {
+            let v = (s_i - sp_i - ka).abs();
+            !(v > t && v < ka - t)
+        }
+        (false, true) => {
+            let v = (s_i - sp_i + ka).abs();
+            !(v > t && v < ka - t)
+        }
+    }
+}
+
+/// The cyclic form: distance between `s_i` and `s'_i` on the ring
+/// `Z_{ka}` is at most `t`. Equivalent to [`paper_conditions_hold`] for
+/// all legal sketch values (`|s| ≤ ka/2`, `t < ka/2`).
+pub fn cyclic_close(s_i: i64, sp_i: i64, t: u64, ka: u64) -> bool {
+    let diff = s_i.abs_diff(sp_i) % ka;
+    diff.min(ka - diff) <= t
+}
+
+/// Vector form with early abort: `true` iff every coordinate pair
+/// satisfies the conditions. This is the cheap integer test the server
+/// runs per record — the reason identification needs only ONE signature
+/// verification instead of `N` `Rep` executions.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn sketches_match(s: &[i64], probe: &[i64], t: u64, ka: u64) -> bool {
+    assert_eq!(s.len(), probe.len(), "sketch dimension mismatch");
+    s.iter()
+        .zip(probe.iter())
+        .all(|(&a, &b)| cyclic_close(a, b, t, ka))
+}
+
+/// Like [`sketches_match`] but counts how many coordinates were examined
+/// before aborting (used by the index ablation to demonstrate the
+/// early-abort behaviour that makes the scan cheap).
+pub fn sketches_match_counting(s: &[i64], probe: &[i64], t: u64, ka: u64) -> (bool, usize) {
+    assert_eq!(s.len(), probe.len(), "sketch dimension mismatch");
+    let mut examined = 0usize;
+    for (&a, &b) in s.iter().zip(probe.iter()) {
+        examined += 1;
+        if !cyclic_close(a, b, t, ka) {
+            return (false, examined);
+        }
+    }
+    (true, examined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u64 = 100;
+    const KA: u64 = 400;
+
+    #[test]
+    fn same_sign_cases() {
+        assert!(paper_conditions_hold(150, 60, T, KA)); // diff 90 ≤ 100
+        assert!(!paper_conditions_hold(150, 40, T, KA)); // diff 110 > 100
+        assert!(paper_conditions_hold(-10, -100, T, KA));
+        assert!(!paper_conditions_hold(-10, -150, T, KA));
+        assert!(paper_conditions_hold(0, -90, T, KA)); // zero counts as ≤ 0
+    }
+
+    #[test]
+    fn opposite_sign_cases() {
+        // s=190, s'=-190: |190+190-400| = 20 ≤ t → close (wrap case).
+        assert!(paper_conditions_hold(190, -190, T, KA));
+        // s=30, s'=-40: |30+40-400| = 330 ≥ ka-t=300 → close (same id).
+        assert!(paper_conditions_hold(30, -40, T, KA));
+        // s=150, s'=-30: |150+30-400| = 220 ∈ (100, 300) → NOT close.
+        assert!(!paper_conditions_hold(150, -30, T, KA));
+        // Mirror cases for condition (4).
+        assert!(paper_conditions_hold(-190, 190, T, KA));
+        assert!(!paper_conditions_hold(-30, 150, T, KA));
+    }
+
+    #[test]
+    fn equivalence_with_cyclic_form_exhaustive() {
+        // Exhaustive over all legal sketch values for a small line.
+        let ka = 40u64;
+        let half = (ka / 2) as i64;
+        for t in [1u64, 5, 10, 19] {
+            for s in -half..=half {
+                for sp in -half..=half {
+                    assert_eq!(
+                        paper_conditions_hold(s, sp, t, ka),
+                        cyclic_close(s, sp, t, ka),
+                        "mismatch at s={s} sp={sp} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reflexive_and_symmetric() {
+        for s in [-200i64, -57, 0, 3, 200] {
+            assert!(cyclic_close(s, s, T, KA));
+        }
+        for (a, b) in [(-200i64, 150i64), (30, -40), (0, 100)] {
+            assert_eq!(cyclic_close(a, b, T, KA), cyclic_close(b, a, T, KA));
+        }
+    }
+
+    #[test]
+    fn vector_matching() {
+        let s = vec![50, -120, 190];
+        let close = vec![30, -40, -190];
+        let far = vec![30, -40, 60];
+        assert!(sketches_match(&s, &close, T, KA));
+        assert!(!sketches_match(&s, &far, T, KA));
+    }
+
+    #[test]
+    fn counting_early_abort() {
+        let s = vec![0i64; 100];
+        let mut probe = vec![0i64; 100];
+        probe[2] = 150; // mismatch at coordinate 3
+        let (ok, examined) = sketches_match_counting(&s, &probe, T, KA);
+        assert!(!ok);
+        assert_eq!(examined, 3);
+        let (ok, examined) = sketches_match_counting(&s, &s.clone(), T, KA);
+        assert!(ok);
+        assert_eq!(examined, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        sketches_match(&[1], &[1, 2], T, KA);
+    }
+}

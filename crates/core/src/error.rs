@@ -1,0 +1,69 @@
+//! Error types for the fuzzy-extractor core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from sketch construction, generation and recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchError {
+    /// Number line / sketch parameters are invalid (e.g. `k` odd,
+    /// `t >= ka/2`, zero unit).
+    BadParameters,
+    /// Input vector length differs from what the helper data expects.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Received dimension.
+        got: usize,
+    },
+    /// The reading is farther than the threshold `t` from the enrolled
+    /// value: recovery aborted (the paper's `⊥`).
+    OutOfRange,
+    /// The robust sketch's hash check failed: helper data was corrupted or
+    /// tampered with, or recovery produced a wrong value.
+    TagMismatch,
+    /// Baseline-specific decoding failure (BCH/vault could not correct).
+    DecodeFailure,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::BadParameters => write!(f, "invalid sketch parameters"),
+            SketchError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SketchError::OutOfRange => {
+                write!(f, "reading exceeds the acceptance threshold")
+            }
+            SketchError::TagMismatch => {
+                write!(f, "helper data integrity check failed")
+            }
+            SketchError::DecodeFailure => write!(f, "error correction failed"),
+        }
+    }
+}
+
+impl Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SketchError::BadParameters.to_string().contains("invalid"));
+        assert!(SketchError::OutOfRange.to_string().contains("threshold"));
+        assert!(SketchError::TagMismatch.to_string().contains("integrity"));
+        assert_eq!(
+            SketchError::DimensionMismatch { expected: 3, got: 4 }.to_string(),
+            "dimension mismatch: expected 3, got 4"
+        );
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SketchError>();
+    }
+}

@@ -1,0 +1,472 @@
+//! Server-side sketch lookup for the identification protocol.
+//!
+//! Given an incoming probe sketch `s'`, the server must find the enrolled
+//! record whose sketch matches under conditions (1)–(4). Two strategies:
+//!
+//! * [`ScanIndex`] — the paper-faithful approach: scan records, applying
+//!   the cheap integer conditions with early abort. At the paper's
+//!   parameters a non-matching record fails after ~2 coordinates in
+//!   expectation (pass probability per coordinate ≈ (2t+1)/ka ≈ ½), so the
+//!   scan is orders of magnitude cheaper than one signature operation —
+//!   the observed "constant" identification cost.
+//! * [`BucketIndex`] — an engineering extension: an LSH-style hash index
+//!   on a coarse quantization of the leading coordinates, with multi-probe
+//!   lookup. Genuinely sublinear in the number of records; documented as
+//!   an extension in DESIGN.md and quantified in the index ablation bench.
+
+use crate::conditions::sketches_match;
+use std::collections::HashMap;
+
+/// A unique record handle assigned by the index.
+pub type RecordId = usize;
+
+/// A lookup structure over enrolled sketches.
+pub trait SketchIndex {
+    /// Inserts a sketch, returning its record id.
+    fn insert(&mut self, sketch: Vec<i64>) -> RecordId;
+
+    /// Finds the first record matching the probe under conditions
+    /// (1)–(4), if any.
+    fn lookup(&self, probe: &[i64]) -> Option<RecordId>;
+
+    /// Finds *all* matching records (used to measure false-close rates).
+    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId>;
+
+    /// Removes a record (revocation). Record ids are stable: removal
+    /// never renumbers other records. Returns `false` if the id was
+    /// unknown or already removed.
+    fn remove(&mut self, id: RecordId) -> bool;
+
+    /// Number of live (non-removed) sketches.
+    fn len(&self) -> usize;
+
+    /// `true` when no sketches are enrolled.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Early-abort linear scan (the paper's strategy).
+#[derive(Debug, Clone)]
+pub struct ScanIndex {
+    t: u64,
+    ka: u64,
+    entries: Vec<Option<Vec<i64>>>,
+    live: usize,
+}
+
+impl ScanIndex {
+    /// Creates a scan index for sketches over a ring of circumference
+    /// `ka` with threshold `t`.
+    pub fn new(t: u64, ka: u64) -> Self {
+        ScanIndex {
+            t,
+            ka,
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Borrows an enrolled sketch by id (`None` for removed/unknown ids).
+    pub fn sketch(&self, id: RecordId) -> Option<&[i64]> {
+        self.entries.get(id)?.as_deref()
+    }
+}
+
+impl SketchIndex for ScanIndex {
+    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+        self.entries.push(Some(sketch));
+        self.live += 1;
+        self.entries.len() - 1
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
+        self.entries.iter().position(|s| {
+            s.as_ref().is_some_and(|s| {
+                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+            })
+        })
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.as_ref().is_some_and(|s| {
+                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+                })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn remove(&mut self, id: RecordId) -> bool {
+        match self.entries.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// LSH-style bucket index with multi-probe lookup (extension).
+///
+/// Each sketch coordinate is normalized onto `[0, ka)` and the first
+/// `prefix_dims` coordinates are quantized into cells of width `2t + 1`;
+/// the resulting cell tuple keys a hash bucket. A probe within cyclic
+/// distance `t` per coordinate can only land in the same or an adjacent
+/// cell, so lookup probes the `3^prefix_dims` neighbouring cell tuples and
+/// verifies candidates with the full conditions.
+///
+/// **Pruning power**: the candidate fraction is roughly
+/// `(3·(2t+1)/ka)^prefix_dims`. At the paper's Table II parameters
+/// (`ka = 400, t = 100`) each coordinate has only ~2 cells, so *no*
+/// coordinate-level index can prune — the early-abort [`ScanIndex`] is
+/// already optimal there. The bucket index pays off when `ka ≫ t` (small
+/// relative noise), which the index ablation bench quantifies.
+#[derive(Debug, Clone)]
+pub struct BucketIndex {
+    t: u64,
+    ka: u64,
+    prefix_dims: usize,
+    cells: u64,
+    buckets: HashMap<Vec<u32>, Vec<RecordId>>,
+    entries: Vec<Option<Vec<i64>>>,
+    live: usize,
+}
+
+impl BucketIndex {
+    /// Creates a bucket index keyed on the first `prefix_dims`
+    /// coordinates.
+    ///
+    /// # Panics
+    /// Panics if `prefix_dims == 0` or `prefix_dims > 8` (probe count is
+    /// `3^prefix_dims`; 8 ⇒ 6561 probes, a sane ceiling).
+    pub fn new(t: u64, ka: u64, prefix_dims: usize) -> Self {
+        assert!(
+            (1..=8).contains(&prefix_dims),
+            "prefix_dims must be in 1..=8"
+        );
+        // Cells must all be at least t+1 wide, or a move of ≤ t could skip
+        // across a sliver cell and land two cells away: give the remainder
+        // its own cell only when it is big enough, otherwise merge it into
+        // the last full cell.
+        let width = 2 * t + 1;
+        let mut cells = ka / width;
+        if ka % width > t {
+            cells += 1;
+        }
+        let cells = cells.max(1);
+        BucketIndex {
+            t,
+            ka,
+            prefix_dims,
+            cells,
+            buckets: HashMap::new(),
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn cell_of(&self, coord: i64) -> u32 {
+        let norm = coord.rem_euclid(self.ka as i64) as u64;
+        ((norm / (2 * self.t + 1)).min(self.cells - 1)) as u32
+    }
+
+    fn key_of(&self, sketch: &[i64]) -> Vec<u32> {
+        sketch
+            .iter()
+            .take(self.prefix_dims)
+            .map(|&c| self.cell_of(c))
+            .collect()
+    }
+
+    /// Enumerates the `3^prefix_dims` neighbouring keys of a probe key.
+    fn probe_keys(&self, probe: &[i64]) -> Vec<Vec<u32>> {
+        let base = self.key_of(probe);
+        let mut keys = vec![Vec::new()];
+        for &cell in &base {
+            let mut next = Vec::with_capacity(keys.len() * 3);
+            let neighbours = [
+                (cell as u64 + self.cells - 1) % self.cells,
+                cell as u64,
+                (cell as u64 + 1) % self.cells,
+            ];
+            // Dedup (cells can collapse when the ring is tiny).
+            let mut uniq: Vec<u64> = neighbours.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for prefix in &keys {
+                for &n in &uniq {
+                    let mut k = prefix.clone();
+                    k.push(n as u32);
+                    next.push(k);
+                }
+            }
+            keys = next;
+        }
+        keys
+    }
+
+    /// Candidate records sharing a probed bucket (before full
+    /// verification) — exposed for the ablation bench.
+    pub fn candidates(&self, probe: &[i64]) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        for key in self.probe_keys(probe) {
+            if let Some(ids) = self.buckets.get(&key) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl SketchIndex for BucketIndex {
+    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+        assert!(
+            sketch.len() >= self.prefix_dims,
+            "sketch shorter than prefix_dims"
+        );
+        let id = self.entries.len();
+        let key = self.key_of(&sketch);
+        self.buckets.entry(key).or_default().push(id);
+        self.entries.push(Some(sketch));
+        self.live += 1;
+        id
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
+        self.candidates(probe).into_iter().find(|&id| {
+            self.entries[id].as_ref().is_some_and(|s| {
+                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+            })
+        })
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        self.candidates(probe)
+            .into_iter()
+            .filter(|&id| {
+                self.entries[id].as_ref().is_some_and(|s| {
+                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+                })
+            })
+            .collect()
+    }
+
+    fn remove(&mut self, id: RecordId) -> bool {
+        let Some(slot) = self.entries.get_mut(id) else {
+            return false;
+        };
+        let Some(sketch) = slot.take() else {
+            return false;
+        };
+        self.live -= 1;
+        let key = self.key_of(&sketch);
+        if let Some(ids) = self.buckets.get_mut(&key) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChebyshevSketch, SecureSketch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const T: u64 = 100;
+    const KA: u64 = 400;
+
+    /// Builds (enrolled sketches, genuine probes) pairs from the real
+    /// sketch scheme so index tests exercise realistic data.
+    fn make_population(
+        users: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+        let scheme = ChebyshevSketch::paper_defaults();
+        let mut sketches = Vec::new();
+        let mut probes = Vec::new();
+        for _ in 0..users {
+            let x = scheme.line().random_vector(dim, rng);
+            let s = scheme.sketch(&x, rng).unwrap();
+            let noisy: Vec<i64> = x
+                .iter()
+                .map(|&v| {
+                    use rand::Rng;
+                    scheme.line().wrap(v + rng.gen_range(-(T as i64)..=T as i64))
+                })
+                .collect();
+            let sp = scheme.sketch(&noisy, rng).unwrap();
+            sketches.push(s);
+            probes.push(sp);
+        }
+        (sketches, probes)
+    }
+
+    fn check_index<I: SketchIndex>(mut index: I, rng: &mut StdRng) {
+        let (sketches, probes) = make_population(50, 32, rng);
+        for s in &sketches {
+            index.insert(s.clone());
+        }
+        assert_eq!(index.len(), 50);
+        // Every genuine probe finds its own record.
+        for (uid, probe) in probes.iter().enumerate() {
+            let found = index.lookup(probe).expect("genuine probe must match");
+            assert_eq!(found, uid, "probe {uid} matched the wrong record");
+        }
+        // Random junk probes (fresh users) almost surely match nothing.
+        let scheme = ChebyshevSketch::paper_defaults();
+        for _ in 0..20 {
+            let x = scheme.line().random_vector(32, rng);
+            let s = scheme.sketch(&x, rng).unwrap();
+            assert_eq!(index.lookup(&s), None, "impostor matched");
+        }
+    }
+
+    #[test]
+    fn scan_index_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(900);
+        check_index(ScanIndex::new(T, KA), &mut rng);
+    }
+
+    #[test]
+    fn bucket_index_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(901);
+        check_index(BucketIndex::new(T, KA, 4), &mut rng);
+    }
+
+    #[test]
+    fn bucket_index_agrees_with_scan() {
+        let mut rng = StdRng::seed_from_u64(902);
+        let (sketches, probes) = make_population(100, 16, &mut rng);
+        let mut scan = ScanIndex::new(T, KA);
+        let mut bucket = BucketIndex::new(T, KA, 3);
+        for s in &sketches {
+            scan.insert(s.clone());
+            bucket.insert(s.clone());
+        }
+        for probe in &probes {
+            assert_eq!(scan.lookup_all(probe), bucket.lookup_all(probe));
+        }
+    }
+
+    #[test]
+    fn bucket_candidates_are_pruned_when_noise_is_small() {
+        // Pruning requires ka >> t (see type docs): use t = 25 on the
+        // paper's line, where each coordinate has 7 cells.
+        let t = 25u64;
+        let scheme =
+            ChebyshevSketch::new(*ChebyshevSketch::paper_defaults().line(), t).unwrap();
+        let mut rng = StdRng::seed_from_u64(903);
+        let mut bucket = BucketIndex::new(t, KA, 4);
+        let mut probes = Vec::new();
+        for _ in 0..500 {
+            let x = scheme.line().random_vector(16, &mut rng);
+            bucket.insert(scheme.sketch(&x, &mut rng).unwrap());
+            let noisy: Vec<i64> = x
+                .iter()
+                .map(|&v| {
+                    use rand::Rng;
+                    scheme.line().wrap(v + rng.gen_range(-(t as i64)..=t as i64))
+                })
+                .collect();
+            probes.push(scheme.sketch(&noisy, &mut rng).unwrap());
+        }
+        // Every genuine probe still matches its record…
+        for (uid, probe) in probes.iter().enumerate() {
+            assert_eq!(bucket.lookup(probe), Some(uid));
+        }
+        // …and candidate sets are far smaller than the population:
+        // expected fraction (3/7)^4 ≈ 3.4% → ~17 of 500.
+        let total: usize = probes.iter().map(|p| bucket.candidates(p).len()).sum();
+        let avg = total as f64 / probes.len() as f64;
+        assert!(
+            avg < 100.0,
+            "bucket index barely prunes: avg candidates {avg}"
+        );
+    }
+
+    #[test]
+    fn lookup_all_finds_duplicates() {
+        let mut scan = ScanIndex::new(T, KA);
+        scan.insert(vec![10, 20, 30]);
+        scan.insert(vec![15, 25, 35]); // within t of the first
+        scan.insert(vec![300, 20, 30]); // far in coordinate 0
+        let matches = scan.lookup_all(&[12, 22, 32]);
+        assert_eq!(matches, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_index_finds_nothing() {
+        let scan = ScanIndex::new(T, KA);
+        assert!(scan.is_empty());
+        assert_eq!(scan.lookup(&[1, 2, 3]), None);
+        let bucket = BucketIndex::new(T, KA, 2);
+        assert_eq!(bucket.lookup(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_no_match() {
+        let mut scan = ScanIndex::new(T, KA);
+        scan.insert(vec![1, 2, 3]);
+        assert_eq!(scan.lookup(&[1, 2]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix_dims")]
+    fn bucket_prefix_validation() {
+        BucketIndex::new(T, KA, 0);
+    }
+
+    #[test]
+    fn scan_removal_keeps_ids_stable() {
+        let mut scan = ScanIndex::new(T, KA);
+        let a = scan.insert(vec![10, 20, 30]);
+        let b = scan.insert(vec![150, -150, 90]);
+        assert_eq!(scan.len(), 2);
+        assert!(scan.remove(a));
+        assert!(!scan.remove(a), "double removal must report false");
+        assert_eq!(scan.len(), 1);
+        // a no longer matches; b keeps its id and still matches.
+        assert_eq!(scan.lookup(&[10, 20, 30]), None);
+        assert_eq!(scan.lookup(&[150, -150, 90]), Some(b));
+        assert_eq!(scan.sketch(a), None);
+        // New inserts get fresh ids, never recycling a's.
+        let c = scan.insert(vec![1, 2, 3]);
+        assert_ne!(c, a);
+        assert!(!scan.remove(999), "unknown id");
+    }
+
+    #[test]
+    fn bucket_removal_works() {
+        let mut bucket = BucketIndex::new(T, KA, 2);
+        let a = bucket.insert(vec![10, 20, 30]);
+        let b = bucket.insert(vec![12, 22, 32]);
+        assert_eq!(bucket.lookup_all(&[11, 21, 31]), vec![a, b]);
+        assert!(bucket.remove(a));
+        assert_eq!(bucket.lookup_all(&[11, 21, 31]), vec![b]);
+        assert_eq!(bucket.len(), 1);
+        assert!(!bucket.remove(a));
+    }
+}

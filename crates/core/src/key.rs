@@ -1,0 +1,102 @@
+//! The extracted key type.
+
+use fe_crypto::ct::ct_eq;
+use std::fmt;
+
+/// The fuzzy-extractor output `R`: a nearly-uniform secret string usable
+/// directly as cryptographic key material (e.g. the DSA key seed in the
+/// paper's enrollment protocol).
+///
+/// Equality is constant-time; `Debug` never prints the bytes; the buffer
+/// is overwritten on drop.
+///
+/// ```rust
+/// use fe_core::ExtractedKey;
+///
+/// let k = ExtractedKey::new(vec![1, 2, 3]);
+/// assert_eq!(k.len(), 3);
+/// assert_eq!(format!("{k:?}"), "ExtractedKey(3 bytes, redacted)");
+/// ```
+#[derive(Clone)]
+pub struct ExtractedKey {
+    bytes: Vec<u8>,
+}
+
+impl ExtractedKey {
+    /// Wraps key bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        ExtractedKey { bytes }
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` for an empty key.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Borrows the key bytes. Handle with care — this is the secret.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl PartialEq for ExtractedKey {
+    fn eq(&self, other: &Self) -> bool {
+        ct_eq(&self.bytes, &other.bytes)
+    }
+}
+
+impl Eq for ExtractedKey {}
+
+impl fmt::Debug for ExtractedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExtractedKey({} bytes, redacted)", self.bytes.len())
+    }
+}
+
+impl Drop for ExtractedKey {
+    fn drop(&mut self) {
+        // Best-effort scrub; not a guarantee against copies made by the
+        // allocator, but keeps obvious key bytes out of freed memory.
+        for b in self.bytes.iter_mut() {
+            *b = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_inequality() {
+        let a = ExtractedKey::new(vec![1, 2, 3]);
+        let b = ExtractedKey::new(vec![1, 2, 3]);
+        let c = ExtractedKey::new(vec![1, 2, 4]);
+        let d = ExtractedKey::new(vec![1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let k = ExtractedKey::new(vec![0xde, 0xad]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("de"));
+        assert!(s.contains("2 bytes"));
+    }
+
+    #[test]
+    fn accessors() {
+        let k = ExtractedKey::new(vec![9; 32]);
+        assert_eq!(k.len(), 32);
+        assert!(!k.is_empty());
+        assert_eq!(k.as_bytes()[0], 9);
+        assert!(ExtractedKey::new(vec![]).is_empty());
+    }
+}

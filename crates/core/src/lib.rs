@@ -1,0 +1,83 @@
+//! The succinct fuzzy extractor of *Fuzzy Extractors for Biometric
+//! Identification* (Li, Nepal, Guo, Mu, Susilo — ICDCS 2017).
+//!
+//! # What this crate implements
+//!
+//! * [`NumberLine`] — the discretized ring of Definition 4, parameterized
+//!   by the unit `a`, units-per-interval `k` and interval count `v`.
+//! * [`ChebyshevSketch`] — the maximum-norm secure sketch of Sec. IV-B
+//!   (`SS`/`Rec` with the boundary-point coin flips), correct for readings
+//!   within Chebyshev distance `t < ka/2` (Theorem 1).
+//! * [`RobustSketch`] — the Boyen et al. hash-binding wrapper of
+//!   Sec. IV-C, which detects helper-data tampering.
+//! * [`FuzzyExtractor`] — the generic `Gen`/`Rep` construction combining a
+//!   secure sketch with a strong extractor (Sec. II / IV-C).
+//! * [`conditions`] — the per-coordinate match conditions (1)–(4) of the
+//!   identification protocol (Theorem 2), equivalent to a cyclic Chebyshev
+//!   test on the sketch ring.
+//! * [`index`] — the server-side sketch lookup: the paper-faithful
+//!   early-abort [`ScanIndex`] and the sublinear [`BucketIndex`] extension.
+//! * [`analysis`] — Theorem 3 entropy accounting (min-entropy, residual
+//!   entropy `m̃ = n·log₂v`, loss `n·log₂ka`, storage `n·log₂(ka+1)`) and
+//!   the false-close probability bound.
+//! * [`baselines`] — the classical constructions used as comparison
+//!   points: the code-offset (BCH) sketch and the fuzzy vault.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use fe_core::{ChebyshevSketch, FuzzyExtractor, NumberLine, SecureSketch};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let line = NumberLine::new(100, 4, 500)?;        // Table II parameters
+//! let sketch = ChebyshevSketch::new(line, 100)?;   // threshold t = 100
+//! let fe = FuzzyExtractor::with_defaults(sketch, 32);
+//!
+//! let bio = fe.sketcher().line().random_vector(64, &mut rng);
+//! let (key, helper) = fe.generate(&bio, &mut rng)?;
+//!
+//! let noisy: Vec<i64> = bio.iter().map(|x| x + 99).collect();
+//! assert_eq!(fe.reproduce(&noisy, &helper)?, key);
+//!
+//! let far: Vec<i64> = bio.iter().map(|x| x + 101).collect();
+//! assert!(fe.reproduce(&far, &helper).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baselines;
+mod chebyshev;
+pub mod conditions;
+mod encode;
+mod error;
+pub mod fusion;
+mod fuzzy;
+pub mod index;
+mod key;
+mod numberline;
+mod robust;
+mod sketch;
+
+pub use chebyshev::ChebyshevSketch;
+pub use encode::{decode_i64_vector, encode_i64_vector};
+pub use error::SketchError;
+pub use fuzzy::{FuzzyExtractor, HelperData};
+pub use index::{BucketIndex, ScanIndex, SketchIndex};
+pub use key::ExtractedKey;
+pub use numberline::NumberLine;
+pub use robust::{RobustData, RobustSketch};
+pub use sketch::SecureSketch;
+
+/// The default fuzzy extractor instantiation used throughout the paper's
+/// experiments: Chebyshev sketch → SHA-256 robust wrapper → HMAC-SHA-256
+/// extractor.
+pub type DefaultFuzzyExtractor = FuzzyExtractor<
+    RobustSketch<ChebyshevSketch, fe_crypto::Sha256>,
+    fe_crypto::extractor::HmacExtractor,
+>;

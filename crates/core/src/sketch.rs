@@ -1,0 +1,43 @@
+//! The [`SecureSketch`] trait (Definition 1 of the paper).
+
+use crate::SketchError;
+use rand::RngCore;
+
+/// A secure sketch over integer feature vectors: `SS` produces public
+/// helper data `s` from an enrolled vector `w`; `Rec` recovers `w` exactly
+/// from any reading `w'` close to it.
+///
+/// Implementors define what "close" means (for the paper's
+/// [`crate::ChebyshevSketch`], Chebyshev distance at most `t` on the
+/// number-line ring).
+pub trait SecureSketch {
+    /// The public sketch type.
+    type Sketch: Clone;
+
+    /// `SS(w; coins) → s`: computes the public sketch of `input`.
+    /// Randomness is used only for tie-breaking coin flips (boundary
+    /// points), never for hiding — the sketch is public either way.
+    ///
+    /// # Errors
+    /// Implementations reject invalid inputs with [`SketchError`].
+    fn sketch<R: RngCore + ?Sized>(
+        &self,
+        input: &[i64],
+        rng: &mut R,
+    ) -> Result<Self::Sketch, SketchError>;
+
+    /// `Rec(w', s) → w`: recovers the enrolled vector from a close
+    /// reading.
+    ///
+    /// # Errors
+    /// [`SketchError::OutOfRange`] (the paper's `⊥`) when the reading is
+    /// too far from the enrolled vector; other variants for malformed
+    /// inputs.
+    fn recover(&self, reading: &[i64], sketch: &Self::Sketch) -> Result<Vec<i64>, SketchError>;
+
+    /// The dimension expected by this sketcher, if fixed; `None` when any
+    /// dimension is accepted (the paper's schemes are dimension-agnostic).
+    fn expected_dim(&self) -> Option<usize> {
+        None
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the cryptographic primitives.
+
+use fe_crypto::dsa::{Dsa, DsaParams};
+use fe_crypto::extractor::{HmacExtractor, StrongExtractor, ToeplitzExtractor};
+use fe_crypto::schnorr::Schnorr;
+use fe_crypto::sig::SignatureScheme;
+use fe_crypto::{ct, Digest, Hkdf, Hmac, HmacDrbg, Sha256, Sha512};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2048), split in any::<u16>()) {
+        let cut = (split as usize) % (data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2048), split in any::<u16>()) {
+        let cut = (split as usize) % (data.len() + 1);
+        let mut h = Sha512::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha512::digest(&data));
+    }
+
+    /// Different inputs hash differently (collision would be a miracle).
+    #[test]
+    fn sha256_injective_in_practice(a in prop::collection::vec(any::<u8>(), 0..128),
+                                     b in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+
+    /// HMAC differs under different keys and messages.
+    #[test]
+    fn hmac_key_separation(k1 in prop::collection::vec(any::<u8>(), 1..64),
+                           k2 in prop::collection::vec(any::<u8>(), 1..64),
+                           msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(Hmac::<Sha256>::mac(&k1, &msg), Hmac::<Sha256>::mac(&k2, &msg));
+    }
+
+    /// HKDF output length is exact and prefix-consistent.
+    #[test]
+    fn hkdf_lengths(ikm in prop::collection::vec(any::<u8>(), 1..64), len in 1usize..200) {
+        let long = Hkdf::<Sha256>::derive(&ikm, b"salt", b"info", len);
+        prop_assert_eq!(long.len(), len);
+        let short = Hkdf::<Sha256>::derive(&ikm, b"salt", b"info", len.min(16));
+        prop_assert_eq!(&long[..short.len()], &short[..]);
+    }
+
+    /// DRBG determinism: same seed + same call pattern = same stream.
+    #[test]
+    fn drbg_deterministic(seed in prop::collection::vec(any::<u8>(), 1..64), n in 1usize..128) {
+        let mut a = HmacDrbg::new(&seed, b"p");
+        let mut b = HmacDrbg::new(&seed, b"p");
+        prop_assert_eq!(a.generate_vec(n), b.generate_vec(n));
+    }
+
+    /// Constant-time equality agrees with ==.
+    #[test]
+    fn ct_eq_correct(a in prop::collection::vec(any::<u8>(), 0..64),
+                     b in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct::ct_eq(&a, &b), a == b);
+    }
+
+    /// DSA: any message round-trips; any *other* message fails.
+    #[test]
+    fn dsa_roundtrip(seed in prop::collection::vec(any::<u8>(), 1..48),
+                     msg in prop::collection::vec(any::<u8>(), 0..256),
+                     other in prop::collection::vec(any::<u8>(), 0..256)) {
+        let dsa = Dsa::new(DsaParams::insecure_512().clone());
+        let (sk, vk) = dsa.keypair_from_seed(&seed);
+        let sig = dsa.sign(&sk, &msg);
+        prop_assert!(dsa.verify(&vk, &msg, &sig));
+        if other != msg {
+            prop_assert!(!dsa.verify(&vk, &other, &sig));
+        }
+    }
+
+    /// Schnorr: same contract.
+    #[test]
+    fn schnorr_roundtrip(seed in prop::collection::vec(any::<u8>(), 1..48),
+                         msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        let s = Schnorr::new(DsaParams::insecure_512().clone());
+        let (sk, vk) = s.keypair_from_seed(&seed);
+        let sig = s.sign(&sk, &msg);
+        prop_assert!(s.verify(&vk, &msg, &sig));
+    }
+
+    /// Extractors are deterministic and full-length.
+    #[test]
+    fn extractors_deterministic(input in prop::collection::vec(any::<u8>(), 1..128),
+                                seed_byte in any::<u8>()) {
+        let hmac_ext = HmacExtractor::new(32);
+        let seed = vec![seed_byte; 32];
+        prop_assert_eq!(hmac_ext.extract(&input, &seed), hmac_ext.extract(&input, &seed));
+
+        let toep = ToeplitzExtractor::new(16);
+        let tseed = vec![seed_byte.wrapping_add(1); toep.seed_len(input.len())];
+        let out = toep.extract(&input, &tseed);
+        prop_assert_eq!(out.len(), 16);
+        prop_assert_eq!(out, toep.extract(&input, &tseed));
+    }
+
+    /// Toeplitz GF(2)-linearity: T(x ⊕ y) = T(x) ⊕ T(y).
+    #[test]
+    fn toeplitz_linear(x in prop::collection::vec(any::<u8>(), 1..64),
+                       y_seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(y_seed);
+        let y: Vec<u8> = (0..x.len()).map(|_| rng.gen()).collect();
+        let toep = ToeplitzExtractor::new(8);
+        let seed: Vec<u8> = (0..toep.seed_len(x.len())).map(|_| rng.gen()).collect();
+        let xy: Vec<u8> = x.iter().zip(&y).map(|(a, b)| a ^ b).collect();
+        let t_xy = toep.extract(&xy, &seed);
+        let expected: Vec<u8> = toep
+            .extract(&x, &seed)
+            .iter()
+            .zip(toep.extract(&y, &seed))
+            .map(|(a, b)| a ^ b)
+            .collect();
+        prop_assert_eq!(t_xy, expected);
+    }
+}

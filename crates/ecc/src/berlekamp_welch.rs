@@ -1,0 +1,190 @@
+//! Berlekamp–Welch decoding: polynomial reconstruction from noisy point
+//! evaluations at *arbitrary* support points — exactly what the fuzzy
+//! vault needs, where the support is whatever subset of vault points the
+//! user's feature set unlocked.
+
+use crate::linalg::solve_linear_system;
+use crate::poly::Poly;
+use crate::{CodeError, Gf2m};
+
+/// Reconstructs a polynomial of degree `< k` from `points = (x_i, y_i)`,
+/// of which at most `⌊(N - k) / 2⌋` may be wrong (`N = points.len()`).
+///
+/// The classic rational-interpolation formulation: find an error locator
+/// `E(x)` (monic, degree `e`) and `Q(x)` (degree `< k + e`) with
+/// `Q(x_i) = y_i · E(x_i)` for all `i`; then `P = Q / E`.
+///
+/// # Errors
+/// [`CodeError::BadParameters`] if fewer than `k` points are supplied or
+/// `x` values repeat; [`CodeError::TooManyErrors`] if no consistent
+/// polynomial exists within the error budget.
+///
+/// ```rust
+/// use fe_ecc::{berlekamp_welch, Gf2m, Poly};
+///
+/// # fn main() -> Result<(), fe_ecc::CodeError> {
+/// let f = Gf2m::new(8)?;
+/// let secret = Poly::from_coeffs(vec![7, 3, 1]); // degree 2, k = 3
+/// let mut pts: Vec<(u16, u16)> = (1..=9).map(|x| (x, secret.eval(x, &f))).collect();
+/// pts[2].1 ^= 0x41; // corrupt two evaluations
+/// pts[6].1 ^= 0x0f;
+/// let recovered = berlekamp_welch(&f, &pts, 3)?;
+/// assert_eq!(recovered, secret);
+/// # Ok(())
+/// # }
+/// ```
+pub fn berlekamp_welch(f: &Gf2m, points: &[(u16, u16)], k: usize) -> Result<Poly, CodeError> {
+    let n = points.len();
+    if k == 0 || n < k {
+        return Err(CodeError::BadParameters);
+    }
+    // Distinct x values are required.
+    {
+        let mut xs: Vec<u16> = points.iter().map(|p| p.0).collect();
+        xs.sort_unstable();
+        if xs.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CodeError::BadParameters);
+        }
+    }
+
+    let e_max = (n - k) / 2;
+    // Try the largest error budget first: a solution found with budget e
+    // also exists for any larger budget, and larger budgets have more
+    // unknowns (always solvable when a valid decoding exists).
+    for e in (0..=e_max).rev() {
+        // Unknowns: q_0..q_{k+e-1} (k+e of them), e_0..e_{e-1} (e of them;
+        // E is monic of degree e). Equations, one per point:
+        //   Σ_j q_j x^j  +  y_i · Σ_j e_j x^j  =  y_i · x^e
+        let unknowns = k + 2 * e;
+        let mut rows = Vec::with_capacity(n);
+        for &(x, y) in points {
+            let mut row = Vec::with_capacity(unknowns + 1);
+            let mut xp = 1u16;
+            for _ in 0..(k + e) {
+                row.push(xp);
+                xp = f.mul(xp, x);
+            }
+            let mut xp = 1u16;
+            for _ in 0..e {
+                row.push(f.mul(y, xp));
+                xp = f.mul(xp, x);
+            }
+            // RHS: y · x^e   (note: in char 2, -a = a).
+            row.push(f.mul(y, f.pow(x, e as i64)));
+            rows.push(row);
+        }
+        let Some(sol) = solve_linear_system(f, rows) else {
+            continue;
+        };
+        let q = Poly::from_coeffs(sol[..k + e].to_vec());
+        let mut e_coeffs = sol[k + e..].to_vec();
+        e_coeffs.push(1); // monic x^e term
+        let e_poly = Poly::from_coeffs(e_coeffs);
+        if e_poly.is_zero() {
+            continue;
+        }
+        let (p, rem) = q.div_rem(&e_poly, f);
+        if !rem.is_zero() {
+            continue;
+        }
+        if p.degree().is_some_and(|d| d >= k) {
+            continue;
+        }
+        // Accept only if at most e points disagree with p.
+        let disagreements = points
+            .iter()
+            .filter(|&&(x, y)| p.eval(x, f) != y)
+            .count();
+        if disagreements <= e {
+            return Ok(p);
+        }
+    }
+    Err(CodeError::TooManyErrors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn field() -> Gf2m {
+        Gf2m::new(8).unwrap()
+    }
+
+    #[test]
+    fn clean_points_interpolate() {
+        let f = field();
+        let p = Poly::from_coeffs(vec![1, 2, 3]);
+        let pts: Vec<(u16, u16)> = (1..=5).map(|x| (x, p.eval(x, &f))).collect();
+        assert_eq!(berlekamp_welch(&f, &pts, 3).unwrap(), p);
+    }
+
+    #[test]
+    fn corrects_errors_up_to_budget() {
+        let f = field();
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..20 {
+            let k = rng.gen_range(2..6usize);
+            let coeffs: Vec<u16> = (0..k).map(|_| rng.gen_range(0..256)).collect();
+            let p = Poly::from_coeffs(coeffs);
+            let n = k + 8; // budget e_max = 4
+            let mut pts: Vec<(u16, u16)> = (1..=n as u16).map(|x| (x, p.eval(x, &f))).collect();
+            let e = rng.gen_range(0..=4usize);
+            let mut bad = std::collections::HashSet::new();
+            while bad.len() < e {
+                bad.insert(rng.gen_range(0..n));
+            }
+            for &i in &bad {
+                pts[i].1 ^= rng.gen_range(1..256) as u16;
+            }
+            let got = berlekamp_welch(&f, &pts, k).unwrap();
+            // Compare as polynomials of degree < k (both trimmed).
+            assert_eq!(got, p, "trial {trial} k={k} e={e}");
+        }
+    }
+
+    #[test]
+    fn too_many_errors_fails() {
+        let f = field();
+        let p = Poly::from_coeffs(vec![5, 6]);
+        // k=2, n=6 → e_max = 2; corrupt 3 points in a way that does not
+        // form another consistent line.
+        let mut pts: Vec<(u16, u16)> = (1..=6).map(|x| (x, p.eval(x, &f))).collect();
+        pts[0].1 ^= 1;
+        pts[2].1 ^= 7;
+        pts[4].1 ^= 9;
+        match berlekamp_welch(&f, &pts, 2) {
+            Err(CodeError::TooManyErrors) => {}
+            Ok(other) => assert_ne!(other, p, "impossible: 3 errors with budget 2 recovered p"),
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_x_rejected() {
+        let f = field();
+        let pts = [(1u16, 2u16), (1, 3), (2, 4)];
+        assert_eq!(berlekamp_welch(&f, &pts, 2), Err(CodeError::BadParameters));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let f = field();
+        let pts = [(1u16, 2u16)];
+        assert_eq!(berlekamp_welch(&f, &pts, 2), Err(CodeError::BadParameters));
+    }
+
+    #[test]
+    fn arbitrary_support_works() {
+        // The support need not be consecutive powers — the fuzzy vault
+        // property.
+        let f = field();
+        let p = Poly::from_coeffs(vec![100, 50, 25]);
+        let xs = [3u16, 17, 40, 99, 150, 200, 251];
+        let mut pts: Vec<(u16, u16)> = xs.iter().map(|&x| (x, p.eval(x, &f))).collect();
+        pts[1].1 ^= 0x33;
+        pts[5].1 ^= 0x44;
+        assert_eq!(berlekamp_welch(&f, &pts, 3).unwrap(), p);
+    }
+}

@@ -1,0 +1,241 @@
+//! Polynomials over GF(2), bit-packed — used for BCH generator arithmetic
+//! and systematic encoding.
+
+use fe_metrics::BitVec;
+
+/// A binary polynomial: bit `i` of the word vector is the coefficient of
+/// `x^i`.
+///
+/// ```rust
+/// use fe_ecc::BinPoly;
+///
+/// let a = BinPoly::from_coeff_bits(&[true, true]);      // 1 + x
+/// let sq = a.mul(&a);                                   // 1 + x^2
+/// assert_eq!(sq.degree(), Some(2));
+/// assert!(sq.coeff(0) && !sq.coeff(1) && sq.coeff(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinPoly {
+    words: Vec<u64>,
+}
+
+impl BinPoly {
+    /// The zero polynomial.
+    pub fn zero() -> BinPoly {
+        BinPoly { words: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> BinPoly {
+        BinPoly { words: vec![1] }
+    }
+
+    /// The monomial `x^d`.
+    pub fn monomial(d: usize) -> BinPoly {
+        let mut words = vec![0u64; d / 64 + 1];
+        words[d / 64] = 1u64 << (d % 64);
+        BinPoly { words }
+    }
+
+    /// Builds from little-endian coefficient bits.
+    pub fn from_coeff_bits(bits: &[bool]) -> BinPoly {
+        let mut p = BinPoly {
+            words: vec![0u64; bits.len().div_ceil(64)],
+        };
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                p.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        p.trim();
+        p
+    }
+
+    /// Builds from a [`BitVec`] (bit `i` = coefficient of `x^i`).
+    pub fn from_bitvec(bits: &BitVec) -> BinPoly {
+        let mut p = BinPoly {
+            words: vec![0u64; bits.len().div_ceil(64)],
+        };
+        for i in 0..bits.len() {
+            if bits.get(i) {
+                p.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        p.trim();
+        p
+    }
+
+    /// Converts to a [`BitVec`] of fixed length `len`.
+    ///
+    /// # Panics
+    /// Panics if the degree is `>= len`.
+    pub fn to_bitvec(&self, len: usize) -> BitVec {
+        if let Some(d) = self.degree() {
+            assert!(d < len, "polynomial degree {d} does not fit in {len} bits");
+        }
+        BitVec::from_fn(len, |i| self.coeff(i))
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coeff(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Degree; `None` for zero.
+    pub fn degree(&self) -> Option<usize> {
+        let top = self.words.last()?;
+        Some((self.words.len() - 1) * 64 + (63 - top.leading_zeros() as usize))
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Addition = XOR.
+    pub fn add(&self, other: &BinPoly) -> BinPoly {
+        let len = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; len];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0)
+                ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut p = BinPoly { words };
+        p.trim();
+        p
+    }
+
+    /// Carry-less multiplication.
+    pub fn mul(&self, other: &BinPoly) -> BinPoly {
+        if self.is_zero() || other.is_zero() {
+            return BinPoly::zero();
+        }
+        let deg = self.degree().unwrap() + other.degree().unwrap();
+        let mut words = vec![0u64; deg / 64 + 1];
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let shift = wi * 64 + b;
+                // XOR other << shift into the accumulator.
+                let (word_shift, bit_shift) = (shift / 64, shift % 64);
+                for (oi, &ow) in other.words.iter().enumerate() {
+                    words[oi + word_shift] ^= ow << bit_shift;
+                    if bit_shift != 0 && oi + word_shift + 1 < words.len() {
+                        words[oi + word_shift + 1] ^= ow >> (64 - bit_shift);
+                    }
+                }
+            }
+        }
+        let mut p = BinPoly { words };
+        p.trim();
+        p
+    }
+
+    /// Shift left by `d` (multiply by `x^d`).
+    pub fn shl(&self, d: usize) -> BinPoly {
+        if self.is_zero() {
+            return BinPoly::zero();
+        }
+        self.mul(&BinPoly::monomial(d))
+    }
+
+    /// Remainder modulo `divisor`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &BinPoly) -> BinPoly {
+        assert!(!divisor.is_zero(), "division by zero polynomial");
+        let dd = divisor.degree().unwrap();
+        let mut r = self.clone();
+        while let Some(rd) = r.degree() {
+            if rd < dd {
+                break;
+            }
+            r = r.add(&divisor.shl(rd - dd));
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_coeff() {
+        let p = BinPoly::from_coeff_bits(&[true, false, true]); // 1 + x^2
+        assert_eq!(p.degree(), Some(2));
+        assert!(p.coeff(0) && !p.coeff(1) && p.coeff(2) && !p.coeff(3));
+        assert_eq!(BinPoly::zero().degree(), None);
+    }
+
+    #[test]
+    fn add_self_is_zero() {
+        let p = BinPoly::from_coeff_bits(&[true, true, false, true]);
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn mul_small() {
+        // (1+x)(1+x) = 1 + x^2 over GF(2).
+        let p = BinPoly::from_coeff_bits(&[true, true]);
+        let sq = p.mul(&p);
+        assert_eq!(sq, BinPoly::from_coeff_bits(&[true, false, true]));
+    }
+
+    #[test]
+    fn mul_cross_word_boundary() {
+        // x^63 * x^2 = x^65.
+        let p = BinPoly::monomial(63).mul(&BinPoly::monomial(2));
+        assert_eq!(p, BinPoly::monomial(65));
+        // (x^63 + 1)(x + 1) = x^64 + x^63 + x + 1.
+        let a = BinPoly::monomial(63).add(&BinPoly::one());
+        let b = BinPoly::monomial(1).add(&BinPoly::one());
+        let prod = a.mul(&b);
+        assert!(prod.coeff(64) && prod.coeff(63) && prod.coeff(1) && prod.coeff(0));
+        assert_eq!(prod.degree(), Some(64));
+    }
+
+    #[test]
+    fn rem_basic() {
+        // x^4 + x + 1 mod (x^2 + 1): x^4 = (x^2+1)^2 + ... compute directly:
+        // x^4 + x + 1 = (x^2+1)(x^2+1) + x → remainder x.
+        let a = BinPoly::from_coeff_bits(&[true, true, false, false, true]);
+        let d = BinPoly::from_coeff_bits(&[true, false, true]);
+        assert_eq!(a.rem(&d), BinPoly::monomial(1));
+    }
+
+    #[test]
+    fn rem_smaller_degree_is_identity() {
+        let a = BinPoly::from_coeff_bits(&[true, true]);
+        let d = BinPoly::monomial(5);
+        assert_eq!(a.rem(&d), a);
+    }
+
+    #[test]
+    fn mul_rem_consistency() {
+        // (a*d + r) mod d == r  when deg r < deg d.
+        let a = BinPoly::from_coeff_bits(&[true, false, true, true, false, true]);
+        let d = BinPoly::from_coeff_bits(&[true, true, false, true]); // deg 3
+        let r = BinPoly::from_coeff_bits(&[false, true, true]); // deg 2
+        let v = a.mul(&d).add(&r);
+        assert_eq!(v.rem(&d), r);
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        let bits = BitVec::from_fn(70, |i| i % 7 == 0);
+        let p = BinPoly::from_bitvec(&bits);
+        assert_eq!(p.to_bitvec(70), bits);
+    }
+}

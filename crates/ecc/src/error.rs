@@ -1,0 +1,56 @@
+//! Error type shared by the coding layers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from code construction, encoding and decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeError {
+    /// A parameter combination is invalid (e.g. `k <= 0` after choosing
+    /// `t`, or a field order too small for the requested length).
+    BadParameters,
+    /// Input length does not match the code's expectation.
+    WrongLength {
+        /// Expected number of symbols/bits.
+        expected: usize,
+        /// Received number of symbols/bits.
+        got: usize,
+    },
+    /// The word is too corrupted: more errors than the code can correct.
+    TooManyErrors,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::BadParameters => write!(f, "invalid code parameters"),
+            CodeError::WrongLength { expected, got } => {
+                write!(f, "wrong input length: expected {expected}, got {got}")
+            }
+            CodeError::TooManyErrors => write!(f, "too many errors to correct"),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(CodeError::BadParameters.to_string(), "invalid code parameters");
+        assert_eq!(
+            CodeError::WrongLength { expected: 7, got: 8 }.to_string(),
+            "wrong input length: expected 7, got 8"
+        );
+        assert_eq!(CodeError::TooManyErrors.to_string(), "too many errors to correct");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CodeError>();
+    }
+}

@@ -1,0 +1,342 @@
+//! Reed–Solomon codes over GF(2^m) with Berlekamp–Massey + Forney decoding.
+
+use crate::gf2m::Gf2m;
+use crate::poly::Poly;
+use crate::CodeError;
+
+/// A Reed–Solomon code of length `n` and dimension `k` over GF(2^m),
+/// correcting `t = (n - k) / 2` symbol errors.
+///
+/// ```rust
+/// use fe_ecc::ReedSolomon;
+///
+/// # fn main() -> Result<(), fe_ecc::CodeError> {
+/// let rs = ReedSolomon::new(8, 255, 223)?; // the classic (255, 223) code
+/// assert_eq!(rs.t(), 16);
+/// let msg: Vec<u16> = (0..223).map(|i| (i % 256) as u16).collect();
+/// let mut word = rs.encode(&msg)?;
+/// word[5] ^= 0xff; // corrupt one symbol
+/// let decoded = rs.decode(&word)?;
+/// assert_eq!(decoded.message, msg);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    field: Gf2m,
+    n: usize,
+    k: usize,
+    generator: Poly,
+}
+
+/// Successful Reed–Solomon decode result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsDecode {
+    /// The corrected codeword (length `n`).
+    pub codeword: Vec<u16>,
+    /// The systematic message symbols (length `k`).
+    pub message: Vec<u16>,
+    /// Number of symbol errors corrected.
+    pub corrected_errors: usize,
+}
+
+/// Berlekamp–Massey: finds the minimal LFSR (error-locator polynomial σ,
+/// with σ(0) = 1) generating the syndrome sequence.
+///
+/// Shared by the BCH and RS decoders.
+pub(crate) fn berlekamp_massey(f: &Gf2m, syndromes: &[u16]) -> Poly {
+    let mut c = Poly::one(); // current connection polynomial
+    let mut b = Poly::one(); // previous connection polynomial
+    let mut l = 0usize; // current LFSR length
+    let mut m = 1usize; // steps since last length change
+    let mut last_d = 1u16; // discrepancy at last length change
+
+    for n in 0..syndromes.len() {
+        let mut d = syndromes[n];
+        for i in 1..=l {
+            d ^= f.mul(c.coeff(i), syndromes[n - i]);
+        }
+        if d == 0 {
+            m += 1;
+        } else {
+            let coef = f.div(d, last_d).expect("last_d is non-zero");
+            let adjustment = b.scale(coef, f).mul(&Poly::monomial(1, m), f);
+            if 2 * l <= n {
+                let prev_c = c.clone();
+                c = c.add(&adjustment, f);
+                l = n + 1 - l;
+                b = prev_c;
+                last_d = d;
+                m = 1;
+            } else {
+                c = c.add(&adjustment, f);
+                m += 1;
+            }
+        }
+    }
+    c
+}
+
+impl ReedSolomon {
+    /// Constructs an RS code with symbols in GF(2^m).
+    ///
+    /// # Errors
+    /// [`CodeError::BadParameters`] unless `k < n <= 2^m - 1` and `n - k`
+    /// is even and positive.
+    pub fn new(m: u32, n: usize, k: usize) -> Result<ReedSolomon, CodeError> {
+        let field = Gf2m::new(m)?;
+        if n > field.order() as usize || k == 0 || k >= n || !(n - k).is_multiple_of(2) {
+            return Err(CodeError::BadParameters);
+        }
+        // g(x) = Π_{i=1}^{n-k} (x - α^i)
+        let mut generator = Poly::one();
+        for i in 1..=(n - k) {
+            generator = generator.mul(
+                &Poly::from_coeffs(vec![field.alpha_pow(i as i64), 1]),
+                &field,
+            );
+        }
+        Ok(ReedSolomon {
+            field,
+            n,
+            k,
+            generator,
+        })
+    }
+
+    /// Codeword length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length in symbols.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Symbol-error correction capability `(n - k) / 2`.
+    pub fn t(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Borrows the underlying field.
+    pub fn field(&self) -> &Gf2m {
+        &self.field
+    }
+
+    /// Systematic encoding: message symbols occupy the high-degree
+    /// positions `[n-k, n)`, parity the low positions.
+    ///
+    /// # Errors
+    /// [`CodeError::WrongLength`] if `message.len() != k`;
+    /// [`CodeError::BadParameters`] if a symbol exceeds the field size.
+    pub fn encode(&self, message: &[u16]) -> Result<Vec<u16>, CodeError> {
+        if message.len() != self.k {
+            return Err(CodeError::WrongLength {
+                expected: self.k,
+                got: message.len(),
+            });
+        }
+        if message.iter().any(|&s| s as usize >= self.field.size()) {
+            return Err(CodeError::BadParameters);
+        }
+        let parity_len = self.n - self.k;
+        let mut coeffs = vec![0u16; self.n];
+        coeffs[parity_len..].copy_from_slice(message);
+        let msg_poly = Poly::from_coeffs(coeffs);
+        let (_, rem) = msg_poly.div_rem(&self.generator, &self.field);
+        let mut word = vec![0u16; self.n];
+        for i in 0..parity_len {
+            word[i] = rem.coeff(i);
+        }
+        word[parity_len..].copy_from_slice(message);
+        Ok(word)
+    }
+
+    fn syndromes(&self, word: &[u16]) -> Vec<u16> {
+        let two_t = self.n - self.k;
+        let r = Poly::from_coeffs(word.to_vec());
+        (1..=two_t)
+            .map(|j| r.eval(self.field.alpha_pow(j as i64), &self.field))
+            .collect()
+    }
+
+    /// Decodes a received word, correcting up to `t` symbol errors.
+    ///
+    /// # Errors
+    /// [`CodeError::WrongLength`] on a size mismatch;
+    /// [`CodeError::TooManyErrors`] when the error pattern is beyond the
+    /// correction radius.
+    pub fn decode(&self, word: &[u16]) -> Result<RsDecode, CodeError> {
+        if word.len() != self.n {
+            return Err(CodeError::WrongLength {
+                expected: self.n,
+                got: word.len(),
+            });
+        }
+        let f = &self.field;
+        let syn = self.syndromes(word);
+        if syn.iter().all(|&s| s == 0) {
+            return Ok(RsDecode {
+                message: word[self.n - self.k..].to_vec(),
+                codeword: word.to_vec(),
+                corrected_errors: 0,
+            });
+        }
+
+        let sigma = berlekamp_massey(f, &syn);
+        let num_errors = sigma.degree().unwrap_or(0);
+        if num_errors == 0 || num_errors > self.t() {
+            return Err(CodeError::TooManyErrors);
+        }
+
+        // Error evaluator Ω(x) = S(x)·σ(x) mod x^{2t}.
+        let s_poly = Poly::from_coeffs(syn.clone());
+        let omega_full = s_poly.mul(&sigma, f);
+        let omega = Poly::from_coeffs(
+            omega_full.coeffs()[..omega_full.coeffs().len().min(self.n - self.k)].to_vec(),
+        );
+        let sigma_deriv = sigma.derivative(f);
+
+        // Chien search + Forney error values.
+        let mut corrected = word.to_vec();
+        let mut found = 0usize;
+        for i in 0..self.n {
+            let x_inv = f.alpha_pow(-(i as i64));
+            if sigma.eval(x_inv, f) != 0 {
+                continue;
+            }
+            let denom = sigma_deriv.eval(x_inv, f);
+            if denom == 0 {
+                return Err(CodeError::TooManyErrors);
+            }
+            // b = 1 convention: e_i = Ω(X_i^{-1}) / σ'(X_i^{-1}).
+            let magnitude = f
+                .div(omega.eval(x_inv, f), denom)
+                .expect("denominator checked non-zero");
+            corrected[i] ^= magnitude;
+            found += 1;
+        }
+        if found != num_errors {
+            return Err(CodeError::TooManyErrors);
+        }
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return Err(CodeError::TooManyErrors);
+        }
+        Ok(RsDecode {
+            message: corrected[self.n - self.k..].to_vec(),
+            codeword: corrected,
+            corrected_errors: found,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn construction_validation() {
+        assert!(ReedSolomon::new(8, 255, 223).is_ok());
+        assert!(ReedSolomon::new(8, 256, 200).is_err()); // n > 2^m - 1
+        assert!(ReedSolomon::new(8, 255, 254).is_err()); // n - k odd
+        assert!(ReedSolomon::new(8, 10, 10).is_err()); // k >= n
+        assert!(ReedSolomon::new(8, 10, 0).is_err());
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(4, 15, 9).unwrap();
+        let msg: Vec<u16> = (1..=9).collect();
+        let word = rs.encode(&msg).unwrap();
+        assert_eq!(&word[6..], &msg[..]);
+    }
+
+    #[test]
+    fn encode_validates_symbols() {
+        let rs = ReedSolomon::new(4, 15, 9).unwrap();
+        let msg = vec![16u16; 9]; // 16 >= 2^4
+        assert_eq!(rs.encode(&msg), Err(CodeError::BadParameters));
+    }
+
+    #[test]
+    fn zero_syndrome_for_codewords() {
+        let rs = ReedSolomon::new(6, 63, 47).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let msg: Vec<u16> = (0..47).map(|_| rng.gen_range(0..64)).collect();
+            let word = rs.encode(&msg).unwrap();
+            assert!(rs.syndromes(&word).iter().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn corrects_random_errors_up_to_t() {
+        let rs = ReedSolomon::new(8, 63, 47).unwrap(); // t = 8
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..20 {
+            let msg: Vec<u16> = (0..47).map(|_| rng.gen_range(0..256)).collect();
+            let word = rs.encode(&msg).unwrap();
+            let num_err = rng.gen_range(1..=rs.t());
+            let mut corrupted = word.clone();
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < num_err {
+                positions.insert(rng.gen_range(0..rs.n()));
+            }
+            for &p in &positions {
+                corrupted[p] ^= rng.gen_range(1..256) as u16;
+            }
+            let dec = rs.decode(&corrupted).unwrap();
+            assert_eq!(dec.message, msg, "trial {trial}");
+            assert_eq!(dec.corrected_errors, num_err);
+        }
+    }
+
+    #[test]
+    fn beyond_capacity_detected_or_miscorrected_consistently() {
+        let rs = ReedSolomon::new(4, 15, 11).unwrap(); // t = 2
+        let msg: Vec<u16> = (0..11).collect();
+        let word = rs.encode(&msg).unwrap();
+        let mut corrupted = word.clone();
+        for p in [0usize, 3, 7] {
+            corrupted[p] ^= 0x5;
+        }
+        match rs.decode(&corrupted) {
+            Err(CodeError::TooManyErrors) => {}
+            Ok(dec) => {
+                // If it "succeeds", it must at least be a valid codeword.
+                assert!(rs.syndromes(&dec.codeword).iter().all(|&s| s == 0));
+            }
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let rs = ReedSolomon::new(4, 15, 9).unwrap();
+        assert!(matches!(
+            rs.decode(&vec![0u16; 14]),
+            Err(CodeError::WrongLength { expected: 15, got: 14 })
+        ));
+        assert!(matches!(
+            rs.encode(&vec![0u16; 8]),
+            Err(CodeError::WrongLength { expected: 9, got: 8 })
+        ));
+    }
+
+    #[test]
+    fn berlekamp_massey_finds_known_lfsr() {
+        // Syndromes of a single error at position p with magnitude e:
+        // S_j = e·α^{pj} → σ(x) = 1 - α^p x (degree 1).
+        let f = Gf2m::new(4).unwrap();
+        let p = 6i64;
+        let e = 9u16;
+        let syn: Vec<u16> = (1..=4).map(|j| f.mul(e, f.alpha_pow(p * j))).collect();
+        let sigma = berlekamp_massey(&f, &syn);
+        assert_eq!(sigma.degree(), Some(1));
+        // Root of sigma should be α^{-p}.
+        assert_eq!(sigma.eval(f.alpha_pow(-p), &f), 0);
+    }
+}

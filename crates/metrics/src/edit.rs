@@ -1,0 +1,89 @@
+//! Edit (Levenshtein) distance — listed in Sec. II-A as a metric used by
+//! prior fuzzy-extractor constructions.
+
+use crate::Metric;
+
+/// Levenshtein distance: minimum number of single-symbol insertions,
+/// deletions and substitutions transforming one sequence into the other.
+///
+/// ```rust
+/// use fe_metrics::{Levenshtein, Metric};
+///
+/// assert_eq!(Levenshtein.distance("kitten", "sitting"), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+impl Levenshtein {
+    fn dp<T: PartialEq>(a: &[T], b: &[T]) -> u64 {
+        if a.is_empty() {
+            return b.len() as u64;
+        }
+        if b.is_empty() {
+            return a.len() as u64;
+        }
+        // Single-row dynamic program.
+        let mut row: Vec<u64> = (0..=b.len() as u64).collect();
+        for (i, ca) in a.iter().enumerate() {
+            let mut prev_diag = row[0];
+            row[0] = i as u64 + 1;
+            for (j, cb) in b.iter().enumerate() {
+                let cost = if ca == cb { 0 } else { 1 };
+                let new = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+                prev_diag = row[j + 1];
+                row[j + 1] = new;
+            }
+        }
+        row[b.len()]
+    }
+}
+
+impl Metric<str> for Levenshtein {
+    type Distance = u64;
+
+    fn distance(&self, a: &str, b: &str) -> u64 {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        Levenshtein::dp(&av, &bv)
+    }
+}
+
+impl Metric<[u8]> for Levenshtein {
+    type Distance = u64;
+
+    fn distance(&self, a: &[u8], b: &[u8]) -> u64 {
+        Levenshtein::dp(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(Levenshtein.distance("kitten", "sitting"), 3);
+        assert_eq!(Levenshtein.distance("flaw", "lawn"), 2);
+        assert_eq!(Levenshtein.distance("", "abc"), 3);
+        assert_eq!(Levenshtein.distance("abc", ""), 3);
+        assert_eq!(Levenshtein.distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn byte_slices() {
+        assert_eq!(Levenshtein.distance(&b"abcd"[..], &b"abed"[..]), 1);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(
+            Levenshtein.distance("saturday", "sunday"),
+            Levenshtein.distance("sunday", "saturday")
+        );
+    }
+
+    #[test]
+    fn unicode_chars_counted_once() {
+        assert_eq!(Levenshtein.distance("café", "cafe"), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Metric spaces for fuzzy extractors (Sec. II-A/II-B of the paper).
+//!
+//! Secure sketches are defined relative to a metric space `(M, dis)`. The
+//! paper's contribution uses the **Chebyshev distance** (maximum norm, the
+//! `p → ∞` limit of the Lp norms); the classical constructions it compares
+//! against use **Hamming distance** (code-offset / fuzzy commitment) and
+//! **set difference** (fuzzy vault). This crate provides all of them behind
+//! one [`Metric`] trait, plus the [`BitVec`] bit-vector type shared by the
+//! Hamming-metric code paths.
+//!
+//! ```rust
+//! use fe_metrics::{Chebyshev, Metric};
+//!
+//! let d = Chebyshev.distance(&[0, 10, -5][..], &[3, 7, -9][..]);
+//! assert_eq!(d, 4); // max(|0-3|, |10-7|, |-5+9|)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+mod chebyshev;
+mod edit;
+mod hamming;
+mod lp;
+mod set;
+
+pub use bitvec::BitVec;
+pub use chebyshev::{Chebyshev, RingChebyshev};
+pub use edit::Levenshtein;
+pub use hamming::{ByteHamming, Hamming};
+pub use lp::{LpNorm, L1, L2, LINF};
+pub use set::SetDifference;
+
+use std::fmt::Debug;
+
+/// A distance function over points of type `P`.
+///
+/// Distances are non-negative and symmetric; implementations in this crate
+/// also satisfy the triangle inequality (making them metrics in the
+/// mathematical sense).
+pub trait Metric<P: ?Sized> {
+    /// The distance value type (`u64` for discrete metrics, `f64` for
+    /// continuous ones).
+    type Distance: PartialOrd + Copy + Debug;
+
+    /// Computes the distance between `a` and `b`.
+    fn distance(&self, a: &P, b: &P) -> Self::Distance;
+
+    /// Convenience predicate: `distance(a, b) <= threshold`.
+    fn within(&self, a: &P, b: &P, threshold: Self::Distance) -> bool {
+        self.distance(a, b) <= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_uses_distance() {
+        assert!(Chebyshev.within(&[0i64, 0][..], &[3, -3][..], 3));
+        assert!(!Chebyshev.within(&[0i64, 0][..], &[3, -4][..], 3));
+    }
+}

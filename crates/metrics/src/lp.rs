@@ -1,0 +1,112 @@
+//! Lp norms (Sec. II-B of the paper) on real-valued feature vectors.
+
+use crate::Metric;
+
+/// The general Lp distance `(Σ |x_i - y_i|^p)^(1/p)` for `p >= 1`.
+///
+/// The special cases have dedicated constants: [`L1`], [`L2`] and the
+/// maximum norm [`LINF`] (the `p → ∞` limit, i.e. the continuous analogue
+/// of the paper's Chebyshev distance).
+///
+/// ```rust
+/// use fe_metrics::{LpNorm, Metric, L1, L2, LINF};
+///
+/// let a = [0.0, 0.0];
+/// let b = [3.0, 4.0];
+/// assert_eq!(L1.distance(&a[..], &b[..]), 7.0);
+/// assert_eq!(L2.distance(&a[..], &b[..]), 5.0);
+/// assert_eq!(LINF.distance(&a[..], &b[..]), 4.0);
+/// assert!((LpNorm::new(3.0).distance(&a[..], &b[..]) - 4.497941).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpNorm {
+    p: f64,
+}
+
+/// Manhattan distance (`p = 1`).
+pub const L1: LpNorm = LpNorm { p: 1.0 };
+/// Euclidean distance (`p = 2`).
+pub const L2: LpNorm = LpNorm { p: 2.0 };
+/// Maximum norm (`p = ∞`).
+pub const LINF: LpNorm = LpNorm { p: f64::INFINITY };
+
+impl LpNorm {
+    /// Creates the Lp metric.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (the triangle inequality fails for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Lp norm requires p >= 1");
+        LpNorm { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<[f64]> for LpNorm {
+    type Distance = f64;
+
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        if self.p.is_infinite() {
+            return a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+        }
+        let sum: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum();
+        sum.powf(1.0 / self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_345_triangle() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(L2.distance(&a[..], &b[..]), 5.0);
+        assert_eq!(L1.distance(&a[..], &b[..]), 7.0);
+        assert_eq!(LINF.distance(&a[..], &b[..]), 4.0);
+    }
+
+    #[test]
+    fn lp_decreases_in_p() {
+        // For fixed vectors, ||·||_p is non-increasing in p.
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 2.0, 3.0];
+        let mut prev = f64::INFINITY;
+        for p in [1.0, 1.5, 2.0, 3.0, 10.0] {
+            let d = LpNorm::new(p).distance(&a[..], &b[..]);
+            assert!(d <= prev + 1e-12, "p={p}");
+            prev = d;
+        }
+        assert!(LINF.distance(&a[..], &b[..]) <= prev);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let a = [1.5, -2.5];
+        let b = [0.25, 8.0];
+        assert_eq!(L2.distance(&a[..], &a[..]), 0.0);
+        assert_eq!(L2.distance(&a[..], &b[..]), L2.distance(&b[..], &a[..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn sub_one_p_rejected() {
+        LpNorm::new(0.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Set-difference metric — the metric of the fuzzy vault (Juels–Sudan).
+
+use crate::Metric;
+use std::collections::BTreeSet;
+
+/// Set-difference distance: `|A △ B|`, the size of the symmetric
+/// difference. Used for biometrics represented as unordered feature sets
+/// (e.g. fingerprint minutiae).
+///
+/// ```rust
+/// use fe_metrics::{Metric, SetDifference};
+/// use std::collections::BTreeSet;
+///
+/// let a: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+/// let b: BTreeSet<u64> = [2, 3, 4, 5].into_iter().collect();
+/// assert_eq!(SetDifference.distance(&a, &b), 3); // {1} ∪ {4,5}
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetDifference;
+
+impl Metric<BTreeSet<u64>> for SetDifference {
+    type Distance = u64;
+
+    fn distance(&self, a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> u64 {
+        a.symmetric_difference(b).count() as u64
+    }
+}
+
+impl SetDifference {
+    /// Distance between sorted, deduplicated slices (no allocation).
+    ///
+    /// # Panics
+    /// Debug-panics if either slice is not strictly increasing.
+    pub fn sorted_slice_distance(&self, a: &[u64], b: &[u64]) -> u64 {
+        debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted/dedup");
+        debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted/dedup");
+        let (mut i, mut j, mut diff) = (0usize, 0usize, 0u64);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    diff += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    diff += 1;
+                }
+            }
+        }
+        diff + (a.len() - i) as u64 + (b.len() - j) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u64]) -> BTreeSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(SetDifference.distance(&set(&[1, 2]), &set(&[3, 4])), 4);
+    }
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(SetDifference.distance(&set(&[1, 2, 3]), &set(&[1, 2, 3])), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(SetDifference.distance(&set(&[]), &set(&[7, 8, 9])), 3);
+    }
+
+    #[test]
+    fn slice_version_matches_set_version() {
+        let cases: [(&[u64], &[u64]); 4] = [
+            (&[1, 2, 3], &[2, 3, 4, 5]),
+            (&[], &[1]),
+            (&[10, 20, 30], &[10, 20, 30]),
+            (&[1, 5, 9], &[2, 6, 10]),
+        ];
+        for (a, b) in cases {
+            let expected = SetDifference.distance(&a.iter().copied().collect(), &b.iter().copied().collect());
+            assert_eq!(SetDifference.sorted_slice_distance(a, b), expected);
+        }
+    }
+}

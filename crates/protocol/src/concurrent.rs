@@ -1,0 +1,153 @@
+//! A thread-safe server wrapper: many biometric devices identifying
+//! against one authentication server concurrently.
+//!
+//! The ICDCS venue is a distributed-computing conference; a production
+//! authentication server handles concurrent identification sessions. The
+//! wrapper serializes mutations behind a `parking_lot::RwLock` while
+//! letting the (immutable) parameter reads proceed in parallel.
+
+use crate::messages::{EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse};
+use crate::params::SystemParams;
+use crate::server::AuthenticationServer;
+use crate::ProtocolError;
+use parking_lot::RwLock;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a shared [`AuthenticationServer`].
+#[derive(Debug, Clone)]
+pub struct SharedServer {
+    inner: Arc<RwLock<AuthenticationServer>>,
+    params: SystemParams,
+}
+
+impl SharedServer {
+    /// Creates a shared server.
+    pub fn new(params: SystemParams) -> Self {
+        SharedServer {
+            inner: Arc::new(RwLock::new(AuthenticationServer::new(params.clone()))),
+            params,
+        }
+    }
+
+    /// The system parameters (lock-free).
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Enrolls a record.
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::enroll`].
+    pub fn enroll(&self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+        self.inner.write().enroll(record)
+    }
+
+    /// Identification phase 1.
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::begin_identification`].
+    pub fn begin_identification<R: RngCore + ?Sized>(
+        &self,
+        probe: &[i64],
+        rng: &mut R,
+    ) -> Result<IdentChallenge, ProtocolError> {
+        self.inner.write().begin_identification(probe, rng)
+    }
+
+    /// Verification phase 1 (claimed identity).
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::begin_verification`].
+    pub fn begin_verification<R: RngCore + ?Sized>(
+        &self,
+        claimed_id: &str,
+        rng: &mut R,
+    ) -> Result<IdentChallenge, ProtocolError> {
+        self.inner.write().begin_verification(claimed_id, rng)
+    }
+
+    /// Phase 2: verify the response.
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::finish_identification`].
+    pub fn finish_identification(
+        &self,
+        response: &IdentResponse,
+    ) -> Result<IdentOutcome, ProtocolError> {
+        self.inner.write().finish_identification(response)
+    }
+
+    /// Number of enrolled users.
+    pub fn user_count(&self) -> usize {
+        self.inner.read().user_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BiometricDevice;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn concurrent_identifications_succeed() {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::new(params.clone());
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(808);
+
+        let users = 8usize;
+        let mut bios = Vec::new();
+        for u in 0..users {
+            let bio = params.sketch().line().random_vector(32, &mut rng);
+            server
+                .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+                .unwrap();
+            bios.push(bio);
+        }
+        assert_eq!(server.user_count(), users);
+
+        crossbeam::scope(|scope| {
+            for (u, bio) in bios.iter().enumerate() {
+                let server = server.clone();
+                let device = device.clone();
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(9_000 + u as u64);
+                    let reading: Vec<i64> =
+                        bio.iter().map(|&x| x + rng.gen_range(-80i64..=80)).collect();
+                    let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+                    let chal = server.begin_identification(&probe, &mut rng).unwrap();
+                    let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+                    let outcome = server.finish_identification(&resp).unwrap();
+                    assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+                });
+            }
+        })
+        .expect("threads must not panic");
+    }
+
+    #[test]
+    fn concurrent_enrollments_all_land() {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::new(params.clone());
+        let device = BiometricDevice::new(params.clone());
+
+        crossbeam::scope(|scope| {
+            for u in 0..16 {
+                let server = server.clone();
+                let device = device.clone();
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(42 + u as u64);
+                    let bio = device.params().sketch().line().random_vector(16, &mut rng);
+                    server
+                        .enroll(device.enroll(&format!("c-{u}"), &bio, &mut rng).unwrap())
+                        .unwrap();
+                });
+            }
+        })
+        .expect("threads must not panic");
+        assert_eq!(server.user_count(), 16);
+    }
+}

@@ -1,0 +1,78 @@
+//! Protocol error type.
+
+use fe_core::SketchError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the enrollment / identification / verification
+/// protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The underlying sketch / fuzzy extractor failed.
+    Sketch(SketchError),
+    /// No enrolled record matches the presented sketch
+    /// (the identification `⊥` outcome).
+    NoMatch,
+    /// The user id is already enrolled.
+    DuplicateUser(String),
+    /// The claimed identity is not enrolled (verification mode).
+    UnknownUser(String),
+    /// The response referenced an expired or unknown challenge session
+    /// (replay, or a session that was already consumed).
+    UnknownSession,
+    /// The signature in the response failed to verify.
+    BadSignature,
+    /// A message failed to deserialize.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Sketch(e) => write!(f, "sketch failure: {e}"),
+            ProtocolError::NoMatch => write!(f, "no enrolled record matches the sketch"),
+            ProtocolError::DuplicateUser(id) => write!(f, "user '{id}' already enrolled"),
+            ProtocolError::UnknownUser(id) => write!(f, "user '{id}' is not enrolled"),
+            ProtocolError::UnknownSession => write!(f, "unknown or expired challenge session"),
+            ProtocolError::BadSignature => write!(f, "challenge response signature invalid"),
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for ProtocolError {
+    fn from(e: SketchError) -> Self {
+        ProtocolError::Sketch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProtocolError::Sketch(SketchError::OutOfRange);
+        assert!(e.to_string().contains("sketch failure"));
+        assert!(e.source().is_some());
+        assert!(ProtocolError::NoMatch.source().is_none());
+        assert!(ProtocolError::DuplicateUser("bob".into())
+            .to_string()
+            .contains("bob"));
+    }
+
+    #[test]
+    fn from_sketch_error() {
+        let e: ProtocolError = SketchError::TagMismatch.into();
+        assert_eq!(e, ProtocolError::Sketch(SketchError::TagMismatch));
+    }
+}

@@ -1,0 +1,73 @@
+//! The biometric protocols of *Fuzzy Extractors for Biometric
+//! Identification* (Sec. III & V): system setup, user enrollment
+//! (Fig. 1), the **proposed constant-cost identification protocol**
+//! (Fig. 3), the **normal-approach baseline** (Fig. 2), and the
+//! verification-mode protocol.
+//!
+//! # Roles
+//!
+//! * [`BiometricDevice`] (`BioD`) — trusted capture device: runs `Gen`
+//!   at enrollment (erasing the secret immediately), emits fresh sketches
+//!   at identification, and answers challenges by recovering the signing
+//!   key via `Rep`.
+//! * [`AuthenticationServer`] (`AS`) — stores `(ID, pk, P)` records,
+//!   matches incoming sketches with conditions (1)–(4), and verifies
+//!   challenge responses. Never sees a biometric or a secret key.
+//!
+//! # The efficiency claim
+//!
+//! The normal approach must run `Rep` + sign + verify once per enrolled
+//! user (`O(N)` heavy crypto); the proposed protocol finds the record with
+//! cheap integer comparisons and then runs exactly **one** `Rep`, one
+//! signature and one verification, independent of `N`. [`ProtocolRunner`]
+//! exposes both paths with operation counters so the benches can
+//! regenerate Fig. 4.
+//!
+//! ```rust
+//! use fe_protocol::{BiometricDevice, AuthenticationServer, SystemParams};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fe_protocol::ProtocolError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+//! let params = SystemParams::insecure_test_defaults();
+//! let device = BiometricDevice::new(params.clone());
+//! let mut server = AuthenticationServer::new(params.clone());
+//!
+//! // Enrollment (Fig. 1).
+//! let bio = params.sketch().line().random_vector(64, &mut rng);
+//! server.enroll(device.enroll("alice", &bio, &mut rng)?)?;
+//!
+//! // Identification (Fig. 3): fresh sketch → challenge → signature.
+//! let noisy: Vec<i64> = bio.iter().map(|x| x + 40).collect();
+//! let probe = device.probe_sketch(&noisy, &mut rng)?;
+//! let challenge = server.begin_identification(&probe, &mut rng)?;
+//! let response = device.respond(&noisy, &challenge, &mut rng)?;
+//! let outcome = server.finish_identification(&response)?;
+//! assert_eq!(outcome.identity(), Some("alice"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+mod device;
+mod error;
+mod messages;
+mod normal;
+mod params;
+mod runner;
+mod server;
+pub mod transport;
+pub mod wire;
+
+pub use device::BiometricDevice;
+pub use error::ProtocolError;
+pub use messages::{
+    EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId, UserId,
+};
+pub use normal::{NormalIdentification, NormalStats, ScanMode};
+pub use params::SystemParams;
+pub use runner::{IdentifyStats, ProtocolRunner};
+pub use server::AuthenticationServer;

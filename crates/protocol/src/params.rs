@@ -1,0 +1,94 @@
+//! System setup (`SysSetup`): the public parameters shared by every
+//! party.
+
+use fe_core::ChebyshevSketch;
+use fe_crypto::dsa::{Dsa, DsaParams};
+
+/// Public system parameters: the number line + threshold, the extracted
+/// key length, and the DSA domain parameters.
+///
+/// Produced once by the authentication server and published
+/// (`params = (La, t, H, Ext)` in Sec. V, plus the signature group).
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    sketch: ChebyshevSketch,
+    key_len: usize,
+    dsa: DsaParams,
+}
+
+impl SystemParams {
+    /// Assembles system parameters.
+    pub fn new(sketch: ChebyshevSketch, key_len: usize, dsa: DsaParams) -> Self {
+        SystemParams {
+            sketch,
+            key_len,
+            dsa,
+        }
+    }
+
+    /// The paper's Table II configuration with 1024-bit DSA (the classic
+    /// strength of the paper's era).
+    pub fn paper_defaults() -> Self {
+        SystemParams::new(
+            ChebyshevSketch::paper_defaults(),
+            32,
+            DsaParams::dsa_1024_160().clone(),
+        )
+    }
+
+    /// Table II sketch parameters with **small, insecure** 512-bit DSA —
+    /// fast enough for exhaustive test suites.
+    pub fn insecure_test_defaults() -> Self {
+        SystemParams::new(
+            ChebyshevSketch::paper_defaults(),
+            32,
+            DsaParams::insecure_512().clone(),
+        )
+    }
+
+    /// The sketch scheme (`La` and `t`).
+    pub fn sketch(&self) -> &ChebyshevSketch {
+        &self.sketch
+    }
+
+    /// Extracted key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// DSA domain parameters.
+    pub fn dsa_params(&self) -> &DsaParams {
+        &self.dsa
+    }
+
+    /// Instantiates the signature scheme.
+    pub fn dsa(&self) -> Dsa {
+        Dsa::new(self.dsa.clone())
+    }
+
+    /// Instantiates the fuzzy extractor (the paper's default stack).
+    pub fn fuzzy_extractor(&self) -> fe_core::DefaultFuzzyExtractor {
+        fe_core::FuzzyExtractor::with_defaults(self.sketch, self.key_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_defaults_shape() {
+        let p = SystemParams::insecure_test_defaults();
+        assert_eq!(p.sketch().line().a(), 100);
+        assert_eq!(p.sketch().threshold(), 100);
+        assert_eq!(p.key_len(), 32);
+        assert_eq!(p.dsa_params().bits(), (512, 160));
+    }
+
+    #[test]
+    fn fuzzy_extractor_instantiates() {
+        let p = SystemParams::insecure_test_defaults();
+        let fe = p.fuzzy_extractor();
+        assert_eq!(fe.sketcher().threshold(), 100);
+    }
+}

@@ -1,0 +1,536 @@
+//! The authentication server (`AS`): record storage, sketch matching,
+//! challenge management, response verification.
+
+use crate::messages::{
+    challenge_message, EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId,
+    UserId, WireHelper,
+};
+use crate::params::SystemParams;
+use crate::ProtocolError;
+use fe_crypto::dsa::{DsaSignature, DsaVerifyingKey};
+use fe_crypto::sig::SignatureScheme;
+use fe_core::{ScanIndex, SketchIndex};
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A stored enrollment record.
+#[derive(Debug, Clone)]
+struct StoredRecord {
+    id: UserId,
+    public_key: DsaVerifyingKey,
+    helper: WireHelper,
+}
+
+/// An outstanding challenge (single-use → replay protection).
+#[derive(Debug, Clone)]
+struct PendingChallenge {
+    record_idx: usize,
+    challenge: u64,
+}
+
+/// The authentication server of Figs. 1–3.
+///
+/// Holds only public data: `(ID, pk, P)` per user. Sketch lookup uses the
+/// early-abort scan over conditions (1)–(4); the heavy crypto per
+/// identification is exactly one signature verification regardless of the
+/// number of enrolled users.
+#[derive(Debug)]
+pub struct AuthenticationServer {
+    params: SystemParams,
+    /// Slot-stable record storage: revocation leaves a tombstone so
+    /// outstanding indices never shift.
+    records: Vec<Option<StoredRecord>>,
+    by_id: HashMap<UserId, usize>,
+    index: ScanIndex,
+    pending: HashMap<SessionId, PendingChallenge>,
+    next_session: SessionId,
+    /// Diagnostic counter: records examined by sketch lookups.
+    lookups: u64,
+}
+
+impl AuthenticationServer {
+    /// Creates an empty server.
+    pub fn new(params: SystemParams) -> Self {
+        let t = params.sketch().threshold();
+        let ka = params.sketch().line().interval_len();
+        AuthenticationServer {
+            params,
+            records: Vec::new(),
+            by_id: HashMap::new(),
+            index: ScanIndex::new(t, ka),
+            pending: HashMap::new(),
+            next_session: 1,
+            lookups: 0,
+        }
+    }
+
+    /// The system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Number of enrolled (non-revoked) users.
+    pub fn user_count(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// All enrolled helper data, in enrollment order (needed by the
+    /// normal-approach baseline, which ships every record to the device).
+    pub fn all_helpers(&self) -> Vec<(UserId, WireHelper)> {
+        self.records
+            .iter()
+            .flatten()
+            .map(|r| (r.id.clone(), r.helper.clone()))
+            .collect()
+    }
+
+    /// Full record view — id, stored public key and helper data — in
+    /// enrollment order. The normal-approach baseline verifies responses
+    /// against these stored keys.
+    pub fn enrolled_records(&self) -> Vec<(UserId, DsaVerifyingKey, WireHelper)> {
+        self.records
+            .iter()
+            .flatten()
+            .map(|r| (r.id.clone(), r.public_key.clone(), r.helper.clone()))
+            .collect()
+    }
+
+    /// Visits records by reference in enrollment order, stopping at the
+    /// first `Some` returned by the visitor (avoids cloning helper data
+    /// in the O(N) baseline).
+    pub fn visit_records<T>(
+        &self,
+        mut visit: impl FnMut(&UserId, &DsaVerifyingKey, &WireHelper) -> Option<T>,
+    ) -> Option<T> {
+        self.records
+            .iter()
+            .flatten()
+            .find_map(|r| visit(&r.id, &r.public_key, &r.helper))
+    }
+
+    /// Revokes a user: the record and its sketch are removed and every
+    /// outstanding challenge for the user is cancelled. One of the
+    /// paper's motivating problems is that a *biometric* is not revocable
+    /// once leaked — but the *enrollment* is: after revocation the stored
+    /// helper data is gone and the user can re-enroll, obtaining a fresh
+    /// key pair from the same biometric.
+    ///
+    /// # Errors
+    /// [`ProtocolError::UnknownUser`] if the id is not enrolled.
+    pub fn revoke(&mut self, id: &str) -> Result<(), ProtocolError> {
+        let idx = self
+            .by_id
+            .remove(id)
+            .ok_or_else(|| ProtocolError::UnknownUser(id.to_string()))?;
+        self.records[idx] = None;
+        self.index.remove(idx);
+        self.pending.retain(|_, p| p.record_idx != idx);
+        Ok(())
+    }
+
+    /// Stores an enrollment record (Fig. 1, final step).
+    ///
+    /// # Errors
+    /// [`ProtocolError::DuplicateUser`] if the id is taken;
+    /// [`ProtocolError::Malformed`] if the public key fails to parse.
+    pub fn enroll(&mut self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+        if self.by_id.contains_key(&record.id) {
+            return Err(ProtocolError::DuplicateUser(record.id));
+        }
+        if record.public_key.is_empty() {
+            return Err(ProtocolError::Malformed("empty public key"));
+        }
+        let public_key = DsaVerifyingKey::from_bytes(&record.public_key);
+        let idx = self.records.len();
+        let index_id = self.index.insert(record.helper.sketch.inner.clone());
+        debug_assert_eq!(index_id, idx, "index ids must mirror record slots");
+        self.by_id.insert(record.id.clone(), idx);
+        self.records.push(Some(StoredRecord {
+            id: record.id,
+            public_key,
+            helper: record.helper,
+        }));
+        Ok(())
+    }
+
+    /// Identification phase 1 (Fig. 3): match the probe sketch against
+    /// the enrolled records using conditions (1)–(4), and issue a
+    /// challenge for the matched record.
+    ///
+    /// # Errors
+    /// [`ProtocolError::NoMatch`] when no record matches (`⊥`).
+    pub fn begin_identification<R: RngCore + ?Sized>(
+        &mut self,
+        probe: &[i64],
+        rng: &mut R,
+    ) -> Result<IdentChallenge, ProtocolError> {
+        self.lookups += 1;
+        let record_idx = self.index.lookup(probe).ok_or(ProtocolError::NoMatch)?;
+        Ok(self.issue_challenge(record_idx, rng))
+    }
+
+    /// Verification phase 1 (the verification-mode protocol): the user
+    /// *claims* an identity; the server retrieves that record directly and
+    /// issues a challenge — the 1-to-1 path.
+    ///
+    /// # Errors
+    /// [`ProtocolError::UnknownUser`] for unenrolled ids.
+    pub fn begin_verification<R: RngCore + ?Sized>(
+        &mut self,
+        claimed_id: &str,
+        rng: &mut R,
+    ) -> Result<IdentChallenge, ProtocolError> {
+        let record_idx = *self
+            .by_id
+            .get(claimed_id)
+            .ok_or_else(|| ProtocolError::UnknownUser(claimed_id.to_string()))?;
+        Ok(self.issue_challenge(record_idx, rng))
+    }
+
+    fn issue_challenge<R: RngCore + ?Sized>(
+        &mut self,
+        record_idx: usize,
+        rng: &mut R,
+    ) -> IdentChallenge {
+        let session = self.next_session;
+        self.next_session += 1;
+        let challenge: u64 = rng.gen();
+        self.pending.insert(
+            session,
+            PendingChallenge {
+                record_idx,
+                challenge,
+            },
+        );
+        let record = self.records[record_idx]
+            .as_ref()
+            .expect("challenges are only issued for live records");
+        IdentChallenge {
+            session,
+            helper: record.helper.clone(),
+            challenge,
+        }
+    }
+
+    /// Phase 2 (both modes): verify the signed `(c, a)` response. The
+    /// challenge is consumed whether or not verification succeeds —
+    /// a response can never be replayed.
+    ///
+    /// # Errors
+    /// [`ProtocolError::UnknownSession`] for unknown/expired sessions;
+    /// [`ProtocolError::Malformed`] if the signature bytes do not parse.
+    pub fn finish_identification(
+        &mut self,
+        response: &IdentResponse,
+    ) -> Result<IdentOutcome, ProtocolError> {
+        let pending = self
+            .pending
+            .remove(&response.session)
+            .ok_or(ProtocolError::UnknownSession)?;
+        // A user can be revoked between challenge and response.
+        let record = self.records[pending.record_idx]
+            .as_ref()
+            .ok_or(ProtocolError::UnknownSession)?;
+        let signature = DsaSignature::from_bytes(&response.signature, self.params.dsa_params())
+            .ok_or(ProtocolError::Malformed("signature length"))?;
+        let msg = challenge_message(response.session, pending.challenge, response.nonce);
+        let dsa = self.params.dsa();
+        if dsa.verify(&record.public_key, &msg, &signature) {
+            Ok(IdentOutcome::Identified(record.id.clone()))
+        } else {
+            Ok(IdentOutcome::Rejected)
+        }
+    }
+
+    /// Number of sketch lookups performed (diagnostics).
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Serializes every live record with the wire codec, for durable
+    /// storage. Only public data leaves the server — exactly what an
+    /// insider adversary could read anyway (Sec. VI-B threat model).
+    pub fn export_records(&self) -> Vec<Vec<u8>> {
+        self.records
+            .iter()
+            .flatten()
+            .map(|r| {
+                crate::wire::encode(&crate::wire::Message::Enroll(EnrollmentRecord {
+                    id: r.id.clone(),
+                    public_key: r.public_key.to_bytes(self.params.dsa_params()),
+                    helper: r.helper.clone(),
+                }))
+            })
+            .collect()
+    }
+
+    /// Restores records exported by [`AuthenticationServer::export_records`]
+    /// into this server, returning how many were imported.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Malformed`] on undecodable blobs (import stops at
+    /// the first bad blob); [`ProtocolError::DuplicateUser`] if an id is
+    /// already enrolled.
+    pub fn import_records(&mut self, blobs: &[Vec<u8>]) -> Result<usize, ProtocolError> {
+        let mut imported = 0;
+        for blob in blobs {
+            match crate::wire::decode(blob)? {
+                crate::wire::Message::Enroll(record) => {
+                    self.enroll(record)?;
+                    imported += 1;
+                }
+                _ => return Err(ProtocolError::Malformed("expected enrollment record")),
+            }
+        }
+        Ok(imported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BiometricDevice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(users: usize) -> (BiometricDevice, AuthenticationServer, Vec<Vec<i64>>, StdRng) {
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut server = AuthenticationServer::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(77_000 + users as u64);
+        let mut bios = Vec::new();
+        for u in 0..users {
+            let bio = params.sketch().line().random_vector(48, &mut rng);
+            let record = device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap();
+            server.enroll(record).unwrap();
+            bios.push(bio);
+        }
+        (device, server, bios, rng)
+    }
+
+    fn noisy(bio: &[i64], rng: &mut StdRng) -> Vec<i64> {
+        use rand::Rng;
+        bio.iter().map(|&x| x + rng.gen_range(-100i64..=100)).collect()
+    }
+
+    #[test]
+    fn full_identification_happy_path() {
+        let (device, mut server, bios, mut rng) = setup(10);
+        for (u, bio) in bios.iter().enumerate() {
+            let reading = noisy(bio, &mut rng);
+            let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+            let chal = server.begin_identification(&probe, &mut rng).unwrap();
+            let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+            let outcome = server.finish_identification(&resp).unwrap();
+            assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+        }
+    }
+
+    #[test]
+    fn impostor_gets_no_match() {
+        let (device, mut server, _bios, mut rng) = setup(5);
+        let stranger = server.params().sketch().line().random_vector(48, &mut rng);
+        let probe = device.probe_sketch(&stranger, &mut rng).unwrap();
+        assert_eq!(
+            server.begin_identification(&probe, &mut rng).unwrap_err(),
+            ProtocolError::NoMatch
+        );
+    }
+
+    #[test]
+    fn verification_mode_with_claimed_identity() {
+        let (device, mut server, bios, mut rng) = setup(5);
+        let reading = noisy(&bios[3], &mut rng);
+        let chal = server.begin_verification("user-3", &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp).unwrap().identity(),
+            Some("user-3")
+        );
+        // Unknown identity is rejected upfront.
+        assert!(matches!(
+            server.begin_verification("nobody", &mut rng),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_user_cannot_answer_verification_challenge() {
+        let (device, mut server, bios, mut rng) = setup(5);
+        // Claim user-2 but present user-4's biometric: Rep fails on the
+        // device (wrong helper data).
+        let chal = server.begin_verification("user-2", &mut rng).unwrap();
+        let reading = noisy(&bios[4], &mut rng);
+        assert!(device.respond(&reading, &chal, &mut rng).is_err());
+    }
+
+    #[test]
+    fn duplicate_enrollment_rejected() {
+        let (device, mut server, bios, mut rng) = setup(2);
+        let record = device.enroll("user-0", &bios[0], &mut rng).unwrap();
+        assert!(matches!(
+            server.enroll(record),
+            Err(ProtocolError::DuplicateUser(_))
+        ));
+    }
+
+    #[test]
+    fn replayed_response_rejected() {
+        let (device, mut server, bios, mut rng) = setup(3);
+        let reading = noisy(&bios[1], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert!(server.finish_identification(&resp).unwrap().is_identified());
+        // Same response again: the session is consumed.
+        assert_eq!(
+            server.finish_identification(&resp).unwrap_err(),
+            ProtocolError::UnknownSession
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (device, mut server, bios, mut rng) = setup(3);
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let mut resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        resp.signature[3] ^= 0xff;
+        assert_eq!(
+            server.finish_identification(&resp).unwrap(),
+            IdentOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let (device, mut server, bios, mut rng) = setup(3);
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let mut resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        resp.nonce ^= 1; // signature no longer covers (c, a)
+        assert_eq!(
+            server.finish_identification(&resp).unwrap(),
+            IdentOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn revocation_removes_user() {
+        let (device, mut server, bios, mut rng) = setup(3);
+        assert_eq!(server.user_count(), 3);
+        server.revoke("user-1").unwrap();
+        assert_eq!(server.user_count(), 2);
+        // user-1 can no longer be identified…
+        let reading = noisy(&bios[1], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        assert_eq!(
+            server.begin_identification(&probe, &mut rng).unwrap_err(),
+            ProtocolError::NoMatch
+        );
+        // …or verified by claim…
+        assert!(matches!(
+            server.begin_verification("user-1", &mut rng),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+        // …while other users are untouched.
+        let reading2 = noisy(&bios[2], &mut rng);
+        let probe2 = device.probe_sketch(&reading2, &mut rng).unwrap();
+        assert!(server.begin_identification(&probe2, &mut rng).is_ok());
+        // Revoking twice fails.
+        assert!(server.revoke("user-1").is_err());
+    }
+
+    #[test]
+    fn revocation_cancels_pending_challenges() {
+        let (device, mut server, bios, mut rng) = setup(2);
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        server.revoke("user-0").unwrap();
+        assert_eq!(
+            server.finish_identification(&resp).unwrap_err(),
+            ProtocolError::UnknownSession
+        );
+    }
+
+    #[test]
+    fn reenrollment_after_revocation() {
+        let (device, mut server, bios, mut rng) = setup(2);
+        server.revoke("user-0").unwrap();
+        // Same biometric, same id, fresh enrollment → fresh key pair.
+        let record = device.enroll("user-0", &bios[0], &mut rng).unwrap();
+        server.enroll(record).unwrap();
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp).unwrap().identity(),
+            Some("user-0")
+        );
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_identification() {
+        let (device, mut server, bios, mut rng) = setup(4);
+        server.revoke("user-2").unwrap(); // tombstones are not exported
+        let blobs = server.export_records();
+        assert_eq!(blobs.len(), 3);
+
+        // Cold restart: a fresh server imports the records.
+        let mut restored = AuthenticationServer::new(server.params().clone());
+        assert_eq!(restored.import_records(&blobs).unwrap(), 3);
+        assert_eq!(restored.user_count(), 3);
+
+        // Identification still works against the restored state.
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = restored.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            restored.finish_identification(&resp).unwrap().identity(),
+            Some("user-0")
+        );
+        // The revoked user stays revoked.
+        let reading2 = noisy(&bios[2], &mut rng);
+        let probe2 = device.probe_sketch(&reading2, &mut rng).unwrap();
+        assert!(restored.begin_identification(&probe2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn import_rejects_garbage_and_duplicates() {
+        let (_device, mut server, _bios, _rng) = setup(2);
+        let blobs = server.export_records();
+        let mut fresh = AuthenticationServer::new(server.params().clone());
+        fresh.import_records(&blobs).unwrap();
+        // Importing the same records again duplicates ids.
+        assert!(matches!(
+            fresh.import_records(&blobs),
+            Err(ProtocolError::DuplicateUser(_))
+        ));
+        // Garbage bytes are rejected cleanly.
+        assert!(matches!(
+            server.import_records(&[vec![1, 2, 3]]),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_session_rejected() {
+        let (_device, mut server, _bios, _rng) = setup(1);
+        let resp = IdentResponse {
+            session: 999,
+            signature: vec![0; 40],
+            nonce: 7,
+        };
+        assert_eq!(
+            server.finish_identification(&resp).unwrap_err(),
+            ProtocolError::UnknownSession
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! In-memory transport simulation: typed duplex links with optional
+//! latency injection and an adversary hook that can observe or tamper
+//! with messages in flight.
+//!
+//! The paper's threat model (Sec. VI-B) gives the adversary the ability
+//! to eavesdrop and to modify, inject or delete messages on the channel
+//! between the biometric device and the authentication server. The
+//! [`Link`] type makes those capabilities explicit and testable.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// What the adversary does with each message it sees.
+pub enum Tamper<T> {
+    /// Deliver unchanged.
+    Pass(T),
+    /// Deliver a modified message.
+    Modify(T),
+    /// Drop the message entirely.
+    Drop,
+}
+
+/// A function inspecting every in-flight message.
+pub type Adversary<T> = Box<dyn FnMut(T) -> Tamper<T> + Send>;
+
+/// One directional, typed message link.
+pub struct Link<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+    latency: Duration,
+    adversary: Option<Adversary<T>>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<T> std::fmt::Debug for Link<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("latency", &self.latency)
+            .field("has_adversary", &self.adversary.is_some())
+            .field("delivered", &self.delivered)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl<T> Link<T> {
+    /// Creates a clean link with no latency and no adversary.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Link {
+            tx,
+            rx,
+            latency: Duration::ZERO,
+            adversary: None,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets a fixed one-way latency applied on `recv`.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Installs an adversary that sees every message.
+    pub fn with_adversary(mut self, adversary: Adversary<T>) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// Sends a message into the link.
+    ///
+    /// # Errors
+    /// Returns the message back if the link is disconnected.
+    pub fn send(&mut self, msg: T) -> Result<(), T> {
+        let msg = match self.adversary.as_mut() {
+            Some(adv) => match adv(msg) {
+                Tamper::Pass(m) | Tamper::Modify(m) => m,
+                Tamper::Drop => {
+                    self.dropped += 1;
+                    return Ok(());
+                }
+            },
+            None => msg,
+        };
+        self.tx.send(msg).map_err(|e| e.0)
+    }
+
+    /// Receives the next message, honouring the configured latency.
+    /// Returns `None` when no message arrives within `timeout`
+    /// (covers adversarial drops).
+    pub fn recv(&mut self, timeout: Duration) -> Option<T> {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => {
+                self.delivered += 1;
+                Some(m)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Messages successfully delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped by the adversary.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<T> Default for Link<T> {
+    fn default() -> Self {
+        Link::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMEOUT: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn clean_link_delivers_in_order() {
+        let mut link: Link<u32> = Link::new();
+        link.send(1).unwrap();
+        link.send(2).unwrap();
+        assert_eq!(link.recv(TIMEOUT), Some(1));
+        assert_eq!(link.recv(TIMEOUT), Some(2));
+        assert_eq!(link.delivered(), 2);
+    }
+
+    #[test]
+    fn empty_link_times_out() {
+        let mut link: Link<u32> = Link::new();
+        assert_eq!(link.recv(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn adversary_modifies_messages() {
+        let mut link: Link<u32> = Link::new().with_adversary(Box::new(|m| Tamper::Modify(m ^ 1)));
+        link.send(10).unwrap();
+        assert_eq!(link.recv(TIMEOUT), Some(11));
+    }
+
+    #[test]
+    fn adversary_drops_messages() {
+        let mut link: Link<u32> =
+            Link::new().with_adversary(Box::new(|m| if m % 2 == 0 { Tamper::Drop } else { Tamper::Pass(m) }));
+        link.send(2).unwrap();
+        link.send(3).unwrap();
+        assert_eq!(link.recv(TIMEOUT), Some(3));
+        assert_eq!(link.dropped(), 1);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let mut link: Link<u32> = Link::new().with_latency(Duration::from_millis(20));
+        link.send(5).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(link.recv(TIMEOUT), Some(5));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}

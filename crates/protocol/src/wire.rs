@@ -1,0 +1,334 @@
+//! Binary wire codec for the protocol messages.
+//!
+//! A compact, self-describing framing: every message starts with a
+//! 4-byte magic + 1-byte message tag + 2-byte version, followed by
+//! length-prefixed fields. The codec is independent of serde so the
+//! protocol can run over raw sockets without a serialization framework;
+//! the serde derives on the message types remain available for
+//! downstream users with their own format.
+
+use crate::messages::{EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, WireHelper};
+use crate::ProtocolError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fe_core::RobustData;
+
+const MAGIC: &[u8; 4] = b"FEID";
+const VERSION: u16 = 1;
+
+const TAG_ENROLL: u8 = 1;
+const TAG_CHALLENGE: u8 = 2;
+const TAG_RESPONSE: u8 = 3;
+const TAG_OUTCOME: u8 = 4;
+
+/// Any protocol message, for tag-dispatched decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Enrollment record (Fig. 1).
+    Enroll(EnrollmentRecord),
+    /// Identification challenge (Fig. 3).
+    Challenge(IdentChallenge),
+    /// Identification response (Fig. 3).
+    Response(IdentResponse),
+    /// Final outcome notification.
+    Outcome(IdentOutcome),
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, ProtocolError> {
+    if buf.remaining() < 4 {
+        return Err(ProtocolError::Malformed("truncated length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(ProtocolError::Malformed("truncated payload"));
+    }
+    Ok(buf.copy_to_bytes(len).to_vec())
+}
+
+fn put_i64s(buf: &mut BytesMut, data: &[i64]) {
+    buf.put_u32(data.len() as u32);
+    for &v in data {
+        buf.put_i64(v);
+    }
+}
+
+fn get_i64s(buf: &mut Bytes) -> Result<Vec<i64>, ProtocolError> {
+    if buf.remaining() < 4 {
+        return Err(ProtocolError::Malformed("truncated vector length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len.saturating_mul(8) {
+        return Err(ProtocolError::Malformed("truncated vector"));
+    }
+    Ok((0..len).map(|_| buf.get_i64()).collect())
+}
+
+fn put_helper(buf: &mut BytesMut, helper: &WireHelper) {
+    put_i64s(buf, &helper.sketch.inner);
+    put_bytes(buf, &helper.sketch.tag);
+    put_bytes(buf, &helper.seed);
+}
+
+fn get_helper(buf: &mut Bytes) -> Result<WireHelper, ProtocolError> {
+    let inner = get_i64s(buf)?;
+    let tag = get_bytes(buf)?;
+    let seed = get_bytes(buf)?;
+    Ok(WireHelper {
+        sketch: RobustData { inner, tag },
+        seed,
+    })
+}
+
+fn header(tag: u8) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_slice(MAGIC);
+    buf.put_u8(tag);
+    buf.put_u16(VERSION);
+    buf
+}
+
+/// Encodes a message to its wire representation.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut buf;
+    match msg {
+        Message::Enroll(r) => {
+            buf = header(TAG_ENROLL);
+            put_bytes(&mut buf, r.id.as_bytes());
+            put_bytes(&mut buf, &r.public_key);
+            put_helper(&mut buf, &r.helper);
+        }
+        Message::Challenge(c) => {
+            buf = header(TAG_CHALLENGE);
+            buf.put_u64(c.session);
+            buf.put_u64(c.challenge);
+            put_helper(&mut buf, &c.helper);
+        }
+        Message::Response(r) => {
+            buf = header(TAG_RESPONSE);
+            buf.put_u64(r.session);
+            buf.put_u64(r.nonce);
+            put_bytes(&mut buf, &r.signature);
+        }
+        Message::Outcome(o) => {
+            buf = header(TAG_OUTCOME);
+            match o {
+                IdentOutcome::Identified(id) => {
+                    buf.put_u8(1);
+                    put_bytes(&mut buf, id.as_bytes());
+                }
+                IdentOutcome::Rejected => buf.put_u8(0),
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes a wire message.
+///
+/// # Errors
+/// [`ProtocolError::Malformed`] on bad magic, unknown version or tag,
+/// truncation, or trailing garbage.
+pub fn decode(data: &[u8]) -> Result<Message, ProtocolError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 7 {
+        return Err(ProtocolError::Malformed("short header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ProtocolError::Malformed("bad magic"));
+    }
+    let tag = buf.get_u8();
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(ProtocolError::Malformed("unsupported version"));
+    }
+    let msg = match tag {
+        TAG_ENROLL => {
+            let id = String::from_utf8(get_bytes(&mut buf)?)
+                .map_err(|_| ProtocolError::Malformed("id not utf-8"))?;
+            let public_key = get_bytes(&mut buf)?;
+            let helper = get_helper(&mut buf)?;
+            Message::Enroll(EnrollmentRecord {
+                id,
+                public_key,
+                helper,
+            })
+        }
+        TAG_CHALLENGE => {
+            if buf.remaining() < 16 {
+                return Err(ProtocolError::Malformed("truncated challenge"));
+            }
+            let session = buf.get_u64();
+            let challenge = buf.get_u64();
+            let helper = get_helper(&mut buf)?;
+            Message::Challenge(IdentChallenge {
+                session,
+                helper,
+                challenge,
+            })
+        }
+        TAG_RESPONSE => {
+            if buf.remaining() < 16 {
+                return Err(ProtocolError::Malformed("truncated response"));
+            }
+            let session = buf.get_u64();
+            let nonce = buf.get_u64();
+            let signature = get_bytes(&mut buf)?;
+            Message::Response(IdentResponse {
+                session,
+                signature,
+                nonce,
+            })
+        }
+        TAG_OUTCOME => {
+            if buf.remaining() < 1 {
+                return Err(ProtocolError::Malformed("truncated outcome"));
+            }
+            match buf.get_u8() {
+                1 => {
+                    let id = String::from_utf8(get_bytes(&mut buf)?)
+                        .map_err(|_| ProtocolError::Malformed("id not utf-8"))?;
+                    Message::Outcome(IdentOutcome::Identified(id))
+                }
+                0 => Message::Outcome(IdentOutcome::Rejected),
+                _ => return Err(ProtocolError::Malformed("bad outcome flag")),
+            }
+        }
+        _ => return Err(ProtocolError::Malformed("unknown tag")),
+    };
+    if buf.has_remaining() {
+        return Err(ProtocolError::Malformed("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BiometricDevice, SystemParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_record() -> EnrollmentRecord {
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let bio = params.sketch().line().random_vector(16, &mut rng);
+        device.enroll("wire-user", &bio, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn enroll_roundtrip() {
+        let record = sample_record();
+        let msg = Message::Enroll(record);
+        let bytes = encode(&msg);
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn challenge_roundtrip() {
+        let record = sample_record();
+        let msg = Message::Challenge(IdentChallenge {
+            session: 77,
+            helper: record.helper,
+            challenge: u64::MAX,
+        });
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let msg = Message::Response(IdentResponse {
+            session: 3,
+            signature: vec![9; 40],
+            nonce: 0,
+        });
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        for o in [
+            IdentOutcome::Identified("alice".into()),
+            IdentOutcome::Rejected,
+        ] {
+            let msg = Message::Outcome(o);
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn negative_sketch_values_survive() {
+        let mut record = sample_record();
+        record.helper.sketch.inner[0] = -200;
+        record.helper.sketch.inner[1] = i64::MIN;
+        let msg = Message::Enroll(record);
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&Message::Outcome(IdentOutcome::Rejected));
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes),
+            Err(ProtocolError::Malformed("bad magic"))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(&Message::Outcome(IdentOutcome::Rejected));
+        bytes[5] = 0xff;
+        assert!(matches!(
+            decode(&bytes),
+            Err(ProtocolError::Malformed("unsupported version"))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = encode(&Message::Outcome(IdentOutcome::Rejected));
+        bytes[4] = 99;
+        assert!(matches!(
+            decode(&bytes),
+            Err(ProtocolError::Malformed("unknown tag"))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let record = sample_record();
+        let bytes = encode(&Message::Enroll(record));
+        // Every proper prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&Message::Outcome(IdentOutcome::Rejected));
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes),
+            Err(ProtocolError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn fuzz_random_buffers_never_panic() {
+        let mut rng = StdRng::seed_from_u64(99);
+        use rand::Rng;
+        for _ in 0..2000 {
+            let len = rng.gen_range(0..200);
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let _ = decode(&data); // must not panic
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Multimodal fusion — the paper's Sec. VI-B remedy for false accepts:
+//! "these issues can be relieved by using multiple types of biometrics,
+//! such as fingerprint and iris."
+//!
+//! One key from two modalities: a fingerprint-style feature vector
+//! (Chebyshev sketch, the paper's construction) AND an iris-style bit
+//! string (code-offset sketch over BCH). Both must match.
+//!
+//! Run with: `cargo run --release --example multimodal_fusion`
+
+use fuzzy_id::biometric::IrisCodeModel;
+use fuzzy_id::core::baselines::BinaryFuzzyExtractor;
+use fuzzy_id::core::fusion::FusedExtractor;
+use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor};
+use fuzzy_id::ecc::Bch;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+
+    let fused = FusedExtractor::new(
+        FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32),
+        BinaryFuzzyExtractor::new(Bch::new(10, 25)?, 32),
+        32,
+    );
+
+    // Enrollment: capture both modalities.
+    let finger = fused
+        .vector_extractor()
+        .sketcher()
+        .line()
+        .random_vector(2000, &mut rng);
+    let iris_model = IrisCodeModel::new(fused.binary_extractor().sketcher().input_len(), 0.01);
+    let iris = iris_model.random_code(&mut rng);
+    let (key, helper) = fused.generate(&finger, &iris, &mut rng)?;
+    println!("enrolled fingerprint (2000 features) + iris ({} bits)", iris.len());
+    println!("fused key: {} bytes", key.len());
+
+    // Genuine presentation: both modalities noisy but within tolerance.
+    let finger2: Vec<i64> = finger.iter().map(|&x| x + rng.gen_range(-95i64..=95)).collect();
+    let iris2 = iris_model.genuine_reading(&iris, &mut rng);
+    assert_eq!(fused.reproduce(&finger2, &iris2, &helper)?, key);
+    println!("genuine (both modalities):     key reproduced ✓");
+
+    // Attacker has stolen a matching fingerprint replica but not the iris.
+    let wrong_iris = iris_model.impostor_reading(&mut rng);
+    match fused.reproduce(&finger2, &wrong_iris, &helper) {
+        Err(e) => println!("fingerprint only (fake iris):  rejected ({e}) ✓"),
+        Ok(_) => unreachable!(),
+    }
+
+    // Or the iris but not the fingerprint.
+    let wrong_finger = fused
+        .vector_extractor()
+        .sketcher()
+        .line()
+        .random_vector(2000, &mut rng);
+    match fused.reproduce(&wrong_finger, &iris2, &helper) {
+        Err(e) => println!("iris only (fake fingerprint):  rejected ({e}) ✓"),
+        Ok(_) => unreachable!(),
+    }
+
+    Ok(())
+}

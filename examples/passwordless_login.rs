@@ -1,0 +1,48 @@
+//! Passwordless login — verification mode: the user claims an identity
+//! ("alice") and proves it with a biometric instead of a password.
+//!
+//! Run with: `cargo run --release --example passwordless_login`
+
+use fuzzy_id::protocol::{ProtocolRunner, SystemParams};
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let params = SystemParams::insecure_test_defaults();
+    let mut runner = ProtocolRunner::new(params.clone());
+
+    // Account creation: alice and bob register fingerprints.
+    let dim = 2000;
+    let alice_bio = params.sketch().line().random_vector(dim, &mut rng);
+    let bob_bio = params.sketch().line().random_vector(dim, &mut rng);
+    runner.enroll_user("alice", &alice_bio, &mut rng)?;
+    runner.enroll_user("bob", &bob_bio, &mut rng)?;
+    println!("registered users: alice, bob");
+
+    // Alice logs in: claimed identity + fresh fingerprint scan.
+    let scan: Vec<i64> = alice_bio
+        .iter()
+        .map(|&x| x + rng.gen_range(-90i64..=90))
+        .collect();
+    let (outcome, stats) = runner.verify("alice", &scan, &mut rng)?;
+    println!(
+        "alice + alice's finger:  {:?} in {:?} ✓",
+        outcome, stats.elapsed
+    );
+    assert!(outcome.is_identified());
+
+    // Bob tries to log in as alice with *his* finger: the device cannot
+    // recover alice's key from bob's biometric, so no response exists.
+    match runner.verify("alice", &bob_bio, &mut rng) {
+        Err(e) => println!("alice + bob's finger:    rejected ({e}) ✓"),
+        Ok((o, _)) => println!("alice + bob's finger:    UNEXPECTED {o:?}"),
+    }
+
+    // A claim for an unregistered account fails immediately.
+    match runner.verify("carol", &scan, &mut rng) {
+        Err(e) => println!("carol (not enrolled):    rejected ({e}) ✓"),
+        Ok((o, _)) => println!("carol (not enrolled):    UNEXPECTED {o:?}"),
+    }
+
+    Ok(())
+}

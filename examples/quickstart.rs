@@ -1,0 +1,47 @@
+//! Quickstart: generate a key from a (simulated) biometric, reproduce it
+//! from a noisy reading, and watch it fail for an impostor.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor, NumberLine};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    // The paper's Table II parameters: unit a = 100, k = 4 units per
+    // interval, v = 500 intervals, threshold t = 100.
+    let line = NumberLine::new(100, 4, 500)?;
+    let sketch = ChebyshevSketch::new(line, 100)?;
+    let fe = FuzzyExtractor::with_defaults(sketch, 32);
+
+    // A synthetic biometric: n-dimensional integer features on the line.
+    let n = 5000; // the paper's headline dimension
+    let enrolled = fe.sketcher().line().random_vector(n, &mut rng);
+
+    // Gen(x) → (R, P): a 32-byte key plus public helper data.
+    let (key, helper) = fe.generate(&enrolled, &mut rng)?;
+    println!("enrolled a {n}-dimensional biometric");
+    println!("extracted key:      {} bytes", key.len());
+    println!(
+        "helper data:        {} movements + {}-byte tag + {}-byte seed",
+        helper.sketch.inner.len(),
+        helper.sketch.tag.len(),
+        helper.seed.len()
+    );
+
+    // A genuine presentation: same biometric within Chebyshev distance t.
+    let genuine: Vec<i64> = enrolled.iter().map(|x| x + 87).collect();
+    let reproduced = fe.reproduce(&genuine, &helper)?;
+    assert_eq!(reproduced, key);
+    println!("genuine reading:    key reproduced ✓");
+
+    // An impostor presentation: an unrelated biometric.
+    let impostor = fe.sketcher().line().random_vector(n, &mut rng);
+    match fe.reproduce(&impostor, &helper) {
+        Err(e) => println!("impostor reading:   rejected ({e}) ✓"),
+        Ok(_) => unreachable!("impostor must not reproduce the key"),
+    }
+
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Active-adversary demo: the robust sketch (Sec. IV-C, Boyen et al.)
+//! detects helper-data tampering, both at rest and in flight on the
+//! device↔server link.
+//!
+//! Run with: `cargo run --release --example tamper_detection`
+
+use fuzzy_id::protocol::transport::{Link, Tamper};
+use fuzzy_id::protocol::{BiometricDevice, AuthenticationServer, IdentChallenge, SystemParams};
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut server = AuthenticationServer::new(params.clone());
+
+    let bio = params.sketch().line().random_vector(500, &mut rng);
+    server.enroll(device.enroll("alice", &bio, &mut rng)?)?;
+
+    let reading: Vec<i64> = bio.iter().map(|&x| x + rng.gen_range(-80i64..=80)).collect();
+
+    // 1. Honest run over a clean link.
+    let probe = device.probe_sketch(&reading, &mut rng)?;
+    let mut link: Link<IdentChallenge> = Link::new();
+    let challenge = server.begin_identification(&probe, &mut rng)?;
+    link.send(challenge).map_err(|_| "link closed")?;
+    let delivered = link.recv(Duration::from_secs(1)).expect("message delivered");
+    let response = device.respond(&reading, &delivered, &mut rng)?;
+    let outcome = server.finish_identification(&response)?;
+    println!("clean link:     {outcome:?} ✓");
+
+    // 2. A man-in-the-middle perturbs the helper data in flight: the
+    //    robust sketch's hash check on the device catches it.
+    let probe = device.probe_sketch(&reading, &mut rng)?;
+    let mut evil_link: Link<IdentChallenge> = Link::new().with_adversary(Box::new(|mut msg| {
+        msg.helper.sketch.inner[0] += 4; // nudge one movement
+        Tamper::Modify(msg)
+    }));
+    let challenge = server.begin_identification(&probe, &mut rng)?;
+    evil_link.send(challenge).map_err(|_| "link closed")?;
+    let tampered = evil_link.recv(Duration::from_secs(1)).expect("delivered");
+    match device.respond(&reading, &tampered, &mut rng) {
+        Err(e) => println!("tampered link:  device refuses to answer ({e}) ✓"),
+        Ok(_) => println!("tampered link:  UNEXPECTED response"),
+    }
+
+    // 3. The adversary drops the challenge entirely: the device times out
+    //    and the pending session on the server can never be replayed.
+    let probe = device.probe_sketch(&reading, &mut rng)?;
+    let mut black_hole: Link<IdentChallenge> =
+        Link::new().with_adversary(Box::new(|_| Tamper::Drop));
+    let challenge = server.begin_identification(&probe, &mut rng)?;
+    let session = challenge.session;
+    black_hole.send(challenge).map_err(|_| "link closed")?;
+    assert!(black_hole.recv(Duration::from_millis(50)).is_none());
+    println!("dropped link:   device times out (session {session} stays unanswered) ✓");
+
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the classical baselines on realistic synthetic
+//! biometrics: code-offset over iris-style bit strings, fuzzy vault over
+//! minutiae-style feature sets, and a head-to-head FAR/FRR comparison
+//! with the paper's Chebyshev construction.
+
+use fuzzy_id::biometric::{measure_error_rates, IrisCodeModel, PopulationGenerator, UniformNoise};
+use fuzzy_id::biometric::NoiseModel;
+use fuzzy_id::core::baselines::{BinaryFuzzyExtractor, FuzzyVault};
+use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor};
+use fuzzy_id::ecc::Bch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+#[test]
+fn code_offset_on_iris_codes() {
+    let mut rng = StdRng::seed_from_u64(20);
+    // BCH(1023, ·, 25) tolerates 25 flips; 1% flip rate → ~10 expected.
+    let fe = BinaryFuzzyExtractor::new(Bch::new(10, 25).unwrap(), 32);
+    let model = IrisCodeModel::new(fe.sketcher().input_len(), 0.01);
+
+    for trial in 0..5 {
+        let enrolled = model.random_code(&mut rng);
+        let (key, helper) = fe.generate(&enrolled, &mut rng).unwrap();
+        let reading = model.genuine_reading(&enrolled, &mut rng);
+        let reproduced = fe.reproduce(&reading, &helper).unwrap();
+        assert_eq!(reproduced, key, "trial {trial}");
+        // An unrelated iris never reproduces the key.
+        let impostor = model.impostor_reading(&mut rng);
+        assert!(fe.reproduce(&impostor, &helper).is_err());
+    }
+}
+
+#[test]
+fn code_offset_error_rates() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let fe = BinaryFuzzyExtractor::new(Bch::new(10, 25).unwrap(), 32);
+    let model = IrisCodeModel::new(fe.sketcher().input_len(), 0.015);
+    let enrolled = model.random_code(&mut rng);
+    let (key, helper) = fe.generate(&enrolled, &mut rng).unwrap();
+
+    let mut g_rng = StdRng::seed_from_u64(22);
+    let mut i_rng = StdRng::seed_from_u64(23);
+    let rates = measure_error_rates(
+        40,
+        40,
+        || {
+            let reading = model.genuine_reading(&enrolled, &mut g_rng);
+            fe.reproduce(&reading, &helper).map_or(false, |k| k == key)
+        },
+        || {
+            let reading = model.impostor_reading(&mut i_rng);
+            fe.reproduce(&reading, &helper).is_ok()
+        },
+    );
+    // 1.5% of 1023 ≈ 15 expected flips, t = 25 → overwhelming acceptance.
+    assert!(rates.frr < 0.10, "FRR too high: {}", rates.frr);
+    assert_eq!(rates.far, 0.0, "FAR must be zero at this distance");
+}
+
+#[test]
+fn fuzzy_vault_on_minutiae_sets() {
+    let mut rng = StdRng::seed_from_u64(24);
+    let vault_scheme = FuzzyVault::new(8, 6, 160).unwrap();
+    // A fingerprint's minutiae: ~30 feature points out of 256 positions.
+    let enrolled: BTreeSet<u16> = {
+        let mut s = BTreeSet::new();
+        while s.len() < 30 {
+            s.insert(rng.gen_range(0..256));
+        }
+        s
+    };
+    let secret: Vec<u16> = (0..6).map(|_| rng.gen_range(0..256)).collect();
+    let vault = vault_scheme.lock(&enrolled, &secret, &mut rng).unwrap();
+
+    // Genuine reading: drop 4 minutiae, gain 4 spurious ones.
+    let mut reading = enrolled.clone();
+    let dropped: Vec<u16> = reading.iter().copied().take(4).collect();
+    for d in dropped {
+        reading.remove(&d);
+    }
+    while reading.len() < 30 {
+        reading.insert(rng.gen_range(0..256));
+    }
+    assert_eq!(vault_scheme.unlock(&vault, &reading).unwrap(), secret);
+
+    // Impostor: unrelated minutiae set.
+    let impostor: BTreeSet<u16> = {
+        let mut s = BTreeSet::new();
+        while s.len() < 30 {
+            s.insert(rng.gen_range(0..256));
+        }
+        s
+    };
+    match vault_scheme.unlock(&vault, &impostor) {
+        Err(_) => {}
+        Ok(got) => assert_ne!(got, secret, "impostor unlocked the vault"),
+    }
+}
+
+#[test]
+fn chebyshev_error_rates_match_theory() {
+    // With bounded-uniform noise ≤ t the FRR is exactly zero, and the FAR
+    // is bounded by the false-close probability (astronomically small at
+    // n = 300).
+    let mut rng = StdRng::seed_from_u64(25);
+    let fe = FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32);
+    let gen = PopulationGenerator::paper_defaults(300);
+    let noise = UniformNoise::new(100);
+    let enrolled = gen.random_template(&mut rng).into_features();
+    let (key, helper) = fe.generate(&enrolled, &mut rng).unwrap();
+
+    let mut g_rng = StdRng::seed_from_u64(26);
+    let mut i_rng = StdRng::seed_from_u64(27);
+    let rates = measure_error_rates(
+        50,
+        50,
+        || {
+            let reading = noise.perturb(&enrolled, &mut g_rng);
+            fe.reproduce(&reading, &helper).map_or(false, |k| k == key)
+        },
+        || {
+            let reading = gen.random_template(&mut i_rng).into_features();
+            fe.reproduce(&reading, &helper).is_ok()
+        },
+    );
+    assert_eq!(rates.frr, 0.0);
+    assert_eq!(rates.far, 0.0);
+}
+
+#[test]
+fn chebyshev_frr_grows_with_unbounded_noise() {
+    // Gaussian noise with sigma near t: some readings exceed the
+    // threshold in at least one of many coordinates → nonzero FRR. This
+    // documents why the paper's bounded-noise evaluation model matters.
+    use fuzzy_id::biometric::GaussianNoise;
+    let mut rng = StdRng::seed_from_u64(28);
+    let fe = FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32);
+    let gen = PopulationGenerator::paper_defaults(1000);
+    let noise = GaussianNoise::new(40.0, 400); // clip beyond t = 100
+    let enrolled = gen.random_template(&mut rng).into_features();
+    let (_, helper) = fe.generate(&enrolled, &mut rng).unwrap();
+
+    let mut g_rng = StdRng::seed_from_u64(29);
+    let rates = measure_error_rates(
+        30,
+        0,
+        || {
+            let reading = noise.perturb(&enrolled, &mut g_rng);
+            fe.reproduce(&reading, &helper).is_ok()
+        },
+        || false,
+    );
+    // With 1000 coordinates at sigma=40, some coordinate exceeds 100
+    // (2.5 sigma) with probability ≈ 1 per reading.
+    assert!(rates.frr > 0.5, "expected high FRR, got {}", rates.frr);
+}

@@ -1,0 +1,130 @@
+//! Concurrency integration: one shared authentication server, many
+//! devices enrolling, identifying, verifying and revoking in parallel.
+
+use fuzzy_id::protocol::concurrent::SharedServer;
+use fuzzy_id::protocol::{BiometricDevice, SystemParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noisy(bio: &[i64], rng: &mut StdRng) -> Vec<i64> {
+    bio.iter().map(|&x| x + rng.gen_range(-90i64..=90)).collect()
+}
+
+#[test]
+fn parallel_identification_storm() {
+    let params = SystemParams::insecure_test_defaults();
+    let server = SharedServer::new(params.clone());
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(7_000);
+
+    let users = 12usize;
+    let mut bios = Vec::new();
+    for u in 0..users {
+        let bio = params.sketch().line().random_vector(200, &mut rng);
+        server
+            .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+            .unwrap();
+        bios.push(bio);
+    }
+
+    crossbeam::scope(|scope| {
+        // Each user identifies 3 times concurrently.
+        for round in 0..3u64 {
+            for (u, bio) in bios.iter().enumerate() {
+                let server = server.clone();
+                let device = device.clone();
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(round * 1000 + u as u64);
+                    let reading = noisy(bio, &mut rng);
+                    let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+                    let chal = server.begin_identification(&probe, &mut rng).unwrap();
+                    let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+                    let outcome = server.finish_identification(&resp).unwrap();
+                    assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+                });
+            }
+        }
+    })
+    .expect("no thread panicked");
+}
+
+#[test]
+fn interleaved_sessions_do_not_cross_talk() {
+    // Open all challenges first, answer them in reverse order: every
+    // session must still resolve to its own user.
+    let params = SystemParams::insecure_test_defaults();
+    let server = SharedServer::new(params.clone());
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(7_100);
+
+    let users = 6usize;
+    let mut bios = Vec::new();
+    for u in 0..users {
+        let bio = params.sketch().line().random_vector(150, &mut rng);
+        server
+            .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+            .unwrap();
+        bios.push(bio);
+    }
+
+    let mut open = Vec::new();
+    for (u, bio) in bios.iter().enumerate() {
+        let reading = noisy(bio, &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        open.push((u, reading, chal));
+    }
+    for (u, reading, chal) in open.into_iter().rev() {
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        let outcome = server.finish_identification(&resp).unwrap();
+        assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+    }
+}
+
+#[test]
+fn enrollment_and_identification_interleave() {
+    let params = SystemParams::insecure_test_defaults();
+    let server = SharedServer::new(params.clone());
+    let device = BiometricDevice::new(params.clone());
+
+    // Seed population.
+    let mut rng = StdRng::seed_from_u64(7_200);
+    let mut bios = Vec::new();
+    for u in 0..4 {
+        let bio = params.sketch().line().random_vector(150, &mut rng);
+        server
+            .enroll(device.enroll(&format!("seed-{u}"), &bio, &mut rng).unwrap())
+            .unwrap();
+        bios.push(bio);
+    }
+
+    crossbeam::scope(|scope| {
+        // Writers: enroll 8 new users.
+        for w in 0..8 {
+            let server = server.clone();
+            let device = device.clone();
+            scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(8_000 + w);
+                let bio = device.params().sketch().line().random_vector(150, &mut rng);
+                server
+                    .enroll(device.enroll(&format!("new-{w}"), &bio, &mut rng).unwrap())
+                    .unwrap();
+            });
+        }
+        // Readers: identify seed users while writers run.
+        for (u, bio) in bios.iter().enumerate() {
+            let server = server.clone();
+            let device = device.clone();
+            scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(9_000 + u as u64);
+                let reading = noisy(bio, &mut rng);
+                let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+                let chal = server.begin_identification(&probe, &mut rng).unwrap();
+                let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+                assert!(server.finish_identification(&resp).unwrap().is_identified());
+            });
+        }
+    })
+    .expect("no thread panicked");
+    assert_eq!(server.user_count(), 12);
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: enrollment → identification → verification
+//! across the full stack (biometric workload → fuzzy extractor → DSA
+//! protocol), as a downstream user would wire it up.
+
+use fuzzy_id::biometric::{NoiseModel, PopulationGenerator, UniformNoise};
+use fuzzy_id::protocol::{ProtocolRunner, SystemParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(users: usize, dim: usize, seed: u64) -> (ProtocolRunner, Vec<Vec<i64>>, StdRng) {
+    let params = SystemParams::insecure_test_defaults();
+    let mut runner = ProtocolRunner::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = PopulationGenerator::paper_defaults(dim);
+    let mut bios = Vec::new();
+    for u in 0..users {
+        let bio = gen.random_template(&mut rng).into_features();
+        runner.enroll_user(&format!("user-{u}"), &bio, &mut rng).unwrap();
+        bios.push(bio);
+    }
+    (runner, bios, rng)
+}
+
+#[test]
+fn every_enrolled_user_is_identified() {
+    let (mut runner, bios, mut rng) = setup(20, 500, 1);
+    let noise = UniformNoise::new(100);
+    for (u, bio) in bios.iter().enumerate() {
+        let reading = noise.perturb(bio, &mut rng);
+        let (outcome, stats) = runner.identify(&reading, &mut rng).unwrap();
+        assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+        assert_eq!(stats.rep_attempts, 1, "proposed protocol runs one Rep");
+        assert_eq!(stats.signature_ops, 2);
+    }
+}
+
+#[test]
+fn every_enrolled_user_passes_verification() {
+    let (mut runner, bios, mut rng) = setup(10, 500, 2);
+    let noise = UniformNoise::new(90);
+    for (u, bio) in bios.iter().enumerate() {
+        let id = format!("user-{u}");
+        let reading = noise.perturb(bio, &mut rng);
+        let (outcome, _) = runner.verify(&id, &reading, &mut rng).unwrap();
+        assert_eq!(outcome.identity(), Some(id.as_str()));
+    }
+}
+
+#[test]
+fn impostors_are_rejected_in_both_modes() {
+    let (mut runner, _bios, mut rng) = setup(10, 500, 3);
+    let gen = PopulationGenerator::paper_defaults(500);
+    for _ in 0..5 {
+        let impostor = gen.random_template(&mut rng).into_features();
+        // Identification: no record matches.
+        assert!(runner.identify(&impostor, &mut rng).is_err());
+        // Verification: device cannot answer the challenge.
+        assert!(runner.verify("user-0", &impostor, &mut rng).is_err());
+    }
+}
+
+#[test]
+fn proposed_and_normal_agree_across_population() {
+    let (mut runner, bios, mut rng) = setup(8, 300, 4);
+    let noise = UniformNoise::new(100);
+    for bio in &bios {
+        let reading = noise.perturb(bio, &mut rng);
+        let (o1, _) = runner.identify(&reading, &mut rng).unwrap();
+        let (o2, _, _) = runner.identify_normal(&reading, &mut rng).unwrap();
+        assert_eq!(o1, o2);
+    }
+}
+
+#[test]
+fn normal_approach_cost_grows_with_position() {
+    let (mut runner, bios, mut rng) = setup(15, 300, 5);
+    let noise = UniformNoise::new(80);
+    let mut last_attempts = 0;
+    for (u, bio) in bios.iter().enumerate() {
+        let reading = noise.perturb(bio, &mut rng);
+        let (outcome, _, stats) = runner.identify_normal(&reading, &mut rng).unwrap();
+        assert!(outcome.is_identified());
+        assert_eq!(stats.rep_attempts, u + 1);
+        assert!(stats.rep_attempts >= last_attempts);
+        last_attempts = stats.rep_attempts;
+    }
+}
+
+#[test]
+fn noise_at_exact_threshold_still_identifies() {
+    let (mut runner, bios, mut rng) = setup(3, 200, 6);
+    // Every coordinate moved by exactly t = 100.
+    let reading: Vec<i64> = bios[1].iter().map(|&x| x + 100).collect();
+    let (outcome, _) = runner.identify(&reading, &mut rng).unwrap();
+    assert_eq!(outcome.identity(), Some("user-1"));
+}
+
+#[test]
+fn noise_beyond_threshold_rejects_or_misses() {
+    let (mut runner, bios, mut rng) = setup(3, 200, 7);
+    // One coordinate pushed to t + 99 (within the same interval span but
+    // beyond the acceptance threshold): the device-side Rep must fail
+    // even if the sketch scan happens to match.
+    let mut reading = bios[1].clone();
+    reading[0] += 199;
+    match runner.identify(&reading, &mut rng) {
+        Err(_) => {}
+        Ok((outcome, _)) => {
+            // If a record matched at the sketch level, the signature round
+            // must still have identified the right user or rejected.
+            assert!(outcome.identity().is_none() || outcome.identity() == Some("user-1"));
+        }
+    }
+}
+
+#[test]
+fn large_dimension_end_to_end() {
+    // The paper's headline configuration: n = 5000.
+    let (mut runner, bios, mut rng) = setup(3, 5000, 8);
+    let noise = UniformNoise::new(100);
+    let reading = noise.perturb(&bios[2], &mut rng);
+    let (outcome, _) = runner.identify(&reading, &mut rng).unwrap();
+    assert_eq!(outcome.identity(), Some("user-2"));
+}
+
+#[test]
+fn reenrollment_under_new_id_works() {
+    // The same biometric enrolled under two ids: fresh helper data and
+    // keys each time (reusability hygiene); identification returns one of
+    // the two matching records.
+    let (mut runner, bios, mut rng) = setup(2, 300, 9);
+    runner.enroll_user("user-0-alt", &bios[0], &mut rng).unwrap();
+    let noise = UniformNoise::new(50);
+    let reading = noise.perturb(&bios[0], &mut rng);
+    let (outcome, _) = runner.identify(&reading, &mut rng).unwrap();
+    let id = outcome.identity().unwrap();
+    assert!(id == "user-0" || id == "user-0-alt");
+}

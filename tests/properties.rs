@@ -1,0 +1,173 @@
+//! Cross-crate property-based tests: the paper's theorems as proptest
+//! properties over randomized configurations.
+
+use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
+use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor, NumberLine, SecureSketch};
+use fuzzy_id::metrics::{Metric, RingChebyshev};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random but always-valid (line, threshold) configurations.
+/// `a >= 2` keeps the interval length `ka >= 4`, so a threshold
+/// `1 <= t < ka/2` always exists.
+fn line_and_t() -> impl Strategy<Value = (NumberLine, u64)> {
+    (2u64..50, 1u64..6, 2u64..40).prop_flat_map(|(a, half_k, v)| {
+        let k = half_k * 2;
+        let line = NumberLine::new(a, k, v).expect("valid by construction");
+        let t_max = line.interval_len() / 2 - 1;
+        (Just(line), 1..=t_max)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 (forward direction): any reading within cyclic Chebyshev
+    /// distance t recovers the enrolled vector exactly.
+    #[test]
+    fn theorem1_recovery_within_t(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 1usize..20,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let sketch = scheme.sketch(&x, &mut rng).unwrap();
+        let noisy: Vec<i64> = x
+            .iter()
+            .map(|&v| {
+                use rand::Rng;
+                line.wrap(v + rng.gen_range(-(t as i64)..=t as i64))
+            })
+            .collect();
+        prop_assert_eq!(scheme.recover(&noisy, &sketch).unwrap(), x);
+    }
+
+    /// Theorem 1 (converse): a reading farther than t in some coordinate
+    /// either fails or recovers a *different* vector — never silently the
+    /// right one.
+    #[test]
+    fn theorem1_no_false_recovery(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 1usize..10,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let sketch = scheme.sketch(&x, &mut rng).unwrap();
+        let mut bad = x.clone();
+        // Push one coordinate strictly beyond t (cyclically).
+        let delta = (t + 1).min(line.period() / 2) as i64;
+        bad[0] = line.wrap(bad[0] + delta);
+        let ring = RingChebyshev::new(line.period());
+        prop_assume!(ring.distance(&x[..], &bad[..]) > t);
+        match scheme.recover(&bad, &sketch) {
+            Err(_) => {}
+            Ok(recovered) => prop_assert_ne!(recovered, x),
+        }
+    }
+
+    /// The sketch never stores anything but bounded movements:
+    /// |s_i| ≤ ka/2 — the Theorem 3 storage accounting assumption.
+    #[test]
+    fn sketch_values_bounded(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 1usize..20,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let sketch = scheme.sketch(&x, &mut rng).unwrap();
+        let half = (line.interval_len() / 2) as i64;
+        prop_assert!(sketch.iter().all(|&s| -half <= s && s <= half));
+    }
+
+    /// Theorem 2 equivalence: the paper's four conditions equal the
+    /// cyclic-distance test for all legal sketch pairs.
+    #[test]
+    fn conditions_equal_cyclic(
+        ka_half in 2i64..500,
+        t_raw in 1u64..500,
+        s in -500i64..=500,
+        sp in -500i64..=500,
+    ) {
+        let ka = (2 * ka_half) as u64;
+        let t = t_raw % (ka / 2);
+        prop_assume!(t >= 1);
+        let s = s.clamp(-ka_half, ka_half);
+        let sp = sp.clamp(-ka_half, ka_half);
+        prop_assert_eq!(
+            paper_conditions_hold(s, sp, t, ka),
+            cyclic_close(s, sp, t, ka)
+        );
+    }
+
+    /// Theorem 2 (completeness): sketches of close readings always match.
+    #[test]
+    fn close_readings_always_match(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 1usize..16,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let noisy: Vec<i64> = x
+            .iter()
+            .map(|&v| {
+                use rand::Rng;
+                line.wrap(v + rng.gen_range(-(t as i64)..=t as i64))
+            })
+            .collect();
+        let sx = scheme.sketch(&x, &mut rng).unwrap();
+        let sy = scheme.sketch(&noisy, &mut rng).unwrap();
+        prop_assert!(sketches_match(&sx, &sy, t, line.interval_len()));
+    }
+
+    /// Full fuzzy extractor roundtrip under random configurations.
+    #[test]
+    fn fuzzy_extractor_roundtrip(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 1usize..12,
+        key_len in 16usize..48,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let fe = FuzzyExtractor::with_defaults(scheme, key_len);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let (key, helper) = fe.generate(&x, &mut rng).unwrap();
+        prop_assert_eq!(key.len(), key_len);
+        let noisy: Vec<i64> = x
+            .iter()
+            .map(|&v| {
+                use rand::Rng;
+                line.wrap(v + rng.gen_range(-(t as i64)..=t as i64))
+            })
+            .collect();
+        prop_assert_eq!(fe.reproduce(&noisy, &helper).unwrap(), key);
+    }
+
+    /// Ring-wrap invariance: shifting the whole input by one full period
+    /// leaves the sketch-recovered value unchanged.
+    #[test]
+    fn period_shift_invariance(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 1usize..10,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let shifted: Vec<i64> = x.iter().map(|&v| v + line.period() as i64).collect();
+        let sketch = scheme.sketch(&x, &mut rng).unwrap();
+        prop_assert_eq!(
+            scheme.recover(&shifted, &sketch).unwrap(),
+            x
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Statistical checks of the security definitions: Definition 6 says the
+//! extracted string must be statistically close to uniform even given the
+//! helper data. These tests measure that empirically (coarse chi-square
+//! bounds — smoke-level, not a substitute for the analytic argument).
+
+use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Chi-square statistic for byte-frequency uniformity.
+fn chi_square_bytes(samples: &[u8]) -> f64 {
+    let mut counts = [0u64; 256];
+    for &b in samples {
+        counts[b as usize] += 1;
+    }
+    let expected = samples.len() as f64 / 256.0;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn extracted_keys_look_uniform() {
+    // 512 keys × 32 bytes = 16,384 byte samples. For 255 degrees of
+    // freedom, chi-square has mean 255 and std ≈ 22.6; we accept < 360
+    // (≈ +4.6σ) — loose enough to be deterministic-safe, tight enough to
+    // catch any structural bias.
+    let fe = FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32);
+    let mut rng = StdRng::seed_from_u64(0x57A7);
+    let mut bytes = Vec::with_capacity(512 * 32);
+    for _ in 0..512 {
+        let bio = fe.sketcher().line().random_vector(64, &mut rng);
+        let (key, _helper) = fe.generate(&bio, &mut rng).unwrap();
+        bytes.extend_from_slice(key.as_bytes());
+    }
+    let chi = chi_square_bytes(&bytes);
+    assert!(chi < 360.0, "extracted keys biased: chi-square = {chi:.1}");
+}
+
+#[test]
+fn keys_independent_of_helper_data_bits() {
+    // Correlation smoke test: the first key byte should not predict the
+    // first sketch movement's sign (helper data is public!).
+    let fe = FuzzyExtractor::with_defaults(ChebyshevSketch::paper_defaults(), 32);
+    let mut rng = StdRng::seed_from_u64(0x57A8);
+    let trials = 600usize;
+    let mut table = [[0u32; 2]; 2]; // [key bit][movement sign]
+    for _ in 0..trials {
+        let bio = fe.sketcher().line().random_vector(16, &mut rng);
+        let (key, helper) = fe.generate(&bio, &mut rng).unwrap();
+        let key_bit = (key.as_bytes()[0] & 1) as usize;
+        let sign = (helper.sketch.inner[0] > 0) as usize;
+        table[key_bit][sign] += 1;
+    }
+    // Chi-square independence test, 1 degree of freedom; 10.83 = p<0.001.
+    let total = trials as f64;
+    let row: [f64; 2] = [
+        (table[0][0] + table[0][1]) as f64,
+        (table[1][0] + table[1][1]) as f64,
+    ];
+    let col: [f64; 2] = [
+        (table[0][0] + table[1][0]) as f64,
+        (table[0][1] + table[1][1]) as f64,
+    ];
+    let mut chi = 0.0;
+    for i in 0..2 {
+        for j in 0..2 {
+            let expected = row[i] * col[j] / total;
+            let d = table[i][j] as f64 - expected;
+            chi += d * d / expected;
+        }
+    }
+    assert!(chi < 10.83, "key bit correlates with helper data: chi = {chi:.2}");
+}
+
+#[test]
+fn sketch_movements_are_near_uniform() {
+    // Theorem 3's model assumes uniform inputs induce near-uniform
+    // movements over [-ka/2, ka/2]. Check the marginal distribution.
+    use fuzzy_id::core::SecureSketch;
+    let scheme = ChebyshevSketch::paper_defaults();
+    let ka = scheme.line().interval_len() as i64;
+    let mut rng = StdRng::seed_from_u64(0x57A9);
+    let x = scheme.line().random_vector(200_000, &mut rng);
+    let sketch = scheme.sketch(&x, &mut rng).unwrap();
+
+    // Bucket the movements into 8 equal bins over (-ka/2, ka/2].
+    let mut bins = [0u64; 8];
+    for &s in &sketch {
+        let shifted = (s + ka / 2).clamp(0, ka - 1); // [0, ka)
+        bins[(shifted * 8 / ka) as usize] += 1;
+    }
+    let expected = sketch.len() as f64 / 8.0;
+    for (i, &count) in bins.iter().enumerate() {
+        let dev = (count as f64 - expected).abs() / expected;
+        assert!(dev < 0.05, "bin {i} deviates {:.1}% from uniform", dev * 100.0);
+    }
+}
