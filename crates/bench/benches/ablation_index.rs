@@ -7,9 +7,15 @@
 //! * `scan_paper_t` — the scan at the paper's own `t = 100`, where no
 //!   coordinate-level index can prune (2 cells per coordinate) and the
 //!   scan is the right answer.
+//! * `sharded{N}_paper_t` — the scan partitioned over N parallel shards:
+//!   the only strategy that beats the single scan at the paper's own
+//!   parameters, because it divides the same work across cores instead
+//!   of trying (and failing) to prune it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fe_core::{BucketIndex, ChebyshevSketch, NumberLine, ScanIndex, SecureSketch, SketchIndex};
+use fe_core::{
+    BucketIndex, ChebyshevSketch, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -27,7 +33,11 @@ fn build(t: u64, users: usize, rng: &mut StdRng) -> (Vec<Vec<i64>>, Vec<Vec<i64>
         sketches.push(scheme.sketch(&x, rng).unwrap());
         let noisy: Vec<i64> = x
             .iter()
-            .map(|&v| scheme.line().wrap(v + rng.gen_range(-(t as i64)..=t as i64)))
+            .map(|&v| {
+                scheme
+                    .line()
+                    .wrap(v + rng.gen_range(-(t as i64)..=t as i64))
+            })
             .collect();
         probes.push(scheme.sketch(&noisy, rng).unwrap());
     }
@@ -63,17 +73,44 @@ fn bench_index(c: &mut Criterion) {
             b.iter(|| bucket.lookup(std::hint::black_box(&probe)).expect("found"))
         });
 
-        // Paper regime (t = 100): scan only (bucketing cannot prune).
+        // Paper regime (t = 100): bucketing cannot prune, so the
+        // contenders are the plain scan and the sharded (parallel) scan.
         let t = 100u64;
         let (sketches, probes) = build(t, users, &mut rng);
         let mut scan = ScanIndex::new(t, ka);
+        let mut sharded4 = ShardedIndex::scan(4, t, ka);
+        let mut sharded8 = ShardedIndex::scan(8, t, ka);
         for s in &sketches {
             scan.insert(s.clone());
+            sharded4.insert(s.clone());
+            sharded8.insert(s.clone());
         }
         let probe = probes.last().unwrap().clone();
         group.bench_with_input(BenchmarkId::new("scan_paper_t", users), &users, |b, _| {
             b.iter(|| scan.lookup(std::hint::black_box(&probe)).expect("found"))
         });
+        group.bench_with_input(
+            BenchmarkId::new("sharded4_paper_t", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    sharded4
+                        .lookup(std::hint::black_box(&probe))
+                        .expect("found")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded8_paper_t", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    sharded8
+                        .lookup(std::hint::black_box(&probe))
+                        .expect("found")
+                })
+            },
+        );
     }
     group.finish();
 }

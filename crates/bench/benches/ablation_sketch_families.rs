@@ -28,7 +28,10 @@ fn bench_families(c: &mut Criterion) {
     let (_, helper) = cheb.generate(&bio, &mut rng).unwrap();
     let noisy: Vec<i64> = bio.iter().map(|x| x + 50).collect();
     group.bench_function("chebyshev_rep_n5000", |b| {
-        b.iter(|| cheb.reproduce(std::hint::black_box(&noisy), &helper).unwrap())
+        b.iter(|| {
+            cheb.reproduce(std::hint::black_box(&noisy), &helper)
+                .unwrap()
+        })
     });
 
     // --- Code-offset BCH(1023, ·, 12): iris-code scale ---
@@ -44,7 +47,11 @@ fn bench_families(c: &mut Criterion) {
         wn.flip(i);
     }
     group.bench_function("code_offset_rep_1023b_5err", |b| {
-        b.iter(|| binary.reproduce(std::hint::black_box(&wn), &bhelper).unwrap())
+        b.iter(|| {
+            binary
+                .reproduce(std::hint::black_box(&wn), &bhelper)
+                .unwrap()
+        })
     });
 
     // --- Fuzzy vault: 24 features, degree-8 secret, 200 chaff ---

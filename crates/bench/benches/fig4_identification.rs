@@ -25,39 +25,31 @@ fn bench_fig4(c: &mut Criterion) {
         // Identify the LAST enrolled user: the worst case for the linear
         // scan of the normal approach.
         let params = SystemParams::insecure_test_defaults();
-        let mut pop = Population::build(params, users, DIM, 0xF16_4 + users as u64);
+        let mut pop = Population::build(params, users, DIM, 0xF164 + users as u64);
         let reading = pop.genuine_reading(users - 1);
 
-        group.bench_with_input(
-            BenchmarkId::new("proposed", users),
-            &users,
-            |b, _| {
-                b.iter(|| {
-                    let (outcome, _) = pop
-                        .runner
-                        .identify(std::hint::black_box(&reading), &mut pop.rng)
-                        .expect("identified");
-                    assert!(outcome.is_identified());
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("proposed", users), &users, |b, _| {
+            b.iter(|| {
+                let (outcome, _) = pop
+                    .runner
+                    .identify(std::hint::black_box(&reading), &mut pop.rng)
+                    .expect("identified");
+                assert!(outcome.is_identified());
+            })
+        });
 
         let params = SystemParams::insecure_test_defaults();
-        let mut pop = Population::build(params, users, DIM, 0xF16_4 + users as u64);
+        let mut pop = Population::build(params, users, DIM, 0xF164 + users as u64);
         let reading = pop.genuine_reading(users - 1);
-        group.bench_with_input(
-            BenchmarkId::new("normal", users),
-            &users,
-            |b, _| {
-                b.iter(|| {
-                    let (outcome, _, _) = pop
-                        .runner
-                        .identify_normal(std::hint::black_box(&reading), &mut pop.rng)
-                        .expect("identified");
-                    assert!(outcome.is_identified());
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("normal", users), &users, |b, _| {
+            b.iter(|| {
+                let (outcome, _, _) = pop
+                    .runner
+                    .identify_normal(std::hint::black_box(&reading), &mut pop.rng)
+                    .expect("identified");
+                assert!(outcome.is_identified());
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,171 @@
+//! **Server throughput (ours)**: identification service rate at scale,
+//! sweeping enrolled population × shard count.
+//!
+//! Two layers are measured:
+//!
+//! * `lookup` / `batch` — the raw sketch-index layer on up to 10⁵
+//!   enrolled sketches (paper parameters, worst-case probe): the plain
+//!   early-abort scan vs [`ShardedIndex`] with 2/4/8 parallel shards,
+//!   plus the batch path that resolves a whole probe queue per call.
+//!   This is the acceptance benchmark for the sharded-index refactor:
+//!   at 10⁵ records the scan is pure memory-bandwidth-bound compare
+//!   work, so N shards approach an N-fold speedup on an idle machine.
+//! * `identify_batch` — the full [`SharedServer`] protocol layer
+//!   (challenge issue included): one lock acquisition per shard per
+//!   batch instead of two exclusive acquisitions per device.
+//!
+//! Populations are built once per size from real Chebyshev sketches so
+//! the early-abort profile matches production data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_core::{ChebyshevSketch, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex};
+use fe_protocol::concurrent::SharedServer;
+use fe_protocol::{BiometricDevice, SystemParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const DIM: usize = 64;
+const T: u64 = 100;
+const KA: u64 = 400;
+/// ≥ 10⁵ enrolled sketches: the acceptance-criterion scale.
+const INDEX_SIZES: [usize; 2] = [10_000, 100_000];
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+const BATCH: usize = 256;
+
+fn build_population(users: usize, rng: &mut StdRng) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let line = NumberLine::new(100, 4, 500).unwrap();
+    let scheme = ChebyshevSketch::new(line, T).unwrap();
+    let mut sketches = Vec::with_capacity(users);
+    let mut probes = Vec::with_capacity(users);
+    for _ in 0..users {
+        let x = scheme.line().random_vector(DIM, rng);
+        sketches.push(scheme.sketch(&x, rng).unwrap());
+        let noisy: Vec<i64> = x
+            .iter()
+            .map(|&v| {
+                scheme
+                    .line()
+                    .wrap(v + rng.gen_range(-(T as i64)..=T as i64))
+            })
+            .collect();
+        probes.push(scheme.sketch(&noisy, rng).unwrap());
+    }
+    (sketches, probes)
+}
+
+/// Index layer: single worst-case lookup and a 256-probe batch, scan vs
+/// sharded, over the population sweep.
+fn bench_index_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &users in &INDEX_SIZES {
+        let mut rng = StdRng::seed_from_u64(0x5CA1E + users as u64);
+        let (sketches, probes) = build_population(users, &mut rng);
+        // Worst case for the scan: the match is the last enrolled record.
+        let worst_probe = probes.last().unwrap().clone();
+        // A service queue: BATCH genuine probes spread over the
+        // population.
+        let batch: Vec<Vec<i64>> = (0..BATCH)
+            .map(|i| probes[i * users / BATCH].clone())
+            .collect();
+
+        let mut scan = ScanIndex::new(T, KA);
+        for s in &sketches {
+            scan.insert(s.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("lookup/scan", users), &users, |b, _| {
+            b.iter(|| {
+                scan.lookup(std::hint::black_box(&worst_probe))
+                    .expect("found")
+            })
+        });
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("batch/scan", users), &users, |b, _| {
+            b.iter(|| scan.lookup_batch(std::hint::black_box(&batch)))
+        });
+
+        for &shards in &SHARD_COUNTS {
+            let mut sharded = ShardedIndex::scan(shards, T, KA);
+            for s in &sketches {
+                sharded.insert(s.clone());
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("lookup/sharded{shards}"), users),
+                &users,
+                |b, _| {
+                    b.iter(|| {
+                        sharded
+                            .lookup(std::hint::black_box(&worst_probe))
+                            .expect("found")
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch/sharded{shards}"), users),
+                &users,
+                |b, _| b.iter(|| sharded.lookup_batch(std::hint::black_box(&batch))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Protocol layer: [`SharedServer::identify_batch`] over a queue of
+/// concurrent devices, sweeping the server shard count. Smaller
+/// population (each enrollment runs real DSA keygen).
+fn bench_shared_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let users = 512;
+    let queue = 64usize;
+    for &shards in &[1usize, 4] {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), shards);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(0xBA7C + shards as u64);
+        let mut probes = Vec::with_capacity(users);
+        for u in 0..users {
+            let bio = params.sketch().line().random_vector(DIM, &mut rng);
+            server
+                .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+                .unwrap();
+            let reading: Vec<i64> = bio
+                .iter()
+                .map(|&x| x + rng.gen_range(-(T as i64)..=T as i64))
+                .collect();
+            probes.push(device.probe_sketch(&reading, &mut rng).unwrap());
+        }
+        let batch: Vec<Vec<i64>> = probes.into_iter().take(queue).collect();
+
+        group.throughput(Throughput::Elements(queue as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("identify_batch/shards{shards}"), users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    let results = server.identify_batch(std::hint::black_box(&batch), &mut rng);
+                    // Cancel the issued sessions so the pending-challenge
+                    // table stays bounded across iterations — otherwise
+                    // later samples measure inserts into an ever-growing
+                    // map instead of steady-state batch service.
+                    for result in &results {
+                        let chal = result.as_ref().expect("genuine probes match");
+                        assert!(server.cancel_session(chal.session));
+                    }
+                    results
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_scaling, bench_shared_server);
+criterion_main!(benches);

@@ -36,7 +36,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: experiments [table2|fig4|verification|dimsweep|falseclose|scanstats|all]");
+            eprintln!(
+                "usage: experiments [table2|fig4|verification|dimsweep|falseclose|scanstats|all]"
+            );
             std::process::exit(2);
         }
     }
@@ -97,7 +99,7 @@ fn fig4() {
     let mut csv = Vec::new();
     for users in [1usize, 5, 10, 20, 30, 40, 50] {
         let params = SystemParams::insecure_test_defaults();
-        let mut pop = Population::build(params, users, dim, 0xF1_64 + users as u64);
+        let mut pop = Population::build(params, users, dim, 0xF164 + users as u64);
         // Identify the last-enrolled user: worst case for the baseline.
         let reading = pop.genuine_reading(users - 1);
 
@@ -155,10 +157,7 @@ fn verification() {
     }
     println!("verification:   {}   (paper:  99 ms)", ms(ver));
     println!("identification: {}   (paper: 110 ms)", ms(ident));
-    println!(
-        "ratio:          {:8.3}      (paper: ≈1.11)",
-        ident / ver
-    );
+    println!("ratio:          {:8.3}      (paper: ≈1.11)", ident / ver);
     let path = write_csv(
         "verification.csv",
         "mode,ms",
@@ -191,14 +190,11 @@ fn dimsweep() {
     );
     for dim in (1..=31).step_by(5).map(|k| k * 1000) {
         let mut best = [f64::MAX; 2];
-        for (slot, params) in [
-            SystemParams::insecure_test_defaults(),
-            params_2048.clone(),
-        ]
-        .into_iter()
-        .enumerate()
+        for (slot, params) in [SystemParams::insecure_test_defaults(), params_2048.clone()]
+            .into_iter()
+            .enumerate()
         {
-            let mut pop = Population::build(params, 3, dim, 0xD1_5 + dim as u64);
+            let mut pop = Population::build(params, 3, dim, 0x0D15 + dim as u64);
             let reading = pop.genuine_reading(1);
             for _ in 0..reps {
                 let (_, secs) = time_it(|| {
@@ -209,11 +205,7 @@ fn dimsweep() {
             }
         }
         println!("{dim:>7} {} {}", ms(best[0]), ms(best[1]));
-        csv.push(format!(
-            "{dim},{:.6},{:.6}",
-            best[0] * 1e3,
-            best[1] * 1e3
-        ));
+        csv.push(format!("{dim},{:.6},{:.6}", best[0] * 1e3, best[1] * 1e3));
     }
     let path = write_csv("dimsweep.csv", "n,dsa512_ms,dsa2048_ms", &csv);
     println!("→ {}", path.display());
@@ -254,9 +246,7 @@ fn falseclose() {
         let false_ana = analysis.log2_false_close_exact().exp2();
         let match_emp = matches as f64 / trials as f64;
         let false_emp = false_close as f64 / trials as f64;
-        println!(
-            "{n:>3} {match_emp:>12.5} {match_ana:>12.5} {false_emp:>12.5} {false_ana:>12.5}"
-        );
+        println!("{n:>3} {match_emp:>12.5} {match_ana:>12.5} {false_emp:>12.5} {false_ana:>12.5}");
         csv.push(format!(
             "{n},{match_emp:.6},{match_ana:.6},{false_emp:.6},{false_ana:.6}"
         ));

@@ -66,7 +66,10 @@ impl Population {
     /// An impostor reading: a fresh uniform vector.
     pub fn impostor_reading(&mut self) -> Vec<i64> {
         let dim = self.bios.first().map_or(0, |b| b.len());
-        self.params.sketch().line().random_vector(dim, &mut self.rng)
+        self.params
+            .sketch()
+            .line()
+            .random_vector(dim, &mut self.rng)
     }
 }
 

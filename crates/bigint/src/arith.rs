@@ -10,9 +10,9 @@ pub(crate) fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
+    for (i, &lhs) in long.iter().enumerate() {
         let rhs = short.get(i).copied().unwrap_or(0);
-        let (s1, c1) = long[i].overflowing_add(rhs);
+        let (s1, c1) = lhs.overflowing_add(rhs);
         let (s2, c2) = s1.overflowing_add(carry);
         out.push(s2);
         carry = (c1 as u64) + (c2 as u64);
@@ -28,11 +28,11 @@ pub(crate) fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
 pub(crate) fn sub_limbs_in_place(a: &mut [u64], b: &[u64]) -> bool {
     debug_assert!(a.len() >= b.len());
     let mut borrow = false;
-    for i in 0..a.len() {
+    for (i, limb) in a.iter_mut().enumerate() {
         let rhs = b.get(i).copied().unwrap_or(0);
-        let (d1, b1) = a[i].overflowing_sub(rhs);
+        let (d1, b1) = limb.overflowing_sub(rhs);
         let (d2, b2) = d1.overflowing_sub(borrow as u64);
-        a[i] = d2;
+        *limb = d2;
         borrow = b1 || b2;
     }
     borrow

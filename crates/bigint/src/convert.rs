@@ -29,8 +29,8 @@ impl Natural {
         while pos > 0 {
             let start = pos.saturating_sub(16);
             let chunk = &s[start..pos];
-            let limb = u64::from_str_radix(chunk, 16)
-                .map_err(|_| ParseNaturalError::InvalidDigit)?;
+            let limb =
+                u64::from_str_radix(chunk, 16).map_err(|_| ParseNaturalError::InvalidDigit)?;
             limbs.push(limb);
             pos = start;
         }
@@ -173,7 +173,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let n = Natural::from_hex(s).unwrap();
             assert_eq!(n.to_hex(), s);
         }
@@ -203,9 +209,18 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert_eq!(Natural::from_hex(""), Err(ParseNaturalError::Empty));
-        assert_eq!(Natural::from_hex("xyz"), Err(ParseNaturalError::InvalidDigit));
-        assert_eq!(Natural::from_decimal("12a"), Err(ParseNaturalError::InvalidDigit));
-        assert_eq!(Natural::from_decimal("-5"), Err(ParseNaturalError::InvalidDigit));
+        assert_eq!(
+            Natural::from_hex("xyz"),
+            Err(ParseNaturalError::InvalidDigit)
+        );
+        assert_eq!(
+            Natural::from_decimal("12a"),
+            Err(ParseNaturalError::InvalidDigit)
+        );
+        assert_eq!(
+            Natural::from_decimal("-5"),
+            Err(ParseNaturalError::InvalidDigit)
+        );
     }
 
     #[test]

@@ -167,7 +167,9 @@ mod tests {
     #[test]
     fn mod_pow_large_prime() {
         // Fermat: a^(p-1) = 1 mod p for 127-bit Mersenne prime 2^127 - 1.
-        let p = Natural::power_of_two(127).checked_sub(&Natural::one()).unwrap();
+        let p = Natural::power_of_two(127)
+            .checked_sub(&Natural::one())
+            .unwrap();
         let exp = p.checked_sub(&Natural::one()).unwrap();
         assert_eq!(n(3).mod_pow(&exp, &p), Natural::one());
     }
@@ -192,7 +194,9 @@ mod tests {
 
     #[test]
     fn mod_inv_roundtrip_large() {
-        let p = Natural::power_of_two(127).checked_sub(&Natural::one()).unwrap();
+        let p = Natural::power_of_two(127)
+            .checked_sub(&Natural::one())
+            .unwrap();
         let a = Natural::from_hex("123456789abcdef0fedcba9876543210").unwrap();
         let inv = a.mod_inv(&p).expect("p is prime, inverse exists");
         assert_eq!(a.mod_mul(&inv, &p), Natural::one());

@@ -264,6 +264,9 @@ mod tests {
     fn pow_zero_exponent() {
         let n = Natural::from(97u64);
         let ctx = Montgomery::new(&n).unwrap();
-        assert_eq!(ctx.pow(&Natural::from(5u64), &Natural::zero()), Natural::one());
+        assert_eq!(
+            ctx.pow(&Natural::from(5u64), &Natural::zero()),
+            Natural::one()
+        );
     }
 }

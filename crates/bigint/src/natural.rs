@@ -99,7 +99,6 @@ impl Natural {
             _ => None,
         }
     }
-
 }
 
 impl From<u64> for Natural {

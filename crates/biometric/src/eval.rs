@@ -100,7 +100,7 @@ mod tests {
             0,
             || {
                 i += 1;
-                i % 10 != 0 // reject every 10th genuine
+                !i.is_multiple_of(10) // reject every 10th genuine
             },
             || false,
         );

@@ -71,7 +71,10 @@ impl GaussianNoise {
     /// # Panics
     /// Panics if `sigma` is negative or not finite.
     pub fn new(sigma: f64, clip: u64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0"
+        );
         GaussianNoise { sigma, clip }
     }
 
@@ -208,7 +211,10 @@ mod tests {
             .iter()
             .map(|v| v.abs())
             .sum();
-        assert!(large > small * 5, "sigma scaling broken: {small} vs {large}");
+        assert!(
+            large > small * 5,
+            "sigma scaling broken: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -162,10 +162,7 @@ impl BinaryFuzzyExtractor {
         let mut seed = vec![0u8; self.extractor.seed_len(w.to_bytes().len())];
         rng.fill_bytes(&mut seed);
         let key = ExtractedKey::new(self.extractor.extract(&w.to_bytes(), &seed));
-        Ok((
-            key,
-            BinaryHelperData { sketch, tag, seed },
-        ))
+        Ok((key, BinaryHelperData { sketch, tag, seed }))
     }
 
     /// `Rep(w', P) → R`.
@@ -238,7 +235,10 @@ mod tests {
         let s = CodeOffsetSketch::new(Bch::new(5, 2).unwrap());
         assert!(matches!(
             s.sketch(&BitVec::zeros(30), &mut r),
-            Err(SketchError::DimensionMismatch { expected: 31, got: 30 })
+            Err(SketchError::DimensionMismatch {
+                expected: 31,
+                got: 30
+            })
         ));
     }
 

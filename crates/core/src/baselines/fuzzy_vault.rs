@@ -257,9 +257,7 @@ mod tests {
         let v = scheme();
         let mut r = rng();
         // Secret length mismatch.
-        assert!(v
-            .lock(&features(1..=20), &[1, 2, 3], &mut r)
-            .is_err());
+        assert!(v.lock(&features(1..=20), &[1, 2, 3], &mut r).is_err());
         // Too few features to interpolate.
         assert!(v.lock(&features(1..=2), &[1, 2, 3, 4], &mut r).is_err());
         // Symbol out of field range.

@@ -174,7 +174,7 @@ impl SecureSketch for ChebyshevSketch {
             }
             let shifted = self.line.wrap(self.line.wrap(y) + s);
             let r = shifted.rem_euclid(ka); // [0, ka)
-            // Distance to the identifier of the containing interval.
+                                            // Distance to the identifier of the containing interval.
             let dist = (r - ka / 2).abs();
             if dist > t {
                 return Err(SketchError::OutOfRange); // the paper's ⊥
@@ -322,7 +322,7 @@ mod tests {
         let sk = s.sketch(&boundary, &mut r).unwrap();
         let half = (s.line().interval_len() / 2) as i64;
         assert!(sk.iter().all(|&m| m == half || m == -half));
-        assert!(sk.iter().any(|&m| m == half));
+        assert!(sk.contains(&half));
         assert!(sk.iter().any(|&m| m == -half));
         // Either way, recovery from the exact value works.
         assert_eq!(s.recover(&boundary, &sk).unwrap(), boundary);
@@ -356,7 +356,10 @@ mod tests {
         let sk = s.sketch(&[1, 2, 3], &mut r).unwrap();
         assert_eq!(
             s.recover(&[1, 2], &sk),
-            Err(SketchError::DimensionMismatch { expected: 3, got: 2 })
+            Err(SketchError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
         );
     }
 

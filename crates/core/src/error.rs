@@ -56,7 +56,11 @@ mod tests {
         assert!(SketchError::OutOfRange.to_string().contains("threshold"));
         assert!(SketchError::TagMismatch.to_string().contains("integrity"));
         assert_eq!(
-            SketchError::DimensionMismatch { expected: 3, got: 4 }.to_string(),
+            SketchError::DimensionMismatch {
+                expected: 3,
+                got: 4
+            }
+            .to_string(),
             "dimension mismatch: expected 3, got 4"
         );
     }

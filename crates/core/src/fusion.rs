@@ -153,7 +153,11 @@ mod tests {
         f: &FusedExtractor,
         rng: &mut StdRng,
     ) -> (Vec<i64>, BitVec, ExtractedKey, FusedHelperData) {
-        let features = f.vector_extractor().sketcher().line().random_vector(32, rng);
+        let features = f
+            .vector_extractor()
+            .sketcher()
+            .line()
+            .random_vector(32, rng);
         let code = BitVec::from_fn(63, |_| rng.gen_bool(0.5));
         let (key, helper) = f.generate(&features, &code, rng).unwrap();
         (features, code, key, helper)
@@ -176,7 +180,11 @@ mod tests {
         let f = fused();
         let mut rng = StdRng::seed_from_u64(61);
         let (_, code, _, helper) = enroll(&f, &mut rng);
-        let wrong = f.vector_extractor().sketcher().line().random_vector(32, &mut rng);
+        let wrong = f
+            .vector_extractor()
+            .sketcher()
+            .line()
+            .random_vector(32, &mut rng);
         assert!(f.reproduce(&wrong, &code, &helper).is_err());
     }
 
@@ -208,7 +216,11 @@ mod tests {
             BinaryFuzzyExtractor::new(Bch::new(6, 3).unwrap(), 32),
             48,
         );
-        let features = f.vector_extractor().sketcher().line().random_vector(8, &mut rng);
+        let features = f
+            .vector_extractor()
+            .sketcher()
+            .line()
+            .random_vector(8, &mut rng);
         let code = BitVec::from_fn(63, |_| rng.gen_bool(0.5));
         let (key, _) = f.generate(&features, &code, &mut rng).unwrap();
         assert_eq!(key.len(), 48);

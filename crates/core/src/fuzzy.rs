@@ -99,10 +99,10 @@ where
         helper: &HelperData<S::Sketch>,
     ) -> Result<ExtractedKey, SketchError> {
         let recovered = self.sketcher.recover(reading, &helper.sketch)?;
-        Ok(ExtractedKey::new(self.extractor.extract(
-            &encode_i64_vector(&recovered),
-            &helper.seed,
-        )))
+        Ok(ExtractedKey::new(
+            self.extractor
+                .extract(&encode_i64_vector(&recovered), &helper.seed),
+        ))
     }
 }
 

@@ -1,0 +1,177 @@
+//! The LSH-style bucket index extension.
+
+use super::{RecordId, SketchIndex};
+use crate::conditions::sketches_match;
+use std::collections::HashMap;
+
+/// LSH-style bucket index with multi-probe lookup (extension).
+///
+/// Each sketch coordinate is normalized onto `[0, ka)` and the first
+/// `prefix_dims` coordinates are quantized into cells of width `2t + 1`;
+/// the resulting cell tuple keys a hash bucket. A probe within cyclic
+/// distance `t` per coordinate can only land in the same or an adjacent
+/// cell, so lookup probes the `3^prefix_dims` neighbouring cell tuples and
+/// verifies candidates with the full conditions.
+///
+/// **Pruning power**: the candidate fraction is roughly
+/// `(3·(2t+1)/ka)^prefix_dims`. At the paper's Table II parameters
+/// (`ka = 400, t = 100`) each coordinate has only ~2 cells, so *no*
+/// coordinate-level index can prune — the early-abort [`ScanIndex`] is
+/// already optimal there. The bucket index pays off when `ka ≫ t` (small
+/// relative noise), which the index ablation bench quantifies.
+///
+/// [`ScanIndex`]: super::ScanIndex
+#[derive(Debug, Clone)]
+pub struct BucketIndex {
+    t: u64,
+    ka: u64,
+    prefix_dims: usize,
+    cells: u64,
+    buckets: HashMap<Vec<u32>, Vec<RecordId>>,
+    entries: Vec<Option<Vec<i64>>>,
+    live: usize,
+}
+
+impl BucketIndex {
+    /// Creates a bucket index keyed on the first `prefix_dims`
+    /// coordinates.
+    ///
+    /// # Panics
+    /// Panics if `prefix_dims == 0` or `prefix_dims > 8` (probe count is
+    /// `3^prefix_dims`; 8 ⇒ 6561 probes, a sane ceiling).
+    pub fn new(t: u64, ka: u64, prefix_dims: usize) -> Self {
+        assert!(
+            (1..=8).contains(&prefix_dims),
+            "prefix_dims must be in 1..=8"
+        );
+        // Cells must all be at least t+1 wide, or a move of ≤ t could skip
+        // across a sliver cell and land two cells away: give the remainder
+        // its own cell only when it is big enough, otherwise merge it into
+        // the last full cell.
+        let width = 2 * t + 1;
+        let mut cells = ka / width;
+        if ka % width > t {
+            cells += 1;
+        }
+        let cells = cells.max(1);
+        BucketIndex {
+            t,
+            ka,
+            prefix_dims,
+            cells,
+            buckets: HashMap::new(),
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn cell_of(&self, coord: i64) -> u32 {
+        let norm = coord.rem_euclid(self.ka as i64) as u64;
+        ((norm / (2 * self.t + 1)).min(self.cells - 1)) as u32
+    }
+
+    fn key_of(&self, sketch: &[i64]) -> Vec<u32> {
+        sketch
+            .iter()
+            .take(self.prefix_dims)
+            .map(|&c| self.cell_of(c))
+            .collect()
+    }
+
+    /// Enumerates the `3^prefix_dims` neighbouring keys of a probe key.
+    fn probe_keys(&self, probe: &[i64]) -> Vec<Vec<u32>> {
+        let base = self.key_of(probe);
+        let mut keys = vec![Vec::new()];
+        for &cell in &base {
+            let mut next = Vec::with_capacity(keys.len() * 3);
+            let neighbours = [
+                (cell as u64 + self.cells - 1) % self.cells,
+                cell as u64,
+                (cell as u64 + 1) % self.cells,
+            ];
+            // Dedup (cells can collapse when the ring is tiny).
+            let mut uniq: Vec<u64> = neighbours.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for prefix in &keys {
+                for &n in &uniq {
+                    let mut k = prefix.clone();
+                    k.push(n as u32);
+                    next.push(k);
+                }
+            }
+            keys = next;
+        }
+        keys
+    }
+
+    /// Candidate records sharing a probed bucket (before full
+    /// verification) — exposed for the ablation bench.
+    pub fn candidates(&self, probe: &[i64]) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        for key in self.probe_keys(probe) {
+            if let Some(ids) = self.buckets.get(&key) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl SketchIndex for BucketIndex {
+    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+        assert!(
+            sketch.len() >= self.prefix_dims,
+            "sketch shorter than prefix_dims"
+        );
+        let id = self.entries.len();
+        let key = self.key_of(&sketch);
+        self.buckets.entry(key).or_default().push(id);
+        self.entries.push(Some(sketch));
+        self.live += 1;
+        id
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
+        self.candidates(probe).into_iter().find(|&id| {
+            self.entries[id].as_ref().is_some_and(|s| {
+                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+            })
+        })
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        self.candidates(probe)
+            .into_iter()
+            .filter(|&id| {
+                self.entries[id].as_ref().is_some_and(|s| {
+                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+                })
+            })
+            .collect()
+    }
+
+    fn remove(&mut self, id: RecordId) -> bool {
+        let Some(slot) = self.entries.get_mut(id) else {
+            return false;
+        };
+        let Some(sketch) = slot.take() else {
+            return false;
+        };
+        self.live -= 1;
+        let key = self.key_of(&sketch);
+        if let Some(ids) = self.buckets.get_mut(&key) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}

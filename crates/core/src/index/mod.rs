@@ -1,7 +1,7 @@
 //! Server-side sketch lookup for the identification protocol.
 //!
 //! Given an incoming probe sketch `s'`, the server must find the enrolled
-//! record whose sketch matches under conditions (1)–(4). Two strategies:
+//! record whose sketch matches under conditions (1)–(4). Three strategies:
 //!
 //! * [`ScanIndex`] — the paper-faithful approach: scan records, applying
 //!   the cheap integer conditions with early abort. At the paper's
@@ -13,11 +13,28 @@
 //!   on a coarse quantization of the leading coordinates, with multi-probe
 //!   lookup. Genuinely sublinear in the number of records; documented as
 //!   an extension in DESIGN.md and quantified in the index ablation bench.
+//! * [`ShardedIndex`] — a horizontal-scaling wrapper: records are
+//!   partitioned round-robin across N inner indexes and looked up on all
+//!   shards in parallel, with stable *global* record ids. Any
+//!   [`SketchIndex`] (scan or bucket) can serve as the shard backend.
+//!
+//! The trade-offs between the three — and the early-abort cost model that
+//! makes the plain scan so strong at the paper's parameters — are worked
+//! through in `DESIGN.md` at the repository root.
 
-use crate::conditions::sketches_match;
-use std::collections::HashMap;
+mod bucket;
+mod scan;
+mod sharded;
+
+pub use bucket::BucketIndex;
+pub use scan::ScanIndex;
+pub use sharded::ShardedIndex;
 
 /// A unique record handle assigned by the index.
+///
+/// Ids are **stable**: once assigned they are never renumbered or reused,
+/// even across [`SketchIndex::remove`] — so they can be stored in
+/// server-side records and session state.
 pub type RecordId = usize;
 
 /// A lookup structure over enrolled sketches.
@@ -26,11 +43,25 @@ pub trait SketchIndex {
     fn insert(&mut self, sketch: Vec<i64>) -> RecordId;
 
     /// Finds the first record matching the probe under conditions
-    /// (1)–(4), if any.
+    /// (1)–(4), if any. "First" means the lowest live [`RecordId`], i.e.
+    /// earliest-enrolled-wins, for every implementation.
     fn lookup(&self, probe: &[i64]) -> Option<RecordId>;
 
     /// Finds *all* matching records (used to measure false-close rates).
+    /// Implementations return ids in ascending order.
     fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId>;
+
+    /// Resolves a batch of probes in one call, returning the first match
+    /// per probe (position-aligned with `probes`).
+    ///
+    /// The default implementation is a sequential loop over
+    /// [`SketchIndex::lookup`]; implementations with internal parallelism
+    /// ([`ShardedIndex`]) override it to fan the batch out across worker
+    /// threads. Batch entry points exist so a server can amortize one
+    /// lock acquisition over many concurrent identification requests.
+    fn lookup_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
+        probes.iter().map(|p| self.lookup(p)).collect()
+    }
 
     /// Removes a record (revocation). Record ids are stable: removal
     /// never renumbers other records. Returns `false` if the id was
@@ -43,247 +74,6 @@ pub trait SketchIndex {
     /// `true` when no sketches are enrolled.
     fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-}
-
-/// Early-abort linear scan (the paper's strategy).
-#[derive(Debug, Clone)]
-pub struct ScanIndex {
-    t: u64,
-    ka: u64,
-    entries: Vec<Option<Vec<i64>>>,
-    live: usize,
-}
-
-impl ScanIndex {
-    /// Creates a scan index for sketches over a ring of circumference
-    /// `ka` with threshold `t`.
-    pub fn new(t: u64, ka: u64) -> Self {
-        ScanIndex {
-            t,
-            ka,
-            entries: Vec::new(),
-            live: 0,
-        }
-    }
-
-    /// Borrows an enrolled sketch by id (`None` for removed/unknown ids).
-    pub fn sketch(&self, id: RecordId) -> Option<&[i64]> {
-        self.entries.get(id)?.as_deref()
-    }
-}
-
-impl SketchIndex for ScanIndex {
-    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
-        self.entries.push(Some(sketch));
-        self.live += 1;
-        self.entries.len() - 1
-    }
-
-    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
-        self.entries.iter().position(|s| {
-            s.as_ref().is_some_and(|s| {
-                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-            })
-        })
-    }
-
-    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| {
-                s.as_ref().is_some_and(|s| {
-                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-                })
-            })
-            .map(|(i, _)| i)
-            .collect()
-    }
-
-    fn remove(&mut self, id: RecordId) -> bool {
-        match self.entries.get_mut(id) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
-                self.live -= 1;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.live
-    }
-}
-
-/// LSH-style bucket index with multi-probe lookup (extension).
-///
-/// Each sketch coordinate is normalized onto `[0, ka)` and the first
-/// `prefix_dims` coordinates are quantized into cells of width `2t + 1`;
-/// the resulting cell tuple keys a hash bucket. A probe within cyclic
-/// distance `t` per coordinate can only land in the same or an adjacent
-/// cell, so lookup probes the `3^prefix_dims` neighbouring cell tuples and
-/// verifies candidates with the full conditions.
-///
-/// **Pruning power**: the candidate fraction is roughly
-/// `(3·(2t+1)/ka)^prefix_dims`. At the paper's Table II parameters
-/// (`ka = 400, t = 100`) each coordinate has only ~2 cells, so *no*
-/// coordinate-level index can prune — the early-abort [`ScanIndex`] is
-/// already optimal there. The bucket index pays off when `ka ≫ t` (small
-/// relative noise), which the index ablation bench quantifies.
-#[derive(Debug, Clone)]
-pub struct BucketIndex {
-    t: u64,
-    ka: u64,
-    prefix_dims: usize,
-    cells: u64,
-    buckets: HashMap<Vec<u32>, Vec<RecordId>>,
-    entries: Vec<Option<Vec<i64>>>,
-    live: usize,
-}
-
-impl BucketIndex {
-    /// Creates a bucket index keyed on the first `prefix_dims`
-    /// coordinates.
-    ///
-    /// # Panics
-    /// Panics if `prefix_dims == 0` or `prefix_dims > 8` (probe count is
-    /// `3^prefix_dims`; 8 ⇒ 6561 probes, a sane ceiling).
-    pub fn new(t: u64, ka: u64, prefix_dims: usize) -> Self {
-        assert!(
-            (1..=8).contains(&prefix_dims),
-            "prefix_dims must be in 1..=8"
-        );
-        // Cells must all be at least t+1 wide, or a move of ≤ t could skip
-        // across a sliver cell and land two cells away: give the remainder
-        // its own cell only when it is big enough, otherwise merge it into
-        // the last full cell.
-        let width = 2 * t + 1;
-        let mut cells = ka / width;
-        if ka % width > t {
-            cells += 1;
-        }
-        let cells = cells.max(1);
-        BucketIndex {
-            t,
-            ka,
-            prefix_dims,
-            cells,
-            buckets: HashMap::new(),
-            entries: Vec::new(),
-            live: 0,
-        }
-    }
-
-    fn cell_of(&self, coord: i64) -> u32 {
-        let norm = coord.rem_euclid(self.ka as i64) as u64;
-        ((norm / (2 * self.t + 1)).min(self.cells - 1)) as u32
-    }
-
-    fn key_of(&self, sketch: &[i64]) -> Vec<u32> {
-        sketch
-            .iter()
-            .take(self.prefix_dims)
-            .map(|&c| self.cell_of(c))
-            .collect()
-    }
-
-    /// Enumerates the `3^prefix_dims` neighbouring keys of a probe key.
-    fn probe_keys(&self, probe: &[i64]) -> Vec<Vec<u32>> {
-        let base = self.key_of(probe);
-        let mut keys = vec![Vec::new()];
-        for &cell in &base {
-            let mut next = Vec::with_capacity(keys.len() * 3);
-            let neighbours = [
-                (cell as u64 + self.cells - 1) % self.cells,
-                cell as u64,
-                (cell as u64 + 1) % self.cells,
-            ];
-            // Dedup (cells can collapse when the ring is tiny).
-            let mut uniq: Vec<u64> = neighbours.to_vec();
-            uniq.sort_unstable();
-            uniq.dedup();
-            for prefix in &keys {
-                for &n in &uniq {
-                    let mut k = prefix.clone();
-                    k.push(n as u32);
-                    next.push(k);
-                }
-            }
-            keys = next;
-        }
-        keys
-    }
-
-    /// Candidate records sharing a probed bucket (before full
-    /// verification) — exposed for the ablation bench.
-    pub fn candidates(&self, probe: &[i64]) -> Vec<RecordId> {
-        let mut out = Vec::new();
-        for key in self.probe_keys(probe) {
-            if let Some(ids) = self.buckets.get(&key) {
-                out.extend_from_slice(ids);
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-}
-
-impl SketchIndex for BucketIndex {
-    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
-        assert!(
-            sketch.len() >= self.prefix_dims,
-            "sketch shorter than prefix_dims"
-        );
-        let id = self.entries.len();
-        let key = self.key_of(&sketch);
-        self.buckets.entry(key).or_default().push(id);
-        self.entries.push(Some(sketch));
-        self.live += 1;
-        id
-    }
-
-    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
-        self.candidates(probe).into_iter().find(|&id| {
-            self.entries[id].as_ref().is_some_and(|s| {
-                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-            })
-        })
-    }
-
-    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
-        self.candidates(probe)
-            .into_iter()
-            .filter(|&id| {
-                self.entries[id].as_ref().is_some_and(|s| {
-                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-                })
-            })
-            .collect()
-    }
-
-    fn remove(&mut self, id: RecordId) -> bool {
-        let Some(slot) = self.entries.get_mut(id) else {
-            return false;
-        };
-        let Some(sketch) = slot.take() else {
-            return false;
-        };
-        self.live -= 1;
-        let key = self.key_of(&sketch);
-        if let Some(ids) = self.buckets.get_mut(&key) {
-            ids.retain(|&i| i != id);
-            if ids.is_empty() {
-                self.buckets.remove(&key);
-            }
-        }
-        true
-    }
-
-    fn len(&self) -> usize {
-        self.live
     }
 }
 
@@ -314,7 +104,9 @@ mod tests {
                 .iter()
                 .map(|&v| {
                     use rand::Rng;
-                    scheme.line().wrap(v + rng.gen_range(-(T as i64)..=T as i64))
+                    scheme
+                        .line()
+                        .wrap(v + rng.gen_range(-(T as i64)..=T as i64))
                 })
                 .collect();
             let sp = scheme.sketch(&noisy, rng).unwrap();
@@ -334,6 +126,12 @@ mod tests {
         for (uid, probe) in probes.iter().enumerate() {
             let found = index.lookup(probe).expect("genuine probe must match");
             assert_eq!(found, uid, "probe {uid} matched the wrong record");
+        }
+        // The batch path agrees with the one-at-a-time path.
+        let batch = index.lookup_batch(&probes);
+        assert_eq!(batch.len(), probes.len());
+        for (uid, found) in batch.iter().enumerate() {
+            assert_eq!(*found, Some(uid));
         }
         // Random junk probes (fresh users) almost surely match nothing.
         let scheme = ChebyshevSketch::paper_defaults();
@@ -357,6 +155,24 @@ mod tests {
     }
 
     #[test]
+    fn sharded_scan_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(904);
+        check_index(ShardedIndex::scan(4, T, KA), &mut rng);
+    }
+
+    #[test]
+    fn sharded_bucket_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(905);
+        check_index(ShardedIndex::bucket(3, T, KA, 4), &mut rng);
+    }
+
+    #[test]
+    fn sharded_single_shard_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(906);
+        check_index(ShardedIndex::scan(1, T, KA), &mut rng);
+    }
+
+    #[test]
     fn bucket_index_agrees_with_scan() {
         let mut rng = StdRng::seed_from_u64(902);
         let (sketches, probes) = make_population(100, 16, &mut rng);
@@ -372,12 +188,34 @@ mod tests {
     }
 
     #[test]
+    fn sharded_agrees_with_scan_including_removals() {
+        let mut rng = StdRng::seed_from_u64(907);
+        let (sketches, probes) = make_population(120, 16, &mut rng);
+        let mut scan = ScanIndex::new(T, KA);
+        let mut sharded = ShardedIndex::scan(5, T, KA);
+        for s in &sketches {
+            let a = scan.insert(s.clone());
+            let b = sharded.insert(s.clone());
+            assert_eq!(a, b, "global ids must mirror single-index ids");
+        }
+        // Remove every seventh record from both.
+        for id in (0..120).step_by(7) {
+            assert!(scan.remove(id));
+            assert!(sharded.remove(id));
+        }
+        assert_eq!(scan.len(), sharded.len());
+        for probe in &probes {
+            assert_eq!(scan.lookup_all(probe), sharded.lookup_all(probe));
+            assert_eq!(scan.lookup(probe), sharded.lookup(probe));
+        }
+    }
+
+    #[test]
     fn bucket_candidates_are_pruned_when_noise_is_small() {
         // Pruning requires ka >> t (see type docs): use t = 25 on the
         // paper's line, where each coordinate has 7 cells.
         let t = 25u64;
-        let scheme =
-            ChebyshevSketch::new(*ChebyshevSketch::paper_defaults().line(), t).unwrap();
+        let scheme = ChebyshevSketch::new(*ChebyshevSketch::paper_defaults().line(), t).unwrap();
         let mut rng = StdRng::seed_from_u64(903);
         let mut bucket = BucketIndex::new(t, KA, 4);
         let mut probes = Vec::new();
@@ -388,7 +226,9 @@ mod tests {
                 .iter()
                 .map(|&v| {
                     use rand::Rng;
-                    scheme.line().wrap(v + rng.gen_range(-(t as i64)..=t as i64))
+                    scheme
+                        .line()
+                        .wrap(v + rng.gen_range(-(t as i64)..=t as i64))
                 })
                 .collect();
             probes.push(scheme.sketch(&noisy, &mut rng).unwrap());
@@ -424,6 +264,10 @@ mod tests {
         assert_eq!(scan.lookup(&[1, 2, 3]), None);
         let bucket = BucketIndex::new(T, KA, 2);
         assert_eq!(bucket.lookup(&[1, 2, 3]), None);
+        let sharded = ShardedIndex::scan(4, T, KA);
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.lookup(&[1, 2, 3]), None);
+        assert_eq!(sharded.lookup_batch(&[vec![1, 2, 3]]), vec![None]);
     }
 
     #[test]
@@ -437,6 +281,12 @@ mod tests {
     #[should_panic(expected = "prefix_dims")]
     fn bucket_prefix_validation() {
         BucketIndex::new(T, KA, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn sharded_rejects_zero_shards() {
+        ShardedIndex::scan(0, T, KA);
     }
 
     #[test]
@@ -456,6 +306,25 @@ mod tests {
         let c = scan.insert(vec![1, 2, 3]);
         assert_ne!(c, a);
         assert!(!scan.remove(999), "unknown id");
+    }
+
+    #[test]
+    fn sharded_removal_keeps_ids_stable() {
+        let mut sharded = ShardedIndex::scan(3, T, KA);
+        let a = sharded.insert(vec![10, 20, 30]);
+        let b = sharded.insert(vec![150, -150, 90]);
+        let c = sharded.insert(vec![-120, 60, 10]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert!(sharded.remove(b));
+        assert!(!sharded.remove(b), "double removal must report false");
+        assert_eq!(sharded.len(), 2);
+        assert_eq!(sharded.lookup(&[150, -150, 90]), None);
+        assert_eq!(sharded.lookup(&[10, 20, 30]), Some(a));
+        assert_eq!(sharded.lookup(&[-120, 60, 10]), Some(c));
+        // New inserts continue the global sequence.
+        let d = sharded.insert(vec![77, 77, 77]);
+        assert_eq!(d, 3);
+        assert!(!sharded.remove(999), "unknown id");
     }
 
     #[test]

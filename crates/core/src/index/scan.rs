@@ -1,0 +1,75 @@
+//! The paper-faithful early-abort linear scan.
+
+use super::{RecordId, SketchIndex};
+use crate::conditions::sketches_match;
+
+/// Early-abort linear scan (the paper's strategy).
+#[derive(Debug, Clone)]
+pub struct ScanIndex {
+    t: u64,
+    ka: u64,
+    entries: Vec<Option<Vec<i64>>>,
+    live: usize,
+}
+
+impl ScanIndex {
+    /// Creates a scan index for sketches over a ring of circumference
+    /// `ka` with threshold `t`.
+    pub fn new(t: u64, ka: u64) -> Self {
+        ScanIndex {
+            t,
+            ka,
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Borrows an enrolled sketch by id (`None` for removed/unknown ids).
+    pub fn sketch(&self, id: RecordId) -> Option<&[i64]> {
+        self.entries.get(id)?.as_deref()
+    }
+}
+
+impl SketchIndex for ScanIndex {
+    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+        self.entries.push(Some(sketch));
+        self.live += 1;
+        self.entries.len() - 1
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
+        self.entries.iter().position(|s| {
+            s.as_ref().is_some_and(|s| {
+                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+            })
+        })
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.as_ref().is_some_and(|s| {
+                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+                })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn remove(&mut self, id: RecordId) -> bool {
+        match self.entries.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}

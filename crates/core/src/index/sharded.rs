@@ -1,0 +1,220 @@
+//! Horizontal sharding over any [`SketchIndex`] backend.
+
+use super::{BucketIndex, RecordId, ScanIndex, SketchIndex};
+use rayon::prelude::*;
+
+/// Below this many enrolled records, fan-out overhead beats the win from
+/// parallel shard scans, so lookups run sequentially. The threshold is
+/// sized for the vendored `rayon` shim, which spawns fresh scoped
+/// threads per call (tens of microseconds) instead of dispatching to a
+/// persistent pool: an early-abort scan must be slower than the spawn
+/// cost before fanning out pays. With the real rayon (pooled workers)
+/// this could drop by an order of magnitude.
+const PARALLEL_THRESHOLD: usize = 65_536;
+
+/// A sharded sketch index: records are partitioned round-robin across N
+/// inner indexes and looked up on all shards in parallel.
+///
+/// # Id stability
+///
+/// Global [`RecordId`]s are assigned sequentially in insertion order and
+/// are never renumbered or reused. The `g`-th inserted record lands on
+/// shard `g % N` as that shard's local record `g / N`; because every
+/// backend assigns local ids densely in insertion order and keeps them
+/// stable across removals, the global↔local mapping is pure arithmetic —
+/// no translation table, no synchronization on the read path.
+///
+/// # Semantics
+///
+/// `lookup`/`lookup_all`/`lookup_batch` return exactly the same results
+/// as a single un-sharded backend over the same insertion sequence (the
+/// equivalence is property-tested in `tests/properties.rs`): `lookup`
+/// still means *lowest live global id*, i.e. earliest-enrolled-wins.
+///
+/// # Parallelism
+///
+/// Shard scans fan out on worker threads once the population is large
+/// enough to amortize thread startup ([`ShardedIndex::scan`] with a few
+/// hundred thousand records is the target regime); small indexes run
+/// sequentially. [`SketchIndex::lookup_batch`] parallelizes across
+/// probes instead of shards, which is the better axis when a server
+/// drains a queue of concurrent identification requests.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex<I> {
+    shards: Vec<I>,
+    /// Total inserts ever (monotone; includes since-removed records).
+    inserted: usize,
+}
+
+impl<I: SketchIndex> ShardedIndex<I> {
+    /// Wraps pre-built, **empty** shard backends.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or any shard already holds records
+    /// (which would break the arithmetic id mapping).
+    pub fn new(shards: Vec<I>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(
+            shards.iter().all(SketchIndex::is_empty),
+            "shard backends must start empty"
+        );
+        ShardedIndex {
+            shards,
+            inserted: 0,
+        }
+    }
+
+    /// Builds `n` shards from a constructor closure (given the shard
+    /// number).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> I) -> Self {
+        Self::new((0..n).map(f).collect())
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard backends (for diagnostics and benches).
+    pub fn shards(&self) -> &[I] {
+        &self.shards
+    }
+
+    fn locate(&self, id: RecordId) -> (usize, RecordId) {
+        (id % self.shards.len(), id / self.shards.len())
+    }
+
+    fn to_global(&self, shard: usize, local: RecordId) -> RecordId {
+        local * self.shards.len() + shard
+    }
+
+    fn use_parallel(&self) -> bool {
+        self.shards.len() > 1 && self.inserted >= PARALLEL_THRESHOLD
+    }
+
+    /// `lookup` over the shards of `self`, sequential, lowest global id
+    /// wins.
+    fn lookup_sequential(&self, probe: &[i64]) -> Option<RecordId> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, shard)| shard.lookup(probe).map(|l| self.to_global(s, l)))
+            .min()
+    }
+}
+
+impl ShardedIndex<ScanIndex> {
+    /// `n` early-abort scan shards over a ring of circumference `ka`
+    /// with threshold `t`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn scan(n: usize, t: u64, ka: u64) -> Self {
+        Self::from_fn(n, |_| ScanIndex::new(t, ka))
+    }
+}
+
+impl ShardedIndex<BucketIndex> {
+    /// `n` bucket-index shards (see [`BucketIndex::new`] for the
+    /// quantization parameters).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `prefix_dims` is out of range.
+    pub fn bucket(n: usize, t: u64, ka: u64, prefix_dims: usize) -> Self {
+        Self::from_fn(n, |_| BucketIndex::new(t, ka, prefix_dims))
+    }
+}
+
+impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
+    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+        let global = self.inserted;
+        let (shard, expected_local) = self.locate(global);
+        let local = self.shards[shard].insert(sketch);
+        // Release-enforced: a backend that reuses or skips local ids
+        // would silently desynchronize the arithmetic global↔local
+        // mapping — fail loudly instead (cost: one compare per insert).
+        assert_eq!(
+            local, expected_local,
+            "shard backends must assign dense sequential local ids"
+        );
+        self.inserted += 1;
+        global
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
+        if !self.use_parallel() {
+            return self.lookup_sequential(probe);
+        }
+        self.shards
+            .par_iter()
+            .enumerate()
+            .filter_map(|(s, shard)| shard.lookup(probe).map(|l| self.to_global(s, l)))
+            .min()
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        let mut all: Vec<RecordId> = if self.use_parallel() {
+            self.shards
+                .par_iter()
+                .enumerate()
+                .map(|(s, shard)| {
+                    shard
+                        .lookup_all(probe)
+                        .into_iter()
+                        .map(|l| self.to_global(s, l))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            self.shards
+                .iter()
+                .enumerate()
+                .flat_map(|(s, shard)| {
+                    shard
+                        .lookup_all(probe)
+                        .into_iter()
+                        .map(move |l| self.to_global(s, l))
+                })
+                .collect()
+        };
+        all.sort_unstable();
+        all
+    }
+
+    fn lookup_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
+        // A one-element batch gets `lookup`'s shard-parallel path — a
+        // single probe cannot be parallelized across probes.
+        if let [probe] = probes {
+            return vec![self.lookup(probe)];
+        }
+        // Across a batch, probes are the better parallel axis: each
+        // worker resolves whole probes (sequentially over shards), so no
+        // per-probe join is needed.
+        if probes.len() > 1 && (self.use_parallel() || probes.len() >= PARALLEL_THRESHOLD) {
+            probes
+                .par_iter()
+                .map(|p| self.lookup_sequential(p))
+                .collect()
+        } else {
+            probes.iter().map(|p| self.lookup_sequential(p)).collect()
+        }
+    }
+
+    fn remove(&mut self, id: RecordId) -> bool {
+        if id >= self.inserted {
+            return false;
+        }
+        let (shard, local) = self.locate(id);
+        self.shards[shard].remove(local)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(SketchIndex::len).sum()
+    }
+}

@@ -16,7 +16,9 @@
 //!   identification protocol (Theorem 2), equivalent to a cyclic Chebyshev
 //!   test on the sketch ring.
 //! * [`index`] — the server-side sketch lookup: the paper-faithful
-//!   early-abort [`ScanIndex`] and the sublinear [`BucketIndex`] extension.
+//!   early-abort [`ScanIndex`], the sublinear [`BucketIndex`] extension,
+//!   and the horizontally-scaling [`ShardedIndex`] wrapper with parallel
+//!   shard scans and a batch lookup API (see `DESIGN.md`).
 //! * [`analysis`] — Theorem 3 entropy accounting (min-entropy, residual
 //!   entropy `m̃ = n·log₂v`, loss `n·log₂ka`, storage `n·log₂(ka+1)`) and
 //!   the false-close probability bound.
@@ -68,7 +70,7 @@ pub use chebyshev::ChebyshevSketch;
 pub use encode::{decode_i64_vector, encode_i64_vector};
 pub use error::SketchError;
 pub use fuzzy::{FuzzyExtractor, HelperData};
-pub use index::{BucketIndex, ScanIndex, SketchIndex};
+pub use index::{BucketIndex, RecordId, ScanIndex, ShardedIndex, SketchIndex};
 pub use key::ExtractedKey;
 pub use numberline::NumberLine;
 pub use robust::{RobustData, RobustSketch};

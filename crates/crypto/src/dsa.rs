@@ -114,10 +114,7 @@ impl DsaParams {
         if !p_minus_1.rem_nat(&self.q).is_zero() {
             return Err(ParamError::QDoesNotDivide);
         }
-        if self.g.is_zero()
-            || self.g.is_one()
-            || !self.g.mod_pow(&self.q, &self.p).is_one()
-        {
+        if self.g.is_zero() || self.g.is_one() || !self.g.mod_pow(&self.q, &self.p).is_one() {
             return Err(ParamError::BadGenerator);
         }
         Ok(())
@@ -512,17 +509,9 @@ mod tests {
     fn param_validation_catches_errors() {
         let mut rng = StdRng::seed_from_u64(3);
         let good = DsaParams::insecure_512();
-        let bad_g = DsaParams::from_parts(
-            good.p().clone(),
-            good.q().clone(),
-            Natural::one(),
-        );
+        let bad_g = DsaParams::from_parts(good.p().clone(), good.q().clone(), Natural::one());
         assert_eq!(bad_g.validate(&mut rng), Err(ParamError::BadGenerator));
-        let bad_q = DsaParams::from_parts(
-            good.p().clone(),
-            Natural::from(15u64),
-            good.g().clone(),
-        );
+        let bad_q = DsaParams::from_parts(good.p().clone(), Natural::from(15u64), good.g().clone());
         assert_eq!(bad_q.validate(&mut rng), Err(ParamError::QNotPrime));
     }
 }

@@ -228,10 +228,8 @@ mod tests {
         let n = 24;
         let l = 16;
         let seed: Vec<u8> = (0..ext.seed_len(3)).map(|i| (i * 151 + 3) as u8).collect();
-        let seed_bit =
-            |idx: usize| -> u8 { (seed[idx / 8] >> (idx % 8)) & 1 };
-        let input_bit =
-            |idx: usize| -> u8 { (input[idx / 8] >> (idx % 8)) & 1 };
+        let seed_bit = |idx: usize| -> u8 { (seed[idx / 8] >> (idx % 8)) & 1 };
+        let input_bit = |idx: usize| -> u8 { (input[idx / 8] >> (idx % 8)) & 1 };
         // T[i][j] = seed_bit(n - 1 + i - j); out_i = parity_j(T[i][j] & x_j).
         let mut expected = vec![0u8; 2];
         for i in 0..l {
@@ -256,7 +254,7 @@ mod tests {
     #[test]
     fn seed_len_formula() {
         let ext = ToeplitzExtractor::new(32); // 256 output bits
-        // n=100 bytes → 800 bits; seed bits = 800 + 256 - 1 = 1055 → 132 bytes.
+                                              // n=100 bytes → 800 bits; seed bits = 800 + 256 - 1 = 1055 → 132 bytes.
         assert_eq!(ext.seed_len(100), 132);
         assert_eq!(HmacExtractor::new(32).seed_len(100), 32);
     }

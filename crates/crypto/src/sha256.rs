@@ -233,6 +233,9 @@ mod tests {
 
     #[test]
     fn digest_array_matches() {
-        assert_eq!(Sha256::digest_array(b"abc").to_vec(), Sha256::digest(b"abc"));
+        assert_eq!(
+            Sha256::digest_array(b"abc").to_vec(),
+            Sha256::digest(b"abc")
+        );
     }
 }

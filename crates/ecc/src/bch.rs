@@ -270,7 +270,13 @@ mod tests {
     fn encode_wrong_length() {
         let code = Bch::new(4, 2).unwrap();
         let r = code.encode(&BitVec::zeros(3));
-        assert_eq!(r, Err(CodeError::WrongLength { expected: 7, got: 3 }));
+        assert_eq!(
+            r,
+            Err(CodeError::WrongLength {
+                expected: 7,
+                got: 3
+            })
+        );
     }
 
     #[test]

@@ -91,10 +91,7 @@ pub fn berlekamp_welch(f: &Gf2m, points: &[(u16, u16)], k: usize) -> Result<Poly
             continue;
         }
         // Accept only if at most e points disagree with p.
-        let disagreements = points
-            .iter()
-            .filter(|&&(x, y)| p.eval(x, f) != y)
-            .count();
+        let disagreements = points.iter().filter(|&&(x, y)| p.eval(x, f) != y).count();
         if disagreements <= e {
             return Ok(p);
         }

@@ -105,8 +105,7 @@ impl BinPoly {
         let len = self.words.len().max(other.words.len());
         let mut words = vec![0u64; len];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = self.words.get(i).copied().unwrap_or(0)
-                ^ other.words.get(i).copied().unwrap_or(0);
+            *w = self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
         }
         let mut p = BinPoly { words };
         p.trim();

@@ -40,12 +40,22 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(CodeError::BadParameters.to_string(), "invalid code parameters");
         assert_eq!(
-            CodeError::WrongLength { expected: 7, got: 8 }.to_string(),
+            CodeError::BadParameters.to_string(),
+            "invalid code parameters"
+        );
+        assert_eq!(
+            CodeError::WrongLength {
+                expected: 7,
+                got: 8
+            }
+            .to_string(),
             "wrong input length: expected 7, got 8"
         );
-        assert_eq!(CodeError::TooManyErrors.to_string(), "too many errors to correct");
+        assert_eq!(
+            CodeError::TooManyErrors.to_string(),
+            "too many errors to correct"
+        );
     }
 
     #[test]

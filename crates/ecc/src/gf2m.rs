@@ -5,22 +5,23 @@ use crate::CodeError;
 /// Standard primitive polynomials for GF(2^m), index = m.
 /// Bit `i` of the entry is the coefficient of `x^i`.
 const PRIMITIVE_POLYS: [u32; 17] = [
-    0, 0,
-    0b111,                 // m=2:  x^2 + x + 1
-    0b1011,                // m=3:  x^3 + x + 1
-    0b10011,               // m=4:  x^4 + x + 1
-    0b100101,              // m=5:  x^5 + x^2 + 1
-    0b1000011,             // m=6:  x^6 + x + 1
-    0b10001001,            // m=7:  x^7 + x^3 + 1
-    0b100011101,           // m=8:  x^8 + x^4 + x^3 + x^2 + 1
-    0b1000010001,          // m=9:  x^9 + x^4 + 1
-    0b10000001001,         // m=10: x^10 + x^3 + 1
-    0b100000000101,        // m=11: x^11 + x^2 + 1
-    0b1000001010011,       // m=12: x^12 + x^6 + x^4 + x + 1
-    0b10000000011011,      // m=13: x^13 + x^4 + x^3 + x + 1
-    0b100010001000011,     // m=14: x^14 + x^10 + x^6 + x + 1
-    0b1000000000000011,    // m=15: x^15 + x + 1
-    0b10001000000001011,   // m=16: x^16 + x^12 + x^3 + x + 1
+    0,
+    0,
+    0b111,               // m=2:  x^2 + x + 1
+    0b1011,              // m=3:  x^3 + x + 1
+    0b10011,             // m=4:  x^4 + x + 1
+    0b100101,            // m=5:  x^5 + x^2 + 1
+    0b1000011,           // m=6:  x^6 + x + 1
+    0b10001001,          // m=7:  x^7 + x^3 + 1
+    0b100011101,         // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,        // m=9:  x^9 + x^4 + 1
+    0b10000001001,       // m=10: x^10 + x^3 + 1
+    0b100000000101,      // m=11: x^11 + x^2 + 1
+    0b1000001010011,     // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011,    // m=13: x^13 + x^4 + x^3 + x + 1
+    0b100010001000011,   // m=14: x^14 + x^10 + x^6 + x + 1
+    0b1000000000000011,  // m=15: x^15 + x + 1
+    0b10001000000001011, // m=16: x^16 + x^12 + x^3 + x + 1
 ];
 
 /// GF(2^m): elements are `u16` values in `[0, 2^m)`, addition is XOR,
@@ -70,7 +71,12 @@ impl Gf2m {
                 x ^= poly;
             }
         }
-        Ok(Gf2m { m, order, log, antilog })
+        Ok(Gf2m {
+            m,
+            order,
+            log,
+            antilog,
+        })
     }
 
     /// Field extension degree `m`.

@@ -37,16 +37,16 @@ pub fn solve_linear_system(f: &Gf2m, mut rows: Vec<Vec<u16>>) -> Option<Vec<u16>
         rows.swap(pivot_row, sel);
         // Normalize the pivot row.
         let inv = f.inv(rows[pivot_row][col]).expect("pivot non-zero");
-        for c in col..=cols {
-            rows[pivot_row][c] = f.mul(rows[pivot_row][c], inv);
+        for cell in &mut rows[pivot_row][col..=cols] {
+            *cell = f.mul(*cell, inv);
         }
         // Eliminate the column from every other row.
-        for r in 0..rows.len() {
-            if r != pivot_row && rows[r][col] != 0 {
-                let factor = rows[r][col];
-                for c in col..=cols {
-                    let sub = f.mul(factor, rows[pivot_row][c]);
-                    rows[r][c] = f.add(rows[r][c], sub);
+        let pivot_vals = rows[pivot_row][col..=cols].to_vec();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != pivot_row && row[col] != 0 {
+                let factor = row[col];
+                for (cell, &pv) in row[col..=cols].iter_mut().zip(&pivot_vals) {
+                    *cell = f.add(*cell, f.mul(factor, pv));
                 }
             }
         }

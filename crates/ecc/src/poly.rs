@@ -245,7 +245,7 @@ mod tests {
         let (q, r) = a.div_rem(&b, &f);
         let back = q.mul(&b, &f).add(&r, &f);
         assert_eq!(back, a);
-        assert!(r.degree().map_or(true, |d| d < 1));
+        assert!(r.degree().is_none_or(|d| d < 1));
     }
 
     #[test]

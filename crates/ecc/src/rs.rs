@@ -146,8 +146,8 @@ impl ReedSolomon {
         let msg_poly = Poly::from_coeffs(coeffs);
         let (_, rem) = msg_poly.div_rem(&self.generator, &self.field);
         let mut word = vec![0u16; self.n];
-        for i in 0..parity_len {
-            word[i] = rem.coeff(i);
+        for (i, w) in word.iter_mut().enumerate().take(parity_len) {
+            *w = rem.coeff(i);
         }
         word[parity_len..].copy_from_slice(message);
         Ok(word)
@@ -201,6 +201,7 @@ impl ReedSolomon {
         // Chien search + Forney error values.
         let mut corrected = word.to_vec();
         let mut found = 0usize;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.n {
             let x_inv = f.alpha_pow(-(i as i64));
             if sigma.eval(x_inv, f) != 0 {
@@ -317,12 +318,18 @@ mod tests {
     fn wrong_length_rejected() {
         let rs = ReedSolomon::new(4, 15, 9).unwrap();
         assert!(matches!(
-            rs.decode(&vec![0u16; 14]),
-            Err(CodeError::WrongLength { expected: 15, got: 14 })
+            rs.decode(&[0u16; 14]),
+            Err(CodeError::WrongLength {
+                expected: 15,
+                got: 14
+            })
         ));
         assert!(matches!(
-            rs.encode(&vec![0u16; 8]),
-            Err(CodeError::WrongLength { expected: 9, got: 8 })
+            rs.encode(&[0u16; 8]),
+            Err(CodeError::WrongLength {
+                expected: 9,
+                got: 8
+            })
         ));
     }
 

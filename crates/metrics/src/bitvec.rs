@@ -99,7 +99,11 @@ impl BitVec {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -108,7 +112,11 @@ impl BitVec {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         if value {
             self.words[i / 64] |= 1u64 << (i % 64);
         } else {
@@ -121,7 +129,11 @@ impl BitVec {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn flip(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
         self.get(i)
     }

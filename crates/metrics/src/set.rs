@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn identical_sets() {
-        assert_eq!(SetDifference.distance(&set(&[1, 2, 3]), &set(&[1, 2, 3])), 0);
+        assert_eq!(
+            SetDifference.distance(&set(&[1, 2, 3]), &set(&[1, 2, 3])),
+            0
+        );
     }
 
     #[test]
@@ -87,7 +90,8 @@ mod tests {
             (&[1, 5, 9], &[2, 6, 10]),
         ];
         for (a, b) in cases {
-            let expected = SetDifference.distance(&a.iter().copied().collect(), &b.iter().copied().collect());
+            let expected =
+                SetDifference.distance(&a.iter().copied().collect(), &b.iter().copied().collect());
             assert_eq!(SetDifference.sorted_slice_distance(a, b), expected);
         }
     }

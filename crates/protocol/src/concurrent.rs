@@ -1,61 +1,264 @@
-//! A thread-safe server wrapper: many biometric devices identifying
-//! against one authentication server concurrently.
+//! A thread-safe, shard-partitioned server: many biometric devices
+//! identifying against one logical authentication server concurrently.
 //!
 //! The ICDCS venue is a distributed-computing conference; a production
 //! authentication server handles concurrent identification sessions. The
-//! wrapper serializes mutations behind a `parking_lot::RwLock` while
-//! letting the (immutable) parameter reads proceed in parallel.
+//! seed implementation serialized *everything* behind one global
+//! `RwLock<AuthenticationServer>`; this wrapper instead partitions users
+//! across `N` independent server shards, each behind its own lock:
+//!
+//! * **Reads scale.** The expensive part of identification — the sketch
+//!   lookup over conditions (1)–(4) — runs under per-shard *read* locks
+//!   ([`AuthenticationServer::lookup_probe`] is `&self`), so lookups
+//!   from many devices proceed in parallel, even on the same shard.
+//! * **Writes are fine-grained.** Enrollment, revocation and challenge
+//!   bookkeeping take a *write* lock on one shard only, leaving the
+//!   other `N − 1` shards untouched.
+//! * **Sessions need no coordination.** Shard `i` issues session ids
+//!   `i + 1, i + 1 + N, i + 1 + 2N, …`
+//!   ([`AuthenticationServer::set_session_namespace`]), so a response is
+//!   routed back to its shard by arithmetic alone.
+//! * **Batching amortizes locking.** [`SharedServer::identify_batch`]
+//!   resolves a whole queue of probes with one read-lock acquisition per
+//!   shard and one write-lock acquisition per shard-with-matches,
+//!   instead of two exclusive acquisitions per device.
+//!
+//! Users are assigned to shards by a stable hash of their id; probes
+//! (which carry no identity — that is the point of the protocol) are
+//! searched on all shards.
 
-use crate::messages::{EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse};
+use crate::messages::{EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId};
 use crate::params::SystemParams;
-use crate::server::AuthenticationServer;
+use crate::server::{AuthenticationServer, BuildIndex};
 use crate::ProtocolError;
+use fe_core::{ScanIndex, SketchIndex};
 use parking_lot::RwLock;
 use rand::RngCore;
 use std::sync::Arc;
 
-/// A cloneable, thread-safe handle to a shared [`AuthenticationServer`].
-#[derive(Debug, Clone)]
-pub struct SharedServer {
-    inner: Arc<RwLock<AuthenticationServer>>,
+/// A cloneable, thread-safe handle to a shard-partitioned
+/// [`AuthenticationServer`], generic over the per-shard sketch index.
+#[derive(Debug)]
+pub struct SharedServer<I: SketchIndex = ScanIndex> {
+    shards: Arc<Vec<RwLock<AuthenticationServer<I>>>>,
     params: SystemParams,
 }
 
-impl SharedServer {
-    /// Creates a shared server.
-    pub fn new(params: SystemParams) -> Self {
+impl<I: SketchIndex> Clone for SharedServer<I> {
+    fn clone(&self) -> Self {
         SharedServer {
-            inner: Arc::new(RwLock::new(AuthenticationServer::new(params.clone()))),
+            shards: Arc::clone(&self.shards),
+            params: self.params.clone(),
+        }
+    }
+}
+
+/// Stable (process-independent) FNV-1a hash for shard routing.
+fn route_hash(id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SharedServer<ScanIndex> {
+    /// Creates a shared server with a single scan-index shard — the
+    /// seed-compatible configuration.
+    pub fn new(params: SystemParams) -> Self {
+        Self::with_shards(params, 1)
+    }
+}
+
+impl<I: BuildIndex> SharedServer<I> {
+    /// Creates a shared server partitioned into `shards` independent
+    /// [`AuthenticationServer`]s, each with an index built from
+    /// `params` (see [`BuildIndex`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(params: SystemParams, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one server shard");
+        let stride = shards as u64;
+        let shards = (0..shards)
+            .map(|i| {
+                let mut server = AuthenticationServer::<I>::from_params(params.clone());
+                server.set_session_namespace(i as u64 + 1, stride);
+                RwLock::new(server)
+            })
+            .collect();
+        SharedServer {
+            shards: Arc::new(shards),
             params,
         }
     }
+}
 
+impl<I: SketchIndex> SharedServer<I> {
     /// The system parameters (lock-free).
     pub fn params(&self) -> &SystemParams {
         &self.params
     }
 
-    /// Enrolls a record.
+    /// Number of server shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for_user(&self, id: &str) -> &RwLock<AuthenticationServer<I>> {
+        &self.shards[(route_hash(id) % self.shards.len() as u64) as usize]
+    }
+
+    fn shard_for_session(&self, session: SessionId) -> &RwLock<AuthenticationServer<I>> {
+        // Shard i issues sessions ≡ i + 1 (mod N); session 0 never
+        // occurs but would harmlessly map to some shard and then fail
+        // with `UnknownSession`.
+        &self.shards[((session.wrapping_sub(1)) % self.shards.len() as u64) as usize]
+    }
+
+    /// Enrolls a record (write-locks exactly one shard).
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::enroll`].
     pub fn enroll(&self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
-        self.inner.write().enroll(record)
+        self.shard_for_user(&record.id).write().enroll(record)
     }
 
-    /// Identification phase 1.
+    /// Revokes a user (write-locks exactly one shard).
     ///
     /// # Errors
-    /// Same as [`AuthenticationServer::begin_identification`].
+    /// Same as [`AuthenticationServer::revoke`].
+    pub fn revoke(&self, id: &str) -> Result<(), ProtocolError> {
+        self.shard_for_user(id).write().revoke(id)
+    }
+
+    /// Identification phase 1: the sketch lookup runs under shared read
+    /// locks (shard by shard); only the matched shard is write-locked,
+    /// briefly, to issue the challenge.
+    ///
+    /// With more than one shard, *which* record wins when several
+    /// enrolled users match the same probe (a false-close or duplicate
+    /// enrollment) is earliest-enrolled **within the first matching
+    /// shard in routing order** — deterministic, but not necessarily
+    /// the globally earliest enrollment as on a single shard. Matching
+    /// more than one user is already a protocol-level anomaly (the
+    /// paper's false-close probability bounds it), so partitioned
+    /// deployments accept this in exchange for not maintaining a global
+    /// enrollment order across shards.
+    ///
+    /// # Errors
+    /// [`ProtocolError::NoMatch`] when no shard holds a matching record.
     pub fn begin_identification<R: RngCore + ?Sized>(
         &self,
         probe: &[i64],
         rng: &mut R,
     ) -> Result<IdentChallenge, ProtocolError> {
-        self.inner.write().begin_identification(probe, rng)
+        for shard in self.shards.iter() {
+            // Lock upgrade window: the matched record can be revoked
+            // between the shared-lock lookup and the exclusive-lock
+            // challenge issue; `challenge_for_record` re-validates and
+            // we then *re-search this shard* — another live record may
+            // still match. Progress is guaranteed: a refused record was
+            // already removed from the index by the interleaved
+            // revocation, so each retry sees a strictly smaller
+            // candidate set.
+            loop {
+                let Some(record_idx) = shard.read().lookup_probe(probe) else {
+                    break;
+                };
+                if let Some(chal) = shard.write().challenge_for_record(record_idx, rng) {
+                    return Ok(chal);
+                }
+            }
+        }
+        Err(ProtocolError::NoMatch)
     }
 
-    /// Verification phase 1 (claimed identity).
+    /// Batch identification phase 1: resolves many probes per lock
+    /// acquisition. The first shard sees the whole batch through the
+    /// index's batch path (one shared-lock acquisition, probe-parallel
+    /// for sharded indexes); later shards — which only see the probes
+    /// the earlier ones missed — loop per probe under one shared lock.
+    /// Each shard with matches is write-locked once per round to issue
+    /// its challenges. Results are position-aligned with `probes`.
+    ///
+    /// Cross-shard match selection follows the same routing-order rule
+    /// as [`SharedServer::begin_identification`].
+    pub fn identify_batch<R: RngCore + ?Sized>(
+        &self,
+        probes: &[Vec<i64>],
+        rng: &mut R,
+    ) -> Vec<Result<IdentChallenge, ProtocolError>> {
+        let mut results: Vec<Result<IdentChallenge, ProtocolError>> = (0..probes.len())
+            .map(|_| Err(ProtocolError::NoMatch))
+            .collect();
+        // Probes still unresolved after the shards visited so far.
+        let mut unresolved: Vec<usize> = (0..probes.len()).collect();
+
+        for shard in self.shards.iter() {
+            if unresolved.is_empty() {
+                break;
+            }
+            // Re-search the shard until a round issues every challenge
+            // it found (a record revoked in the read→write window is
+            // re-resolved against this shard's remaining records, as in
+            // `begin_identification`). Retry rounds only re-check the
+            // *refused* probes: a probe that missed this shard cannot
+            // newly match it — removals only shrink the match set.
+            let mut retry: Option<Vec<usize>> = None;
+            loop {
+                let hits: Vec<(usize, usize)> = {
+                    let server = shard.read();
+                    match &retry {
+                        None if unresolved.len() == probes.len() => {
+                            // Whole batch untouched: use the index's
+                            // batch path directly on the caller's slice.
+                            server
+                                .lookup_probe_batch(probes)
+                                .into_iter()
+                                .enumerate()
+                                .filter_map(|(p, m)| m.map(|idx| (p, idx)))
+                                .collect()
+                        }
+                        None => unresolved
+                            .iter()
+                            .filter_map(|&p| server.lookup_probe(&probes[p]).map(|idx| (p, idx)))
+                            .collect(),
+                        Some(refused) => refused
+                            .iter()
+                            .filter_map(|&p| server.lookup_probe(&probes[p]).map(|idx| (p, idx)))
+                            .collect(),
+                    }
+                };
+                if hits.is_empty() {
+                    break;
+                }
+                // One exclusive-lock acquisition issues every challenge
+                // this shard owes the batch this round.
+                let mut refused = Vec::new();
+                let mut server = shard.write();
+                for (p, record_idx) in hits {
+                    match server.challenge_for_record(record_idx, rng) {
+                        Some(chal) => results[p] = Ok(chal),
+                        None => refused.push(p),
+                    }
+                }
+                drop(server);
+                unresolved.retain(|&p| results[p].is_err());
+                // Another round is only needed when a found record was
+                // revoked in the read→write window.
+                if refused.is_empty() || unresolved.is_empty() {
+                    break;
+                }
+                retry = Some(refused);
+            }
+        }
+        results
+    }
+
+    /// Verification phase 1 (claimed identity): routes to the user's
+    /// shard directly — no cross-shard search.
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::begin_verification`].
@@ -64,10 +267,13 @@ impl SharedServer {
         claimed_id: &str,
         rng: &mut R,
     ) -> Result<IdentChallenge, ProtocolError> {
-        self.inner.write().begin_verification(claimed_id, rng)
+        self.shard_for_user(claimed_id)
+            .write()
+            .begin_verification(claimed_id, rng)
     }
 
-    /// Phase 2: verify the response.
+    /// Phase 2: verify the response, routed to the issuing shard by the
+    /// session-id namespace.
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::finish_identification`].
@@ -75,12 +281,27 @@ impl SharedServer {
         &self,
         response: &IdentResponse,
     ) -> Result<IdentOutcome, ProtocolError> {
-        self.inner.write().finish_identification(response)
+        self.shard_for_session(response.session)
+            .write()
+            .finish_identification(response)
     }
 
-    /// Number of enrolled users.
+    /// Cancels an outstanding challenge (timeout handling), routed to
+    /// the issuing shard by the session-id namespace.
+    pub fn cancel_session(&self, session: SessionId) -> bool {
+        self.shard_for_session(session)
+            .write()
+            .cancel_session(session)
+    }
+
+    /// Number of enrolled users across all shards.
     pub fn user_count(&self) -> usize {
-        self.inner.read().user_count()
+        self.shards.iter().map(|s| s.read().user_count()).sum()
+    }
+
+    /// Total sketch lookups served across all shards (diagnostics).
+    pub fn lookup_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().lookup_count()).sum()
     }
 }
 
@@ -91,22 +312,30 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    #[test]
-    fn concurrent_identifications_succeed() {
-        let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::new(params.clone());
-        let device = BiometricDevice::new(params.clone());
-        let mut rng = StdRng::seed_from_u64(808);
-
-        let users = 8usize;
+    fn enroll_population<I: SketchIndex>(
+        server: &SharedServer<I>,
+        device: &BiometricDevice,
+        users: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<i64>> {
         let mut bios = Vec::new();
         for u in 0..users {
-            let bio = params.sketch().line().random_vector(32, &mut rng);
+            let bio = server.params().sketch().line().random_vector(dim, rng);
             server
-                .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+                .enroll(device.enroll(&format!("user-{u}"), &bio, rng).unwrap())
                 .unwrap();
             bios.push(bio);
         }
+        bios
+    }
+
+    fn identification_storm<I: SketchIndex + Send + Sync>(server: SharedServer<I>) {
+        let params = server.params().clone();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(808);
+        let users = 8usize;
+        let bios = enroll_population(&server, &device, users, 32, &mut rng);
         assert_eq!(server.user_count(), users);
 
         crossbeam::scope(|scope| {
@@ -115,8 +344,10 @@ mod tests {
                 let device = device.clone();
                 scope.spawn(move |_| {
                     let mut rng = StdRng::seed_from_u64(9_000 + u as u64);
-                    let reading: Vec<i64> =
-                        bio.iter().map(|&x| x + rng.gen_range(-80i64..=80)).collect();
+                    let reading: Vec<i64> = bio
+                        .iter()
+                        .map(|&x| x + rng.gen_range(-80i64..=80))
+                        .collect();
                     let probe = device.probe_sketch(&reading, &mut rng).unwrap();
                     let chal = server.begin_identification(&probe, &mut rng).unwrap();
                     let resp = device.respond(&reading, &chal, &mut rng).unwrap();
@@ -129,9 +360,22 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_identifications_single_shard() {
+        identification_storm(SharedServer::new(SystemParams::insecure_test_defaults()));
+    }
+
+    #[test]
+    fn concurrent_identifications_four_shards() {
+        identification_storm(SharedServer::<ScanIndex>::with_shards(
+            SystemParams::insecure_test_defaults(),
+            4,
+        ));
+    }
+
+    #[test]
     fn concurrent_enrollments_all_land() {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::new(params.clone());
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
         let device = BiometricDevice::new(params.clone());
 
         crossbeam::scope(|scope| {
@@ -149,5 +393,103 @@ mod tests {
         })
         .expect("threads must not panic");
         assert_eq!(server.user_count(), 16);
+    }
+
+    #[test]
+    fn batch_identification_resolves_whole_queue() {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 4);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(4_242);
+        let bios = enroll_population(&server, &device, 10, 32, &mut rng);
+
+        let mut readings = Vec::new();
+        let mut probes = Vec::new();
+        for bio in &bios {
+            let reading: Vec<i64> = bio
+                .iter()
+                .map(|&x| x + rng.gen_range(-80i64..=80))
+                .collect();
+            probes.push(device.probe_sketch(&reading, &mut rng).unwrap());
+            readings.push(reading);
+        }
+        // Two impostors interleaved with the genuine queue.
+        let stranger = params.sketch().line().random_vector(32, &mut rng);
+        probes.push(device.probe_sketch(&stranger, &mut rng).unwrap());
+
+        let results = server.identify_batch(&probes, &mut rng);
+        assert_eq!(results.len(), 11);
+        assert!(matches!(results[10], Err(ProtocolError::NoMatch)));
+        // Session ids are unique across shard namespaces…
+        let mut sessions: Vec<SessionId> = results[..10]
+            .iter()
+            .map(|r| r.as_ref().unwrap().session)
+            .collect();
+        sessions.sort_unstable();
+        sessions.dedup();
+        assert_eq!(sessions.len(), 10);
+        // …and every challenge resolves to the right user.
+        for (u, result) in results[..10].iter().enumerate() {
+            let chal = result.as_ref().unwrap();
+            let resp = device.respond(&readings[u], chal, &mut rng).unwrap();
+            let outcome = server.finish_identification(&resp).unwrap();
+            assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+        }
+    }
+
+    #[test]
+    fn cancel_session_routes_across_shards() {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(6_100);
+        let bios = enroll_population(&server, &device, 6, 32, &mut rng);
+
+        for (u, bio) in bios.iter().enumerate() {
+            let reading: Vec<i64> = bio.iter().map(|&x| x + 20).collect();
+            let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+            let chal = server.begin_identification(&probe, &mut rng).unwrap();
+            assert!(server.cancel_session(chal.session), "user {u}");
+            let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+            assert!(matches!(
+                server.finish_identification(&resp),
+                Err(ProtocolError::UnknownSession)
+            ));
+        }
+        assert!(!server.cancel_session(0), "session 0 is never issued");
+    }
+
+    #[test]
+    fn revocation_routes_to_the_right_shard() {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(5_100);
+        let bios = enroll_population(&server, &device, 6, 32, &mut rng);
+
+        server.revoke("user-2").unwrap();
+        assert_eq!(server.user_count(), 5);
+        assert!(server.revoke("user-2").is_err());
+
+        let reading: Vec<i64> = bios[2].iter().map(|&x| x + 10).collect();
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        assert!(matches!(
+            server.begin_identification(&probe, &mut rng),
+            Err(ProtocolError::NoMatch)
+        ));
+        // Verification-mode also refuses revoked claims.
+        assert!(matches!(
+            server.begin_verification("user-2", &mut rng),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+        // Everyone else still identifies.
+        let reading: Vec<i64> = bios[4].iter().map(|&x| x - 25).collect();
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp).unwrap().identity(),
+            Some("user-4")
+        );
     }
 }

@@ -13,6 +13,16 @@
 //! * [`AuthenticationServer`] (`AS`) — stores `(ID, pk, P)` records,
 //!   matches incoming sketches with conditions (1)–(4), and verifies
 //!   challenge responses. Never sees a biometric or a secret key.
+//!   Generic over its sketch index (`I:`[`fe_core::SketchIndex`],
+//!   default [`fe_core::ScanIndex`]); the [`IndexConfig`] knob on
+//!   [`SystemParams`] carries the tunables, and [`BuildIndex`] turns
+//!   them into a concrete index. Batch identification
+//!   ([`AuthenticationServer::identify_batch`]) resolves many probes
+//!   per call.
+//! * [`concurrent::SharedServer`] — the scaling wrapper: users
+//!   partitioned across N independently-locked server shards, lookups
+//!   under shared read locks, batched identification with one lock
+//!   acquisition per shard per batch.
 //!
 //! # The efficiency claim
 //!
@@ -68,6 +78,6 @@ pub use messages::{
     EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId, UserId,
 };
 pub use normal::{NormalIdentification, NormalStats, ScanMode};
-pub use params::SystemParams;
+pub use params::{IndexConfig, SystemParams};
 pub use runner::{IdentifyStats, ProtocolRunner};
-pub use server::AuthenticationServer;
+pub use server::{AuthenticationServer, BuildIndex};

@@ -86,9 +86,9 @@ impl NormalIdentification {
     /// # Errors
     /// Propagates server-side failures (never `NoMatch` — exhaustion is
     /// reported as `Rejected`).
-    pub fn identify<R: RngCore + ?Sized>(
+    pub fn identify<R: RngCore + ?Sized, I: fe_core::SketchIndex>(
         &self,
-        server: &AuthenticationServer,
+        server: &AuthenticationServer<I>,
         bio: &[i64],
         rng: &mut R,
     ) -> Result<(IdentOutcome, NormalStats), ProtocolError> {
@@ -104,9 +104,7 @@ impl NormalIdentification {
             // Device side: attempt Rep with this record's helper data.
             stats.rep_attempts += 1;
             let recovered = match mode {
-                ScanMode::Exhaustive => {
-                    scheme.recover_exhaustive(bio, &helper.sketch.inner)
-                }
+                ScanMode::Exhaustive => scheme.recover_exhaustive(bio, &helper.sketch.inner),
                 ScanMode::EarlyAbort => scheme.recover(bio, &helper.sketch.inner),
             };
             let recovered = match recovered {
@@ -217,8 +215,8 @@ mod tests {
     fn modes_agree_on_outcomes() {
         let (server, bios, mut rng) = setup(5);
         let exhaustive = NormalIdentification::new(server.params().clone());
-        let early = NormalIdentification::new(server.params().clone())
-            .with_mode(ScanMode::EarlyAbort);
+        let early =
+            NormalIdentification::new(server.params().clone()).with_mode(ScanMode::EarlyAbort);
         for bio in &bios {
             let reading: Vec<i64> = bio.iter().map(|&x| x + 25).collect();
             let (o1, s1) = exhaustive.identify(&server, &reading, &mut rng).unwrap();

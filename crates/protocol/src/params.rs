@@ -4,8 +4,69 @@
 use fe_core::ChebyshevSketch;
 use fe_crypto::dsa::{Dsa, DsaParams};
 
+/// Which sketch-lookup structure the authentication server should build,
+/// with its tunables.
+///
+/// The server type is generic over the index
+/// ([`AuthenticationServer<I>`](crate::AuthenticationServer)); this knob
+/// travels with [`SystemParams`] so deployments can publish their index
+/// choice alongside the sketch parameters, and so index builders
+/// ([`BuildIndex`](crate::BuildIndex)) can pick up the tunables without
+/// extra plumbing. Irrelevant fields are ignored by backends that do not
+/// use them (e.g. a plain [`ScanIndex`](fe_core::ScanIndex) ignores
+/// everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexConfig {
+    /// Paper-faithful early-abort linear scan (the default).
+    #[default]
+    Scan,
+    /// LSH-style bucket index keyed on the first `prefix_dims`
+    /// coordinates.
+    Bucket {
+        /// Coordinates used for the bucket key (1..=8).
+        prefix_dims: usize,
+    },
+    /// Round-robin sharding over scan backends.
+    ShardedScan {
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+    /// Round-robin sharding over bucket backends.
+    ShardedBucket {
+        /// Number of shards (≥ 1).
+        shards: usize,
+        /// Coordinates used for the bucket key (1..=8).
+        prefix_dims: usize,
+    },
+}
+
+impl IndexConfig {
+    /// Default bucket key width when the config does not specify one.
+    pub const DEFAULT_PREFIX_DIMS: usize = 4;
+
+    /// The configured shard count (`1` for unsharded configs).
+    pub fn shards(&self) -> usize {
+        match *self {
+            IndexConfig::Scan | IndexConfig::Bucket { .. } => 1,
+            IndexConfig::ShardedScan { shards } | IndexConfig::ShardedBucket { shards, .. } => {
+                shards.max(1)
+            }
+        }
+    }
+
+    /// The configured bucket key width (defaulted for scan configs).
+    pub fn prefix_dims(&self) -> usize {
+        match *self {
+            IndexConfig::Bucket { prefix_dims }
+            | IndexConfig::ShardedBucket { prefix_dims, .. } => prefix_dims,
+            _ => Self::DEFAULT_PREFIX_DIMS,
+        }
+    }
+}
+
 /// Public system parameters: the number line + threshold, the extracted
-/// key length, and the DSA domain parameters.
+/// key length, the DSA domain parameters, and the server's index
+/// configuration.
 ///
 /// Produced once by the authentication server and published
 /// (`params = (La, t, H, Ext)` in Sec. V, plus the signature group).
@@ -14,16 +75,31 @@ pub struct SystemParams {
     sketch: ChebyshevSketch,
     key_len: usize,
     dsa: DsaParams,
+    index: IndexConfig,
 }
 
 impl SystemParams {
-    /// Assembles system parameters.
+    /// Assembles system parameters (with the default scan index; see
+    /// [`SystemParams::with_index_config`]).
     pub fn new(sketch: ChebyshevSketch, key_len: usize, dsa: DsaParams) -> Self {
         SystemParams {
             sketch,
             key_len,
             dsa,
+            index: IndexConfig::default(),
         }
+    }
+
+    /// Selects the server-side index structure.
+    #[must_use]
+    pub fn with_index_config(mut self, index: IndexConfig) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// The configured server-side index structure.
+    pub fn index_config(&self) -> &IndexConfig {
+        &self.index
     }
 
     /// The paper's Table II configuration with 1024-bit DSA (the classic
@@ -90,5 +166,25 @@ mod tests {
         let p = SystemParams::insecure_test_defaults();
         let fe = p.fuzzy_extractor();
         assert_eq!(fe.sketcher().threshold(), 100);
+    }
+
+    #[test]
+    fn index_config_defaults_and_builder() {
+        let p = SystemParams::insecure_test_defaults();
+        assert_eq!(*p.index_config(), IndexConfig::Scan);
+        assert_eq!(p.index_config().shards(), 1);
+        assert_eq!(
+            p.index_config().prefix_dims(),
+            IndexConfig::DEFAULT_PREFIX_DIMS
+        );
+
+        let p = p.with_index_config(IndexConfig::ShardedBucket {
+            shards: 8,
+            prefix_dims: 3,
+        });
+        assert_eq!(p.index_config().shards(), 8);
+        assert_eq!(p.index_config().prefix_dims(), 3);
+        // Degenerate shard counts are clamped to 1.
+        assert_eq!(IndexConfig::ShardedScan { shards: 0 }.shards(), 1);
     }
 }

@@ -6,8 +6,9 @@ use crate::device::BiometricDevice;
 use crate::messages::IdentOutcome;
 use crate::normal::{NormalIdentification, NormalStats};
 use crate::params::SystemParams;
-use crate::server::AuthenticationServer;
+use crate::server::{AuthenticationServer, BuildIndex};
 use crate::ProtocolError;
+use fe_core::{ScanIndex, SketchIndex};
 use rand::RngCore;
 use std::time::{Duration, Instant};
 
@@ -22,29 +23,40 @@ pub struct IdentifyStats {
     pub signature_ops: usize,
 }
 
-/// Drives complete protocol runs between one device and one server.
+/// Drives complete protocol runs between one device and one server,
+/// generic over the server's sketch index (default: the paper's scan).
 #[derive(Debug)]
-pub struct ProtocolRunner {
+pub struct ProtocolRunner<I: SketchIndex = ScanIndex> {
     device: BiometricDevice,
-    server: AuthenticationServer,
+    server: AuthenticationServer<I>,
 }
 
-impl ProtocolRunner {
-    /// Creates a runner with a fresh server.
+impl ProtocolRunner<ScanIndex> {
+    /// Creates a runner with a fresh scan-index server.
     pub fn new(params: SystemParams) -> Self {
+        Self::from_params(params)
+    }
+}
+
+impl<I: BuildIndex> ProtocolRunner<I> {
+    /// Creates a runner whose server index is built from `params` (see
+    /// [`BuildIndex`]).
+    pub fn from_params(params: SystemParams) -> Self {
         ProtocolRunner {
             device: BiometricDevice::new(params.clone()),
-            server: AuthenticationServer::new(params),
+            server: AuthenticationServer::<I>::from_params(params),
         }
     }
+}
 
+impl<I: SketchIndex> ProtocolRunner<I> {
     /// The device role.
     pub fn device(&self) -> &BiometricDevice {
         &self.device
     }
 
     /// The server role.
-    pub fn server(&self) -> &AuthenticationServer {
+    pub fn server(&self) -> &AuthenticationServer<I> {
         &self.server
     }
 
@@ -148,7 +160,9 @@ mod tests {
         let mut bios = Vec::new();
         for u in 0..users {
             let bio = params.sketch().line().random_vector(dim, &mut rng);
-            runner.enroll_user(&format!("user-{u}"), &bio, &mut rng).unwrap();
+            runner
+                .enroll_user(&format!("user-{u}"), &bio, &mut rng)
+                .unwrap();
             bios.push(bio);
         }
         (runner, bios, rng)
@@ -158,7 +172,10 @@ mod tests {
     fn proposed_path_constant_ops() {
         let (mut runner, bios, mut rng) = runner_with_users(10, 32);
         for bio in &bios {
-            let reading: Vec<i64> = bio.iter().map(|&x| x + rng.gen_range(-90i64..=90)).collect();
+            let reading: Vec<i64> = bio
+                .iter()
+                .map(|&x| x + rng.gen_range(-90i64..=90))
+                .collect();
             let (outcome, stats) = runner.identify(&reading, &mut rng).unwrap();
             assert!(outcome.is_identified());
             assert_eq!(stats.rep_attempts, 1);

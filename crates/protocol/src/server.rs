@@ -1,5 +1,11 @@
 //! The authentication server (`AS`): record storage, sketch matching,
 //! challenge management, response verification.
+//!
+//! [`AuthenticationServer`] is generic over its sketch-lookup structure
+//! `I:`[`SketchIndex`] (defaulting to the paper's [`ScanIndex`]), and the
+//! read path ([`AuthenticationServer::lookup_probe`]) is `&self` so a
+//! concurrent wrapper can serve many lookups under a shared lock — see
+//! [`crate::concurrent::SharedServer`].
 
 use crate::messages::{
     challenge_message, EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId,
@@ -7,12 +13,66 @@ use crate::messages::{
 };
 use crate::params::SystemParams;
 use crate::ProtocolError;
+use fe_core::{BucketIndex, ScanIndex, ShardedIndex, SketchIndex};
 use fe_crypto::dsa::{DsaSignature, DsaVerifyingKey};
 use fe_crypto::sig::SignatureScheme;
-use fe_core::{ScanIndex, SketchIndex};
 use rand::Rng;
 use rand::RngCore;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Index types the server can build from published [`SystemParams`]
+/// (consulting [`SystemParams::index_config`] for tunables).
+///
+/// This is the bridge between the *runtime* index-selection knob on the
+/// parameters and the *compile-time* index type parameter of
+/// [`AuthenticationServer`]: pick the type, and its builder reads the
+/// matching tunables (shard count, bucket key width) from the config,
+/// ignoring fields that do not apply.
+pub trait BuildIndex: SketchIndex + Sized {
+    /// Builds an empty index for the given parameters.
+    fn build(params: &SystemParams) -> Self;
+}
+
+fn sketch_ring(params: &SystemParams) -> (u64, u64) {
+    (
+        params.sketch().threshold(),
+        params.sketch().line().interval_len(),
+    )
+}
+
+impl BuildIndex for ScanIndex {
+    fn build(params: &SystemParams) -> Self {
+        let (t, ka) = sketch_ring(params);
+        ScanIndex::new(t, ka)
+    }
+}
+
+impl BuildIndex for BucketIndex {
+    fn build(params: &SystemParams) -> Self {
+        let (t, ka) = sketch_ring(params);
+        BucketIndex::new(t, ka, params.index_config().prefix_dims())
+    }
+}
+
+impl BuildIndex for ShardedIndex<ScanIndex> {
+    fn build(params: &SystemParams) -> Self {
+        let (t, ka) = sketch_ring(params);
+        ShardedIndex::scan(params.index_config().shards(), t, ka)
+    }
+}
+
+impl BuildIndex for ShardedIndex<BucketIndex> {
+    fn build(params: &SystemParams) -> Self {
+        let (t, ka) = sketch_ring(params);
+        ShardedIndex::bucket(
+            params.index_config().shards(),
+            t,
+            ka,
+            params.index_config().prefix_dims(),
+        )
+    }
+}
 
 /// A stored enrollment record.
 #[derive(Debug, Clone)]
@@ -29,39 +89,69 @@ struct PendingChallenge {
     challenge: u64,
 }
 
-/// The authentication server of Figs. 1–3.
+/// The authentication server of Figs. 1–3, generic over its sketch
+/// index (default: the paper's early-abort scan).
 ///
-/// Holds only public data: `(ID, pk, P)` per user. Sketch lookup uses the
-/// early-abort scan over conditions (1)–(4); the heavy crypto per
+/// Holds only public data: `(ID, pk, P)` per user. Sketch lookup uses
+/// conditions (1)–(4) through the index; the heavy crypto per
 /// identification is exactly one signature verification regardless of the
 /// number of enrolled users.
 #[derive(Debug)]
-pub struct AuthenticationServer {
+pub struct AuthenticationServer<I: SketchIndex = ScanIndex> {
     params: SystemParams,
     /// Slot-stable record storage: revocation leaves a tombstone so
     /// outstanding indices never shift.
     records: Vec<Option<StoredRecord>>,
     by_id: HashMap<UserId, usize>,
-    index: ScanIndex,
+    index: I,
     pending: HashMap<SessionId, PendingChallenge>,
     next_session: SessionId,
-    /// Diagnostic counter: records examined by sketch lookups.
-    lookups: u64,
+    /// Session-id step, so shard replicas can interleave disjoint
+    /// session namespaces (see [`crate::concurrent::SharedServer`]).
+    session_stride: u64,
+    /// Diagnostic counter: sketch lookups served. Atomic so the hot
+    /// read path stays `&self`.
+    lookups: AtomicU64,
 }
 
-impl AuthenticationServer {
-    /// Creates an empty server.
+impl AuthenticationServer<ScanIndex> {
+    /// Creates an empty server with the paper's scan index.
     pub fn new(params: SystemParams) -> Self {
-        let t = params.sketch().threshold();
-        let ka = params.sketch().line().interval_len();
+        Self::from_params(params)
+    }
+}
+
+impl<I: BuildIndex> AuthenticationServer<I> {
+    /// Creates an empty server whose index type `I` is built from
+    /// `params` (see [`BuildIndex`]).
+    pub fn from_params(params: SystemParams) -> Self {
+        let index = I::build(&params);
+        Self::with_index(params, index)
+    }
+}
+
+impl<I: SketchIndex> AuthenticationServer<I> {
+    /// Creates an empty server around a caller-built index.
+    ///
+    /// The index must never have held records: record ids must mirror
+    /// record slots from 0. A drained index (inserted-then-removed, so
+    /// currently empty but with ids already assigned) passes this
+    /// constructor's check but is caught by the id-mirror assertion on
+    /// the first [`AuthenticationServer::enroll`].
+    ///
+    /// # Panics
+    /// Panics if the index currently holds records.
+    pub fn with_index(params: SystemParams, index: I) -> Self {
+        assert!(index.is_empty(), "server index must start empty");
         AuthenticationServer {
             params,
             records: Vec::new(),
             by_id: HashMap::new(),
-            index: ScanIndex::new(t, ka),
+            index,
             pending: HashMap::new(),
             next_session: 1,
-            lookups: 0,
+            session_stride: 1,
+            lookups: AtomicU64::new(0),
         }
     }
 
@@ -70,9 +160,34 @@ impl AuthenticationServer {
         &self.params
     }
 
+    /// The sketch index (for diagnostics).
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
     /// Number of enrolled (non-revoked) users.
     pub fn user_count(&self) -> usize {
         self.by_id.len()
+    }
+
+    /// Restricts this server to the session ids
+    /// `start, start + stride, start + 2·stride, …` so several server
+    /// shards can issue globally-unique sessions without coordination.
+    ///
+    /// Must be called before any challenge is issued.
+    ///
+    /// # Panics
+    /// Panics if `stride == 0`, `start == 0` (session 0 is reserved) or
+    /// challenges were already issued.
+    pub fn set_session_namespace(&mut self, start: SessionId, stride: u64) {
+        assert!(stride >= 1, "stride must be at least 1");
+        assert!(start >= 1, "session ids start at 1");
+        assert!(
+            self.pending.is_empty() && self.next_session == 1,
+            "session namespace must be set before issuing challenges"
+        );
+        self.next_session = start;
+        self.session_stride = stride;
     }
 
     /// All enrolled helper data, in enrollment order (needed by the
@@ -144,7 +259,11 @@ impl AuthenticationServer {
         let public_key = DsaVerifyingKey::from_bytes(&record.public_key);
         let idx = self.records.len();
         let index_id = self.index.insert(record.helper.sketch.inner.clone());
-        debug_assert_eq!(index_id, idx, "index ids must mirror record slots");
+        // Release-enforced: an index that had records inserted and then
+        // removed passes the `is_empty` construction check but assigns
+        // ids offset from the record slots — that must fail loudly at
+        // the first enrollment, not corrupt lookups silently.
+        assert_eq!(index_id, idx, "index ids must mirror record slots");
         self.by_id.insert(record.id.clone(), idx);
         self.records.push(Some(StoredRecord {
             id: record.id,
@@ -152,6 +271,39 @@ impl AuthenticationServer {
             helper: record.helper,
         }));
         Ok(())
+    }
+
+    /// Sketch lookup only (conditions (1)–(4)), without issuing a
+    /// challenge. `&self`: safe under a shared read lock. Returns the
+    /// matched record slot.
+    pub fn lookup_probe(&self, probe: &[i64]) -> Option<usize> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.index.lookup(probe)
+    }
+
+    /// Batch sketch lookup: resolves many probes in one call (through
+    /// the index's batch path, which parallelizes for sharded indexes).
+    /// `&self`: safe under a shared read lock.
+    pub fn lookup_probe_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<usize>> {
+        self.lookups
+            .fetch_add(probes.len() as u64, Ordering::Relaxed);
+        self.index.lookup_batch(probes)
+    }
+
+    /// Issues a challenge for a record found via
+    /// [`AuthenticationServer::lookup_probe`], re-validating that the
+    /// record is still live (it can be revoked between a shared-lock
+    /// lookup and an exclusive-lock challenge issue). Returns `None` for
+    /// revoked or out-of-range slots.
+    pub fn challenge_for_record<R: RngCore + ?Sized>(
+        &mut self,
+        record_idx: usize,
+        rng: &mut R,
+    ) -> Option<IdentChallenge> {
+        match self.records.get(record_idx) {
+            Some(Some(_)) => Some(self.issue_challenge(record_idx, rng)),
+            _ => None,
+        }
     }
 
     /// Identification phase 1 (Fig. 3): match the probe sketch against
@@ -165,9 +317,31 @@ impl AuthenticationServer {
         probe: &[i64],
         rng: &mut R,
     ) -> Result<IdentChallenge, ProtocolError> {
-        self.lookups += 1;
-        let record_idx = self.index.lookup(probe).ok_or(ProtocolError::NoMatch)?;
+        let record_idx = self.lookup_probe(probe).ok_or(ProtocolError::NoMatch)?;
         Ok(self.issue_challenge(record_idx, rng))
+    }
+
+    /// Batch identification phase 1: resolves a whole batch of probe
+    /// sketches in one call and issues one challenge per matched probe.
+    /// Results are position-aligned with `probes`.
+    ///
+    /// This is the entry point that lets a server amortize both the
+    /// index traversal (batched, possibly parallel) and — through
+    /// [`crate::concurrent::SharedServer::identify_batch`] — one lock
+    /// acquisition over many concurrent devices.
+    pub fn identify_batch<R: RngCore + ?Sized>(
+        &mut self,
+        probes: &[Vec<i64>],
+        rng: &mut R,
+    ) -> Vec<Result<IdentChallenge, ProtocolError>> {
+        let matches = self.lookup_probe_batch(probes);
+        matches
+            .into_iter()
+            .map(|m| {
+                m.map(|idx| self.issue_challenge(idx, rng))
+                    .ok_or(ProtocolError::NoMatch)
+            })
+            .collect()
     }
 
     /// Verification phase 1 (the verification-mode protocol): the user
@@ -194,7 +368,7 @@ impl AuthenticationServer {
         rng: &mut R,
     ) -> IdentChallenge {
         let session = self.next_session;
-        self.next_session += 1;
+        self.next_session += self.session_stride;
         let challenge: u64 = rng.gen();
         self.pending.insert(
             session,
@@ -243,9 +417,17 @@ impl AuthenticationServer {
         }
     }
 
+    /// Cancels an outstanding challenge without verifying a response
+    /// (timeout handling: a device that never answers must not leave
+    /// its session consumable forever). Returns `false` for unknown or
+    /// already-consumed sessions.
+    pub fn cancel_session(&mut self, session: SessionId) -> bool {
+        self.pending.remove(&session).is_some()
+    }
+
     /// Number of sketch lookups performed (diagnostics).
     pub fn lookup_count(&self) -> u64 {
-        self.lookups
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Serializes every live record with the wire codec, for durable
@@ -290,6 +472,7 @@ impl AuthenticationServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::IndexConfig;
     use crate::BiometricDevice;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -311,7 +494,9 @@ mod tests {
 
     fn noisy(bio: &[i64], rng: &mut StdRng) -> Vec<i64> {
         use rand::Rng;
-        bio.iter().map(|&x| x + rng.gen_range(-100i64..=100)).collect()
+        bio.iter()
+            .map(|&x| x + rng.gen_range(-100i64..=100))
+            .collect()
     }
 
     #[test]
@@ -325,6 +510,169 @@ mod tests {
             let outcome = server.finish_identification(&resp).unwrap();
             assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
         }
+    }
+
+    #[test]
+    fn generic_servers_identify_across_index_backends() {
+        // The same protocol flow works with every index type the server
+        // can build from params — including the sharded ones.
+        let params = SystemParams::insecure_test_defaults()
+            .with_index_config(IndexConfig::ShardedScan { shards: 3 });
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(77_500);
+
+        fn run<I: SketchIndex>(
+            mut server: AuthenticationServer<I>,
+            device: &BiometricDevice,
+            rng: &mut StdRng,
+        ) {
+            let params = server.params().clone();
+            let mut bios = Vec::new();
+            for u in 0..6 {
+                let bio = params.sketch().line().random_vector(48, rng);
+                server
+                    .enroll(device.enroll(&format!("user-{u}"), &bio, rng).unwrap())
+                    .unwrap();
+                bios.push(bio);
+            }
+            for (u, bio) in bios.iter().enumerate() {
+                use rand::Rng;
+                let reading: Vec<i64> = bio
+                    .iter()
+                    .map(|&x| x + rng.gen_range(-90i64..=90))
+                    .collect();
+                let probe = device.probe_sketch(&reading, rng).unwrap();
+                let chal = server.begin_identification(&probe, rng).unwrap();
+                let resp = device.respond(&reading, &chal, rng).unwrap();
+                let outcome = server.finish_identification(&resp).unwrap();
+                assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+            }
+        }
+
+        run(
+            AuthenticationServer::<ScanIndex>::from_params(params.clone()),
+            &device,
+            &mut rng,
+        );
+        run(
+            AuthenticationServer::<BucketIndex>::from_params(params.clone()),
+            &device,
+            &mut rng,
+        );
+        run(
+            AuthenticationServer::<ShardedIndex<ScanIndex>>::from_params(params.clone()),
+            &device,
+            &mut rng,
+        );
+        run(
+            AuthenticationServer::<ShardedIndex<BucketIndex>>::from_params(params),
+            &device,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn identify_batch_matches_single_path() {
+        let (device, mut server, bios, mut rng) = setup(8);
+        let mut readings = Vec::new();
+        let mut probes = Vec::new();
+        for bio in &bios {
+            let reading = noisy(bio, &mut rng);
+            probes.push(device.probe_sketch(&reading, &mut rng).unwrap());
+            readings.push(reading);
+        }
+        // One impostor probe in the middle of the batch.
+        let stranger = server.params().sketch().line().random_vector(48, &mut rng);
+        probes.insert(3, device.probe_sketch(&stranger, &mut rng).unwrap());
+
+        let results = server.identify_batch(&probes, &mut rng);
+        assert_eq!(results.len(), probes.len());
+        assert_eq!(results[3].as_ref().unwrap_err(), &ProtocolError::NoMatch);
+        for (i, result) in results.into_iter().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            let u = if i < 3 { i } else { i - 1 };
+            let chal = result.unwrap();
+            let resp = device.respond(&readings[u], &chal, &mut rng).unwrap();
+            let outcome = server.finish_identification(&resp).unwrap();
+            assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+        }
+        // Batch lookups count toward the diagnostic counter.
+        assert_eq!(server.lookup_count(), 9);
+    }
+
+    #[test]
+    fn session_namespace_interleaves() {
+        let (device, _server, bios, mut rng) = setup(1);
+        let params = SystemParams::insecure_test_defaults();
+        let mut server = AuthenticationServer::new(params);
+        server.set_session_namespace(2, 3);
+        let record = device.enroll("user-0", &bios[0], &mut rng).unwrap();
+        server.enroll(record).unwrap();
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let c1 = server.begin_identification(&probe, &mut rng).unwrap();
+        let c2 = server.begin_identification(&probe, &mut rng).unwrap();
+        assert_eq!((c1.session, c2.session), (2, 5));
+        // Responses still verify under namespaced sessions.
+        let resp = device.respond(&reading, &c2, &mut rng).unwrap();
+        assert!(server.finish_identification(&resp).unwrap().is_identified());
+    }
+
+    #[test]
+    #[should_panic(expected = "before issuing challenges")]
+    fn session_namespace_rejected_after_first_challenge() {
+        let (device, mut server, bios, mut rng) = setup(1);
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        server.begin_identification(&probe, &mut rng).unwrap();
+        let _ = device;
+        server.set_session_namespace(1, 2);
+    }
+
+    #[test]
+    fn cancelled_session_cannot_be_answered() {
+        let (device, mut server, bios, mut rng) = setup(2);
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        assert!(server.cancel_session(chal.session));
+        assert!(!server.cancel_session(chal.session), "already cancelled");
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp).unwrap_err(),
+            ProtocolError::UnknownSession
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "index ids must mirror record slots")]
+    fn drained_index_is_caught_at_first_enroll() {
+        // A drained index passes the is_empty construction check but has
+        // already assigned id 0; the id-mirror assert must fire loudly
+        // on the first enrollment (release builds included).
+        let params = SystemParams::insecure_test_defaults();
+        let mut index = ScanIndex::new(100, 400);
+        let stale = index.insert(vec![1, 2, 3]);
+        index.remove(stale);
+        let mut server = AuthenticationServer::with_index(params.clone(), index);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let bio = params.sketch().line().random_vector(16, &mut rng);
+        let _ = server.enroll(device.enroll("x", &bio, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn challenge_for_record_revalidates_liveness() {
+        let (device, mut server, bios, mut rng) = setup(2);
+        let reading = noisy(&bios[0], &mut rng);
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let idx = server.lookup_probe(&probe).unwrap();
+        server.revoke("user-0").unwrap();
+        // The slot was found before revocation; issuing must refuse.
+        assert!(server.challenge_for_record(idx, &mut rng).is_none());
+        assert!(server.challenge_for_record(999, &mut rng).is_none());
     }
 
     #[test]
@@ -482,8 +830,15 @@ mod tests {
         let blobs = server.export_records();
         assert_eq!(blobs.len(), 3);
 
-        // Cold restart: a fresh server imports the records.
-        let mut restored = AuthenticationServer::new(server.params().clone());
+        // Cold restart: a fresh server imports the records — into a
+        // *sharded* index this time, proving exports are portable across
+        // index backends.
+        let mut restored = AuthenticationServer::<ShardedIndex<ScanIndex>>::from_params(
+            server
+                .params()
+                .clone()
+                .with_index_config(IndexConfig::ShardedScan { shards: 2 }),
+        );
         assert_eq!(restored.import_records(&blobs).unwrap(), 3);
         assert_eq!(restored.user_count(), 3);
 

@@ -152,8 +152,13 @@ mod tests {
 
     #[test]
     fn adversary_drops_messages() {
-        let mut link: Link<u32> =
-            Link::new().with_adversary(Box::new(|m| if m % 2 == 0 { Tamper::Drop } else { Tamper::Pass(m) }));
+        let mut link: Link<u32> = Link::new().with_adversary(Box::new(|m| {
+            if m % 2 == 0 {
+                Tamper::Drop
+            } else {
+                Tamper::Pass(m)
+            }
+        }));
         link.send(2).unwrap();
         link.send(3).unwrap();
         assert_eq!(link.recv(TIMEOUT), Some(3));

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (key, helper) = fe.generate(&bio, &mut rng)?;
     let secret_note = b"the vault combination is 13-37-42";
     let sealed = seal(key.as_bytes(), secret_note);
-    println!("encrypted {} bytes under a biometric-derived key", secret_note.len());
+    println!(
+        "encrypted {} bytes under a biometric-derived key",
+        secret_note.len()
+    );
     drop(key); // nothing secret is stored — only `helper` and `sealed`
 
     // Day 30: a fresh scan of the same biometric reproduces the key.
@@ -51,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key_again = fe.reproduce(&fresh_scan, &helper)?;
     let recovered = open(key_again.as_bytes(), &sealed).expect("MAC must verify");
     assert_eq!(recovered, secret_note);
-    println!("decrypted with a fresh reading: {:?}", String::from_utf8_lossy(&recovered));
+    println!(
+        "decrypted with a fresh reading: {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
 
     // A thief with the helper data and ciphertext — but no finger — gets
     // nothing.

@@ -33,11 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let iris_model = IrisCodeModel::new(fused.binary_extractor().sketcher().input_len(), 0.01);
     let iris = iris_model.random_code(&mut rng);
     let (key, helper) = fused.generate(&finger, &iris, &mut rng)?;
-    println!("enrolled fingerprint (2000 features) + iris ({} bits)", iris.len());
+    println!(
+        "enrolled fingerprint (2000 features) + iris ({} bits)",
+        iris.len()
+    );
     println!("fused key: {} bytes", key.len());
 
     // Genuine presentation: both modalities noisy but within tolerance.
-    let finger2: Vec<i64> = finger.iter().map(|&x| x + rng.gen_range(-95i64..=95)).collect();
+    let finger2: Vec<i64> = finger
+        .iter()
+        .map(|&x| x + rng.gen_range(-95i64..=95))
+        .collect();
     let iris2 = iris_model.genuine_reading(&iris, &mut rng);
     assert_eq!(fused.reproduce(&finger2, &iris2, &helper)?, key);
     println!("genuine (both modalities):     key reproduced ✓");

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example tamper_detection`
 
 use fuzzy_id::protocol::transport::{Link, Tamper};
-use fuzzy_id::protocol::{BiometricDevice, AuthenticationServer, IdentChallenge, SystemParams};
+use fuzzy_id::protocol::{AuthenticationServer, BiometricDevice, IdentChallenge, SystemParams};
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
@@ -18,14 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bio = params.sketch().line().random_vector(500, &mut rng);
     server.enroll(device.enroll("alice", &bio, &mut rng)?)?;
 
-    let reading: Vec<i64> = bio.iter().map(|&x| x + rng.gen_range(-80i64..=80)).collect();
+    let reading: Vec<i64> = bio
+        .iter()
+        .map(|&x| x + rng.gen_range(-80i64..=80))
+        .collect();
 
     // 1. Honest run over a clean link.
     let probe = device.probe_sketch(&reading, &mut rng)?;
     let mut link: Link<IdentChallenge> = Link::new();
     let challenge = server.begin_identification(&probe, &mut rng)?;
     link.send(challenge).map_err(|_| "link closed")?;
-    let delivered = link.recv(Duration::from_secs(1)).expect("message delivered");
+    let delivered = link
+        .recv(Duration::from_secs(1))
+        .expect("message delivered");
     let response = device.respond(&reading, &delivered, &mut rng)?;
     let outcome = server.finish_identification(&response)?;
     println!("clean link:     {outcome:?} ✓");

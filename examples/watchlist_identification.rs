@@ -3,11 +3,16 @@
 //! find who it is among N enrolled users.
 //!
 //! Compares the proposed constant-cost protocol (Fig. 3) against the
-//! normal O(N) approach (Fig. 2) on the same population.
+//! normal O(N) approach (Fig. 2) on the same population, then scales the
+//! same watch list onto the **sharded server**: users partitioned across
+//! 4 independently-locked shards, with a whole camera-feed batch of
+//! probes resolved per lock acquisition via `identify_batch`.
 //!
 //! Run with: `cargo run --release --example watchlist_identification`
 
-use fuzzy_id::protocol::{ProtocolRunner, SystemParams};
+use fuzzy_id::core::{ScanIndex, ShardedIndex};
+use fuzzy_id::protocol::concurrent::SharedServer;
+use fuzzy_id::protocol::{BiometricDevice, IndexConfig, ProtocolRunner, SystemParams};
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
@@ -62,6 +67,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(e) => println!("stranger:           not identified ({e}) ✓"),
         Ok((o, _)) => println!("stranger:           UNEXPECTED match {o:?}"),
     }
+
+    // ── Scaling out: the sharded server ────────────────────────────────
+    // The same watch list, now partitioned across 4 server shards whose
+    // per-shard index is itself a 2-way sharded scan (the IndexConfig
+    // knob), serving a whole batch of camera frames per lock acquisition.
+    let sharded_params = params
+        .clone()
+        .with_index_config(IndexConfig::ShardedScan { shards: 2 });
+    let server = SharedServer::<ShardedIndex<ScanIndex>>::with_shards(sharded_params.clone(), 4);
+    let device = BiometricDevice::new(sharded_params);
+    println!(
+        "\nsharded server:     {} shards, re-enrolling watch list…",
+        server.num_shards()
+    );
+    for (u, bio) in bios.iter().enumerate() {
+        server.enroll(device.enroll(&format!("suspect-{u:02}"), bio, &mut rng)?)?;
+    }
+
+    // A burst of frames: suspects 3, 17, 9 and one stranger in one batch.
+    let frames: Vec<Vec<i64>> = [3usize, 17, 9]
+        .iter()
+        .map(|&u| {
+            let reading: Vec<i64> = bios[u]
+                .iter()
+                .map(|&x| x + rng.gen_range(-95i64..=95))
+                .collect();
+            device.probe_sketch(&reading, &mut rng)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut batch = frames;
+    batch.push(device.probe_sketch(&stranger, &mut rng)?);
+
+    let start = Instant::now();
+    let results = server.identify_batch(&batch, &mut rng);
+    println!(
+        "batch of {}:         resolved in {:?} ({} lookups served)",
+        batch.len(),
+        start.elapsed(),
+        server.lookup_count(),
+    );
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(chal) => println!("  frame {i}: matched (session {})", chal.session),
+            Err(e) => println!("  frame {i}: no match ({e}) ✓"),
+        }
+    }
+    assert!(results[0].is_ok() && results[1].is_ok() && results[2].is_ok());
+    assert!(results[3].is_err());
 
     Ok(())
 }

@@ -11,7 +11,9 @@
 //! * [`core`] (`fe-core`) — number line, secure sketch, robust sketch,
 //!   fuzzy extractor, sketch matching/index, security analysis, baselines.
 //! * [`protocol`] (`fe-protocol`) — enrollment, verification and
-//!   identification protocols (proposed + normal approach).
+//!   identification protocols (proposed + normal approach); the
+//!   authentication server is generic over its sketch index and scales
+//!   out via the sharded, batch-capable `concurrent::SharedServer`.
 //! * [`crypto`] (`fe-crypto`) — SHA-256/SHA-512, HMAC, HMAC-DRBG, DSA,
 //!   Schnorr, strong extractors.
 //! * [`biometric`] (`fe-biometric`) — synthetic biometric workloads.

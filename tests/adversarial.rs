@@ -41,7 +41,9 @@ fn setup(users: usize, dim: usize, seed: u64) -> World {
 
 fn genuine_reading(w: &mut World, u: usize) -> Vec<i64> {
     let bio = w.bios[u].clone();
-    bio.iter().map(|&x| x + w.rng.gen_range(-90i64..=90)).collect()
+    bio.iter()
+        .map(|&x| x + w.rng.gen_range(-90i64..=90))
+        .collect()
 }
 
 #[test]
@@ -166,7 +168,12 @@ fn forged_public_key_enrollment_does_not_impersonate_existing_user() {
     // Mallory enrolls under her own id with her own biometric; she still
     // cannot be identified as anyone else.
     let mut w = setup(2, 200, 17);
-    let mallory_bio = w.server.params().sketch().line().random_vector(200, &mut w.rng);
+    let mallory_bio = w
+        .server
+        .params()
+        .sketch()
+        .line()
+        .random_vector(200, &mut w.rng);
     let record = w
         .device
         .enroll("mallory", &mallory_bio, &mut w.rng)

@@ -3,8 +3,8 @@
 //! minutiae-style feature sets, and a head-to-head FAR/FRR comparison
 //! with the paper's Chebyshev construction.
 
-use fuzzy_id::biometric::{measure_error_rates, IrisCodeModel, PopulationGenerator, UniformNoise};
 use fuzzy_id::biometric::NoiseModel;
+use fuzzy_id::biometric::{measure_error_rates, IrisCodeModel, PopulationGenerator, UniformNoise};
 use fuzzy_id::core::baselines::{BinaryFuzzyExtractor, FuzzyVault};
 use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor};
 use fuzzy_id::ecc::Bch;
@@ -46,7 +46,7 @@ fn code_offset_error_rates() {
         40,
         || {
             let reading = model.genuine_reading(&enrolled, &mut g_rng);
-            fe.reproduce(&reading, &helper).map_or(false, |k| k == key)
+            fe.reproduce(&reading, &helper).is_ok_and(|k| k == key)
         },
         || {
             let reading = model.impostor_reading(&mut i_rng);
@@ -117,7 +117,7 @@ fn chebyshev_error_rates_match_theory() {
         50,
         || {
             let reading = noise.perturb(&enrolled, &mut g_rng);
-            fe.reproduce(&reading, &helper).map_or(false, |k| k == key)
+            fe.reproduce(&reading, &helper).is_ok_and(|k| k == key)
         },
         || {
             let reading = gen.random_template(&mut i_rng).into_features();

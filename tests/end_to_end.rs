@@ -15,7 +15,9 @@ fn setup(users: usize, dim: usize, seed: u64) -> (ProtocolRunner, Vec<Vec<i64>>,
     let mut bios = Vec::new();
     for u in 0..users {
         let bio = gen.random_template(&mut rng).into_features();
-        runner.enroll_user(&format!("user-{u}"), &bio, &mut rng).unwrap();
+        runner
+            .enroll_user(&format!("user-{u}"), &bio, &mut rng)
+            .unwrap();
         bios.push(bio);
     }
     (runner, bios, rng)
@@ -129,7 +131,9 @@ fn reenrollment_under_new_id_works() {
     // keys each time (reusability hygiene); identification returns one of
     // the two matching records.
     let (mut runner, bios, mut rng) = setup(2, 300, 9);
-    runner.enroll_user("user-0-alt", &bios[0], &mut rng).unwrap();
+    runner
+        .enroll_user("user-0-alt", &bios[0], &mut rng)
+        .unwrap();
     let noise = UniformNoise::new(50);
     let reading = noise.perturb(&bios[0], &mut rng);
     let (outcome, _) = runner.identify(&reading, &mut rng).unwrap();

@@ -2,7 +2,9 @@
 //! properties over randomized configurations.
 
 use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
-use fuzzy_id::core::{ChebyshevSketch, FuzzyExtractor, NumberLine, SecureSketch};
+use fuzzy_id::core::{
+    ChebyshevSketch, FuzzyExtractor, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
+};
 use fuzzy_id::metrics::{Metric, RingChebyshev};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -150,6 +152,72 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(fe.reproduce(&noisy, &helper).unwrap(), key);
+    }
+
+    /// Sharding is transparent: on a random sketch population,
+    /// `ShardedIndex<ScanIndex>` and a plain `ScanIndex` assign the same
+    /// record ids and return identical `lookup` / `lookup_all` /
+    /// `lookup_batch` results — including after random removals, which
+    /// must leave the surviving ids stable.
+    #[test]
+    fn sharded_index_equivalent_to_scan(
+        shards in 1usize..=6,
+        users in 1usize..60,
+        dim in 1usize..8,
+        seed in any::<u64>(),
+        removal_mask in any::<u64>(),
+    ) {
+        const T: u64 = 100;
+        const KA: u64 = 400;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let half = (KA / 2) as i64;
+
+        // Random sketch population (coordinates span the legal sketch
+        // range [-ka/2, ka/2]; duplicates and near-duplicates arise
+        // naturally, which is exactly what lookup_all must agree on).
+        let sketches: Vec<Vec<i64>> = (0..users)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        use rand::Rng;
+                        rng.gen_range(-half..=half)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut scan = ScanIndex::new(T, KA);
+        let mut sharded = ShardedIndex::scan(shards, T, KA);
+        for s in &sketches {
+            let a = scan.insert(s.clone());
+            let b = sharded.insert(s.clone());
+            prop_assert_eq!(a, b, "ids must be assigned identically");
+        }
+
+        // Random removals (bit u of the mask removes user u).
+        for u in 0..users.min(64) {
+            if removal_mask & (1 << u) != 0 {
+                prop_assert_eq!(scan.remove(u), sharded.remove(u));
+            }
+        }
+        prop_assert_eq!(scan.len(), sharded.len());
+
+        // Probes: every enrolled sketch plus a perturbed copy.
+        let mut probes = sketches.clone();
+        probes.extend(sketches.iter().map(|s| {
+            s.iter()
+                .map(|&c| {
+                    use rand::Rng;
+                    (c + rng.gen_range(-(T as i64)..=T as i64)).clamp(-half, half)
+                })
+                .collect::<Vec<i64>>()
+        }));
+
+        for probe in &probes {
+            prop_assert_eq!(scan.lookup(probe), sharded.lookup(probe));
+            prop_assert_eq!(scan.lookup_all(probe), sharded.lookup_all(probe));
+        }
+        prop_assert_eq!(scan.lookup_batch(&probes), sharded.lookup_batch(&probes));
     }
 
     /// Ring-wrap invariance: shifting the whole input by one full period

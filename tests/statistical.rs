@@ -74,7 +74,10 @@ fn keys_independent_of_helper_data_bits() {
             chi += d * d / expected;
         }
     }
-    assert!(chi < 10.83, "key bit correlates with helper data: chi = {chi:.2}");
+    assert!(
+        chi < 10.83,
+        "key bit correlates with helper data: chi = {chi:.2}"
+    );
 }
 
 #[test]
@@ -97,6 +100,10 @@ fn sketch_movements_are_near_uniform() {
     let expected = sketch.len() as f64 / 8.0;
     for (i, &count) in bins.iter().enumerate() {
         let dev = (count as f64 - expected).abs() / expected;
-        assert!(dev < 0.05, "bin {i} deviates {:.1}% from uniform", dev * 100.0);
+        assert!(
+            dev < 0.05,
+            "bin {i} deviates {:.1}% from uniform",
+            dev * 100.0
+        );
     }
 }

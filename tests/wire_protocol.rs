@@ -34,7 +34,10 @@ fn end_to_end_over_wire() {
     assert_eq!(server.user_count(), 1);
 
     // --- Identification over the wire ---
-    let reading: Vec<i64> = bio.iter().map(|&x| x + rng.gen_range(-80i64..=80)).collect();
+    let reading: Vec<i64> = bio
+        .iter()
+        .map(|&x| x + rng.gen_range(-80i64..=80))
+        .collect();
     let probe = device.probe_sketch(&reading, &mut rng).unwrap();
     // (probe travels as part of an outer request in a real deployment;
     // here the server consumes it directly)
@@ -48,7 +51,9 @@ fn end_to_end_over_wire() {
         other => panic!("expected Challenge, got {other:?}"),
     };
     let response = device.respond(&reading, &challenge, &mut rng).unwrap();
-    to_server.send(encode(&Message::Response(response))).unwrap();
+    to_server
+        .send(encode(&Message::Response(response)))
+        .unwrap();
     let bytes = to_server.recv(TIMEOUT).unwrap();
     let response = match decode(&bytes).unwrap() {
         Message::Response(r) => r,
@@ -74,7 +79,9 @@ fn bitflips_on_the_wire_never_panic_and_never_authenticate() {
     let mut rng = StdRng::seed_from_u64(0x31_7f);
 
     let bio = params.sketch().line().random_vector(200, &mut rng);
-    server.enroll(device.enroll("bob", &bio, &mut rng).unwrap()).unwrap();
+    server
+        .enroll(device.enroll("bob", &bio, &mut rng).unwrap())
+        .unwrap();
 
     let reading: Vec<i64> = bio.iter().map(|&x| x + 40).collect();
     let probe = device.probe_sketch(&reading, &mut rng).unwrap();
@@ -93,9 +100,8 @@ fn bitflips_on_the_wire_never_panic_and_never_authenticate() {
             Ok(Message::Response(r)) => {
                 // Same session id? The signature check must fail (the
                 // session is consumed on first use, so re-issue first).
-                match server.finish_identification(&r) {
-                    Ok(IdentOutcome::Identified(_)) => identified += 1,
-                    _ => {}
+                if let Ok(IdentOutcome::Identified(_)) = server.finish_identification(&r) {
+                    identified += 1
                 }
             }
             Ok(_) => {} // decoded as another message type: ignored
@@ -116,7 +122,9 @@ fn adversarial_byte_tampering_on_link() {
     let mut rng = StdRng::seed_from_u64(0x31_80);
 
     let bio = params.sketch().line().random_vector(200, &mut rng);
-    server.enroll(device.enroll("carol", &bio, &mut rng).unwrap()).unwrap();
+    server
+        .enroll(device.enroll("carol", &bio, &mut rng).unwrap())
+        .unwrap();
     let reading: Vec<i64> = bio.iter().map(|&x| x - 33).collect();
     let probe = device.probe_sketch(&reading, &mut rng).unwrap();
 

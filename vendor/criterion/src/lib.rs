@@ -1,0 +1,298 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Benchmarks written against the real criterion API compile and run
+//! unchanged; this shim measures with a simple adaptive loop (calibrate
+//! iteration count, take N samples, report min/mean/max of the per-
+//! iteration time) instead of criterion's statistical machinery. Output
+//! is one line per benchmark on stdout; there are no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name + parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the measured closure; drives timed iterations.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean seconds per iteration, filled by `iter`.
+    mean_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+}
+
+impl Bencher {
+    /// Runs `f` under the timer.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up + calibration: how many iterations fit in ~1/10 of a
+        // sample so the clock resolution stops mattering.
+        let mut iters_per_sample = 1u64;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let target = self.measurement_time.max(Duration::from_millis(1)) / 10;
+            if elapsed >= target.min(Duration::from_millis(50)) {
+                break;
+            }
+            if Instant::now() >= warm_deadline && iters_per_sample > 1 {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut sample_secs = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_secs.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let n = sample_secs.len().max(1) as f64;
+        self.mean_secs = sample_secs.iter().sum::<f64>() / n;
+        self.min_secs = sample_secs.iter().copied().fold(f64::INFINITY, f64::min);
+        self.max_secs = sample_secs.iter().copied().fold(0.0, f64::max);
+    }
+}
+
+fn human(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declares throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            mean_secs: 0.0,
+            min_secs: 0.0,
+            max_secs: 0.0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_secs > 0.0 => {
+                format!("  thrpt: {:.0} elem/s", n as f64 / b.mean_secs)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_secs > 0.0 => {
+                format!(
+                    "  thrpt: {:.1} MiB/s",
+                    n as f64 / b.mean_secs / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} time: [{} {} {}]{}",
+            self.name,
+            id.id,
+            human(b.min_secs),
+            human(b.mean_secs),
+            human(b.max_secs),
+            rate
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports; the shim prints as it
+    /// goes, so this is bookkeeping only).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Upstream parses CLI args here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn group_runs_and_counts() {
+        benches();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("scan", 1000).id, "scan/1000");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(2e-9).ends_with("ns"));
+        assert!(human(2e-6).ends_with("µs"));
+        assert!(human(2e-3).ends_with("ms"));
+        assert!(human(2.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Provides [`scope`] (over `std::thread::scope`) and [`channel`]
+//! (over `std::sync::mpsc`) — the two pieces this workspace uses for
+//! its concurrency tests and the in-memory transport.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A handle for spawning scoped threads (mirrors
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (unused by most callers, hence commonly bound as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// threads are joined before `scope` returns.
+///
+/// # Errors
+/// Upstream returns `Err` with the panic payloads of panicking child
+/// threads. `std::thread::scope` instead resumes the first child panic
+/// on the parent after joining all threads, so this shim only ever
+/// returns `Ok` — callers' `.expect("no thread panicked")` still fails
+/// the test (via the propagated panic) exactly when a child panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(42).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(50)),
+            Ok(42)
+        );
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+}

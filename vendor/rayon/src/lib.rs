@@ -1,0 +1,278 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Provides `par_iter()` over slices with `map` / `filter_map` /
+//! `enumerate` / `for_each` / `collect` / `find_map_first`, executed on
+//! `std::thread::scope` worker threads (one contiguous chunk per
+//! hardware thread) instead of a work-stealing pool. Unlike real rayon
+//! the adaptors are **eager** — each stage materializes its results —
+//! which is equivalent for this workspace's usage (coarse-grained shard
+//! and batch fan-out) and keeps the shim tiny.
+//!
+//! `map`/`collect` preserve input order, and `find_map_first` returns
+//! the match with the lowest index (cancelling workers that can no
+//! longer win), matching rayon's semantics.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for `n` items.
+fn workers_for(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    hw.min(n).max(1)
+}
+
+/// Splits `items` into at most `workers` contiguous chunks.
+fn chunk_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let per = len.div_ceil(workers);
+    (0..workers)
+        .map(|w| (w * per, ((w + 1) * per).min(len)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// An eager parallel iterator holding its items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        let n = self.items.len();
+        let workers = workers_for(n);
+        if workers <= 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let bounds = chunk_bounds(n, workers);
+        let mut slots: Vec<Mutex<Vec<R>>> = bounds.iter().map(|_| Mutex::new(Vec::new())).collect();
+        {
+            let f = &f;
+            let mut rest: Vec<I> = self.items;
+            // Drain chunks back-to-front so each thread owns its items.
+            let mut chunks: Vec<Vec<I>> = Vec::with_capacity(bounds.len());
+            for &(lo, _hi) in bounds.iter().rev() {
+                chunks.push(rest.split_off(lo));
+            }
+            chunks.reverse();
+            std::thread::scope(|scope| {
+                for (chunk, slot) in chunks.into_iter().zip(&slots) {
+                    scope.spawn(move || {
+                        let out: Vec<R> = chunk.into_iter().map(f).collect();
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = out;
+                    });
+                }
+            });
+        }
+        let mut items = Vec::with_capacity(n);
+        for slot in &mut slots {
+            items.append(slot.get_mut().unwrap_or_else(|p| p.into_inner()));
+        }
+        ParIter { items }
+    }
+
+    /// `map` + drop `None` results, preserving order.
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(I) -> Option<R> + Sync,
+    {
+        let mapped = self.map(f);
+        ParIter {
+            items: mapped.items.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        self.map(f).items.clear();
+    }
+
+    /// Collects the (already materialized) items.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// The minimum item, if any (items are already materialized, so
+    /// this is a plain reduction).
+    pub fn min(self) -> Option<I>
+    where
+        I: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Returns `f`'s result for the lowest-indexed item where it is
+    /// `Some`, cancelling workers whose remaining indices cannot win.
+    pub fn find_map_first<R, F>(self, f: F) -> Option<R>
+    where
+        R: Send,
+        F: Fn(I) -> Option<R> + Sync,
+    {
+        let n = self.items.len();
+        let workers = workers_for(n);
+        if workers <= 1 {
+            return self.items.into_iter().find_map(f);
+        }
+        let bounds = chunk_bounds(n, workers);
+        let best_idx = AtomicUsize::new(usize::MAX);
+        let best: Mutex<Option<(usize, R)>> = Mutex::new(None);
+        {
+            let f = &f;
+            let best = &best;
+            let best_idx = &best_idx;
+            let mut rest: Vec<I> = self.items;
+            let mut chunks: Vec<(usize, Vec<I>)> = Vec::with_capacity(bounds.len());
+            for &(lo, _hi) in bounds.iter().rev() {
+                chunks.push((lo, rest.split_off(lo)));
+            }
+            chunks.reverse();
+            std::thread::scope(|scope| {
+                for (lo, chunk) in chunks {
+                    scope.spawn(move || {
+                        for (off, item) in chunk.into_iter().enumerate() {
+                            let idx = lo + off;
+                            if best_idx.load(Ordering::Acquire) < idx {
+                                return; // an earlier match already won
+                            }
+                            if let Some(r) = f(item) {
+                                best_idx.fetch_min(idx, Ordering::AcqRel);
+                                let mut guard = best.lock().unwrap_or_else(|p| p.into_inner());
+                                match guard.as_ref() {
+                                    Some((cur, _)) if *cur <= idx => {}
+                                    _ => *guard = Some((idx, r)),
+                                }
+                                return;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        best.into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .map(|(_, r)| r)
+    }
+}
+
+/// `.par_iter()` on shared slices (and anything derefing to one).
+pub trait IntoParallelRefIterator<'data> {
+    /// The per-item reference type.
+    type Item: Send;
+    /// Starts a parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Consuming parallel iteration over owned collections.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// Starts a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let input = ["a", "b", "c"];
+        let out: Vec<String> = input
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn find_map_first_returns_lowest_index() {
+        let input: Vec<u64> = (0..100_000).collect();
+        // Many items qualify; the first (index 17) must win every time.
+        for _ in 0..20 {
+            let found = input.par_iter().find_map_first(|&x| (x >= 17).then_some(x));
+            assert_eq!(found, Some(17));
+        }
+    }
+
+    #[test]
+    fn find_map_first_none_when_absent() {
+        let input: Vec<u64> = (0..1000).collect();
+        assert_eq!(
+            input
+                .par_iter()
+                .find_map_first(|&x| (x > 5000).then_some(x)),
+            None
+        );
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .filter_map(|&x| (x % 10 == 0).then_some(x))
+            .collect();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let out: Vec<u64> = vec![3u64, 1, 2].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        assert_eq!(empty.par_iter().find_map_first(|&x| Some(x)), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The workspace's own wire codec (`fe-protocol::wire`) is
+//! serde-independent; the `#[derive(Serialize, Deserialize)]` on message
+//! and helper-data types exists so downstream users with a real serde
+//! stack can plug in their own format. Offline, those derives resolve to
+//! this shim: [`Serialize`] / [`Deserialize`] are **marker traits** and
+//! the derives emit empty impls. Swapping in the real `serde` crate
+//! (same major version) requires no source changes.
+
+#![forbid(unsafe_code)]
+
+// Lets the derives' generated `::serde::...` paths resolve inside this
+// crate's own tests as well as in downstream crates.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (upstream: `serde::Serialize`).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from a borrowed buffer
+/// (upstream: `serde::Deserialize<'de>`).
+pub trait Deserialize<'de> {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _a: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<S> {
+        _inner: S,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Mixed {
+        _A(String),
+        _B,
+    }
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_serialize::<Plain>();
+        assert_serialize::<Generic<Vec<i64>>>();
+        assert_serialize::<Mixed>();
+        assert_deserialize::<Plain>();
+        assert_deserialize::<Generic<Vec<i64>>>();
+        assert_deserialize::<Mixed>();
+        assert_serialize::<Vec<Option<[u8; 4]>>>();
+    }
+}

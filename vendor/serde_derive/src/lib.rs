@@ -1,0 +1,144 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! The real `serde_derive` generates visitor-based (de)serialization
+//! code; the vendored `serde` traits are markers (no required methods),
+//! so these derives only need to emit empty trait impls with the right
+//! generics. Parsing is done directly on the token stream — no `syn` /
+//! `quote`, which are unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// One parsed generic parameter: its declaration (with bounds, minus
+/// defaults) and its bare name as used in type-argument position.
+struct GenericParam {
+    decl: String,
+    name: String,
+}
+
+struct TypeHeader {
+    name: String,
+    params: Vec<GenericParam>,
+}
+
+/// Extracts `Name<...generics...>` from a `struct`/`enum` definition.
+fn parse_header(input: TokenStream) -> TypeHeader {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes, visibility and anything else before the
+    // `struct` / `enum` keyword.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Ident(id)) if matches!(id.to_string().as_str(), "struct" | "enum") => {
+                iter.next();
+                break;
+            }
+            Some(_) => {
+                iter.next();
+            }
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            // Token texts of the current parameter, split later.
+            let mut current: Vec<String> = Vec::new();
+            for tok in iter.by_ref() {
+                match &tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push("<".into());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                params.push(finish_param(&current));
+                            }
+                            break;
+                        }
+                        current.push(">".into());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(finish_param(&current));
+                        }
+                        current.clear();
+                    }
+                    other => current.push(other.to_string()),
+                }
+            }
+        }
+    }
+
+    TypeHeader { name, params }
+}
+
+/// Builds a [`GenericParam`] from the raw tokens of one parameter.
+fn finish_param(tokens: &[String]) -> GenericParam {
+    // Drop a default (`= ...`) if present; keep bounds (`: ...`).
+    let cut = tokens.iter().position(|t| t == "=").unwrap_or(tokens.len());
+    let kept = &tokens[..cut];
+    let decl = kept.join(" ").replace("' ", "'");
+
+    // The bare name: for `'a: 'b` it is `'a`; for `T: Bound` it is `T`;
+    // for `const N : usize` it is `N`.
+    let name = if kept.first().map(String::as_str) == Some("'") {
+        format!("'{}", kept.get(1).cloned().unwrap_or_default())
+    } else if kept.first().map(String::as_str) == Some("const") {
+        kept.get(1).cloned().unwrap_or_default()
+    } else {
+        kept.first().cloned().unwrap_or_default()
+    };
+    GenericParam { decl, name }
+}
+
+fn marker_impl(header: &TypeHeader, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+    let mut impl_generics: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_generics.push(lt.to_string());
+    }
+    impl_generics.extend(header.params.iter().map(|p| p.decl.clone()));
+    let type_args: Vec<String> = header.params.iter().map(|p| p.name.clone()).collect();
+
+    let impl_g = if impl_generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_generics.join(", "))
+    };
+    let type_g = if type_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", type_args.join(", "))
+    };
+    format!(
+        "impl{impl_g} {trait_path} for {name}{type_g} {{}}",
+        name = header.name
+    )
+}
+
+/// Derives the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    marker_impl(&header, "::serde::Serialize", None)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    marker_impl(&header, "::serde::Deserialize<'de>", Some("'de"))
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
