@@ -1,0 +1,196 @@
+//! **Cold start (ours)**: durable-server recovery and journaling costs.
+//!
+//! Two questions a production deployment asks of the persistence layer:
+//!
+//! * **How fast does a crashed server come back?** `recover/*` measures
+//!   [`AuthenticationServer::recover`] — snapshot load (or full journal
+//!   replay) plus sketch-index rebuild — against populations of
+//!   10³–10⁵ enrolled users, for both the plain scan index and the
+//!   sharded index. Snapshot recovery should beat journal replay (one
+//!   framed record per user, no revocation interleaving) and both
+//!   should scale linearly.
+//! * **What does durability cost on the enroll path?** `enroll/*`
+//!   compares a memory-only server against a journaled one
+//!   (OS-buffered appends, the default) and an fsync-per-event one
+//!   (power-failure durability) — the write-ahead overhead of
+//!   [`FileStore`].
+//!
+//! Populations are synthesized with *real* Chebyshev sketches but a
+//! shared DSA public key: recovery and journaling never run
+//! per-record asymmetric crypto (the server stores opaque key bytes),
+//! so reusing one keypair changes nothing about the measured paths
+//! while making a 10⁵-record setup tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_core::{ScanIndex, SecureSketch, ShardedIndex};
+use fe_protocol::store::FileStore;
+use fe_protocol::{
+    AuthenticationServer, BiometricDevice, EnrollmentRecord, IndexConfig, SystemParams,
+};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const DIM: usize = 32;
+/// 10³–10⁵ enrolled users: the acceptance-criterion sweep.
+const POPULATIONS: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fe-cold-start-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Synthesizes `n` enrollment records: real sketches, shared key bytes.
+fn synthesize_records(params: &SystemParams, n: usize, rng: &mut StdRng) -> Vec<EnrollmentRecord> {
+    // One real enrollment donates plausibly-shaped public-key bytes.
+    let device = BiometricDevice::new(params.clone());
+    let bio = params.sketch().line().random_vector(DIM, rng);
+    let donor = device.enroll("donor", &bio, rng).unwrap();
+
+    let scheme = params.sketch();
+    (0..n)
+        .map(|u| {
+            let x = scheme.line().random_vector(DIM, rng);
+            let mut helper = donor.helper.clone();
+            helper.sketch.inner = scheme.sketch(&x, rng).unwrap();
+            rng.fill_bytes(&mut helper.sketch.tag);
+            EnrollmentRecord {
+                id: format!("user-{u}"),
+                public_key: donor.public_key.clone(),
+                helper,
+            }
+        })
+        .collect()
+}
+
+/// Populates a durable store at `dir`, optionally checkpointing so the
+/// state lives in a snapshot instead of the journal tail.
+fn populate(params: &SystemParams, dir: &PathBuf, records: &[EnrollmentRecord], snapshot: bool) {
+    let mut server: AuthenticationServer =
+        AuthenticationServer::recover(params.clone(), dir).unwrap();
+    for r in records {
+        server.enroll(r.clone()).unwrap();
+    }
+    if snapshot {
+        server.checkpoint().unwrap();
+    }
+}
+
+/// Snapshot-load + index-rebuild time versus population, journal replay
+/// versus snapshot, scan versus sharded rebuild target.
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_start");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let params = SystemParams::insecure_test_defaults();
+    for &n in &POPULATIONS {
+        let mut rng = StdRng::seed_from_u64(0xC01D + n as u64);
+        let records = synthesize_records(&params, n, &mut rng);
+
+        let journal_dir = temp_dir(&format!("journal-{n}"));
+        populate(&params, &journal_dir, &records, false);
+        let snap_dir = temp_dir(&format!("snap-{n}"));
+        populate(&params, &snap_dir, &records, true);
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("recover/journal", n), &n, |b, _| {
+            b.iter(|| {
+                let server: AuthenticationServer =
+                    AuthenticationServer::recover(params.clone(), &journal_dir).unwrap();
+                assert_eq!(server.user_count(), n);
+                server
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recover/snapshot", n), &n, |b, _| {
+            b.iter(|| {
+                let server: AuthenticationServer =
+                    AuthenticationServer::recover(params.clone(), &snap_dir).unwrap();
+                assert_eq!(server.user_count(), n);
+                server
+            })
+        });
+        // Rebuilding the sharded index from the same snapshot: the
+        // recovery path the sharded engine of PR 1 takes.
+        let sharded_params = params
+            .clone()
+            .with_index_config(IndexConfig::ShardedScan { shards: 4 });
+        group.bench_with_input(
+            BenchmarkId::new("recover/snapshot_sharded4", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let server = AuthenticationServer::<ShardedIndex<ScanIndex>>::recover(
+                        sharded_params.clone(),
+                        &snap_dir,
+                    )
+                    .unwrap();
+                    assert_eq!(server.user_count(), n);
+                    server
+                })
+            },
+        );
+
+        std::fs::remove_dir_all(&journal_dir).unwrap();
+        std::fs::remove_dir_all(&snap_dir).unwrap();
+    }
+    group.finish();
+}
+
+/// Write-ahead journaling overhead on the enroll path: memory-only vs
+/// OS-buffered journal vs fsync-per-event.
+fn bench_enroll_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_start");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let params = SystemParams::insecure_test_defaults();
+    let mut rng = StdRng::seed_from_u64(0xE27011);
+    // A pool of pre-built records so the measured loop is enroll-only.
+    let pool = synthesize_records(&params, 50_000, &mut rng);
+
+    let configs: [(&str, bool, Option<bool>); 3] = [
+        ("enroll/in_memory", false, None),
+        ("enroll/journaled", true, Some(false)),
+        ("enroll/journaled_fsync", true, Some(true)),
+    ];
+    for (name, durable, sync) in configs {
+        let dir = temp_dir(name.replace('/', "-").as_str());
+        let mut server = if durable {
+            let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
+            if let Some(sync) = sync {
+                store.set_sync(sync);
+            }
+            let mut server = AuthenticationServer::new(params.clone());
+            server.attach_store(Box::new(store)).unwrap();
+            server
+        } else {
+            AuthenticationServer::new(params.clone())
+        };
+        let mut next = 0usize;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new(name, DIM), &DIM, |b, _| {
+            b.iter(|| {
+                let record = pool[next % pool.len()].clone();
+                next += 1;
+                // Unique id per iteration (ids in the pool repeat once
+                // the pool wraps).
+                let record = EnrollmentRecord {
+                    id: format!("e-{next}"),
+                    ..record
+                };
+                server.enroll(record).unwrap()
+            })
+        });
+        std::mem::drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recover, bench_enroll_overhead);
+criterion_main!(benches);

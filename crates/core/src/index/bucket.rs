@@ -174,4 +174,24 @@ impl SketchIndex for BucketIndex {
     fn len(&self) -> usize {
         self.live
     }
+
+    fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|s| (id, s.clone())))
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.buckets.clear();
+        self.live = 0;
+    }
+    // `compact` uses the default clear-and-reinsert, which also rebuilds
+    // the hash buckets with dense ids.
 }

@@ -34,10 +34,34 @@ pub use sharded::ShardedIndex;
 ///
 /// Ids are **stable**: once assigned they are never renumbered or reused,
 /// even across [`SketchIndex::remove`] — so they can be stored in
-/// server-side records and session state.
+/// server-side records and session state. The one sanctioned exception
+/// is [`SketchIndex::compact`], which reclaims tombstone slots and
+/// returns the old → new renumbering so callers can remap their own
+/// references; stability holds *between* compactions.
 pub type RecordId = usize;
 
 /// A lookup structure over enrolled sketches.
+///
+/// ```rust
+/// use fe_core::{ScanIndex, SketchIndex};
+///
+/// let mut index = ScanIndex::new(100, 400); // threshold t, ring ka
+/// let a = index.insert(vec![10, -20, 30]);
+/// let b = index.insert(vec![180, 180, -180]);
+/// assert_eq!(index.lookup(&[15, -25, 35]), Some(a)); // within t = 100
+///
+/// // Revocation tombstones the slot; ids stay stable…
+/// assert!(index.remove(a));
+/// assert_eq!(index.lookup(&[15, -25, 35]), None);
+/// assert_eq!(index.len(), 1);
+///
+/// // …until an explicit compaction reclaims the dead slots and reports
+/// // the renumbering (b moves to slot 0).
+/// let mapping = index.compact();
+/// assert_eq!(mapping, vec![(b, 0)]);
+/// assert_eq!(index.lookup(&[185, 175, -185]), Some(0));
+/// # assert_eq!(index.len(), 1);
+/// ```
 pub trait SketchIndex {
     /// Inserts a sketch, returning its record id.
     fn insert(&mut self, sketch: Vec<i64>) -> RecordId;
@@ -74,6 +98,39 @@ pub trait SketchIndex {
     /// `true` when no sketches are enrolled.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total record slots held, live **and** tombstoned. The gap
+    /// `slots() - len()` is the memory a [`SketchIndex::compact`] pass
+    /// would reclaim.
+    fn slots(&self) -> usize;
+
+    /// Every live record as `(id, sketch)` pairs in ascending id order
+    /// (clones the sketches; used by compaction and durable snapshots).
+    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)>;
+
+    /// Drops every record — live and tombstoned — and resets id
+    /// assignment to zero, as if freshly constructed (tuning parameters
+    /// are retained). Ids *are* reused after a clear; this is a
+    /// compaction/rebuild primitive, not a bulk [`SketchIndex::remove`].
+    fn clear(&mut self);
+
+    /// Reclaims tombstone slots: live records are renumbered densely
+    /// (`0..len()`) preserving their relative order, and the old → new
+    /// id mapping is returned so callers can remap stored [`RecordId`]s.
+    ///
+    /// This is the fix for unbounded growth under enroll/revoke churn:
+    /// without it, [`ScanIndex`]/[`BucketIndex`] entry tables (and every
+    /// shard of a [`ShardedIndex`]) grow with the number of enrollments
+    /// *ever*, not the number currently live. Servers expose it through
+    /// their snapshot-compaction pass, where record slots are being
+    /// rewritten anyway.
+    fn compact(&mut self) -> Vec<(RecordId, RecordId)> {
+        let live = self.live_records();
+        self.clear();
+        live.into_iter()
+            .map(|(old, sketch)| (old, self.insert(sketch)))
+            .collect()
     }
 }
 
@@ -325,6 +382,130 @@ mod tests {
         let d = sharded.insert(vec![77, 77, 77]);
         assert_eq!(d, 3);
         assert!(!sharded.remove(999), "unknown id");
+    }
+
+    /// Shared churn scenario: heavy enroll/revoke cycles must not grow
+    /// the slot table without bound once compaction runs.
+    fn check_compaction<I: SketchIndex>(mut index: I, rng: &mut StdRng) {
+        let (sketches, probes) = make_population(40, 16, rng);
+        for s in &sketches {
+            index.insert(s.clone());
+        }
+        // Revoke 3 of every 4 records.
+        for id in 0..40 {
+            if id % 4 != 0 {
+                assert!(index.remove(id));
+            }
+        }
+        assert_eq!(index.len(), 10);
+        assert_eq!(index.slots(), 40);
+
+        let mapping = index.compact();
+        // Survivors renumber densely, preserving order.
+        let expected: Vec<(RecordId, RecordId)> = (0..10).map(|i| (i * 4, i)).collect::<Vec<_>>();
+        assert_eq!(mapping, expected);
+        assert_eq!(index.len(), 10);
+        assert_eq!(index.slots(), 10, "tombstones must be reclaimed");
+
+        // Genuine probes for survivors resolve at their *new* ids; the
+        // revoked ones stay gone.
+        for (old, probe) in probes.iter().enumerate() {
+            match index.lookup(probe) {
+                Some(found) => {
+                    assert_eq!(old % 4, 0, "revoked record {old} matched");
+                    assert_eq!(found, old / 4);
+                }
+                None => assert_ne!(old % 4, 0, "survivor {old} lost"),
+            }
+        }
+
+        // Sustained churn with periodic compaction keeps memory
+        // proportional to live records, not total enrollments ever.
+        let (more, _) = make_population(60, 16, rng);
+        for s in &more {
+            let id = index.insert(s.clone());
+            assert!(index.remove(id));
+            index.compact();
+        }
+        assert_eq!(index.len(), 10);
+        assert_eq!(index.slots(), 10);
+    }
+
+    #[test]
+    fn scan_compaction_reclaims_tombstones() {
+        let mut rng = StdRng::seed_from_u64(910);
+        check_compaction(ScanIndex::new(T, KA), &mut rng);
+    }
+
+    #[test]
+    fn bucket_compaction_reclaims_tombstones() {
+        let mut rng = StdRng::seed_from_u64(911);
+        check_compaction(BucketIndex::new(T, KA, 4), &mut rng);
+    }
+
+    #[test]
+    fn sharded_compaction_reclaims_tombstones() {
+        let mut rng = StdRng::seed_from_u64(912);
+        check_compaction(ShardedIndex::scan(3, T, KA), &mut rng);
+    }
+
+    #[test]
+    fn sharded_compaction_rebalances_and_stays_consistent() {
+        // Remove a skewed subset (everything on shard 0), compact, and
+        // verify the rebuilt sharded index agrees with a compacted scan.
+        let mut rng = StdRng::seed_from_u64(913);
+        let (sketches, probes) = make_population(60, 16, &mut rng);
+        let mut scan = ScanIndex::new(T, KA);
+        let mut sharded = ShardedIndex::scan(4, T, KA);
+        for s in &sketches {
+            scan.insert(s.clone());
+            sharded.insert(s.clone());
+        }
+        for id in (0..60).step_by(4) {
+            // Global ids ≡ 0 (mod 4) all live on shard 0.
+            assert!(scan.remove(id));
+            assert!(sharded.remove(id));
+        }
+        assert_eq!(scan.compact(), sharded.compact());
+        assert_eq!(scan.len(), sharded.len());
+        for probe in &probes {
+            assert_eq!(scan.lookup(probe), sharded.lookup(probe));
+            assert_eq!(scan.lookup_all(probe), sharded.lookup_all(probe));
+        }
+        // Fresh inserts continue dense after compaction.
+        let a = scan.insert(vec![0; 16]);
+        let b = sharded.insert(vec![0; 16]);
+        assert_eq!(a, b);
+        assert_eq!(a, 45);
+    }
+
+    #[test]
+    fn clear_resets_id_assignment() {
+        let mut scan = ScanIndex::new(T, KA);
+        scan.insert(vec![1, 2, 3]);
+        scan.insert(vec![4, 5, 6]);
+        scan.clear();
+        assert!(scan.is_empty());
+        assert_eq!(scan.slots(), 0);
+        assert_eq!(scan.insert(vec![7, 8, 9]), 0, "ids restart after clear");
+
+        let mut sharded = ShardedIndex::scan(2, T, KA);
+        sharded.insert(vec![1, 2]);
+        sharded.clear();
+        assert_eq!(sharded.insert(vec![3, 4]), 0);
+    }
+
+    #[test]
+    fn live_records_are_ascending_and_live_only() {
+        let mut sharded = ShardedIndex::scan(3, T, KA);
+        for i in 0..9 {
+            sharded.insert(vec![i, i, i]);
+        }
+        sharded.remove(4);
+        let live = sharded.live_records();
+        let ids: Vec<RecordId> = live.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 5, 6, 7, 8]);
+        assert_eq!(live[4].1, vec![5, 5, 5]);
     }
 
     #[test]

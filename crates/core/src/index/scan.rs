@@ -72,4 +72,40 @@ impl SketchIndex for ScanIndex {
     fn len(&self) -> usize {
         self.live
     }
+
+    fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|s| (id, s.clone())))
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.live = 0;
+    }
+
+    fn compact(&mut self) -> Vec<(RecordId, RecordId)> {
+        // In-place: drain tombstones, keep live entries in order.
+        let mut mapping = Vec::with_capacity(self.live);
+        let mut next = 0usize;
+        let entries = std::mem::take(&mut self.entries);
+        self.entries = entries
+            .into_iter()
+            .enumerate()
+            .filter_map(|(old, slot)| {
+                slot.map(|s| {
+                    mapping.push((old, next));
+                    next += 1;
+                    Some(s)
+                })
+            })
+            .collect();
+        mapping
+    }
 }

@@ -217,4 +217,36 @@ impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
     fn len(&self) -> usize {
         self.shards.iter().map(SketchIndex::len).sum()
     }
+
+    fn slots(&self) -> usize {
+        self.shards.iter().map(SketchIndex::slots).sum()
+    }
+
+    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
+        let mut all: Vec<(RecordId, Vec<i64>)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, shard)| {
+                shard
+                    .live_records()
+                    .into_iter()
+                    .map(move |(local, sketch)| (local * self.shards.len() + s, sketch))
+            })
+            .collect();
+        all.sort_unstable_by_key(|(id, _)| *id);
+        all
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        self.inserted = 0;
+    }
+    // `compact` uses the default clear-and-reinsert: live records are
+    // re-dealt round-robin in ascending global-id order, which rebalances
+    // shards skewed by removals and restores the dense arithmetic
+    // global↔local mapping (compacting shards independently could not —
+    // unequal live counts per shard would break the `g % N` routing).
 }

@@ -19,6 +19,11 @@
 //!   early-abort [`ScanIndex`], the sublinear [`BucketIndex`] extension,
 //!   and the horizontally-scaling [`ShardedIndex`] wrapper with parallel
 //!   shard scans and a batch lookup API (see `DESIGN.md`).
+//! * [`codec`] — the canonical, versioned binary codec for durable
+//!   sketch/helper storage: magic + format version + system-parameter
+//!   [`codec::Fingerprint`], length-prefixed fields, CRC-framed journal
+//!   entries (the on-disk contract behind `fe-protocol`'s enrollment
+//!   store).
 //! * [`analysis`] — Theorem 3 entropy accounting (min-entropy, residual
 //!   entropy `m̃ = n·log₂v`, loss `n·log₂ka`, storage `n·log₂(ka+1)`) and
 //!   the false-close probability bound.
@@ -55,6 +60,7 @@
 pub mod analysis;
 pub mod baselines;
 mod chebyshev;
+pub mod codec;
 pub mod conditions;
 mod encode;
 mod error;

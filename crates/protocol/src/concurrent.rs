@@ -34,6 +34,7 @@ use crate::ProtocolError;
 use fe_core::{ScanIndex, SketchIndex};
 use parking_lot::RwLock;
 use rand::RngCore;
+use std::path::Path;
 use std::sync::Arc;
 
 /// A cloneable, thread-safe handle to a shard-partitioned
@@ -92,6 +93,191 @@ impl<I: BuildIndex> SharedServer<I> {
             shards: Arc::new(shards),
             params,
         }
+    }
+
+    /// The on-disk subdirectory holding shard `i`'s journal + snapshot.
+    fn shard_dir(dir: &Path, i: usize) -> std::path::PathBuf {
+        dir.join(format!("shard-{i:03}"))
+    }
+
+    /// File recording the shard count the store was created with. It is
+    /// committed (tmp + rename) *before* any shard store is opened, so a
+    /// crash mid-initialization can never leave an ambiguous topology —
+    /// and a lost shard subdirectory is detected instead of silently
+    /// shrinking the count.
+    const SHARDS_META: &'static str = "shards.meta";
+
+    /// Reads the committed shard count, if the store was initialized.
+    fn stored_shard_count(dir: &Path) -> Result<Option<usize>, ProtocolError> {
+        match std::fs::read_to_string(dir.join(Self::SHARDS_META)) {
+            Ok(s) => s
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Some)
+                .ok_or_else(|| {
+                    ProtocolError::Storage(format!(
+                        "corrupt {} in {}",
+                        Self::SHARDS_META,
+                        dir.display()
+                    ))
+                }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(ProtocolError::Storage(format!(
+                "read {}: {e}",
+                Self::SHARDS_META
+            ))),
+        }
+    }
+
+    /// Atomically commits the shard count (tmp + rename).
+    fn commit_shard_count(dir: &Path, shards: usize) -> Result<(), ProtocolError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ProtocolError::Storage(format!("create store dir: {e}")))?;
+        let tmp = dir.join(format!("{}.tmp", Self::SHARDS_META));
+        std::fs::write(&tmp, format!("{shards}\n"))
+            .map_err(|e| ProtocolError::Storage(format!("write {}: {e}", Self::SHARDS_META)))?;
+        std::fs::rename(&tmp, dir.join(Self::SHARDS_META))
+            .map_err(|e| ProtocolError::Storage(format!("commit {}: {e}", Self::SHARDS_META)))?;
+        Ok(())
+    }
+
+    /// Opens (or creates) a **durable** shared server at `dir`: one
+    /// `shard-NNN/` store per server shard, each an append-only journal
+    /// plus compacted snapshots (see [`crate::store::FileStore`]).
+    /// Every shard replays its own snapshot + journal tail, rebuilding
+    /// the full sharded index; enroll/revoke are journaled from then on.
+    ///
+    /// User → shard routing is a stable hash of the id modulo the shard
+    /// count, so the on-disk layout is only meaningful for the count it
+    /// was written with: reopening with a different `shards` value is
+    /// refused ([`ProtocolError::Storage`]). Use
+    /// [`SharedServer::recover`] to adopt whatever count the directory
+    /// already holds.
+    ///
+    /// ```rust
+    /// use fe_core::ScanIndex;
+    /// use fe_protocol::concurrent::SharedServer;
+    /// use fe_protocol::{BiometricDevice, SystemParams};
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dir = std::env::temp_dir().join(format!("fe-durable-doc-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let params = SystemParams::insecure_test_defaults();
+    /// let device = BiometricDevice::new(params.clone());
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    ///
+    /// // Lifetime 1: enroll against a 2-shard durable server, then crash.
+    /// let server = SharedServer::<ScanIndex>::durable(params.clone(), 2, &dir)?;
+    /// let bio = params.sketch().line().random_vector(16, &mut rng);
+    /// server.enroll(device.enroll("alice", &bio, &mut rng)?)?;
+    /// drop(server);
+    ///
+    /// // Lifetime 2: recover() adopts the stored shard count and replays.
+    /// let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir)?;
+    /// assert_eq!((server.num_shards(), server.user_count()), (2, 1));
+    /// # std::fs::remove_dir_all(&dir)?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] / [`ProtocolError::Codec`] on
+    /// unreadable, foreign, or mis-sharded stores.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn durable(
+        params: SystemParams,
+        shards: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ProtocolError> {
+        assert!(shards >= 1, "need at least one server shard");
+        let dir = dir.as_ref();
+        match Self::stored_shard_count(dir)? {
+            Some(existing) if existing != shards => {
+                return Err(ProtocolError::Storage(format!(
+                    "store at {} was written with {existing} shard(s), cannot open with {shards} \
+                     (user→shard routing would change; use SharedServer::recover to adopt the \
+                     stored count)",
+                    dir.display()
+                )));
+            }
+            Some(_) => {
+                // The meta file is only committed after every shard
+                // store exists, so a missing journal now means shard
+                // data was *lost* — refuse rather than silently
+                // recreate the shard empty (a third of the population
+                // vanishing on recovery must not look like success).
+                for i in 0..shards {
+                    let journal = Self::shard_dir(dir, i).join("journal.fel");
+                    if !journal.is_file() {
+                        return Err(ProtocolError::Storage(format!(
+                            "shard store {} is missing (its journal {} does not exist); \
+                             refusing to recreate it empty — restore the shard directory \
+                             from backup or remove {} to start over",
+                            i,
+                            journal.display(),
+                            dir.display()
+                        )));
+                    }
+                }
+            }
+            // Fresh store: create every shard journal (header only)
+            // first, then commit the topology. After a crash at any
+            // point, either the meta is absent (retry re-runs this
+            // fresh path; existing header-only journals are adopted) or
+            // the meta exists and every shard journal is guaranteed on
+            // disk.
+            None => {
+                let fingerprint = params.fingerprint();
+                for i in 0..shards {
+                    let shard_dir = Self::shard_dir(dir, i);
+                    std::fs::create_dir_all(&shard_dir)
+                        .map_err(|e| ProtocolError::Storage(format!("create shard dir: {e}")))?;
+                    let journal = shard_dir.join("journal.fel");
+                    if !journal.exists() {
+                        let mut header = fe_core::codec::Writer::new();
+                        header.put_header(fe_core::codec::ArtifactKind::Journal, &fingerprint);
+                        std::fs::write(&journal, header.as_slice()).map_err(|e| {
+                            ProtocolError::Storage(format!("create shard journal: {e}"))
+                        })?;
+                    }
+                }
+                Self::commit_shard_count(dir, shards)?;
+            }
+        }
+        let stride = shards as u64;
+        let shards = (0..shards)
+            .map(|i| {
+                let mut server =
+                    AuthenticationServer::<I>::recover(params.clone(), Self::shard_dir(dir, i))?;
+                server.set_session_namespace(i as u64 + 1, stride);
+                Ok(RwLock::new(server))
+            })
+            .collect::<Result<Vec<_>, ProtocolError>>()?;
+        Ok(SharedServer {
+            shards: Arc::new(shards),
+            params,
+        })
+    }
+
+    /// Recovers a durable shared server from `dir`, adopting the shard
+    /// count the store was written with — the "restart after crash"
+    /// entry point. Equivalent to [`SharedServer::durable`] with the
+    /// discovered count.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] when `dir` holds no shard stores;
+    /// otherwise as [`SharedServer::durable`].
+    pub fn recover(params: SystemParams, dir: impl AsRef<Path>) -> Result<Self, ProtocolError> {
+        let dir = dir.as_ref();
+        let shards = Self::stored_shard_count(dir)?.ok_or_else(|| {
+            ProtocolError::Storage(format!("no shard store found under {}", dir.display()))
+        })?;
+        Self::durable(params, shards, dir)
     }
 }
 
@@ -294,6 +480,34 @@ impl<I: SketchIndex> SharedServer<I> {
             .cancel_session(session)
     }
 
+    /// Checkpoints every shard: compacts tombstones in memory and (for
+    /// durable servers) writes a fresh snapshot + truncates each shard's
+    /// journal. Shards are checkpointed one at a time — the server keeps
+    /// serving on the other `N − 1` locks while each snapshot is
+    /// written. Returns the total record slots reclaimed.
+    ///
+    /// # Errors
+    /// Fails on the first shard whose snapshot cannot be written
+    /// ([`ProtocolError::Storage`]); earlier shards keep their new
+    /// checkpoints, later shards keep their old ones — both states
+    /// recover correctly.
+    pub fn checkpoint(&self) -> Result<usize, ProtocolError> {
+        let mut reclaimed = 0;
+        for shard in self.shards.iter() {
+            reclaimed += shard.write().checkpoint()?;
+        }
+        Ok(reclaimed)
+    }
+
+    /// Journal events accumulated across shards since their last
+    /// checkpoints (the replay debt a recovery would pay).
+    pub fn journal_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().store().map_or(0, |st| st.journal_len()))
+            .sum()
+    }
+
     /// Number of enrolled users across all shards.
     pub fn user_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().user_count()).sum()
@@ -457,6 +671,89 @@ mod tests {
             ));
         }
         assert!(!server.cancel_session(0), "session 0 is never issued");
+    }
+
+    #[test]
+    fn durable_shared_server_survives_crash_and_adopts_shard_count() {
+        let dir = std::env::temp_dir().join(format!("fe-shared-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(7_700);
+
+        let server = SharedServer::<ScanIndex>::durable(params.clone(), 3, &dir).unwrap();
+        let bios = enroll_population(&server, &device, 8, 32, &mut rng);
+        server.revoke("user-3").unwrap();
+        server.revoke("user-6").unwrap();
+        assert_eq!(server.journal_len(), 10);
+        drop(server); // crash without checkpoint
+
+        // Reopening with the wrong shard count is refused…
+        assert!(matches!(
+            SharedServer::<ScanIndex>::durable(params.clone(), 5, &dir),
+            Err(ProtocolError::Storage(_))
+        ));
+        // …while recover() discovers the stored count.
+        let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+        assert_eq!(server.num_shards(), 3);
+        assert_eq!(server.user_count(), 6);
+
+        for (u, bio) in bios.iter().enumerate() {
+            let reading: Vec<i64> = bio.iter().map(|&x| x + 31).collect();
+            let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+            if u == 3 || u == 6 {
+                assert!(matches!(
+                    server.begin_identification(&probe, &mut rng),
+                    Err(ProtocolError::NoMatch)
+                ));
+                continue;
+            }
+            let chal = server.begin_identification(&probe, &mut rng).unwrap();
+            let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+            assert_eq!(
+                server.finish_identification(&resp).unwrap().identity(),
+                Some(format!("user-{u}").as_str())
+            );
+        }
+
+        // Checkpoint compacts every shard's journal; recovery after it
+        // still serves the same population.
+        server.checkpoint().unwrap();
+        assert_eq!(server.journal_len(), 0);
+        drop(server);
+        let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+        assert_eq!(server.user_count(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_refuses_when_a_shard_store_is_lost() {
+        let dir = std::env::temp_dir().join(format!("fe-shared-lost-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<ScanIndex>::durable(params.clone(), 3, &dir).unwrap();
+        drop(server);
+        // Lose one shard's data (bad rsync, disk repair, stray rm).
+        std::fs::remove_dir_all(dir.join("shard-001")).unwrap();
+        // Recovery must refuse instead of silently serving a population
+        // with a third of the users gone.
+        match SharedServer::<ScanIndex>::recover(params, &dir) {
+            Err(ProtocolError::Storage(msg)) => assert!(msg.contains("missing"), "{msg}"),
+            other => panic!("expected missing-shard refusal, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_refuses_empty_directory() {
+        let dir = std::env::temp_dir().join(format!("fe-shared-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            SharedServer::<ScanIndex>::recover(SystemParams::insecure_test_defaults(), &dir),
+            Err(ProtocolError::Storage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

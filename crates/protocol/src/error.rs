@@ -1,5 +1,6 @@
 //! Protocol error type.
 
+use fe_core::codec::CodecError;
 use fe_core::SketchError;
 use std::error::Error;
 use std::fmt;
@@ -24,6 +25,12 @@ pub enum ProtocolError {
     BadSignature,
     /// A message failed to deserialize.
     Malformed(&'static str),
+    /// A durable artifact failed to decode (wrong format version,
+    /// mismatched parameter fingerprint, corruption, …).
+    Codec(CodecError),
+    /// The enrollment store could not be read or written (I/O failures;
+    /// carries the rendered `std::io::Error` so this type stays `Clone`).
+    Storage(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -36,6 +43,8 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownSession => write!(f, "unknown or expired challenge session"),
             ProtocolError::BadSignature => write!(f, "challenge response signature invalid"),
             ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::Codec(e) => write!(f, "durable artifact failure: {e}"),
+            ProtocolError::Storage(what) => write!(f, "enrollment store failure: {what}"),
         }
     }
 }
@@ -44,6 +53,7 @@ impl Error for ProtocolError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ProtocolError::Sketch(e) => Some(e),
+            ProtocolError::Codec(e) => Some(e),
             _ => None,
         }
     }
@@ -52,6 +62,12 @@ impl Error for ProtocolError {
 impl From<SketchError> for ProtocolError {
     fn from(e: SketchError) -> Self {
         ProtocolError::Sketch(e)
+    }
+}
+
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Codec(e)
     }
 }
 

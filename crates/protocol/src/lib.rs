@@ -23,6 +23,11 @@
 //!   partitioned across N independently-locked server shards, lookups
 //!   under shared read locks, batched identification with one lock
 //!   acquisition per shard per batch.
+//! * [`store`] — durable enrollment: the [`EnrollmentStore`]
+//!   abstraction, the file-backed append-only journal + compacted
+//!   snapshots ([`FileStore`]), and crash-safe recovery
+//!   ([`AuthenticationServer::recover`], [`concurrent::SharedServer::recover`])
+//!   with torn-tail truncation and parameter-fingerprint validation.
 //!
 //! # The efficiency claim
 //!
@@ -69,6 +74,7 @@ mod normal;
 mod params;
 mod runner;
 mod server;
+pub mod store;
 pub mod transport;
 pub mod wire;
 
@@ -81,3 +87,4 @@ pub use normal::{NormalIdentification, NormalStats, ScanMode};
 pub use params::{IndexConfig, SystemParams};
 pub use runner::{IdentifyStats, ProtocolRunner};
 pub use server::{AuthenticationServer, BuildIndex};
+pub use store::{EnrollmentStore, FileStore, LogEvent, MemoryStore};

@@ -1,6 +1,7 @@
 //! System setup (`SysSetup`): the public parameters shared by every
 //! party.
 
+use fe_core::codec::{Fingerprint, Writer};
 use fe_core::ChebyshevSketch;
 use fe_crypto::dsa::{Dsa, DsaParams};
 
@@ -146,6 +147,32 @@ impl SystemParams {
     pub fn fuzzy_extractor(&self) -> fe_core::DefaultFuzzyExtractor {
         fe_core::FuzzyExtractor::with_defaults(self.sketch, self.key_len)
     }
+
+    /// The durable-storage fingerprint of these parameters: an 8-byte
+    /// digest over everything that affects how a stored enrollment
+    /// record is *interpreted* — the number line `(a, k, v)`, the
+    /// threshold `t`, the extracted key length, and the DSA domain
+    /// `(p, q, g)`.
+    ///
+    /// Every on-disk artifact embeds this value; recovery under changed
+    /// parameters fails with
+    /// [`CodecError::FingerprintMismatch`](fe_core::codec::CodecError)
+    /// instead of silently matching probes against a re-interpreted ring.
+    /// The [`IndexConfig`] is deliberately **excluded**: the index is a
+    /// lookup accelerator rebuilt at recovery time, so snapshots stay
+    /// portable across index backends and shard counts.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut w = Writer::new();
+        w.put_u64(self.sketch.line().a());
+        w.put_u64(self.sketch.line().k());
+        w.put_u64(self.sketch.line().v());
+        w.put_u64(self.sketch.threshold());
+        w.put_u64(self.key_len as u64);
+        w.put_bytes(&self.dsa.p().to_bytes_be());
+        w.put_bytes(&self.dsa.q().to_bytes_be());
+        w.put_bytes(&self.dsa.g().to_bytes_be());
+        Fingerprint::of(w.as_slice())
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +193,24 @@ mod tests {
         let p = SystemParams::insecure_test_defaults();
         let fe = p.fuzzy_extractor();
         assert_eq!(fe.sketcher().threshold(), 100);
+    }
+
+    #[test]
+    fn fingerprint_tracks_interpretation_not_index() {
+        let p = SystemParams::insecure_test_defaults();
+        let fp = p.fingerprint();
+        // Stable across calls and index configs…
+        assert_eq!(fp, p.fingerprint());
+        assert_eq!(
+            fp,
+            p.clone()
+                .with_index_config(IndexConfig::ShardedScan { shards: 8 })
+                .fingerprint()
+        );
+        // …but sensitive to anything that changes record meaning.
+        let other = SystemParams::new(*p.sketch(), p.key_len() + 1, p.dsa_params().clone());
+        assert_ne!(fp, other.fingerprint());
+        assert_ne!(fp, SystemParams::paper_defaults().fingerprint());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::messages::{
     UserId, WireHelper,
 };
 use crate::params::SystemParams;
+use crate::store::{EnrollmentStore, FileStore, LogEvent, LogEventRef};
 use crate::ProtocolError;
 use fe_core::{BucketIndex, ScanIndex, ShardedIndex, SketchIndex};
 use fe_crypto::dsa::{DsaSignature, DsaVerifyingKey};
@@ -19,6 +20,7 @@ use fe_crypto::sig::SignatureScheme;
 use rand::Rng;
 use rand::RngCore;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Index types the server can build from published [`SystemParams`]
@@ -112,6 +114,9 @@ pub struct AuthenticationServer<I: SketchIndex = ScanIndex> {
     /// Diagnostic counter: sketch lookups served. Atomic so the hot
     /// read path stays `&self`.
     lookups: AtomicU64,
+    /// Optional durable journal: when attached, every enroll/revoke is
+    /// persisted (write-ahead) before the in-memory state changes.
+    store: Option<Box<dyn EnrollmentStore>>,
 }
 
 impl AuthenticationServer<ScanIndex> {
@@ -127,6 +132,84 @@ impl<I: BuildIndex> AuthenticationServer<I> {
     pub fn from_params(params: SystemParams) -> Self {
         let index = I::build(&params);
         Self::with_index(params, index)
+    }
+
+    /// Opens (or creates) a durable server backed by a
+    /// [`FileStore`] at `dir`: the snapshot and journal tail are
+    /// replayed to rebuild the full record set and sketch index, and the
+    /// store stays attached so every subsequent enroll/revoke is
+    /// journaled.
+    ///
+    /// Recovery is **idempotent per event**: an enrollment already
+    /// present (the crash-between-snapshot-and-journal-reset overlap) is
+    /// skipped, as is a revocation of an id that is already gone — so a
+    /// journal tail that partially duplicates the snapshot replays
+    /// cleanly. Artifacts written under *different* system parameters
+    /// are rejected up front via [`SystemParams::fingerprint`], and a
+    /// torn final journal write is truncated (see [`FileStore`]).
+    ///
+    /// ```rust
+    /// use fe_protocol::{AuthenticationServer, BiometricDevice, SystemParams};
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), fe_protocol::ProtocolError> {
+    /// let dir = std::env::temp_dir().join(format!("fe-recover-doc-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let params = SystemParams::insecure_test_defaults();
+    /// let device = BiometricDevice::new(params.clone());
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    ///
+    /// // First process lifetime: enroll one user, then "crash" (drop).
+    /// let mut server: AuthenticationServer = AuthenticationServer::recover(params.clone(), &dir)?;
+    /// let bio = params.sketch().line().random_vector(16, &mut rng);
+    /// server.enroll(device.enroll("alice", &bio, &mut rng)?)?;
+    /// drop(server);
+    ///
+    /// // Second lifetime: the journal replays the enrollment.
+    /// let mut server: AuthenticationServer = AuthenticationServer::recover(params.clone(), &dir)?;
+    /// assert_eq!(server.user_count(), 1);
+    /// let probe = device.probe_sketch(&bio, &mut rng)?;
+    /// assert!(server.begin_identification(&probe, &mut rng).is_ok());
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] / [`ProtocolError::Codec`] when the
+    /// store cannot be opened or replayed.
+    pub fn recover(params: SystemParams, dir: impl AsRef<Path>) -> Result<Self, ProtocolError> {
+        let store = FileStore::open(dir, params.fingerprint())?;
+        Self::recover_with_store(params, Box::new(store))
+    }
+
+    /// [`AuthenticationServer::recover`] over any [`EnrollmentStore`]
+    /// backend (e.g. a [`MemoryStore`](crate::store::MemoryStore) in
+    /// tests, or a custom replicated store).
+    ///
+    /// # Errors
+    /// Propagates store load failures.
+    pub fn recover_with_store(
+        params: SystemParams,
+        mut store: Box<dyn EnrollmentStore>,
+    ) -> Result<Self, ProtocolError> {
+        let events = store.load()?;
+        let mut server = Self::from_params(params);
+        for event in events {
+            match event {
+                LogEvent::Enroll(record) => {
+                    if !server.by_id.contains_key(&record.id) {
+                        server.validate_enroll(&record)?;
+                        server.apply_enroll(record);
+                    }
+                }
+                LogEvent::Revoke(id) => {
+                    let _ = server.apply_revoke(&id);
+                }
+            }
+        }
+        server.store = Some(store);
+        Ok(server)
     }
 }
 
@@ -152,6 +235,7 @@ impl<I: SketchIndex> AuthenticationServer<I> {
             next_session: 1,
             session_stride: 1,
             lookups: AtomicU64::new(0),
+            store: None,
         }
     }
 
@@ -234,28 +318,44 @@ impl<I: SketchIndex> AuthenticationServer<I> {
     /// # Errors
     /// [`ProtocolError::UnknownUser`] if the id is not enrolled.
     pub fn revoke(&mut self, id: &str) -> Result<(), ProtocolError> {
-        let idx = self
-            .by_id
-            .remove(id)
-            .ok_or_else(|| ProtocolError::UnknownUser(id.to_string()))?;
-        self.records[idx] = None;
-        self.index.remove(idx);
-        self.pending.retain(|_, p| p.record_idx != idx);
+        if !self.by_id.contains_key(id) {
+            return Err(ProtocolError::UnknownUser(id.to_string()));
+        }
+        // Write-ahead: the journal accepts the revocation before memory
+        // forgets the record.
+        if let Some(store) = &mut self.store {
+            store.append(LogEventRef::Revoke(id))?;
+        }
+        assert!(self.apply_revoke(id), "validated id must be revocable");
         Ok(())
     }
 
-    /// Stores an enrollment record (Fig. 1, final step).
-    ///
-    /// # Errors
-    /// [`ProtocolError::DuplicateUser`] if the id is taken;
-    /// [`ProtocolError::Malformed`] if the public key fails to parse.
-    pub fn enroll(&mut self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+    /// In-memory revocation; `false` when the id is unknown (replay
+    /// tolerance). Infallible by construction for validated ids.
+    fn apply_revoke(&mut self, id: &str) -> bool {
+        let Some(idx) = self.by_id.remove(id) else {
+            return false;
+        };
+        self.records[idx] = None;
+        self.index.remove(idx);
+        self.pending.retain(|_, p| p.record_idx != idx);
+        true
+    }
+
+    /// Checks everything that could make [`AuthenticationServer::enroll`]
+    /// fail, so the journal append can safely precede the mutation.
+    fn validate_enroll(&self, record: &EnrollmentRecord) -> Result<(), ProtocolError> {
         if self.by_id.contains_key(&record.id) {
-            return Err(ProtocolError::DuplicateUser(record.id));
+            return Err(ProtocolError::DuplicateUser(record.id.clone()));
         }
         if record.public_key.is_empty() {
             return Err(ProtocolError::Malformed("empty public key"));
         }
+        Ok(())
+    }
+
+    /// In-memory enrollment of a pre-validated record.
+    fn apply_enroll(&mut self, record: EnrollmentRecord) {
         let public_key = DsaVerifyingKey::from_bytes(&record.public_key);
         let idx = self.records.len();
         let index_id = self.index.insert(record.helper.sketch.inner.clone());
@@ -270,6 +370,24 @@ impl<I: SketchIndex> AuthenticationServer<I> {
             public_key,
             helper: record.helper,
         }));
+    }
+
+    /// Stores an enrollment record (Fig. 1, final step). With a store
+    /// attached, the record is journaled (write-ahead) before the
+    /// in-memory state changes, so an acknowledged enrollment survives a
+    /// crash.
+    ///
+    /// # Errors
+    /// [`ProtocolError::DuplicateUser`] if the id is taken;
+    /// [`ProtocolError::Malformed`] if the public key fails to parse;
+    /// [`ProtocolError::Storage`] when journaling fails (the server
+    /// state is then unchanged).
+    pub fn enroll(&mut self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+        self.validate_enroll(&record)?;
+        if let Some(store) = &mut self.store {
+            store.append(LogEventRef::Enroll(&record))?;
+        }
+        self.apply_enroll(record);
         Ok(())
     }
 
@@ -466,6 +584,128 @@ impl<I: SketchIndex> AuthenticationServer<I> {
             }
         }
         Ok(imported)
+    }
+
+    /// Attaches a durable store to an **empty** server: subsequent
+    /// enroll/revoke calls are journaled through it. The store must be
+    /// empty too — to resume from a store that already holds events,
+    /// use [`AuthenticationServer::recover`] /
+    /// [`AuthenticationServer::recover_with_store`] instead (silently
+    /// appending after unreplayed history would corrupt the next
+    /// recovery).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] when the store already holds events;
+    /// load failures pass through.
+    ///
+    /// # Panics
+    /// Panics if the server already holds records (their enrollment
+    /// would be missing from the journal, so a recovery would silently
+    /// drop them).
+    pub fn attach_store(
+        &mut self,
+        mut store: Box<dyn EnrollmentStore>,
+    ) -> Result<(), ProtocolError> {
+        assert!(
+            self.records.is_empty(),
+            "attach_store requires an empty server (existing records would not be journaled)"
+        );
+        let persisted = store.load()?.len();
+        if persisted != 0 {
+            return Err(ProtocolError::Storage(format!(
+                "store already holds {persisted} event(s); use recover() to adopt them"
+            )));
+        }
+        self.store = Some(store);
+        Ok(())
+    }
+
+    /// The attached enrollment store, if any (for journal diagnostics).
+    pub fn store(&self) -> Option<&dyn EnrollmentStore> {
+        self.store.as_deref()
+    }
+
+    /// Total record slots held, live **and** tombstoned — what revocation
+    /// leaves behind until [`AuthenticationServer::compact`] runs.
+    pub fn record_slots(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Reclaims tombstone slots left by revocation: live records are
+    /// renumbered densely (preserving enrollment order), the sketch
+    /// index is compacted in lockstep, and outstanding challenge
+    /// sessions are remapped — they keep working across the compaction.
+    /// Returns the number of slots reclaimed.
+    ///
+    /// Without this, a long-lived server's record table and index grow
+    /// with the number of enrollments *ever*, not the population
+    /// currently live. It is exposed separately from
+    /// [`AuthenticationServer::checkpoint`] for in-memory deployments,
+    /// but checkpointing is the natural trigger: the snapshot pass
+    /// rewrites every live record anyway.
+    pub fn compact(&mut self) -> usize {
+        let reclaimed = self.records.len() - self.by_id.len();
+        if reclaimed == 0 {
+            return 0;
+        }
+        let mapping: HashMap<usize, usize> = self.index.compact().into_iter().collect();
+        let old_records = std::mem::take(&mut self.records);
+        for (old_idx, slot) in old_records.into_iter().enumerate() {
+            let Some(record) = slot else { continue };
+            let new_idx = *mapping
+                .get(&old_idx)
+                .expect("live record must appear in the index compaction mapping");
+            // Both structures drop tombstones in ascending order, so the
+            // index's renumbering must equal the record table's.
+            assert_eq!(
+                new_idx,
+                self.records.len(),
+                "index compaction must renumber densely in enrollment order"
+            );
+            self.by_id.insert(record.id.clone(), new_idx);
+            self.records.push(Some(record));
+        }
+        for pending in self.pending.values_mut() {
+            pending.record_idx = *mapping
+                .get(&pending.record_idx)
+                .expect("pending challenges only reference live records");
+        }
+        reclaimed
+    }
+
+    /// Every live record re-assembled as the wire-shaped
+    /// [`EnrollmentRecord`] (public data only), in enrollment order —
+    /// the snapshot payload.
+    pub fn live_enrollment_records(&self) -> Vec<EnrollmentRecord> {
+        self.records
+            .iter()
+            .flatten()
+            .map(|r| EnrollmentRecord {
+                id: r.id.clone(),
+                public_key: r.public_key.to_bytes(self.params.dsa_params()),
+                helper: r.helper.clone(),
+            })
+            .collect()
+    }
+
+    /// Compacts in memory, then (with a store attached) writes a fresh
+    /// snapshot of the live population and truncates the journal —
+    /// bounding storage, recovery time *and* in-memory tombstone growth
+    /// in one pass. Returns the number of record slots reclaimed.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] when the snapshot cannot be written;
+    /// the in-memory compaction still took effect (it is not undone),
+    /// and the previous snapshot + journal remain authoritative on disk.
+    pub fn checkpoint(&mut self) -> Result<usize, ProtocolError> {
+        let reclaimed = self.compact();
+        if self.store.is_some() {
+            let live = self.live_enrollment_records();
+            if let Some(store) = &mut self.store {
+                store.compact(&live)?;
+            }
+        }
+        Ok(reclaimed)
     }
 }
 
@@ -873,6 +1113,185 @@ mod tests {
             server.import_records(&[vec![1, 2, 3]]),
             Err(ProtocolError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn compact_reclaims_slots_and_preserves_protocol_state() {
+        let (device, mut server, bios, mut rng) = setup(6);
+        // Open a challenge for user-5 *before* compaction; it must
+        // survive the renumbering.
+        let reading5 = noisy(&bios[5], &mut rng);
+        let probe5 = device.probe_sketch(&reading5, &mut rng).unwrap();
+        let chal5 = server.begin_identification(&probe5, &mut rng).unwrap();
+
+        for u in 0..4 {
+            server.revoke(&format!("user-{u}")).unwrap();
+        }
+        assert_eq!(server.record_slots(), 6);
+        assert_eq!(server.compact(), 4);
+        assert_eq!(server.record_slots(), 2);
+        assert_eq!(server.index().slots(), 2);
+        assert_eq!(server.compact(), 0, "second compaction is a no-op");
+
+        // The outstanding challenge still resolves to the right user.
+        let resp5 = device.respond(&reading5, &chal5, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp5).unwrap().identity(),
+            Some("user-5")
+        );
+        // Survivors identify; revoked users stay gone; fresh enrollments
+        // land on dense slots.
+        let reading4 = noisy(&bios[4], &mut rng);
+        let probe4 = device.probe_sketch(&reading4, &mut rng).unwrap();
+        let chal4 = server.begin_identification(&probe4, &mut rng).unwrap();
+        let resp4 = device.respond(&reading4, &chal4, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp4).unwrap().identity(),
+            Some("user-4")
+        );
+        let reading0 = noisy(&bios[0], &mut rng);
+        let probe0 = device.probe_sketch(&reading0, &mut rng).unwrap();
+        assert_eq!(
+            server.begin_identification(&probe0, &mut rng).unwrap_err(),
+            ProtocolError::NoMatch
+        );
+        let bio = server.params().sketch().line().random_vector(48, &mut rng);
+        let record = device.enroll("user-new", &bio, &mut rng).unwrap();
+        server.enroll(record).unwrap();
+        assert_eq!(server.record_slots(), 3);
+    }
+
+    #[test]
+    fn churn_with_checkpoints_keeps_memory_proportional_to_live() {
+        let (device, mut server, _bios, mut rng) = setup(2);
+        for round in 0..30 {
+            let bio = server.params().sketch().line().random_vector(16, &mut rng);
+            let record = device
+                .enroll(&format!("churn-{round}"), &bio, &mut rng)
+                .unwrap();
+            server.enroll(record).unwrap();
+            server.revoke(&format!("churn-{round}")).unwrap();
+            server.checkpoint().unwrap();
+            assert_eq!(server.user_count(), 2);
+            assert_eq!(server.record_slots(), 2, "round {round}");
+            assert_eq!(server.index().slots(), 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn durable_server_journals_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("fe-server-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(81_000);
+
+        let mut server: AuthenticationServer =
+            AuthenticationServer::recover(params.clone(), &dir).unwrap();
+        let mut bios = Vec::new();
+        for u in 0..4 {
+            let bio = params.sketch().line().random_vector(32, &mut rng);
+            server
+                .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+                .unwrap();
+            bios.push(bio);
+        }
+        server.revoke("user-1").unwrap();
+        assert_eq!(server.store().unwrap().journal_len(), 5);
+        // Checkpoint mid-history, then more events on the fresh journal.
+        server.checkpoint().unwrap();
+        assert_eq!(server.store().unwrap().journal_len(), 0);
+        server.revoke("user-2").unwrap();
+        drop(server); // crash
+
+        let mut server: AuthenticationServer =
+            AuthenticationServer::recover(params.clone(), &dir).unwrap();
+        assert_eq!(server.user_count(), 2);
+        for u in [0usize, 3] {
+            let reading = noisy(&bios[u], &mut rng);
+            let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+            let chal = server.begin_identification(&probe, &mut rng).unwrap();
+            let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+            assert_eq!(
+                server.finish_identification(&resp).unwrap().identity(),
+                Some(format!("user-{u}").as_str())
+            );
+        }
+        for u in [1usize, 2] {
+            let reading = noisy(&bios[u], &mut rng);
+            let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+            assert_eq!(
+                server.begin_identification(&probe, &mut rng).unwrap_err(),
+                ProtocolError::NoMatch
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_params() {
+        let dir = std::env::temp_dir().join(format!("fe-server-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = SystemParams::insecure_test_defaults();
+        let server: AuthenticationServer =
+            AuthenticationServer::recover(params.clone(), &dir).unwrap();
+        drop(server);
+        // Same sketch line, different DSA group ⇒ different fingerprint.
+        let other = SystemParams::paper_defaults();
+        assert!(matches!(
+            AuthenticationServer::<ScanIndex>::recover(other, &dir),
+            Err(ProtocolError::Codec(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty server")]
+    fn attach_store_refuses_populated_server() {
+        let (_device, mut server, _bios, _rng) = setup(1);
+        server
+            .attach_store(Box::new(crate::store::MemoryStore::new()))
+            .unwrap();
+    }
+
+    #[test]
+    fn attach_store_refuses_non_fresh_store() {
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(83_000);
+        // A store with prior history must be adopted via recover(), not
+        // silently appended to.
+        let mut populated = crate::store::MemoryStore::new();
+        let bio = params.sketch().line().random_vector(8, &mut rng);
+        let record = device.enroll("old", &bio, &mut rng).unwrap();
+        populated
+            .append(crate::store::LogEventRef::Enroll(&record))
+            .unwrap();
+        let mut server = AuthenticationServer::new(params.clone());
+        assert!(matches!(
+            server.attach_store(Box::new(populated)),
+            Err(ProtocolError::Storage(_))
+        ));
+        assert!(server.store().is_none());
+    }
+
+    #[test]
+    fn failed_enroll_does_not_reach_the_journal() {
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(82_000);
+        let mut server = AuthenticationServer::new(params.clone());
+        server
+            .attach_store(Box::new(crate::store::MemoryStore::new()))
+            .unwrap();
+
+        let bio = params.sketch().line().random_vector(16, &mut rng);
+        let record = device.enroll("dup", &bio, &mut rng).unwrap();
+        server.enroll(record.clone()).unwrap();
+        assert!(server.enroll(record).is_err());
+        assert!(server.revoke("ghost").is_err());
+        // Only the successful enrollment was journaled.
+        assert_eq!(server.store().unwrap().journal_len(), 1);
     }
 
     #[test]

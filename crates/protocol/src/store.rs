@@ -1,0 +1,995 @@
+//! Durable enrollment storage: the append-only journal + snapshot
+//! persistence behind crash-safe server recovery.
+//!
+//! The paper's server holds the whole enrolled population in memory; a
+//! restart would silently lose every enrollment. Since helper data is
+//! *public* under the paper's model (Sec. VI — an insider can read the
+//! stored `(ID, pk, P)` records anyway), persisting it costs no security,
+//! and classical fuzzy-extractor theory is explicitly built on storable
+//! helper data. This module supplies the storage contract:
+//!
+//! * [`LogEvent`] — the two facts a server ever needs to remember:
+//!   an enrollment (the full public record) or a revocation (the id).
+//! * [`EnrollmentStore`] — the storage abstraction the servers journal
+//!   through. Implementations must make [`EnrollmentStore::append`]
+//!   durable *before* returning, because the server mutates its
+//!   in-memory state only after the journal accepts the event
+//!   (write-ahead ordering).
+//! * [`MemoryStore`] — an in-process backend: no durability, but the
+//!   same replay semantics. Useful for tests and for ephemeral
+//!   deployments that still want the snapshot/compaction pass.
+//! * [`FileStore`] — the durable backend: one directory holding an
+//!   append-only journal (`journal.fel`) of CRC-framed events plus a
+//!   periodically rewritten, atomically renamed snapshot
+//!   (`snapshot.fes`) of the live population. Recovery loads the
+//!   snapshot and replays the journal tail; a torn final journal write
+//!   (the expected crash artifact) is detected by its frame CRC and
+//!   truncated, while artifacts from a *different* parameter set are
+//!   rejected by their [`Fingerprint`] before a single record is
+//!   misinterpreted.
+//!
+//! See `DESIGN.md` ("Durability & recovery") for the format diagrams and
+//! the reasoning behind each decision.
+//!
+//! ```rust
+//! use fe_protocol::store::{EnrollmentStore, LogEvent, LogEventRef, MemoryStore};
+//! use fe_protocol::{BiometricDevice, SystemParams};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fe_protocol::ProtocolError> {
+//! let params = SystemParams::insecure_test_defaults();
+//! let device = BiometricDevice::new(params.clone());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//!
+//! let mut store = MemoryStore::new();
+//! let bio = params.sketch().line().random_vector(16, &mut rng);
+//! let record = device.enroll("alice", &bio, &mut rng)?;
+//! store.append(LogEventRef::Enroll(&record))?;
+//! store.append(LogEventRef::Revoke("alice"))?;
+//!
+//! // Replay returns the events in order; applying them rebuilds the
+//! // population (here: alice enrolled, then revoked → empty).
+//! let events = store.load()?;
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0], LogEvent::Enroll(record));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::messages::{EnrollmentRecord, UserId};
+use crate::ProtocolError;
+use fe_core::codec::{self, ArtifactKind, CodecError, Fingerprint, Reader, Writer};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One durable fact about the enrolled population.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogEvent {
+    /// A user enrolled with this (public) record.
+    Enroll(EnrollmentRecord),
+    /// The user with this id was revoked.
+    Revoke(UserId),
+}
+
+impl LogEvent {
+    /// A borrowed view of this event (see [`LogEventRef`]).
+    pub fn as_ref(&self) -> LogEventRef<'_> {
+        match self {
+            LogEvent::Enroll(record) => LogEventRef::Enroll(record),
+            LogEvent::Revoke(id) => LogEventRef::Revoke(id),
+        }
+    }
+}
+
+/// A borrowed [`LogEvent`]: what [`EnrollmentStore::append`] takes, so
+/// the write-ahead hot path (`enroll` journals *every* record) never
+/// clones sketch vectors just to serialize them.
+#[derive(Debug, Clone, Copy)]
+pub enum LogEventRef<'a> {
+    /// A user enrolled with this (public) record.
+    Enroll(&'a EnrollmentRecord),
+    /// The user with this id was revoked.
+    Revoke(&'a str),
+}
+
+impl LogEventRef<'_> {
+    /// Clones into an owned [`LogEvent`] (what in-memory backends
+    /// store).
+    pub fn to_event(self) -> LogEvent {
+        match self {
+            LogEventRef::Enroll(record) => LogEvent::Enroll(record.clone()),
+            LogEventRef::Revoke(id) => LogEvent::Revoke(id.to_string()),
+        }
+    }
+}
+
+const EVENT_ENROLL: u8 = 1;
+const EVENT_REVOKE: u8 = 2;
+
+/// Encodes an enrollment record's fields (no artifact header — callers
+/// embed this in framed journal entries or snapshot rows).
+pub fn put_record(w: &mut Writer, record: &EnrollmentRecord) {
+    w.put_str(&record.id);
+    w.put_bytes(&record.public_key);
+    codec::put_helper(w, &record.helper);
+}
+
+/// Decodes a record written by [`put_record`].
+///
+/// # Errors
+/// [`CodecError`] on truncation or malformed fields.
+pub fn get_record(r: &mut Reader<'_>) -> Result<EnrollmentRecord, CodecError> {
+    let id = r.get_str()?;
+    let public_key = r.get_bytes()?;
+    let helper = codec::get_helper(r)?;
+    Ok(EnrollmentRecord {
+        id,
+        public_key,
+        helper,
+    })
+}
+
+/// Encodes one journal event as a frame payload.
+fn encode_event(event: LogEventRef<'_>) -> Vec<u8> {
+    let mut w = Writer::new();
+    match event {
+        LogEventRef::Enroll(record) => {
+            w.put_u8(EVENT_ENROLL);
+            put_record(&mut w, record);
+        }
+        LogEventRef::Revoke(id) => {
+            w.put_u8(EVENT_REVOKE);
+            w.put_str(id);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes one journal-frame payload.
+fn decode_event(payload: &[u8]) -> Result<LogEvent, CodecError> {
+    let mut r = Reader::new(payload);
+    let event = match r.get_u8()? {
+        EVENT_ENROLL => LogEvent::Enroll(get_record(&mut r)?),
+        EVENT_REVOKE => LogEvent::Revoke(r.get_str()?),
+        _ => return Err(CodecError::Malformed("unknown event tag")),
+    };
+    r.expect_end()?;
+    Ok(event)
+}
+
+/// Storage abstraction the servers journal enrollment state through.
+///
+/// The contract, in the order a durable server exercises it:
+///
+/// 1. [`EnrollmentStore::append`] persists one event. The server calls
+///    this *before* touching its in-memory state (write-ahead), so an
+///    event that fails to persist never exists only in RAM.
+/// 2. [`EnrollmentStore::load`] returns every surviving event in append
+///    order — snapshot records first (as `Enroll` events), then the
+///    journal tail. Replaying them into an empty server reproduces the
+///    pre-crash population.
+/// 3. [`EnrollmentStore::compact`] replaces all history with a snapshot
+///    of the given live records and empties the journal, bounding both
+///    storage and future recovery time.
+pub trait EnrollmentStore: std::fmt::Debug + Send + Sync {
+    /// Durably appends one event (borrowed — implementations clone only
+    /// if they keep events in memory).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] when the event could not be persisted;
+    /// the caller must then leave its in-memory state unchanged.
+    fn append(&mut self, event: LogEventRef<'_>) -> Result<(), ProtocolError>;
+
+    /// Replays all persisted state as an ordered event sequence.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] / [`ProtocolError::Codec`] on
+    /// unreadable or foreign artifacts (a torn journal *tail* is not an
+    /// error — implementations truncate it and return the good prefix).
+    fn load(&mut self) -> Result<Vec<LogEvent>, ProtocolError>;
+
+    /// Atomically replaces history with a snapshot of `live` records and
+    /// truncates the journal.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] when the snapshot could not be
+    /// written; the previous snapshot/journal remain in effect.
+    fn compact(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError>;
+
+    /// Events appended since the last snapshot (the journal tail length):
+    /// the replay work a recovery would have to do beyond snapshot load,
+    /// and the usual trigger for scheduling [`EnrollmentStore::compact`].
+    fn journal_len(&self) -> usize;
+}
+
+/// In-memory [`EnrollmentStore`]: replay/compaction semantics without
+/// durability.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryStore {
+    snapshot: Vec<EnrollmentRecord>,
+    journal: Vec<LogEvent>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+}
+
+impl EnrollmentStore for MemoryStore {
+    fn append(&mut self, event: LogEventRef<'_>) -> Result<(), ProtocolError> {
+        self.journal.push(event.to_event());
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Vec<LogEvent>, ProtocolError> {
+        let mut events: Vec<LogEvent> = self
+            .snapshot
+            .iter()
+            .cloned()
+            .map(LogEvent::Enroll)
+            .collect();
+        events.extend(self.journal.iter().cloned());
+        Ok(events)
+    }
+
+    fn compact(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError> {
+        self.snapshot = live.to_vec();
+        self.journal.clear();
+        Ok(())
+    }
+
+    fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+/// Size of the artifact header every durable file starts with
+/// (magic ‖ version ‖ kind ‖ fingerprint).
+const HEADER_LEN: u64 = 4 + 2 + 1 + 8;
+
+fn io_err(context: &str, e: std::io::Error) -> ProtocolError {
+    ProtocolError::Storage(format!("{context}: {e}"))
+}
+
+/// File-backed [`EnrollmentStore`]: append-only journal + compacted
+/// snapshots in one directory.
+///
+/// # Layout
+///
+/// * `journal.fel` — artifact header (kind [`ArtifactKind::Journal`]),
+///   then zero or more CRC-framed [`LogEvent`]s. Appended on every
+///   enroll/revoke; never rewritten except by compaction.
+/// * `snapshot.fes` — artifact header (kind [`ArtifactKind::Snapshot`]),
+///   a `u64` record count, then that many CRC-framed records. Written to
+///   `snapshot.fes.tmp` first, fsynced, and renamed into place — readers
+///   only ever observe a complete snapshot.
+///
+/// # Crash behavior
+///
+/// A crash mid-append leaves a torn final frame: a short frame or a CRC
+/// mismatch at the end of the file. [`FileStore::open`] detects it and
+/// truncates the journal back to the last complete frame immediately —
+/// *before* handing out an append handle — so the surviving events are
+/// exactly those whose `append` had returned `Ok`, and a fresh append
+/// can never land behind torn bytes. A CRC failure with intact frames
+/// *behind* it is damage at rest, not a crash: `open` refuses and
+/// leaves the file untouched for salvage. A crash mid-compaction leaves
+/// at worst a stale `.tmp` file, which the next compaction overwrites;
+/// the rename is the commit point.
+///
+/// # Single-writer lock
+///
+/// The store directory is guarded by a pid lock file (`lock.pid`):
+/// a second process (or a second `FileStore` in the same process)
+/// opening the same directory fails loudly instead of interleaving
+/// appends into one journal. A lock left behind by a killed process is
+/// detected (the pid no longer exists) and stolen; the lock is removed
+/// on drop.
+///
+/// # Durability levels
+///
+/// By default appends are pushed to the OS (`write` + flush): they
+/// survive *process* death — the kill-mid-log scenario — but not kernel
+/// panic or power loss. [`FileStore::set_sync`] upgrades every append to
+/// an `fsync`, trading enroll throughput (quantified in the `cold_start`
+/// bench) for full power-failure durability.
+pub struct FileStore {
+    dir: PathBuf,
+    fingerprint: Fingerprint,
+    journal: File,
+    journal_events: usize,
+    sync_every_append: bool,
+    torn_bytes_discarded: u64,
+    lock_path: PathBuf,
+    /// Journal events decoded by the `open`-time scan, consumed by the
+    /// first [`FileStore::load`] so recovery reads and checksums the
+    /// journal exactly once. Invalidated by [`FileStore::append`].
+    scanned: Option<Vec<LogEvent>>,
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        // Only remove the lock if it is still ours (a dead-pid steal
+        // could have legitimately re-claimed it in the meantime).
+        let ours = fs::read_to_string(&self.lock_path)
+            .ok()
+            .as_deref()
+            .and_then(parse_lock)
+            .is_some_and(|(pid, _)| pid == std::process::id());
+        if ours {
+            let _ = fs::remove_file(&self.lock_path);
+        }
+    }
+}
+
+/// Start time of a process (clock ticks since boot — field 22 of
+/// `/proc/<pid>/stat`), `None` when the pid does not exist or `/proc`
+/// is unavailable. Paired with the pid in the lock file, it makes a
+/// *recycled* pid (same number, different process, e.g. after a
+/// reboot) distinguishable from the original lock holder.
+fn process_start_time(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // The comm field (2) may itself contain spaces and parentheses;
+    // the numeric fields resume after the LAST ')'.
+    let rest = stat.rsplit_once(')')?.1;
+    // rest = " <state(3)> <field4> …": starttime is field 22 overall,
+    // i.e. the 20th whitespace token after the ')'.
+    rest.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// Parses a lock file: `<pid> [<starttime>]`.
+fn parse_lock(contents: &str) -> Option<(u32, u64)> {
+    let mut tokens = contents.split_whitespace();
+    let pid = tokens.next()?.parse().ok()?;
+    let start = tokens.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+    Some((pid, start))
+}
+
+/// Claims the store's lock file (`<pid> <starttime>`), stealing locks
+/// whose holder no longer exists (crashed process) or whose pid now
+/// names a *different* process (pid recycled after a reboot).
+///
+/// The claim is an atomic `hard_link` from a fully-written temp file,
+/// so `lock.pid` is never observable half-written — a garbage lock can
+/// only mean filesystem damage, not an in-flight claim. Stealing a
+/// stale lock goes through an atomic `rename`: of two racing stealers
+/// only one rename succeeds; the loser just retries and finds the
+/// winner's fresh lock. Best-effort advisory locking: it needs a
+/// `/proc` filesystem to judge liveness; without one, an existing lock
+/// is always treated as held. (An `flock` would be kernel-released and
+/// immune to all of this, but needs `libc`, which this offline,
+/// `forbid(unsafe_code)` workspace does not have.)
+fn acquire_dir_lock(dir: &Path) -> Result<PathBuf, ProtocolError> {
+    let lock_path = dir.join("lock.pid");
+    let my_pid = std::process::id();
+    let my_start = process_start_time(my_pid).unwrap_or(0);
+    let tmp = dir.join(format!("lock.pid.tmp.{my_pid}"));
+    fs::write(&tmp, format!("{my_pid} {my_start}\n")).map_err(|e| io_err("stage store lock", e))?;
+    let result = (|| {
+        for _ in 0..16 {
+            match fs::hard_link(&tmp, &lock_path) {
+                Ok(()) => return Ok(lock_path.clone()),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&lock_path)
+                        .ok()
+                        .as_deref()
+                        .and_then(parse_lock);
+                    let stale = match holder {
+                        // Claims are atomic, so an unreadable lock is
+                        // damage, never a claim in flight.
+                        None => true,
+                        // Another handle in this very process.
+                        Some((pid, _)) if pid == my_pid => false,
+                        // No /proc: cannot judge liveness → treat held.
+                        _ if !Path::new("/proc").is_dir() => false,
+                        Some((pid, start)) => match process_start_time(pid) {
+                            // Holder pid is gone: crashed.
+                            None => true,
+                            // Pid alive but started at a different
+                            // time: the number was recycled — the real
+                            // holder is long dead.
+                            Some(live) => start != 0 && live != start,
+                        },
+                    };
+                    if stale {
+                        let grave = dir.join(format!("lock.pid.stale.{my_pid}"));
+                        if fs::rename(&lock_path, &grave).is_ok() {
+                            let _ = fs::remove_file(&grave);
+                        }
+                        continue; // retry the claim
+                    }
+                    return Err(ProtocolError::Storage(format!(
+                        "store at {} is already open (lock {} held by pid {})",
+                        dir.display(),
+                        lock_path.display(),
+                        holder.map_or_else(|| "?".into(), |(p, _)| p.to_string()),
+                    )));
+                }
+                Err(e) => return Err(io_err("claim store lock", e)),
+            }
+        }
+        Err(ProtocolError::Storage(format!(
+            "could not claim store lock at {} (contended)",
+            lock_path.display()
+        )))
+    })();
+    let _ = fs::remove_file(&tmp);
+    result
+}
+
+/// Result of one journal scan-and-repair pass.
+struct JournalScan {
+    events: Vec<LogEvent>,
+    torn_bytes: u64,
+}
+
+/// Reads the journal, validates its header, decodes every frame, and
+/// classifies a bad region: a frame running past end-of-file — or a CRC
+/// failure on the *final* frame — is the torn write a crash mid-append
+/// leaves (appends are strictly sequential, so a partial frame is
+/// always last) and is truncated in place; a CRC failure with intact
+/// data *behind* it is damage at rest, which errors with the file
+/// preserved for salvage (truncating would destroy acknowledged
+/// events). Shared by `open` (so an append handle never points behind
+/// torn bytes) and `load` (when appends have invalidated the cached
+/// scan).
+fn scan_and_repair_journal(
+    path: &Path,
+    fingerprint: &Fingerprint,
+) -> Result<JournalScan, ProtocolError> {
+    let bytes = fs::read(path).map_err(|e| io_err("read journal", e))?;
+    let mut r = Reader::new(&bytes);
+    r.read_header(ArtifactKind::Journal, fingerprint)?;
+    let mut events = Vec::new();
+    let good_end = loop {
+        if r.is_empty() {
+            break bytes.len();
+        }
+        let frame_start = r.position();
+        match r.get_framed() {
+            Ok(payload) => match decode_event(payload) {
+                Ok(event) => events.push(event),
+                // A frame with a valid CRC but undecodable contents is
+                // corruption, not a torn write.
+                Err(e) => return Err(ProtocolError::Codec(e)),
+            },
+            Err(CodecError::Truncated) => break frame_start,
+            Err(CodecError::BadChecksum) if r.is_empty() => break frame_start,
+            Err(e) => return Err(ProtocolError::Codec(e)),
+        }
+    };
+    let torn_bytes = (bytes.len() - good_end) as u64;
+    if torn_bytes > 0 {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("open journal for truncation", e))?;
+        file.set_len(good_end as u64)
+            .map_err(|e| io_err("truncate torn journal tail", e))?;
+    }
+    Ok(JournalScan { events, torn_bytes })
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("dir", &self.dir)
+            .field("fingerprint", &self.fingerprint.to_string())
+            .field("journal_events", &self.journal_events)
+            .field("sync_every_append", &self.sync_every_append)
+            .finish()
+    }
+}
+
+impl FileStore {
+    /// Opens (creating if needed) the store directory for the given
+    /// parameter fingerprint.
+    ///
+    /// An existing journal's header is validated immediately: a foreign
+    /// file or a journal written under different system parameters is
+    /// rejected here, before any replay.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Storage`] on I/O failure;
+    /// [`ProtocolError::Codec`] when existing artifacts belong to a
+    /// different format or parameter set.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        fingerprint: Fingerprint,
+    ) -> Result<FileStore, ProtocolError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create store dir", e))?;
+        let lock_path = acquire_dir_lock(&dir)?;
+        // From here on, errors must release the claimed lock.
+        match Self::open_locked(dir, fingerprint, lock_path.clone()) {
+            Ok(store) => Ok(store),
+            Err(e) => {
+                let _ = fs::remove_file(&lock_path);
+                Err(e)
+            }
+        }
+    }
+
+    fn open_locked(
+        dir: PathBuf,
+        fingerprint: Fingerprint,
+        lock_path: PathBuf,
+    ) -> Result<FileStore, ProtocolError> {
+        let journal_path = dir.join("journal.fel");
+
+        let mut fresh_header = Writer::new();
+        fresh_header.put_header(ArtifactKind::Journal, &fingerprint);
+
+        let existing_len = match fs::metadata(&journal_path) {
+            Ok(meta) => Some(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err("stat journal", e)),
+        };
+        let scan = match existing_len {
+            // Scan (and torn-tail-repair) the journal now, *before* the
+            // append handle exists — a fresh append must never land
+            // behind torn bytes — and keep the decoded events so the
+            // first `load` does not re-read the file.
+            Some(len) if len >= HEADER_LEN => scan_and_repair_journal(&journal_path, &fingerprint)?,
+            Some(_) => {
+                // Torn during creation (crash before the header landed):
+                // no frame can have been acknowledged, so rewriting the
+                // header loses nothing.
+                fs::write(&journal_path, fresh_header.as_slice())
+                    .map_err(|e| io_err("rewrite torn journal header", e))?;
+                JournalScan {
+                    events: Vec::new(),
+                    torn_bytes: 0,
+                }
+            }
+            None => {
+                fs::write(&journal_path, fresh_header.as_slice())
+                    .map_err(|e| io_err("create journal", e))?;
+                JournalScan {
+                    events: Vec::new(),
+                    torn_bytes: 0,
+                }
+            }
+        };
+
+        let journal = OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| io_err("open journal for append", e))?;
+        Ok(FileStore {
+            dir,
+            fingerprint,
+            journal,
+            journal_events: scan.events.len(),
+            sync_every_append: false,
+            torn_bytes_discarded: scan.torn_bytes,
+            lock_path,
+            scanned: Some(scan.events),
+        })
+    }
+
+    /// Upgrades (or downgrades) appends to fsync-per-event durability.
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync_every_append = sync;
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total bytes discarded as torn journal tails since this store was
+    /// opened — including the repair [`FileStore::open`] itself performs
+    /// (0 when the journal has been clean throughout).
+    pub fn torn_bytes_discarded(&self) -> u64 {
+        self.torn_bytes_discarded
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.fel")
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.fes")
+    }
+
+    fn load_snapshot(&self) -> Result<Vec<LogEvent>, ProtocolError> {
+        let bytes = match fs::read(self.snapshot_path()) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err("read snapshot", e)),
+        };
+        let mut r = Reader::new(&bytes);
+        r.read_header(ArtifactKind::Snapshot, &self.fingerprint)?;
+        let count = r.get_u64()?;
+        // The count field is not self-validating; cap the preallocation
+        // by what the remaining bytes could possibly hold (8 bytes of
+        // frame header per record minimum) so a corrupt count cannot
+        // trigger a huge allocation — the framed reads below still fail
+        // cleanly on any mismatch.
+        let plausible = (r.remaining() / 8).min(count as usize);
+        let mut events = Vec::with_capacity(plausible);
+        for _ in 0..count {
+            // Snapshots are written atomically (tmp + rename), so any
+            // damage here is corruption, not a torn write → hard error.
+            let payload = r.get_framed()?;
+            events.push(LogEvent::Enroll(
+                get_record(&mut Reader::new(payload)).map_err(ProtocolError::Codec)?,
+            ));
+        }
+        r.expect_end().map_err(ProtocolError::Codec)?;
+        Ok(events)
+    }
+
+    /// The journal tail: the `open`-time scan if still valid, otherwise
+    /// a fresh scan-and-repair of the file.
+    fn journal_tail(&mut self) -> Result<Vec<LogEvent>, ProtocolError> {
+        if let Some(events) = self.scanned.take() {
+            return Ok(events);
+        }
+        let scan = scan_and_repair_journal(&self.journal_path(), &self.fingerprint)?;
+        self.torn_bytes_discarded += scan.torn_bytes;
+        self.journal_events = scan.events.len();
+        Ok(scan.events)
+    }
+}
+
+impl EnrollmentStore for FileStore {
+    fn append(&mut self, event: LogEventRef<'_>) -> Result<(), ProtocolError> {
+        let mut w = Writer::new();
+        w.put_framed(&encode_event(event));
+        self.journal
+            .write_all(w.as_slice())
+            .map_err(|e| io_err("append journal event", e))?;
+        self.journal
+            .flush()
+            .map_err(|e| io_err("flush journal", e))?;
+        if self.sync_every_append {
+            self.journal
+                .sync_data()
+                .map_err(|e| io_err("sync journal", e))?;
+        }
+        self.journal_events += 1;
+        // The open-time scan no longer reflects the file.
+        self.scanned = None;
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Vec<LogEvent>, ProtocolError> {
+        let mut events = self.load_snapshot()?;
+        events.extend(self.journal_tail()?);
+        Ok(events)
+    }
+
+    fn compact(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError> {
+        // 1. Write the complete snapshot to a temporary file…
+        let mut w = Writer::new();
+        w.put_header(ArtifactKind::Snapshot, &self.fingerprint);
+        w.put_u64(live.len() as u64);
+        for record in live {
+            let mut row = Writer::new();
+            put_record(&mut row, record);
+            w.put_framed(row.as_slice());
+        }
+        let tmp = self.dir.join("snapshot.fes.tmp");
+        let mut file = File::create(&tmp).map_err(|e| io_err("create snapshot tmp", e))?;
+        file.write_all(w.as_slice())
+            .map_err(|e| io_err("write snapshot", e))?;
+        file.sync_all().map_err(|e| io_err("sync snapshot", e))?;
+        drop(file);
+        // 2. …atomically commit it. The rename itself must be made
+        // durable (fsync of the *directory*) before the journal is
+        // reset: otherwise power loss could persist the emptied journal
+        // while the snapshot's directory entry evaporates, losing every
+        // event the snapshot was supposed to cover.
+        fs::rename(&tmp, self.snapshot_path()).map_err(|e| io_err("commit snapshot", e))?;
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io_err("sync store dir", e))?;
+        // 3. Only now reset the journal to its bare header, and push
+        // the truncation to stable storage too. (A crash between 2 and
+        // 3 replays journal events already covered by the snapshot;
+        // replay tolerates that by construction — see
+        // `AuthenticationServer::recover`.)
+        let mut header = Writer::new();
+        header.put_header(ArtifactKind::Journal, &self.fingerprint);
+        let mut journal =
+            File::create(self.journal_path()).map_err(|e| io_err("reset journal", e))?;
+        journal
+            .write_all(header.as_slice())
+            .map_err(|e| io_err("write journal header", e))?;
+        journal
+            .sync_all()
+            .map_err(|e| io_err("sync reset journal", e))?;
+        drop(journal);
+        self.journal = OpenOptions::new()
+            .append(true)
+            .open(self.journal_path())
+            .map_err(|e| io_err("reopen journal", e))?;
+        self.journal_events = 0;
+        self.scanned = Some(Vec::new());
+        Ok(())
+    }
+
+    fn journal_len(&self) -> usize {
+        self.journal_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SystemParams;
+    use crate::BiometricDevice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fe-store-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(n: usize) -> (SystemParams, Vec<EnrollmentRecord>) {
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(50);
+        let records = (0..n)
+            .map(|u| {
+                let bio = params.sketch().line().random_vector(8, &mut rng);
+                device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap()
+            })
+            .collect();
+        (params, records)
+    }
+
+    #[test]
+    fn event_codec_roundtrip() {
+        let (_, records) = sample_records(1);
+        for event in [
+            LogEvent::Enroll(records[0].clone()),
+            LogEvent::Revoke("someone".into()),
+        ] {
+            assert_eq!(decode_event(&encode_event(event.as_ref())).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn memory_store_replay_and_compaction() {
+        let (_, records) = sample_records(2);
+        let mut store = MemoryStore::new();
+        store.append(LogEventRef::Enroll(&records[0])).unwrap();
+        store.append(LogEventRef::Enroll(&records[1])).unwrap();
+        store.append(LogEventRef::Revoke("user-0")).unwrap();
+        assert_eq!(store.journal_len(), 3);
+        assert_eq!(store.load().unwrap().len(), 3);
+
+        store.compact(&records[1..]).unwrap();
+        assert_eq!(store.journal_len(), 0);
+        let events = store.load().unwrap();
+        assert_eq!(events, vec![LogEvent::Enroll(records[1].clone())]);
+    }
+
+    #[test]
+    fn file_store_journal_roundtrip() {
+        let dir = temp_dir("journal");
+        let (params, records) = sample_records(3);
+        let fp = params.fingerprint();
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        for r in &records {
+            store.append(LogEventRef::Enroll(r)).unwrap();
+        }
+        store.append(LogEventRef::Revoke("user-1")).unwrap();
+        drop(store); // "crash": nothing flushed beyond OS buffers needed
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        let events = store.load().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], LogEvent::Enroll(records[0].clone()));
+        assert_eq!(events[3], LogEvent::Revoke("user-1".into()));
+        assert_eq!(store.torn_bytes_discarded(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_snapshot_and_tail() {
+        let dir = temp_dir("snapshot");
+        let (params, records) = sample_records(4);
+        let fp = params.fingerprint();
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        for r in &records[..3] {
+            store.append(LogEventRef::Enroll(r)).unwrap();
+        }
+        store.compact(&records[..3]).unwrap();
+        assert_eq!(store.journal_len(), 0);
+        // Post-snapshot tail.
+        store.append(LogEventRef::Revoke("user-2")).unwrap();
+        store.append(LogEventRef::Enroll(&records[3])).unwrap();
+        drop(store);
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        let events = store.load().unwrap();
+        assert_eq!(events.len(), 5); // 3 snapshot + 2 tail
+        assert_eq!(events[3], LogEvent::Revoke("user-2".into()));
+        assert_eq!(events[4], LogEvent::Enroll(records[3].clone()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_replay() {
+        let dir = temp_dir("torn");
+        let (params, records) = sample_records(3);
+        let fp = params.fingerprint();
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        for r in &records {
+            store.append(LogEventRef::Enroll(r)).unwrap();
+        }
+        assert_eq!(store.journal_len(), 3);
+        drop(store);
+
+        // Reopening counts the persisted frames immediately.
+        assert_eq!(FileStore::open(&dir, fp).unwrap().journal_len(), 3);
+
+        // Simulate a crash mid-write: chop bytes off the final frame.
+        let journal = dir.join("journal.fel");
+        let len = fs::metadata(&journal).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&journal).unwrap();
+        file.set_len(len - 7).unwrap();
+        drop(file);
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        let events = store.load().unwrap();
+        assert_eq!(events.len(), 2, "torn third record must be dropped");
+        assert!(store.torn_bytes_discarded() > 0);
+
+        // The truncation repaired the file: append + reload is clean.
+        store.append(LogEventRef::Revoke("user-0")).unwrap();
+        drop(store);
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        let events = store.load().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(store.torn_bytes_discarded(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_an_error_and_preserves_the_file() {
+        let dir = temp_dir("corrupt");
+        let (params, records) = sample_records(2);
+        let fp = params.fingerprint();
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        for r in &records {
+            store.append(LogEventRef::Enroll(r)).unwrap();
+        }
+        drop(store);
+
+        // Flip a byte inside the FIRST frame's payload: CRC fails with a
+        // valid frame still behind it — damage at rest, not a torn tail.
+        let journal = dir.join("journal.fel");
+        let mut bytes = fs::read(&journal).unwrap();
+        let idx = HEADER_LEN as usize + 8 + 3;
+        bytes[idx] ^= 0xff;
+        fs::write(&journal, &bytes).unwrap();
+
+        // Open refuses (acknowledged data would be lost) and must NOT
+        // destroy the file: the intact second frame stays salvageable.
+        assert!(matches!(
+            FileStore::open(&dir, fp),
+            Err(ProtocolError::Codec(CodecError::BadChecksum))
+        ));
+        assert_eq!(
+            fs::read(&journal).unwrap().len(),
+            bytes.len(),
+            "corrupt journal must be preserved for salvage"
+        );
+
+        // A corrupt *final* frame, by contrast, is indistinguishable
+        // from a torn write and is truncated at open.
+        bytes[idx] ^= 0xff; // heal frame 1
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff; // damage frame 2's payload tail
+        fs::write(&journal, &bytes).unwrap();
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        assert!(store.torn_bytes_discarded() > 0);
+        let events = store.load().unwrap();
+        assert_eq!(events.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_open_of_a_live_store_is_refused() {
+        let dir = temp_dir("lock");
+        let (params, records) = sample_records(1);
+        let fp = params.fingerprint();
+
+        let mut store = FileStore::open(&dir, fp).unwrap();
+        store.append(LogEventRef::Enroll(&records[0])).unwrap();
+        // A second writer on the same directory must fail loudly…
+        assert!(matches!(
+            FileStore::open(&dir, fp),
+            Err(ProtocolError::Storage(_))
+        ));
+        // …and the failed attempt must not have broken the first
+        // holder's lock: a third attempt still fails.
+        assert!(FileStore::open(&dir, fp).is_err());
+        drop(store);
+        // Dropping releases the lock.
+        let store = FileStore::open(&dir, fp).unwrap();
+        assert_eq!(store.journal_len(), 1);
+        drop(store);
+
+        // A stale lock from a dead process is stolen…
+        fs::write(dir.join("lock.pid"), "4294000001 12345\n").unwrap();
+        let store = FileStore::open(&dir, fp).unwrap();
+        assert_eq!(store.journal_len(), 1);
+        drop(store);
+
+        // …and so is a lock whose pid is alive but *recycled*: pid 1
+        // exists, but its start time cannot match the bogus one stored.
+        if process_start_time(1).is_some() {
+            fs::write(dir.join("lock.pid"), "1 18446744073709551614\n").unwrap();
+            let store = FileStore::open(&dir, fp).unwrap();
+            assert_eq!(store.journal_len(), 1);
+            drop(store);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn own_start_time_is_readable() {
+        // The lock's pid-recycling defense depends on this; if /proc is
+        // present it must parse (comm fields with spaces included).
+        if Path::new("/proc").is_dir() {
+            assert!(process_start_time(std::process::id()).is_some());
+        }
+        assert_eq!(parse_lock("123 456"), Some((123, 456)));
+        assert_eq!(parse_lock("123\n"), Some((123, 0)));
+        assert_eq!(parse_lock("garbage"), None);
+        assert_eq!(parse_lock(""), None);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected_at_open() {
+        let dir = temp_dir("fp");
+        let (params, records) = sample_records(1);
+        let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
+        store.append(LogEventRef::Enroll(&records[0])).unwrap();
+        drop(store);
+
+        let other = Fingerprint::of(b"different params");
+        match FileStore::open(&dir, other) {
+            Err(ProtocolError::Codec(CodecError::FingerprintMismatch { .. })) => {}
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_journal_header_is_rewritten() {
+        let dir = temp_dir("short-header");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("journal.fel"), b"FEC").unwrap(); // torn at creation
+        let (params, _) = sample_records(0);
+        let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
+        assert!(store.load().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_mode_appends_still_replay() {
+        let dir = temp_dir("sync");
+        let (params, records) = sample_records(1);
+        let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
+        store.set_sync(true);
+        store.append(LogEventRef::Enroll(&records[0])).unwrap();
+        assert_eq!(store.load().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

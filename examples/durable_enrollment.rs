@@ -1,0 +1,99 @@
+//! Durable enrollment end-to-end: enroll a population against a
+//! journaled sharded server, checkpoint part of the history, "crash"
+//! (drop the server without any shutdown path), recover everything from
+//! disk, and identify a returning user.
+//!
+//! ```bash
+//! cargo run --release --example durable_enrollment
+//! ```
+
+use fuzzy_id::core::ScanIndex;
+use fuzzy_id::protocol::concurrent::SharedServer;
+use fuzzy_id::protocol::{BiometricDevice, SystemParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+
+    let dir = std::env::temp_dir().join(format!("fe-durable-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Lifetime 1: a durable sharded server ----------------------
+    println!("opening durable server at {}", dir.display());
+    let server = SharedServer::<ScanIndex>::durable(params.clone(), 2, &dir)?;
+
+    let users = 24usize;
+    let dim = 48usize;
+    let mut bios = Vec::new();
+    for u in 0..users {
+        let bio = params.sketch().line().random_vector(dim, &mut rng);
+        server.enroll(device.enroll(&format!("user-{u:02}"), &bio, &mut rng)?)?;
+        bios.push(bio);
+    }
+    println!(
+        "enrolled {users} users ({} journaled events)",
+        server.journal_len()
+    );
+
+    // Part of the history moves into a compacted snapshot…
+    server.checkpoint()?;
+    // …and the rest stays in the journal tail: two late enrollments and
+    // two revocations land after the checkpoint.
+    for u in users..users + 2 {
+        let bio = params.sketch().line().random_vector(dim, &mut rng);
+        server.enroll(device.enroll(&format!("user-{u:02}"), &bio, &mut rng)?)?;
+        bios.push(bio);
+    }
+    server.revoke("user-03")?;
+    server.revoke("user-17")?;
+    println!(
+        "after checkpoint: {} users live, journal tail = {} events",
+        server.user_count(),
+        server.journal_len()
+    );
+
+    // ---- The crash -------------------------------------------------
+    // No flush call, no shutdown hook: the process state is simply
+    // gone. Everything acknowledged is already on disk (write-ahead).
+    drop(server);
+    println!("💥 crashed (dropped the server without shutdown)");
+
+    // ---- Lifetime 2: recovery --------------------------------------
+    let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir)?;
+    println!(
+        "recovered {} shards, {} live users",
+        server.num_shards(),
+        server.user_count()
+    );
+    assert_eq!(server.user_count(), users); // 26 enrolled − 2 revoked
+
+    // A returning user presents a fresh, noisy reading and is
+    // identified with no identity claim — across the restart.
+    let returning = 21usize;
+    let t = params.sketch().threshold() as i64;
+    let reading: Vec<i64> = bios[returning]
+        .iter()
+        .map(|&x| x + rng.gen_range(-t..=t))
+        .collect();
+    let probe = device.probe_sketch(&reading, &mut rng)?;
+    let challenge = server.begin_identification(&probe, &mut rng)?;
+    let response = device.respond(&reading, &challenge, &mut rng)?;
+    let outcome = server.finish_identification(&response)?;
+    println!(
+        "returning user identified as {:?} after crash + recovery",
+        outcome.identity().expect("genuine user must identify")
+    );
+    assert_eq!(outcome.identity(), Some("user-21"));
+
+    // Revoked users stay revoked across the restart.
+    let reading: Vec<i64> = bios[3].iter().map(|&x| x + 5).collect();
+    let probe = device.probe_sketch(&reading, &mut rng)?;
+    assert!(server.begin_identification(&probe, &mut rng).is_err());
+    println!("revoked user-03 correctly rejected after recovery");
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,434 @@
+//! Durability and crash-recovery tests: a server journaled to disk,
+//! killed at arbitrary points, and rebuilt via `recover()` must answer
+//! identification queries exactly like the never-restarted original.
+
+use fuzzy_id::core::ScanIndex;
+use fuzzy_id::protocol::concurrent::SharedServer;
+use fuzzy_id::protocol::store::{EnrollmentStore, FileStore, LogEventRef, MemoryStore};
+use fuzzy_id::protocol::{
+    AuthenticationServer, BiometricDevice, EnrollmentRecord, IndexConfig, ProtocolError,
+    SystemParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per test case (proptest cases included).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fe-persistence-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Synthesizes an enrollment record with a *real* sketch but borrowed
+/// public-key bytes — index/lookup behavior is identical to a real
+/// enrollment, and no per-user DSA keygen is needed.
+fn synthetic_record(
+    params: &SystemParams,
+    donor_pk: &[u8],
+    id: &str,
+    dim: usize,
+    rng: &mut StdRng,
+) -> (EnrollmentRecord, Vec<i64>) {
+    use fuzzy_id::core::SecureSketch;
+    let bio = params.sketch().line().random_vector(dim, rng);
+    let sketch = params.sketch().sketch(&bio, rng).unwrap();
+    let mut tag = vec![0u8; 32];
+    rng.fill_bytes(&mut tag);
+    let mut seed = vec![0u8; 16];
+    rng.fill_bytes(&mut seed);
+    let record = EnrollmentRecord {
+        id: id.to_string(),
+        public_key: donor_pk.to_vec(),
+        helper: fuzzy_id::core::HelperData {
+            sketch: fuzzy_id::core::RobustData { inner: sketch, tag },
+            seed,
+        },
+    };
+    (record, bio)
+}
+
+/// A genuine probe for an enrolled biometric: a fresh sketch of a
+/// reading within Chebyshev distance `t`.
+fn genuine_probe(params: &SystemParams, bio: &[i64], rng: &mut StdRng) -> Vec<i64> {
+    use fuzzy_id::core::SecureSketch;
+    let t = params.sketch().threshold() as i64;
+    let reading: Vec<i64> = bio
+        .iter()
+        .map(|&x| params.sketch().line().wrap(x + rng.gen_range(-t..=t)))
+        .collect();
+    params.sketch().sketch(&reading, rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recovery equivalence (single server): after a random
+    /// enroll/revoke history — optionally with a checkpoint in the
+    /// middle — a server rebuilt from the on-disk store answers
+    /// `lookup_probe` and `lookup_probe_batch` identically to the
+    /// never-restarted original.
+    #[test]
+    fn recovered_server_answers_lookups_identically(
+        users in 1usize..24,
+        dim in 1usize..8,
+        seed in any::<u64>(),
+        removal_mask in any::<u32>(),
+        checkpoint_mid in any::<bool>(),
+    ) {
+        let dir = scratch_dir("equiv-single");
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let donor = {
+            let bio = params.sketch().line().random_vector(4, &mut rng);
+            device.enroll("donor", &bio, &mut rng).unwrap().public_key
+        };
+
+        let mut original: AuthenticationServer =
+            AuthenticationServer::recover(params.clone(), &dir).unwrap();
+        let mut bios = Vec::new();
+        for u in 0..users {
+            let (record, bio) =
+                synthetic_record(&params, &donor, &format!("user-{u}"), dim, &mut rng);
+            original.enroll(record).unwrap();
+            bios.push(bio);
+        }
+        // Random revocations; a mid-history checkpoint exercises the
+        // snapshot + journal-tail replay path (and slot renumbering).
+        for u in 0..users.min(16) {
+            if removal_mask & (1 << u) != 0 {
+                original.revoke(&format!("user-{u}")).unwrap();
+            }
+            if checkpoint_mid && u == users / 2 {
+                original.checkpoint().unwrap();
+            }
+        }
+        for u in 16..users {
+            if removal_mask & (1 << (u % 16)) != 0 {
+                // Second wave reuses mask bits; ignore already-revoked.
+                let _ = original.revoke(&format!("user-{u}"));
+            }
+        }
+
+        // Probes: one genuine per enrolled user + a few impostors.
+        let mut probes: Vec<Vec<i64>> = bios
+            .iter()
+            .map(|bio| genuine_probe(&params, bio, &mut rng))
+            .collect();
+        for _ in 0..4 {
+            let stranger = params.sketch().line().random_vector(dim, &mut rng);
+            probes.push(genuine_probe(&params, &stranger, &mut rng));
+        }
+        // Capture the never-restarted server's answers, then "kill" it
+        // (dropping releases the store lock; the on-disk state is
+        // exactly what a SIGKILL would leave, since every append is
+        // flushed before enroll/revoke returns).
+        let expected_users = original.user_count();
+        let expected_single: Vec<Option<usize>> =
+            probes.iter().map(|p| original.lookup_probe(p)).collect();
+        let expected_batch = original.lookup_probe_batch(&probes);
+        drop(original);
+
+        // Rebuild — into a *sharded* index config to prove recovery is
+        // index-portable.
+        let rebuilt = AuthenticationServer::<fuzzy_id::core::ShardedIndex<ScanIndex>>::recover(
+            params
+                .clone()
+                .with_index_config(IndexConfig::ShardedScan { shards: 3 }),
+            &dir,
+        )
+        .unwrap();
+
+        prop_assert_eq!(expected_users, rebuilt.user_count());
+        for (probe, expected) in probes.iter().zip(&expected_single) {
+            prop_assert_eq!(*expected, rebuilt.lookup_probe(probe));
+        }
+        prop_assert_eq!(expected_batch, rebuilt.lookup_probe_batch(&probes));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Replay through a `MemoryStore` behaves exactly like the
+    /// file-backed path: `recover_with_store` rebuilds the same
+    /// population a straight re-application of the events would.
+    #[test]
+    fn memory_store_replay_matches_direct_application(
+        users in 1usize..16,
+        seed in any::<u64>(),
+        removal_mask in any::<u16>(),
+    ) {
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let donor = {
+            let bio = params.sketch().line().random_vector(4, &mut rng);
+            device.enroll("donor", &bio, &mut rng).unwrap().public_key
+        };
+
+        let mut store = MemoryStore::new();
+        let mut direct = AuthenticationServer::new(params.clone());
+        for u in 0..users {
+            let (record, _) =
+                synthetic_record(&params, &donor, &format!("user-{u}"), 4, &mut rng);
+            store.append(LogEventRef::Enroll(&record)).unwrap();
+            direct.enroll(record).unwrap();
+            if removal_mask & (1 << u) != 0 {
+                store
+                    .append(LogEventRef::Revoke(&format!("user-{u}")))
+                    .unwrap();
+                direct.revoke(&format!("user-{u}")).unwrap();
+            }
+        }
+        let replayed: AuthenticationServer =
+            AuthenticationServer::recover_with_store(params.clone(), Box::new(store)).unwrap();
+        prop_assert_eq!(direct.user_count(), replayed.user_count());
+        prop_assert_eq!(direct.record_slots(), replayed.record_slots());
+        for _ in 0..8 {
+            let probe = params.sketch().line().random_vector(4, &mut rng);
+            prop_assert_eq!(direct.lookup_probe(&probe), replayed.lookup_probe(&probe));
+        }
+    }
+}
+
+/// The acceptance scenario: a `SharedServer` journaled to disk, "killed"
+/// after N enrollments + M revocations (no checkpoint — everything lives
+/// in the journal tails), recovered via `recover(path)`, and checked for
+/// identical identification behavior against the unrestarted original.
+#[test]
+fn sharded_server_recovery_equivalence() {
+    let dir = scratch_dir("equiv-sharded");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0x5AFE);
+
+    let original = SharedServer::<ScanIndex>::durable(params.clone(), 3, &dir).unwrap();
+
+    // N = 40 enrollments: 36 synthetic + 4 real (full-crypto) users.
+    let donor = {
+        let bio = params.sketch().line().random_vector(4, &mut rng);
+        device.enroll("donor-x", &bio, &mut rng).unwrap().public_key
+    };
+    let mut bios = Vec::new();
+    for u in 0..40 {
+        if u % 10 == 0 {
+            let bio = params.sketch().line().random_vector(24, &mut rng);
+            original
+                .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+                .unwrap();
+            bios.push(bio);
+        } else {
+            let (record, bio) =
+                synthetic_record(&params, &donor, &format!("user-{u}"), 24, &mut rng);
+            original.enroll(record).unwrap();
+            bios.push(bio);
+        }
+    }
+    // M = 12 revocations (none of the full-crypto users 0/10/20/30).
+    for u in [1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13] {
+        original.revoke(&format!("user-{u}")).unwrap();
+    }
+    assert_eq!(original.user_count(), 28);
+    assert_eq!(original.journal_len(), 52);
+
+    // Equivalence over a probe batch covering everyone + impostors: the
+    // same probes must match (Ok vs NoMatch pattern) and each matched
+    // challenge must carry the same record's helper data. Capture the
+    // never-restarted server's answers first…
+    let mut probes: Vec<Vec<i64>> = bios
+        .iter()
+        .map(|bio| genuine_probe(&params, bio, &mut rng))
+        .collect();
+    for _ in 0..6 {
+        let stranger = params.sketch().line().random_vector(24, &mut rng);
+        probes.push(genuine_probe(&params, &stranger, &mut rng));
+    }
+    let a = original.identify_batch(&probes, &mut rng);
+
+    // …then kill + recover: dropping releases the per-shard store locks
+    // without any shutdown path, and the journal tails on disk are
+    // exactly the state a SIGKILL would leave (appends are flushed
+    // before each call returns).
+    drop(original);
+    let recovered = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+    assert_eq!(recovered.num_shards(), 3);
+    assert_eq!(recovered.user_count(), 28);
+
+    let b = recovered.identify_batch(&probes, &mut rng);
+    assert_eq!(a.len(), b.len());
+    for (i, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+        match (ra, rb) {
+            (Ok(ca), Ok(cb)) => {
+                assert_eq!(ca.helper, cb.helper, "probe {i} matched different records");
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "probe {i}"),
+            other => panic!("probe {i}: divergent outcomes {other:?}"),
+        }
+    }
+
+    // The real users complete the full protocol against the recovered
+    // server (fresh probes: the batch above consumed their sessions).
+    for u in [0usize, 10, 20, 30] {
+        use fuzzy_id::core::SecureSketch;
+        let t = params.sketch().threshold() as i64;
+        let reading: Vec<i64> = bios[u]
+            .iter()
+            .map(|&x| params.sketch().line().wrap(x + rng.gen_range(-t..=t)))
+            .collect();
+        let probe = params.sketch().sketch(&reading, &mut rng).unwrap();
+        let chal = recovered.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            recovered.finish_identification(&resp).unwrap().identity(),
+            Some(format!("user-{u}").as_str()),
+            "real user {u} must survive recovery end-to-end"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill mid-journal-write: the torn final record is dropped, every
+/// previously acknowledged enrollment survives, and the full protocol
+/// (challenge + signature) still works after recovery.
+#[test]
+fn torn_tail_crash_recovery_end_to_end() {
+    let dir = scratch_dir("torn-tail");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+
+    let mut server: AuthenticationServer =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    let mut bios = Vec::new();
+    for u in 0..5 {
+        let bio = params.sketch().line().random_vector(24, &mut rng);
+        server
+            .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+            .unwrap();
+        bios.push(bio);
+    }
+    drop(server);
+
+    // Tear the tail: the last enrollment's frame loses its final bytes,
+    // as if the process died inside the write().
+    let journal = dir.join("journal.fel");
+    let len = std::fs::metadata(&journal).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&journal)
+        .unwrap();
+    file.set_len(len - 11).unwrap();
+    drop(file);
+
+    let mut server: AuthenticationServer =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    assert_eq!(server.user_count(), 4, "torn user-4 must be dropped");
+
+    // Survivors identify end-to-end.
+    for (u, bio) in bios.iter().take(4).enumerate() {
+        let reading: Vec<i64> = bio.iter().map(|&x| x + 57).collect();
+        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+        assert_eq!(
+            server.finish_identification(&resp).unwrap().identity(),
+            Some(format!("user-{u}").as_str())
+        );
+    }
+    // The torn user is gone — and can re-enroll cleanly.
+    let reading: Vec<i64> = bios[4].iter().map(|&x| x + 57).collect();
+    let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+    assert_eq!(
+        server.begin_identification(&probe, &mut rng).unwrap_err(),
+        ProtocolError::NoMatch
+    );
+    server
+        .enroll(device.enroll("user-4", &bios[4], &mut rng).unwrap())
+        .unwrap();
+    assert_eq!(server.user_count(), 5);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Crash between snapshot commit and journal reset: the journal tail
+/// duplicates snapshot contents; idempotent replay must not double-count.
+#[test]
+fn snapshot_journal_overlap_replays_idempotently() {
+    let dir = scratch_dir("overlap");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0x0F0F);
+    let donor = {
+        let bio = params.sketch().line().random_vector(4, &mut rng);
+        device.enroll("donor", &bio, &mut rng).unwrap().public_key
+    };
+
+    // Build a store whose journal holds the same enrollments the
+    // snapshot holds (what a crash between rename and journal reset
+    // leaves behind).
+    let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
+    let mut records = Vec::new();
+    for u in 0..6 {
+        let (record, _) = synthetic_record(&params, &donor, &format!("user-{u}"), 6, &mut rng);
+        store.append(LogEventRef::Enroll(&record)).unwrap();
+        records.push(record);
+    }
+    drop(store);
+    // Hand-write the snapshot while leaving the journal untouched.
+    let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
+    let journal_bytes = std::fs::read(dir.join("journal.fel")).unwrap();
+    store.compact(&records).unwrap();
+    std::fs::write(dir.join("journal.fel"), &journal_bytes).unwrap();
+    drop(store);
+
+    let server: AuthenticationServer = AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    assert_eq!(server.user_count(), 6, "overlap must not duplicate users");
+    assert_eq!(server.record_slots(), 6);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Checkpoint + churn keeps the on-disk footprint and in-memory tables
+/// bounded by the live population on the durable sharded server.
+#[test]
+fn shared_server_churn_with_checkpoints_stays_bounded() {
+    let dir = scratch_dir("churn");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0xC1C1);
+    let donor = {
+        let bio = params.sketch().line().random_vector(4, &mut rng);
+        device.enroll("donor", &bio, &mut rng).unwrap().public_key
+    };
+
+    let server = SharedServer::<ScanIndex>::durable(params.clone(), 2, &dir).unwrap();
+    // A persistent base population…
+    for u in 0..5 {
+        let (record, _) = synthetic_record(&params, &donor, &format!("base-{u}"), 8, &mut rng);
+        server.enroll(record).unwrap();
+    }
+    // …plus heavy transient churn, checkpointing every few rounds.
+    for round in 0..25 {
+        let (record, _) = synthetic_record(&params, &donor, &format!("tmp-{round}"), 8, &mut rng);
+        server.enroll(record).unwrap();
+        server.revoke(&format!("tmp-{round}")).unwrap();
+        if round % 5 == 4 {
+            server.checkpoint().unwrap();
+            assert_eq!(server.journal_len(), 0);
+        }
+    }
+    server.checkpoint().unwrap();
+    assert_eq!(server.user_count(), 5);
+
+    // Recover and confirm the snapshot holds exactly the live records.
+    drop(server);
+    let recovered = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+    assert_eq!(recovered.user_count(), 5);
+    assert_eq!(recovered.journal_len(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

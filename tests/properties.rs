@@ -1,9 +1,13 @@
 //! Cross-crate property-based tests: the paper's theorems as proptest
 //! properties over randomized configurations.
 
+use fuzzy_id::core::codec::{
+    self, decode_helper, decode_sketch, encode_helper, encode_sketch, CodecError, Fingerprint,
+};
 use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
 use fuzzy_id::core::{
-    ChebyshevSketch, FuzzyExtractor, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
+    ChebyshevSketch, FuzzyExtractor, HelperData, NumberLine, RobustData, ScanIndex, SecureSketch,
+    ShardedIndex, SketchIndex,
 };
 use fuzzy_id::metrics::{Metric, RingChebyshev};
 use proptest::prelude::*;
@@ -218,6 +222,112 @@ proptest! {
             prop_assert_eq!(scan.lookup_all(probe), sharded.lookup_all(probe));
         }
         prop_assert_eq!(scan.lookup_batch(&probes), sharded.lookup_batch(&probes));
+    }
+
+    /// Codec round-trip: any sketch a legal scheme can produce survives
+    /// the durable encoding under its own parameter fingerprint — and is
+    /// rejected under any other fingerprint.
+    #[test]
+    fn codec_sketch_roundtrip_under_arbitrary_params(
+        (line, t) in line_and_t(),
+        seed in any::<u64>(),
+        dim in 0usize..24,
+    ) {
+        let scheme = ChebyshevSketch::new(line, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = line.random_vector(dim, &mut rng);
+        let sketch = scheme.sketch(&x, &mut rng).unwrap();
+
+        // Fingerprint the (line, t) configuration the way fe-protocol
+        // fingerprints SystemParams: any parameter change changes it.
+        let mut canon = codec::Writer::new();
+        canon.put_u64(line.a());
+        canon.put_u64(line.k());
+        canon.put_u64(line.v());
+        canon.put_u64(t);
+        let fp = Fingerprint::of(canon.as_slice());
+
+        let bytes = encode_sketch(&sketch, &fp);
+        prop_assert_eq!(decode_sketch(&bytes, &fp).unwrap(), sketch);
+
+        let mut other_canon = codec::Writer::new();
+        other_canon.put_u64(line.a() + 1);
+        other_canon.put_u64(line.k());
+        other_canon.put_u64(line.v());
+        other_canon.put_u64(t);
+        let other = Fingerprint::of(other_canon.as_slice());
+        prop_assert!(matches!(
+            decode_sketch(&bytes, &other),
+            Err(CodecError::FingerprintMismatch { .. })
+        ));
+    }
+
+    /// Codec round-trip for full helper data (robust sketch + tag +
+    /// seed) with arbitrary byte contents, plus truncation robustness:
+    /// every strict prefix errors, never panics and never
+    /// round-trips to a wrong value.
+    #[test]
+    fn codec_helper_roundtrip_and_truncation(
+        inner in proptest::collection::vec(any::<i64>(), 0..32),
+        tag in proptest::collection::vec(any::<u8>(), 0..48),
+        extract_seed in proptest::collection::vec(any::<u8>(), 0..48),
+        fp_seed in any::<u64>(),
+        cut_permille in 0u32..1000,
+    ) {
+        let helper = HelperData {
+            sketch: RobustData { inner, tag },
+            seed: extract_seed,
+        };
+        let fp = Fingerprint::of(&fp_seed.to_be_bytes());
+        let bytes = encode_helper(&helper, &fp);
+        prop_assert_eq!(decode_helper(&bytes, &fp).unwrap(), helper);
+
+        let cut = bytes.len() * cut_permille as usize / 1000;
+        if cut < bytes.len() {
+            prop_assert!(decode_helper(&bytes[..cut], &fp).is_err());
+        }
+    }
+
+    /// Journal-frame robustness: a stream of CRC-framed payloads reads
+    /// back exactly; any truncation point yields a clean prefix of the
+    /// framed payloads plus a detected torn tail (no misparse).
+    #[test]
+    fn framed_stream_truncation_yields_clean_prefix(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..8),
+        cut_permille in 0u32..1000,
+    ) {
+        let mut w = codec::Writer::new();
+        for p in &payloads {
+            w.put_framed(p);
+        }
+        let bytes = w.into_bytes();
+
+        // Full read returns every payload.
+        let mut r = codec::Reader::new(&bytes);
+        for p in &payloads {
+            prop_assert_eq!(r.get_framed().unwrap(), &p[..]);
+        }
+        prop_assert!(r.is_empty());
+
+        // A truncated stream reads a prefix, then reports a torn frame.
+        let cut = bytes.len() * cut_permille as usize / 1000;
+        let mut r = codec::Reader::new(&bytes[..cut]);
+        let mut recovered = 0usize;
+        loop {
+            if r.is_empty() {
+                break;
+            }
+            match r.get_framed() {
+                Ok(p) => {
+                    prop_assert_eq!(p, &payloads[recovered][..]);
+                    recovered += 1;
+                }
+                Err(CodecError::Truncated) | Err(CodecError::BadChecksum) => break,
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        prop_assert!(recovered <= payloads.len());
     }
 
     /// Ring-wrap invariance: shifting the whole input by one full period
