@@ -60,8 +60,8 @@ fn bench_index(c: &mut Criterion) {
         let mut scan = ScanIndex::new(t, ka);
         let mut bucket = BucketIndex::new(t, ka, 4);
         for s in &sketches {
-            scan.insert(s.clone());
-            bucket.insert(s.clone());
+            scan.insert(s);
+            bucket.insert(s);
         }
         // Probe for the last enrolled user (worst case for the scan).
         let probe = probes.last().unwrap().clone();
@@ -81,9 +81,9 @@ fn bench_index(c: &mut Criterion) {
         let mut sharded4 = ShardedIndex::scan(4, t, ka);
         let mut sharded8 = ShardedIndex::scan(8, t, ka);
         for s in &sketches {
-            scan.insert(s.clone());
-            sharded4.insert(s.clone());
-            sharded8.insert(s.clone());
+            scan.insert(s);
+            sharded4.insert(s);
+            sharded8.insert(s);
         }
         let probe = probes.last().unwrap().clone();
         group.bench_with_input(BenchmarkId::new("scan_paper_t", users), &users, |b, _| {

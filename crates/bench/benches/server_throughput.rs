@@ -75,7 +75,7 @@ fn bench_index_scaling(c: &mut Criterion) {
 
         let mut scan = ScanIndex::new(T, KA);
         for s in &sketches {
-            scan.insert(s.clone());
+            scan.insert(s);
         }
         group.bench_with_input(BenchmarkId::new("lookup/scan", users), &users, |b, _| {
             b.iter(|| {
@@ -91,7 +91,7 @@ fn bench_index_scaling(c: &mut Criterion) {
         for &shards in &SHARD_COUNTS {
             let mut sharded = ShardedIndex::scan(shards, T, KA);
             for s in &sketches {
-                sharded.insert(s.clone());
+                sharded.insert(s);
             }
             group.bench_with_input(
                 BenchmarkId::new(format!("lookup/sharded{shards}"), users),

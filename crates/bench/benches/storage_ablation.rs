@@ -1,0 +1,232 @@
+//! **Storage ablation (ours)**: Vec-of-Vec rows vs the columnar
+//! [`SketchArena`] behind every index.
+//!
+//! The paper's identification scan is memory-bound at scale, so the
+//! storage layout — not the per-coordinate arithmetic — sets the
+//! throughput ceiling. This ablation pits the seed layout
+//! (`Vec<Option<Vec<i64>>>`: a heap allocation and pointer chase per
+//! record, 8 bytes per coordinate) against the arena (one contiguous
+//! width-adaptive buffer + tombstone bitmap) on three axes:
+//!
+//! * `lookup/*` — worst-case probe (matches the last enrolled record,
+//!   so the whole population is scanned with early abort);
+//! * `bulk_load/*` — enrollment rate, with the arena pre-sized the way
+//!   snapshot recovery pre-sizes it;
+//! * bytes/record — reported to stdout and
+//!   `target/experiments/storage_ablation.csv` from `heap_bytes()`
+//!   (at the paper's `ka = 400` the arena auto-selects `i16` cells:
+//!   2 bytes/coordinate vs the baseline's 8 plus per-row overhead).
+//!
+//! `FE_BENCH_SMOKE=1` shrinks the sweep to a CI-sized smoke run that
+//! still executes every cell-width dispatch path (`i16`/`i32`/`i64`)
+//! and the pre-sized bulk-load path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_bench::write_csv;
+use fe_core::conditions::sketches_match;
+use fe_core::{CellWidth, ScanIndex, SketchIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const DIM: usize = 32;
+const T: u64 = 100;
+const KA: u64 = 400;
+
+/// The seed storage layout, preserved here as the ablation baseline:
+/// one boxed row per record behind an `Option` tombstone.
+struct VecOfVecScan {
+    t: u64,
+    ka: u64,
+    entries: Vec<Option<Vec<i64>>>,
+}
+
+impl VecOfVecScan {
+    fn new(t: u64, ka: u64) -> Self {
+        VecOfVecScan {
+            t,
+            ka,
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, sketch: Vec<i64>) {
+        self.entries.push(Some(sketch));
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<usize> {
+        self.entries.iter().position(|s| {
+            s.as_ref().is_some_and(|s| {
+                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+            })
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let table = self.entries.capacity() * std::mem::size_of::<Option<Vec<i64>>>();
+        let rows: usize = self
+            .entries
+            .iter()
+            .flatten()
+            .map(|s| s.capacity() * std::mem::size_of::<i64>())
+            .sum();
+        table + rows
+    }
+}
+
+/// Uniform sketch vectors over the ring (storage is what's measured;
+/// the scan cost model only needs per-coordinate uniformity).
+fn synth_sketches(n: usize, ka: u64, rng: &mut StdRng) -> Vec<Vec<i64>> {
+    let half = (ka / 2) as i64;
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-half..=half)).collect())
+        .collect()
+}
+
+/// A probe that matches `sketch` on every coordinate (distance ≤ t).
+fn matching_probe(sketch: &[i64], t: u64, ka: u64, rng: &mut StdRng) -> Vec<i64> {
+    let half = (ka / 2) as i64;
+    sketch
+        .iter()
+        .map(|&v| {
+            let noisy = v + rng.gen_range(-(t as i64)..=t as i64);
+            // Stay on canonical ring values, like a real sketch would.
+            let r = noisy.rem_euclid(ka as i64);
+            if r > half {
+                r - ka as i64
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let smoke = std::env::var_os("FE_BENCH_SMOKE").is_some();
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    let mut group = c.benchmark_group("storage_ablation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke { 1 } else { 2 }));
+    group.warm_up_time(Duration::from_millis(if smoke { 100 } else { 500 }));
+
+    let mut csv_rows = Vec::new();
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(0x5704 + n as u64);
+        let sketches = synth_sketches(n, KA, &mut rng);
+        // Worst case for the scan: the probe resolves at the very last
+        // record, so every row is visited.
+        let probe = matching_probe(sketches.last().unwrap(), T, KA, &mut rng);
+
+        let mut baseline = VecOfVecScan::new(T, KA);
+        let mut columnar = ScanIndex::new(T, KA);
+        columnar.reserve(n, DIM);
+        for s in &sketches {
+            baseline.insert(s.clone());
+            columnar.insert(s);
+        }
+        assert_eq!(columnar.arena().width(), CellWidth::I16);
+        assert_eq!(baseline.lookup(&probe), columnar.lookup(&probe));
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("lookup/baseline", n), &n, |b, _| {
+            b.iter(|| {
+                baseline
+                    .lookup(std::hint::black_box(&probe))
+                    .expect("found")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lookup/columnar", n), &n, |b, _| {
+            b.iter(|| {
+                columnar
+                    .lookup(std::hint::black_box(&probe))
+                    .expect("found")
+            })
+        });
+
+        // Bulk load: the recovery path (pre-sized arena) vs pushing
+        // boxed rows. Loads are re-done per iteration, so keep the
+        // budget in check by loading a slice at the larger sizes.
+        let load = &sketches[..n.min(100_000)];
+        group.throughput(Throughput::Elements(load.len() as u64));
+        group.bench_with_input(BenchmarkId::new("bulk_load/baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut idx = VecOfVecScan::new(T, KA);
+                for s in load {
+                    idx.insert(s.clone());
+                }
+                idx.entries.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bulk_load/columnar", n), &n, |b, _| {
+            b.iter(|| {
+                let mut idx = ScanIndex::new(T, KA);
+                idx.reserve(load.len(), DIM);
+                for s in load {
+                    idx.insert(s);
+                }
+                idx.len()
+            })
+        });
+
+        let base_bpr = baseline.heap_bytes() as f64 / n as f64;
+        let col_bpr = columnar.heap_bytes() as f64 / n as f64;
+        println!(
+            "storage_ablation/bytes_per_record/{n}: baseline {base_bpr:.1} B, \
+             columnar {col_bpr:.1} B ({:.1}× smaller)",
+            base_bpr / col_bpr
+        );
+        csv_rows.push(format!("{n},{base_bpr:.1},{col_bpr:.1}"));
+    }
+    group.finish();
+    let path = write_csv(
+        "storage_ablation.csv",
+        "records,baseline_bytes_per_record,columnar_bytes_per_record",
+        &csv_rows,
+    );
+    println!(
+        "storage_ablation: bytes/record written to {}",
+        path.display()
+    );
+}
+
+/// Executes the two wide cell-width dispatch paths (`i32`, `i64`) so a
+/// smoke run covers every kernel instantiation, and checks the widths
+/// actually selected.
+fn bench_width_dispatch(c: &mut Criterion) {
+    let smoke = std::env::var_os("FE_BENCH_SMOKE").is_some();
+    let n = if smoke { 2_000 } else { 50_000 };
+    let mut group = c.benchmark_group("storage_ablation_widths");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(100));
+
+    for (name, ka, expect) in [
+        ("i16", KA, CellWidth::I16),
+        ("i32", 1u64 << 20, CellWidth::I32),
+        ("i64", 1u64 << 40, CellWidth::I64),
+    ] {
+        let mut rng = StdRng::seed_from_u64(0x51DE + ka);
+        let t = ka / 4;
+        let sketches = synth_sketches(n, ka, &mut rng);
+        let probe = matching_probe(sketches.last().unwrap(), t, ka, &mut rng);
+        let mut index = ScanIndex::new(t, ka);
+        index.reserve(n, DIM);
+        for s in &sketches {
+            index.insert(s);
+        }
+        assert_eq!(index.arena().width(), expect);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("lookup", name), &n, |b, _| {
+            b.iter(|| index.lookup(std::hint::black_box(&probe)).expect("found"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_width_dispatch);
+criterion_main!(benches);

@@ -204,6 +204,13 @@ impl Writer {
         Writer::default()
     }
 
+    /// Empties the buffer, keeping its allocation — so per-row encoding
+    /// loops (snapshot streaming) reuse one writer instead of
+    /// allocating per row.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Writes the artifact header: magic, version, kind, fingerprint.
     pub fn put_header(&mut self, kind: ArtifactKind, fingerprint: &Fingerprint) {
         self.buf.extend_from_slice(&MAGIC);

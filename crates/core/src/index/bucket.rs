@@ -1,17 +1,28 @@
-//! The LSH-style bucket index extension.
+//! The LSH-style bucket index extension, on columnar storage.
 
+use super::store::SketchArena;
 use super::{RecordId, SketchIndex};
-use crate::conditions::sketches_match;
 use std::collections::HashMap;
 
 /// LSH-style bucket index with multi-probe lookup (extension).
 ///
 /// Each sketch coordinate is normalized onto `[0, ka)` and the first
 /// `prefix_dims` coordinates are quantized into cells of width `2t + 1`;
-/// the resulting cell tuple keys a hash bucket. A probe within cyclic
-/// distance `t` per coordinate can only land in the same or an adjacent
-/// cell, so lookup probes the `3^prefix_dims` neighbouring cell tuples and
-/// verifies candidates with the full conditions.
+/// the resulting cell tuple — packed into one `u64` key (see below) —
+/// keys a hash bucket. A probe within cyclic distance `t` per coordinate
+/// can only land in the same or an adjacent cell, so lookup probes the
+/// `3^prefix_dims` neighbouring cell tuples and verifies candidates
+/// against the backing [`SketchArena`] with the full conditions.
+///
+/// **Key packing**: cell tuples are folded mixed-radix into a `u64`
+/// (`key = key · cells + cell` per coordinate, wrapping). With
+/// `prefix_dims ≤ 8` the fold is a *perfect* packing whenever
+/// `cells^prefix_dims` fits in 64 bits; when it wraps it degrades into a
+/// hash, and a (vanishingly rare) collision merely adds candidates that
+/// full verification rejects — correctness never depends on
+/// injectivity. Packing replaces the former `Vec<u32>` tuple keys, which
+/// allocated a fresh vector for every one of the `3^prefix_dims`
+/// neighbour probes.
 ///
 /// **Pruning power**: the candidate fraction is roughly
 /// `(3·(2t+1)/ka)^prefix_dims`. At the paper's Table II parameters
@@ -27,9 +38,8 @@ pub struct BucketIndex {
     ka: u64,
     prefix_dims: usize,
     cells: u64,
-    buckets: HashMap<Vec<u32>, Vec<RecordId>>,
-    entries: Vec<Option<Vec<i64>>>,
-    live: usize,
+    buckets: HashMap<u64, Vec<RecordId>>,
+    arena: SketchArena,
 }
 
 impl BucketIndex {
@@ -60,44 +70,61 @@ impl BucketIndex {
             prefix_dims,
             cells,
             buckets: HashMap::new(),
-            entries: Vec::new(),
-            live: 0,
+            arena: SketchArena::new(t, ka),
         }
     }
 
-    fn cell_of(&self, coord: i64) -> u32 {
-        let norm = coord.rem_euclid(self.ka as i64) as u64;
-        ((norm / (2 * self.t + 1)).min(self.cells - 1)) as u32
+    /// The backing arena (diagnostics and benches).
+    pub fn arena(&self) -> &SketchArena {
+        &self.arena
     }
 
-    fn key_of(&self, sketch: &[i64]) -> Vec<u32> {
+    fn cell_of(&self, coord: i64) -> u64 {
+        let norm = coord.rem_euclid(self.ka as i64) as u64;
+        (norm / (2 * self.t + 1)).min(self.cells - 1)
+    }
+
+    /// Folds one more cell into a packed key (mixed-radix, wrapping).
+    fn fold(&self, key: u64, cell: u64) -> u64 {
+        key.wrapping_mul(self.cells).wrapping_add(cell)
+    }
+
+    fn key_of(&self, sketch: &[i64]) -> u64 {
         sketch
             .iter()
             .take(self.prefix_dims)
-            .map(|&c| self.cell_of(c))
-            .collect()
+            .fold(0u64, |key, &c| self.fold(key, self.cell_of(c)))
     }
 
-    /// Enumerates the `3^prefix_dims` neighbouring keys of a probe key.
-    fn probe_keys(&self, probe: &[i64]) -> Vec<Vec<u32>> {
-        let base = self.key_of(probe);
-        let mut keys = vec![Vec::new()];
-        for &cell in &base {
-            let mut next = Vec::with_capacity(keys.len() * 3);
+    /// Enumerates the packed keys of the `3^prefix_dims` neighbouring
+    /// cell tuples of a probe. One flat `Vec<u64>` — no per-key
+    /// allocations.
+    fn probe_keys(&self, probe: &[i64]) -> Vec<u64> {
+        let mut keys = vec![0u64];
+        for &coord in probe.iter().take(self.prefix_dims) {
+            let cell = self.cell_of(coord);
             let neighbours = [
-                (cell as u64 + self.cells - 1) % self.cells,
-                cell as u64,
-                (cell as u64 + 1) % self.cells,
+                (cell + self.cells - 1) % self.cells,
+                cell,
+                (cell + 1) % self.cells,
             ];
             // Dedup (cells can collapse when the ring is tiny).
-            let mut uniq: Vec<u64> = neighbours.to_vec();
+            let mut uniq = neighbours;
             uniq.sort_unstable();
-            uniq.dedup();
-            for prefix in &keys {
-                for &n in &uniq {
-                    let mut k = prefix.clone();
-                    k.push(n as u32);
-                    next.push(k);
+            let uniq = match uniq {
+                [a, b, c] if a == b && b == c => &uniq[..1],
+                [a, b, c] if a == b || b == c => {
+                    if a == b {
+                        uniq[1] = c;
+                    }
+                    &uniq[..2]
+                }
+                _ => &uniq[..3],
+            };
+            let mut next = Vec::with_capacity(keys.len() * uniq.len());
+            for &prefix in &keys {
+                for &n in uniq {
+                    next.push(self.fold(prefix, n));
                 }
             }
             keys = next;
@@ -121,46 +148,42 @@ impl BucketIndex {
 }
 
 impl SketchIndex for BucketIndex {
-    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+    fn insert(&mut self, sketch: &[i64]) -> RecordId {
         assert!(
             sketch.len() >= self.prefix_dims,
             "sketch shorter than prefix_dims"
         );
-        let id = self.entries.len();
-        let key = self.key_of(&sketch);
+        let key = self.key_of(sketch);
+        let id = self.arena.push(sketch);
         self.buckets.entry(key).or_default().push(id);
-        self.entries.push(Some(sketch));
-        self.live += 1;
         id
     }
 
     fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
-        self.candidates(probe).into_iter().find(|&id| {
-            self.entries[id].as_ref().is_some_and(|s| {
-                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-            })
-        })
+        let normalized = self.arena.normalize_probe(probe)?;
+        self.candidates(probe)
+            .into_iter()
+            .find(|&id| self.arena.row_matches(id, &normalized))
     }
 
     fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        let Some(normalized) = self.arena.normalize_probe(probe) else {
+            return Vec::new();
+        };
         self.candidates(probe)
             .into_iter()
-            .filter(|&id| {
-                self.entries[id].as_ref().is_some_and(|s| {
-                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-                })
-            })
+            .filter(|&id| self.arena.row_matches(id, &normalized))
             .collect()
     }
 
     fn remove(&mut self, id: RecordId) -> bool {
-        let Some(slot) = self.entries.get_mut(id) else {
+        // Recompute the bucket key from the stored row before the
+        // tombstone lands (cell quantization is invariant under the
+        // arena's canonical normalization).
+        let Some(sketch) = self.arena.row(id) else {
             return false;
         };
-        let Some(sketch) = slot.take() else {
-            return false;
-        };
-        self.live -= 1;
+        assert!(self.arena.remove(id), "row was just live");
         let key = self.key_of(&sketch);
         if let Some(ids) = self.buckets.get_mut(&key) {
             ids.retain(|&i| i != id);
@@ -172,26 +195,62 @@ impl SketchIndex for BucketIndex {
     }
 
     fn len(&self) -> usize {
-        self.live
+        self.arena.len()
     }
 
     fn slots(&self) -> usize {
-        self.entries.len()
+        self.arena.rows()
     }
 
-    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(id, s)| s.as_ref().map(|s| (id, s.clone())))
-            .collect()
+    fn dim(&self) -> Option<usize> {
+        self.arena.dim()
+    }
+
+    fn sketch_dim_ok(&self, dim: usize) -> bool {
+        dim >= self.prefix_dims && self.arena.dim().is_none_or(|stamped| stamped == dim)
+    }
+
+    fn copy_row_into(&self, id: RecordId, out: &mut Vec<i64>) -> bool {
+        self.arena.copy_row_into(id, out)
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(RecordId, &[i64])) {
+        self.arena.for_each_live(f);
+    }
+
+    fn reserve(&mut self, additional: usize, dim: usize) {
+        self.arena.reserve(additional, dim);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // Arena exactly; the bucket table estimated from its shape
+        // (hash-map internals are not observable without allocator
+        // hooks: count key+value slots plus id-vector buffers).
+        let table: usize = self
+            .buckets
+            .values()
+            .map(|ids| ids.capacity() * std::mem::size_of::<RecordId>())
+            .sum();
+        let slots = self.buckets.capacity() * (8 + std::mem::size_of::<Vec<RecordId>>());
+        self.arena.heap_bytes() + table + slots
     }
 
     fn clear(&mut self) {
-        self.entries.clear();
+        self.arena.clear();
         self.buckets.clear();
-        self.live = 0;
     }
-    // `compact` uses the default clear-and-reinsert, which also rebuilds
-    // the hash buckets with dense ids.
+
+    fn compact(&mut self) -> Vec<(RecordId, RecordId)> {
+        let mapping = self.arena.compact();
+        // Rebuild the bucket table with the dense ids: cheaper and
+        // simpler than patching every id list in place.
+        self.buckets.clear();
+        let mut scratch = Vec::new();
+        for &(_, new) in &mapping {
+            assert!(self.arena.copy_row_into(new, &mut scratch));
+            let key = self.key_of(&scratch);
+            self.buckets.entry(key).or_default().push(new);
+        }
+        mapping
+    }
 }

@@ -18,6 +18,13 @@
 //!   shards in parallel, with stable *global* record ids. Any
 //!   [`SketchIndex`] (scan or bucket) can serve as the shard backend.
 //!
+//! All three store their rows in the columnar [`store::SketchArena`]:
+//! one contiguous width-adaptive buffer (`i16` cells at the paper's
+//! `ka = 400`) with a tombstone bitmap and an in-place compactor, so
+//! the conditions (1)–(4) scan streams through memory instead of
+//! chasing one heap pointer per record. See [`store`] for the layout
+//! and the blocked early-abort match kernel.
+//!
 //! The trade-offs between the three — and the early-abort cost model that
 //! makes the plain scan so strong at the paper's parameters — are worked
 //! through in `DESIGN.md` at the repository root.
@@ -25,10 +32,12 @@
 mod bucket;
 mod scan;
 mod sharded;
+pub mod store;
 
 pub use bucket::BucketIndex;
 pub use scan::ScanIndex;
 pub use sharded::ShardedIndex;
+pub use store::{CellWidth, SketchArena};
 
 /// A unique record handle assigned by the index.
 ///
@@ -42,12 +51,22 @@ pub type RecordId = usize;
 
 /// A lookup structure over enrolled sketches.
 ///
+/// # Dimension contract
+///
+/// All sketches in one index share a dimension, stamped by the first
+/// [`SketchIndex::insert`]: inserting a sketch of a different dimension
+/// **panics** (enrolling mixed dimensions is an integration bug — the
+/// dimension `n` is a published system parameter), while a *probe* of a
+/// different dimension simply **matches nothing** (a remote peer
+/// controls probe shape, so lookup must not panic). Every
+/// implementation honours both halves identically.
+///
 /// ```rust
 /// use fe_core::{ScanIndex, SketchIndex};
 ///
 /// let mut index = ScanIndex::new(100, 400); // threshold t, ring ka
-/// let a = index.insert(vec![10, -20, 30]);
-/// let b = index.insert(vec![180, 180, -180]);
+/// let a = index.insert(&[10, -20, 30]);
+/// let b = index.insert(&[180, 180, -180]);
 /// assert_eq!(index.lookup(&[15, -25, 35]), Some(a)); // within t = 100
 ///
 /// // Revocation tombstones the slot; ids stay stable…
@@ -63,12 +82,21 @@ pub type RecordId = usize;
 /// # assert_eq!(index.len(), 1);
 /// ```
 pub trait SketchIndex {
-    /// Inserts a sketch, returning its record id.
-    fn insert(&mut self, sketch: Vec<i64>) -> RecordId;
+    /// Inserts a sketch, returning its record id. Borrowed: columnar
+    /// storage copies the coordinates into its own buffer, so handing
+    /// over an owned `Vec` (as the pre-arena API did) would force every
+    /// caller to clone for nothing — the enroll hot path passes the
+    /// sketch straight out of the record it is storing.
+    ///
+    /// # Panics
+    /// Panics if the sketch's dimension differs from the index's
+    /// stamped dimension (see the trait-level dimension contract).
+    fn insert(&mut self, sketch: &[i64]) -> RecordId;
 
     /// Finds the first record matching the probe under conditions
     /// (1)–(4), if any. "First" means the lowest live [`RecordId`], i.e.
-    /// earliest-enrolled-wins, for every implementation.
+    /// earliest-enrolled-wins, for every implementation. A probe whose
+    /// dimension differs from the stamped one matches nothing.
     fn lookup(&self, probe: &[i64]) -> Option<RecordId>;
 
     /// Finds *all* matching records (used to measure false-close rates).
@@ -105,9 +133,65 @@ pub trait SketchIndex {
     /// would reclaim.
     fn slots(&self) -> usize;
 
-    /// Every live record as `(id, sketch)` pairs in ascending id order
-    /// (clones the sketches; used by compaction and durable snapshots).
-    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)>;
+    /// The stamped sketch dimension (`None` until the first insert or
+    /// reserve). Callers that must not panic — e.g. a server validating
+    /// an enrollment *before* journaling it — check against this
+    /// instead of letting [`SketchIndex::insert`] assert.
+    fn dim(&self) -> Option<usize>;
+
+    /// Would [`SketchIndex::insert`] accept a sketch of this dimension
+    /// without panicking? The complete non-panicking preflight: it
+    /// covers the dimension stamp *and* any implementation-specific
+    /// constraint (the bucket index additionally requires
+    /// `dim >= prefix_dims`).
+    fn sketch_dim_ok(&self, dim: usize) -> bool {
+        self.dim().is_none_or(|stamped| stamped == dim)
+    }
+
+    /// Copies a live record's sketch into `out` (cleared first),
+    /// returning `false` — and leaving `out` empty — for dead or
+    /// unknown ids. The allocation-free row access primitive behind
+    /// [`SketchIndex::for_each_live`]: callers reuse one scratch buffer
+    /// across a whole streaming pass. Values are the canonical ring
+    /// representatives the storage holds (see
+    /// [`store::SketchArena::push`]).
+    fn copy_row_into(&self, id: RecordId, out: &mut Vec<i64>) -> bool;
+
+    /// Streams every live record, in ascending id order, through a
+    /// borrowed row — the zero-clone iteration primitive snapshot and
+    /// compaction passes use instead of [`SketchIndex::live_records`].
+    /// The `&[i64]` row is only valid for the duration of the call.
+    fn for_each_live(&self, f: &mut dyn FnMut(RecordId, &[i64])) {
+        let mut scratch = Vec::new();
+        for id in 0..self.slots() {
+            if self.copy_row_into(id, &mut scratch) {
+                f(id, &scratch);
+            }
+        }
+    }
+
+    /// Every live record as `(id, sketch)` pairs in ascending id order.
+    /// Clones every sketch — prefer [`SketchIndex::for_each_live`] on
+    /// hot paths; this remains for small populations and tests.
+    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_live(&mut |id, row| out.push((id, row.to_vec())));
+        out
+    }
+
+    /// Pre-sizes the index for `additional` more sketches of `dim`
+    /// coordinates (the bulk-load hint recovery uses to build a
+    /// pre-sized arena instead of growing it row by row). A no-op by
+    /// default.
+    fn reserve(&mut self, additional: usize, dim: usize) {
+        let _ = (additional, dim);
+    }
+
+    /// Heap bytes held by the index's storage (buffers, bitmaps, and —
+    /// for hashed indexes — an estimate of table overhead). The
+    /// storage-ablation bench divides this by [`SketchIndex::len`] to
+    /// report bytes/record.
+    fn heap_bytes(&self) -> usize;
 
     /// Drops every record — live and tombstoned — and resets id
     /// assignment to zero, as if freshly constructed (tuning parameters
@@ -129,7 +213,7 @@ pub trait SketchIndex {
         let live = self.live_records();
         self.clear();
         live.into_iter()
-            .map(|(old, sketch)| (old, self.insert(sketch)))
+            .map(|(old, sketch)| (old, self.insert(&sketch)))
             .collect()
     }
 }
@@ -176,7 +260,7 @@ mod tests {
     fn check_index<I: SketchIndex>(mut index: I, rng: &mut StdRng) {
         let (sketches, probes) = make_population(50, 32, rng);
         for s in &sketches {
-            index.insert(s.clone());
+            index.insert(s);
         }
         assert_eq!(index.len(), 50);
         // Every genuine probe finds its own record.
@@ -236,8 +320,8 @@ mod tests {
         let mut scan = ScanIndex::new(T, KA);
         let mut bucket = BucketIndex::new(T, KA, 3);
         for s in &sketches {
-            scan.insert(s.clone());
-            bucket.insert(s.clone());
+            scan.insert(s);
+            bucket.insert(s);
         }
         for probe in &probes {
             assert_eq!(scan.lookup_all(probe), bucket.lookup_all(probe));
@@ -251,8 +335,8 @@ mod tests {
         let mut scan = ScanIndex::new(T, KA);
         let mut sharded = ShardedIndex::scan(5, T, KA);
         for s in &sketches {
-            let a = scan.insert(s.clone());
-            let b = sharded.insert(s.clone());
+            let a = scan.insert(s);
+            let b = sharded.insert(s);
             assert_eq!(a, b, "global ids must mirror single-index ids");
         }
         // Remove every seventh record from both.
@@ -278,7 +362,7 @@ mod tests {
         let mut probes = Vec::new();
         for _ in 0..500 {
             let x = scheme.line().random_vector(16, &mut rng);
-            bucket.insert(scheme.sketch(&x, &mut rng).unwrap());
+            bucket.insert(&scheme.sketch(&x, &mut rng).unwrap());
             let noisy: Vec<i64> = x
                 .iter()
                 .map(|&v| {
@@ -307,9 +391,9 @@ mod tests {
     #[test]
     fn lookup_all_finds_duplicates() {
         let mut scan = ScanIndex::new(T, KA);
-        scan.insert(vec![10, 20, 30]);
-        scan.insert(vec![15, 25, 35]); // within t of the first
-        scan.insert(vec![300, 20, 30]); // far in coordinate 0
+        scan.insert(&[10, 20, 30]);
+        scan.insert(&[15, 25, 35]); // within t of the first
+        scan.insert(&[300, 20, 30]); // far in coordinate 0
         let matches = scan.lookup_all(&[12, 22, 32]);
         assert_eq!(matches, vec![0, 1]);
     }
@@ -327,11 +411,54 @@ mod tests {
         assert_eq!(sharded.lookup_batch(&[vec![1, 2, 3]]), vec![None]);
     }
 
+    /// The trait-level dimension contract, on every implementation: a
+    /// probe of the wrong dimension matches nothing (no panic — probes
+    /// come from the network), across every lookup entry point.
+    fn check_probe_dimension_contract<I: SketchIndex>(mut index: I) {
+        index.insert(&[1, 2, 3]);
+        index.insert(&[100, -100, 50]);
+        for probe in [vec![1, 2], vec![1, 2, 3, 4], vec![]] {
+            assert_eq!(index.lookup(&probe), None);
+            assert_eq!(index.lookup_all(&probe), Vec::<RecordId>::new());
+            assert_eq!(index.lookup_batch(std::slice::from_ref(&probe)), vec![None]);
+        }
+        // A well-dimensioned probe still works afterwards.
+        assert_eq!(index.lookup(&[2, 3, 4]), Some(0));
+    }
+
     #[test]
     fn dimension_mismatch_is_no_match() {
+        check_probe_dimension_contract(ScanIndex::new(T, KA));
+        check_probe_dimension_contract(BucketIndex::new(T, KA, 2));
+        check_probe_dimension_contract(ShardedIndex::scan(3, T, KA));
+        check_probe_dimension_contract(ShardedIndex::bucket(2, T, KA, 2));
+    }
+
+    /// The other half of the contract: mixed-dimension *inserts* panic,
+    /// identically for every implementation.
+    #[test]
+    #[should_panic(expected = "stamped dimension")]
+    fn scan_insert_dimension_mismatch_panics() {
         let mut scan = ScanIndex::new(T, KA);
-        scan.insert(vec![1, 2, 3]);
-        assert_eq!(scan.lookup(&[1, 2]), None);
+        scan.insert(&[1, 2, 3]);
+        scan.insert(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped dimension")]
+    fn bucket_insert_dimension_mismatch_panics() {
+        let mut bucket = BucketIndex::new(T, KA, 2);
+        bucket.insert(&[1, 2, 3]);
+        bucket.insert(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped dimension")]
+    fn sharded_insert_dimension_mismatch_panics() {
+        let mut sharded = ShardedIndex::scan(2, T, KA);
+        sharded.insert(&[1, 2, 3]);
+        sharded.insert(&[1, 2, 3]);
+        sharded.insert(&[1, 2]);
     }
 
     #[test]
@@ -349,8 +476,8 @@ mod tests {
     #[test]
     fn scan_removal_keeps_ids_stable() {
         let mut scan = ScanIndex::new(T, KA);
-        let a = scan.insert(vec![10, 20, 30]);
-        let b = scan.insert(vec![150, -150, 90]);
+        let a = scan.insert(&[10, 20, 30]);
+        let b = scan.insert(&[150, -150, 90]);
         assert_eq!(scan.len(), 2);
         assert!(scan.remove(a));
         assert!(!scan.remove(a), "double removal must report false");
@@ -360,7 +487,7 @@ mod tests {
         assert_eq!(scan.lookup(&[150, -150, 90]), Some(b));
         assert_eq!(scan.sketch(a), None);
         // New inserts get fresh ids, never recycling a's.
-        let c = scan.insert(vec![1, 2, 3]);
+        let c = scan.insert(&[1, 2, 3]);
         assert_ne!(c, a);
         assert!(!scan.remove(999), "unknown id");
     }
@@ -368,9 +495,9 @@ mod tests {
     #[test]
     fn sharded_removal_keeps_ids_stable() {
         let mut sharded = ShardedIndex::scan(3, T, KA);
-        let a = sharded.insert(vec![10, 20, 30]);
-        let b = sharded.insert(vec![150, -150, 90]);
-        let c = sharded.insert(vec![-120, 60, 10]);
+        let a = sharded.insert(&[10, 20, 30]);
+        let b = sharded.insert(&[150, -150, 90]);
+        let c = sharded.insert(&[-120, 60, 10]);
         assert_eq!((a, b, c), (0, 1, 2));
         assert!(sharded.remove(b));
         assert!(!sharded.remove(b), "double removal must report false");
@@ -379,7 +506,7 @@ mod tests {
         assert_eq!(sharded.lookup(&[10, 20, 30]), Some(a));
         assert_eq!(sharded.lookup(&[-120, 60, 10]), Some(c));
         // New inserts continue the global sequence.
-        let d = sharded.insert(vec![77, 77, 77]);
+        let d = sharded.insert(&[77, 77, 77]);
         assert_eq!(d, 3);
         assert!(!sharded.remove(999), "unknown id");
     }
@@ -389,7 +516,7 @@ mod tests {
     fn check_compaction<I: SketchIndex>(mut index: I, rng: &mut StdRng) {
         let (sketches, probes) = make_population(40, 16, rng);
         for s in &sketches {
-            index.insert(s.clone());
+            index.insert(s);
         }
         // Revoke 3 of every 4 records.
         for id in 0..40 {
@@ -423,7 +550,7 @@ mod tests {
         // proportional to live records, not total enrollments ever.
         let (more, _) = make_population(60, 16, rng);
         for s in &more {
-            let id = index.insert(s.clone());
+            let id = index.insert(s);
             assert!(index.remove(id));
             index.compact();
         }
@@ -458,8 +585,8 @@ mod tests {
         let mut scan = ScanIndex::new(T, KA);
         let mut sharded = ShardedIndex::scan(4, T, KA);
         for s in &sketches {
-            scan.insert(s.clone());
-            sharded.insert(s.clone());
+            scan.insert(s);
+            sharded.insert(s);
         }
         for id in (0..60).step_by(4) {
             // Global ids ≡ 0 (mod 4) all live on shard 0.
@@ -473,8 +600,8 @@ mod tests {
             assert_eq!(scan.lookup_all(probe), sharded.lookup_all(probe));
         }
         // Fresh inserts continue dense after compaction.
-        let a = scan.insert(vec![0; 16]);
-        let b = sharded.insert(vec![0; 16]);
+        let a = scan.insert(&[0; 16]);
+        let b = sharded.insert(&[0; 16]);
         assert_eq!(a, b);
         assert_eq!(a, 45);
     }
@@ -482,24 +609,24 @@ mod tests {
     #[test]
     fn clear_resets_id_assignment() {
         let mut scan = ScanIndex::new(T, KA);
-        scan.insert(vec![1, 2, 3]);
-        scan.insert(vec![4, 5, 6]);
+        scan.insert(&[1, 2, 3]);
+        scan.insert(&[4, 5, 6]);
         scan.clear();
         assert!(scan.is_empty());
         assert_eq!(scan.slots(), 0);
-        assert_eq!(scan.insert(vec![7, 8, 9]), 0, "ids restart after clear");
+        assert_eq!(scan.insert(&[7, 8, 9]), 0, "ids restart after clear");
 
         let mut sharded = ShardedIndex::scan(2, T, KA);
-        sharded.insert(vec![1, 2]);
+        sharded.insert(&[1, 2]);
         sharded.clear();
-        assert_eq!(sharded.insert(vec![3, 4]), 0);
+        assert_eq!(sharded.insert(&[3, 4]), 0);
     }
 
     #[test]
     fn live_records_are_ascending_and_live_only() {
         let mut sharded = ShardedIndex::scan(3, T, KA);
         for i in 0..9 {
-            sharded.insert(vec![i, i, i]);
+            sharded.insert(&[i, i, i]);
         }
         sharded.remove(4);
         let live = sharded.live_records();
@@ -511,8 +638,8 @@ mod tests {
     #[test]
     fn bucket_removal_works() {
         let mut bucket = BucketIndex::new(T, KA, 2);
-        let a = bucket.insert(vec![10, 20, 30]);
-        let b = bucket.insert(vec![12, 22, 32]);
+        let a = bucket.insert(&[10, 20, 30]);
+        let b = bucket.insert(&[12, 22, 32]);
         assert_eq!(bucket.lookup_all(&[11, 21, 31]), vec![a, b]);
         assert!(bucket.remove(a));
         assert_eq!(bucket.lookup_all(&[11, 21, 31]), vec![b]);

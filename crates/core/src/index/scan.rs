@@ -1,15 +1,15 @@
-//! The paper-faithful early-abort linear scan.
+//! The paper-faithful early-abort linear scan, on columnar storage.
 
+use super::store::SketchArena;
 use super::{RecordId, SketchIndex};
-use crate::conditions::sketches_match;
 
-/// Early-abort linear scan (the paper's strategy).
+/// Early-abort linear scan (the paper's strategy), backed by a
+/// [`SketchArena`]: one contiguous width-adaptive buffer instead of a
+/// `Vec` of boxed rows, so the conditions (1)–(4) scan streams through
+/// memory with no pointer chasing.
 #[derive(Debug, Clone)]
 pub struct ScanIndex {
-    t: u64,
-    ka: u64,
-    entries: Vec<Option<Vec<i64>>>,
-    live: usize,
+    arena: SketchArena,
 }
 
 impl ScanIndex {
@@ -17,95 +17,73 @@ impl ScanIndex {
     /// `ka` with threshold `t`.
     pub fn new(t: u64, ka: u64) -> Self {
         ScanIndex {
-            t,
-            ka,
-            entries: Vec::new(),
-            live: 0,
+            arena: SketchArena::new(t, ka),
         }
     }
 
-    /// Borrows an enrolled sketch by id (`None` for removed/unknown ids).
-    pub fn sketch(&self, id: RecordId) -> Option<&[i64]> {
-        self.entries.get(id)?.as_deref()
+    /// Materializes an enrolled sketch by id (`None` for removed or
+    /// unknown ids). Values are the canonical ring representatives the
+    /// arena stores.
+    pub fn sketch(&self, id: RecordId) -> Option<Vec<i64>> {
+        self.arena.row(id)
+    }
+
+    /// The backing arena (diagnostics and benches).
+    pub fn arena(&self) -> &SketchArena {
+        &self.arena
     }
 }
 
 impl SketchIndex for ScanIndex {
-    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
-        self.entries.push(Some(sketch));
-        self.live += 1;
-        self.entries.len() - 1
+    fn insert(&mut self, sketch: &[i64]) -> RecordId {
+        self.arena.push(sketch)
     }
 
     fn lookup(&self, probe: &[i64]) -> Option<RecordId> {
-        self.entries.iter().position(|s| {
-            s.as_ref().is_some_and(|s| {
-                s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-            })
-        })
+        self.arena.find_first(probe)
     }
 
     fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| {
-                s.as_ref().is_some_and(|s| {
-                    s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
-                })
-            })
-            .map(|(i, _)| i)
-            .collect()
+        self.arena.find_all(probe)
     }
 
     fn remove(&mut self, id: RecordId) -> bool {
-        match self.entries.get_mut(id) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
-                self.live -= 1;
-                true
-            }
-            _ => false,
-        }
+        self.arena.remove(id)
     }
 
     fn len(&self) -> usize {
-        self.live
+        self.arena.len()
     }
 
     fn slots(&self) -> usize {
-        self.entries.len()
+        self.arena.rows()
     }
 
-    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(id, s)| s.as_ref().map(|s| (id, s.clone())))
-            .collect()
+    fn dim(&self) -> Option<usize> {
+        self.arena.dim()
+    }
+
+    fn copy_row_into(&self, id: RecordId, out: &mut Vec<i64>) -> bool {
+        self.arena.copy_row_into(id, out)
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(RecordId, &[i64])) {
+        self.arena.for_each_live(f);
+    }
+
+    fn reserve(&mut self, additional: usize, dim: usize) {
+        self.arena.reserve(additional, dim);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
     }
 
     fn clear(&mut self) {
-        self.entries.clear();
-        self.live = 0;
+        self.arena.clear();
     }
 
     fn compact(&mut self) -> Vec<(RecordId, RecordId)> {
-        // In-place: drain tombstones, keep live entries in order.
-        let mut mapping = Vec::with_capacity(self.live);
-        let mut next = 0usize;
-        let entries = std::mem::take(&mut self.entries);
-        self.entries = entries
-            .into_iter()
-            .enumerate()
-            .filter_map(|(old, slot)| {
-                slot.map(|s| {
-                    mapping.push((old, next));
-                    next += 1;
-                    Some(s)
-                })
-            })
-            .collect();
-        mapping
+        self.arena.compact()
     }
 }

@@ -44,6 +44,11 @@ pub struct ShardedIndex<I> {
     shards: Vec<I>,
     /// Total inserts ever (monotone; includes since-removed records).
     inserted: usize,
+    /// Sketch dimension, stamped by the first insert. Enforced here —
+    /// not only by the per-shard storage — because a mixed-dimension
+    /// insert routed to a still-empty shard would otherwise stamp that
+    /// shard differently instead of failing loudly.
+    dim: Option<usize>,
 }
 
 impl<I: SketchIndex> ShardedIndex<I> {
@@ -61,6 +66,7 @@ impl<I: SketchIndex> ShardedIndex<I> {
         ShardedIndex {
             shards,
             inserted: 0,
+            dim: None,
         }
     }
 
@@ -129,7 +135,14 @@ impl ShardedIndex<BucketIndex> {
 }
 
 impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
-    fn insert(&mut self, sketch: Vec<i64>) -> RecordId {
+    fn insert(&mut self, sketch: &[i64]) -> RecordId {
+        let dim = *self.dim.get_or_insert(sketch.len());
+        assert_eq!(
+            sketch.len(),
+            dim,
+            "sketch dimension {} does not match the index's stamped dimension {dim}",
+            sketch.len()
+        );
         let global = self.inserted;
         let (shard, expected_local) = self.locate(global);
         let local = self.shards[shard].insert(sketch);
@@ -222,20 +235,44 @@ impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
         self.shards.iter().map(SketchIndex::slots).sum()
     }
 
-    fn live_records(&self) -> Vec<(RecordId, Vec<i64>)> {
-        let mut all: Vec<(RecordId, Vec<i64>)> = self
-            .shards
-            .iter()
-            .enumerate()
-            .flat_map(|(s, shard)| {
-                shard
-                    .live_records()
-                    .into_iter()
-                    .map(move |(local, sketch)| (local * self.shards.len() + s, sketch))
-            })
-            .collect();
-        all.sort_unstable_by_key(|(id, _)| *id);
-        all
+    fn dim(&self) -> Option<usize> {
+        self.dim
+    }
+
+    fn sketch_dim_ok(&self, dim: usize) -> bool {
+        // The sharded stamp plus whatever the backends require (e.g.
+        // bucket shards also need `dim >= prefix_dims`); backends are
+        // built identically, so asking one speaks for all.
+        self.dim.is_none_or(|stamped| stamped == dim) && self.shards[0].sketch_dim_ok(dim)
+    }
+
+    fn copy_row_into(&self, id: RecordId, out: &mut Vec<i64>) -> bool {
+        if id >= self.inserted {
+            out.clear();
+            return false;
+        }
+        let (shard, local) = self.locate(id);
+        self.shards[shard].copy_row_into(local, out)
+    }
+
+    // `for_each_live`/`live_records` use the trait defaults: global ids
+    // are dense (`0..inserted == 0..slots()`), so the default
+    // `copy_row_into` walk already streams shards interleaved in
+    // ascending *global* order — exactly the order compaction re-deals.
+
+    fn reserve(&mut self, additional: usize, dim: usize) {
+        // Stamp here too, like the per-shard arenas do, so `dim()` is
+        // authoritative right after a pre-sized bulk load begins.
+        let stamped = *self.dim.get_or_insert(dim);
+        assert_eq!(dim, stamped, "reserve dimension must match the stamp");
+        let per_shard = additional.div_ceil(self.shards.len());
+        for shard in &mut self.shards {
+            shard.reserve(per_shard, dim);
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(SketchIndex::heap_bytes).sum()
     }
 
     fn clear(&mut self) {

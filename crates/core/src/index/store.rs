@@ -1,0 +1,856 @@
+//! The columnar sketch storage engine behind every index.
+//!
+//! # Why not `Vec<Option<Vec<i64>>>`
+//!
+//! The paper's identification cost is dominated by the per-record integer
+//! scan over conditions (1)–(4); at scale that scan is *memory-bound*,
+//! not compute-bound. Row-of-pointers storage fights the hardware three
+//! ways: one heap allocation and one pointer chase per record, 8 bytes
+//! per coordinate when the ring (`ka = 400` at the paper's parameters)
+//! fits in 2, and a cloned copy of every sketch on each snapshot or
+//! compaction pass. [`SketchArena`] fixes all three:
+//!
+//! * **One contiguous buffer.** All sketches live in a single
+//!   dimension-stamped column buffer (`rows × dim` cells, row-major), so
+//!   the early-abort scan walks memory linearly and the prefetcher wins.
+//! * **Width-adaptive cells.** Every stored coordinate is the canonical
+//!   ring representative (minimal signed residue mod `ka`), so the cell
+//!   type — `i16`, `i32` or `i64` — is chosen from `ka` at construction:
+//!   paper parameters take 2 bytes/coordinate instead of 8, quadrupling
+//!   the number of records per cache line.
+//! * **Tombstone bitmap.** Liveness is one bit per row (not an `Option`
+//!   discriminant per record), removal is O(1), and
+//!   [`SketchArena::compact`] reclaims dead rows in place by sliding
+//!   live rows down the same buffer.
+//! * **Borrowing iteration.** [`SketchArena::for_each_live`] streams
+//!   rows through a caller-visible `&[i64]` scratch row, so snapshot and
+//!   compaction passes never clone the whole population.
+//!
+//! The per-coordinate test itself lives here too, as a slice kernel
+//! (`rows_match`) dispatched per cell width: normalization makes the
+//! cyclic-distance check branch-free (`min(d, ka − d) ≤ t` with no
+//! `%`), which is exactly the [`crate::conditions::cyclic_close`]
+//! predicate — the equivalence is property-tested in
+//! `tests/properties.rs`.
+
+use super::RecordId;
+
+/// Cell type a [`SketchArena`] stores coordinates in, chosen from the
+/// ring circumference `ka` at construction (see
+/// [`CellWidth::for_ring`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellWidth {
+    /// 2-byte cells: `ka < 2¹⁵` (the paper's `ka = 400` lands here).
+    I16,
+    /// 4-byte cells: `ka < 2³¹`.
+    I32,
+    /// 8-byte cells: everything else.
+    I64,
+}
+
+impl CellWidth {
+    /// The narrowest cell that can hold every canonical representative
+    /// of `Z_ka` (values in `[−ka/2, ka/2]`).
+    pub fn for_ring(ka: u64) -> CellWidth {
+        if ka < 1 << 15 {
+            CellWidth::I16
+        } else if ka < 1 << 31 {
+            CellWidth::I32
+        } else {
+            CellWidth::I64
+        }
+    }
+
+    /// Bytes per stored coordinate.
+    pub fn cell_bytes(self) -> usize {
+        match self {
+            CellWidth::I16 => 2,
+            CellWidth::I32 => 4,
+            CellWidth::I64 => 8,
+        }
+    }
+}
+
+/// A coordinate cell: the width-generic bound of the match kernel.
+trait Cell: Copy {
+    fn widen(self) -> i64;
+    fn narrow(v: i64) -> Self;
+    /// `|a − b|` as a `u64`, exact for every canonical value of this
+    /// width. Narrow cells cannot overflow an `i64` subtraction; `i64`
+    /// cells can (canonical values reach `±(2⁶³ − 1)` when
+    /// `ka > 2⁶³`), so only that width pays for an `i128` widen.
+    fn abs_diff_cells(a: Self, b: Self) -> u64;
+}
+
+impl Cell for i16 {
+    fn widen(self) -> i64 {
+        i64::from(self)
+    }
+    fn narrow(v: i64) -> i16 {
+        v as i16
+    }
+    fn abs_diff_cells(a: i16, b: i16) -> u64 {
+        (i64::from(a) - i64::from(b)).unsigned_abs()
+    }
+}
+
+impl Cell for i32 {
+    fn widen(self) -> i64 {
+        i64::from(self)
+    }
+    fn narrow(v: i64) -> i32 {
+        v as i32
+    }
+    fn abs_diff_cells(a: i32, b: i32) -> u64 {
+        (i64::from(a) - i64::from(b)).unsigned_abs()
+    }
+}
+
+impl Cell for i64 {
+    fn widen(self) -> i64 {
+        self
+    }
+    fn narrow(v: i64) -> i64 {
+        v
+    }
+    fn abs_diff_cells(a: i64, b: i64) -> u64 {
+        (i128::from(a) - i128::from(b)).unsigned_abs() as u64
+    }
+}
+
+/// The one column buffer, typed by the arena's cell width.
+#[derive(Debug, Clone)]
+enum Cells {
+    I16(Vec<i16>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+}
+
+impl Cells {
+    fn with_capacity(width: CellWidth, cells: usize) -> Cells {
+        match width {
+            CellWidth::I16 => Cells::I16(Vec::with_capacity(cells)),
+            CellWidth::I32 => Cells::I32(Vec::with_capacity(cells)),
+            CellWidth::I64 => Cells::I64(Vec::with_capacity(cells)),
+        }
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        match self {
+            Cells::I16(v) => v.capacity() * 2,
+            Cells::I32(v) => v.capacity() * 4,
+            Cells::I64(v) => v.capacity() * 8,
+        }
+    }
+
+    fn reserve(&mut self, cells: usize) {
+        match self {
+            Cells::I16(v) => v.reserve(cells),
+            Cells::I32(v) => v.reserve(cells),
+            Cells::I64(v) => v.reserve(cells),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Cells::I16(v) => v.clear(),
+            Cells::I32(v) => v.clear(),
+            Cells::I64(v) => v.clear(),
+        }
+    }
+
+    fn truncate(&mut self, cells: usize) {
+        match self {
+            Cells::I16(v) => v.truncate(cells),
+            Cells::I32(v) => v.truncate(cells),
+            Cells::I64(v) => v.truncate(cells),
+        }
+    }
+}
+
+/// A probe sketch pre-normalized into an arena's cell width, so a
+/// multi-candidate lookup (the bucket index verifies many rows per
+/// probe) converts the probe exactly once.
+#[derive(Debug, Clone)]
+pub struct NormalizedProbe {
+    cells: Cells,
+}
+
+/// The canonical ring representative of `v` in `Z_ka`: the minimal
+/// signed residue, in `[−(ka−1)/2, ka/2]`. Conditions (1)–(4) are a
+/// cyclic distance on `Z_ka`, so they cannot distinguish `v` from
+/// `v ± ka` — storing the canonical form loses nothing and is what lets
+/// the cell width follow `ka` instead of `i64`.
+fn canonical(v: i64, ka: u64) -> i64 {
+    // i128: `ka` is a u64, so `v.rem_euclid(ka as i64)` could overflow
+    // for ka > i64::MAX; widen once instead of trusting the caller.
+    let ka = i128::from(ka);
+    let r = i128::from(v).rem_euclid(ka); // r ∈ [0, ka)
+    let r = if 2 * r > ka { r - ka } else { r }; // r ∈ [−(ka−1)/2, ka/2]
+    r as i64
+}
+
+/// The closed interval of already-canonical values for `Z_ka`, clamped
+/// to `i64`. Real sketches always land inside it, so the bulk-load hot
+/// path reduces canonicalization to two compares per coordinate
+/// ([`canonical`]'s `i128` division only runs for out-of-range input).
+fn canonical_range(ka: u64) -> (i64, i64) {
+    let hi = (ka / 2).min(i64::MAX as u64) as i64;
+    let lo = -(((ka - 1) / 2).min(i64::MAX as u64) as i64);
+    (lo, hi)
+}
+
+/// [`canonical`] with the fast path hoisted out (see
+/// [`canonical_range`]).
+#[inline]
+fn canonical_fast(v: i64, lo: i64, hi: i64, ka: u64) -> i64 {
+    if (lo..=hi).contains(&v) {
+        v
+    } else {
+        canonical(v, ka)
+    }
+}
+
+/// The early-abort slice kernel: does the contiguous row `s` match the
+/// normalized probe under conditions (1)–(4)?
+///
+/// Both sides hold canonical representatives, so `|a − b| ≤ ka − 1` and
+/// the cyclic distance is `min(d, ka − d)` with no `%` in the loop —
+/// cheaper per coordinate than [`crate::conditions::cyclic_close`] and
+/// exactly equivalent to it on canonical values.
+#[inline]
+fn rows_match<C: Cell>(s: &[C], probe: &[C], t: u64, ka: u64) -> bool {
+    s.iter().zip(probe.iter()).all(|(&a, &b)| {
+        let d = C::abs_diff_cells(a, b);
+        d.min(ka - d) <= t
+    })
+}
+
+/// A borrowed view of one typed column buffer plus its liveness bitmap:
+/// what the blocked scan kernel walks.
+struct ColumnView<'a, C> {
+    cells: &'a [C],
+    live: &'a [u64],
+    rows: usize,
+    dim: usize,
+}
+
+/// Scans the live rows of a column view from `from_row`, calling
+/// `on_match` for every matching row until it returns `false`.
+///
+/// The scan is *blocked* on the liveness bitmap: rows are visited one
+/// 64-row word at a time, wholly-dead blocks are skipped with a single
+/// load, and within a block each live row is a contiguous `dim`-cell
+/// slice — so the early-abort inner loop streams through the column
+/// buffer in order.
+fn scan_blocks<C: Cell>(
+    col: ColumnView<'_, C>,
+    probe: &[C],
+    t: u64,
+    ka: u64,
+    from_row: usize,
+    on_match: &mut dyn FnMut(RecordId) -> bool,
+) {
+    let mut word_idx = from_row / 64;
+    let Some(&first) = col.live.get(word_idx) else {
+        return;
+    };
+    // Mask off rows below `from_row` in the first word.
+    let mut word = first & (u64::MAX << (from_row % 64));
+    loop {
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let row = word_idx * 64 + bit;
+            if row >= col.rows {
+                return;
+            }
+            let s = &col.cells[row * col.dim..(row + 1) * col.dim];
+            if rows_match(s, probe, t, ka) && !on_match(row) {
+                return;
+            }
+        }
+        word_idx += 1;
+        match col.live.get(word_idx) {
+            Some(&w) => word = w,
+            None => return,
+        }
+    }
+}
+
+/// Contiguous, width-adaptive columnar storage for sketches — the
+/// storage engine shared by [`ScanIndex`](super::ScanIndex),
+/// [`BucketIndex`](super::BucketIndex) and the shards of a
+/// [`ShardedIndex`](super::ShardedIndex).
+///
+/// Rows are assigned densely in insertion order and never renumbered;
+/// [`SketchArena::remove`] flips a liveness bit, and
+/// [`SketchArena::compact`] slides live rows down in place, returning
+/// the renumbering. The arena's dimension is stamped by the first
+/// [`SketchArena::push`]; pushing a different dimension panics, and
+/// probes of a different dimension match nothing.
+///
+/// ```rust
+/// use fe_core::index::store::{CellWidth, SketchArena};
+///
+/// let mut arena = SketchArena::new(100, 400); // t, ka
+/// assert_eq!(arena.width(), CellWidth::I16);  // chosen from ka
+/// let a = arena.push(&[10, -20, 30]);
+/// let b = arena.push(&[180, 180, -180]);
+/// assert_eq!(arena.find_first(&[15, -25, 35]), Some(a));
+/// assert_eq!(arena.find_first(&[185, 175, -185]), Some(b));
+/// assert!(arena.remove(a));
+/// assert_eq!(arena.find_first(&[15, -25, 35]), None);
+/// assert_eq!(arena.compact(), vec![(b, 0)]);
+/// assert_eq!(arena.row(0), Some(vec![180, 180, -180]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SketchArena {
+    t: u64,
+    ka: u64,
+    width: CellWidth,
+    /// Stamped by the first push (`None` while empty-and-unstamped).
+    dim: Option<usize>,
+    cells: Cells,
+    /// Liveness bitmap, one bit per row (1 = live).
+    live_bits: Vec<u64>,
+    rows: usize,
+    live: usize,
+}
+
+impl SketchArena {
+    /// Creates an empty arena for sketches over a ring of circumference
+    /// `ka` with threshold `t`. The cell width is fixed here, from `ka`.
+    pub fn new(t: u64, ka: u64) -> SketchArena {
+        assert!(ka >= 1, "ring circumference must be at least 1");
+        let width = CellWidth::for_ring(ka);
+        SketchArena {
+            t,
+            ka,
+            width,
+            dim: None,
+            cells: Cells::with_capacity(width, 0),
+            live_bits: Vec::new(),
+            rows: 0,
+            live: 0,
+        }
+    }
+
+    /// An empty arena pre-sized for `rows` sketches of `dim` coordinates
+    /// (the bulk-load path: snapshot recovery knows both up front).
+    pub fn with_capacity(t: u64, ka: u64, rows: usize, dim: usize) -> SketchArena {
+        let mut arena = SketchArena::new(t, ka);
+        arena.cells.reserve(rows * dim);
+        arena.live_bits.reserve(rows.div_ceil(64));
+        arena.dim = Some(dim);
+        arena
+    }
+
+    /// Pre-sizes for `additional` more rows of `dim` coordinates.
+    ///
+    /// # Panics
+    /// Panics if the arena is already stamped with a different
+    /// dimension.
+    pub fn reserve(&mut self, additional: usize, dim: usize) {
+        match self.dim {
+            None => self.dim = Some(dim),
+            Some(stamped) => {
+                assert_eq!(dim, stamped, "reserve dimension must match the stamp")
+            }
+        }
+        self.cells.reserve(additional * dim);
+        self.live_bits
+            .reserve((self.rows + additional).div_ceil(64) - self.live_bits.len());
+    }
+
+    /// The match threshold `t`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// The ring circumference `ka`.
+    pub fn ka(&self) -> u64 {
+        self.ka
+    }
+
+    /// The cell width chosen from `ka`.
+    pub fn width(&self) -> CellWidth {
+        self.width
+    }
+
+    /// The stamped sketch dimension (`None` until the first push).
+    pub fn dim(&self) -> Option<usize> {
+        self.dim
+    }
+
+    /// Live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total rows, live and tombstoned.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Heap bytes held by the arena: the column buffer plus the
+    /// liveness bitmap (capacities, not lengths — this is what the
+    /// allocator has actually handed out).
+    pub fn heap_bytes(&self) -> usize {
+        self.cells.capacity_bytes() + self.live_bits.capacity() * 8
+    }
+
+    /// Appends a sketch, returning its row id (dense, insertion order).
+    ///
+    /// Coordinates are stored as canonical ring representatives —
+    /// indistinguishable from the originals under conditions (1)–(4).
+    ///
+    /// # Panics
+    /// Panics if `sketch`'s dimension differs from the stamped one.
+    pub fn push(&mut self, sketch: &[i64]) -> RecordId {
+        let dim = *self.dim.get_or_insert(sketch.len());
+        assert_eq!(
+            sketch.len(),
+            dim,
+            "sketch dimension {} does not match the arena's stamped dimension {dim}",
+            sketch.len()
+        );
+        let ka = self.ka;
+        let (lo, hi) = canonical_range(ka);
+        match &mut self.cells {
+            Cells::I16(v) => v.extend(
+                sketch
+                    .iter()
+                    .map(|&c| i16::narrow(canonical_fast(c, lo, hi, ka))),
+            ),
+            Cells::I32(v) => v.extend(
+                sketch
+                    .iter()
+                    .map(|&c| i32::narrow(canonical_fast(c, lo, hi, ka))),
+            ),
+            Cells::I64(v) => v.extend(sketch.iter().map(|&c| canonical_fast(c, lo, hi, ka))),
+        }
+        let row = self.rows;
+        if row / 64 == self.live_bits.len() {
+            self.live_bits.push(0);
+        }
+        self.live_bits[row / 64] |= 1 << (row % 64);
+        self.rows += 1;
+        self.live += 1;
+        row
+    }
+
+    /// Is this row live (assigned and not tombstoned)?
+    pub fn is_live(&self, id: RecordId) -> bool {
+        id < self.rows && self.live_bits[id / 64] & (1 << (id % 64)) != 0
+    }
+
+    /// Tombstones a row. Returns `false` for unknown or already-dead
+    /// ids. O(1): one bitmap bit flips; the cells stay until
+    /// [`SketchArena::compact`].
+    pub fn remove(&mut self, id: RecordId) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        self.live_bits[id / 64] &= !(1 << (id % 64));
+        self.live -= 1;
+        true
+    }
+
+    /// Materializes a live row as an owned `Vec<i64>` (`None` for dead
+    /// or unknown ids). Prefer [`SketchArena::copy_row_into`] /
+    /// [`SketchArena::for_each_live`] on hot paths.
+    pub fn row(&self, id: RecordId) -> Option<Vec<i64>> {
+        let mut out = Vec::new();
+        self.copy_row_into(id, &mut out).then_some(out)
+    }
+
+    /// Copies a live row into `out` (cleared first), widening to `i64`.
+    /// Returns `false` — leaving `out` empty — for dead or unknown ids.
+    /// This is the allocation-free row access primitive: callers reuse
+    /// one scratch buffer across an entire streaming pass.
+    pub fn copy_row_into(&self, id: RecordId, out: &mut Vec<i64>) -> bool {
+        out.clear();
+        if !self.is_live(id) {
+            return false;
+        }
+        let dim = self.dim.expect("live rows imply a stamped dimension");
+        let range = id * dim..(id + 1) * dim;
+        match &self.cells {
+            Cells::I16(v) => out.extend(v[range].iter().map(|&c| c.widen())),
+            Cells::I32(v) => out.extend(v[range].iter().map(|&c| c.widen())),
+            Cells::I64(v) => out.extend_from_slice(&v[range]),
+        }
+        true
+    }
+
+    /// Streams every live row in ascending id order through one reused
+    /// scratch buffer — the zero-clone alternative to materializing
+    /// `Vec<(RecordId, Vec<i64>)>` for snapshot and compaction passes.
+    pub fn for_each_live(&self, mut f: impl FnMut(RecordId, &[i64])) {
+        let mut scratch = Vec::new();
+        for id in 0..self.rows {
+            if self.copy_row_into(id, &mut scratch) {
+                f(id, &scratch);
+            }
+        }
+    }
+
+    /// Normalizes a probe into this arena's cell width, or `None` when
+    /// its dimension cannot match any stored row (the trait-level
+    /// "mismatched probes match nothing" contract).
+    pub fn normalize_probe(&self, probe: &[i64]) -> Option<NormalizedProbe> {
+        if self.dim != Some(probe.len()) {
+            return None;
+        }
+        let ka = self.ka;
+        let (lo, hi) = canonical_range(ka);
+        let cells = match self.width {
+            CellWidth::I16 => Cells::I16(
+                probe
+                    .iter()
+                    .map(|&c| i16::narrow(canonical_fast(c, lo, hi, ka)))
+                    .collect(),
+            ),
+            CellWidth::I32 => Cells::I32(
+                probe
+                    .iter()
+                    .map(|&c| i32::narrow(canonical_fast(c, lo, hi, ka)))
+                    .collect(),
+            ),
+            CellWidth::I64 => Cells::I64(
+                probe
+                    .iter()
+                    .map(|&c| canonical_fast(c, lo, hi, ka))
+                    .collect(),
+            ),
+        };
+        Some(NormalizedProbe { cells })
+    }
+
+    /// Does the (live) row match the pre-normalized probe under
+    /// conditions (1)–(4)? Dead and unknown rows never match.
+    pub fn row_matches(&self, id: RecordId, probe: &NormalizedProbe) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        let dim = self.dim.expect("live rows imply a stamped dimension");
+        let range = id * dim..(id + 1) * dim;
+        match (&self.cells, &probe.cells) {
+            (Cells::I16(v), Cells::I16(p)) => rows_match(&v[range], p, self.t, self.ka),
+            (Cells::I32(v), Cells::I32(p)) => rows_match(&v[range], p, self.t, self.ka),
+            (Cells::I64(v), Cells::I64(p)) => rows_match(&v[range], p, self.t, self.ka),
+            _ => unreachable!("probe was normalized for this arena's width"),
+        }
+    }
+
+    /// First live row matching the probe (lowest id), scanning with the
+    /// blocked early-abort kernel. `None` for no match or a
+    /// dimension-mismatched probe.
+    pub fn find_first(&self, probe: &[i64]) -> Option<RecordId> {
+        self.find_from(probe, 0)
+    }
+
+    /// Like [`SketchArena::find_first`], but starts the scan at row
+    /// `from` (resumable scans for candidate pruning).
+    pub fn find_from(&self, probe: &[i64], from: RecordId) -> Option<RecordId> {
+        let normalized = self.normalize_probe(probe)?;
+        let mut found = None;
+        self.dispatch_scan(&normalized, from, &mut |row| {
+            found = Some(row);
+            false
+        });
+        found
+    }
+
+    /// Every live row matching the probe, ascending.
+    pub fn find_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        let Some(normalized) = self.normalize_probe(probe) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.dispatch_scan(&normalized, 0, &mut |row| {
+            out.push(row);
+            true
+        });
+        out
+    }
+
+    /// Width-dispatches one blocked scan over the column buffer.
+    fn dispatch_scan(
+        &self,
+        probe: &NormalizedProbe,
+        from: RecordId,
+        on_match: &mut dyn FnMut(RecordId) -> bool,
+    ) {
+        let Some(dim) = self.dim else { return };
+        let (t, ka, rows, live) = (self.t, self.ka, self.rows, self.live_bits.as_slice());
+        macro_rules! scan {
+            ($cells:expr, $probe:expr) => {
+                scan_blocks(
+                    ColumnView {
+                        cells: $cells,
+                        live,
+                        rows,
+                        dim,
+                    },
+                    $probe,
+                    t,
+                    ka,
+                    from,
+                    on_match,
+                )
+            };
+        }
+        match (&self.cells, &probe.cells) {
+            (Cells::I16(v), Cells::I16(p)) => scan!(v, p),
+            (Cells::I32(v), Cells::I32(p)) => scan!(v, p),
+            (Cells::I64(v), Cells::I64(p)) => scan!(v, p),
+            _ => unreachable!("probe was normalized for this arena's width"),
+        }
+    }
+
+    /// Drops every row and resets id assignment; the width, `t`, `ka`
+    /// and dimension stamp are retained, as is the allocated capacity.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+        self.live_bits.clear();
+        self.rows = 0;
+        self.live = 0;
+    }
+
+    /// Reclaims tombstoned rows **in place**: live rows slide down the
+    /// same column buffer (preserving order), the bitmap is rebuilt
+    /// dense, and the old → new renumbering is returned. No row data is
+    /// cloned and no new buffer is allocated.
+    pub fn compact(&mut self) -> Vec<(RecordId, RecordId)> {
+        let dim = match self.dim {
+            Some(dim) if self.live < self.rows => dim,
+            // Nothing stored, or nothing tombstoned: identity mapping.
+            _ => {
+                return (0..self.rows).map(|id| (id, id)).collect();
+            }
+        };
+        let mut mapping = Vec::with_capacity(self.live);
+        let mut next = 0usize;
+        for id in 0..self.rows {
+            if !self.is_live(id) {
+                continue;
+            }
+            if next != id {
+                match &mut self.cells {
+                    Cells::I16(v) => v.copy_within(id * dim..(id + 1) * dim, next * dim),
+                    Cells::I32(v) => v.copy_within(id * dim..(id + 1) * dim, next * dim),
+                    Cells::I64(v) => v.copy_within(id * dim..(id + 1) * dim, next * dim),
+                }
+            }
+            mapping.push((id, next));
+            next += 1;
+        }
+        self.rows = next;
+        self.cells.truncate(next * dim);
+        self.live_bits.clear();
+        self.live_bits.resize(next.div_ceil(64), 0);
+        for id in 0..next {
+            self.live_bits[id / 64] |= 1 << (id % 64);
+        }
+        self.live = next;
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_follows_ring() {
+        assert_eq!(CellWidth::for_ring(400), CellWidth::I16);
+        assert_eq!(CellWidth::for_ring((1 << 15) - 1), CellWidth::I16);
+        assert_eq!(CellWidth::for_ring(1 << 15), CellWidth::I32);
+        assert_eq!(CellWidth::for_ring((1 << 31) - 1), CellWidth::I32);
+        assert_eq!(CellWidth::for_ring(1 << 31), CellWidth::I64);
+        assert_eq!(CellWidth::for_ring(u64::MAX), CellWidth::I64);
+    }
+
+    #[test]
+    fn canonical_is_minimal_residue() {
+        assert_eq!(canonical(0, 400), 0);
+        assert_eq!(canonical(200, 400), 200);
+        assert_eq!(canonical(201, 400), -199);
+        assert_eq!(canonical(-200, 400), 200);
+        assert_eq!(canonical(400, 400), 0);
+        assert_eq!(canonical(300, 400), -100);
+        assert_eq!(canonical(-300, 400), 100);
+        assert_eq!(canonical(i64::MIN, 400), canonical(i64::MIN % 400, 400));
+        // Odd ring: residues span [−(ka−1)/2, (ka−1)/2].
+        for v in -20..20 {
+            let c = canonical(v, 7);
+            assert!((-3..=3).contains(&c), "canonical({v}, 7) = {c}");
+            assert_eq!((v - c).rem_euclid(7), 0);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_cyclic_close_on_canonical_values() {
+        use crate::conditions::cyclic_close;
+        let ka = 40u64;
+        for t in [1u64, 5, 19] {
+            for a in -60i64..60 {
+                for b in -60i64..60 {
+                    let ca = canonical(a, ka);
+                    let cb = canonical(b, ka);
+                    let d = (ca - cb).unsigned_abs();
+                    assert_eq!(
+                        d.min(ka - d) <= t,
+                        cyclic_close(a, b, t, ka),
+                        "a={a} b={b} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_remove_compact_roundtrip() {
+        let mut arena = SketchArena::new(100, 400);
+        for i in 0..130i64 {
+            assert_eq!(arena.push(&[i, -i, 2 * i]), i as usize);
+        }
+        assert_eq!((arena.len(), arena.rows()), (130, 130));
+        for id in (0..130).step_by(3) {
+            assert!(arena.remove(id));
+            assert!(!arena.remove(id), "double remove");
+        }
+        assert_eq!(arena.len(), 130 - 44);
+        let mapping = arena.compact();
+        assert_eq!(mapping.len(), 86);
+        assert_eq!((arena.len(), arena.rows()), (86, 86));
+        // Survivors keep their data (in canonical ring form) under new
+        // dense ids.
+        for &(old, new) in &mapping {
+            let old = old as i64;
+            let expect: Vec<i64> = [old, -old, 2 * old]
+                .iter()
+                .map(|&v| canonical(v, 400))
+                .collect();
+            assert_eq!(arena.row(new), Some(expect));
+        }
+        // A compacted arena accepts fresh rows at the next dense id.
+        assert_eq!(arena.push(&[1, 2, 3]), 86);
+    }
+
+    #[test]
+    fn compact_without_tombstones_is_identity() {
+        let mut arena = SketchArena::new(10, 400);
+        arena.push(&[1, 2]);
+        arena.push(&[3, 4]);
+        assert_eq!(arena.compact(), vec![(0, 0), (1, 1)]);
+        assert_eq!(arena.row(1), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn probe_dimension_mismatch_matches_nothing() {
+        let mut arena = SketchArena::new(100, 400);
+        arena.push(&[1, 2, 3]);
+        assert_eq!(arena.find_first(&[1, 2]), None);
+        assert_eq!(arena.find_all(&[1, 2, 3, 4]), Vec::<RecordId>::new());
+        assert!(arena.normalize_probe(&[1, 2]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped dimension")]
+    fn insert_dimension_mismatch_panics() {
+        let mut arena = SketchArena::new(100, 400);
+        arena.push(&[1, 2, 3]);
+        arena.push(&[1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_coordinates_match_cyclically() {
+        // 300 ≡ −100 (mod 400); the arena stores the canonical form and
+        // conditions (1)–(4) cannot tell the difference.
+        let mut arena = SketchArena::new(100, 400);
+        let id = arena.push(&[300, 20]);
+        assert_eq!(arena.find_first(&[-100, 20]), Some(id));
+        assert_eq!(arena.find_first(&[300 + 400, 20 - 400]), Some(id));
+        assert_eq!(arena.row(id), Some(vec![-100, 20]));
+    }
+
+    #[test]
+    fn huge_ring_kernel_does_not_overflow() {
+        // ka > 2⁶³: canonical values span nearly the whole i64 range, so
+        // the kernel's subtraction must widen (regression: i64 overflow).
+        let ka = u64::MAX;
+        let mut arena = SketchArena::new(1 << 40, ka);
+        let (lo, hi) = canonical_range(ka);
+        let a = arena.push(&[hi, lo]);
+        // Distance from (hi, lo) to (lo, hi) is 1 step around the ring
+        // in each coordinate — within t.
+        assert_eq!(arena.find_first(&[lo, hi]), Some(a));
+        // The antipode is ~ka/2 away — far outside t.
+        assert_eq!(arena.find_first(&[0, 0]), None);
+    }
+
+    #[test]
+    fn wide_rings_use_wide_cells() {
+        for ka in [1u64 << 20, 1 << 40] {
+            let half = (ka / 2) as i64;
+            let mut arena = SketchArena::new(1000, ka);
+            let a = arena.push(&[half - 5, -half + 5]);
+            assert_eq!(arena.find_first(&[half - 900, -half + 900]), Some(a));
+            assert_eq!(arena.find_first(&[0, 0]), None);
+            assert_eq!(arena.row(a), Some(vec![half - 5, -half + 5]));
+        }
+    }
+
+    #[test]
+    fn heap_bytes_tracks_width() {
+        let mut narrow = SketchArena::with_capacity(100, 400, 64, 8);
+        let mut wide = SketchArena::with_capacity(100, 1 << 40, 64, 8);
+        for i in 0..64i64 {
+            narrow.push(&[i; 8]);
+            wide.push(&[i; 8]);
+        }
+        assert!(narrow.heap_bytes() >= 64 * 8 * 2 + 8);
+        assert!(
+            narrow.heap_bytes() * 3 < wide.heap_bytes(),
+            "i16 cells must be ~4× smaller than i64: {} vs {}",
+            narrow.heap_bytes(),
+            wide.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn for_each_live_streams_in_order() {
+        let mut arena = SketchArena::new(100, 400);
+        for i in 0..9i64 {
+            arena.push(&[i, i]);
+        }
+        arena.remove(4);
+        let mut seen = Vec::new();
+        arena.for_each_live(|id, row| seen.push((id, row.to_vec())));
+        assert_eq!(seen.len(), 8);
+        assert_eq!(seen[4], (5, vec![5, 5]));
+    }
+
+    #[test]
+    fn find_from_resumes_past_matches() {
+        let mut arena = SketchArena::new(100, 400);
+        arena.push(&[10, 10]);
+        arena.push(&[500, 500]); // stored as its canonical form, 100
+        arena.push(&[15, 15]);
+        let first = arena.find_first(&[12, 12]).unwrap();
+        assert_eq!(first, 0);
+        let next = arena.find_from(&[12, 12], first + 1);
+        // Row 1 stores canonical(500) = 100: distance to 12 is 88 ≤ t,
+        // so it genuinely matches too.
+        assert_eq!(next, Some(1));
+        assert_eq!(arena.find_from(&[12, 12], 3), None);
+    }
+}

@@ -76,7 +76,9 @@ pub use chebyshev::ChebyshevSketch;
 pub use encode::{decode_i64_vector, encode_i64_vector};
 pub use error::SketchError;
 pub use fuzzy::{FuzzyExtractor, HelperData};
-pub use index::{BucketIndex, RecordId, ScanIndex, ShardedIndex, SketchIndex};
+pub use index::{
+    BucketIndex, CellWidth, RecordId, ScanIndex, ShardedIndex, SketchArena, SketchIndex,
+};
 pub use key::ExtractedKey;
 pub use numberline::NumberLine;
 pub use robust::{RobustData, RobustSketch};

@@ -12,7 +12,7 @@ use crate::messages::{
     UserId, WireHelper,
 };
 use crate::params::SystemParams;
-use crate::store::{EnrollmentStore, FileStore, LogEvent, LogEventRef};
+use crate::store::{EnrollmentStore, FileStore, LogEvent, LogEventRef, SnapshotRow};
 use crate::ProtocolError;
 use fe_core::{BucketIndex, ScanIndex, ShardedIndex, SketchIndex};
 use fe_crypto::dsa::{DsaSignature, DsaVerifyingKey};
@@ -195,6 +195,22 @@ impl<I: BuildIndex> AuthenticationServer<I> {
     ) -> Result<Self, ProtocolError> {
         let events = store.load()?;
         let mut server = Self::from_params(params);
+        // Bulk-load hint: recovery knows the population size and sketch
+        // dimension up front, so the index builds a pre-sized arena
+        // instead of growing (and re-normalizing capacity) row by row.
+        let enrolls = events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::Enroll(_)))
+            .count();
+        if let Some(LogEvent::Enroll(first)) =
+            events.iter().find(|e| matches!(e, LogEvent::Enroll(_)))
+        {
+            server
+                .index
+                .reserve(enrolls, first.helper.sketch.inner.len());
+            server.records.reserve(enrolls);
+            server.by_id.reserve(enrolls);
+        }
         for event in events {
             match event {
                 LogEvent::Enroll(record) => {
@@ -351,6 +367,18 @@ impl<I: SketchIndex> AuthenticationServer<I> {
         if record.public_key.is_empty() {
             return Err(ProtocolError::Malformed("empty public key"));
         }
+        // The index panics on sketches it cannot store (mixed
+        // dimensions, or shorter than a bucket index's prefix), and
+        // validation runs *before* the write-ahead journal append — an
+        // unstorable record must be refused here, not journaled and
+        // then panicked on (which would poison every future recovery
+        // of the store). This also means a journal written before the
+        // one-dimension contract (mixed-dimension enrollments) now
+        // fails recovery with this clean error instead of replaying:
+        // no index can hold such a population any more.
+        if !self.index.sketch_dim_ok(record.helper.sketch.inner.len()) {
+            return Err(ProtocolError::Malformed("sketch dimension mismatch"));
+        }
         Ok(())
     }
 
@@ -358,7 +386,7 @@ impl<I: SketchIndex> AuthenticationServer<I> {
     fn apply_enroll(&mut self, record: EnrollmentRecord) {
         let public_key = DsaVerifyingKey::from_bytes(&record.public_key);
         let idx = self.records.len();
-        let index_id = self.index.insert(record.helper.sketch.inner.clone());
+        let index_id = self.index.insert(&record.helper.sketch.inner);
         // Release-enforced: an index that had records inserted and then
         // removed passes the `is_empty` construction check but assigns
         // ids offset from the record slots — that must fail loudly at
@@ -693,17 +721,27 @@ impl<I: SketchIndex> AuthenticationServer<I> {
     /// bounding storage, recovery time *and* in-memory tombstone growth
     /// in one pass. Returns the number of record slots reclaimed.
     ///
+    /// Snapshot rows are **streamed** out of the record table
+    /// ([`crate::store::SnapshotRow`] borrows the id and helper data),
+    /// so a checkpoint never clones the enrolled population into an
+    /// intermediate vector — the only per-row materialization is the
+    /// serialized public key.
+    ///
     /// # Errors
     /// [`ProtocolError::Storage`] when the snapshot cannot be written;
     /// the in-memory compaction still took effect (it is not undone),
     /// and the previous snapshot + journal remain authoritative on disk.
     pub fn checkpoint(&mut self) -> Result<usize, ProtocolError> {
         let reclaimed = self.compact();
-        if self.store.is_some() {
-            let live = self.live_enrollment_records();
-            if let Some(store) = &mut self.store {
-                store.compact(&live)?;
-            }
+        if let Some(store) = &mut self.store {
+            let count = self.by_id.len();
+            let dsa_params = self.params.dsa_params();
+            let mut rows = self.records.iter().flatten().map(|r| SnapshotRow {
+                id: &r.id,
+                public_key: r.public_key.to_bytes(dsa_params),
+                helper: &r.helper,
+            });
+            store.compact(count, &mut rows)?;
         }
         Ok(reclaimed)
     }
@@ -894,7 +932,7 @@ mod tests {
         // on the first enrollment (release builds included).
         let params = SystemParams::insecure_test_defaults();
         let mut index = ScanIndex::new(100, 400);
-        let stale = index.insert(vec![1, 2, 3]);
+        let stale = index.insert(&[0; 16]);
         index.remove(stale);
         let mut server = AuthenticationServer::with_index(params.clone(), index);
         let device = BiometricDevice::new(params.clone());
@@ -1165,7 +1203,9 @@ mod tests {
     fn churn_with_checkpoints_keeps_memory_proportional_to_live() {
         let (device, mut server, _bios, mut rng) = setup(2);
         for round in 0..30 {
-            let bio = server.params().sketch().line().random_vector(16, &mut rng);
+            // Same dimension as the standing population: one index holds
+            // one stamped dimension (see the SketchIndex contract).
+            let bio = server.params().sketch().line().random_vector(48, &mut rng);
             let record = device
                 .enroll(&format!("churn-{round}"), &bio, &mut rng)
                 .unwrap();
@@ -1292,6 +1332,67 @@ mod tests {
         assert!(server.revoke("ghost").is_err());
         // Only the successful enrollment was journaled.
         assert_eq!(server.store().unwrap().journal_len(), 1);
+    }
+
+    #[test]
+    fn mismatched_sketch_dimension_is_refused_before_journaling() {
+        // The index would panic on a mixed-dimension insert; the server
+        // must catch it in validation — *before* the write-ahead append
+        // — or the bad record becomes durable and poisons every
+        // subsequent recovery.
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(84_000);
+        let mut server = AuthenticationServer::new(params.clone());
+        server
+            .attach_store(Box::new(crate::store::MemoryStore::new()))
+            .unwrap();
+
+        let bio16 = params.sketch().line().random_vector(16, &mut rng);
+        server
+            .enroll(device.enroll("alice", &bio16, &mut rng).unwrap())
+            .unwrap();
+        let bio32 = params.sketch().line().random_vector(32, &mut rng);
+        let bad = device.enroll("bob", &bio32, &mut rng).unwrap();
+        assert!(matches!(
+            server.enroll(bad),
+            Err(ProtocolError::Malformed("sketch dimension mismatch"))
+        ));
+        // Only alice reached the journal; the server still works.
+        assert_eq!(server.store().unwrap().journal_len(), 1);
+        assert_eq!(server.user_count(), 1);
+    }
+
+    #[test]
+    fn bucket_prefix_shortfall_is_refused_before_journaling() {
+        // A bucket index also refuses sketches shorter than its key
+        // prefix — including the very FIRST enrollment, where no
+        // dimension stamp exists yet. Like the mixed-dimension case,
+        // this must fail validation, not panic after the journal
+        // append.
+        let params = SystemParams::insecure_test_defaults()
+            .with_index_config(IndexConfig::Bucket { prefix_dims: 4 });
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(85_000);
+        let mut server = AuthenticationServer::<BucketIndex>::from_params(params.clone());
+        server
+            .attach_store(Box::new(crate::store::MemoryStore::new()))
+            .unwrap();
+
+        let bio2 = params.sketch().line().random_vector(2, &mut rng);
+        let short = device.enroll("shorty", &bio2, &mut rng).unwrap();
+        assert!(matches!(
+            server.enroll(short),
+            Err(ProtocolError::Malformed("sketch dimension mismatch"))
+        ));
+        assert_eq!(server.store().unwrap().journal_len(), 0);
+
+        // A long-enough first enrollment is accepted as before.
+        let bio8 = params.sketch().line().random_vector(8, &mut rng);
+        server
+            .enroll(device.enroll("ok", &bio8, &mut rng).unwrap())
+            .unwrap();
+        assert_eq!(server.user_count(), 1);
     }
 
     #[test]

@@ -107,12 +107,55 @@ impl LogEventRef<'_> {
 const EVENT_ENROLL: u8 = 1;
 const EVENT_REVOKE: u8 = 2;
 
+/// One snapshot row, borrowed from the server's live record table: what
+/// [`EnrollmentStore::compact`] streams instead of taking an owned
+/// `Vec<EnrollmentRecord>` of the whole population. The id and helper
+/// data (which holds the sketch — the bulk of a record) stay borrowed;
+/// only the small serialized public key is materialized per row.
+#[derive(Debug)]
+pub struct SnapshotRow<'a> {
+    /// The enrolled user's identity.
+    pub id: &'a str,
+    /// Serialized DSA verification key bytes.
+    pub public_key: Vec<u8>,
+    /// Borrowed public helper data `P = (s, h, r)`.
+    pub helper: &'a crate::messages::WireHelper,
+}
+
+impl SnapshotRow<'_> {
+    /// Borrows a row from an owned record.
+    pub fn of(record: &EnrollmentRecord) -> SnapshotRow<'_> {
+        SnapshotRow {
+            id: &record.id,
+            public_key: record.public_key.clone(),
+            helper: &record.helper,
+        }
+    }
+
+    /// Clones into an owned wire-shaped record (what in-memory
+    /// snapshot backends store).
+    pub fn to_record(&self) -> EnrollmentRecord {
+        EnrollmentRecord {
+            id: self.id.to_string(),
+            public_key: self.public_key.clone(),
+            helper: self.helper.clone(),
+        }
+    }
+}
+
 /// Encodes an enrollment record's fields (no artifact header — callers
 /// embed this in framed journal entries or snapshot rows).
 pub fn put_record(w: &mut Writer, record: &EnrollmentRecord) {
     w.put_str(&record.id);
     w.put_bytes(&record.public_key);
     codec::put_helper(w, &record.helper);
+}
+
+/// [`put_record`] for a borrowed snapshot row (identical byte layout).
+pub fn put_row(w: &mut Writer, row: &SnapshotRow<'_>) {
+    w.put_str(row.id);
+    w.put_bytes(&row.public_key);
+    codec::put_helper(w, row.helper);
 }
 
 /// Decodes a record written by [`put_record`].
@@ -189,13 +232,32 @@ pub trait EnrollmentStore: std::fmt::Debug + Send + Sync {
     /// error — implementations truncate it and return the good prefix).
     fn load(&mut self) -> Result<Vec<LogEvent>, ProtocolError>;
 
-    /// Atomically replaces history with a snapshot of `live` records and
-    /// truncates the journal.
+    /// Atomically replaces history with a snapshot of exactly `count`
+    /// live records, streamed one [`SnapshotRow`] at a time, and
+    /// truncates the journal. Streaming is the point: a checkpoint of
+    /// 10⁶ users must not clone 10⁶ sketches into an intermediate
+    /// vector before the first byte hits disk.
+    ///
+    /// Implementations may rely on `rows` yielding exactly `count`
+    /// items; the server derives both from the same record table.
     ///
     /// # Errors
     /// [`ProtocolError::Storage`] when the snapshot could not be
     /// written; the previous snapshot/journal remain in effect.
-    fn compact(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError>;
+    fn compact<'a>(
+        &mut self,
+        count: usize,
+        rows: &mut (dyn Iterator<Item = SnapshotRow<'a>> + 'a),
+    ) -> Result<(), ProtocolError>;
+
+    /// [`EnrollmentStore::compact`] over an owned record slice — the
+    /// convenience form tests and small deployments use.
+    ///
+    /// # Errors
+    /// As [`EnrollmentStore::compact`].
+    fn compact_records(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError> {
+        self.compact(live.len(), &mut live.iter().map(SnapshotRow::of))
+    }
 
     /// Events appended since the last snapshot (the journal tail length):
     /// the replay work a recovery would have to do beyond snapshot load,
@@ -235,8 +297,14 @@ impl EnrollmentStore for MemoryStore {
         Ok(events)
     }
 
-    fn compact(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError> {
-        self.snapshot = live.to_vec();
+    fn compact<'a>(
+        &mut self,
+        count: usize,
+        rows: &mut (dyn Iterator<Item = SnapshotRow<'a>> + 'a),
+    ) -> Result<(), ProtocolError> {
+        let mut snapshot = Vec::with_capacity(count);
+        snapshot.extend(rows.map(|row| row.to_record()));
+        self.snapshot = snapshot;
         self.journal.clear();
         Ok(())
     }
@@ -664,20 +732,47 @@ impl EnrollmentStore for FileStore {
         Ok(events)
     }
 
-    fn compact(&mut self, live: &[EnrollmentRecord]) -> Result<(), ProtocolError> {
-        // 1. Write the complete snapshot to a temporary file…
-        let mut w = Writer::new();
-        w.put_header(ArtifactKind::Snapshot, &self.fingerprint);
-        w.put_u64(live.len() as u64);
-        for record in live {
-            let mut row = Writer::new();
-            put_record(&mut row, record);
-            w.put_framed(row.as_slice());
-        }
+    fn compact<'a>(
+        &mut self,
+        count: usize,
+        rows: &mut (dyn Iterator<Item = SnapshotRow<'a>> + 'a),
+    ) -> Result<(), ProtocolError> {
+        // 1. Stream the snapshot to a temporary file, one framed row at
+        //    a time — the whole population is never materialized in
+        //    memory (the server side borrows rows straight out of its
+        //    record table).
         let tmp = self.dir.join("snapshot.fes.tmp");
-        let mut file = File::create(&tmp).map_err(|e| io_err("create snapshot tmp", e))?;
-        file.write_all(w.as_slice())
-            .map_err(|e| io_err("write snapshot", e))?;
+        let file = File::create(&tmp).map_err(|e| io_err("create snapshot tmp", e))?;
+        let mut out = std::io::BufWriter::new(file);
+        let mut header = Writer::new();
+        header.put_header(ArtifactKind::Snapshot, &self.fingerprint);
+        header.put_u64(count as u64);
+        out.write_all(header.as_slice())
+            .map_err(|e| io_err("write snapshot header", e))?;
+        let mut written = 0usize;
+        // One payload + one frame buffer, reused across every row: a
+        // 10⁶-user snapshot performs O(1) writer allocations, not 2·10⁶.
+        let mut payload = Writer::new();
+        let mut frame = Writer::new();
+        for row in rows {
+            payload.clear();
+            put_row(&mut payload, &row);
+            frame.clear();
+            frame.put_framed(payload.as_slice());
+            out.write_all(frame.as_slice())
+                .map_err(|e| io_err("write snapshot row", e))?;
+            written += 1;
+        }
+        // The count header was written first; a lying iterator would
+        // produce a snapshot that fails its own load.
+        if written != count {
+            return Err(ProtocolError::Storage(format!(
+                "snapshot row stream produced {written} rows, caller promised {count}"
+            )));
+        }
+        let file = out
+            .into_inner()
+            .map_err(|e| io_err("flush snapshot", e.into()))?;
         file.sync_all().map_err(|e| io_err("sync snapshot", e))?;
         drop(file);
         // 2. …atomically commit it. The rename itself must be made
@@ -767,7 +862,7 @@ mod tests {
         assert_eq!(store.journal_len(), 3);
         assert_eq!(store.load().unwrap().len(), 3);
 
-        store.compact(&records[1..]).unwrap();
+        store.compact_records(&records[1..]).unwrap();
         assert_eq!(store.journal_len(), 0);
         let events = store.load().unwrap();
         assert_eq!(events, vec![LogEvent::Enroll(records[1].clone())]);
@@ -805,7 +900,7 @@ mod tests {
         for r in &records[..3] {
             store.append(LogEventRef::Enroll(r)).unwrap();
         }
-        store.compact(&records[..3]).unwrap();
+        store.compact_records(&records[..3]).unwrap();
         assert_eq!(store.journal_len(), 0);
         // Post-snapshot tail.
         store.append(LogEventRef::Revoke("user-2")).unwrap();

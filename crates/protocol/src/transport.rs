@@ -8,7 +8,7 @@
 //! [`Link`] type makes those capabilities explicit and testable.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What the adversary does with each message it sees.
 pub enum Tamper<T> {
@@ -24,9 +24,16 @@ pub enum Tamper<T> {
 pub type Adversary<T> = Box<dyn FnMut(T) -> Tamper<T> + Send>;
 
 /// One directional, typed message link.
+///
+/// Latency is simulated with **deliver-at deadlines**: `send` stamps
+/// each message with `now + latency` and returns immediately; `recv`
+/// waits out whatever remains of the *earliest* message's deadline.
+/// Senders are never blocked, and `n` messages in flight become
+/// receivable after one latency period — not `n` of them back to back —
+/// matching how a real network pipelines in-flight packets.
 pub struct Link<T> {
-    tx: Sender<T>,
-    rx: Receiver<T>,
+    tx: Sender<(Instant, T)>,
+    rx: Receiver<(Instant, T)>,
     latency: Duration,
     adversary: Option<Adversary<T>>,
     delivered: u64,
@@ -58,7 +65,9 @@ impl<T> Link<T> {
         }
     }
 
-    /// Sets a fixed one-way latency applied on `recv`.
+    /// Sets a fixed one-way latency: each message becomes receivable
+    /// `latency` after its `send` (deliver-at deadline), without
+    /// blocking the sender or serializing in-flight messages.
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.latency = latency;
         self
@@ -70,7 +79,8 @@ impl<T> Link<T> {
         self
     }
 
-    /// Sends a message into the link.
+    /// Sends a message into the link, stamping its deliver-at deadline.
+    /// Never blocks, whatever the configured latency.
     ///
     /// # Errors
     /// Returns the message back if the link is disconnected.
@@ -85,18 +95,23 @@ impl<T> Link<T> {
             },
             None => msg,
         };
-        self.tx.send(msg).map_err(|e| e.0)
+        self.tx
+            .send((Instant::now() + self.latency, msg))
+            .map_err(|e| e.0 .1)
     }
 
-    /// Receives the next message, honouring the configured latency.
-    /// Returns `None` when no message arrives within `timeout`
-    /// (covers adversarial drops).
+    /// Receives the next message, waiting out whatever remains of its
+    /// deliver-at deadline. Returns `None` when no message arrives
+    /// within `timeout` (covers adversarial drops).
     pub fn recv(&mut self, timeout: Duration) -> Option<T> {
-        if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
-        }
         match self.rx.recv_timeout(timeout) {
-            Ok(m) => {
+            Ok((deliver_at, m)) => {
+                // Channel order is send order, and every message gets
+                // the same latency, so the head's deadline is earliest.
+                let now = Instant::now();
+                if deliver_at > now {
+                    std::thread::sleep(deliver_at - now);
+                }
                 self.delivered += 1;
                 Some(m)
             }
@@ -172,5 +187,44 @@ mod tests {
         let start = std::time::Instant::now();
         assert_eq!(link.recv(TIMEOUT), Some(5));
         assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn latency_does_not_serialize_in_flight_messages() {
+        // 10 messages at 40 ms latency: deliver-at deadlines overlap, so
+        // draining the queue costs ~one latency period, not ~400 ms.
+        // Bounds are generous (a serialized drain would take 10×) so a
+        // scheduler stall on a loaded 1-CPU runner cannot flake them.
+        let latency = Duration::from_millis(40);
+        let mut link: Link<u32> = Link::new().with_latency(latency);
+        let send_start = std::time::Instant::now();
+        for m in 0..10 {
+            link.send(m).unwrap();
+        }
+        // Capture the bound *before* draining: the last message's
+        // deliver-at deadline is at least `latency − sent` away, so a
+        // recv that skipped the deadline wait would finish early and
+        // fail the lower bound.
+        let sent = send_start.elapsed();
+        assert!(
+            sent < latency * 3,
+            "senders must not block on latency (took {sent:?})"
+        );
+        let drain_start = std::time::Instant::now();
+        for m in 0..10 {
+            assert_eq!(link.recv(Duration::from_secs(5)), Some(m));
+        }
+        let drained = drain_start.elapsed();
+        if sent < latency {
+            // Only provable when the sends beat the first deadline.
+            assert!(
+                drained >= latency - sent,
+                "recv must wait out the deliver-at deadline ({drained:?})"
+            );
+        }
+        assert!(
+            drained < latency * 6,
+            "draining 10 messages took {drained:?}: latency is serializing"
+        );
     }
 }

@@ -383,7 +383,7 @@ fn snapshot_journal_overlap_replays_idempotently() {
     // Hand-write the snapshot while leaving the journal untouched.
     let mut store = FileStore::open(&dir, params.fingerprint()).unwrap();
     let journal_bytes = std::fs::read(dir.join("journal.fel")).unwrap();
-    store.compact(&records).unwrap();
+    store.compact_records(&records).unwrap();
     std::fs::write(dir.join("journal.fel"), &journal_bytes).unwrap();
     drop(store);
 
@@ -431,4 +431,81 @@ fn shared_server_churn_with_checkpoints_stays_bounded() {
     assert_eq!(recovered.user_count(), 5);
     assert_eq!(recovered.journal_len(), 0);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Columnar round-trip: enroll (+ random revocations) → checkpoint
+    /// → recover — which bulk-loads the snapshot into a pre-sized
+    /// arena — → `identify_batch` issues challenges for exactly the
+    /// same probes, resolving to the same enrolled records.
+    #[test]
+    fn checkpoint_recover_preserves_identify_batch(
+        users in 1usize..20,
+        dim in 1usize..8,
+        seed in any::<u64>(),
+        removal_mask in any::<u32>(),
+    ) {
+        use fuzzy_id::core::CellWidth;
+
+        let dir = scratch_dir("arena-roundtrip");
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let donor = {
+            let bio = params.sketch().line().random_vector(4, &mut rng);
+            device.enroll("donor", &bio, &mut rng).unwrap().public_key
+        };
+
+        let mut original: AuthenticationServer =
+            AuthenticationServer::recover(params.clone(), &dir).unwrap();
+        let mut bios = Vec::new();
+        for u in 0..users {
+            let (record, bio) =
+                synthetic_record(&params, &donor, &format!("user-{u}"), dim, &mut rng);
+            original.enroll(record).unwrap();
+            bios.push(bio);
+        }
+        for u in 0..users {
+            if removal_mask & (1 << (u % 32)) != 0 {
+                original.revoke(&format!("user-{u}")).unwrap();
+            }
+        }
+        // Checkpoint: compacts tombstones and writes the snapshot the
+        // recovery below bulk-loads.
+        original.checkpoint().unwrap();
+
+        let mut probes: Vec<Vec<i64>> = bios
+            .iter()
+            .map(|bio| genuine_probe(&params, bio, &mut rng))
+            .collect();
+        let stranger = params.sketch().line().random_vector(dim, &mut rng);
+        probes.push(genuine_probe(&params, &stranger, &mut rng));
+
+        let expected_users = original.user_count();
+        let expected: Vec<Option<_>> = original
+            .identify_batch(&probes, &mut rng)
+            .into_iter()
+            .map(|r| r.ok().map(|c| c.helper))
+            .collect();
+        drop(original); // crash
+
+        let mut recovered: AuthenticationServer =
+            AuthenticationServer::recover(params.clone(), &dir).unwrap();
+        // The paper-parameter ring (ka = 400) auto-selects i16 cells.
+        prop_assert_eq!(recovered.index().arena().width(), CellWidth::I16);
+        prop_assert_eq!(recovered.user_count(), expected_users);
+
+        let got: Vec<Option<_>> = recovered
+            .identify_batch(&probes, &mut rng)
+            .into_iter()
+            .map(|r| r.ok().map(|c| c.helper))
+            .collect();
+        // Same probes match, resolving to the same records (helper data
+        // is unique per enrollment); session ids legitimately differ.
+        prop_assert_eq!(expected, got);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -6,8 +6,8 @@ use fuzzy_id::core::codec::{
 };
 use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
 use fuzzy_id::core::{
-    ChebyshevSketch, FuzzyExtractor, HelperData, NumberLine, RobustData, ScanIndex, SecureSketch,
-    ShardedIndex, SketchIndex,
+    BucketIndex, ChebyshevSketch, FuzzyExtractor, HelperData, NumberLine, RobustData, ScanIndex,
+    SecureSketch, ShardedIndex, SketchIndex,
 };
 use fuzzy_id::metrics::{Metric, RingChebyshev};
 use proptest::prelude::*;
@@ -193,8 +193,8 @@ proptest! {
         let mut scan = ScanIndex::new(T, KA);
         let mut sharded = ShardedIndex::scan(shards, T, KA);
         for s in &sketches {
-            let a = scan.insert(s.clone());
-            let b = sharded.insert(s.clone());
+            let a = scan.insert(s);
+            let b = sharded.insert(s);
             prop_assert_eq!(a, b, "ids must be assigned identically");
         }
 
@@ -348,4 +348,309 @@ proptest! {
             x
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar storage engine: the arena-backed indexes must be observably
+// identical to the pre-arena Vec-of-Vec behavior, across every cell width.
+// ---------------------------------------------------------------------------
+
+/// The seed storage layout, kept as the reference model: boxed rows
+/// behind `Option` tombstones, matching with the scalar conditions from
+/// `fe_core::conditions` (which the arena's slice kernel must agree
+/// with on every input).
+struct ModelIndex {
+    t: u64,
+    ka: u64,
+    entries: Vec<Option<Vec<i64>>>,
+}
+
+impl ModelIndex {
+    fn new(t: u64, ka: u64) -> Self {
+        ModelIndex {
+            t,
+            ka,
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, sketch: &[i64]) -> usize {
+        self.entries.push(Some(sketch.to_vec()));
+        self.entries.len() - 1
+    }
+
+    fn matches(&self, s: &[i64], probe: &[i64]) -> bool {
+        s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| self.matches(s, probe)))
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|s| self.matches(s, probe)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn remove(&mut self, id: usize) -> bool {
+        match self.entries.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn compact(&mut self) -> Vec<(usize, usize)> {
+        let mut mapping = Vec::new();
+        let entries = std::mem::take(&mut self.entries);
+        for (old, slot) in entries.into_iter().enumerate() {
+            if let Some(s) = slot {
+                mapping.push((old, self.entries.len()));
+                self.entries.push(Some(s));
+            }
+        }
+        mapping
+    }
+
+    fn live(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+/// One scripted operation applied to the model and an implementation in
+/// lockstep.
+#[derive(Debug, Clone)]
+enum IndexOp {
+    /// Insert a fresh sketch.
+    Insert(Vec<i64>),
+    /// Probe near the `n % inserted`-th live sketch, with per-coordinate
+    /// offsets in `[-t, t]` (guaranteed genuine unless revoked).
+    ProbeNear(usize, Vec<i64>),
+    /// Probe an arbitrary vector (usually an impostor).
+    Probe(Vec<i64>),
+    /// Remove slot `n % slots`.
+    Remove(usize),
+    /// Compact every structure and compare the renumbering mappings.
+    Compact,
+}
+
+/// Ring parameters spanning all three arena cell widths (`i16`, `i32`,
+/// `i64`), with `t < ka/2` and capped so noise offsets stay sane.
+fn ring_params() -> impl Strategy<Value = (u64, u64)> {
+    (0u8..3)
+        .prop_flat_map(|width| match width {
+            0 => 2u64..(1 << 15),
+            1 => (1u64 << 15)..(1 << 31),
+            _ => (1u64 << 31)..(1 << 62),
+        })
+        .prop_flat_map(|ka| (1u64..(ka / 2).clamp(2, 1 << 30), Just(ka)))
+}
+
+/// A full test case: ring, dimension, and an operation script.
+fn index_case() -> impl Strategy<Value = (u64, u64, usize, Vec<IndexOp>)> {
+    (ring_params(), 1usize..6).prop_flat_map(|((t, ka), dim)| {
+        let half = (ka / 2).min(i64::MAX as u64 / 4) as i64;
+        // Includes non-canonical (out-of-ring) coordinates on purpose.
+        let op = (
+            0u8..12,
+            prop::collection::vec(-2 * half..=2 * half, dim..dim + 1),
+            prop::collection::vec(-(t as i64)..=(t as i64), dim..dim + 1),
+            any::<usize>(),
+        )
+            .prop_map(|(sel, sketch, noise, n)| match sel {
+                0..=3 => IndexOp::Insert(sketch),
+                4..=6 => IndexOp::ProbeNear(n, noise),
+                7..=8 => IndexOp::Probe(sketch),
+                9..=10 => IndexOp::Remove(n),
+                _ => IndexOp::Compact,
+            });
+        (
+            Just(t),
+            Just(ka),
+            Just(dim),
+            prop::collection::vec(op, 1..48),
+        )
+    })
+}
+
+/// Drives one implementation and the model through the same script,
+/// checking every observable output pairwise: ids, lookup, lookup_all,
+/// lookup_batch, remove results, compact mappings, live/slot counts,
+/// and the streaming iterator.
+fn check_against_model<I: SketchIndex>(mut index: I, t: u64, ka: u64, ops: &[IndexOp]) {
+    let mut model = ModelIndex::new(t, ka);
+    let mut inserted: Vec<Vec<i64>> = Vec::new();
+    let mut probes_seen: Vec<Vec<i64>> = Vec::new();
+    for op in ops {
+        match op {
+            IndexOp::Insert(sketch) => {
+                let a = model.insert(sketch);
+                let b = index.insert(sketch);
+                prop_assert_eq!(a, b, "insert ids diverged");
+                inserted.push(sketch.clone());
+            }
+            IndexOp::ProbeNear(n, noise) => {
+                if inserted.is_empty() {
+                    continue;
+                }
+                let base = &inserted[n % inserted.len()];
+                let probe: Vec<i64> = base
+                    .iter()
+                    .zip(noise.iter())
+                    .map(|(&v, &d)| v.saturating_add(d))
+                    .collect();
+                prop_assert_eq!(model.lookup(&probe), index.lookup(&probe));
+                prop_assert_eq!(model.lookup_all(&probe), index.lookup_all(&probe));
+                probes_seen.push(probe);
+            }
+            IndexOp::Probe(probe) => {
+                prop_assert_eq!(model.lookup(probe), index.lookup(probe));
+                prop_assert_eq!(model.lookup_all(probe), index.lookup_all(probe));
+                probes_seen.push(probe.clone());
+            }
+            IndexOp::Remove(n) => {
+                let slots = model.entries.len();
+                if slots == 0 {
+                    continue;
+                }
+                let id = n % slots;
+                prop_assert_eq!(model.remove(id), index.remove(id), "remove({})", id);
+            }
+            IndexOp::Compact => {
+                // The whole renumbering must agree, not just lookups.
+                prop_assert_eq!(model.compact(), index.compact());
+                // Keep the insert log aligned with the dense state so
+                // ProbeNear keeps pointing at live sketches.
+                inserted = model.entries.iter().flatten().cloned().collect();
+            }
+        }
+        prop_assert_eq!(model.live(), index.len(), "live count diverged");
+        prop_assert_eq!(model.entries.len(), index.slots(), "slots diverged");
+    }
+    // The batch path agrees with the model's one-at-a-time path.
+    let batch = index.lookup_batch(&probes_seen);
+    for (probe, got) in probes_seen.iter().zip(batch) {
+        prop_assert_eq!(model.lookup(probe), got);
+    }
+    // The streaming iterator sees exactly the model's live rows, in
+    // ascending order, congruent mod ka (the arena stores canonical
+    // ring representatives; the model stores raw coordinates).
+    let mut live = Vec::new();
+    index.for_each_live(&mut |id, row| live.push((id, row.to_vec())));
+    let expected: Vec<(usize, Vec<i64>)> = model
+        .entries
+        .iter()
+        .enumerate()
+        .filter_map(|(id, s)| s.as_ref().map(|s| (id, s.clone())))
+        .collect();
+    prop_assert_eq!(live.len(), expected.len(), "for_each_live row count");
+    for ((id_a, row), (id_b, s)) in live.iter().zip(expected.iter()) {
+        prop_assert_eq!(id_a, id_b);
+        for (&a, &b) in row.iter().zip(s.iter()) {
+            let d = a.abs_diff(b) % ka;
+            prop_assert_eq!(d.min(ka - d), 0, "row {} not ≡ model (mod ka)", id_a);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Arena-backed `ScanIndex` ≡ the Vec-of-Vec model.
+    #[test]
+    fn scan_index_matches_vec_of_vec_model((t, ka, _dim, ops) in index_case()) {
+        check_against_model(ScanIndex::new(t, ka), t, ka, &ops);
+    }
+
+    /// Arena-backed `BucketIndex` ≡ the Vec-of-Vec model (the packed
+    /// u64 bucket keys and multi-probe path included).
+    #[test]
+    fn bucket_index_matches_vec_of_vec_model((t, ka, dim, ops) in index_case()) {
+        check_against_model(BucketIndex::new(t, ka, dim.min(4)), t, ka, &ops);
+    }
+
+    /// Arena-backed shards behind `ShardedIndex` ≡ the model (global id
+    /// arithmetic over per-shard arenas).
+    #[test]
+    fn sharded_index_matches_vec_of_vec_model((t, ka, _dim, ops) in index_case()) {
+        check_against_model(ShardedIndex::scan(3, t, ka), t, ka, &ops);
+    }
+
+    /// The kernel's no-`%` cyclic test on canonical values agrees with
+    /// `cyclic_close` on raw values, for every width class.
+    #[test]
+    fn arena_kernel_agrees_with_cyclic_close(
+        (t, ka) in ring_params(),
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let mut arena = fuzzy_id::core::SketchArena::new(t, ka);
+        arena.push(&[a]);
+        prop_assert_eq!(
+            arena.find_first(&[b]).is_some(),
+            cyclic_close(a, b, t, ka),
+            "kernel vs cyclic_close at a={}, b={}, t={}, ka={}", a, b, t, ka
+        );
+    }
+}
+
+/// `heap_bytes` accounting under enroll/revoke/compact churn: memory
+/// tracks the live population (bounded under churn with compaction)
+/// and the width-adaptive layout (2 bytes/coordinate at paper `ka`).
+#[test]
+fn heap_bytes_accounting_under_churn() {
+    let (t, ka, dim) = (100u64, 400u64, 64usize);
+    let mut index = ScanIndex::new(t, ka);
+    for i in 0..1_000i64 {
+        index.insert(&vec![i % 200; dim]);
+    }
+    let full = index.heap_bytes();
+    // i16 cells: the column buffer is dim × 2 bytes per row; the bitmap
+    // adds 1 bit per row; capacity slack stays below one doubling.
+    assert!(full >= 1_000 * dim * 2 + 1_000 / 8);
+    assert!(
+        full <= 2 * (2 * 1_000 * dim * 2),
+        "unexpected slack: {full}"
+    );
+
+    // Revocation alone reclaims nothing (tombstones keep their cells)…
+    for id in 0..500 {
+        index.remove(id);
+    }
+    assert_eq!(index.heap_bytes(), full);
+    // …and compaction keeps the buffer (capacity is retained for reuse)
+    // while halving the rows it holds.
+    index.compact();
+    assert_eq!(index.len(), 500);
+    assert!(index.heap_bytes() <= full);
+
+    // Sustained churn with periodic compaction stays bounded: memory is
+    // proportional to the live population, not enrollments ever.
+    let bound = index.heap_bytes().max(full);
+    for round in 0..2_000i64 {
+        let id = index.insert(&vec![round % 200; dim]);
+        index.remove(id);
+        if round % 64 == 0 {
+            index.compact();
+        }
+        assert!(
+            index.heap_bytes() <= 2 * bound,
+            "heap grew unbounded under churn (round {round})"
+        );
+    }
+
+    // The same sketches on a wide ring cost ~4× more per coordinate.
+    let mut wide = fuzzy_id::core::SketchArena::new(t, 1 << 40);
+    for i in 0..1_000i64 {
+        wide.push(&vec![i % 200; dim]);
+    }
+    assert!(wide.heap_bytes() >= 3 * index.heap_bytes());
 }
