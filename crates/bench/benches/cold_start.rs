@@ -21,19 +21,22 @@
 //! so reusing one keypair changes nothing about the measured paths
 //! while making a 10⁵-record setup tractable.
 
+//! `FE_BENCH_SMOKE=1` shrinks the sweep to a CI-sized smoke run and
+//! records recovery/journaling rates in `BENCH_SMOKE.json` (see
+//! `fe_bench::smoke`).
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fe_core::{ScanIndex, SecureSketch, ShardedIndex};
+use fe_bench::{smoke, time_it, SynthPopulation};
+use fe_core::{ScanIndex, ShardedIndex};
 use fe_protocol::store::FileStore;
-use fe_protocol::{
-    AuthenticationServer, BiometricDevice, EnrollmentRecord, IndexConfig, SystemParams,
-};
+use fe_protocol::{AuthenticationServer, EnrollmentRecord, IndexConfig, SystemParams};
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 use std::path::PathBuf;
 use std::time::Duration;
 
 const DIM: usize = 32;
-/// 10³–10⁵ enrolled users: the acceptance-criterion sweep.
+/// 10³–10⁵ enrolled users: the acceptance-criterion sweep (full mode).
 const POPULATIONS: [usize; 3] = [1_000, 10_000, 100_000];
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -42,27 +45,10 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Synthesizes `n` enrollment records: real sketches, shared key bytes.
+/// Synthesizes `n` enrollment records: real sketches, shared key bytes
+/// (see [`SynthPopulation`]).
 fn synthesize_records(params: &SystemParams, n: usize, rng: &mut StdRng) -> Vec<EnrollmentRecord> {
-    // One real enrollment donates plausibly-shaped public-key bytes.
-    let device = BiometricDevice::new(params.clone());
-    let bio = params.sketch().line().random_vector(DIM, rng);
-    let donor = device.enroll("donor", &bio, rng).unwrap();
-
-    let scheme = params.sketch();
-    (0..n)
-        .map(|u| {
-            let x = scheme.line().random_vector(DIM, rng);
-            let mut helper = donor.helper.clone();
-            helper.sketch.inner = scheme.sketch(&x, rng).unwrap();
-            rng.fill_bytes(&mut helper.sketch.tag);
-            EnrollmentRecord {
-                id: format!("user-{u}"),
-                public_key: donor.public_key.clone(),
-                helper,
-            }
-        })
-        .collect()
+    SynthPopulation::build(params, n, DIM, rng).records
 }
 
 /// Populates a durable store at `dir`, optionally checkpointing so the
@@ -81,13 +67,16 @@ fn populate(params: &SystemParams, dir: &PathBuf, records: &[EnrollmentRecord], 
 /// Snapshot-load + index-rebuild time versus population, journal replay
 /// versus snapshot, scan versus sharded rebuild target.
 fn bench_recover(c: &mut Criterion) {
+    let smoke_run = smoke::smoke_mode();
+    let populations: &[usize] = if smoke_run { &[2_000] } else { &POPULATIONS };
     let mut group = c.benchmark_group("cold_start");
     group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 300 }));
 
+    let mut smoke_metrics: Vec<(String, f64)> = Vec::new();
     let params = SystemParams::insecure_test_defaults();
-    for &n in &POPULATIONS {
+    for &n in populations {
         let mut rng = StdRng::seed_from_u64(0xC01D + n as u64);
         let records = synthesize_records(&params, n, &mut rng);
 
@@ -95,6 +84,20 @@ fn bench_recover(c: &mut Criterion) {
         populate(&params, &journal_dir, &records, false);
         let snap_dir = temp_dir(&format!("snap-{n}"));
         populate(&params, &snap_dir, &records, true);
+
+        // Machine-readable smoke numbers: one timed recovery per path.
+        let (_, journal_secs) = time_it(|| {
+            let server: AuthenticationServer =
+                AuthenticationServer::recover(params.clone(), &journal_dir).unwrap();
+            assert_eq!(server.user_count(), n);
+        });
+        let (_, snap_secs) = time_it(|| {
+            let server: AuthenticationServer =
+                AuthenticationServer::recover(params.clone(), &snap_dir).unwrap();
+            assert_eq!(server.user_count(), n);
+        });
+        smoke_metrics.push((format!("recover_journal_rps_{n}"), n as f64 / journal_secs));
+        smoke_metrics.push((format!("recover_snapshot_rps_{n}"), n as f64 / snap_secs));
 
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("recover/journal", n), &n, |b, _| {
@@ -138,20 +141,26 @@ fn bench_recover(c: &mut Criterion) {
         std::fs::remove_dir_all(&snap_dir).unwrap();
     }
     group.finish();
+    let named: Vec<(&str, f64)> = smoke_metrics
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    smoke::record("cold_start", &named);
 }
 
 /// Write-ahead journaling overhead on the enroll path: memory-only vs
 /// OS-buffered journal vs fsync-per-event.
 fn bench_enroll_overhead(c: &mut Criterion) {
+    let smoke_run = smoke::smoke_mode();
     let mut group = c.benchmark_group("cold_start");
     group.sample_size(10);
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 2 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 300 }));
 
     let params = SystemParams::insecure_test_defaults();
     let mut rng = StdRng::seed_from_u64(0xE27011);
     // A pool of pre-built records so the measured loop is enroll-only.
-    let pool = synthesize_records(&params, 50_000, &mut rng);
+    let pool = synthesize_records(&params, if smoke_run { 4_000 } else { 50_000 }, &mut rng);
 
     let configs: [(&str, bool, Option<bool>); 3] = [
         ("enroll/in_memory", false, None),

@@ -1,0 +1,312 @@
+//! **Scheduler throughput (ours)**: does adaptive micro-batching beat
+//! one-scan-per-request under concurrent identification load?
+//!
+//! Three layers are measured, all on a 10⁵-record population (the
+//! acceptance-criterion scale — the sweep stays at 10⁵ even under
+//! `FE_BENCH_SMOKE=1`; smoke mode only trims the measurement budget):
+//!
+//! * `index/*` — the raw kernel ablation: resolving a queue of K probes
+//!   one `lookup` at a time (K full memory sweeps) vs one
+//!   `lookup_batch` call (a single multi-query sweep, see
+//!   `SketchArena::find_first_batch`).
+//! * `service/*` — the protocol layer, closed-loop: C concurrent
+//!   clients hammer `SharedServer::begin_identification` directly vs
+//!   the same clients going through `ScheduledServer::identify`, whose
+//!   workers coalesce them into micro-batches. This is the
+//!   acceptance comparison (`concurrency ≥ 8`, recorded in
+//!   `BENCH_SMOKE.json` as `direct_rps_c8` / `scheduled_rps_c8` /
+//!   `speedup_c8`).
+//! * open-loop sweep — offered load × batch window × shard count:
+//!   requests arrive on a fixed schedule through the non-blocking
+//!   [`ScheduledServer::submit`]; achieved throughput, shed count and
+//!   the scheduler's own latency histogram (p50/p99) go to stdout and
+//!   `target/experiments/scheduler_throughput.csv`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_bench::{smoke, time_it, write_csv, SynthPopulation};
+use fe_core::{ScanIndex, SketchIndex};
+use fe_protocol::concurrent::SharedServer;
+use fe_protocol::scheduler::{IdentifyTicket, ScheduledServer, SchedulerConfig};
+use fe_protocol::SystemParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 64;
+/// 10⁵ enrolled users: the acceptance-criterion scale.
+const POPULATION: usize = 100_000;
+/// The acceptance concurrency level.
+const CONCURRENCY: usize = 8;
+
+struct Setup {
+    params: SystemParams,
+    pop: SynthPopulation,
+    /// Genuine probes spread across the whole population (so scan
+    /// depths are uniformly distributed, like production traffic).
+    probes: Vec<Vec<i64>>,
+}
+
+fn build_setup(num_probes: usize) -> Setup {
+    let params = SystemParams::insecure_test_defaults();
+    let mut rng = StdRng::seed_from_u64(0x5CED);
+    let pop = SynthPopulation::build(&params, POPULATION, DIM, &mut rng);
+    let probes = (0..num_probes)
+        .map(|i| {
+            pop.genuine_probe(
+                &params,
+                (i * POPULATION / num_probes) % POPULATION,
+                &mut rng,
+            )
+        })
+        .collect();
+    Setup {
+        params,
+        pop,
+        probes,
+    }
+}
+
+fn enrolled_server(setup: &Setup, shards: usize) -> SharedServer<ScanIndex> {
+    let server = SharedServer::<ScanIndex>::with_shards(setup.params.clone(), shards);
+    for record in &setup.pop.records {
+        server.enroll(record.clone()).unwrap();
+    }
+    server
+}
+
+/// Index layer: K scans vs one multi-query pass.
+fn bench_index_kernel(c: &mut Criterion, setup: &Setup) {
+    let smoke_run = smoke::smoke_mode();
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
+
+    let mut index = ScanIndex::new(
+        setup.params.sketch().threshold(),
+        setup.params.sketch().line().interval_len(),
+    );
+    index.reserve(POPULATION, DIM);
+    for record in &setup.pop.records {
+        index.insert(&record.helper.sketch.inner);
+    }
+
+    for k in [CONCURRENCY, 32] {
+        // Sample the queue across the whole probe pool so scan depths
+        // stay uniformly distributed at every K.
+        let queue: Vec<Vec<i64>> = (0..k)
+            .map(|i| setup.probes[i * setup.probes.len() / k].clone())
+            .collect();
+        let queue = queue.as_slice();
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(
+            BenchmarkId::new("index/one_scan_per_request", k),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    queue
+                        .iter()
+                        .filter_map(|p| index.lookup(std::hint::black_box(p)))
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("index/shared_scan", k), &k, |b, _| {
+            b.iter(|| index.lookup_batch(std::hint::black_box(queue)))
+        });
+    }
+    group.finish();
+}
+
+/// Closed-loop service storm: every client thread issues `per_client`
+/// identifications back-to-back; returns requests/second.
+fn storm<F>(clients: usize, per_client: usize, run_one: F) -> f64
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let (_, secs) = time_it(|| {
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    for r in 0..per_client {
+                        run_one(c, r);
+                    }
+                });
+            }
+        });
+    });
+    (clients * per_client) as f64 / secs
+}
+
+/// Protocol layer: direct concurrent identification vs scheduled, at
+/// the acceptance concurrency. Also records the smoke-report numbers.
+fn bench_service(c: &mut Criterion, setup: &Setup) {
+    let smoke_run = smoke::smoke_mode();
+    let per_client = if smoke_run { 10 } else { 24 };
+    let server = enrolled_server(setup, 2);
+
+    // The same probe pool for both paths; each (client, round) pair
+    // picks a deterministic probe.
+    let probes = &setup.probes;
+    let pick = |c: usize, r: usize| &probes[(c * 31 + r) % probes.len()];
+
+    let direct_rps = storm(CONCURRENCY, per_client, |c, r| {
+        let mut rng = StdRng::seed_from_u64((c * 1000 + r) as u64);
+        let chal = server.begin_identification(pick(c, r), &mut rng).unwrap();
+        assert!(server.cancel_session(chal.session));
+    });
+
+    let scheduler = ScheduledServer::new(
+        server.clone(),
+        SchedulerConfig {
+            max_batch: CONCURRENCY,
+            max_delay: Duration::from_millis(2),
+            ..SchedulerConfig::default()
+        },
+    );
+    let scheduled_rps = storm(CONCURRENCY, per_client, |c, r| {
+        let chal = scheduler.identify(pick(c, r).clone()).unwrap();
+        assert!(scheduler.server().cancel_session(chal.session));
+    });
+
+    let latency = scheduler.metrics().latency_us.snapshot();
+    let batch = scheduler.metrics().batch_size.snapshot();
+    println!(
+        "scheduler_throughput/service: direct {direct_rps:.0} req/s, scheduled \
+         {scheduled_rps:.0} req/s ({:.2}×) at concurrency {CONCURRENCY} on 10^5 records \
+         (mean batch {:.1}, p50 {} µs, p99 {} µs)",
+        scheduled_rps / direct_rps,
+        batch.mean(),
+        latency.p50,
+        latency.p99,
+    );
+    smoke::record(
+        "scheduler_throughput",
+        &[
+            ("population", POPULATION as f64),
+            ("concurrency", CONCURRENCY as f64),
+            ("direct_rps_c8", direct_rps),
+            ("scheduled_rps_c8", scheduled_rps),
+            ("speedup_c8", scheduled_rps / direct_rps),
+            ("mean_batch", batch.mean()),
+            ("latency_p50_us", latency.p50 as f64),
+            ("latency_p99_us", latency.p99 as f64),
+        ],
+    );
+
+    // Criterion tracks the same two paths over time (smaller rounds).
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
+    let rounds = if smoke_run { 2 } else { 4 };
+    group.throughput(Throughput::Elements((CONCURRENCY * rounds) as u64));
+    group.bench_function(BenchmarkId::new("service/direct", CONCURRENCY), |b| {
+        b.iter(|| {
+            storm(CONCURRENCY, rounds, |c, r| {
+                let mut rng = StdRng::seed_from_u64((c * 1000 + r) as u64);
+                let chal = server.begin_identification(pick(c, r), &mut rng).unwrap();
+                assert!(server.cancel_session(chal.session));
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::new("service/scheduled", CONCURRENCY), |b| {
+        b.iter(|| {
+            storm(CONCURRENCY, rounds, |c, r| {
+                let chal = scheduler.identify(pick(c, r).clone()).unwrap();
+                assert!(scheduler.server().cancel_session(chal.session));
+            })
+        })
+    });
+    group.finish();
+}
+
+/// Open-loop arrival sweep: offered load × batch window × shard count.
+fn bench_open_loop(setup: &Setup) {
+    let smoke_run = smoke::smoke_mode();
+    let shard_counts: &[usize] = if smoke_run { &[2] } else { &[1, 2, 4] };
+    let windows_us: &[u64] = &[500, 2_000];
+    let offered_rps: &[u64] = if smoke_run {
+        &[1_000, 4_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    let requests = if smoke_run { 300 } else { 2_000 };
+
+    let mut csv_rows = Vec::new();
+    for &shards in shard_counts {
+        let server = enrolled_server(setup, shards);
+        for &window in windows_us {
+            for &offered in offered_rps {
+                let scheduler = ScheduledServer::new(
+                    server.clone(),
+                    SchedulerConfig {
+                        max_batch: 32,
+                        max_delay: Duration::from_micros(window),
+                        queue_capacity: 256,
+                        ..SchedulerConfig::default()
+                    },
+                );
+                let interval = Duration::from_secs(1) / offered as u32;
+                let start = Instant::now();
+                let mut tickets: Vec<IdentifyTicket> = Vec::with_capacity(requests);
+                let mut shed = 0usize;
+                for i in 0..requests {
+                    // Open loop: arrivals follow the schedule regardless
+                    // of completions; a full queue sheds, never blocks.
+                    let due = start + interval * i as u32;
+                    while Instant::now() < due {
+                        std::hint::spin_loop();
+                    }
+                    match scheduler.submit(setup.probes[i % setup.probes.len()].clone()) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(_) => shed += 1,
+                    }
+                }
+                let served = tickets.len();
+                for ticket in tickets {
+                    let chal = ticket.wait().unwrap();
+                    assert!(scheduler.server().cancel_session(chal.session));
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                let achieved = served as f64 / elapsed;
+                let latency = scheduler.metrics().latency_us.snapshot();
+                let batch = scheduler.metrics().batch_size.snapshot();
+                println!(
+                    "scheduler_throughput/open_loop: shards {shards}, window {window} µs, \
+                     offered {offered} req/s → achieved {achieved:.0} req/s, shed {shed}, \
+                     mean batch {:.1}, p50 {} µs, p99 {} µs",
+                    batch.mean(),
+                    latency.p50,
+                    latency.p99,
+                );
+                csv_rows.push(format!(
+                    "{shards},{window},{offered},{achieved:.0},{shed},{:.1},{},{}",
+                    batch.mean(),
+                    latency.p50,
+                    latency.p99,
+                ));
+            }
+        }
+    }
+    let path = write_csv(
+        "scheduler_throughput.csv",
+        "shards,window_us,offered_rps,achieved_rps,shed,mean_batch,p50_us,p99_us",
+        &csv_rows,
+    );
+    println!(
+        "scheduler_throughput: open-loop sweep written to {}",
+        path.display()
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let setup = build_setup(64);
+    bench_index_kernel(c, &setup);
+    bench_service(c, &setup);
+    bench_open_loop(&setup);
+}
+
+criterion_group!(scheduler, benches);
+criterion_main!(scheduler);

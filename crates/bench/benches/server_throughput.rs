@@ -17,7 +17,12 @@
 //! Populations are built once per size from real Chebyshev sketches so
 //! the early-abort profile matches production data.
 
+//! `FE_BENCH_SMOKE=1` shrinks the sweep to a CI-sized smoke run and
+//! records the headline numbers in `BENCH_SMOKE.json` (see
+//! `fe_bench::smoke`).
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_bench::{smoke, time_it};
 use fe_core::{ChebyshevSketch, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex};
 use fe_protocol::concurrent::SharedServer;
 use fe_protocol::{BiometricDevice, SystemParams};
@@ -28,7 +33,7 @@ use std::time::Duration;
 const DIM: usize = 64;
 const T: u64 = 100;
 const KA: u64 = 400;
-/// ≥ 10⁵ enrolled sketches: the acceptance-criterion scale.
+/// ≥ 10⁵ enrolled sketches: the acceptance-criterion scale (full mode).
 const INDEX_SIZES: [usize; 2] = [10_000, 100_000];
 const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
 const BATCH: usize = 256;
@@ -57,12 +62,16 @@ fn build_population(users: usize, rng: &mut StdRng) -> (Vec<Vec<i64>>, Vec<Vec<i
 /// Index layer: single worst-case lookup and a 256-probe batch, scan vs
 /// sharded, over the population sweep.
 fn bench_index_scaling(c: &mut Criterion) {
+    let smoke_run = smoke::smoke_mode();
+    let sizes: &[usize] = if smoke_run { &[20_000] } else { &INDEX_SIZES };
+    let shard_counts: &[usize] = if smoke_run { &[2, 4] } else { &SHARD_COUNTS };
     let mut group = c.benchmark_group("server_throughput");
     group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
 
-    for &users in &INDEX_SIZES {
+    let mut smoke_metrics: Vec<(String, f64)> = Vec::new();
+    for &users in sizes {
         let mut rng = StdRng::seed_from_u64(0x5CA1E + users as u64);
         let (sketches, probes) = build_population(users, &mut rng);
         // Worst case for the scan: the match is the last enrolled record.
@@ -77,6 +86,16 @@ fn bench_index_scaling(c: &mut Criterion) {
         for s in &sketches {
             scan.insert(s);
         }
+        // The smoke report's machine-readable numbers: one timed
+        // worst-case scan and one timed 256-probe batch, independent of
+        // criterion's output format.
+        let (_, scan_secs) = time_it(|| scan.lookup(&worst_probe).expect("found"));
+        let (_, batch_secs) = time_it(|| scan.lookup_batch(&batch));
+        smoke_metrics.push((format!("scan_worst_lookup_us_{users}"), scan_secs * 1e6));
+        smoke_metrics.push((
+            format!("scan_batch256_rps_{users}"),
+            BATCH as f64 / batch_secs,
+        ));
         group.bench_with_input(BenchmarkId::new("lookup/scan", users), &users, |b, _| {
             b.iter(|| {
                 scan.lookup(std::hint::black_box(&worst_probe))
@@ -88,7 +107,7 @@ fn bench_index_scaling(c: &mut Criterion) {
             b.iter(|| scan.lookup_batch(std::hint::black_box(&batch)))
         });
 
-        for &shards in &SHARD_COUNTS {
+        for &shards in shard_counts {
             let mut sharded = ShardedIndex::scan(shards, T, KA);
             for s in &sketches {
                 sharded.insert(s);
@@ -112,19 +131,27 @@ fn bench_index_scaling(c: &mut Criterion) {
         }
     }
     group.finish();
+    let named: Vec<(&str, f64)> = smoke_metrics
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    smoke::record("server_throughput", &named);
 }
 
 /// Protocol layer: [`SharedServer::identify_batch`] over a queue of
 /// concurrent devices, sweeping the server shard count. Smaller
 /// population (each enrollment runs real DSA keygen).
 fn bench_shared_server(c: &mut Criterion) {
+    let smoke_run = smoke::smoke_mode();
     let mut group = c.benchmark_group("server_throughput");
     group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
 
-    let users = 512;
-    let queue = 64usize;
+    // Each enrollment runs real DSA keygen, so the smoke run keeps the
+    // population small.
+    let users = if smoke_run { 96 } else { 512 };
+    let queue = if smoke_run { 32usize } else { 64usize };
     for &shards in &[1usize, 4] {
         let params = SystemParams::insecure_test_defaults();
         let server = SharedServer::<ScanIndex>::with_shards(params.clone(), shards);

@@ -22,7 +22,7 @@
 //! and the pre-sized bulk-load path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fe_bench::write_csv;
+use fe_bench::{smoke, time_it, write_csv};
 use fe_core::conditions::sketches_match;
 use fe_core::{CellWidth, ScanIndex, SketchIndex};
 use rand::rngs::StdRng;
@@ -102,7 +102,7 @@ fn matching_probe(sketch: &[i64], t: u64, ka: u64, rng: &mut StdRng) -> Vec<i64>
 }
 
 fn bench_storage(c: &mut Criterion) {
-    let smoke = std::env::var_os("FE_BENCH_SMOKE").is_some();
+    let smoke = smoke::smoke_mode();
     let sizes: &[usize] = if smoke {
         &[2_000]
     } else {
@@ -115,6 +115,7 @@ fn bench_storage(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(if smoke { 100 } else { 500 }));
 
     let mut csv_rows = Vec::new();
+    let mut smoke_metrics: Vec<(String, f64)> = Vec::new();
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(0x5704 + n as u64);
         let sketches = synth_sketches(n, KA, &mut rng);
@@ -173,8 +174,17 @@ fn bench_storage(c: &mut Criterion) {
             })
         });
 
+        // Machine-readable smoke numbers: one timed worst-case lookup
+        // per layout, plus bytes/record.
+        let (_, base_secs) = time_it(|| baseline.lookup(&probe).expect("found"));
+        let (_, col_secs) = time_it(|| columnar.lookup(&probe).expect("found"));
+        smoke_metrics.push((format!("baseline_lookup_us_{n}"), base_secs * 1e6));
+        smoke_metrics.push((format!("columnar_lookup_us_{n}"), col_secs * 1e6));
+
         let base_bpr = baseline.heap_bytes() as f64 / n as f64;
         let col_bpr = columnar.heap_bytes() as f64 / n as f64;
+        smoke_metrics.push((format!("baseline_bytes_per_record_{n}"), base_bpr));
+        smoke_metrics.push((format!("columnar_bytes_per_record_{n}"), col_bpr));
         println!(
             "storage_ablation/bytes_per_record/{n}: baseline {base_bpr:.1} B, \
              columnar {col_bpr:.1} B ({:.1}× smaller)",
@@ -192,13 +202,18 @@ fn bench_storage(c: &mut Criterion) {
         "storage_ablation: bytes/record written to {}",
         path.display()
     );
+    let named: Vec<(&str, f64)> = smoke_metrics
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    smoke::record("storage_ablation", &named);
 }
 
 /// Executes the two wide cell-width dispatch paths (`i32`, `i64`) so a
 /// smoke run covers every kernel instantiation, and checks the widths
 /// actually selected.
 fn bench_width_dispatch(c: &mut Criterion) {
-    let smoke = std::env::var_os("FE_BENCH_SMOKE").is_some();
+    let smoke = smoke::smoke_mode();
     let n = if smoke { 2_000 } else { 50_000 };
     let mut group = c.benchmark_group("storage_ablation_widths");
     group.sample_size(10);

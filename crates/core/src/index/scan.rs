@@ -47,6 +47,12 @@ impl SketchIndex for ScanIndex {
         self.arena.find_all(probe)
     }
 
+    fn lookup_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
+        // One pass over the arena serves the whole batch (the scan is
+        // memory-bound at scale; see SketchArena::find_first_batch).
+        self.arena.find_first_batch(probes)
+    }
+
     fn remove(&mut self, id: RecordId) -> bool {
         self.arena.remove(id)
     }

@@ -36,9 +36,12 @@ const PARALLEL_THRESHOLD: usize = 65_536;
 /// Shard scans fan out on worker threads once the population is large
 /// enough to amortize thread startup ([`ShardedIndex::scan`] with a few
 /// hundred thousand records is the target regime); small indexes run
-/// sequentially. [`SketchIndex::lookup_batch`] parallelizes across
-/// probes instead of shards, which is the better axis when a server
-/// drains a queue of concurrent identification requests.
+/// sequentially. [`SketchIndex::lookup_batch`] hands the whole batch to
+/// every shard's own batch path (for arena-backed shards, one
+/// multi-query pass over the shard's column buffer serves every probe)
+/// and folds per-shard first matches to the lowest global id — so a
+/// server draining a queue of concurrent identification requests costs
+/// one memory sweep per shard, not one per request.
 #[derive(Debug, Clone)]
 pub struct ShardedIndex<I> {
     shards: Vec<I>,
@@ -202,21 +205,40 @@ impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
 
     fn lookup_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
         // A one-element batch gets `lookup`'s shard-parallel path — a
-        // single probe cannot be parallelized across probes.
+        // single probe cannot share a scan with anything.
         if let [probe] = probes {
             return vec![self.lookup(probe)];
         }
-        // Across a batch, probes are the better parallel axis: each
-        // worker resolves whole probes (sequentially over shards), so no
-        // per-probe join is needed.
-        if probes.len() > 1 && (self.use_parallel() || probes.len() >= PARALLEL_THRESHOLD) {
-            probes
+        // Each shard resolves the whole batch through its backend's
+        // batch path — for arena-backed shards that is ONE pass over the
+        // shard's column buffer serving every probe (the multi-query
+        // kernel), instead of one pass per probe. Per-shard first
+        // matches then fold to the lowest global id per probe: the
+        // local→global map is monotone within a shard, so the fold
+        // reproduces exactly the single-index lowest-live-id semantics.
+        let per_shard: Vec<Vec<Option<RecordId>>> = if self.use_parallel() {
+            self.shards
                 .par_iter()
-                .map(|p| self.lookup_sequential(p))
+                .map(|shard| shard.lookup_batch(probes))
                 .collect()
         } else {
-            probes.iter().map(|p| self.lookup_sequential(p)).collect()
+            self.shards
+                .iter()
+                .map(|shard| shard.lookup_batch(probes))
+                .collect()
+        };
+        let mut out = vec![None; probes.len()];
+        for (s, shard_results) in per_shard.into_iter().enumerate() {
+            for (slot, local) in out.iter_mut().zip(shard_results) {
+                if let Some(local) = local {
+                    let global = self.to_global(s, local);
+                    if slot.is_none_or(|cur| global < cur) {
+                        *slot = Some(global);
+                    }
+                }
+            }
         }
+        out
     }
 
     fn remove(&mut self, id: RecordId) -> bool {

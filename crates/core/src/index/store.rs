@@ -278,6 +278,63 @@ fn scan_blocks<C: Cell>(
     }
 }
 
+/// Scans the live rows of a column view **once** on behalf of many
+/// probes: every live row is tested against each still-unresolved probe
+/// (`active` holds their indices into `results`), and a probe leaves
+/// the active set at its first match — so per-probe results equal what
+/// `from`-0 [`scan_blocks`] would have returned, while the column
+/// buffer is streamed through memory exactly one time instead of once
+/// per probe.
+///
+/// This is the batch kernel behind request scheduling: the scan is
+/// memory-bound at scale, so amortizing one pass over N concurrent
+/// queries is the whole win. The scan aborts as soon as every probe is
+/// resolved.
+fn scan_blocks_multi<C: Cell>(
+    col: ColumnView<'_, C>,
+    probes: &[C],
+    t: u64,
+    ka: u64,
+    active: &mut Vec<usize>,
+    results: &mut [Option<RecordId>],
+) {
+    let mut word_idx = 0usize;
+    let Some(&first) = col.live.get(word_idx) else {
+        return;
+    };
+    let mut word = first;
+    loop {
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let row = word_idx * 64 + bit;
+            if row >= col.rows {
+                return;
+            }
+            let s = &col.cells[row * col.dim..(row + 1) * col.dim];
+            let mut i = 0;
+            while i < active.len() {
+                let p = active[i];
+                let probe = &probes[p * col.dim..(p + 1) * col.dim];
+                if rows_match(s, probe, t, ka) {
+                    results[p] = Some(row);
+                    active.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if active.is_empty() {
+                return;
+            }
+        }
+        word_idx += 1;
+        match col.live.get(word_idx) {
+            Some(&w) => word = w,
+            None => return,
+        }
+    }
+}
+
 /// Contiguous, width-adaptive columnar storage for sketches — the
 /// storage engine shared by [`ScanIndex`](super::ScanIndex),
 /// [`BucketIndex`](super::BucketIndex) and the shards of a
@@ -568,6 +625,82 @@ impl SketchArena {
         found
     }
 
+    /// Resolves a whole batch of probes with **one pass** over the
+    /// column buffer: every live row is tested against each
+    /// still-unresolved probe, so N concurrent queries share a single
+    /// memory sweep instead of issuing N sweeps (the scan at scale is
+    /// memory-bound, making this the amortization that turns batched
+    /// service into a throughput win — see `scheduler_throughput` in
+    /// `fe-bench`).
+    ///
+    /// Results are position-aligned with `probes` and identical to
+    /// calling [`SketchArena::find_first`] per probe: each probe
+    /// resolves to its lowest-id live match. Probes whose dimension
+    /// differs from the stamped one resolve to `None`, as everywhere
+    /// else.
+    pub fn find_first_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
+        let mut results = vec![None; probes.len()];
+        let Some(dim) = self.dim else {
+            return results;
+        };
+        if self.live == 0 || dim == 0 {
+            // `dim == 0` would make every per-row slice empty (matching
+            // everything vacuously is what find_first does too, via
+            // rows_match on empty slices) — fall back to the per-probe
+            // path rather than special-casing zero-width rows here.
+            for (slot, probe) in results.iter_mut().zip(probes) {
+                *slot = self.find_first(probe);
+            }
+            return results;
+        }
+        let mut active: Vec<usize> = (0..probes.len())
+            .filter(|&p| probes[p].len() == dim)
+            .collect();
+        if active.is_empty() {
+            return results;
+        }
+        let ka = self.ka;
+        let (lo, hi) = canonical_range(ka);
+        // One flattened, canonicalized probe matrix in the arena's cell
+        // width: wrong-dimension probes (never active) occupy a zeroed
+        // row so the `p * dim` indexing stays uniform.
+        macro_rules! run {
+            ($cells:expr, $c:ty) => {{
+                let mut flat: Vec<$c> = Vec::with_capacity(probes.len() * dim);
+                for probe in probes {
+                    if probe.len() == dim {
+                        flat.extend(
+                            probe
+                                .iter()
+                                .map(|&v| <$c as Cell>::narrow(canonical_fast(v, lo, hi, ka))),
+                        );
+                    } else {
+                        flat.resize(flat.len() + dim, <$c as Cell>::narrow(0));
+                    }
+                }
+                scan_blocks_multi(
+                    ColumnView {
+                        cells: $cells,
+                        live: &self.live_bits,
+                        rows: self.rows,
+                        dim,
+                    },
+                    &flat,
+                    self.t,
+                    ka,
+                    &mut active,
+                    &mut results,
+                );
+            }};
+        }
+        match &self.cells {
+            Cells::I16(v) => run!(v, i16),
+            Cells::I32(v) => run!(v, i32),
+            Cells::I64(v) => run!(v, i64),
+        }
+        results
+    }
+
     /// Every live row matching the probe, ascending.
     pub fn find_all(&self, probe: &[i64]) -> Vec<RecordId> {
         let Some(normalized) = self.normalize_probe(probe) else {
@@ -837,6 +970,55 @@ mod tests {
         arena.for_each_live(|id, row| seen.push((id, row.to_vec())));
         assert_eq!(seen.len(), 8);
         assert_eq!(seen[4], (5, vec![5, 5]));
+    }
+
+    #[test]
+    fn batch_scan_agrees_with_per_probe_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for ka in [400u64, 1 << 20, 1 << 40] {
+            let t = ka / 4;
+            let mut arena = SketchArena::new(t, ka);
+            let half = (ka / 2) as i64;
+            let rows: Vec<Vec<i64>> = (0..300)
+                .map(|_| (0..8).map(|_| rng.gen_range(-half..=half)).collect())
+                .collect();
+            for row in &rows {
+                arena.push(row);
+            }
+            for id in (0..300).step_by(5) {
+                arena.remove(id);
+            }
+            // Genuine probes (noise within t), impostors, and a
+            // wrong-dimension probe in one batch.
+            let mut probes: Vec<Vec<i64>> = rows
+                .iter()
+                .step_by(7)
+                .map(|row| {
+                    row.iter()
+                        .map(|&v| v + rng.gen_range(-(t as i64)..=t as i64))
+                        .collect()
+                })
+                .collect();
+            probes.push(vec![0; 8]);
+            probes.push(vec![1, 2, 3]);
+            let batch = arena.find_first_batch(&probes);
+            let single: Vec<Option<RecordId>> =
+                probes.iter().map(|p| arena.find_first(p)).collect();
+            assert_eq!(batch, single, "ka = {ka}");
+        }
+    }
+
+    #[test]
+    fn batch_scan_on_empty_and_unstamped_arena() {
+        let arena = SketchArena::new(100, 400);
+        assert_eq!(arena.find_first_batch(&[vec![1, 2]]), vec![None]);
+        let mut arena = SketchArena::new(100, 400);
+        let a = arena.push(&[5, 5]);
+        arena.remove(a);
+        assert_eq!(arena.find_first_batch(&[vec![5, 5]]), vec![None]);
+        assert_eq!(arena.find_first_batch(&[]), Vec::<Option<RecordId>>::new());
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! one [`Metric`] trait, plus the [`BitVec`] bit-vector type shared by the
 //! Hamming-metric code paths.
 //!
+//! The crate also hosts the workspace's *service* metrics: the
+//! lock-free [`telemetry::Histogram`] the request scheduler exports its
+//! latency / queue-depth / batch-size distributions through (same crate,
+//! different sense of "metric" — both are measurement vocabulary shared
+//! across the workspace).
+//!
 //! ```rust
 //! use fe_metrics::{Chebyshev, Metric};
 //!
@@ -24,6 +30,7 @@ mod edit;
 mod hamming;
 mod lp;
 mod set;
+pub mod telemetry;
 
 pub use bitvec::BitVec;
 pub use chebyshev::{Chebyshev, RingChebyshev};

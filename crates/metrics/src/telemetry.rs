@@ -1,0 +1,255 @@
+//! Service telemetry: lock-free histograms for the serving layer.
+//!
+//! The identification *protocol* lives in `fe-protocol`, but a server
+//! taking heavy traffic needs to observe itself — queue wait, batch
+//! size, queue depth — without a mutex on the hot path. [`Histogram`]
+//! is the one primitive this workspace needs for that: a fixed array
+//! of power-of-two buckets behind relaxed atomics, so recording is a
+//! handful of uncontended `fetch_add`s and a snapshot is a consistent-
+//! enough read for operational quantiles (p50/p90/p99 within a factor
+//! of two, which is what log-bucketed histograms promise).
+//!
+//! Values are plain `u64`s; the *unit* is the caller's contract (the
+//! request scheduler records microseconds for latencies and counts for
+//! batch sizes / queue depths).
+//!
+//! ```rust
+//! use fe_metrics::telemetry::Histogram;
+//!
+//! let h = Histogram::new();
+//! for v in [1u64, 2, 3, 100, 1000] {
+//!     h.observe(v);
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count, 5);
+//! assert_eq!(snap.max, 1000);
+//! assert!(snap.p50 >= 2 && snap.p50 <= 1000);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket `0` holds the value `0`, bucket `b ≥ 1`
+/// holds values with bit length `b`, i.e. `[2^(b−1), 2^b)`. `u64::MAX`
+/// has bit length 64, so 65 buckets cover the whole domain.
+const BUCKETS: usize = 65;
+
+/// A lock-free, log₂-bucketed histogram of `u64` observations.
+///
+/// Recording ([`Histogram::observe`]) is wait-free (relaxed atomic
+/// adds); reading ([`Histogram::snapshot`]) tears at most by whatever
+/// was recorded concurrently — fine for operational metrics, not for
+/// accounting. Quantiles are reported as the upper bound of the bucket
+/// the quantile falls in (clamped to the observed maximum), so they
+/// over-estimate by at most 2×.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time read of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Median, as a bucket upper bound (0 when empty).
+    pub p50: u64,
+    /// 90th percentile, as a bucket upper bound (0 when empty).
+    pub p90: u64,
+    /// 99th percentile, as a bucket upper bound (0 when empty).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The bucket index for a value: its bit length.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value a bucket can hold.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Wait-free; safe from any thread.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reads the current state as counts + log-bucket quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Quantiles over the bucket counts we actually read — the
+        // shared `count` cell may include racing observations whose
+        // bucket increment we missed, which would push quantiles past
+        // the last bucket.
+        let total: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile, 1-based, ceil — p50 of 2 samples
+            // is the 1st, p99 of 100 samples is the 99th.
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (bucket, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(bucket).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(
+            (snap.count, snap.sum, snap.max, snap.p50, snap.p90, snap.p99),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn buckets_cover_the_domain() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b));
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_data_within_a_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.sum, 500_500);
+        // Exact p50 is 500 → bucket [512, 1023] upper bound, clamped
+        // to observed max where applicable; log buckets promise ≤ 2×.
+        assert!(snap.p50 >= 500 && snap.p50 <= 1000, "p50 = {}", snap.p50);
+        assert!(snap.p90 >= 900 && snap.p90 <= 1000, "p90 = {}", snap.p90);
+        assert!(snap.p99 >= 990 && snap.p99 <= 1000, "p99 = {}", snap.p99);
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_tail_is_visible_in_p99() {
+        let h = Histogram::new();
+        for _ in 0..97 {
+            h.observe(10);
+        }
+        for _ in 0..3 {
+            h.observe(100_000);
+        }
+        let snap = h.snapshot();
+        // Nearest-rank p99 of 100 samples is the 99th — inside the tail.
+        assert!(snap.p50 <= 15);
+        assert!(snap.p90 <= 15);
+        assert!(snap.p99 >= 65_536, "p99 = {}", snap.p99);
+        assert_eq!(snap.max, 100_000);
+    }
+
+    #[test]
+    fn concurrent_observations_all_land() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

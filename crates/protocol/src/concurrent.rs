@@ -362,12 +362,15 @@ impl<I: SketchIndex> SharedServer<I> {
     }
 
     /// Batch identification phase 1: resolves many probes per lock
-    /// acquisition. The first shard sees the whole batch through the
-    /// index's batch path (one shared-lock acquisition, probe-parallel
-    /// for sharded indexes); later shards — which only see the probes
-    /// the earlier ones missed — loop per probe under one shared lock.
-    /// Each shard with matches is write-locked once per round to issue
-    /// its challenges. Results are position-aligned with `probes`.
+    /// acquisition. Every shard sees its whole remaining workload
+    /// through the index's batch path — one shared-lock acquisition
+    /// and (for arena-backed indexes) **one pass over the shard's
+    /// storage for the entire batch**, the multi-query kernel the
+    /// request scheduler is built on; the first shard scans the
+    /// caller's slice directly, later shards scan only the probes the
+    /// earlier ones missed. Each shard with matches is write-locked
+    /// once per round to issue its challenges. Results are
+    /// position-aligned with `probes`.
     ///
     /// Cross-shard match selection follows the same routing-order rule
     /// as [`SharedServer::begin_identification`].
@@ -407,10 +410,23 @@ impl<I: SketchIndex> SharedServer<I> {
                                 .filter_map(|(p, m)| m.map(|idx| (p, idx)))
                                 .collect()
                         }
-                        None => unresolved
-                            .iter()
-                            .filter_map(|&p| server.lookup_probe(&probes[p]).map(|idx| (p, idx)))
-                            .collect(),
+                        None => {
+                            // Later shards get the batch path too: the
+                            // unresolved subset is gathered so the
+                            // shard's storage is swept once for all of
+                            // it, not once per probe. The probe clones
+                            // are noise next to the scans they replace.
+                            let subset: Vec<Vec<i64>> =
+                                unresolved.iter().map(|&p| probes[p].clone()).collect();
+                            server
+                                .lookup_probe_batch(&subset)
+                                .into_iter()
+                                .zip(unresolved.iter())
+                                .filter_map(|(m, &p)| m.map(|idx| (p, idx)))
+                                .collect()
+                        }
+                        // Refusals come from revocation races — rare
+                        // enough that the retry round stays per-probe.
                         Some(refused) => refused
                             .iter()
                             .filter_map(|&p| server.lookup_probe(&probes[p]).map(|idx| (p, idx)))

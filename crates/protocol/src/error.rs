@@ -31,6 +31,11 @@ pub enum ProtocolError {
     /// The enrollment store could not be read or written (I/O failures;
     /// carries the rendered `std::io::Error` so this type stays `Clone`).
     Storage(String),
+    /// The request scheduler's admission queue is full (or the
+    /// scheduler is shutting down): the request was shed instead of
+    /// queued without bound. Clients should back off and retry — see
+    /// [`crate::scheduler::ScheduledServer`].
+    Overloaded,
 }
 
 impl fmt::Display for ProtocolError {
@@ -45,6 +50,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
             ProtocolError::Codec(e) => write!(f, "durable artifact failure: {e}"),
             ProtocolError::Storage(what) => write!(f, "enrollment store failure: {what}"),
+            ProtocolError::Overloaded => {
+                write!(f, "server overloaded: identification request shed")
+            }
         }
     }
 }

@@ -23,6 +23,12 @@
 //!   partitioned across N independently-locked server shards, lookups
 //!   under shared read locks, batched identification with one lock
 //!   acquisition per shard per batch.
+//! * [`scheduler::ScheduledServer`] — the heavy-traffic front door: a
+//!   bounded admission queue coalesces concurrent `identify` calls
+//!   into adaptive micro-batches (flush on size or deadline), executes
+//!   them through the shards' single-pass multi-query scan kernel, and
+//!   sheds excess load with [`ProtocolError::Overloaded`] instead of
+//!   queueing without bound.
 //! * [`store`] — durable enrollment: the [`EnrollmentStore`]
 //!   abstraction, the file-backed append-only journal + compacted
 //!   snapshots ([`FileStore`]), and crash-safe recovery
@@ -73,6 +79,7 @@ mod messages;
 mod normal;
 mod params;
 mod runner;
+pub mod scheduler;
 mod server;
 pub mod store;
 pub mod transport;
@@ -81,10 +88,11 @@ pub mod wire;
 pub use device::BiometricDevice;
 pub use error::ProtocolError;
 pub use messages::{
-    EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId, UserId,
+    EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId, UserId, WireHelper,
 };
 pub use normal::{NormalIdentification, NormalStats, ScanMode};
 pub use params::{IndexConfig, SystemParams};
 pub use runner::{IdentifyStats, ProtocolRunner};
+pub use scheduler::{IdentifyTicket, ScheduledServer, SchedulerConfig, SchedulerMetrics};
 pub use server::{AuthenticationServer, BuildIndex};
 pub use store::{EnrollmentStore, FileStore, LogEvent, MemoryStore};
