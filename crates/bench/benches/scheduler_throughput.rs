@@ -24,7 +24,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_bench::{smoke, time_it, write_csv, SynthPopulation};
-use fe_core::{ScanIndex, SketchIndex};
+use fe_core::{FilterConfig, ScanIndex, SketchIndex};
 use fe_protocol::concurrent::SharedServer;
 use fe_protocol::scheduler::{IdentifyTicket, ScheduledServer, SchedulerConfig};
 use fe_protocol::SystemParams;
@@ -74,7 +74,10 @@ fn enrolled_server(setup: &Setup, shards: usize) -> SharedServer<ScanIndex> {
     server
 }
 
-/// Index layer: K scans vs one multi-query pass.
+/// Index layer: K scans vs one multi-query pass — for both the scalar
+/// columnar kernel and the vectorized two-phase scan (runtime-dispatch
+/// default), so the batch path the scheduler rides on is ablated in
+/// `BENCH_SMOKE.json` too (`batch32_scalar_us` / `batch32_vectorized_us`).
 fn bench_index_kernel(c: &mut Criterion, setup: &Setup) {
     let smoke_run = smoke::smoke_mode();
     let mut group = c.benchmark_group("scheduler_throughput");
@@ -82,15 +85,20 @@ fn bench_index_kernel(c: &mut Criterion, setup: &Setup) {
     group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
     group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
 
-    let mut index = ScanIndex::new(
+    let (t, ka) = (
         setup.params.sketch().threshold(),
         setup.params.sketch().line().interval_len(),
     );
+    let mut index = ScanIndex::new(t, ka);
+    let mut scalar = ScanIndex::with_filter(t, ka, FilterConfig::disabled());
     index.reserve(POPULATION, DIM);
+    scalar.reserve(POPULATION, DIM);
     for record in &setup.pop.records {
         index.insert(&record.helper.sketch.inner);
+        scalar.insert(&record.helper.sketch.inner);
     }
 
+    let mut batch_metrics: Vec<(String, f64)> = Vec::new();
     for k in [CONCURRENCY, 32] {
         // Sample the queue across the whole probe pool so scan depths
         // stay uniformly distributed at every K.
@@ -98,6 +106,7 @@ fn bench_index_kernel(c: &mut Criterion, setup: &Setup) {
             .map(|i| setup.probes[i * setup.probes.len() / k].clone())
             .collect();
         let queue = queue.as_slice();
+        assert_eq!(index.lookup_batch(queue), scalar.lookup_batch(queue));
         group.throughput(Throughput::Elements(k as u64));
         group.bench_with_input(
             BenchmarkId::new("index/one_scan_per_request", k),
@@ -114,7 +123,30 @@ fn bench_index_kernel(c: &mut Criterion, setup: &Setup) {
         group.bench_with_input(BenchmarkId::new("index/shared_scan", k), &k, |b, _| {
             b.iter(|| index.lookup_batch(std::hint::black_box(queue)))
         });
+        group.bench_with_input(
+            BenchmarkId::new("index/shared_scan_scalar", k),
+            &k,
+            |b, _| b.iter(|| scalar.lookup_batch(std::hint::black_box(queue))),
+        );
+
+        let (_, scalar_secs) = fe_bench::time_best(5, || scalar.lookup_batch(queue));
+        let (_, vect_secs) = fe_bench::time_best(5, || index.lookup_batch(queue));
+        batch_metrics.push((format!("batch{k}_scalar_us"), scalar_secs * 1e6));
+        batch_metrics.push((format!("batch{k}_vectorized_us"), vect_secs * 1e6));
+        println!(
+            "scheduler_throughput/index: batch {k} on 10^5 records — scalar {:.0} µs, \
+             {} {:.0} µs ({:.2}×)",
+            scalar_secs * 1e6,
+            index.arena().filter_kernel(),
+            vect_secs * 1e6,
+            scalar_secs / vect_secs
+        );
     }
+    let named: Vec<(&str, f64)> = batch_metrics
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    smoke::record("scheduler_batch_kernel", &named);
     group.finish();
 }
 

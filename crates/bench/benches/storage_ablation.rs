@@ -1,30 +1,42 @@
 //! **Storage ablation (ours)**: Vec-of-Vec rows vs the columnar
-//! [`SketchArena`] behind every index.
+//! [`SketchArena`] behind every index, and the scan-kernel sweep
+//! (scalar vs SWAR vs AVX2 prefilter) on top of the columnar layout.
 //!
 //! The paper's identification scan is memory-bound at scale, so the
 //! storage layout — not the per-coordinate arithmetic — sets the
 //! throughput ceiling. This ablation pits the seed layout
 //! (`Vec<Option<Vec<i64>>>`: a heap allocation and pointer chase per
 //! record, 8 bytes per coordinate) against the arena (one contiguous
-//! width-adaptive buffer + tombstone bitmap) on three axes:
+//! width-adaptive buffer + tombstone bitmap), and the scalar
+//! early-abort kernel against the two-phase vectorized scan
+//! (dimension-major prefilter plane; see `FilterConfig`):
 //!
-//! * `lookup/*` — worst-case probe (matches the last enrolled record,
-//!   so the whole population is scanned with early abort);
+//! * `lookup/*` — worst-case *matching* probe (resolves at the last
+//!   enrolled record, so the whole population is scanned);
+//! * `nomatch/*` — worst-case *non-matching* probe (the acceptance
+//!   criterion: nothing matches, every row must be rejected);
 //! * `bulk_load/*` — enrollment rate, with the arena pre-sized the way
-//!   snapshot recovery pre-sizes it;
+//!   snapshot recovery pre-sizes it (`vectorized` includes plane
+//!   maintenance);
 //! * bytes/record — reported to stdout and
-//!   `target/experiments/storage_ablation.csv` from `heap_bytes()`
-//!   (at the paper's `ka = 400` the arena auto-selects `i16` cells:
-//!   2 bytes/coordinate vs the baseline's 8 plus per-row overhead).
+//!   `target/experiments/storage_ablation.csv` from `heap_bytes()`.
+//!
+//! Kernel variants: `columnar` = the PR 3 scalar columnar kernel
+//! (`FilterConfig::disabled()`), `swar` = portable packed-lane SWAR
+//! forced, `vectorized` = runtime dispatch (AVX2 where the CPU has it,
+//! SWAR otherwise — the `vectorized_is_avx2` smoke metric says which
+//! ran). Headline smoke numbers land in `BENCH_SMOKE.json`; with
+//! `FE_BENCH_GATE` set, the run **fails** if the vectorized kernel is
+//! not at least as fast as the scalar one on the smoke population.
 //!
 //! `FE_BENCH_SMOKE=1` shrinks the sweep to a CI-sized smoke run that
-//! still executes every cell-width dispatch path (`i16`/`i32`/`i64`)
-//! and the pre-sized bulk-load path.
+//! still executes every cell-width dispatch path (`i16`/`i32`/`i64`),
+//! every kernel variant, and the pre-sized bulk-load path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fe_bench::{smoke, time_it, write_csv};
+use fe_bench::{smoke, time_best, write_csv};
 use fe_core::conditions::sketches_match;
-use fe_core::{CellWidth, ScanIndex, SketchIndex};
+use fe_core::{CellWidth, FilterConfig, ScanIndex, SketchIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -116,22 +128,53 @@ fn bench_storage(c: &mut Criterion) {
 
     let mut csv_rows = Vec::new();
     let mut smoke_metrics: Vec<(String, f64)> = Vec::new();
+    // The FE_BENCH_GATE comparison runs on the largest population of
+    // the sweep: (scalar_us, vectorized_us) for the no-match worst case.
+    let mut gate_pair = (0.0f64, 0.0f64);
+    // Which kernel `vectorized` actually dispatched to ("avx2"/"swar").
+    let mut kernel_label = "scalar";
+    // Best-of iterations for the single-shot smoke timings.
+    let iters = if smoke { 9 } else { 5 };
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(0x5704 + n as u64);
         let sketches = synth_sketches(n, KA, &mut rng);
-        // Worst case for the scan: the probe resolves at the very last
+        // Worst case for a *hit*: the probe resolves at the very last
         // record, so every row is visited.
         let probe = matching_probe(sketches.last().unwrap(), T, KA, &mut rng);
 
         let mut baseline = VecOfVecScan::new(T, KA);
-        let mut columnar = ScanIndex::new(T, KA);
+        // The kernel sweep, all on the same columnar storage: the PR 3
+        // scalar kernel, forced portable SWAR, and runtime dispatch.
+        let mut columnar = ScanIndex::with_filter(T, KA, FilterConfig::disabled());
+        let mut swar_idx = ScanIndex::with_filter(T, KA, FilterConfig::swar());
+        let mut vectorized = ScanIndex::new(T, KA);
         columnar.reserve(n, DIM);
+        swar_idx.reserve(n, DIM);
+        vectorized.reserve(n, DIM);
         for s in &sketches {
             baseline.insert(s.clone());
             columnar.insert(s);
+            swar_idx.insert(s);
+            vectorized.insert(s);
         }
         assert_eq!(columnar.arena().width(), CellWidth::I16);
+        assert_eq!(columnar.arena().filter_kernel(), "scalar");
+        assert_eq!(swar_idx.arena().filter_kernel(), "swar");
+        kernel_label = vectorized.arena().filter_kernel();
         assert_eq!(baseline.lookup(&probe), columnar.lookup(&probe));
+        assert_eq!(columnar.lookup(&probe), swar_idx.lookup(&probe));
+        assert_eq!(columnar.lookup(&probe), vectorized.lookup(&probe));
+
+        // Worst case for a *miss* (the acceptance criterion): a fresh
+        // sketch that matches nothing, so every row must be rejected.
+        let miss = loop {
+            let candidate = synth_sketches(1, KA, &mut rng).pop().unwrap();
+            if columnar.lookup(&candidate).is_none() {
+                break candidate;
+            }
+        };
+        assert_eq!(swar_idx.lookup(&miss), None);
+        assert_eq!(vectorized.lookup(&miss), None);
 
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("lookup/baseline", n), &n, |b, _| {
@@ -141,17 +184,29 @@ fn bench_storage(c: &mut Criterion) {
                     .expect("found")
             })
         });
-        group.bench_with_input(BenchmarkId::new("lookup/columnar", n), &n, |b, _| {
-            b.iter(|| {
-                columnar
-                    .lookup(std::hint::black_box(&probe))
-                    .expect("found")
-            })
-        });
+        for (label, index) in [
+            ("lookup/columnar", &columnar),
+            ("lookup/swar", &swar_idx),
+            ("lookup/vectorized", &vectorized),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| index.lookup(std::hint::black_box(&probe)).expect("found"))
+            });
+        }
+        for (label, index) in [
+            ("nomatch/columnar", &columnar),
+            ("nomatch/swar", &swar_idx),
+            ("nomatch/vectorized", &vectorized),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| index.lookup(std::hint::black_box(&miss)))
+            });
+        }
 
         // Bulk load: the recovery path (pre-sized arena) vs pushing
         // boxed rows. Loads are re-done per iteration, so keep the
         // budget in check by loading a slice at the larger sizes.
+        // `vectorized` includes the prefilter-plane maintenance cost.
         let load = &sketches[..n.min(100_000)];
         group.throughput(Throughput::Elements(load.len() as u64));
         group.bench_with_input(BenchmarkId::new("bulk_load/baseline", n), &n, |b, _| {
@@ -165,6 +220,16 @@ fn bench_storage(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bulk_load/columnar", n), &n, |b, _| {
             b.iter(|| {
+                let mut idx = ScanIndex::with_filter(T, KA, FilterConfig::disabled());
+                idx.reserve(load.len(), DIM);
+                for s in load {
+                    idx.insert(s);
+                }
+                idx.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bulk_load/vectorized", n), &n, |b, _| {
+            b.iter(|| {
                 let mut idx = ScanIndex::new(T, KA);
                 idx.reserve(load.len(), DIM);
                 for s in load {
@@ -174,39 +239,83 @@ fn bench_storage(c: &mut Criterion) {
             })
         });
 
-        // Machine-readable smoke numbers: one timed worst-case lookup
-        // per layout, plus bytes/record.
-        let (_, base_secs) = time_it(|| baseline.lookup(&probe).expect("found"));
-        let (_, col_secs) = time_it(|| columnar.lookup(&probe).expect("found"));
+        // Machine-readable smoke numbers: best-of-timed worst-case
+        // lookups per layout and kernel, plus bytes/record.
+        let (_, base_secs) = time_best(iters, || baseline.lookup(&probe).expect("found"));
+        let (_, col_secs) = time_best(iters, || columnar.lookup(&probe).expect("found"));
+        let (_, swar_secs) = time_best(iters, || swar_idx.lookup(&probe).expect("found"));
+        let (_, vect_secs) = time_best(iters, || vectorized.lookup(&probe).expect("found"));
         smoke_metrics.push((format!("baseline_lookup_us_{n}"), base_secs * 1e6));
         smoke_metrics.push((format!("columnar_lookup_us_{n}"), col_secs * 1e6));
+        smoke_metrics.push((format!("swar_lookup_us_{n}"), swar_secs * 1e6));
+        smoke_metrics.push((format!("vectorized_lookup_us_{n}"), vect_secs * 1e6));
+        let (_, col_miss) = time_best(iters, || columnar.lookup(&miss));
+        let (_, swar_miss) = time_best(iters, || swar_idx.lookup(&miss));
+        let (_, vect_miss) = time_best(iters, || vectorized.lookup(&miss));
+        smoke_metrics.push((format!("columnar_nomatch_us_{n}"), col_miss * 1e6));
+        smoke_metrics.push((format!("swar_nomatch_us_{n}"), swar_miss * 1e6));
+        smoke_metrics.push((format!("vectorized_nomatch_us_{n}"), vect_miss * 1e6));
+        gate_pair = (col_miss, vect_miss);
+        println!(
+            "storage_ablation/kernels/{n}: no-match scalar {:.1} µs, swar {:.1} µs \
+             ({:.2}×), {} {:.1} µs ({:.2}×)",
+            col_miss * 1e6,
+            swar_miss * 1e6,
+            col_miss / swar_miss,
+            vectorized.arena().filter_kernel(),
+            vect_miss * 1e6,
+            col_miss / vect_miss,
+        );
 
         let base_bpr = baseline.heap_bytes() as f64 / n as f64;
         let col_bpr = columnar.heap_bytes() as f64 / n as f64;
+        let vect_bpr = vectorized.heap_bytes() as f64 / n as f64;
         smoke_metrics.push((format!("baseline_bytes_per_record_{n}"), base_bpr));
         smoke_metrics.push((format!("columnar_bytes_per_record_{n}"), col_bpr));
+        smoke_metrics.push((format!("vectorized_bytes_per_record_{n}"), vect_bpr));
         println!(
             "storage_ablation/bytes_per_record/{n}: baseline {base_bpr:.1} B, \
-             columnar {col_bpr:.1} B ({:.1}× smaller)",
-            base_bpr / col_bpr
+             columnar {col_bpr:.1} B ({:.1}× smaller), vectorized {vect_bpr:.1} B \
+             (plane overhead {:.1} B)",
+            base_bpr / col_bpr,
+            vect_bpr - col_bpr
         );
-        csv_rows.push(format!("{n},{base_bpr:.1},{col_bpr:.1}"));
+        csv_rows.push(format!(
+            "{n},{base_bpr:.1},{col_bpr:.1},{vect_bpr:.1},{:.3},{:.3},{:.3}",
+            col_miss * 1e6,
+            swar_miss * 1e6,
+            vect_miss * 1e6
+        ));
     }
     group.finish();
     let path = write_csv(
         "storage_ablation.csv",
-        "records,baseline_bytes_per_record,columnar_bytes_per_record",
+        "records,baseline_bytes_per_record,columnar_bytes_per_record,\
+         vectorized_bytes_per_record,scalar_nomatch_us,swar_nomatch_us,vectorized_nomatch_us",
         &csv_rows,
     );
     println!(
-        "storage_ablation: bytes/record written to {}",
+        "storage_ablation: bytes/record + kernel sweep written to {}",
         path.display()
     );
+    let avx2 = kernel_label == "avx2";
+    smoke_metrics.push(("vectorized_is_avx2".to_string(), f64::from(u8::from(avx2))));
     let named: Vec<(&str, f64)> = smoke_metrics
         .iter()
         .map(|(k, v)| (k.as_str(), *v))
         .collect();
     smoke::record("storage_ablation", &named);
+
+    // The CI perf gate: on the smoke population the vectorized kernel
+    // must not lose to the scalar one it claims to replace.
+    if std::env::var_os("FE_BENCH_GATE").is_some() {
+        let (scalar_us, vect_us) = (gate_pair.0 * 1e6, gate_pair.1 * 1e6);
+        assert!(
+            vect_us <= scalar_us,
+            "FE_BENCH_GATE: vectorized no-match lookup ({vect_us:.1} µs) is slower than \
+             the scalar kernel ({scalar_us:.1} µs)"
+        );
+    }
 }
 
 /// Executes the two wide cell-width dispatch paths (`i32`, `i64`) so a

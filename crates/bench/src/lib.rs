@@ -163,6 +163,21 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Times `iters ≥ 1` runs of a closure and returns the last result with
+/// the **best** (minimum) duration in seconds — the noise-robust point
+/// estimate smoke reports use on shared CI runners, where a single
+/// sample can absorb a scheduler hiccup and flip a perf comparison.
+pub fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(iters >= 1, "need at least one timing iteration");
+    let (mut out, mut best) = time_it(&mut f);
+    for _ in 1..iters {
+        let (next, secs) = time_it(&mut f);
+        out = next;
+        best = best.min(secs);
+    }
+    (out, best)
+}
+
 /// Formats seconds as engineering-friendly milliseconds.
 pub fn ms(seconds: f64) -> String {
     format!("{:8.3} ms", seconds * 1e3)

@@ -70,7 +70,10 @@ impl BucketIndex {
             prefix_dims,
             cells,
             buckets: HashMap::new(),
-            arena: SketchArena::new(t, ka),
+            // The prefilter plane only accelerates *full* scans; the
+            // bucket index verifies hashed candidates one row at a
+            // time, so a plane would be pure insert/memory overhead.
+            arena: SketchArena::with_filter(t, ka, super::FilterConfig::disabled()),
         }
     }
 

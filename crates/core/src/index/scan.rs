@@ -1,12 +1,14 @@
 //! The paper-faithful early-abort linear scan, on columnar storage.
 
-use super::store::SketchArena;
+use super::store::{FilterConfig, SketchArena};
 use super::{RecordId, SketchIndex};
 
 /// Early-abort linear scan (the paper's strategy), backed by a
 /// [`SketchArena`]: one contiguous width-adaptive buffer instead of a
 /// `Vec` of boxed rows, so the conditions (1)–(4) scan streams through
-/// memory with no pointer chasing.
+/// memory with no pointer chasing. On `i16` rings the arena's
+/// prefilter plane turns full scans into the two-phase vectorized
+/// kernel (see [`FilterConfig`]).
 #[derive(Debug, Clone)]
 pub struct ScanIndex {
     arena: SketchArena,
@@ -14,10 +16,20 @@ pub struct ScanIndex {
 
 impl ScanIndex {
     /// Creates a scan index for sketches over a ring of circumference
-    /// `ka` with threshold `t`.
+    /// `ka` with threshold `t`, with the default prefilter plane (see
+    /// [`ScanIndex::with_filter`]).
     pub fn new(t: u64, ka: u64) -> Self {
         ScanIndex {
             arena: SketchArena::new(t, ka),
+        }
+    }
+
+    /// Creates a scan index with an explicit prefilter configuration
+    /// (e.g. [`FilterConfig::disabled`] for the pure scalar kernel, or
+    /// [`FilterConfig::swar`] to pin the portable vector path).
+    pub fn with_filter(t: u64, ka: u64, filter: FilterConfig) -> Self {
+        ScanIndex {
+            arena: SketchArena::with_filter(t, ka, filter),
         }
     }
 

@@ -117,12 +117,21 @@ impl<I: SketchIndex> ShardedIndex<I> {
 
 impl ShardedIndex<ScanIndex> {
     /// `n` early-abort scan shards over a ring of circumference `ka`
-    /// with threshold `t`.
+    /// with threshold `t` (default prefilter plane on every shard).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn scan(n: usize, t: u64, ka: u64) -> Self {
         Self::from_fn(n, |_| ScanIndex::new(t, ka))
+    }
+
+    /// Like [`ShardedIndex::scan`] with an explicit prefilter
+    /// configuration for every shard's arena.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn scan_with_filter(n: usize, t: u64, ka: u64, filter: super::FilterConfig) -> Self {
+        Self::from_fn(n, |_| ScanIndex::with_filter(t, ka, filter))
     }
 }
 

@@ -32,8 +32,24 @@
 //! `%`), which is exactly the [`crate::conditions::cyclic_close`]
 //! predicate — the equivalence is property-tested in
 //! `tests/properties.rs`.
+//!
+//! # The two-phase vectorized scan
+//!
+//! On the paper's ring (`ka < 2¹⁵`, `i16` cells) the arena additionally
+//! maintains a **prefilter plane**: the leading `F` (default 8)
+//! coordinates of every row stored *dimension-major* — one contiguous
+//! lane per dimension, four 16-bit row values packed per `u64` word —
+//! so the cyclic-distance-≤`t` test runs as packed-lane SWAR (or 16
+//! lanes at a time under runtime-dispatched AVX2). Per-coordinate pass
+//! probability is ≈ `(2t+1)/ka` ≈ ½ at paper parameters, so eight
+//! filter dimensions reject ~255/256 rows in the vector pass; the
+//! sparse survivors get exact verification of the *remaining*
+//! dimensions on the row-major buffer. See [`FilterConfig`] for the
+//! knob and `DESIGN.md` for the lane math; rings whose cells are wider
+//! than `i16` bypass the plane and use the scalar kernel unchanged.
 
 use super::RecordId;
+use std::cell::RefCell;
 
 /// Cell type a [`SketchArena`] stores coordinates in, chosen from the
 /// ring circumference `ka` at construction (see
@@ -166,6 +182,503 @@ impl Cells {
             Cells::I64(v) => v.truncate(cells),
         }
     }
+}
+
+/// How (and whether) a [`SketchArena`] builds its SWAR/SIMD prefilter
+/// plane for the conditions (1)–(4) scan.
+///
+/// The plane stores the leading [`FilterConfig::dims`] coordinates of
+/// every row dimension-major (one contiguous packed lane per
+/// dimension) so the per-coordinate cyclic test vectorizes; survivors
+/// are exact-verified on the remaining coordinates. It only exists on
+/// `i16`-cell rings (`ka < 2¹⁵` — the paper's parameters); wider rings
+/// always use the scalar kernel, whatever this config says.
+///
+/// Like [`CellWidth`], this is a lookup accelerator knob: it never
+/// changes match results (property-tested in `tests/properties.rs`)
+/// and is excluded from durable-storage fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Leading coordinates kept in the plane; `0` disables the
+    /// prefilter entirely. Clamped to the sketch dimension. Default
+    /// [`FilterConfig::DEFAULT_DIMS`]: with per-coordinate pass
+    /// probability ≈ ½, eight dimensions already reject ~255/256 rows,
+    /// and further lanes would add memory traffic faster than they
+    /// remove survivors.
+    pub dims: usize,
+    /// Which vector kernel scans the plane.
+    pub kernel: FilterKernel,
+}
+
+/// The vector kernel that scans a [`FilterConfig`] prefilter plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterKernel {
+    /// Runtime dispatch: AVX2 when the CPU has it (checked once via
+    /// `is_x86_feature_detected!`), portable SWAR otherwise.
+    #[default]
+    Auto,
+    /// Force the portable SWAR path (4 × 16-bit lanes per `u64` word,
+    /// no `unsafe`) even where AVX2 is available — the bench ablation
+    /// uses this to separate SWAR from SIMD wins.
+    Swar,
+}
+
+impl FilterConfig {
+    /// Default number of plane dimensions (see [`FilterConfig::dims`]).
+    pub const DEFAULT_DIMS: usize = 8;
+
+    /// A disabled prefilter: every lookup takes the scalar early-abort
+    /// kernel, as before the plane existed.
+    pub fn disabled() -> FilterConfig {
+        FilterConfig {
+            dims: 0,
+            kernel: FilterKernel::Auto,
+        }
+    }
+
+    /// Force the portable SWAR kernel with the default plane width.
+    pub fn swar() -> FilterConfig {
+        FilterConfig {
+            dims: Self::DEFAULT_DIMS,
+            kernel: FilterKernel::Swar,
+        }
+    }
+}
+
+impl Default for FilterConfig {
+    fn default() -> FilterConfig {
+        FilterConfig {
+            dims: Self::DEFAULT_DIMS,
+            kernel: FilterKernel::Auto,
+        }
+    }
+}
+
+/// `0x0001` in every 16-bit lane: broadcasts a lane value by
+/// multiplication.
+const LANES: u64 = 0x0001_0001_0001_0001;
+/// The spare most-significant bit of every 16-bit lane. Plane values
+/// are residues in `[0, ka)` with `ka < 2¹⁵`, so this bit is always
+/// free to carry per-lane comparison results without cross-lane
+/// borrows.
+const MSBS: u64 = 0x8000_8000_8000_8000;
+
+/// The vector kernel actually chosen for a scan, after runtime feature
+/// detection resolved [`FilterKernel::Auto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActiveKernel {
+    Swar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// One probe's prefilter state, borrowed from the scan scratch: the
+/// biased residues of its leading plane coordinates, and the same
+/// values broadcast across SWAR lanes.
+#[derive(Clone, Copy)]
+struct ProbeFilter<'a> {
+    biased: &'a [u16],
+    bcast: &'a [u64],
+}
+
+/// The AVX2 prefilter kernel. The *only* `unsafe` in the crate: the
+/// intrinsic body itself is safe inside the `#[target_feature]`
+/// function (no pointer dereferences — loads go through
+/// `_mm256_set_epi64x` on bounds-checked slice reads), and the one
+/// `unsafe` call site is guarded by an `is_x86_feature_detected!`
+/// assertion, so the target-feature contract can never be violated.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_cmpeq_epi16, _mm256_min_epu16, _mm256_movemask_epi8,
+        _mm256_or_si256, _mm256_set1_epi16, _mm256_set_epi64x, _mm256_setzero_si256,
+        _mm256_sub_epi16, _mm256_subs_epu16, _mm256_testz_si256,
+    };
+
+    /// Compacts the even bits of a 32-bit mask into 16 bits (AVX2's
+    /// byte-granular `movemask` emits two identical bits per 16-bit
+    /// lane).
+    fn even_bits(m: u32) -> u16 {
+        let mut x = u64::from(m) & 0x5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333;
+        x = (x | (x >> 2)) & 0x0F0F_0F0F;
+        x = (x | (x >> 4)) & 0x00FF_00FF;
+        x = (x | (x >> 8)) & 0x0000_FFFF;
+        x as u16
+    }
+
+    /// `true` once per process: does this CPU have AVX2?
+    pub fn available() -> bool {
+        // `is_x86_feature_detected!` caches in a relaxed atomic, so
+        // per-call cost is a load and a branch.
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    /// Prefilters 16 rows (plane words `wi .. wi+4` of every lane)
+    /// against a probe, returning one bit per passing row.
+    ///
+    /// # Panics
+    /// Panics when AVX2 is unavailable — which makes the inner
+    /// `unsafe` call sound unconditionally.
+    pub fn quad(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u16 {
+        assert!(available(), "AVX2 kernel dispatched without AVX2");
+        // SAFETY: the avx2 target feature was just verified above.
+        unsafe { quad_avx2(lanes, biased, t, ka, wi) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn quad_avx2(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u16 {
+        let zero = _mm256_setzero_si256();
+        let tv = _mm256_set1_epi16(t as i16);
+        let kav = _mm256_set1_epi16(ka as i16);
+        let mut acc = _mm256_set1_epi16(-1);
+        for (lane, &pb) in lanes.iter().zip(biased) {
+            // 16 rows of this dimension: 4 packed u64 words, lane 0 of
+            // word `wi` = row `4·wi`. Little-endian lane order matches
+            // `movemask` bit order.
+            let v: __m256i = _mm256_set_epi64x(
+                lane[wi + 3] as i64,
+                lane[wi + 2] as i64,
+                lane[wi + 1] as i64,
+                lane[wi] as i64,
+            );
+            let p = _mm256_set1_epi16(pb as i16);
+            // |a − b| on unsigned residues: one of the saturating
+            // differences is zero, the other the distance.
+            let diff = _mm256_or_si256(_mm256_subs_epu16(v, p), _mm256_subs_epu16(p, v));
+            // Cyclic distance min(d, ka − d); ka − d ∈ [1, ka] fits.
+            let cyc = _mm256_min_epu16(diff, _mm256_sub_epi16(kav, diff));
+            // cyc ≤ t ⟺ saturating cyc − t == 0.
+            let pass = _mm256_cmpeq_epi16(_mm256_subs_epu16(cyc, tv), zero);
+            acc = _mm256_and_si256(acc, pass);
+            if _mm256_testz_si256(acc, acc) == 1 {
+                return 0;
+            }
+        }
+        even_bits(_mm256_movemask_epi8(acc) as u32)
+    }
+}
+
+/// The leading dimensions of every row, stored dimension-major for the
+/// vector prefilter: lane `d` holds coordinate `d` of rows
+/// `0, 1, 2, …` as biased 16-bit residues (`(value mod ka) ∈ [0, ka)`),
+/// four rows packed per `u64` word.
+///
+/// Only rows' *positions* live here — liveness stays in the arena's
+/// bitmap, which the candidate masks are intersected with, so `remove`
+/// never touches the plane and stale tombstone lanes are harmless.
+#[derive(Debug, Clone)]
+struct FilterPlane {
+    /// One packed lane per filter dimension (`min(config.dims, dim)`).
+    lanes: Vec<Vec<u64>>,
+    /// Effective threshold `min(t, ka/2)` — the cyclic distance never
+    /// exceeds `ka/2`, so clamping preserves the predicate while
+    /// keeping every SWAR constant inside a 15-bit lane.
+    t_eff: u16,
+    /// The ring circumference (fits: planes only exist for `ka < 2¹⁵`).
+    ka16: u16,
+    /// `0x8000 + t_eff` broadcast: SWAR `absd ≤ t_eff` comparand.
+    th: u64,
+    /// `ka − t_eff` broadcast: SWAR `absd ≥ ka − t_eff` comparand.
+    kmt: u64,
+}
+
+/// Biases a canonical `i16` ring representative into `[0, ka)`.
+#[inline]
+fn bias16(c: i16, ka16: u16) -> u16 {
+    if c < 0 {
+        (i32::from(c) + i32::from(ka16)) as u16
+    } else {
+        c as u16
+    }
+}
+
+impl FilterPlane {
+    fn new(dims: usize, t: u64, ka: u64) -> FilterPlane {
+        debug_assert!(dims >= 1 && ka < 1 << 15);
+        let ka16 = ka as u16;
+        let t_eff = t.min(ka / 2) as u16;
+        FilterPlane {
+            lanes: vec![Vec::new(); dims],
+            t_eff,
+            ka16,
+            th: (0x8000 + u64::from(t_eff)) * LANES,
+            kmt: (ka - u64::from(t_eff)) * LANES,
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.lanes.iter().map(|l| l.capacity() * 8).sum()
+    }
+
+    fn reserve_rows(&mut self, total_rows: usize) {
+        let words = total_rows.div_ceil(4);
+        for lane in &mut self.lanes {
+            lane.reserve(words.saturating_sub(lane.len()));
+        }
+    }
+
+    fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+    }
+
+    /// Appends row `row`'s leading coordinates (canonical `i16`
+    /// residues) to every lane. Rows must arrive densely in order.
+    fn push_row(&mut self, row: usize, leading: &[i16]) {
+        debug_assert_eq!(leading.len(), self.lanes.len());
+        let (word, slot) = (row / 4, row % 4);
+        for (lane, &c) in self.lanes.iter_mut().zip(leading) {
+            let b = u64::from(bias16(c, self.ka16));
+            if slot == 0 {
+                debug_assert_eq!(lane.len(), word);
+                lane.push(b);
+            } else {
+                lane[word] |= b << (16 * slot);
+            }
+        }
+    }
+
+    /// Rebuilds every lane from the (compacted) row-major cell buffer.
+    fn rebuild(&mut self, cells: &[i16], rows: usize, dim: usize) {
+        self.clear();
+        let pd = self.dims();
+        for row in 0..rows {
+            let base = row * dim;
+            self.push_row(row, &cells[base..base + pd]);
+        }
+    }
+
+    /// SWAR-prefilters the 4 rows of plane word `wi`, returning one
+    /// low bit per passing row. See `DESIGN.md` for the lane algebra;
+    /// every intermediate stays within its 16-bit lane because values
+    /// are 15-bit residues and `MSBS` supplies the borrow headroom.
+    #[inline]
+    fn swar_word(&self, pf: ProbeFilter<'_>, wi: usize) -> u64 {
+        let mut acc = MSBS;
+        for (lane, &pb) in self.lanes.iter().zip(pf.bcast) {
+            let a = lane[wi];
+            // Per lane: a − b + 0x8000 and b − a + 0x8000 (exact; no
+            // cross-lane borrow since the `MSBS` addend dominates any
+            // 15-bit operand).
+            let d1 = (a | MSBS) - pb;
+            let d2 = (pb | MSBS) - a;
+            // Full-lane mask of a ≥ b from d1's carried MSB.
+            let ge = ((d1 >> 15) & LANES) * 0xFFFF;
+            // |a − b| per lane, MSB bias stripped.
+            let absd = ((d1 & ge) | (d2 & !ge)) & !MSBS;
+            // Cyclic pass: absd ≤ t_eff  OR  absd ≥ ka − t_eff.
+            let pass = ((self.th - absd) | ((absd | MSBS) - self.kmt)) & MSBS;
+            acc &= pass;
+            if acc == 0 {
+                return 0;
+            }
+        }
+        // Gather the surviving per-lane MSBs into 4 low bits.
+        ((acc >> 15) & 1) | ((acc >> 30) & 2) | ((acc >> 45) & 4) | ((acc >> 60) & 8)
+    }
+
+    /// Candidate mask for one 64-row block: prefilters plane words
+    /// `16·w .. 16·w+16` against the probe and intersects with the
+    /// block's liveness word (which also discards tail lanes past the
+    /// last real row).
+    fn block_candidates(
+        &self,
+        kernel: ActiveKernel,
+        pf: ProbeFilter<'_>,
+        w: usize,
+        lw: u64,
+    ) -> u64 {
+        let words = self.lanes[0].len();
+        let base = w * 16;
+        let mut out = 0u64;
+        match kernel {
+            #[cfg(target_arch = "x86_64")]
+            ActiveKernel::Avx2 => {
+                for chunk in 0..4 {
+                    // Wholly-dead 16-row runs need no prefilter at all.
+                    if (lw >> (chunk * 16)) & 0xFFFF == 0 {
+                        continue;
+                    }
+                    let wi = base + chunk * 4;
+                    if wi + 4 <= words {
+                        let m = avx2::quad(&self.lanes, pf.biased, self.t_eff, self.ka16, wi);
+                        out |= u64::from(m) << (chunk * 16);
+                    } else {
+                        // Tail of the buffer: too few words for a full
+                        // 16-row vector — finish with SWAR words.
+                        for (sub, wi) in (wi..words).enumerate() {
+                            out |= self.swar_word(pf, wi) << (chunk * 16 + sub * 4);
+                        }
+                    }
+                }
+            }
+            ActiveKernel::Swar => {
+                for sub in 0..16 {
+                    if (lw >> (sub * 4)) & 0xF == 0 {
+                        continue;
+                    }
+                    let wi = base + sub;
+                    if wi >= words {
+                        break;
+                    }
+                    out |= self.swar_word(pf, wi) << (sub * 4);
+                }
+            }
+        }
+        out & lw
+    }
+
+    /// Phase 1 + phase 2 for one probe: walks the candidate bitmap a
+    /// 64-row block at a time and exact-verifies each survivor's
+    /// *remaining* dimensions (`pd..dim`) with the scalar early-abort
+    /// kernel — the plane dimensions were already tested exactly, so
+    /// together the two phases equal a full-row `rows_match`. Calls
+    /// `on_match` for every matching row until it returns `false`.
+    fn scan(
+        &self,
+        col: ColumnView<'_, i16>,
+        kernel: ActiveKernel,
+        probe: &[i16],
+        pf: ProbeFilter<'_>,
+        from: usize,
+        on_match: &mut dyn FnMut(RecordId) -> bool,
+    ) {
+        let pd = self.dims();
+        // `min(t, ka/2)` and the real `t` decide conditions (1)–(4)
+        // identically (cyclic distance never exceeds ka/2).
+        let (t, ka) = (u64::from(self.t_eff), u64::from(self.ka16));
+        let suffix = &probe[pd..];
+        let first = from / 64;
+        for w in first..col.live.len() {
+            let mut lw = col.live[w];
+            if w == first {
+                lw &= u64::MAX << (from % 64);
+            }
+            if lw == 0 {
+                continue;
+            }
+            let mut cand = self.block_candidates(kernel, pf, w, lw);
+            while cand != 0 {
+                let row = w * 64 + cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let s = &col.cells[row * col.dim + pd..(row + 1) * col.dim];
+                if rows_match(s, suffix, t, ka) && !on_match(row) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The multi-probe batch kernel on the prefilter plane: one pass
+    /// over the plane serves every still-unresolved probe — per block,
+    /// each active probe gets its own candidate mask while the block's
+    /// lanes are hot in cache, and a probe retires at its first
+    /// verified match. Results equal per-probe [`FilterPlane::scan`]
+    /// from row 0 (each probe resolves to its lowest-id live match).
+    fn scan_multi(
+        &self,
+        col: ColumnView<'_, i16>,
+        kernel: ActiveKernel,
+        probes: &[i16],
+        pf_all: ProbeFilter<'_>,
+        active: &mut Vec<usize>,
+        results: &mut [Option<RecordId>],
+    ) {
+        let pd = self.dims();
+        let (t, ka) = (u64::from(self.t_eff), u64::from(self.ka16));
+        for w in 0..col.live.len() {
+            let lw = col.live[w];
+            if lw == 0 {
+                continue;
+            }
+            let mut i = 0;
+            while i < active.len() {
+                let p = active[i];
+                let pf = ProbeFilter {
+                    biased: &pf_all.biased[p * pd..(p + 1) * pd],
+                    bcast: &pf_all.bcast[p * pd..(p + 1) * pd],
+                };
+                let suffix = &probes[p * col.dim + pd..(p + 1) * col.dim];
+                let mut cand = self.block_candidates(kernel, pf, w, lw);
+                let mut resolved = false;
+                while cand != 0 {
+                    let row = w * 64 + cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    let s = &col.cells[row * col.dim + pd..(row + 1) * col.dim];
+                    if rows_match(s, suffix, t, ka) {
+                        results[p] = Some(row);
+                        resolved = true;
+                        break;
+                    }
+                }
+                if resolved {
+                    active.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if active.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+/// Per-thread reusable scan state: normalized-probe buffers for every
+/// cell width, the prefilter probe state, and the batch active set.
+/// Hoisting these off the per-call hot path matters because a sharded
+/// lookup re-normalizes the same probes once *per shard* — previously
+/// a fresh `Vec` each time.
+#[derive(Default)]
+struct ScanScratch {
+    i16s: Vec<i16>,
+    i32s: Vec<i32>,
+    i64s: Vec<i64>,
+    biased: Vec<u16>,
+    bcast: Vec<u64>,
+    active: Vec<usize>,
+}
+
+/// Builds the prefilter probe state (biased residues + SWAR broadcasts)
+/// for every probe in `cells16`: canonical `i16` probe rows laid out
+/// `dim` apart, `pd` plane dimensions each, into the scratch's reused
+/// `biased`/`bcast` buffers. Probes that cannot match (wrong dimension,
+/// pre-zeroed rows) keep their slots so indexing stays uniform.
+fn build_filter_probes(
+    cells16: &[i16],
+    dim: usize,
+    pd: usize,
+    ka16: u16,
+    biased: &mut Vec<u16>,
+    bcast: &mut Vec<u64>,
+) {
+    let count = cells16.len().checked_div(dim).unwrap_or(0);
+    biased.clear();
+    bcast.clear();
+    biased.reserve(count * pd);
+    bcast.reserve(count * pd);
+    for p in 0..count {
+        for &c in &cells16[p * dim..p * dim + pd] {
+            let b = bias16(c, ka16);
+            biased.push(b);
+            bcast.push(u64::from(b) * LANES);
+        }
+    }
+}
+
+thread_local! {
+    /// The scan scratch is thread-local (lookups are `&self` and run
+    /// under shared locks, possibly on rayon workers) and never held
+    /// across user code — match callbacks on the scan paths are
+    /// internal closures, so the `RefCell` cannot be re-entered.
+    static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::default());
 }
 
 /// A probe sketch pre-normalized into an arena's cell width, so a
@@ -373,12 +886,26 @@ pub struct SketchArena {
     live_bits: Vec<u64>,
     rows: usize,
     live: usize,
+    /// The prefilter knob (applied lazily: the plane itself exists only
+    /// once the dimension is stamped, and only on `i16` rings).
+    filter: FilterConfig,
+    /// The dimension-major prefilter plane, when active.
+    plane: Option<FilterPlane>,
 }
 
 impl SketchArena {
     /// Creates an empty arena for sketches over a ring of circumference
-    /// `ka` with threshold `t`. The cell width is fixed here, from `ka`.
+    /// `ka` with threshold `t`, with the default prefilter
+    /// configuration (see [`SketchArena::with_filter`]). The cell width
+    /// is fixed here, from `ka`.
     pub fn new(t: u64, ka: u64) -> SketchArena {
+        SketchArena::with_filter(t, ka, FilterConfig::default())
+    }
+
+    /// Creates an empty arena with an explicit prefilter configuration.
+    /// The plane only materializes on `i16` rings (`ka < 2¹⁵`); wider
+    /// rings ignore `filter` and always scan with the scalar kernel.
+    pub fn with_filter(t: u64, ka: u64, filter: FilterConfig) -> SketchArena {
         assert!(ka >= 1, "ring circumference must be at least 1");
         let width = CellWidth::for_ring(ka);
         SketchArena {
@@ -390,6 +917,8 @@ impl SketchArena {
             live_bits: Vec::new(),
             rows: 0,
             live: 0,
+            filter,
+            plane: None,
         }
     }
 
@@ -397,20 +926,23 @@ impl SketchArena {
     /// (the bulk-load path: snapshot recovery knows both up front).
     pub fn with_capacity(t: u64, ka: u64, rows: usize, dim: usize) -> SketchArena {
         let mut arena = SketchArena::new(t, ka);
-        arena.cells.reserve(rows * dim);
-        arena.live_bits.reserve(rows.div_ceil(64));
-        arena.dim = Some(dim);
+        arena.reserve(rows, dim);
         arena
     }
 
-    /// Pre-sizes for `additional` more rows of `dim` coordinates.
+    /// Pre-sizes for `additional` more rows of `dim` coordinates —
+    /// the column buffer, the liveness bitmap, **and** the prefilter
+    /// plane lanes, so a pre-sized bulk load reallocates nothing.
     ///
     /// # Panics
     /// Panics if the arena is already stamped with a different
     /// dimension.
     pub fn reserve(&mut self, additional: usize, dim: usize) {
         match self.dim {
-            None => self.dim = Some(dim),
+            None => {
+                self.dim = Some(dim);
+                self.stamp_plane();
+            }
             Some(stamped) => {
                 assert_eq!(dim, stamped, "reserve dimension must match the stamp")
             }
@@ -418,6 +950,72 @@ impl SketchArena {
         self.cells.reserve(additional * dim);
         self.live_bits
             .reserve((self.rows + additional).div_ceil(64) - self.live_bits.len());
+        if let Some(plane) = &mut self.plane {
+            plane.reserve_rows(self.rows + additional);
+        }
+    }
+
+    /// Builds the plane when the freshly stamped dimension and the ring
+    /// width allow one. Called exactly once, at stamp time.
+    fn stamp_plane(&mut self) {
+        debug_assert!(self.plane.is_none());
+        let dim = self.dim.unwrap_or(0);
+        let pd = self.filter.dims.min(dim);
+        if self.width == CellWidth::I16 && pd > 0 {
+            self.plane = Some(FilterPlane::new(pd, self.t, self.ka));
+        }
+    }
+
+    /// The vector kernel a scan would use right now: `"scalar"` (no
+    /// plane — wide ring, disabled filter, or nothing stamped),
+    /// `"swar"`, or `"avx2"`. Benches use this to label ablations.
+    pub fn filter_kernel(&self) -> &'static str {
+        match self.active_kernel() {
+            None => "scalar",
+            Some(ActiveKernel::Swar) => "swar",
+            #[cfg(target_arch = "x86_64")]
+            Some(ActiveKernel::Avx2) => "avx2",
+        }
+    }
+
+    /// The number of dimensions the prefilter plane holds (0 when
+    /// inactive).
+    pub fn plane_dims(&self) -> usize {
+        self.plane.as_ref().map_or(0, FilterPlane::dims)
+    }
+
+    /// The configured prefilter knob (which the ring width may have
+    /// overridden — see [`SketchArena::plane_dims`] for what is live).
+    pub fn filter_config(&self) -> FilterConfig {
+        self.filter
+    }
+
+    /// The plane plus its resolved kernel when the prefilter is live —
+    /// the single dispatch condition shared by the single-probe and
+    /// batch scan entry points.
+    fn active_plane(&self) -> Option<(&FilterPlane, ActiveKernel)> {
+        Some((self.plane.as_ref()?, self.active_kernel()?))
+    }
+
+    fn active_kernel(&self) -> Option<ActiveKernel> {
+        self.plane.as_ref()?;
+        Some(match self.filter.kernel {
+            FilterKernel::Swar => ActiveKernel::Swar,
+            FilterKernel::Auto => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if avx2::available() {
+                        ActiveKernel::Avx2
+                    } else {
+                        ActiveKernel::Swar
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    ActiveKernel::Swar
+                }
+            }
+        })
     }
 
     /// The match threshold `t`.
@@ -455,11 +1053,13 @@ impl SketchArena {
         self.rows
     }
 
-    /// Heap bytes held by the arena: the column buffer plus the
-    /// liveness bitmap (capacities, not lengths — this is what the
-    /// allocator has actually handed out).
+    /// Heap bytes held by the arena: the column buffer, the liveness
+    /// bitmap, and the prefilter plane lanes (capacities, not lengths —
+    /// this is what the allocator has actually handed out).
     pub fn heap_bytes(&self) -> usize {
-        self.cells.capacity_bytes() + self.live_bits.capacity() * 8
+        self.cells.capacity_bytes()
+            + self.live_bits.capacity() * 8
+            + self.plane.as_ref().map_or(0, FilterPlane::heap_bytes)
     }
 
     /// Appends a sketch, returning its row id (dense, insertion order).
@@ -470,7 +1070,14 @@ impl SketchArena {
     /// # Panics
     /// Panics if `sketch`'s dimension differs from the stamped one.
     pub fn push(&mut self, sketch: &[i64]) -> RecordId {
-        let dim = *self.dim.get_or_insert(sketch.len());
+        let dim = match self.dim {
+            Some(dim) => dim,
+            None => {
+                self.dim = Some(sketch.len());
+                self.stamp_plane();
+                sketch.len()
+            }
+        };
         assert_eq!(
             sketch.len(),
             dim,
@@ -493,6 +1100,12 @@ impl SketchArena {
             Cells::I64(v) => v.extend(sketch.iter().map(|&c| canonical_fast(c, lo, hi, ka))),
         }
         let row = self.rows;
+        // Mirror the row's leading coordinates into the prefilter plane
+        // (reading back the just-stored canonical residues).
+        if let (Some(plane), Cells::I16(v)) = (&mut self.plane, &self.cells) {
+            let pd = plane.dims();
+            plane.push_row(row, &v[row * dim..row * dim + pd]);
+        }
         if row / 64 == self.live_bits.len() {
             self.live_bits.push(0);
         }
@@ -616,9 +1229,8 @@ impl SketchArena {
     /// Like [`SketchArena::find_first`], but starts the scan at row
     /// `from` (resumable scans for candidate pruning).
     pub fn find_from(&self, probe: &[i64], from: RecordId) -> Option<RecordId> {
-        let normalized = self.normalize_probe(probe)?;
         let mut found = None;
-        self.dispatch_scan(&normalized, from, &mut |row| {
+        self.scan_probe(probe, from, &mut |row| {
             found = Some(row);
             false
         });
@@ -653,106 +1265,210 @@ impl SketchArena {
             }
             return results;
         }
-        let mut active: Vec<usize> = (0..probes.len())
-            .filter(|&p| probes[p].len() == dim)
-            .collect();
-        if active.is_empty() {
-            return results;
-        }
         let ka = self.ka;
         let (lo, hi) = canonical_range(ka);
-        // One flattened, canonicalized probe matrix in the arena's cell
-        // width: wrong-dimension probes (never active) occupy a zeroed
-        // row so the `p * dim` indexing stays uniform.
-        macro_rules! run {
-            ($cells:expr, $c:ty) => {{
-                let mut flat: Vec<$c> = Vec::with_capacity(probes.len() * dim);
-                for probe in probes {
-                    if probe.len() == dim {
-                        flat.extend(
-                            probe
-                                .iter()
-                                .map(|&v| <$c as Cell>::narrow(canonical_fast(v, lo, hi, ka))),
+        let (t, rows, live) = (self.t, self.rows, self.live_bits.as_slice());
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            s.active.clear();
+            s.active
+                .extend((0..probes.len()).filter(|&p| probes[p].len() == dim));
+            if s.active.is_empty() {
+                return;
+            }
+            // One flattened, canonicalized probe matrix in the arena's
+            // cell width, built in the reusable scratch: wrong-dimension
+            // probes (never active) occupy a zeroed row so the `p * dim`
+            // indexing stays uniform.
+            macro_rules! flatten {
+                ($buf:ident, $c:ty) => {{
+                    s.$buf.clear();
+                    s.$buf.reserve(probes.len() * dim);
+                    for probe in probes {
+                        if probe.len() == dim {
+                            s.$buf.extend(
+                                probe
+                                    .iter()
+                                    .map(|&v| <$c as Cell>::narrow(canonical_fast(v, lo, hi, ka))),
+                            );
+                        } else {
+                            let len = s.$buf.len();
+                            s.$buf.resize(len + dim, <$c as Cell>::narrow(0));
+                        }
+                    }
+                }};
+            }
+            macro_rules! scalar_multi {
+                ($cells:expr, $buf:ident) => {
+                    scan_blocks_multi(
+                        ColumnView {
+                            cells: $cells,
+                            live,
+                            rows,
+                            dim,
+                        },
+                        &s.$buf,
+                        t,
+                        ka,
+                        &mut s.active,
+                        &mut results,
+                    )
+                };
+            }
+            match &self.cells {
+                Cells::I16(v) => {
+                    flatten!(i16s, i16);
+                    if let Some((plane, kernel)) = self.active_plane() {
+                        build_filter_probes(
+                            &s.i16s,
+                            dim,
+                            plane.dims(),
+                            plane.ka16,
+                            &mut s.biased,
+                            &mut s.bcast,
+                        );
+                        plane.scan_multi(
+                            ColumnView {
+                                cells: v,
+                                live,
+                                rows,
+                                dim,
+                            },
+                            kernel,
+                            &s.i16s,
+                            ProbeFilter {
+                                biased: &s.biased,
+                                bcast: &s.bcast,
+                            },
+                            &mut s.active,
+                            &mut results,
                         );
                     } else {
-                        flat.resize(flat.len() + dim, <$c as Cell>::narrow(0));
+                        scalar_multi!(v, i16s);
                     }
                 }
-                scan_blocks_multi(
-                    ColumnView {
-                        cells: $cells,
-                        live: &self.live_bits,
-                        rows: self.rows,
-                        dim,
-                    },
-                    &flat,
-                    self.t,
-                    ka,
-                    &mut active,
-                    &mut results,
-                );
-            }};
-        }
-        match &self.cells {
-            Cells::I16(v) => run!(v, i16),
-            Cells::I32(v) => run!(v, i32),
-            Cells::I64(v) => run!(v, i64),
-        }
+                Cells::I32(v) => {
+                    flatten!(i32s, i32);
+                    scalar_multi!(v, i32s);
+                }
+                Cells::I64(v) => {
+                    flatten!(i64s, i64);
+                    scalar_multi!(v, i64s);
+                }
+            }
+        });
         results
     }
 
     /// Every live row matching the probe, ascending.
     pub fn find_all(&self, probe: &[i64]) -> Vec<RecordId> {
-        let Some(normalized) = self.normalize_probe(probe) else {
-            return Vec::new();
-        };
         let mut out = Vec::new();
-        self.dispatch_scan(&normalized, 0, &mut |row| {
+        self.scan_probe(probe, 0, &mut |row| {
             out.push(row);
             true
         });
         out
     }
 
-    /// Width-dispatches one blocked scan over the column buffer.
-    fn dispatch_scan(
+    /// One blocked scan over the column buffer for a single probe:
+    /// normalizes into the thread-local scratch (no per-probe
+    /// allocation), then dispatches the two-phase vectorized scan when
+    /// the prefilter plane is active and the scalar early-abort kernel
+    /// otherwise. No-op for dimension-mismatched probes.
+    fn scan_probe(
         &self,
-        probe: &NormalizedProbe,
+        probe: &[i64],
         from: RecordId,
         on_match: &mut dyn FnMut(RecordId) -> bool,
     ) {
-        let Some(dim) = self.dim else { return };
+        if self.dim != Some(probe.len()) {
+            return;
+        }
+        let dim = probe.len();
         let (t, ka, rows, live) = (self.t, self.ka, self.rows, self.live_bits.as_slice());
-        macro_rules! scan {
-            ($cells:expr, $probe:expr) => {
-                scan_blocks(
-                    ColumnView {
-                        cells: $cells,
-                        live,
-                        rows,
-                        dim,
-                    },
-                    $probe,
-                    t,
-                    ka,
-                    from,
-                    on_match,
-                )
-            };
-        }
-        match (&self.cells, &probe.cells) {
-            (Cells::I16(v), Cells::I16(p)) => scan!(v, p),
-            (Cells::I32(v), Cells::I32(p)) => scan!(v, p),
-            (Cells::I64(v), Cells::I64(p)) => scan!(v, p),
-            _ => unreachable!("probe was normalized for this arena's width"),
-        }
+        let (lo, hi) = canonical_range(ka);
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            macro_rules! normalize {
+                ($buf:ident, $c:ty) => {{
+                    s.$buf.clear();
+                    s.$buf.extend(
+                        probe
+                            .iter()
+                            .map(|&v| <$c as Cell>::narrow(canonical_fast(v, lo, hi, ka))),
+                    );
+                }};
+            }
+            macro_rules! scalar_scan {
+                ($cells:expr, $buf:ident) => {
+                    scan_blocks(
+                        ColumnView {
+                            cells: $cells,
+                            live,
+                            rows,
+                            dim,
+                        },
+                        &s.$buf,
+                        t,
+                        ka,
+                        from,
+                        on_match,
+                    )
+                };
+            }
+            match &self.cells {
+                Cells::I16(v) => {
+                    normalize!(i16s, i16);
+                    if let Some((plane, kernel)) = self.active_plane() {
+                        build_filter_probes(
+                            &s.i16s,
+                            dim,
+                            plane.dims(),
+                            plane.ka16,
+                            &mut s.biased,
+                            &mut s.bcast,
+                        );
+                        plane.scan(
+                            ColumnView {
+                                cells: v,
+                                live,
+                                rows,
+                                dim,
+                            },
+                            kernel,
+                            &s.i16s,
+                            ProbeFilter {
+                                biased: &s.biased,
+                                bcast: &s.bcast,
+                            },
+                            from,
+                            on_match,
+                        );
+                    } else {
+                        scalar_scan!(v, i16s);
+                    }
+                }
+                Cells::I32(v) => {
+                    normalize!(i32s, i32);
+                    scalar_scan!(v, i32s);
+                }
+                Cells::I64(v) => {
+                    normalize!(i64s, i64);
+                    scalar_scan!(v, i64s);
+                }
+            }
+        });
     }
 
-    /// Drops every row and resets id assignment; the width, `t`, `ka`
-    /// and dimension stamp are retained, as is the allocated capacity.
+    /// Drops every row and resets id assignment; the width, `t`, `ka`,
+    /// dimension stamp and prefilter plane are retained, as is the
+    /// allocated capacity.
     pub fn clear(&mut self) {
         self.cells.clear();
         self.live_bits.clear();
+        if let Some(plane) = &mut self.plane {
+            plane.clear();
+        }
         self.rows = 0;
         self.live = 0;
     }
@@ -793,6 +1509,12 @@ impl SketchArena {
             self.live_bits[id / 64] |= 1 << (id % 64);
         }
         self.live = next;
+        // The plane's packed words cannot slide at sub-word granularity
+        // the way the cells did — rebuild its lanes from the compacted
+        // buffer (same O(rows) order as the slide itself).
+        if let (Some(plane), Cells::I16(v)) = (&mut self.plane, &self.cells) {
+            plane.rebuild(v, next, dim);
+        }
         mapping
     }
 }
@@ -944,7 +1666,10 @@ mod tests {
 
     #[test]
     fn heap_bytes_tracks_width() {
-        let mut narrow = SketchArena::with_capacity(100, 400, 64, 8);
+        // Filter disabled so the comparison isolates the cell width
+        // (the i64 arena can never build a plane anyway).
+        let mut narrow = SketchArena::with_filter(100, 400, FilterConfig::disabled());
+        narrow.reserve(64, 8);
         let mut wide = SketchArena::with_capacity(100, 1 << 40, 64, 8);
         for i in 0..64i64 {
             narrow.push(&[i; 8]);
@@ -956,6 +1681,18 @@ mod tests {
             "i16 cells must be ~4× smaller than i64: {} vs {}",
             narrow.heap_bytes(),
             wide.heap_bytes()
+        );
+        // The prefilter plane is accounted for: an identical filtered
+        // arena holds strictly more heap (2 extra bytes per plane cell).
+        let mut filtered = SketchArena::with_capacity(100, 400, 64, 8);
+        for i in 0..64i64 {
+            filtered.push(&[i; 8]);
+        }
+        assert!(
+            filtered.heap_bytes() >= narrow.heap_bytes() + 64 * 8 * 2,
+            "plane bytes missing from heap_bytes: {} vs {}",
+            filtered.heap_bytes(),
+            narrow.heap_bytes()
         );
     }
 
@@ -1019,6 +1756,180 @@ mod tests {
         arena.remove(a);
         assert_eq!(arena.find_first_batch(&[vec![5, 5]]), vec![None]);
         assert_eq!(arena.find_first_batch(&[]), Vec::<Option<RecordId>>::new());
+    }
+
+    /// Drives a filtered arena and a scalar (filter-disabled) arena
+    /// through the same random population and probes, comparing every
+    /// lookup entry point.
+    fn check_filtered_matches_scalar(kernel: FilterKernel, t: u64, ka: u64, dim: usize) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF1C7 ^ t ^ ka ^ dim as u64);
+        let mut filtered = SketchArena::with_filter(
+            t,
+            ka,
+            FilterConfig {
+                dims: FilterConfig::DEFAULT_DIMS,
+                kernel,
+            },
+        );
+        let mut scalar = SketchArena::with_filter(t, ka, FilterConfig::disabled());
+        assert_eq!(scalar.filter_kernel(), "scalar");
+        let half = (ka / 2) as i64;
+        let span = half.max(1);
+        for _ in 0..300 {
+            let row: Vec<i64> = (0..dim).map(|_| rng.gen_range(-span..=span)).collect();
+            assert_eq!(filtered.push(&row), scalar.push(&row));
+        }
+        for id in (0..300).step_by(7) {
+            assert_eq!(filtered.remove(id), scalar.remove(id));
+        }
+        // Probes: genuine-ish (near an enrolled row), impostors, and a
+        // wrong dimension; exercised through every entry point.
+        let mut probes: Vec<Vec<i64>> = Vec::new();
+        for base in (0..300).step_by(11) {
+            let row = scalar.row(base).or_else(|| scalar.row(base + 1));
+            if let Some(row) = row {
+                let t_span = t.min(i64::MAX as u64) as i64;
+                probes.push(
+                    row.iter()
+                        .map(|&v| v.saturating_add(rng.gen_range(-t_span..=t_span)))
+                        .collect(),
+                );
+            }
+        }
+        for _ in 0..20 {
+            probes.push((0..dim).map(|_| rng.gen_range(-span..=span)).collect());
+        }
+        probes.push(vec![0; dim + 1]);
+        for probe in &probes {
+            assert_eq!(filtered.find_first(probe), scalar.find_first(probe));
+            assert_eq!(filtered.find_all(probe), scalar.find_all(probe));
+            assert_eq!(filtered.find_from(probe, 150), scalar.find_from(probe, 150));
+        }
+        assert_eq!(
+            filtered.find_first_batch(&probes),
+            scalar.find_first_batch(&probes)
+        );
+        // And again after compaction rebuilds the plane.
+        assert_eq!(filtered.compact(), scalar.compact());
+        for probe in &probes {
+            assert_eq!(filtered.find_first(probe), scalar.find_first(probe));
+            assert_eq!(filtered.find_all(probe), scalar.find_all(probe));
+        }
+        assert_eq!(
+            filtered.find_first_batch(&probes),
+            scalar.find_first_batch(&probes)
+        );
+    }
+
+    #[test]
+    fn swar_prefilter_matches_scalar() {
+        // Paper ring; dim > plane (suffix verify), dim == plane (pure
+        // prefilter), dim < plane (clamped plane).
+        for dim in [32, 8, 3] {
+            check_filtered_matches_scalar(FilterKernel::Swar, 100, 400, dim);
+        }
+        // Tiny and odd rings.
+        check_filtered_matches_scalar(FilterKernel::Swar, 1, 7, 5);
+        check_filtered_matches_scalar(FilterKernel::Swar, 0, 2, 4);
+        // Largest i16 ring.
+        check_filtered_matches_scalar(FilterKernel::Swar, 1000, (1 << 15) - 1, 12);
+    }
+
+    #[test]
+    fn auto_prefilter_matches_scalar() {
+        // On x86-64 with AVX2 this exercises the SIMD path (including
+        // the SWAR tail for partial vectors); elsewhere it re-checks
+        // SWAR through the Auto dispatch.
+        for dim in [32, 8, 3] {
+            check_filtered_matches_scalar(FilterKernel::Auto, 100, 400, dim);
+        }
+        check_filtered_matches_scalar(FilterKernel::Auto, 25, 101, 9);
+    }
+
+    #[test]
+    fn threshold_above_half_ring_matches_everything() {
+        // t ≥ ka/2 means every row matches; the plane clamps t_eff and
+        // must agree with the scalar kernel.
+        check_filtered_matches_scalar(FilterKernel::Swar, 399, 400, 6);
+        check_filtered_matches_scalar(FilterKernel::Auto, u64::MAX, 400, 6);
+        let mut arena = SketchArena::new(u64::MAX, 400);
+        let a = arena.push(&[0, 0]);
+        assert_eq!(arena.find_first(&[199, -200]), Some(a));
+    }
+
+    #[test]
+    fn plane_only_exists_on_i16_rings() {
+        for (ka, expect_dims) in [(400u64, 8), (1 << 20, 0), (1 << 40, 0)] {
+            let mut arena = SketchArena::new(100, ka);
+            arena.push(&[1; 16]);
+            assert_eq!(arena.plane_dims(), expect_dims, "ka = {ka}");
+            if expect_dims == 0 {
+                assert_eq!(arena.filter_kernel(), "scalar");
+            } else {
+                assert_ne!(arena.filter_kernel(), "scalar");
+            }
+        }
+        // Disabled config never builds a plane, even on the paper ring.
+        let mut arena = SketchArena::with_filter(100, 400, FilterConfig::disabled());
+        arena.push(&[1; 16]);
+        assert_eq!(arena.plane_dims(), 0);
+        // The plane is clamped to the sketch dimension.
+        let mut arena = SketchArena::new(100, 400);
+        arena.push(&[1, 2, 3]);
+        assert_eq!(arena.plane_dims(), 3);
+    }
+
+    #[test]
+    fn reserve_presizes_the_plane() {
+        let mut arena = SketchArena::new(100, 400);
+        arena.reserve(500, 16);
+        assert_eq!(arena.plane_dims(), 8);
+        let sized = arena.heap_bytes();
+        for i in 0..500i64 {
+            arena.push(&[i % 200; 16]);
+        }
+        assert_eq!(
+            arena.heap_bytes(),
+            sized,
+            "a pre-sized bulk load must not reallocate cells, bitmap, or plane"
+        );
+    }
+
+    #[test]
+    fn swar_word_algebra_is_exact() {
+        // Exhaustive single-coordinate check of the SWAR lane math
+        // against the scalar predicate, on an awkward odd ring.
+        let ka = 401u64;
+        for t in [0u64, 1, 57, 200, 400] {
+            let plane = FilterPlane::new(1, t, ka);
+            for a in 0..ka as i64 {
+                let mut lanes = vec![Vec::new()];
+                let c = canonical(a, ka) as i16;
+                // Pack the same row value in all four lanes.
+                let b = u64::from(bias16(c, ka as u16));
+                lanes[0].push(b * LANES);
+                let plane = FilterPlane {
+                    lanes,
+                    ..plane.clone()
+                };
+                for bval in (0..ka as i64).step_by(7) {
+                    let pc = canonical(bval, ka) as i16;
+                    let pb = u64::from(bias16(pc, ka as u16)) * LANES;
+                    let biased = [bias16(pc, ka as u16)];
+                    let bcast = [pb];
+                    let pf = ProbeFilter {
+                        biased: &biased,
+                        bcast: &bcast,
+                    };
+                    let mask = plane.swar_word(pf, 0);
+                    let expect = crate::conditions::cyclic_close(a, bval, t, ka);
+                    assert_eq!(mask == 0xF, expect, "a={a} b={bval} t={t}: mask {mask:#x}");
+                    assert!(mask == 0 || mask == 0xF, "lanes disagree: {mask:#x}");
+                }
+            }
+        }
     }
 
     #[test]

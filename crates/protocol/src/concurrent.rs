@@ -384,6 +384,11 @@ impl<I: SketchIndex> SharedServer<I> {
             .collect();
         // Probes still unresolved after the shards visited so far.
         let mut unresolved: Vec<usize> = (0..probes.len()).collect();
+        // The unresolved-subset buffer is hoisted out of the shard loop
+        // and refilled with `clone_from`, so later shards reuse both
+        // the outer table and the per-probe coordinate allocations
+        // instead of building a fresh `Vec<Vec<i64>>` per shard.
+        let mut subset: Vec<Vec<i64>> = Vec::new();
 
         for shard in self.shards.iter() {
             if unresolved.is_empty() {
@@ -414,10 +419,15 @@ impl<I: SketchIndex> SharedServer<I> {
                             // Later shards get the batch path too: the
                             // unresolved subset is gathered so the
                             // shard's storage is swept once for all of
-                            // it, not once per probe. The probe clones
-                            // are noise next to the scans they replace.
-                            let subset: Vec<Vec<i64>> =
-                                unresolved.iter().map(|&p| probes[p].clone()).collect();
+                            // it, not once per probe (in the reused
+                            // scratch table declared above).
+                            subset.truncate(unresolved.len());
+                            for (slot, &p) in subset.iter_mut().zip(unresolved.iter()) {
+                                slot.clone_from(&probes[p]);
+                            }
+                            for &p in unresolved.iter().skip(subset.len()) {
+                                subset.push(probes[p].clone());
+                            }
                             server
                                 .lookup_probe_batch(&subset)
                                 .into_iter()

@@ -2,7 +2,7 @@
 //! party.
 
 use fe_core::codec::{Fingerprint, Writer};
-use fe_core::ChebyshevSketch;
+use fe_core::{ChebyshevSketch, FilterConfig};
 use fe_crypto::dsa::{Dsa, DsaParams};
 
 /// Which sketch-lookup structure the authentication server should build,
@@ -77,6 +77,7 @@ pub struct SystemParams {
     key_len: usize,
     dsa: DsaParams,
     index: IndexConfig,
+    filter: FilterConfig,
 }
 
 impl SystemParams {
@@ -88,6 +89,7 @@ impl SystemParams {
             key_len,
             dsa,
             index: IndexConfig::default(),
+            filter: FilterConfig::default(),
         }
     }
 
@@ -101,6 +103,23 @@ impl SystemParams {
     /// The configured server-side index structure.
     pub fn index_config(&self) -> &IndexConfig {
         &self.index
+    }
+
+    /// Tunes the server-side SWAR/SIMD prefilter plane for the
+    /// conditions (1)–(4) scan (scan-backed indexes only; the bucket
+    /// index verifies hashed candidates and ignores it). The default
+    /// keeps the plane on with [`FilterConfig::DEFAULT_DIMS`] leading
+    /// dimensions; [`FilterConfig::disabled`] restores the pure scalar
+    /// kernel.
+    #[must_use]
+    pub fn with_filter_config(mut self, filter: FilterConfig) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// The configured prefilter plane knob.
+    pub fn filter_config(&self) -> FilterConfig {
+        self.filter
     }
 
     /// The paper's Table II configuration with 1024-bit DSA (the classic
@@ -158,9 +177,10 @@ impl SystemParams {
     /// parameters fails with
     /// [`CodecError::FingerprintMismatch`](fe_core::codec::CodecError)
     /// instead of silently matching probes against a re-interpreted ring.
-    /// The [`IndexConfig`] is deliberately **excluded**: the index is a
-    /// lookup accelerator rebuilt at recovery time, so snapshots stay
-    /// portable across index backends and shard counts.
+    /// The [`IndexConfig`] and [`FilterConfig`] are deliberately
+    /// **excluded**: index and prefilter are lookup accelerators rebuilt
+    /// at recovery time, so snapshots stay portable across index
+    /// backends, shard counts, and prefilter settings.
     pub fn fingerprint(&self) -> Fingerprint {
         let mut w = Writer::new();
         w.put_u64(self.sketch.line().a());
@@ -199,12 +219,18 @@ mod tests {
     fn fingerprint_tracks_interpretation_not_index() {
         let p = SystemParams::insecure_test_defaults();
         let fp = p.fingerprint();
-        // Stable across calls and index configs…
+        // Stable across calls, index configs, and prefilter configs…
         assert_eq!(fp, p.fingerprint());
         assert_eq!(
             fp,
             p.clone()
                 .with_index_config(IndexConfig::ShardedScan { shards: 8 })
+                .fingerprint()
+        );
+        assert_eq!(
+            fp,
+            p.clone()
+                .with_filter_config(FilterConfig::disabled())
                 .fingerprint()
         );
         // …but sensitive to anything that changes record meaning.
@@ -231,5 +257,14 @@ mod tests {
         assert_eq!(p.index_config().prefix_dims(), 3);
         // Degenerate shard counts are clamped to 1.
         assert_eq!(IndexConfig::ShardedScan { shards: 0 }.shards(), 1);
+    }
+
+    #[test]
+    fn filter_config_defaults_and_builder() {
+        let p = SystemParams::insecure_test_defaults();
+        assert_eq!(p.filter_config(), FilterConfig::default());
+        assert_eq!(p.filter_config().dims, FilterConfig::DEFAULT_DIMS);
+        let p = p.with_filter_config(FilterConfig::disabled());
+        assert_eq!(p.filter_config().dims, 0);
     }
 }

@@ -46,12 +46,14 @@ fn sketch_ring(params: &SystemParams) -> (u64, u64) {
 impl BuildIndex for ScanIndex {
     fn build(params: &SystemParams) -> Self {
         let (t, ka) = sketch_ring(params);
-        ScanIndex::new(t, ka)
+        ScanIndex::with_filter(t, ka, params.filter_config())
     }
 }
 
 impl BuildIndex for BucketIndex {
     fn build(params: &SystemParams) -> Self {
+        // The bucket index ignores `filter_config()`: it verifies
+        // hashed candidates row-by-row and never runs a full scan.
         let (t, ka) = sketch_ring(params);
         BucketIndex::new(t, ka, params.index_config().prefix_dims())
     }
@@ -60,7 +62,12 @@ impl BuildIndex for BucketIndex {
 impl BuildIndex for ShardedIndex<ScanIndex> {
     fn build(params: &SystemParams) -> Self {
         let (t, ka) = sketch_ring(params);
-        ShardedIndex::scan(params.index_config().shards(), t, ka)
+        ShardedIndex::scan_with_filter(
+            params.index_config().shards(),
+            t,
+            ka,
+            params.filter_config(),
+        )
     }
 }
 

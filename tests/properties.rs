@@ -6,8 +6,8 @@ use fuzzy_id::core::codec::{
 };
 use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
 use fuzzy_id::core::{
-    BucketIndex, ChebyshevSketch, FuzzyExtractor, HelperData, NumberLine, RobustData, ScanIndex,
-    SecureSketch, ShardedIndex, SketchIndex,
+    BucketIndex, ChebyshevSketch, FilterConfig, FuzzyExtractor, HelperData, NumberLine, RobustData,
+    ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
 };
 use fuzzy_id::metrics::{Metric, RingChebyshev};
 use proptest::prelude::*;
@@ -443,13 +443,20 @@ enum IndexOp {
 }
 
 /// Ring parameters spanning all three arena cell widths (`i16`, `i32`,
-/// `i64`), with `t < ka/2` and capped so noise offsets stay sane.
+/// `i64`) **plus** the `ka ≥ 2⁶³` regime where the `i64` kernel must
+/// widen through `i128` (and, like every non-`i16` ring, skip the SWAR
+/// prefilter plane), with `t < ka/2` and capped so noise offsets stay
+/// sane.
 fn ring_params() -> impl Strategy<Value = (u64, u64)> {
-    (0u8..3)
-        .prop_flat_map(|width| match width {
-            0 => 2u64..(1 << 15),
-            1 => (1u64 << 15)..(1 << 31),
-            _ => (1u64 << 31)..(1 << 62),
+    (0u8..4)
+        .prop_flat_map(|width| {
+            let (lo, hi) = match width {
+                0 => (2u64, (1 << 15) - 1),
+                1 => (1u64 << 15, (1 << 31) - 1),
+                2 => (1u64 << 31, (1 << 62) - 1),
+                _ => (1u64 << 63, u64::MAX),
+            };
+            lo..=hi
         })
         .prop_flat_map(|ka| (1u64..(ka / 2).clamp(2, 1 << 30), Just(ka)))
 }
@@ -564,10 +571,34 @@ fn check_against_model<I: SketchIndex>(mut index: I, t: u64, ka: u64, ops: &[Ind
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
-    /// Arena-backed `ScanIndex` ≡ the Vec-of-Vec model.
+    /// Arena-backed `ScanIndex` ≡ the Vec-of-Vec model — with the
+    /// default prefilter plane (the vectorized two-phase scan on `i16`
+    /// rings, the plain scalar kernel elsewhere).
     #[test]
     fn scan_index_matches_vec_of_vec_model((t, ka, _dim, ops) in index_case()) {
         check_against_model(ScanIndex::new(t, ka), t, ka, &ops);
+    }
+
+    /// The scalar columnar kernel in isolation (prefilter disabled) ≡
+    /// the model: what `ScanIndex` was before the plane existed.
+    #[test]
+    fn scalar_kernel_scan_index_matches_model((t, ka, _dim, ops) in index_case()) {
+        check_against_model(
+            ScanIndex::with_filter(t, ka, FilterConfig::disabled()),
+            t, ka, &ops,
+        );
+    }
+
+    /// The portable SWAR kernel, forced (even where AVX2 exists) ≡ the
+    /// model: prefilter+verify can never disagree with the scalar path
+    /// on any population, for any cell width (wide rings — including
+    /// the `ka ≥ 2⁶³` i128-fallback class — must silently skip SWAR).
+    #[test]
+    fn swar_kernel_scan_index_matches_model((t, ka, _dim, ops) in index_case()) {
+        check_against_model(
+            ScanIndex::with_filter(t, ka, FilterConfig::swar()),
+            t, ka, &ops,
+        );
     }
 
     /// Arena-backed `BucketIndex` ≡ the Vec-of-Vec model (the packed
@@ -578,33 +609,47 @@ proptest! {
     }
 
     /// Arena-backed shards behind `ShardedIndex` ≡ the model (global id
-    /// arithmetic over per-shard arenas).
+    /// arithmetic over per-shard arenas, vectorized by default).
     #[test]
     fn sharded_index_matches_vec_of_vec_model((t, ka, _dim, ops) in index_case()) {
         check_against_model(ShardedIndex::scan(3, t, ka), t, ka, &ops);
     }
 
     /// The kernel's no-`%` cyclic test on canonical values agrees with
-    /// `cyclic_close` on raw values, for every width class.
+    /// `cyclic_close` on raw values — for every width class (including
+    /// the `ka ≥ 2⁶³` ring whose subtraction must widen through i128)
+    /// and every kernel: runtime-dispatched (AVX2 where available),
+    /// forced SWAR, and scalar. A one-dimensional sketch makes the
+    /// prefilter the *entire* match decision on `i16` rings, so the
+    /// lane algebra itself is what's being pinned here.
     #[test]
     fn arena_kernel_agrees_with_cyclic_close(
         (t, ka) in ring_params(),
         a in any::<i64>(),
         b in any::<i64>(),
     ) {
-        let mut arena = fuzzy_id::core::SketchArena::new(t, ka);
-        arena.push(&[a]);
-        prop_assert_eq!(
-            arena.find_first(&[b]).is_some(),
-            cyclic_close(a, b, t, ka),
-            "kernel vs cyclic_close at a={}, b={}, t={}, ka={}", a, b, t, ka
-        );
+        for filter in [
+            FilterConfig::default(),
+            FilterConfig::swar(),
+            FilterConfig::disabled(),
+        ] {
+            let mut arena = fuzzy_id::core::SketchArena::with_filter(t, ka, filter);
+            arena.push(&[a]);
+            prop_assert_eq!(
+                arena.find_first(&[b]).is_some(),
+                cyclic_close(a, b, t, ka),
+                "kernel {} vs cyclic_close at a={}, b={}, t={}, ka={}",
+                arena.filter_kernel(), a, b, t, ka
+            );
+        }
     }
 }
 
 /// `heap_bytes` accounting under enroll/revoke/compact churn: memory
 /// tracks the live population (bounded under churn with compaction)
-/// and the width-adaptive layout (2 bytes/coordinate at paper `ka`).
+/// and the width-adaptive layout (2 bytes/coordinate at paper `ka`),
+/// **including** the prefilter plane's packed lanes (2 bytes per plane
+/// cell on the default vectorized index).
 #[test]
 fn heap_bytes_accounting_under_churn() {
     let (t, ka, dim) = (100u64, 400u64, 64usize);
@@ -613,12 +658,36 @@ fn heap_bytes_accounting_under_churn() {
         index.insert(&vec![i % 200; dim]);
     }
     let full = index.heap_bytes();
-    // i16 cells: the column buffer is dim × 2 bytes per row; the bitmap
-    // adds 1 bit per row; capacity slack stays below one doubling.
-    assert!(full >= 1_000 * dim * 2 + 1_000 / 8);
+    // i16 cells: the column buffer is dim × 2 bytes per row; the plane
+    // adds 8 lanes × 2 bytes per row; the bitmap 1 bit per row;
+    // capacity slack stays below one doubling.
+    assert!(full >= 1_000 * dim * 2 + 1_000 * 8 * 2 + 1_000 / 8);
     assert!(
-        full <= 2 * (2 * 1_000 * dim * 2),
+        full <= 2 * (2 * 1_000 * (dim + 8) * 2),
         "unexpected slack: {full}"
+    );
+    // The plane is the only difference from a scalar index over the
+    // same rows, and `reserve` pre-sizes it: a pre-sized bulk load
+    // must end exactly where it started, plane lanes included.
+    let mut scalar = ScanIndex::with_filter(t, ka, FilterConfig::disabled());
+    let mut sized = ScanIndex::new(t, ka);
+    scalar.reserve(1_000, dim);
+    sized.reserve(1_000, dim);
+    let reserved = sized.heap_bytes();
+    for i in 0..1_000i64 {
+        scalar.insert(&vec![i % 200; dim]);
+        sized.insert(&vec![i % 200; dim]);
+    }
+    assert_eq!(
+        sized.heap_bytes(),
+        reserved,
+        "reserve must pre-size the filter plane too"
+    );
+    assert!(
+        sized.heap_bytes() >= scalar.heap_bytes() + 1_000 * 8 * 2,
+        "plane bytes unaccounted: {} vs {}",
+        sized.heap_bytes(),
+        scalar.heap_bytes()
     );
 
     // Revocation alone reclaims nothing (tombstones keep their cells)…

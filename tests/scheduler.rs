@@ -7,7 +7,7 @@
 use fuzzy_id::core::ScanIndex;
 use fuzzy_id::protocol::concurrent::SharedServer;
 use fuzzy_id::protocol::scheduler::{ScheduledServer, SchedulerConfig};
-use fuzzy_id::protocol::{BiometricDevice, ProtocolError, SystemParams, WireHelper};
+use fuzzy_id::protocol::{BiometricDevice, FilterConfig, ProtocolError, SystemParams, WireHelper};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +131,67 @@ proptest! {
         prop_assert_eq!(scheduler.metrics().admitted(), probes.len() as u64);
         prop_assert_eq!(scheduler.metrics().shed(), 0);
     }
+}
+
+/// Batch-path equivalence through the scheduler across scan kernels:
+/// the micro-batches a `ScheduledServer` coalesces ride the vectorized
+/// two-phase scan by default, and must resolve every probe exactly as
+/// the same population served by the scalar kernel
+/// (`FilterConfig::disabled()`) — both scheduled and direct.
+#[test]
+fn scheduled_batches_agree_across_scan_kernels() {
+    let users = 12;
+    let configs = [
+        SystemParams::insecure_test_defaults(), // default: vectorized plane
+        SystemParams::insecure_test_defaults().with_filter_config(FilterConfig::disabled()),
+    ];
+    let mut all_helpers: Vec<Vec<Option<WireHelper>>> = Vec::new();
+    for params in configs {
+        // Identical seed → identical enrollments and probes on both
+        // servers; only the scan kernel differs.
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 2);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(0xF117);
+        let mut probes = Vec::new();
+        for u in 0..users {
+            let bio = params.sketch().line().random_vector(DIM, &mut rng);
+            server
+                .enroll(device.enroll(&format!("user-{u}"), &bio, &mut rng).unwrap())
+                .unwrap();
+            let reading: Vec<i64> = bio.iter().map(|&x| x + 60 - (u as i64 * 9)).collect();
+            probes.push(device.probe_sketch(&reading, &mut rng).unwrap());
+        }
+        // An impostor that should match nobody.
+        let stranger = params.sketch().line().random_vector(DIM, &mut rng);
+        probes.push(device.probe_sketch(&stranger, &mut rng).unwrap());
+
+        // Direct batch path.
+        let direct = server.identify_batch(&probes, &mut rng);
+        let direct_helpers = matched_helpers(&direct, &server);
+        // Scheduled path, coalesced into micro-batches.
+        let scheduler = ScheduledServer::new(
+            server.clone(),
+            SchedulerConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                ..SchedulerConfig::default()
+            },
+        );
+        let scheduled: Vec<Result<_, ProtocolError>> = probes
+            .iter()
+            .map(|p| scheduler.identify(p.clone()))
+            .collect();
+        let scheduled_helpers = matched_helpers(&scheduled, &server);
+        assert_eq!(scheduled_helpers, direct_helpers);
+        assert_eq!(scheduled_helpers.last(), Some(&None), "impostor matched");
+        assert!(
+            scheduled_helpers[..users].iter().all(Option::is_some),
+            "a genuine probe went unmatched"
+        );
+        all_helpers.push(scheduled_helpers);
+    }
+    // Vectorized and scalar kernels resolved every probe identically.
+    assert_eq!(all_helpers[0], all_helpers[1]);
 }
 
 /// Queue fills → `Overloaded`; drains → accepts again.
