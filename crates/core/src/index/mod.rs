@@ -37,7 +37,7 @@ pub mod store;
 pub use bucket::BucketIndex;
 pub use scan::ScanIndex;
 pub use sharded::ShardedIndex;
-pub use store::{CellWidth, FilterConfig, FilterKernel, SketchArena};
+pub use store::{CellWidth, FilterConfig, FilterKernel, ParallelConfig, PlaneDepth, SketchArena};
 
 /// A unique record handle assigned by the index.
 ///

@@ -4,13 +4,11 @@ use super::{BucketIndex, RecordId, ScanIndex, SketchIndex};
 use rayon::prelude::*;
 
 /// Below this many enrolled records, fan-out overhead beats the win from
-/// parallel shard scans, so lookups run sequentially. The threshold is
-/// sized for the vendored `rayon` shim, which spawns fresh scoped
-/// threads per call (tens of microseconds) instead of dispatching to a
-/// persistent pool: an early-abort scan must be slower than the spawn
-/// cost before fanning out pays. With the real rayon (pooled workers)
-/// this could drop by an order of magnitude.
-const PARALLEL_THRESHOLD: usize = 65_536;
+/// parallel shard scans, so lookups run sequentially. Dispatching to the
+/// persistent worker pool costs a few microseconds; a vectorized
+/// early-abort scan over ~8k rows costs about the same, so anything
+/// larger amortizes the fan-out.
+const PARALLEL_THRESHOLD: usize = 8_192;
 
 /// A sharded sketch index: records are partitioned round-robin across N
 /// inner indexes and looked up on all shards in parallel.
@@ -33,10 +31,12 @@ const PARALLEL_THRESHOLD: usize = 65_536;
 ///
 /// # Parallelism
 ///
-/// Shard scans fan out on worker threads once the population is large
-/// enough to amortize thread startup ([`ShardedIndex::scan`] with a few
-/// hundred thousand records is the target regime); small indexes run
-/// sequentially. [`SketchIndex::lookup_batch`] hands the whole batch to
+/// Shard scans fan out on the persistent worker pool once the
+/// population is large enough to amortize pool dispatch; small indexes
+/// run sequentially. Shard tasks run *on* pool workers, so the
+/// per-shard arenas' own block-sweep fan-out stands down inside them
+/// (see `ParallelConfig`) — one level of parallelism, never
+/// oversubscription. [`SketchIndex::lookup_batch`] hands the whole batch to
 /// every shard's own batch path (for arena-backed shards, one
 /// multi-query pass over the shard's column buffer serves every probe)
 /// and folds per-shard first matches to the lowest global id — so a

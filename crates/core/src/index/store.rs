@@ -50,6 +50,8 @@
 
 use super::RecordId;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Cell type a [`SketchArena`] stores coordinates in, chosen from the
 /// ring circumference `ka` at construction (see
@@ -185,12 +187,13 @@ impl Cells {
 }
 
 /// How (and whether) a [`SketchArena`] builds its SWAR/SIMD prefilter
-/// plane for the conditions (1)–(4) scan.
+/// plane for the conditions (1)–(4) scan, and how a scan is allowed to
+/// use the machine (verify block size, multi-core fan-out).
 ///
-/// The plane stores the leading [`FilterConfig::dims`] coordinates of
-/// every row dimension-major (one contiguous packed lane per
-/// dimension) so the per-coordinate cyclic test vectorizes; survivors
-/// are exact-verified on the remaining coordinates. It only exists on
+/// The plane stores the leading [`PlaneDepth`] coordinates of every
+/// row dimension-major (one contiguous packed lane per dimension) so
+/// the per-coordinate cyclic test vectorizes; survivors are
+/// exact-verified on the remaining coordinates. It only exists on
 /// `i16`-cell rings (`ka < 2¹⁵` — the paper's parameters); wider rings
 /// always use the scalar kernel, whatever this config says.
 ///
@@ -199,59 +202,198 @@ impl Cells {
 /// and is excluded from durable-storage fingerprints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FilterConfig {
-    /// Leading coordinates kept in the plane; `0` disables the
-    /// prefilter entirely. Clamped to the sketch dimension. Default
-    /// [`FilterConfig::DEFAULT_DIMS`]: with per-coordinate pass
-    /// probability ≈ ½, eight dimensions already reject ~255/256 rows,
-    /// and further lanes would add memory traffic faster than they
-    /// remove survivors.
-    pub dims: usize,
+    /// How many leading coordinates the plane keeps (see
+    /// [`PlaneDepth`]). Resolved once per arena, clamped to the sketch
+    /// dimension.
+    pub depth: PlaneDepth,
     /// Which vector kernel scans the plane.
     pub kernel: FilterKernel,
+    /// Rows per phase-1/phase-2 super-block: the scan computes phase-1
+    /// candidate masks for this many rows ahead — software-prefetching
+    /// each survivor's verify cells as its mask comes out — before
+    /// exact-verifying the group, hiding phase-2 cache misses behind
+    /// phase-1 compute. Rounded to a multiple of 64 and clamped to
+    /// `64..=256`; default [`FilterConfig::DEFAULT_BLOCK_ROWS`] (the
+    /// `storage_ablation` bench sweeps 64/128/256).
+    pub block_rows: usize,
+    /// Multi-core fan-out policy for arena sweeps.
+    pub parallel: ParallelConfig,
+}
+
+/// Prefilter plane depth: how many leading coordinates get a packed
+/// lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaneDepth {
+    /// Choose per arena from the ring's per-dimension rejection rate:
+    /// a coordinate passes with probability `(2·min(t, ka/2)+1)/ka`,
+    /// and lanes are added until the expected survivor rate clears
+    /// 1/128 — past that, another lane's phase-1 cost (memory + ops on
+    /// *every* row) outweighs the phase-2 work it removes. Small rings
+    /// need fewer lanes; sparse-rejection rings get deeper planes, up
+    /// to [`FilterConfig::MAX_ADAPTIVE_DIMS`]. Resolves to 0 (no
+    /// plane) when `2t+1 ≥ ka` — every coordinate always passes, so a
+    /// plane could never reject anything. At the paper's `t = 100`,
+    /// `ka = 400` this resolves to 8, the previously hard-coded depth.
+    #[default]
+    Adaptive,
+    /// Exactly this many lanes; `Fixed(0)` disables the prefilter.
+    Fixed(usize),
 }
 
 /// The vector kernel that scans a [`FilterConfig`] prefilter plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FilterKernel {
-    /// Runtime dispatch: AVX2 when the CPU has it (checked once via
-    /// `is_x86_feature_detected!`), portable SWAR otherwise.
+    /// Runtime dispatch, widest first (checked once via
+    /// `is_x86_feature_detected!`): AVX-512 (`avx512f` + `avx512bw`),
+    /// then AVX2, then portable SWAR; NEON on aarch64.
     #[default]
     Auto,
     /// Force the portable SWAR path (4 × 16-bit lanes per `u64` word,
-    /// no `unsafe`) even where AVX2 is available — the bench ablation
+    /// no `unsafe`) even where SIMD is available — the bench ablation
     /// uses this to separate SWAR from SIMD wins.
     Swar,
+    /// Cap dispatch at AVX2 even where AVX-512 is available (falls back
+    /// to SWAR off x86-64) — the ablation knob that separates the
+    /// 256-bit from the 512-bit win.
+    Avx2,
+}
+
+/// When (and how wide) arena sweeps fan out across the shared worker
+/// pool. The parallel block-sweep splits the liveness bitmap's 64-row
+/// blocks into contiguous chunks; results are bit-identical to the
+/// sequential sweep (lowest-id match wins, verified by proptest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Minimum rows in the swept range before fanning out; below this
+    /// the pool dispatch overhead outweighs the sweep itself.
+    pub min_rows: usize,
+    /// Upper bound on participating threads (`0` = the whole pool).
+    /// `1` forces the sequential sweep.
+    pub max_threads: usize,
+}
+
+impl ParallelConfig {
+    /// Never fan out (the sequential sweep, exactly as before).
+    pub fn disabled() -> ParallelConfig {
+        ParallelConfig {
+            min_rows: usize::MAX,
+            max_threads: 1,
+        }
+    }
+
+    /// Fan out regardless of size, on at most `max_threads` threads —
+    /// the test/bench knob for exercising the parallel path on small
+    /// arenas.
+    pub fn forced(max_threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            min_rows: 0,
+            max_threads,
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            // A 64k-row i16 sweep is ~100 µs vectorized — comfortably
+            // above the pooled fan-out cost (a few µs).
+            min_rows: 1 << 16,
+            max_threads: 0,
+        }
+    }
 }
 
 impl FilterConfig {
-    /// Default number of plane dimensions (see [`FilterConfig::dims`]).
-    pub const DEFAULT_DIMS: usize = 8;
+    /// Ceiling on [`PlaneDepth::Adaptive`] lanes: past 16 dimensions
+    /// the plane's memory traffic grows faster than any realistic
+    /// rejection gain.
+    pub const MAX_ADAPTIVE_DIMS: usize = 16;
+
+    /// Default [`FilterConfig::block_rows`]: picked by the
+    /// `storage_ablation` block-size sweep (128 rows keeps the
+    /// prefetch window ahead of the verify loop without thrashing L1).
+    pub const DEFAULT_BLOCK_ROWS: usize = 128;
 
     /// A disabled prefilter: every lookup takes the scalar early-abort
     /// kernel, as before the plane existed.
     pub fn disabled() -> FilterConfig {
         FilterConfig {
-            dims: 0,
-            kernel: FilterKernel::Auto,
+            depth: PlaneDepth::Fixed(0),
+            ..FilterConfig::default()
         }
     }
 
-    /// Force the portable SWAR kernel with the default plane width.
+    /// Force the portable SWAR kernel (adaptive plane depth).
     pub fn swar() -> FilterConfig {
         FilterConfig {
-            dims: Self::DEFAULT_DIMS,
             kernel: FilterKernel::Swar,
+            ..FilterConfig::default()
         }
+    }
+
+    /// Replaces the plane depth policy.
+    #[must_use]
+    pub fn with_depth(mut self, depth: PlaneDepth) -> FilterConfig {
+        self.depth = depth;
+        self
+    }
+
+    /// Replaces the vector kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: FilterKernel) -> FilterConfig {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Replaces the phase-1/phase-2 super-block size (rows).
+    #[must_use]
+    pub fn with_block_rows(mut self, block_rows: usize) -> FilterConfig {
+        self.block_rows = block_rows;
+        self
+    }
+
+    /// Replaces the multi-core fan-out policy.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> FilterConfig {
+        self.parallel = parallel;
+        self
     }
 }
 
 impl Default for FilterConfig {
     fn default() -> FilterConfig {
         FilterConfig {
-            dims: Self::DEFAULT_DIMS,
+            depth: PlaneDepth::Adaptive,
             kernel: FilterKernel::Auto,
+            block_rows: Self::DEFAULT_BLOCK_ROWS,
+            parallel: ParallelConfig::default(),
         }
     }
+}
+
+/// Resolves [`PlaneDepth::Adaptive`] for a ring: the smallest depth
+/// whose expected survivor rate clears 1/128, capped at
+/// [`FilterConfig::MAX_ADAPTIVE_DIMS`]; `0` when a lane could never
+/// reject (`2·t_eff+1 ≥ ka`). Computed by repeated multiplication
+/// rather than a log ratio so boundary cases (exact powers of the pass
+/// rate) resolve deterministically.
+fn adaptive_depth(t: u64, ka: u64) -> usize {
+    let t_eff = t.min(ka / 2);
+    // Coordinates passing one lane: the 2·t_eff+1 residues within
+    // cyclic distance t_eff (no overflow: t_eff ≤ ka/2).
+    let passing = 2 * t_eff + 1;
+    if passing >= ka {
+        return 0;
+    }
+    let rate = passing as f64 / ka as f64;
+    const TARGET: f64 = 1.0 / 128.0;
+    let mut depth = 1usize;
+    let mut survivors = rate;
+    while survivors > TARGET && depth < FilterConfig::MAX_ADAPTIVE_DIMS {
+        survivors *= rate;
+        depth += 1;
+    }
+    depth
 }
 
 /// `0x0001` in every 16-bit lane: broadcasts a lane value by
@@ -263,6 +405,11 @@ const LANES: u64 = 0x0001_0001_0001_0001;
 /// borrows.
 const MSBS: u64 = 0x8000_8000_8000_8000;
 
+/// Largest phase-1/phase-2 super-block, in 64-row liveness words
+/// (= [`FilterConfig::block_rows`] 256 — the mask buffer lives on the
+/// stack).
+const MAX_BLOCK_WORDS: usize = 4;
+
 /// The vector kernel actually chosen for a scan, after runtime feature
 /// detection resolved [`FilterKernel::Auto`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,6 +417,10 @@ enum ActiveKernel {
     Swar,
     #[cfg(target_arch = "x86_64")]
     Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "aarch64")]
+    Neon,
 }
 
 /// One probe's prefilter state, borrowed from the scan scratch: the
@@ -281,7 +432,38 @@ struct ProbeFilter<'a> {
     bcast: &'a [u64],
 }
 
-/// The AVX2 prefilter kernel. The *only* `unsafe` in the crate: the
+/// Bounds and control for one sweep over a row range: which liveness
+/// words to walk, the first eligible row, the phase-1/phase-2
+/// super-block size, and (on parallel sweeps) the shared
+/// lowest-match-so-far row for early cancellation.
+#[derive(Clone)]
+struct SweepCtl<'a> {
+    /// Liveness-word range `[start, end)` to sweep.
+    words: std::ops::Range<usize>,
+    /// Rows below this never match (the `find_from` resume point).
+    from_row: usize,
+    /// Super-block size in 64-row liveness words (1, 2 or 4).
+    block_words: usize,
+    /// Lowest matching row found by *any* chunk of a parallel sweep:
+    /// a block whose rows all sit at or above it can be skipped
+    /// without changing the lowest-id result.
+    cancel: Option<&'a AtomicUsize>,
+}
+
+impl<'a> SweepCtl<'a> {
+    /// `true` when every row from `start_row` on is already beaten by
+    /// the shared best match. Relaxed load: the value is a monotonic
+    /// row id used only to skip work, and the final result is read
+    /// after the pool latch synchronizes.
+    #[inline]
+    fn cancelled(&self, start_row: usize) -> bool {
+        self.cancel
+            .is_some_and(|best| best.load(Ordering::Relaxed) <= start_row)
+    }
+}
+
+/// The AVX2 prefilter kernel, one of the crate's three isolated
+/// `unsafe` ISA modules (see also [`avx512`] and [`neon`]): the
 /// intrinsic body itself is safe inside the `#[target_feature]`
 /// function (no pointer dereferences — loads go through
 /// `_mm256_set_epi64x` on bounds-checked slice reads), and the one
@@ -357,6 +539,275 @@ mod avx2 {
             }
         }
         even_bits(_mm256_movemask_epi8(acc) as u32)
+    }
+}
+
+/// The AVX-512 prefilter kernel: 32 rows per iteration (8 contiguous
+/// packed `u64` lane words per 512-bit load), with native `__mmask32`
+/// comparison results instead of AVX2's movemask-and-compact dance.
+/// Uses only `avx512f` + `avx512bw` — no VBMI — so it runs on every
+/// AVX-512 server core back to Skylake-SP. Isolated `unsafe`, same
+/// soundness argument as [`avx2`]: the dispatch is gated on runtime
+/// detection, and the one raw load is bounds-checked by a slice first.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx512 {
+    use std::arch::x86_64::{
+        _mm512_loadu_si512, _mm512_min_epu16, _mm512_or_si512, _mm512_set1_epi16, _mm512_sub_epi16,
+        _mm512_subs_epu16,
+    };
+
+    /// `true` once per process: does this CPU have the foundation +
+    /// byte/word AVX-512 subsets the kernel needs?
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+    }
+
+    /// Prefilters 32 rows (plane words `wi .. wi+8` of every lane)
+    /// against a probe, returning one bit per passing row.
+    ///
+    /// # Panics
+    /// Panics when AVX-512 is unavailable — which makes the inner
+    /// `unsafe` call sound unconditionally.
+    pub fn octo(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u32 {
+        assert!(available(), "AVX-512 kernel dispatched without AVX-512");
+        // SAFETY: the avx512f/avx512bw target features were just
+        // verified above.
+        unsafe { octo_avx512(lanes, biased, t, ka, wi) }
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw")]
+    fn octo_avx512(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u32 {
+        let tv = _mm512_set1_epi16(t as i16);
+        let kav = _mm512_set1_epi16(ka as i16);
+        let mut acc: u32 = !0;
+        for (lane, &pb) in lanes.iter().zip(biased) {
+            // 32 rows of this dimension: 8 packed u64 words, contiguous
+            // in the lane, so one unaligned 512-bit load covers them.
+            // Little-endian element order matches the mask bit order.
+            let words = &lane[wi..wi + 8];
+            // SAFETY: the bounds-checked slice above spans exactly the
+            // 64 bytes the unaligned load reads.
+            let v = unsafe { _mm512_loadu_si512(words.as_ptr().cast()) };
+            let p = _mm512_set1_epi16(pb as i16);
+            // Same lane algebra as the AVX2 kernel, with native mask
+            // registers for the ≤ comparison.
+            let diff = _mm512_or_si512(_mm512_subs_epu16(v, p), _mm512_subs_epu16(p, v));
+            let cyc = _mm512_min_epu16(diff, _mm512_sub_epi16(kav, diff));
+            acc &= std::arch::x86_64::_mm512_cmple_epu16_mask(cyc, tv);
+            if acc == 0 {
+                return 0;
+            }
+        }
+        acc
+    }
+}
+
+/// The NEON prefilter kernel: 8 rows per iteration (2 packed `u64`
+/// lane words per 128-bit vector).
+///
+/// The intrinsics go through the `intr` façade: real
+/// `core::arch::aarch64` wrappers on aarch64, and a bit-exact portable
+/// emulation elsewhere under `cfg(test)` — so the kernel *logic* is
+/// compiled and property-tested on every host, and the x86 CI runner
+/// can catch rot without cross-compiling (the aarch64 `cargo check` in
+/// CI covers the wrapper layer itself).
+#[cfg(any(target_arch = "aarch64", test))]
+#[allow(unsafe_code)]
+mod neon {
+    use super::intr;
+
+    /// Prefilters 8 rows (plane words `wi`, `wi+1` of every lane)
+    /// against a probe, returning one bit per passing row.
+    pub fn eight(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u8 {
+        let tv = intr::dup(t);
+        let kav = intr::dup(ka);
+        let mut acc = intr::dup(u16::MAX);
+        for (lane, &pb) in lanes.iter().zip(biased) {
+            // 8 rows of this dimension: 2 packed u64 words, loaded as
+            // 8 little-endian u16 lanes.
+            let v = intr::load_pair(lane[wi], lane[wi + 1]);
+            let p = intr::dup(pb);
+            // |a − b| directly (vabd), then cyclic min(d, ka − d).
+            let d = intr::abd(v, p);
+            let cyc = intr::min(d, intr::sub(kav, d));
+            acc = intr::and(acc, intr::cle(cyc, tv));
+            if intr::maxv(acc) == 0 {
+                return 0;
+            }
+        }
+        intr::lane_bits(acc)
+    }
+}
+
+/// The NEON intrinsics façade for [`neon`]: thin real wrappers on
+/// aarch64, a portable `[u16; 8]` emulation elsewhere (test builds
+/// only). Both sides implement the identical lane semantics, so the
+/// kernel body above means the same thing wherever it compiles.
+#[cfg(any(target_arch = "aarch64", test))]
+#[allow(unsafe_code)]
+mod intr {
+    /// Per-lane bit weights for [`lane_bits`]: anding with a lane mask
+    /// and summing across lanes yields one bit per all-ones lane.
+    const BIT_WEIGHTS: [u16; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+    #[cfg(target_arch = "aarch64")]
+    mod imp {
+        use core::arch::aarch64 as a;
+
+        pub type V = a::uint16x8_t;
+
+        #[inline]
+        pub fn dup(x: u16) -> V {
+            // SAFETY: NEON is mandatory on aarch64 (baseline feature).
+            unsafe { a::vdupq_n_u16(x) }
+        }
+
+        #[inline]
+        pub fn load_pair(w0: u64, w1: u64) -> V {
+            let words = [w0, w1];
+            // SAFETY: `words` spans the 16 bytes read; aarch64 is
+            // little-endian, so u64 packing order equals lane order.
+            unsafe { a::vld1q_u16(words.as_ptr().cast()) }
+        }
+
+        #[inline]
+        pub fn abd(x: V, y: V) -> V {
+            // SAFETY: baseline NEON.
+            unsafe { a::vabdq_u16(x, y) }
+        }
+
+        #[inline]
+        pub fn min(x: V, y: V) -> V {
+            // SAFETY: baseline NEON.
+            unsafe { a::vminq_u16(x, y) }
+        }
+
+        #[inline]
+        pub fn sub(x: V, y: V) -> V {
+            // SAFETY: baseline NEON.
+            unsafe { a::vsubq_u16(x, y) }
+        }
+
+        #[inline]
+        pub fn and(x: V, y: V) -> V {
+            // SAFETY: baseline NEON.
+            unsafe { a::vandq_u16(x, y) }
+        }
+
+        #[inline]
+        pub fn cle(x: V, y: V) -> V {
+            // SAFETY: baseline NEON.
+            unsafe { a::vcleq_u16(x, y) }
+        }
+
+        #[inline]
+        pub fn maxv(x: V) -> u16 {
+            // SAFETY: baseline NEON.
+            unsafe { a::vmaxvq_u16(x) }
+        }
+
+        #[inline]
+        pub fn lane_bits(mask: V) -> u8 {
+            // SAFETY: `BIT_WEIGHTS` spans the 16 bytes read; the
+            // horizontal add is baseline NEON.
+            unsafe {
+                let weights = a::vld1q_u16(super::BIT_WEIGHTS.as_ptr());
+                a::vaddvq_u16(a::vandq_u16(mask, weights)) as u8
+            }
+        }
+    }
+
+    #[cfg(not(target_arch = "aarch64"))]
+    mod imp {
+        /// Portable stand-in for `uint16x8_t`.
+        #[derive(Clone, Copy)]
+        pub struct V(pub [u16; 8]);
+
+        fn zip(x: V, y: V, f: impl Fn(u16, u16) -> u16) -> V {
+            let mut out = [0u16; 8];
+            for (o, (a, b)) in out.iter_mut().zip(x.0.iter().zip(y.0.iter())) {
+                *o = f(*a, *b);
+            }
+            V(out)
+        }
+
+        pub fn dup(x: u16) -> V {
+            V([x; 8])
+        }
+
+        pub fn load_pair(w0: u64, w1: u64) -> V {
+            let mut out = [0u16; 8];
+            for (i, o) in out.iter_mut().enumerate() {
+                let w = if i < 4 { w0 } else { w1 };
+                *o = (w >> (16 * (i % 4))) as u16;
+            }
+            V(out)
+        }
+
+        pub fn abd(x: V, y: V) -> V {
+            zip(x, y, u16::abs_diff)
+        }
+
+        pub fn min(x: V, y: V) -> V {
+            zip(x, y, u16::min)
+        }
+
+        pub fn sub(x: V, y: V) -> V {
+            // vsubq wraps, like the real thing (the kernel never
+            // actually wraps: d ≤ ka − 1 keeps ka − d in range).
+            zip(x, y, u16::wrapping_sub)
+        }
+
+        pub fn and(x: V, y: V) -> V {
+            zip(x, y, |a, b| a & b)
+        }
+
+        pub fn cle(x: V, y: V) -> V {
+            zip(x, y, |a, b| if a <= b { u16::MAX } else { 0 })
+        }
+
+        pub fn maxv(x: V) -> u16 {
+            x.0.into_iter().max().unwrap_or(0)
+        }
+
+        pub fn lane_bits(mask: V) -> u8 {
+            mask.0
+                .iter()
+                .zip(super::BIT_WEIGHTS)
+                .map(|(&m, w)| (m & w) as u8)
+                .sum()
+        }
+    }
+
+    pub use imp::{abd, and, cle, dup, lane_bits, load_pair, maxv, min, sub};
+}
+
+/// Software prefetch for the phase-2 verify pipeline: a best-effort
+/// hint (x86-64 `prefetcht0`; a no-op elsewhere — aarch64 cores
+/// prefetch the forward-streaming verify pattern well on their own).
+/// Isolated `unsafe`: the hinted address is always in-bounds, and
+/// prefetch has no architectural effect regardless.
+#[allow(unsafe_code)]
+mod fetch {
+    /// Hints that `data[index..]` is about to be read.
+    #[inline]
+    pub fn prefetch_read<T>(data: &[T], index: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if index < data.len() {
+            // SAFETY: in-bounds pointer arithmetic; `prefetcht0` reads
+            // nothing architecturally and faults on nothing.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                    data.as_ptr().add(index).cast(),
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (data, index);
+        }
     }
 }
 
@@ -500,6 +951,44 @@ impl FilterPlane {
         let mut out = 0u64;
         match kernel {
             #[cfg(target_arch = "x86_64")]
+            ActiveKernel::Avx512 => {
+                for half in 0..2 {
+                    // Wholly-dead 32-row runs need no prefilter at all.
+                    if (lw >> (half * 32)) & 0xFFFF_FFFF == 0 {
+                        continue;
+                    }
+                    let wi = base + half * 8;
+                    if wi + 8 <= words {
+                        let m = avx512::octo(&self.lanes, pf.biased, self.t_eff, self.ka16, wi);
+                        out |= u64::from(m) << (half * 32);
+                    } else {
+                        // Tail of the buffer: too few words for a full
+                        // 32-row vector — finish with SWAR words.
+                        for (sub, wi) in (wi..words).enumerate() {
+                            out |= self.swar_word(pf, wi) << (half * 32 + sub * 4);
+                        }
+                    }
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            ActiveKernel::Neon => {
+                for group in 0..8 {
+                    // Wholly-dead 8-row runs need no prefilter at all.
+                    if (lw >> (group * 8)) & 0xFF == 0 {
+                        continue;
+                    }
+                    let wi = base + group * 2;
+                    if wi + 2 <= words {
+                        let m = neon::eight(&self.lanes, pf.biased, self.t_eff, self.ka16, wi);
+                        out |= u64::from(m) << (group * 8);
+                    } else {
+                        for (sub, wi) in (wi..words).enumerate() {
+                            out |= self.swar_word(pf, wi) << (group * 8 + sub * 4);
+                        }
+                    }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
             ActiveKernel::Avx2 => {
                 for chunk in 0..4 {
                     // Wholly-dead 16-row runs need no prefilter at all.
@@ -535,19 +1024,24 @@ impl FilterPlane {
         out & lw
     }
 
-    /// Phase 1 + phase 2 for one probe: walks the candidate bitmap a
-    /// 64-row block at a time and exact-verifies each survivor's
-    /// *remaining* dimensions (`pd..dim`) with the scalar early-abort
-    /// kernel — the plane dimensions were already tested exactly, so
-    /// together the two phases equal a full-row `rows_match`. Calls
-    /// `on_match` for every matching row until it returns `false`.
+    /// Phase 1 + phase 2 for one probe: walks the candidate bitmap one
+    /// *super-block* (`ctl.block_words` 64-row blocks) at a time —
+    /// phase-1 masks for the whole group are computed first, software-
+    /// prefetching each survivor's verify cells as its mask comes out,
+    /// then each survivor's *remaining* dimensions (`pd..dim`) are
+    /// exact-verified with the scalar early-abort kernel. The plane
+    /// dimensions were already tested exactly, so together the two
+    /// phases equal a full-row `rows_match`; the prefetch distance is
+    /// what hides phase-2's scattered loads behind phase-1's compute.
+    /// Calls `on_match` for every matching row until it returns
+    /// `false`.
     fn scan(
         &self,
         col: ColumnView<'_, i16>,
         kernel: ActiveKernel,
         probe: &[i16],
         pf: ProbeFilter<'_>,
-        from: usize,
+        ctl: SweepCtl<'_>,
         on_match: &mut dyn FnMut(RecordId) -> bool,
     ) {
         let pd = self.dims();
@@ -555,45 +1049,77 @@ impl FilterPlane {
         // identically (cyclic distance never exceeds ka/2).
         let (t, ka) = (u64::from(self.t_eff), u64::from(self.ka16));
         let suffix = &probe[pd..];
-        let first = from / 64;
-        for w in first..col.live.len() {
-            let mut lw = col.live[w];
-            if w == first {
-                lw &= u64::MAX << (from % 64);
+        let mut masks = [0u64; MAX_BLOCK_WORDS];
+        let mut w = ctl.words.start;
+        while w < ctl.words.end {
+            if ctl.cancelled(w * 64) {
+                return;
             }
-            if lw == 0 {
-                continue;
-            }
-            let mut cand = self.block_candidates(kernel, pf, w, lw);
-            while cand != 0 {
-                let row = w * 64 + cand.trailing_zeros() as usize;
-                cand &= cand - 1;
-                let s = &col.cells[row * col.dim + pd..(row + 1) * col.dim];
-                if rows_match(s, suffix, t, ka) && !on_match(row) {
-                    return;
+            let group_end = (w + ctl.block_words).min(ctl.words.end);
+            // Phase 1 for the whole super-block, prefetching phase-2
+            // cells for the next group of survivors meanwhile.
+            for wi in w..group_end {
+                let mut lw = col.live[wi];
+                if wi * 64 < ctl.from_row {
+                    let below = ctl.from_row - wi * 64;
+                    lw = if below >= 64 {
+                        0
+                    } else {
+                        lw & (u64::MAX << below)
+                    };
+                }
+                let cand = if lw == 0 {
+                    0
+                } else {
+                    self.block_candidates(kernel, pf, wi, lw)
+                };
+                masks[wi - w] = cand;
+                let mut pre = cand;
+                while pre != 0 {
+                    let row = wi * 64 + pre.trailing_zeros() as usize;
+                    pre &= pre - 1;
+                    fetch::prefetch_read(col.cells, row * col.dim + pd);
                 }
             }
+            // Phase 2: exact-verify the super-block's survivors in row
+            // order.
+            for wi in w..group_end {
+                let mut cand = masks[wi - w];
+                while cand != 0 {
+                    let row = wi * 64 + cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    let s = &col.cells[row * col.dim + pd..(row + 1) * col.dim];
+                    if rows_match(s, suffix, t, ka) && !on_match(row) {
+                        return;
+                    }
+                }
+            }
+            w = group_end;
         }
     }
 
     /// The multi-probe batch kernel on the prefilter plane: one pass
-    /// over the plane serves every still-unresolved probe — per block,
-    /// each active probe gets its own candidate mask while the block's
-    /// lanes are hot in cache, and a probe retires at its first
-    /// verified match. Results equal per-probe [`FilterPlane::scan`]
-    /// from row 0 (each probe resolves to its lowest-id live match).
+    /// over the plane's `words` range serves every still-unresolved
+    /// probe — per block, each active probe gets its own candidate
+    /// mask while the block's lanes are hot in cache (survivor cells
+    /// prefetched between mask and verify), and a probe retires at its
+    /// first verified match. Results equal per-probe
+    /// [`FilterPlane::scan`] over the same range (each probe resolves
+    /// to its lowest-id live match in the range).
+    #[allow(clippy::too_many_arguments)] // one per scan input; bundling would obscure them
     fn scan_multi(
         &self,
         col: ColumnView<'_, i16>,
         kernel: ActiveKernel,
         probes: &[i16],
         pf_all: ProbeFilter<'_>,
+        words: std::ops::Range<usize>,
         active: &mut Vec<usize>,
         results: &mut [Option<RecordId>],
     ) {
         let pd = self.dims();
         let (t, ka) = (u64::from(self.t_eff), u64::from(self.ka16));
-        for w in 0..col.live.len() {
+        for w in words {
             let lw = col.live[w];
             if lw == 0 {
                 continue;
@@ -607,6 +1133,12 @@ impl FilterPlane {
                 };
                 let suffix = &probes[p * col.dim + pd..(p + 1) * col.dim];
                 let mut cand = self.block_candidates(kernel, pf, w, lw);
+                let mut pre = cand;
+                while pre != 0 {
+                    let row = w * 64 + pre.trailing_zeros() as usize;
+                    pre &= pre - 1;
+                    fetch::prefetch_read(col.cells, row * col.dim + pd);
+                }
                 let mut resolved = false;
                 while cand != 0 {
                     let row = w * 64 + cand.trailing_zeros() as usize;
@@ -741,6 +1273,7 @@ fn rows_match<C: Cell>(s: &[C], probe: &[C], t: u64, ka: u64) -> bool {
 
 /// A borrowed view of one typed column buffer plus its liveness bitmap:
 /// what the blocked scan kernel walks.
+#[derive(Clone, Copy)]
 struct ColumnView<'a, C> {
     cells: &'a [C],
     live: &'a [u64],
@@ -748,29 +1281,43 @@ struct ColumnView<'a, C> {
     dim: usize,
 }
 
-/// Scans the live rows of a column view from `from_row`, calling
-/// `on_match` for every matching row until it returns `false`.
+/// Scans the live rows of a column view over `ctl`'s word range,
+/// calling `on_match` for every matching row until it returns `false`.
 ///
 /// The scan is *blocked* on the liveness bitmap: rows are visited one
 /// 64-row word at a time, wholly-dead blocks are skipped with a single
 /// load, and within a block each live row is a contiguous `dim`-cell
 /// slice — so the early-abort inner loop streams through the column
-/// buffer in order.
+/// buffer in order. On parallel sweeps `ctl.cancel` skips blocks that
+/// can no longer beat the shared best match.
 fn scan_blocks<C: Cell>(
     col: ColumnView<'_, C>,
     probe: &[C],
     t: u64,
     ka: u64,
-    from_row: usize,
+    ctl: SweepCtl<'_>,
     on_match: &mut dyn FnMut(RecordId) -> bool,
 ) {
-    let mut word_idx = from_row / 64;
-    let Some(&first) = col.live.get(word_idx) else {
-        return;
-    };
-    // Mask off rows below `from_row` in the first word.
-    let mut word = first & (u64::MAX << (from_row % 64));
-    loop {
+    for word_idx in ctl.words {
+        if ctl
+            .cancel
+            .is_some_and(|best| best.load(Ordering::Relaxed) <= word_idx * 64)
+        {
+            return;
+        }
+        let Some(&live) = col.live.get(word_idx) else {
+            return;
+        };
+        let mut word = live;
+        if word_idx * 64 < ctl.from_row {
+            // Mask off rows below `from_row` (at most the first word).
+            let below = ctl.from_row - word_idx * 64;
+            word = if below >= 64 {
+                0
+            } else {
+                word & (u64::MAX << below)
+            };
+        }
         while word != 0 {
             let bit = word.trailing_zeros() as usize;
             word &= word - 1;
@@ -783,40 +1330,36 @@ fn scan_blocks<C: Cell>(
                 return;
             }
         }
-        word_idx += 1;
-        match col.live.get(word_idx) {
-            Some(&w) => word = w,
-            None => return,
-        }
     }
 }
 
-/// Scans the live rows of a column view **once** on behalf of many
-/// probes: every live row is tested against each still-unresolved probe
-/// (`active` holds their indices into `results`), and a probe leaves
-/// the active set at its first match — so per-probe results equal what
-/// `from`-0 [`scan_blocks`] would have returned, while the column
-/// buffer is streamed through memory exactly one time instead of once
-/// per probe.
+/// Scans the live rows of a column view's `words` range **once** on
+/// behalf of many probes: every live row is tested against each
+/// still-unresolved probe (`active` holds their indices into
+/// `results`), and a probe leaves the active set at its first match —
+/// so per-probe results equal what a per-probe [`scan_blocks`] over the
+/// same range would have returned, while the column buffer is streamed
+/// through memory exactly one time instead of once per probe.
 ///
 /// This is the batch kernel behind request scheduling: the scan is
 /// memory-bound at scale, so amortizing one pass over N concurrent
 /// queries is the whole win. The scan aborts as soon as every probe is
 /// resolved.
+#[allow(clippy::too_many_arguments)] // one per scan input; bundling would obscure them
 fn scan_blocks_multi<C: Cell>(
     col: ColumnView<'_, C>,
     probes: &[C],
     t: u64,
     ka: u64,
+    words: std::ops::Range<usize>,
     active: &mut Vec<usize>,
     results: &mut [Option<RecordId>],
 ) {
-    let mut word_idx = 0usize;
-    let Some(&first) = col.live.get(word_idx) else {
-        return;
-    };
-    let mut word = first;
-    loop {
+    for word_idx in words {
+        let Some(&live) = col.live.get(word_idx) else {
+            return;
+        };
+        let mut word = live;
         while word != 0 {
             let bit = word.trailing_zeros() as usize;
             word &= word - 1;
@@ -840,10 +1383,90 @@ fn scan_blocks_multi<C: Cell>(
                 return;
             }
         }
-        word_idx += 1;
-        match col.live.get(word_idx) {
-            Some(&w) => word = w,
-            None => return,
+    }
+}
+
+/// A probe (or probe batch) normalized into an arena's cell width and
+/// bound to its column view: everything a sweep needs, ready to scan
+/// any liveness-word range. `Copy` borrows only — the chunks of a
+/// parallel sweep share one preparation, built once on the calling
+/// thread's scratch.
+#[derive(Clone, Copy)]
+enum Prepared<'a> {
+    /// Two-phase vectorized scan on the prefilter plane (`i16` rings
+    /// with an active plane).
+    Plane {
+        plane: &'a FilterPlane,
+        kernel: ActiveKernel,
+        col: ColumnView<'a, i16>,
+        probes: &'a [i16],
+        pf: ProbeFilter<'a>,
+    },
+    /// Scalar blocked scan, per cell width.
+    I16 {
+        col: ColumnView<'a, i16>,
+        probes: &'a [i16],
+        t: u64,
+        ka: u64,
+    },
+    I32 {
+        col: ColumnView<'a, i32>,
+        probes: &'a [i32],
+        t: u64,
+        ka: u64,
+    },
+    I64 {
+        col: ColumnView<'a, i64>,
+        probes: &'a [i64],
+        t: u64,
+        ka: u64,
+    },
+}
+
+impl Prepared<'_> {
+    /// Sweeps a single-probe preparation over `ctl`'s word range,
+    /// calling `on_match` for every matching row until it returns
+    /// `false`.
+    fn scan_one(&self, ctl: SweepCtl<'_>, on_match: &mut dyn FnMut(RecordId) -> bool) {
+        match *self {
+            Prepared::Plane {
+                plane,
+                kernel,
+                col,
+                probes,
+                pf,
+            } => plane.scan(col, kernel, probes, pf, ctl, on_match),
+            Prepared::I16 { col, probes, t, ka } => scan_blocks(col, probes, t, ka, ctl, on_match),
+            Prepared::I32 { col, probes, t, ka } => scan_blocks(col, probes, t, ka, ctl, on_match),
+            Prepared::I64 { col, probes, t, ka } => scan_blocks(col, probes, t, ka, ctl, on_match),
+        }
+    }
+
+    /// Sweeps a batch preparation's `words` range once for every
+    /// still-active probe (see [`scan_blocks_multi`]).
+    fn scan_multi(
+        &self,
+        words: std::ops::Range<usize>,
+        active: &mut Vec<usize>,
+        results: &mut [Option<RecordId>],
+    ) {
+        match *self {
+            Prepared::Plane {
+                plane,
+                kernel,
+                col,
+                probes,
+                pf,
+            } => plane.scan_multi(col, kernel, probes, pf, words, active, results),
+            Prepared::I16 { col, probes, t, ka } => {
+                scan_blocks_multi(col, probes, t, ka, words, active, results)
+            }
+            Prepared::I32 { col, probes, t, ka } => {
+                scan_blocks_multi(col, probes, t, ka, words, active, results)
+            }
+            Prepared::I64 { col, probes, t, ka } => {
+                scan_blocks_multi(col, probes, t, ka, words, active, results)
+            }
         }
     }
 }
@@ -955,12 +1578,23 @@ impl SketchArena {
         }
     }
 
+    /// The plane depth this arena's config resolves to for its ring
+    /// (before clamping to the stamped dimension):
+    /// [`PlaneDepth::Fixed`] verbatim, [`PlaneDepth::Adaptive`] from
+    /// the per-dimension rejection model (see [`PlaneDepth`]).
+    pub fn resolved_depth(&self) -> usize {
+        match self.filter.depth {
+            PlaneDepth::Fixed(d) => d,
+            PlaneDepth::Adaptive => adaptive_depth(self.t, self.ka),
+        }
+    }
+
     /// Builds the plane when the freshly stamped dimension and the ring
     /// width allow one. Called exactly once, at stamp time.
     fn stamp_plane(&mut self) {
         debug_assert!(self.plane.is_none());
         let dim = self.dim.unwrap_or(0);
-        let pd = self.filter.dims.min(dim);
+        let pd = self.resolved_depth().min(dim);
         if self.width == CellWidth::I16 && pd > 0 {
             self.plane = Some(FilterPlane::new(pd, self.t, self.ka));
         }
@@ -968,13 +1602,18 @@ impl SketchArena {
 
     /// The vector kernel a scan would use right now: `"scalar"` (no
     /// plane — wide ring, disabled filter, or nothing stamped),
-    /// `"swar"`, or `"avx2"`. Benches use this to label ablations.
+    /// `"swar"`, `"avx2"`, `"avx512"`, or `"neon"`. Benches use this to
+    /// label ablations.
     pub fn filter_kernel(&self) -> &'static str {
         match self.active_kernel() {
             None => "scalar",
             Some(ActiveKernel::Swar) => "swar",
             #[cfg(target_arch = "x86_64")]
             Some(ActiveKernel::Avx2) => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            Some(ActiveKernel::Avx512) => "avx512",
+            #[cfg(target_arch = "aarch64")]
+            Some(ActiveKernel::Neon) => "neon",
         }
     }
 
@@ -1001,7 +1640,7 @@ impl SketchArena {
         self.plane.as_ref()?;
         Some(match self.filter.kernel {
             FilterKernel::Swar => ActiveKernel::Swar,
-            FilterKernel::Auto => {
+            FilterKernel::Avx2 => {
                 #[cfg(target_arch = "x86_64")]
                 {
                     if avx2::available() {
@@ -1011,6 +1650,27 @@ impl SketchArena {
                     }
                 }
                 #[cfg(not(target_arch = "x86_64"))]
+                {
+                    ActiveKernel::Swar
+                }
+            }
+            FilterKernel::Auto => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if avx512::available() {
+                        ActiveKernel::Avx512
+                    } else if avx2::available() {
+                        ActiveKernel::Avx2
+                    } else {
+                        ActiveKernel::Swar
+                    }
+                }
+                #[cfg(target_arch = "aarch64")]
+                {
+                    // NEON is baseline on aarch64: no runtime check.
+                    ActiveKernel::Neon
+                }
+                #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
                 {
                     ActiveKernel::Swar
                 }
@@ -1229,12 +1889,138 @@ impl SketchArena {
     /// Like [`SketchArena::find_first`], but starts the scan at row
     /// `from` (resumable scans for candidate pruning).
     pub fn find_from(&self, probe: &[i64], from: RecordId) -> Option<RecordId> {
+        if let Some(chunks) = self.parallel_chunks(from) {
+            return self.par_find_from(probe, from, &chunks);
+        }
         let mut found = None;
         self.scan_probe(probe, from, &mut |row| {
             found = Some(row);
             false
         });
         found
+    }
+
+    /// The phase-1/phase-2 super-block size in 64-row liveness words
+    /// (see [`FilterConfig::block_rows`]).
+    fn block_words(&self) -> usize {
+        (self.filter.block_rows / 64).clamp(1, MAX_BLOCK_WORDS)
+    }
+
+    /// Splits the liveness words at/after `from_row` into the
+    /// contiguous chunks of a parallel sweep, or `None` when the sweep
+    /// should stay sequential: fan-out disabled, too few rows to
+    /// amortize pool dispatch, already *on* a pool worker (a sharded
+    /// index fanned out per shard — nesting would oversubscribe the
+    /// same cores), or no second thread to fan out to. Chunks are in
+    /// ascending row order and two-per-thread, so early-cancelled
+    /// sweeps load-balance.
+    fn parallel_chunks(&self, from_row: usize) -> Option<Vec<std::ops::Range<usize>>> {
+        let pc = self.filter.parallel;
+        if pc.max_threads == 1 || self.rows.saturating_sub(from_row) < pc.min_rows.max(1) {
+            return None;
+        }
+        if rayon::in_pool_worker() {
+            return None;
+        }
+        let mut threads = rayon::current_num_threads();
+        if pc.max_threads != 0 {
+            threads = threads.min(pc.max_threads);
+        }
+        let first = from_row / 64;
+        let span = self.live_bits.len().saturating_sub(first);
+        let chunks = (threads * 2).min(span);
+        if threads <= 1 || chunks < 2 {
+            return None;
+        }
+        let (base, extra) = (span / chunks, span % chunks);
+        let mut out = Vec::with_capacity(chunks);
+        let mut start = first;
+        for i in 0..chunks {
+            let len = base + usize::from(i < extra);
+            out.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, self.live_bits.len());
+        Some(out)
+    }
+
+    /// [`SketchArena::find_from`] fanned out over `chunks` on the
+    /// worker pool. Bit-identical to the sequential sweep: every chunk
+    /// reports the lowest matching row of its own range into a shared
+    /// `fetch_min` cell, chunks whose entire range sits at/above the
+    /// shared best are skipped (they could only report higher rows),
+    /// and the final minimum is read after the pool latch — so the
+    /// result is the global lowest-id match, exactly as sequential.
+    fn par_find_from(
+        &self,
+        probe: &[i64],
+        from: RecordId,
+        chunks: &[std::ops::Range<usize>],
+    ) -> Option<RecordId> {
+        let best = AtomicUsize::new(usize::MAX);
+        let block_words = self.block_words();
+        self.with_prepared_single(probe, |prep| {
+            let Some(prep) = prep else {
+                return;
+            };
+            rayon::scope_for_each(chunks.len(), &|i| {
+                let words = chunks[i].clone();
+                let ctl = SweepCtl {
+                    from_row: from,
+                    block_words,
+                    cancel: Some(&best),
+                    words,
+                };
+                if ctl.cancelled(ctl.words.start * 64) {
+                    return;
+                }
+                let mut local = None;
+                prep.scan_one(ctl, &mut |row| {
+                    local = Some(row);
+                    false
+                });
+                if let Some(row) = local {
+                    best.fetch_min(row, Ordering::Relaxed);
+                }
+            });
+        });
+        let b = best.load(Ordering::Relaxed);
+        (b != usize::MAX).then_some(b)
+    }
+
+    /// [`SketchArena::find_all`] fanned out over `chunks`: each chunk
+    /// collects its own ascending matches into a dedicated slot, and
+    /// the slots concatenate in chunk order — ranges partition the rows
+    /// in ascending order, so the concatenation is the sequential
+    /// result.
+    fn par_find_all(&self, probe: &[i64], chunks: &[std::ops::Range<usize>]) -> Vec<RecordId> {
+        let slots: Vec<Mutex<Vec<RecordId>>> =
+            chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let block_words = self.block_words();
+        self.with_prepared_single(probe, |prep| {
+            let Some(prep) = prep else {
+                return;
+            };
+            rayon::scope_for_each(chunks.len(), &|i| {
+                let mut local = Vec::new();
+                let ctl = SweepCtl {
+                    words: chunks[i].clone(),
+                    from_row: 0,
+                    block_words,
+                    cancel: None,
+                };
+                prep.scan_one(ctl, &mut |row| {
+                    local.push(row);
+                    true
+                });
+                *slots[i].lock().expect("sweep worker panicked") = local;
+            });
+        });
+        let mut out = Vec::new();
+        for slot in slots {
+            out.append(&mut slot.into_inner().expect("sweep worker panicked"));
+        }
+        out
     }
 
     /// Resolves a whole batch of probes with **one pass** over the
@@ -1268,6 +2054,8 @@ impl SketchArena {
         let ka = self.ka;
         let (lo, hi) = canonical_range(ka);
         let (t, rows, live) = (self.t, self.rows, self.live_bits.as_slice());
+        let all_words = 0..live.len();
+        let chunks = self.parallel_chunks(0);
         SCRATCH.with(|scratch| {
             let s = &mut *scratch.borrow_mut();
             s.active.clear();
@@ -1298,26 +2086,15 @@ impl SketchArena {
                     }
                 }};
             }
-            macro_rules! scalar_multi {
-                ($cells:expr, $buf:ident) => {
-                    scan_blocks_multi(
-                        ColumnView {
-                            cells: $cells,
-                            live,
-                            rows,
-                            dim,
-                        },
-                        &s.$buf,
-                        t,
-                        ka,
-                        &mut s.active,
-                        &mut results,
-                    )
-                };
-            }
-            match &self.cells {
+            let prep = match &self.cells {
                 Cells::I16(v) => {
                     flatten!(i16s, i16);
+                    let col = ColumnView {
+                        cells: v.as_slice(),
+                        live,
+                        rows,
+                        dim,
+                    };
                     if let Some((plane, kernel)) = self.active_plane() {
                         build_filter_probes(
                             &s.i16s,
@@ -1327,34 +2104,81 @@ impl SketchArena {
                             &mut s.biased,
                             &mut s.bcast,
                         );
-                        plane.scan_multi(
-                            ColumnView {
-                                cells: v,
-                                live,
-                                rows,
-                                dim,
-                            },
+                        Prepared::Plane {
+                            plane,
                             kernel,
-                            &s.i16s,
-                            ProbeFilter {
+                            col,
+                            probes: &s.i16s,
+                            pf: ProbeFilter {
                                 biased: &s.biased,
                                 bcast: &s.bcast,
                             },
-                            &mut s.active,
-                            &mut results,
-                        );
+                        }
                     } else {
-                        scalar_multi!(v, i16s);
+                        Prepared::I16 {
+                            col,
+                            probes: &s.i16s,
+                            t,
+                            ka,
+                        }
                     }
                 }
                 Cells::I32(v) => {
                     flatten!(i32s, i32);
-                    scalar_multi!(v, i32s);
+                    Prepared::I32 {
+                        col: ColumnView {
+                            cells: v.as_slice(),
+                            live,
+                            rows,
+                            dim,
+                        },
+                        probes: &s.i32s,
+                        t,
+                        ka,
+                    }
                 }
                 Cells::I64(v) => {
                     flatten!(i64s, i64);
-                    scalar_multi!(v, i64s);
+                    Prepared::I64 {
+                        col: ColumnView {
+                            cells: v.as_slice(),
+                            live,
+                            rows,
+                            dim,
+                        },
+                        probes: &s.i64s,
+                        t,
+                        ka,
+                    }
                 }
+            };
+            match &chunks {
+                // Parallel batch sweep: each chunk runs the multi-probe
+                // kernel over its own word range with a private copy of
+                // the active set, then per-probe firsts fold in
+                // ascending chunk order — the first chunk to resolve a
+                // probe holds its lowest-id match, so the fold equals
+                // the sequential result deterministically.
+                Some(chunks) => {
+                    let base: &Vec<usize> = &s.active;
+                    let slots: Vec<Mutex<Vec<Option<RecordId>>>> =
+                        chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+                    rayon::scope_for_each(chunks.len(), &|i| {
+                        let mut active = base.clone();
+                        let mut local = vec![None; probes.len()];
+                        prep.scan_multi(chunks[i].clone(), &mut active, &mut local);
+                        *slots[i].lock().expect("sweep worker panicked") = local;
+                    });
+                    for slot in slots {
+                        let local = slot.into_inner().expect("sweep worker panicked");
+                        for (out, found) in results.iter_mut().zip(local) {
+                            if out.is_none() {
+                                *out = found;
+                            }
+                        }
+                    }
+                }
+                None => prep.scan_multi(all_words, &mut s.active, &mut results),
             }
         });
         results
@@ -1362,6 +2186,9 @@ impl SketchArena {
 
     /// Every live row matching the probe, ascending.
     pub fn find_all(&self, probe: &[i64]) -> Vec<RecordId> {
+        if let Some(chunks) = self.parallel_chunks(0) {
+            return self.par_find_all(probe, &chunks);
+        }
         let mut out = Vec::new();
         self.scan_probe(probe, 0, &mut |row| {
             out.push(row);
@@ -1370,19 +2197,20 @@ impl SketchArena {
         out
     }
 
-    /// One blocked scan over the column buffer for a single probe:
-    /// normalizes into the thread-local scratch (no per-probe
-    /// allocation), then dispatches the two-phase vectorized scan when
-    /// the prefilter plane is active and the scalar early-abort kernel
-    /// otherwise. No-op for dimension-mismatched probes.
-    fn scan_probe(
+    /// Normalizes one probe into the thread-local scratch and hands the
+    /// bound [`Prepared`] scan state to `f` (`None` for
+    /// dimension-mismatched probes, which match nothing). The
+    /// preparation borrows the scratch for `f`'s whole run, so `f` must
+    /// not re-enter an arena scan *on this thread* — sweep workers only
+    /// read the `Prepared`, and the pool's caller participation runs
+    /// nothing but this sweep's own chunks.
+    fn with_prepared_single<R>(
         &self,
         probe: &[i64],
-        from: RecordId,
-        on_match: &mut dyn FnMut(RecordId) -> bool,
-    ) {
+        f: impl FnOnce(Option<Prepared<'_>>) -> R,
+    ) -> R {
         if self.dim != Some(probe.len()) {
-            return;
+            return f(None);
         }
         let dim = probe.len();
         let (t, ka, rows, live) = (self.t, self.ka, self.rows, self.live_bits.as_slice());
@@ -1399,26 +2227,15 @@ impl SketchArena {
                     );
                 }};
             }
-            macro_rules! scalar_scan {
-                ($cells:expr, $buf:ident) => {
-                    scan_blocks(
-                        ColumnView {
-                            cells: $cells,
-                            live,
-                            rows,
-                            dim,
-                        },
-                        &s.$buf,
-                        t,
-                        ka,
-                        from,
-                        on_match,
-                    )
-                };
-            }
-            match &self.cells {
+            let prep = match &self.cells {
                 Cells::I16(v) => {
                     normalize!(i16s, i16);
+                    let col = ColumnView {
+                        cells: v.as_slice(),
+                        live,
+                        rows,
+                        dim,
+                    };
                     if let Some((plane, kernel)) = self.active_plane() {
                         build_filter_probes(
                             &s.i16s,
@@ -1428,34 +2245,78 @@ impl SketchArena {
                             &mut s.biased,
                             &mut s.bcast,
                         );
-                        plane.scan(
-                            ColumnView {
-                                cells: v,
-                                live,
-                                rows,
-                                dim,
-                            },
+                        Prepared::Plane {
+                            plane,
                             kernel,
-                            &s.i16s,
-                            ProbeFilter {
+                            col,
+                            probes: &s.i16s,
+                            pf: ProbeFilter {
                                 biased: &s.biased,
                                 bcast: &s.bcast,
                             },
-                            from,
-                            on_match,
-                        );
+                        }
                     } else {
-                        scalar_scan!(v, i16s);
+                        Prepared::I16 {
+                            col,
+                            probes: &s.i16s,
+                            t,
+                            ka,
+                        }
                     }
                 }
                 Cells::I32(v) => {
                     normalize!(i32s, i32);
-                    scalar_scan!(v, i32s);
+                    Prepared::I32 {
+                        col: ColumnView {
+                            cells: v.as_slice(),
+                            live,
+                            rows,
+                            dim,
+                        },
+                        probes: &s.i32s,
+                        t,
+                        ka,
+                    }
                 }
                 Cells::I64(v) => {
                     normalize!(i64s, i64);
-                    scalar_scan!(v, i64s);
+                    Prepared::I64 {
+                        col: ColumnView {
+                            cells: v.as_slice(),
+                            live,
+                            rows,
+                            dim,
+                        },
+                        probes: &s.i64s,
+                        t,
+                        ka,
+                    }
                 }
+            };
+            f(Some(prep))
+        })
+    }
+
+    /// One blocked scan over the column buffer for a single probe:
+    /// normalizes into the thread-local scratch (no per-probe
+    /// allocation), then dispatches the two-phase vectorized scan when
+    /// the prefilter plane is active and the scalar early-abort kernel
+    /// otherwise. No-op for dimension-mismatched probes.
+    fn scan_probe(
+        &self,
+        probe: &[i64],
+        from: RecordId,
+        on_match: &mut dyn FnMut(RecordId) -> bool,
+    ) {
+        let ctl = SweepCtl {
+            words: from / 64..self.live_bits.len(),
+            from_row: from,
+            block_words: self.block_words(),
+            cancel: None,
+        };
+        self.with_prepared_single(probe, |prep| {
+            if let Some(prep) = prep {
+                prep.scan_one(ctl, on_match);
             }
         });
     }
@@ -1761,18 +2622,11 @@ mod tests {
     /// Drives a filtered arena and a scalar (filter-disabled) arena
     /// through the same random population and probes, comparing every
     /// lookup entry point.
-    fn check_filtered_matches_scalar(kernel: FilterKernel, t: u64, ka: u64, dim: usize) {
+    fn check_filtered_matches_scalar(filter: FilterConfig, t: u64, ka: u64, dim: usize) {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0xF1C7 ^ t ^ ka ^ dim as u64);
-        let mut filtered = SketchArena::with_filter(
-            t,
-            ka,
-            FilterConfig {
-                dims: FilterConfig::DEFAULT_DIMS,
-                kernel,
-            },
-        );
+        let mut filtered = SketchArena::with_filter(t, ka, filter);
         let mut scalar = SketchArena::with_filter(t, ka, FilterConfig::disabled());
         assert_eq!(scalar.filter_kernel(), "scalar");
         let half = (ka / 2) as i64;
@@ -1828,32 +2682,218 @@ mod tests {
         // Paper ring; dim > plane (suffix verify), dim == plane (pure
         // prefilter), dim < plane (clamped plane).
         for dim in [32, 8, 3] {
-            check_filtered_matches_scalar(FilterKernel::Swar, 100, 400, dim);
+            check_filtered_matches_scalar(FilterConfig::swar(), 100, 400, dim);
         }
         // Tiny and odd rings.
-        check_filtered_matches_scalar(FilterKernel::Swar, 1, 7, 5);
-        check_filtered_matches_scalar(FilterKernel::Swar, 0, 2, 4);
+        check_filtered_matches_scalar(FilterConfig::swar(), 1, 7, 5);
+        check_filtered_matches_scalar(FilterConfig::swar(), 0, 2, 4);
         // Largest i16 ring.
-        check_filtered_matches_scalar(FilterKernel::Swar, 1000, (1 << 15) - 1, 12);
+        check_filtered_matches_scalar(FilterConfig::swar(), 1000, (1 << 15) - 1, 12);
     }
 
     #[test]
     fn auto_prefilter_matches_scalar() {
-        // On x86-64 with AVX2 this exercises the SIMD path (including
-        // the SWAR tail for partial vectors); elsewhere it re-checks
-        // SWAR through the Auto dispatch.
+        // On x86-64 this exercises the widest available SIMD path
+        // (including the SWAR tail for partial vectors); elsewhere it
+        // re-checks SWAR through the Auto dispatch.
         for dim in [32, 8, 3] {
-            check_filtered_matches_scalar(FilterKernel::Auto, 100, 400, dim);
+            check_filtered_matches_scalar(FilterConfig::default(), 100, 400, dim);
         }
-        check_filtered_matches_scalar(FilterKernel::Auto, 25, 101, 9);
+        check_filtered_matches_scalar(FilterConfig::default(), 25, 101, 9);
+    }
+
+    #[test]
+    fn avx2_pin_matches_scalar() {
+        // The ablation knob that caps dispatch at AVX2 (SWAR off
+        // x86-64) must stay result-identical too.
+        let pinned = FilterConfig::default().with_kernel(FilterKernel::Avx2);
+        for dim in [32, 8, 3] {
+            check_filtered_matches_scalar(pinned, 100, 400, dim);
+        }
+    }
+
+    #[test]
+    fn fixed_depth_matches_scalar() {
+        for depth in [1, 3, 8, 16] {
+            check_filtered_matches_scalar(
+                FilterConfig::default().with_depth(PlaneDepth::Fixed(depth)),
+                100,
+                400,
+                12,
+            );
+        }
+    }
+
+    #[test]
+    fn block_size_variants_match_scalar() {
+        // The ablation block sizes, plus degenerate values that clamp.
+        for block_rows in [64, 128, 256, 1, 4096] {
+            check_filtered_matches_scalar(
+                FilterConfig::default().with_block_rows(block_rows),
+                100,
+                400,
+                12,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        rayon::ensure_threads(4);
+        for threads in [2, 4, 0] {
+            let par = ParallelConfig::forced(threads);
+            // Vectorized plane sweep in parallel vs sequential scalar.
+            check_filtered_matches_scalar(FilterConfig::default().with_parallel(par), 100, 400, 12);
+            // Parallel *scalar* sweeps on every cell width.
+            check_filtered_matches_scalar(FilterConfig::disabled().with_parallel(par), 100, 400, 8);
+            check_filtered_matches_scalar(
+                FilterConfig::default().with_parallel(par),
+                1 << 18,
+                1 << 20,
+                8,
+            );
+            check_filtered_matches_scalar(
+                FilterConfig::default().with_parallel(par),
+                1 << 38,
+                1 << 40,
+                8,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cancellation_keeps_lowest_match() {
+        // Identical rows everywhere: every chunk finds a match, the
+        // later chunks' finds must all lose to row 0. Run repeatedly to
+        // shake scheduling interleavings.
+        rayon::ensure_threads(4);
+        let mut arena = SketchArena::with_filter(
+            100,
+            400,
+            FilterConfig::default().with_parallel(ParallelConfig::forced(4)),
+        );
+        for _ in 0..1000 {
+            arena.push(&[7, -7, 7, -7]);
+        }
+        for _ in 0..50 {
+            assert_eq!(arena.find_first(&[7, -7, 7, -7]), Some(0));
+        }
+        // With the first rows dead, the lowest live id must win.
+        for id in 0..130 {
+            arena.remove(id);
+        }
+        for _ in 0..50 {
+            assert_eq!(arena.find_first(&[7, -7, 7, -7]), Some(130));
+            assert_eq!(arena.find_from(&[7, -7, 7, -7], 700), Some(700));
+        }
+    }
+
+    #[test]
+    fn adaptive_depth_model() {
+        // Paper ring: pass rate 201/400 ≈ ½ → exactly the previously
+        // hard-coded 8 lanes.
+        assert_eq!(adaptive_depth(100, 400), 8);
+        // Rate exactly ½: (½)⁷ = 1/128 hits the target at 7 lanes.
+        assert_eq!(adaptive_depth(0, 2), 7);
+        // Rate 3/7: 6 lanes clear 1/128.
+        assert_eq!(adaptive_depth(1, 7), 6);
+        // Nothing to reject: every coordinate always passes.
+        assert_eq!(adaptive_depth(399, 400), 0);
+        assert_eq!(adaptive_depth(200, 400), 0);
+        assert_eq!(adaptive_depth(u64::MAX, 400), 0);
+        // Huge sparse ring: one lane rejects nearly everything.
+        assert_eq!(adaptive_depth(0, u64::MAX), 1);
+        // Near-1 pass rate: capped at MAX_ADAPTIVE_DIMS.
+        assert_eq!(adaptive_depth(199, 400), FilterConfig::MAX_ADAPTIVE_DIMS);
+        // Deeper adaptive planes clamp to the sketch dimension.
+        let mut arena = SketchArena::new(199, 402);
+        arena.push(&[1, 2, 3]);
+        assert_eq!(arena.plane_dims(), 3);
+        assert_eq!(arena.resolved_depth(), FilterConfig::MAX_ADAPTIVE_DIMS);
+    }
+
+    #[test]
+    fn neon_kernel_matches_swar() {
+        // The NEON kernel body runs everywhere through the emulated
+        // `intr` façade: its 8-row masks must equal two SWAR words.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9E09);
+        for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
+            let mut plane = FilterPlane::new(3, t, ka);
+            for row in 0..64 {
+                let coords: [i16; 3] =
+                    std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
+                plane.push_row(row, &coords);
+            }
+            for _ in 0..40 {
+                let probe: Vec<u16> = (0..3)
+                    .map(|_| bias16(canonical(rng.gen_range(0..ka as i64), ka) as i16, ka as u16))
+                    .collect();
+                let bcast: Vec<u64> = probe.iter().map(|&b| u64::from(b) * LANES).collect();
+                let pf = ProbeFilter {
+                    biased: &probe,
+                    bcast: &bcast,
+                };
+                for wi in (0..16).step_by(2) {
+                    let neon = neon::eight(&plane.lanes, &probe, plane.t_eff, plane.ka16, wi);
+                    let swar = plane.swar_word(pf, wi) | (plane.swar_word(pf, wi + 1) << 4);
+                    assert_eq!(u64::from(neon), swar, "t={t} ka={ka} wi={wi}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_kernel_matches_swar() {
+        if !avx512::available() {
+            return;
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5125);
+        for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
+            let mut plane = FilterPlane::new(4, t, ka);
+            for row in 0..64 {
+                let coords: [i16; 4] =
+                    std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
+                plane.push_row(row, &coords);
+            }
+            for _ in 0..40 {
+                let probe: Vec<u16> = (0..4)
+                    .map(|_| bias16(canonical(rng.gen_range(0..ka as i64), ka) as i16, ka as u16))
+                    .collect();
+                let bcast: Vec<u64> = probe.iter().map(|&b| u64::from(b) * LANES).collect();
+                let pf = ProbeFilter {
+                    biased: &probe,
+                    bcast: &bcast,
+                };
+                for wi in [0, 8] {
+                    let wide = avx512::octo(&plane.lanes, &probe, plane.t_eff, plane.ka16, wi);
+                    let mut swar = 0u64;
+                    for sub in 0..8 {
+                        swar |= plane.swar_word(pf, wi + sub) << (sub * 4);
+                    }
+                    assert_eq!(u64::from(wide), swar, "t={t} ka={ka} wi={wi}");
+                }
+            }
+        }
     }
 
     #[test]
     fn threshold_above_half_ring_matches_everything() {
-        // t ≥ ka/2 means every row matches; the plane clamps t_eff and
-        // must agree with the scalar kernel.
-        check_filtered_matches_scalar(FilterKernel::Swar, 399, 400, 6);
-        check_filtered_matches_scalar(FilterKernel::Auto, u64::MAX, 400, 6);
+        // t ≥ ka/2 means every row matches; adaptive depth resolves to
+        // 0 (no plane could reject), and a pinned fixed-depth plane
+        // clamps t_eff — both must agree with the scalar kernel.
+        check_filtered_matches_scalar(FilterConfig::swar(), 399, 400, 6);
+        check_filtered_matches_scalar(
+            FilterConfig::swar().with_depth(PlaneDepth::Fixed(8)),
+            399,
+            400,
+            6,
+        );
+        check_filtered_matches_scalar(FilterConfig::default(), u64::MAX, 400, 6);
         let mut arena = SketchArena::new(u64::MAX, 400);
         let a = arena.push(&[0, 0]);
         assert_eq!(arena.find_first(&[199, -200]), Some(a));

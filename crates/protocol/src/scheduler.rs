@@ -27,6 +27,29 @@
 //!   flush full, and the per-request scan cost approaches
 //!   `1/max_batch` of a solo scan.
 //!
+//! # Batching is overload control, not a speedup dial
+//!
+//! With the vectorized, prefiltered (and now multi-core) scan kernel,
+//! the measured batched-vs-direct *throughput* ratio on a warm server
+//! collapses to ≈1.0 (`scheduler_batch_speedup` in BENCH_SMOKE): one
+//! probe already streams the arena at close to memory bandwidth, so
+//! coalescing probes no longer multiplies throughput the way it did
+//! against the scalar kernel. What batching still buys — and why the
+//! scheduler stays in front of the server — is **overload behaviour**:
+//! bounded admission, fail-fast shedding, one queue discipline instead
+//! of a thundering herd of callers, and a per-request latency bound
+//! under load (`1/max_batch` of a sweep instead of a whole sweep).
+//!
+//! # One level of parallelism
+//!
+//! Scheduler workers are plain threads; the scan kernel they call fans
+//! out on the process-wide worker pool (`ParallelConfig`). Those two
+//! layers cannot oversubscribe each other: the pool is sized once from
+//! available parallelism, arenas refuse to fan out when already *on* a
+//! pool worker (a sharded index's per-shard tasks), and the default
+//! worker count below is capped at the hardware thread count — so a
+//! micro-batch is handed to the parallel kernel as-is, not split again.
+//!
 //! # Backpressure
 //!
 //! The admission queue is **bounded** ([`SchedulerConfig::queue_capacity`]).
@@ -71,7 +94,9 @@ pub struct SchedulerConfig {
     /// [`ProtocolError::Overloaded`].
     pub queue_capacity: usize,
     /// Worker threads draining the queue. `0` (the default) means one
-    /// per server shard: with `W` workers, `W` micro-batches execute
+    /// per server shard, capped at the hardware thread count (more
+    /// drainers than cores would only contend with the scan kernel's
+    /// own pool fan-out): with `W` workers, `W` micro-batches execute
     /// concurrently, each taking the per-shard read locks in turn.
     pub workers: usize,
     /// Seed for the workers' challenge RNG (worker `i` derives its own
@@ -279,7 +304,8 @@ impl<I: SketchIndex + Send + Sync + 'static> ScheduledServer<I> {
             "queue_capacity must be at least 1"
         );
         let workers = if config.workers == 0 {
-            server.num_shards()
+            let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            server.num_shards().clamp(1, hw)
         } else {
             config.workers
         };

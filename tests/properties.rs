@@ -6,8 +6,8 @@ use fuzzy_id::core::codec::{
 };
 use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
 use fuzzy_id::core::{
-    BucketIndex, ChebyshevSketch, FilterConfig, FuzzyExtractor, HelperData, NumberLine, RobustData,
-    ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
+    BucketIndex, ChebyshevSketch, FilterConfig, FuzzyExtractor, HelperData, NumberLine,
+    ParallelConfig, PlaneDepth, RobustData, ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
 };
 use fuzzy_id::metrics::{Metric, RingChebyshev};
 use proptest::prelude::*;
@@ -642,6 +642,85 @@ proptest! {
                 arena.filter_kernel(), a, b, t, ka
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rayon-chunked parallel block-sweep ≡ the model for every
+    /// cell width (the `index_case` ring strategy spans i16/i32/i64 and
+    /// the i128-widening class) × kernel (auto-dispatched SIMD, forced
+    /// SWAR, plain scalar) × thread count: `lookup` must return the
+    /// identical lowest-global-id match, and `lookup_all` /
+    /// `lookup_batch` the identical full results, as the sequential
+    /// sweep — cooperative cancellation between chunks included.
+    /// `ParallelConfig::forced` drops the row threshold to zero so even
+    /// tiny populations exercise the chunked path.
+    #[test]
+    fn parallel_sweep_kernel_matches_model((t, ka, _dim, ops) in index_case()) {
+        rayon::ensure_threads(4);
+        for filter in [
+            FilterConfig::default(),
+            FilterConfig::swar(),
+            FilterConfig::disabled(),
+        ] {
+            // `0` = no cap: every pool worker the machine offers.
+            for threads in [2usize, 4, 0] {
+                check_against_model(
+                    ScanIndex::with_filter(
+                        t, ka,
+                        filter.with_parallel(ParallelConfig::forced(threads)),
+                    ),
+                    t, ka, &ops,
+                );
+            }
+        }
+    }
+
+    /// A plane pinned to the pre-adaptive constant depth `F = 8` ≡ the
+    /// model on arbitrary populations. Together with
+    /// `scan_index_matches_vec_of_vec_model` (which runs the default
+    /// *adaptive* depth against the same model) this pins that plane
+    /// depth only tunes prefilter selectivity — it can never change the
+    /// match decision.
+    #[test]
+    fn fixed_depth_kernel_matches_model((t, ka, _dim, ops) in index_case()) {
+        check_against_model(
+            ScanIndex::with_filter(
+                t, ka,
+                FilterConfig::default().with_depth(PlaneDepth::Fixed(8)),
+            ),
+            t, ka, &ops,
+        );
+    }
+
+    /// Cancellation never drops a match: with *every* row matching the
+    /// probe and the sweep forced parallel, workers racing to publish
+    /// "best id so far" must still surface the lowest live id — also
+    /// after the current winner is revoked, which forces a later chunk
+    /// to win against an already-cancelled earlier one.
+    #[test]
+    fn parallel_cancellation_kernel_keeps_lowest_match(
+        (t, ka) in ring_params(),
+        rows in 65usize..257,
+        kill in 0usize..64,
+    ) {
+        rayon::ensure_threads(4);
+        let mut arena = fuzzy_id::core::SketchArena::with_filter(
+            t, ka,
+            FilterConfig::default().with_parallel(ParallelConfig::forced(4)),
+        );
+        let base = (ka / 2) as i64;
+        for _ in 0..rows {
+            arena.push(&[base]);
+        }
+        prop_assert_eq!(arena.find_first(&[base]), Some(0));
+        let kill = kill.min(rows - 1);
+        for id in 0..kill {
+            arena.remove(id);
+        }
+        prop_assert_eq!(arena.find_first(&[base]), Some(kill));
     }
 }
 

@@ -2,34 +2,230 @@
 //!
 //! Provides `par_iter()` over slices with `map` / `filter_map` /
 //! `enumerate` / `for_each` / `collect` / `find_map_first`, executed on
-//! `std::thread::scope` worker threads (one contiguous chunk per
-//! hardware thread) instead of a work-stealing pool. Unlike real rayon
-//! the adaptors are **eager** — each stage materializes its results —
-//! which is equivalent for this workspace's usage (coarse-grained shard
-//! and batch fan-out) and keeps the shim tiny.
+//! a **persistent pooled executor** (one lazily-spawned helper thread
+//! per hardware thread beyond the first; the calling thread always
+//! participates). Unlike real rayon the adaptors are **eager** — each
+//! stage materializes its results — which is equivalent for this
+//! workspace's usage (coarse-grained shard and batch fan-out) and keeps
+//! the shim tiny.
 //!
 //! `map`/`collect` preserve input order, and `find_map_first` returns
 //! the match with the lowest index (cancelling workers that can no
 //! longer win), matching rayon's semantics.
+//!
+//! Shim-specific extensions used by `fe-core`'s parallel block-sweep:
+//! [`scope_for_each`] (index-addressed fan-out over the pool),
+//! [`current_num_threads`], [`ensure_threads`] (test hook to exercise
+//! real multi-threading on small hosts), and [`in_pool_worker`]
+//! (nested-fan-out suppression).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads for `n` items.
-fn workers_for(n: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-    hw.min(n).max(1)
+pub use pool::{current_num_threads, ensure_threads, in_pool_worker, scope_for_each};
+
+/// The persistent worker pool behind every adaptor.
+///
+/// This is the only module in the shim (and the workspace's vendor
+/// tree) that needs `unsafe`: a fan-out hands workers a borrow of the
+/// caller's closure, and the borrow's lifetime is erased so jobs can
+/// sit in a `'static` queue. Soundness rests on one invariant, enforced
+/// by [`scope_for_each`]: the submitting frame blocks until every call
+/// has finished, so the erased borrow outlives every dereference.
+#[allow(unsafe_code)]
+mod pool {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+    /// One fan-out: `n` index-addressed calls into a lifetime-erased
+    /// task.
+    struct Job {
+        /// The caller's task with its borrow lifetime erased.
+        ///
+        /// Only dereferenced after a successful claim (`i < n`), which
+        /// can only happen while the owning [`scope_for_each`] frame is
+        /// still blocked on the latch; exhausted jobs are pruned from
+        /// the queue and never dereferenced again.
+        task: *const (dyn Fn(usize) + Sync + 'static),
+        n: usize,
+        /// Next unclaimed call index (claims may overshoot `n`).
+        next: AtomicUsize,
+        /// Completed calls; the job is finished when this reaches `n`.
+        done: AtomicUsize,
+        finished: Mutex<bool>,
+        latch: Condvar,
+    }
+
+    // SAFETY: the erased task is `Sync` (shared calls from many
+    // threads are its contract) and is only dereferenced while the
+    // submitting frame keeps the pointee alive (see `Job::task`).
+    unsafe impl Send for Job {}
+    unsafe impl Sync for Job {}
+
+    struct State {
+        /// Pending fan-outs, oldest first. Jobs whose claim cursor has
+        /// passed `n` are pruned on the next worker wakeup.
+        jobs: Vec<Arc<Job>>,
+        /// Helper threads spawned so far (process-lifetime).
+        helpers: usize,
+    }
+
+    struct Pool {
+        state: Mutex<State>,
+        work: Condvar,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    fn pool() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State {
+                jobs: Vec::new(),
+                helpers: 0,
+            }),
+            work: Condvar::new(),
+        })
+    }
+
+    thread_local! {
+        static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// True on pool helper threads. Parallel kernels use this to stay
+    /// sequential when they are already running *inside* a fan-out, so
+    /// nested parallelism cannot multiply threads.
+    pub fn in_pool_worker() -> bool {
+        IS_WORKER.get()
+    }
+
+    fn hardware_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Grows the pool so at least `n` threads (helpers plus the caller)
+    /// can serve a fan-out concurrently. Helpers persist for the
+    /// process lifetime and park on a condvar when idle. Called lazily
+    /// with the hardware thread count; tests call it explicitly to
+    /// exercise real multi-threading on small hosts.
+    pub fn ensure_threads(n: usize) {
+        let p = pool();
+        let mut st = lock(&p.state);
+        while st.helpers + 1 < n {
+            let name = format!("fe-rayon-{}", st.helpers);
+            st.helpers += 1;
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+    }
+
+    /// Threads that participate in a fan-out: the persistent helpers
+    /// plus the calling thread itself.
+    pub fn current_num_threads() -> usize {
+        ensure_threads(hardware_threads());
+        lock(&pool().state).helpers + 1
+    }
+
+    fn worker_loop() {
+        IS_WORKER.set(true);
+        let p = pool();
+        loop {
+            let job = {
+                let mut st = lock(&p.state);
+                loop {
+                    st.jobs.retain(|j| j.next.load(Ordering::Relaxed) < j.n);
+                    if let Some(j) = st.jobs.first() {
+                        break Arc::clone(j);
+                    }
+                    st = p.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            run(&job);
+        }
+    }
+
+    /// Claims and runs calls from `job` until the cursor passes `n`.
+    fn run(job: &Job) {
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.n {
+                return;
+            }
+            // SAFETY: `i < n`, so the submitting frame is still blocked
+            // on the latch and the erased borrow is live.
+            let task = unsafe { &*job.task };
+            task(i);
+            if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.n {
+                *lock(&job.finished) = true;
+                job.latch.notify_all();
+            }
+        }
+    }
+
+    /// Runs `task(0)..task(n-1)` across the pool — the calling thread
+    /// included — returning once every call has finished. Calls are
+    /// claimed in index order. Nested use is fine: the caller claims
+    /// work itself before waiting, so a fan-out from inside a pool
+    /// worker cannot deadlock (it merely runs on fewer threads).
+    pub fn scope_for_each(n: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let threads = current_num_threads();
+        if n == 1 || threads <= 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        // SAFETY: erases the borrow lifetime so the job can sit in the
+        // 'static queue; the latch wait below keeps this frame — and
+        // thus the borrow — alive until `done == n`.
+        let task: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+                task,
+            )
+        };
+        let job = Arc::new(Job {
+            task,
+            n,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            finished: Mutex::new(false),
+            latch: Condvar::new(),
+        });
+        let p = pool();
+        lock(&p.state).jobs.push(Arc::clone(&job));
+        p.work.notify_all();
+        run(&job);
+        let mut fin = lock(&job.finished);
+        while !*fin {
+            fin = job.latch.wait(fin).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(fin);
+        lock(&p.state).jobs.retain(|j| !Arc::ptr_eq(j, &job));
+    }
 }
 
-/// Splits `items` into at most `workers` contiguous chunks.
-fn chunk_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
-    let per = len.div_ceil(workers);
-    (0..workers)
+/// Splits `len` items into at most `chunks` contiguous ranges.
+fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let per = len.div_ceil(chunks.max(1));
+    (0..chunks.max(1))
         .map(|w| (w * per, ((w + 1) * per).min(len)))
         .filter(|(lo, hi)| lo < hi)
         .collect()
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// An eager parallel iterator holding its items.
@@ -45,6 +241,17 @@ impl<I: Send> ParIter<I> {
         }
     }
 
+    /// Splits the owned items into per-chunk vectors matching `bounds`.
+    fn split_chunks(items: Vec<I>, bounds: &[(usize, usize)]) -> Vec<Mutex<Vec<I>>> {
+        let mut rest = items;
+        let mut chunks: Vec<Mutex<Vec<I>>> = Vec::with_capacity(bounds.len());
+        for &(lo, _hi) in bounds.iter().rev() {
+            chunks.push(Mutex::new(rest.split_off(lo)));
+        }
+        chunks.reverse();
+        chunks
+    }
+
     /// Applies `f` to every item in parallel, preserving order.
     pub fn map<R, F>(self, f: F) -> ParIter<R>
     where
@@ -52,35 +259,22 @@ impl<I: Send> ParIter<I> {
         F: Fn(I) -> R + Sync,
     {
         let n = self.items.len();
-        let workers = workers_for(n);
-        if workers <= 1 {
+        let threads = pool::current_num_threads();
+        if threads <= 1 || n <= 1 {
             return ParIter {
                 items: self.items.into_iter().map(f).collect(),
             };
         }
-        let bounds = chunk_bounds(n, workers);
-        let mut slots: Vec<Mutex<Vec<R>>> = bounds.iter().map(|_| Mutex::new(Vec::new())).collect();
-        {
-            let f = &f;
-            let mut rest: Vec<I> = self.items;
-            // Drain chunks back-to-front so each thread owns its items.
-            let mut chunks: Vec<Vec<I>> = Vec::with_capacity(bounds.len());
-            for &(lo, _hi) in bounds.iter().rev() {
-                chunks.push(rest.split_off(lo));
-            }
-            chunks.reverse();
-            std::thread::scope(|scope| {
-                for (chunk, slot) in chunks.into_iter().zip(&slots) {
-                    scope.spawn(move || {
-                        let out: Vec<R> = chunk.into_iter().map(f).collect();
-                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = out;
-                    });
-                }
-            });
-        }
+        let bounds = chunk_bounds(n, threads.min(n));
+        let chunks = Self::split_chunks(self.items, &bounds);
+        let slots: Vec<Mutex<Vec<R>>> = bounds.iter().map(|_| Mutex::new(Vec::new())).collect();
+        pool::scope_for_each(bounds.len(), &|ci| {
+            let chunk = std::mem::take(&mut *lock(&chunks[ci]));
+            *lock(&slots[ci]) = chunk.into_iter().map(&f).collect();
+        });
         let mut items = Vec::with_capacity(n);
-        for slot in &mut slots {
-            items.append(slot.get_mut().unwrap_or_else(|p| p.into_inner()));
+        for slot in slots {
+            items.append(&mut lock(&slot));
         }
         ParIter { items }
     }
@@ -127,48 +321,35 @@ impl<I: Send> ParIter<I> {
         F: Fn(I) -> Option<R> + Sync,
     {
         let n = self.items.len();
-        let workers = workers_for(n);
-        if workers <= 1 {
+        let threads = pool::current_num_threads();
+        if threads <= 1 || n <= 1 {
             return self.items.into_iter().find_map(f);
         }
-        let bounds = chunk_bounds(n, workers);
+        let bounds = chunk_bounds(n, threads.min(n));
+        let chunks = Self::split_chunks(self.items, &bounds);
         let best_idx = AtomicUsize::new(usize::MAX);
         let best: Mutex<Option<(usize, R)>> = Mutex::new(None);
-        {
-            let f = &f;
-            let best = &best;
-            let best_idx = &best_idx;
-            let mut rest: Vec<I> = self.items;
-            let mut chunks: Vec<(usize, Vec<I>)> = Vec::with_capacity(bounds.len());
-            for &(lo, _hi) in bounds.iter().rev() {
-                chunks.push((lo, rest.split_off(lo)));
-            }
-            chunks.reverse();
-            std::thread::scope(|scope| {
-                for (lo, chunk) in chunks {
-                    scope.spawn(move || {
-                        for (off, item) in chunk.into_iter().enumerate() {
-                            let idx = lo + off;
-                            if best_idx.load(Ordering::Acquire) < idx {
-                                return; // an earlier match already won
-                            }
-                            if let Some(r) = f(item) {
-                                best_idx.fetch_min(idx, Ordering::AcqRel);
-                                let mut guard = best.lock().unwrap_or_else(|p| p.into_inner());
-                                match guard.as_ref() {
-                                    Some((cur, _)) if *cur <= idx => {}
-                                    _ => *guard = Some((idx, r)),
-                                }
-                                return;
-                            }
-                        }
-                    });
+        pool::scope_for_each(bounds.len(), &|ci| {
+            let lo = bounds[ci].0;
+            let chunk = std::mem::take(&mut *lock(&chunks[ci]));
+            for (off, item) in chunk.into_iter().enumerate() {
+                let idx = lo + off;
+                if best_idx.load(Ordering::Acquire) < idx {
+                    return; // an earlier match already won
                 }
-            });
-        }
-        best.into_inner()
-            .unwrap_or_else(|p| p.into_inner())
-            .map(|(_, r)| r)
+                if let Some(r) = f(item) {
+                    best_idx.fetch_min(idx, Ordering::AcqRel);
+                    let mut guard = lock(&best);
+                    match guard.as_ref() {
+                        Some((cur, _)) if *cur <= idx => {}
+                        _ => *guard = Some((idx, r)),
+                    }
+                    return;
+                }
+            }
+        });
+        let winner = lock(&best).take();
+        winner.map(|(_, r)| r)
     }
 }
 
@@ -212,6 +393,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_preserves_order() {
@@ -274,5 +456,42 @@ mod tests {
         let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
         assert_eq!(empty.par_iter().find_map_first(|&x| Some(x)), None);
+    }
+
+    #[test]
+    fn ensure_threads_grows_the_pool() {
+        super::ensure_threads(4);
+        assert!(super::current_num_threads() >= 4);
+    }
+
+    #[test]
+    fn scope_for_each_runs_every_index_exactly_once() {
+        super::ensure_threads(4);
+        // Repeated fan-outs reuse the persistent pool; every index must
+        // run exactly once per fan-out.
+        for n in [1usize, 2, 3, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            super::scope_for_each(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        super::ensure_threads(4);
+        let total = AtomicUsize::new(0);
+        super::scope_for_each(8, &|_| {
+            super::scope_for_each(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn in_pool_worker_is_false_on_callers() {
+        assert!(!super::in_pool_worker());
     }
 }
