@@ -9,6 +9,11 @@
 //!   one `lookup` at a time (K full memory sweeps) vs one
 //!   `lookup_batch` call (a single multi-query sweep, see
 //!   `SketchArena::find_first_batch`).
+//! * `modes/*` — the matching-modes kernels on the same population: a
+//!   plain lookup vs `reset`'s count-bounded sweep (`FE_BENCH_GATE`
+//!   fails the run if the budget costs more than 1.25× the lookup —
+//!   `reset_10e5_us` in `BENCH_SMOKE.json`) and the subset-masked scan
+//!   behind `check_local_uniqueness` (`local_check_1k_subset_us`).
 //! * `service/*` — the protocol layer, closed-loop: C concurrent
 //!   clients hammer `SharedServer::begin_identification` directly vs
 //!   the same clients going through `ScheduledServer::identify`, whose
@@ -24,7 +29,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_bench::{smoke, time_it, write_csv, SynthPopulation};
-use fe_core::{FilterConfig, ScanIndex, SketchIndex};
+use fe_core::{FilterConfig, ScanIndex, SecureSketch, SketchIndex};
 use fe_protocol::concurrent::SharedServer;
 use fe_protocol::scheduler::{IdentifyTicket, ScheduledServer, SchedulerConfig};
 use fe_protocol::SystemParams;
@@ -147,6 +152,87 @@ fn bench_index_kernel(c: &mut Criterion, setup: &Setup) {
         .map(|(k, v)| (k.as_str(), *v))
         .collect();
     smoke::record("scheduler_batch_kernel", &named);
+    group.finish();
+}
+
+/// Matching modes at the acceptance scale: `reset` is a count-bounded
+/// scan (`budget = 2`) and must stay within 1.25× of a plain lookup on
+/// the same 10⁵-record population — the budget must ride the prefilter
+/// plane, not forfeit it. Both sides probe a *non-matching* sketch so
+/// each is a full worst-case sweep (a matching probe would make both
+/// early-exit and measure nothing). `check_local_uniqueness`'s masked
+/// scan over a 1 000-id subset is recorded alongside: the mask is ANDed
+/// into the liveness words, so it should sit far below the full sweep.
+fn bench_matching_modes(c: &mut Criterion, setup: &Setup) {
+    let smoke_run = smoke::smoke_mode();
+    let (t, ka) = (
+        setup.params.sketch().threshold(),
+        setup.params.sketch().line().interval_len(),
+    );
+    let mut index = ScanIndex::new(t, ka);
+    index.reserve(POPULATION, DIM);
+    for record in &setup.pop.records {
+        index.insert(&record.helper.sketch.inner);
+    }
+
+    // A sketch of an independent random biometric: no-match at 10⁵
+    // with overwhelming probability, asserted rather than assumed.
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let scheme = setup.params.sketch();
+    let stranger = scheme.line().random_vector(DIM, &mut rng);
+    let miss = scheme.sketch(&stranger, &mut rng).unwrap();
+    assert!(index.lookup(&miss).is_none(), "probe must be a clean miss");
+    assert!(index.lookup_at_most(&miss, 2).is_empty());
+
+    // 1 000 ids spread uniformly across the population.
+    let subset: Vec<usize> = (0..1_000).map(|i| i * (POPULATION / 1_000)).collect();
+    assert!(index.lookup_in_subset(&miss, &subset, 1).is_empty());
+
+    let (_, lookup_secs) = fe_bench::time_best(5, || index.lookup(&miss));
+    let (_, reset_secs) = fe_bench::time_best(5, || index.lookup_at_most(&miss, 2));
+    let (_, local_secs) = fe_bench::time_best(5, || index.lookup_in_subset(&miss, &subset, 1));
+    let ratio = reset_secs / lookup_secs;
+    println!(
+        "scheduler_throughput/modes: 10^5 records — plain lookup {:.0} µs, reset \
+         (budget 2) {:.0} µs ({ratio:.2}×), local check over 1k subset {:.1} µs",
+        lookup_secs * 1e6,
+        reset_secs * 1e6,
+        local_secs * 1e6,
+    );
+    smoke::record(
+        "matching_modes",
+        &[
+            ("lookup_10e5_us", lookup_secs * 1e6),
+            ("reset_10e5_us", reset_secs * 1e6),
+            ("reset_over_lookup", ratio),
+            ("local_check_1k_subset_us", local_secs * 1e6),
+        ],
+    );
+    // The acceptance gate: the count budget must not forfeit the
+    // prefilter — reset's bounded sweep stays within 1.25× of the
+    // plain lookup it generalizes.
+    if std::env::var_os("FE_BENCH_GATE").is_some() {
+        assert!(
+            ratio <= 1.25,
+            "FE_BENCH_GATE: reset at 10^5 ({:.1} µs) exceeds 1.25× plain lookup ({:.1} µs)",
+            reset_secs * 1e6,
+            lookup_secs * 1e6,
+        );
+    }
+
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
+    group.bench_function(BenchmarkId::new("modes/plain_lookup", POPULATION), |b| {
+        b.iter(|| index.lookup(std::hint::black_box(&miss)))
+    });
+    group.bench_function(BenchmarkId::new("modes/reset", POPULATION), |b| {
+        b.iter(|| index.lookup_at_most(std::hint::black_box(&miss), 2))
+    });
+    group.bench_function(BenchmarkId::new("modes/local_check_1k", POPULATION), |b| {
+        b.iter(|| index.lookup_in_subset(std::hint::black_box(&miss), &subset, 1))
+    });
     group.finish();
 }
 
@@ -336,6 +422,7 @@ fn bench_open_loop(setup: &Setup) {
 fn benches(c: &mut Criterion) {
     let setup = build_setup(64);
     bench_index_kernel(c, &setup);
+    bench_matching_modes(c, &setup);
     bench_service(c, &setup);
     bench_open_loop(&setup);
 }

@@ -179,6 +179,48 @@ impl SketchIndex for BucketIndex {
             .collect()
     }
 
+    fn lookup_at_most(&self, probe: &[i64], budget: usize) -> Vec<RecordId> {
+        // Candidates come out sorted ascending, so verifying in order
+        // and stopping at the budget-th hit yields the budget lowest.
+        let Some(normalized) = self.arena.normalize_probe(probe) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for id in self.candidates(probe) {
+            if self.arena.row_matches(id, &normalized) {
+                out.push(id);
+                if out.len() == budget {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn lookup_in_subset(&self, probe: &[i64], subset: &[RecordId], budget: usize) -> Vec<RecordId> {
+        // A small explicit subset skips the bucket probes entirely:
+        // verify each subset row directly against the arena.
+        let Some(normalized) = self.arena.normalize_probe(probe) else {
+            return Vec::new();
+        };
+        if budget == 0 {
+            return Vec::new();
+        }
+        let mut ids: Vec<RecordId> = subset.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut out = Vec::new();
+        for id in ids {
+            if self.arena.row_matches(id, &normalized) {
+                out.push(id);
+                if out.len() == budget {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     fn remove(&mut self, id: RecordId) -> bool {
         // Recompute the bucket key from the stored row before the
         // tombstone lands (cell quantization is invariant under the

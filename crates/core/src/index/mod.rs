@@ -37,7 +37,10 @@ pub mod store;
 pub use bucket::BucketIndex;
 pub use scan::ScanIndex;
 pub use sharded::ShardedIndex;
-pub use store::{CellWidth, FilterConfig, FilterKernel, ParallelConfig, PlaneDepth, SketchArena};
+pub use store::{
+    CellWidth, Combine, FilterConfig, FilterKernel, PairedArena, ParallelConfig, PlaneDepth,
+    RowMask, SketchArena,
+};
 
 /// A unique record handle assigned by the index.
 ///
@@ -102,6 +105,44 @@ pub trait SketchIndex {
     /// Finds *all* matching records (used to measure false-close rates).
     /// Implementations return ids in ascending order.
     fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId>;
+
+    /// The `budget` lowest matching records, ascending — the
+    /// count-bounded lookup behind reset-style decisions: with
+    /// `budget = 2` the caller can distinguish 0 / exactly-1 / ≥2
+    /// matches without the index scanning past the second hit.
+    ///
+    /// The default delegates to [`SketchIndex::lookup_all`] and
+    /// truncates; scan-backed implementations override it with the
+    /// arena's bounded sweep so the scan actually stops at the
+    /// `budget`-th match.
+    fn lookup_at_most(&self, probe: &[i64], budget: usize) -> Vec<RecordId> {
+        let mut all = self.lookup_all(probe);
+        all.truncate(budget);
+        all
+    }
+
+    /// The `budget` lowest matching records **among `subset`**,
+    /// ascending — the primitive behind local-uniqueness checks over a
+    /// caller-supplied id set. Ids in `subset` that are dead or unknown
+    /// simply never match; duplicates are redundant.
+    ///
+    /// The default intersects [`SketchIndex::lookup_all`] with the
+    /// subset; scan-backed implementations override it by compiling the
+    /// subset into a row-mask overlay so the sweep only touches masked
+    /// rows.
+    fn lookup_in_subset(&self, probe: &[i64], subset: &[RecordId], budget: usize) -> Vec<RecordId> {
+        if budget == 0 || subset.is_empty() {
+            return Vec::new();
+        }
+        let set: std::collections::HashSet<RecordId> = subset.iter().copied().collect();
+        let mut out: Vec<RecordId> = self
+            .lookup_all(probe)
+            .into_iter()
+            .filter(|id| set.contains(id))
+            .collect();
+        out.truncate(budget);
+        out
+    }
 
     /// Resolves a batch of probes in one call, returning the first match
     /// per probe (position-aligned with `probes`).

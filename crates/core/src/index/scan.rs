@@ -1,6 +1,6 @@
 //! The paper-faithful early-abort linear scan, on columnar storage.
 
-use super::store::{FilterConfig, SketchArena};
+use super::store::{FilterConfig, RowMask, SketchArena};
 use super::{RecordId, SketchIndex};
 
 /// Early-abort linear scan (the paper's strategy), backed by a
@@ -57,6 +57,20 @@ impl SketchIndex for ScanIndex {
 
     fn lookup_all(&self, probe: &[i64]) -> Vec<RecordId> {
         self.arena.find_all(probe)
+    }
+
+    fn lookup_at_most(&self, probe: &[i64], budget: usize) -> Vec<RecordId> {
+        // The arena's bounded sweep: stops at the budget-th hit while
+        // keeping the prefilter plane and parallel fan-out.
+        self.arena.find_at_most(probe, budget)
+    }
+
+    fn lookup_in_subset(&self, probe: &[i64], subset: &[RecordId], budget: usize) -> Vec<RecordId> {
+        if budget == 0 || subset.is_empty() {
+            return Vec::new();
+        }
+        let mask = RowMask::from_rows(subset.iter().copied());
+        self.arena.find_at_most_masked(probe, &mask, budget)
     }
 
     fn lookup_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {

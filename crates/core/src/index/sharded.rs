@@ -212,6 +212,79 @@ impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
         all
     }
 
+    fn lookup_at_most(&self, probe: &[i64], budget: usize) -> Vec<RecordId> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        // Each shard's bounded lookup returns *its* budget lowest local
+        // matches; any global top-budget row is among some shard's
+        // top-budget, so merging the mapped results ascending and
+        // truncating is exact.
+        let mut all: Vec<RecordId> = if self.use_parallel() {
+            self.shards
+                .par_iter()
+                .enumerate()
+                .map(|(s, shard)| {
+                    shard
+                        .lookup_at_most(probe, budget)
+                        .into_iter()
+                        .map(|l| self.to_global(s, l))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            self.shards
+                .iter()
+                .enumerate()
+                .flat_map(|(s, shard)| {
+                    shard
+                        .lookup_at_most(probe, budget)
+                        .into_iter()
+                        .map(move |l| self.to_global(s, l))
+                })
+                .collect()
+        };
+        all.sort_unstable();
+        all.truncate(budget);
+        all
+    }
+
+    fn lookup_in_subset(&self, probe: &[i64], subset: &[RecordId], budget: usize) -> Vec<RecordId> {
+        if budget == 0 || subset.is_empty() {
+            return Vec::new();
+        }
+        // Split the subset per shard (local ids), bound each shard's
+        // masked lookup, and merge like lookup_at_most. Ids beyond the
+        // insert horizon can't exist — drop them up front.
+        let mut per_shard: Vec<Vec<RecordId>> = vec![Vec::new(); self.shards.len()];
+        for &id in subset {
+            if id < self.inserted {
+                let (shard, local) = self.locate(id);
+                per_shard[shard].push(local);
+            }
+        }
+        let mut all: Vec<RecordId> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, shard)| {
+                let locals = &per_shard[s];
+                let found = if locals.is_empty() {
+                    Vec::new()
+                } else {
+                    shard.lookup_in_subset(probe, locals, budget)
+                };
+                found.into_iter().map(move |l| self.to_global(s, l))
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(budget);
+        all
+    }
+
     fn lookup_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
         // A one-element batch gets `lookup`'s shard-parallel path — a
         // single probe cannot share a scan with anything.

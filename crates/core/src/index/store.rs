@@ -432,6 +432,75 @@ struct ProbeFilter<'a> {
     bcast: &'a [u64],
 }
 
+/// A caller-supplied row subset for masked sweeps, stored exactly like
+/// the arena's liveness bitmap (one bit per row, 64 rows per word) so
+/// the scan kernels can AND it into the liveness word for free.
+///
+/// Used by [`SketchArena::find_at_most_masked`] and the index-level
+/// subset lookups: compile an id set once, then every sweep touches
+/// only the masked rows — wholly-unmasked 64-row blocks are skipped
+/// with a single word load, before any phase-1 work.
+///
+/// ```rust
+/// use fe_core::index::store::RowMask;
+///
+/// let mask = RowMask::from_rows([3usize, 64, 200]);
+/// assert!(mask.contains(64));
+/// assert!(!mask.contains(4));
+/// assert_eq!(mask.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowMask {
+    words: Vec<u64>,
+}
+
+impl RowMask {
+    /// An empty mask (no rows selected).
+    pub fn new() -> RowMask {
+        RowMask::default()
+    }
+
+    /// Builds a mask from an iterator of row ids.
+    pub fn from_rows(rows: impl IntoIterator<Item = usize>) -> RowMask {
+        let mut mask = RowMask::new();
+        for row in rows {
+            mask.insert(row);
+        }
+        mask
+    }
+
+    /// Selects a row (idempotent).
+    pub fn insert(&mut self, row: usize) {
+        let word = row / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (row % 64);
+    }
+
+    /// Is the row selected?
+    pub fn contains(&self, row: usize) -> bool {
+        self.words
+            .get(row / 64)
+            .is_some_and(|w| w & (1 << (row % 64)) != 0)
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The packed bitmap words (liveness-word layout).
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
 /// Bounds and control for one sweep over a row range: which liveness
 /// words to walk, the first eligible row, the phase-1/phase-2
 /// super-block size, and (on parallel sweeps) the shared
@@ -448,6 +517,23 @@ struct SweepCtl<'a> {
     /// a block whose rows all sit at or above it can be skipped
     /// without changing the lowest-id result.
     cancel: Option<&'a AtomicUsize>,
+    /// Caller-supplied row subset, one bit per row like the liveness
+    /// bitmap: rows whose bit is clear are never visited (the phase-1
+    /// kernels AND it into the liveness word, so masked-out rows cost
+    /// nothing). Words past the mask's end are wholly masked out.
+    mask: Option<&'a [u64]>,
+}
+
+impl SweepCtl<'_> {
+    /// The sweepable bits of liveness word `word_idx`: the stored word
+    /// ANDed with the caller's row mask, when one is set.
+    #[inline]
+    fn masked_word(&self, word_idx: usize, live: u64) -> u64 {
+        match self.mask {
+            Some(mask) => live & mask.get(word_idx).copied().unwrap_or(0),
+            None => live,
+        }
+    }
 }
 
 impl<'a> SweepCtl<'a> {
@@ -1059,7 +1145,7 @@ impl FilterPlane {
             // Phase 1 for the whole super-block, prefetching phase-2
             // cells for the next group of survivors meanwhile.
             for wi in w..group_end {
-                let mut lw = col.live[wi];
+                let mut lw = ctl.masked_word(wi, col.live[wi]);
                 if wi * 64 < ctl.from_row {
                     let below = ctl.from_row - wi * 64;
                     lw = if below >= 64 {
@@ -1298,7 +1384,7 @@ fn scan_blocks<C: Cell>(
     ctl: SweepCtl<'_>,
     on_match: &mut dyn FnMut(RecordId) -> bool,
 ) {
-    for word_idx in ctl.words {
+    for word_idx in ctl.words.clone() {
         if ctl
             .cancel
             .is_some_and(|best| best.load(Ordering::Relaxed) <= word_idx * 64)
@@ -1308,7 +1394,7 @@ fn scan_blocks<C: Cell>(
         let Some(&live) = col.live.get(word_idx) else {
             return;
         };
-        let mut word = live;
+        let mut word = ctl.masked_word(word_idx, live);
         if word_idx * 64 < ctl.from_row {
             // Mask off rows below `from_row` (at most the first word).
             let below = ctl.from_row - word_idx * 64;
@@ -1969,6 +2055,7 @@ impl SketchArena {
                     from_row: from,
                     block_words,
                     cancel: Some(&best),
+                    mask: None,
                     words,
                 };
                 if ctl.cancelled(ctl.words.start * 64) {
@@ -2008,6 +2095,7 @@ impl SketchArena {
                     from_row: 0,
                     block_words,
                     cancel: None,
+                    mask: None,
                 };
                 prep.scan_one(ctl, &mut |row| {
                     local.push(row);
@@ -2197,6 +2285,131 @@ impl SketchArena {
         out
     }
 
+    /// The `budget` lowest-id live rows matching the probe, ascending —
+    /// the count-bounded kernel behind reset-style decisions (0 /
+    /// exactly-1 / ≥2 without scanning past the `budget`-th hit).
+    /// `budget = 1` is [`SketchArena::find_first`] as a one-element
+    /// vector; a large budget degrades gracefully into
+    /// [`SketchArena::find_all`].
+    pub fn find_at_most(&self, probe: &[i64], budget: usize) -> Vec<RecordId> {
+        self.find_bounded(probe, None, budget, None)
+    }
+
+    /// [`SketchArena::find_at_most`] restricted to the rows selected by
+    /// `mask`: unselected rows are never visited (the mask is ANDed
+    /// into the liveness words ahead of phase 1), which is what makes
+    /// local-uniqueness checks over a small id subset cheap even on a
+    /// large arena.
+    pub fn find_at_most_masked(
+        &self,
+        probe: &[i64],
+        mask: &RowMask,
+        budget: usize,
+    ) -> Vec<RecordId> {
+        self.find_bounded(probe, Some(mask), budget, None)
+    }
+
+    /// The one bounded sweep serving [`SketchArena::find_at_most`], the
+    /// masked variant, and [`PairedArena`]'s combined scans: collects
+    /// the `budget` lowest matching rows, optionally restricted to
+    /// `mask`, optionally post-filtered by `extra` (a per-row predicate
+    /// that must also hold — the paired max-combine verifies the second
+    /// template there). Rows failing `extra` do not consume budget.
+    fn find_bounded(
+        &self,
+        probe: &[i64],
+        mask: Option<&RowMask>,
+        budget: usize,
+        extra: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
+    ) -> Vec<RecordId> {
+        if budget == 0 || self.live == 0 {
+            return Vec::new();
+        }
+        let mask_words = mask.map(RowMask::words);
+        if let Some(chunks) = self.parallel_chunks(0) {
+            return self.par_find_bounded(probe, mask_words, budget, extra, &chunks);
+        }
+        let ctl = SweepCtl {
+            words: 0..self.live_bits.len(),
+            from_row: 0,
+            block_words: self.block_words(),
+            cancel: None,
+            mask: mask_words,
+        };
+        let mut out = Vec::new();
+        self.with_prepared_single(probe, |prep| {
+            if let Some(prep) = prep {
+                prep.scan_one(ctl, &mut |row| {
+                    if extra.is_none_or(|f| f(row)) {
+                        out.push(row);
+                    }
+                    out.len() < budget
+                });
+            }
+        });
+        out
+    }
+
+    /// [`SketchArena::find_bounded`] fanned out over `chunks`. The
+    /// fetch-min cancellation generalizes from "lowest match so far"
+    /// to a bounded hit-list: when a chunk collects its `budget`-th
+    /// local match at row `r`, at least `budget` matches exist at rows
+    /// `≤ r` globally, so chunks whose whole range sits above `r` can
+    /// never contribute to the `budget` lowest and are skipped. Chunks
+    /// partition the rows in ascending order, so concatenating the
+    /// per-chunk ascending hit-lists in chunk order and truncating to
+    /// `budget` reproduces the sequential result exactly.
+    fn par_find_bounded(
+        &self,
+        probe: &[i64],
+        mask: Option<&[u64]>,
+        budget: usize,
+        extra: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
+        chunks: &[std::ops::Range<usize>],
+    ) -> Vec<RecordId> {
+        let bound = AtomicUsize::new(usize::MAX);
+        let slots: Vec<Mutex<Vec<RecordId>>> =
+            chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let block_words = self.block_words();
+        self.with_prepared_single(probe, |prep| {
+            let Some(prep) = prep else {
+                return;
+            };
+            rayon::scope_for_each(chunks.len(), &|i| {
+                let ctl = SweepCtl {
+                    words: chunks[i].clone(),
+                    from_row: 0,
+                    block_words,
+                    cancel: Some(&bound),
+                    mask,
+                };
+                if ctl.cancelled(ctl.words.start * 64) {
+                    return;
+                }
+                let mut local = Vec::new();
+                prep.scan_one(ctl, &mut |row| {
+                    if extra.is_none_or(|f| f(row)) {
+                        local.push(row);
+                    }
+                    local.len() < budget
+                });
+                if local.len() >= budget {
+                    bound.fetch_min(local[budget - 1], Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("sweep worker panicked") = local;
+            });
+        });
+        let mut out = Vec::new();
+        for slot in slots {
+            out.append(&mut slot.into_inner().expect("sweep worker panicked"));
+            if out.len() >= budget {
+                break;
+            }
+        }
+        out.truncate(budget);
+        out
+    }
+
     /// Normalizes one probe into the thread-local scratch and hands the
     /// bound [`Prepared`] scan state to `f` (`None` for
     /// dimension-mismatched probes, which match nothing). The
@@ -2313,6 +2526,7 @@ impl SketchArena {
             from_row: from,
             block_words: self.block_words(),
             cancel: None,
+            mask: None,
         };
         self.with_prepared_single(probe, |prep| {
             if let Some(prep) = prep {
@@ -2377,6 +2591,208 @@ impl SketchArena {
             plane.rebuild(v, next, dim);
         }
         mapping
+    }
+}
+
+/// How a multi-template record combines its per-template distances into
+/// one match decision (the threshold algebra of the matching-modes
+/// spec, for two templates `dl`, `dr` and threshold `t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// `max(dl, dr) ≤ t ⇔ (dl ≤ t) ∧ (dr ≤ t)` — *both* templates must
+    /// match (the strict mode used for identification and reset).
+    Max,
+    /// `min(dl, dr) ≤ t ⇔ (dl ≤ t) ∨ (dr ≤ t)` — *either* template
+    /// matching suffices (the conservative mode used for uniqueness
+    /// checks, where any overlap is a collision).
+    Min,
+}
+
+/// Multi-template records: two sketches per identity (e.g. left/right
+/// eye) stored in **paired arena columns** — two [`SketchArena`]s over
+/// the same ring whose rows advance in lockstep, so one [`RecordId`]
+/// names both templates.
+///
+/// Combined lookups evaluate the [`Combine`] threshold algebra as
+/// boolean masks over the per-template conditions (1)–(4) decisions:
+///
+/// * [`Combine::Max`] drives the count-bounded sweep on the *left*
+///   column (keeping its prefilter plane) and verifies each phase-2
+///   survivor's right-column row before it consumes budget — the
+///   AND-combine never forfeits the vectorized phase 1, and bounding
+///   the left scan alone would be wrong (the `budget` lowest left
+///   matches need not pass the right check).
+/// * [`Combine::Min`] runs one bounded sweep per column and merges the
+///   ascending hit-lists (OR-combine), deduplicating rows that match on
+///   both sides.
+///
+/// ```rust
+/// use fe_core::index::store::{Combine, PairedArena};
+///
+/// let mut arena = PairedArena::new(100, 400);
+/// let id = arena.push(&[10, 20], &[300, -100]);
+/// // Both eyes close → Max matches; one eye close → only Min matches.
+/// assert_eq!(arena.find_at_most(&[15, 25], &[305, -95], Combine::Max, 2), vec![id]);
+/// assert_eq!(arena.find_at_most(&[15, 25], &[100, 100], Combine::Max, 2), vec![]);
+/// assert_eq!(arena.find_at_most(&[15, 25], &[100, 100], Combine::Min, 2), vec![id]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairedArena {
+    left: SketchArena,
+    right: SketchArena,
+}
+
+impl PairedArena {
+    /// Creates an empty paired arena over a ring of circumference `ka`
+    /// with threshold `t`, with the default prefilter configuration.
+    pub fn new(t: u64, ka: u64) -> PairedArena {
+        PairedArena::with_filter(t, ka, FilterConfig::default())
+    }
+
+    /// Creates an empty paired arena with an explicit prefilter
+    /// configuration (shared by both columns).
+    pub fn with_filter(t: u64, ka: u64, filter: FilterConfig) -> PairedArena {
+        PairedArena {
+            left: SketchArena::with_filter(t, ka, filter),
+            right: SketchArena::with_filter(t, ka, filter),
+        }
+    }
+
+    /// Stores a record's two templates, returning the shared row id.
+    /// Both columns stamp their dimension independently, so the two
+    /// templates may have different dimensions (each probe side is
+    /// checked against its own column).
+    ///
+    /// # Panics
+    /// Panics if either template's dimension differs from its column's
+    /// stamped dimension.
+    pub fn push(&mut self, left: &[i64], right: &[i64]) -> RecordId {
+        let id = self.left.push(left);
+        let rid = self.right.push(right);
+        debug_assert_eq!(id, rid, "paired columns must advance in lockstep");
+        id
+    }
+
+    /// Tombstones a record in both columns. Returns `false` if the id
+    /// was unknown or already removed.
+    pub fn remove(&mut self, id: RecordId) -> bool {
+        let l = self.left.remove(id);
+        let r = self.right.remove(id);
+        debug_assert_eq!(l, r, "paired columns must tombstone in lockstep");
+        l && r
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// `true` when no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+
+    /// Total record slots held, live and tombstoned.
+    pub fn rows(&self) -> usize {
+        self.left.rows()
+    }
+
+    /// The left template column.
+    pub fn left(&self) -> &SketchArena {
+        &self.left
+    }
+
+    /// The right template column.
+    pub fn right(&self) -> &SketchArena {
+        &self.right
+    }
+
+    /// The `budget` lowest-id live records whose combined decision
+    /// matches the probe pair, ascending (see the type docs for how
+    /// each [`Combine`] evaluates). A probe side whose dimension
+    /// differs from its column's stamp matches nothing on that side.
+    pub fn find_at_most(
+        &self,
+        left_probe: &[i64],
+        right_probe: &[i64],
+        combine: Combine,
+        budget: usize,
+    ) -> Vec<RecordId> {
+        self.find_combined(left_probe, right_probe, combine, None, budget)
+    }
+
+    /// [`PairedArena::find_at_most`] restricted to the rows selected by
+    /// `mask` (the subset + min-combine shape of local-uniqueness
+    /// checks).
+    pub fn find_at_most_masked(
+        &self,
+        left_probe: &[i64],
+        right_probe: &[i64],
+        combine: Combine,
+        mask: &RowMask,
+        budget: usize,
+    ) -> Vec<RecordId> {
+        self.find_combined(left_probe, right_probe, combine, Some(mask), budget)
+    }
+
+    fn find_combined(
+        &self,
+        left_probe: &[i64],
+        right_probe: &[i64],
+        combine: Combine,
+        mask: Option<&RowMask>,
+        budget: usize,
+    ) -> Vec<RecordId> {
+        match combine {
+            Combine::Max => {
+                // AND-combine: the left column's bounded sweep keeps
+                // its prefilter; each left survivor verifies its right
+                // row before consuming budget.
+                let Some(right_probe) = self.right.normalize_probe(right_probe) else {
+                    return Vec::new();
+                };
+                let verify_right = |row: RecordId| self.right.row_matches(row, &right_probe);
+                self.left
+                    .find_bounded(left_probe, mask, budget, Some(&verify_right))
+            }
+            Combine::Min => {
+                // OR-combine: bounded sweep per column, merged
+                // ascending with dedup. Each side's `budget` lowest
+                // together cover the union's `budget` lowest.
+                let l = self.left.find_bounded(left_probe, mask, budget, None);
+                let r = self.right.find_bounded(right_probe, mask, budget, None);
+                let mut out = Vec::with_capacity(l.len() + r.len());
+                let (mut i, mut j) = (0, 0);
+                while out.len() < budget && (i < l.len() || j < r.len()) {
+                    let next = match (l.get(i), r.get(j)) {
+                        (Some(&a), Some(&b)) if a == b => {
+                            i += 1;
+                            j += 1;
+                            a
+                        }
+                        (Some(&a), Some(&b)) if a < b => {
+                            i += 1;
+                            a
+                        }
+                        (Some(_), Some(&b)) => {
+                            j += 1;
+                            b
+                        }
+                        (Some(&a), None) => {
+                            i += 1;
+                            a
+                        }
+                        (None, Some(&b)) => {
+                            j += 1;
+                            b
+                        }
+                        (None, None) => unreachable!("loop condition"),
+                    };
+                    out.push(next);
+                }
+                out
+            }
+        }
     }
 }
 

@@ -82,8 +82,8 @@ pub use encode::{decode_i64_vector, encode_i64_vector};
 pub use error::SketchError;
 pub use fuzzy::{FuzzyExtractor, HelperData};
 pub use index::{
-    BucketIndex, CellWidth, FilterConfig, FilterKernel, ParallelConfig, PlaneDepth, RecordId,
-    ScanIndex, ShardedIndex, SketchArena, SketchIndex,
+    BucketIndex, CellWidth, Combine, FilterConfig, FilterKernel, PairedArena, ParallelConfig,
+    PlaneDepth, RecordId, RowMask, ScanIndex, ShardedIndex, SketchArena, SketchIndex,
 };
 pub use key::ExtractedKey;
 pub use numberline::NumberLine;

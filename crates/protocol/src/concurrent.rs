@@ -319,6 +319,114 @@ impl<I: SketchIndex> SharedServer<I> {
         self.shard_for_user(id).write().revoke(id)
     }
 
+    /// Uniqueness-checked enrollment across the whole partitioned
+    /// population: the non-home shards are scanned under shared read
+    /// locks (find-at-most-1 each), then the record's home shard runs
+    /// its own [`AuthenticationServer::enroll_unique`] under the write
+    /// lock — so only the home shard's duplicate check is atomic with
+    /// the insert. A matching record enrolled on *another* shard in the
+    /// window between the read sweep and the home-shard insert can
+    /// slip through; like the multi-match anomaly documented on
+    /// [`SharedServer::begin_identification`], the false-close bound
+    /// makes this a rarity partitioned deployments accept. Cross-shard
+    /// refusals are not journaled (no shard owns them); home-shard
+    /// refusals are journaled as usual.
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::enroll_unique`].
+    pub fn enroll_unique(&self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+        let home = self.shard_for_user(&record.id);
+        let probe = &record.helper.sketch.inner;
+        for shard in self.shards.iter() {
+            if std::ptr::eq(shard, home) {
+                continue;
+            }
+            let server = shard.read();
+            if let Some(&idx) = server.match_at_most(probe, 1).first() {
+                let matched = server
+                    .user_at(idx)
+                    .expect("matched slots are live")
+                    .to_string();
+                return Err(ProtocolError::DuplicateBiometric(matched));
+            }
+        }
+        home.write().enroll_unique(record)
+    }
+
+    /// Reset / account-recovery lookup across all shards: succeeds only
+    /// when **exactly one** enrolled record in the whole population
+    /// matches the probe. Each shard contributes a find-at-most-2 sweep
+    /// under its read lock; the scan stops at the first shard that
+    /// pushes the global tally past one.
+    ///
+    /// # Errors
+    /// [`ProtocolError::NoMatch`] / [`ProtocolError::AmbiguousMatch`] as
+    /// [`AuthenticationServer::reset`].
+    pub fn reset(&self, probe: &[i64]) -> Result<crate::messages::UserId, ProtocolError> {
+        let mut found: Option<crate::messages::UserId> = None;
+        for shard in self.shards.iter() {
+            let server = shard.read();
+            for idx in server.match_at_most(probe, 2) {
+                if found.is_some() {
+                    return Err(ProtocolError::AmbiguousMatch);
+                }
+                found = Some(
+                    server
+                        .user_at(idx)
+                        .expect("matched slots are live")
+                        .to_string(),
+                );
+            }
+        }
+        found.ok_or(ProtocolError::NoMatch)
+    }
+
+    /// Targeted sketch check against a claimed identity, routed straight
+    /// to the user's shard (read lock; no cross-shard search).
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::authenticate_claimed`].
+    pub fn authenticate_claimed(
+        &self,
+        claimed_id: &str,
+        probe: &[i64],
+    ) -> Result<bool, ProtocolError> {
+        self.shard_for_user(claimed_id)
+            .read()
+            .authenticate_claimed(claimed_id, probe)
+    }
+
+    /// Subset uniqueness check: `Ok(true)` when the probe matches none
+    /// of the listed users' records. Ids are grouped by home shard and
+    /// each shard runs one masked find-at-most-1 sweep under its read
+    /// lock. Every listed id is validated even after a match is found,
+    /// so an unknown id fails deterministically regardless of subset
+    /// order.
+    ///
+    /// # Errors
+    /// Same as [`AuthenticationServer::check_local_uniqueness`].
+    pub fn check_local_uniqueness(
+        &self,
+        probe: &[i64],
+        ids: &[crate::messages::UserId],
+    ) -> Result<bool, ProtocolError> {
+        let n = self.shards.len() as u64;
+        let mut by_shard: Vec<Vec<crate::messages::UserId>> = vec![Vec::new(); self.shards.len()];
+        for id in ids {
+            by_shard[(route_hash(id) % n) as usize].push(id.clone());
+        }
+        let mut unique = true;
+        for (shard, subset) in self.shards.iter().zip(&by_shard) {
+            if subset.is_empty() {
+                continue;
+            }
+            if !shard.read().check_local_uniqueness(probe, subset)? {
+                unique = false;
+            }
+        }
+        Ok(unique)
+    }
+
     /// Identification phase 1: the sketch lookup runs under shared read
     /// locks (shard by shard); only the matched shard is write-locked,
     /// briefly, to issue the challenge.
@@ -780,6 +888,72 @@ mod tests {
             Err(ProtocolError::Storage(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matching_modes_work_across_shards() {
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(12_000);
+        let bios = enroll_population(&server, &device, 6, 32, &mut rng);
+
+        // enroll_unique: the duplicate lives on whatever shard "user-2"
+        // hashed to; a re-enrollment under a fresh id (hence possibly a
+        // different home shard) must still be caught.
+        let noisy2: Vec<i64> = bios[2].iter().map(|&x| x + 60).collect();
+        let dup = device.enroll("impostor", &noisy2, &mut rng).unwrap();
+        assert_eq!(
+            server.enroll_unique(dup).unwrap_err(),
+            ProtocolError::DuplicateBiometric("user-2".into())
+        );
+        let fresh = params.sketch().line().random_vector(32, &mut rng);
+        server
+            .enroll_unique(device.enroll("newbie", &fresh, &mut rng).unwrap())
+            .unwrap();
+        assert_eq!(server.user_count(), 7);
+
+        // reset: exactly-one across the partition.
+        let probe = device.probe_sketch(&noisy2, &mut rng).unwrap();
+        assert_eq!(server.reset(&probe).unwrap(), "user-2");
+        let stranger = params.sketch().line().random_vector(32, &mut rng);
+        let miss = device.probe_sketch(&stranger, &mut rng).unwrap();
+        assert_eq!(server.reset(&miss).unwrap_err(), ProtocolError::NoMatch);
+        // A cross-shard duplicate (enrolled via plain permissive enroll)
+        // turns reset ambiguous even when the two matches live on
+        // different shards.
+        server
+            .enroll(device.enroll("user-2-dup", &noisy2, &mut rng).unwrap())
+            .unwrap();
+        let probe = device.probe_sketch(&bios[2], &mut rng).unwrap();
+        assert_eq!(
+            server.reset(&probe).unwrap_err(),
+            ProtocolError::AmbiguousMatch
+        );
+
+        // authenticate_claimed: routed, targeted.
+        let probe4 = device
+            .probe_sketch(
+                &bios[4].iter().map(|&x| x - 30).collect::<Vec<_>>(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(server.authenticate_claimed("user-4", &probe4).unwrap());
+        assert!(!server.authenticate_claimed("user-0", &probe4).unwrap());
+        assert!(matches!(
+            server.authenticate_claimed("nobody", &probe4),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+
+        // check_local_uniqueness: subset spanning all three shards.
+        let others: Vec<_> = vec!["user-0".into(), "user-1".into(), "user-3".into()];
+        assert!(server.check_local_uniqueness(&probe4, &others).unwrap());
+        let with4: Vec<_> = vec!["user-0".into(), "user-4".into()];
+        assert!(!server.check_local_uniqueness(&probe4, &with4).unwrap());
+        assert!(matches!(
+            server.check_local_uniqueness(&probe4, &["ghost".into()]),
+            Err(ProtocolError::UnknownUser(_))
+        ));
     }
 
     #[test]

@@ -14,8 +14,17 @@ pub enum ProtocolError {
     /// No enrolled record matches the presented sketch
     /// (the identification `⊥` outcome).
     NoMatch,
+    /// More than one enrolled record matches the presented sketch — a
+    /// reset requires exactly one (see
+    /// [`AuthenticationServer::reset`](crate::AuthenticationServer::reset)).
+    AmbiguousMatch,
     /// The user id is already enrolled.
     DuplicateUser(String),
+    /// The presented *biometric* is already enrolled (under the carried
+    /// user id): uniqueness-checked enrollment refused to create an
+    /// unlinked duplicate (see
+    /// [`AuthenticationServer::enroll_unique`](crate::AuthenticationServer::enroll_unique)).
+    DuplicateBiometric(String),
     /// The claimed identity is not enrolled (verification mode).
     UnknownUser(String),
     /// The response referenced an expired or unknown challenge session
@@ -43,7 +52,13 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::Sketch(e) => write!(f, "sketch failure: {e}"),
             ProtocolError::NoMatch => write!(f, "no enrolled record matches the sketch"),
+            ProtocolError::AmbiguousMatch => {
+                write!(f, "more than one enrolled record matches the sketch")
+            }
             ProtocolError::DuplicateUser(id) => write!(f, "user '{id}' already enrolled"),
+            ProtocolError::DuplicateBiometric(id) => {
+                write!(f, "biometric already enrolled as user '{id}'")
+            }
             ProtocolError::UnknownUser(id) => write!(f, "user '{id}' is not enrolled"),
             ProtocolError::UnknownSession => write!(f, "unknown or expired challenge session"),
             ProtocolError::BadSignature => write!(f, "challenge response signature invalid"),

@@ -92,7 +92,7 @@ pub use messages::{
     EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId, UserId, WireHelper,
 };
 pub use normal::{NormalIdentification, NormalStats, ScanMode};
-pub use params::{IndexConfig, SystemParams};
+pub use params::{DedupPolicy, IndexConfig, SystemParams};
 pub use runner::{IdentifyStats, ProtocolRunner};
 pub use scheduler::{IdentifyTicket, ScheduledServer, SchedulerConfig, SchedulerMetrics};
 pub use server::{AuthenticationServer, BuildIndex};

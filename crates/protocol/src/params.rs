@@ -65,6 +65,27 @@ impl IndexConfig {
     }
 }
 
+/// What a plain [`enroll`](crate::AuthenticationServer::enroll) does
+/// when the new record's sketch already matches an enrolled record
+/// (the *same biometric* re-enrolling under a fresh id — a different
+/// situation from [`DuplicateUser`](crate::ProtocolError::DuplicateUser),
+/// which is about the id string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupPolicy {
+    /// Accept it (the paper's behavior): every enrollment is an
+    /// independent record, and the same biometric may exist under
+    /// several ids as unlinked duplicates.
+    #[default]
+    Permissive,
+    /// Refuse it with
+    /// [`DuplicateBiometric`](crate::ProtocolError::DuplicateBiometric),
+    /// journaling the rejection: plain `enroll` gains
+    /// [`enroll_unique`](crate::AuthenticationServer::enroll_unique)
+    /// semantics, closing the dedup gap where one biometric silently
+    /// double-enrolls.
+    RejectMatching,
+}
+
 /// Public system parameters: the number line + threshold, the extracted
 /// key length, the DSA domain parameters, and the server's index
 /// configuration.
@@ -78,6 +99,7 @@ pub struct SystemParams {
     dsa: DsaParams,
     index: IndexConfig,
     filter: FilterConfig,
+    dedup: DedupPolicy,
 }
 
 impl SystemParams {
@@ -90,6 +112,7 @@ impl SystemParams {
             dsa,
             index: IndexConfig::default(),
             filter: FilterConfig::default(),
+            dedup: DedupPolicy::default(),
         }
     }
 
@@ -121,6 +144,21 @@ impl SystemParams {
     /// The configured prefilter plane knob.
     pub fn filter_config(&self) -> FilterConfig {
         self.filter
+    }
+
+    /// Selects what plain
+    /// [`enroll`](crate::AuthenticationServer::enroll) does when the
+    /// new sketch already matches an enrolled record (see
+    /// [`DedupPolicy`]).
+    #[must_use]
+    pub fn with_dedup_policy(mut self, dedup: DedupPolicy) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// The configured enrollment dedup policy.
+    pub fn dedup_policy(&self) -> DedupPolicy {
+        self.dedup
     }
 
     /// The paper's Table II configuration with 1024-bit DSA (the classic
@@ -178,10 +216,13 @@ impl SystemParams {
     /// parameters fails with
     /// [`CodecError::FingerprintMismatch`](fe_core::codec::CodecError)
     /// instead of silently matching probes against a re-interpreted ring.
-    /// The [`IndexConfig`] and [`FilterConfig`] are deliberately
-    /// **excluded**: index and prefilter are lookup accelerators rebuilt
-    /// at recovery time, so snapshots stay portable across index
-    /// backends, shard counts, and prefilter settings.
+    /// The [`IndexConfig`], [`FilterConfig`] and [`DedupPolicy`] are
+    /// deliberately **excluded**: index and prefilter are lookup
+    /// accelerators rebuilt at recovery time, and the dedup policy
+    /// governs *future* enrollments without changing how stored
+    /// records are read — so snapshots stay portable across index
+    /// backends, shard counts, prefilter settings and admission
+    /// policies.
     pub fn fingerprint(&self) -> Fingerprint {
         let mut w = Writer::new();
         w.put_u64(self.sketch.line().a());
@@ -258,6 +299,17 @@ mod tests {
         assert_eq!(p.index_config().prefix_dims(), 3);
         // Degenerate shard counts are clamped to 1.
         assert_eq!(IndexConfig::ShardedScan { shards: 0 }.shards(), 1);
+    }
+
+    #[test]
+    fn dedup_policy_defaults_builder_and_fingerprint_neutrality() {
+        let p = SystemParams::insecure_test_defaults();
+        assert_eq!(p.dedup_policy(), DedupPolicy::Permissive);
+        let fp = p.fingerprint();
+        let p = p.with_dedup_policy(DedupPolicy::RejectMatching);
+        assert_eq!(p.dedup_policy(), DedupPolicy::RejectMatching);
+        // Admission policy never changes how stored records are read.
+        assert_eq!(fp, p.fingerprint());
     }
 
     #[test]

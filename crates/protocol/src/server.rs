@@ -11,7 +11,7 @@ use crate::messages::{
     challenge_message, EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId,
     UserId, WireHelper,
 };
-use crate::params::SystemParams;
+use crate::params::{DedupPolicy, SystemParams};
 use crate::store::{EnrollmentStore, FileStore, LogEvent, LogEventRef, SnapshotRow};
 use crate::ProtocolError;
 use fe_core::{BucketIndex, ScanIndex, ShardedIndex, SketchIndex};
@@ -229,6 +229,9 @@ impl<I: BuildIndex> AuthenticationServer<I> {
                 LogEvent::Revoke(id) => {
                     let _ = server.apply_revoke(&id);
                 }
+                // Audit record of a refused enrollment: nothing to
+                // replay — the population never changed.
+                LogEvent::EnrollRejected { .. } => {}
             }
         }
         server.store = Some(store);
@@ -418,12 +421,142 @@ impl<I: SketchIndex> AuthenticationServer<I> {
     /// [`ProtocolError::Storage`] when journaling fails (the server
     /// state is then unchanged).
     pub fn enroll(&mut self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+        if self.params.dedup_policy() == DedupPolicy::RejectMatching {
+            return self.enroll_unique(record);
+        }
         self.validate_enroll(&record)?;
         if let Some(store) = &mut self.store {
             store.append(LogEventRef::Enroll(&record))?;
         }
         self.apply_enroll(record);
         Ok(())
+    }
+
+    /// Uniqueness-checked enrollment: stores the record only when **no**
+    /// enrolled sketch matches it (conditions (1)–(4)), closing the dedup
+    /// gap where the same biometric silently enrolls under several ids.
+    /// The duplicate scan uses the find-at-most-1 kernel, so it costs no
+    /// more than one identification lookup. A refusal is journaled as a
+    /// [`LogEvent::EnrollRejected`] audit record (replayed as a no-op).
+    ///
+    /// Plain [`AuthenticationServer::enroll`] routes here when the
+    /// parameters carry [`DedupPolicy::RejectMatching`].
+    ///
+    /// # Errors
+    /// [`ProtocolError::DuplicateBiometric`] (carrying the already
+    /// enrolled id) when a matching record exists; otherwise as
+    /// [`AuthenticationServer::enroll`].
+    pub fn enroll_unique(&mut self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
+        self.validate_enroll(&record)?;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let hits = self.index.lookup_at_most(&record.helper.sketch.inner, 1);
+        if let Some(&idx) = hits.first() {
+            let matched = self.records[idx]
+                .as_ref()
+                .expect("index only matches live records")
+                .id
+                .clone();
+            if let Some(store) = &mut self.store {
+                store.append(LogEventRef::EnrollRejected {
+                    id: &record.id,
+                    matched: &matched,
+                })?;
+            }
+            return Err(ProtocolError::DuplicateBiometric(matched));
+        }
+        if let Some(store) = &mut self.store {
+            store.append(LogEventRef::Enroll(&record))?;
+        }
+        self.apply_enroll(record);
+        Ok(())
+    }
+
+    /// Bounded sketch lookup: the record slots of at most `budget`
+    /// matches, in enrollment order (the find-at-most-K kernel — the
+    /// sweep stops as soon as the budget is collected). `&self`: safe
+    /// under a shared read lock.
+    pub fn match_at_most(&self, probe: &[i64], budget: usize) -> Vec<usize> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.index.lookup_at_most(probe, budget)
+    }
+
+    /// The enrolled id living in a record slot (`None` for tombstoned or
+    /// out-of-range slots) — lets concurrent wrappers resolve slots
+    /// found under a shared lock.
+    pub fn user_at(&self, record_idx: usize) -> Option<&str> {
+        self.records
+            .get(record_idx)?
+            .as_ref()
+            .map(|r| r.id.as_str())
+    }
+
+    /// Reset / account-recovery lookup: succeeds only when **exactly
+    /// one** enrolled record matches the probe, returning its id. Uses a
+    /// find-at-most-2 sweep, so disambiguation costs the same as a plain
+    /// lookup — the scan cancels as soon as a second match is seen.
+    /// `&self`: safe under a shared read lock.
+    ///
+    /// # Errors
+    /// [`ProtocolError::NoMatch`] when nothing matches;
+    /// [`ProtocolError::AmbiguousMatch`] when two or more records match
+    /// (resetting any one of them would be guessing).
+    pub fn reset(&self, probe: &[i64]) -> Result<UserId, ProtocolError> {
+        match *self.match_at_most(probe, 2).as_slice() {
+            [] => Err(ProtocolError::NoMatch),
+            [idx] => Ok(self.records[idx]
+                .as_ref()
+                .expect("index only matches live records")
+                .id
+                .clone()),
+            _ => Err(ProtocolError::AmbiguousMatch),
+        }
+    }
+
+    /// Targeted (verification-mode) sketch check: does the probe match
+    /// the record of `claimed_id` specifically? A one-row subset-masked
+    /// sweep — other users' records are never compared, so the cost is
+    /// independent of the population. `&self`: safe under a shared read
+    /// lock.
+    ///
+    /// # Errors
+    /// [`ProtocolError::UnknownUser`] for unenrolled ids.
+    pub fn authenticate_claimed(
+        &self,
+        claimed_id: &str,
+        probe: &[i64],
+    ) -> Result<bool, ProtocolError> {
+        let idx = *self
+            .by_id
+            .get(claimed_id)
+            .ok_or_else(|| ProtocolError::UnknownUser(claimed_id.to_string()))?;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        Ok(!self.index.lookup_in_subset(probe, &[idx], 1).is_empty())
+    }
+
+    /// Subset uniqueness check: `Ok(true)` when the probe matches **none**
+    /// of the given users' records (a find-at-most-1 sweep masked to
+    /// exactly that subset — e.g. an orb/site checking a new capture
+    /// against only its locally enrolled population). `&self`: safe
+    /// under a shared read lock.
+    ///
+    /// # Errors
+    /// [`ProtocolError::UnknownUser`] when any listed id is not
+    /// enrolled.
+    pub fn check_local_uniqueness(
+        &self,
+        probe: &[i64],
+        ids: &[UserId],
+    ) -> Result<bool, ProtocolError> {
+        let mut subset = Vec::with_capacity(ids.len());
+        for id in ids {
+            let idx = self
+                .by_id
+                .get(id)
+                .ok_or_else(|| ProtocolError::UnknownUser(id.clone()))?;
+            subset.push(*idx);
+        }
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        Ok(self.index.lookup_in_subset(probe, &subset, 1).is_empty())
     }
 
     /// Sketch lookup only (conditions (1)–(4)), without issuing a
@@ -1006,6 +1139,136 @@ mod tests {
             server.enroll(record),
             Err(ProtocolError::DuplicateUser(_))
         ));
+    }
+
+    #[test]
+    fn enroll_unique_refuses_matching_biometric_and_journals_it() {
+        let (device, mut server, bios, mut rng) = setup(0);
+        server
+            .attach_store(Box::new(crate::store::MemoryStore::new()))
+            .unwrap();
+        let _ = bios;
+        let params = server.params().clone();
+        let bio = params.sketch().line().random_vector(48, &mut rng);
+        server
+            .enroll_unique(device.enroll("alice", &bio, &mut rng).unwrap())
+            .unwrap();
+
+        // Same biometric (within noise), fresh id: refused, with the
+        // matched user named, and the refusal lands in the journal.
+        let again = noisy(&bio, &mut rng);
+        let dup = device.enroll("alice-2", &again, &mut rng).unwrap();
+        assert_eq!(
+            server.enroll_unique(dup).unwrap_err(),
+            ProtocolError::DuplicateBiometric("alice".into())
+        );
+        assert_eq!(server.user_count(), 1);
+        assert_eq!(server.store().unwrap().journal_len(), 2);
+
+        // A genuinely different biometric is accepted.
+        let other = params.sketch().line().random_vector(48, &mut rng);
+        server
+            .enroll_unique(device.enroll("bob", &other, &mut rng).unwrap())
+            .unwrap();
+        assert_eq!(server.user_count(), 2);
+    }
+
+    #[test]
+    fn dedup_policy_routes_plain_enroll() {
+        use crate::params::DedupPolicy;
+        let params =
+            SystemParams::insecure_test_defaults().with_dedup_policy(DedupPolicy::RejectMatching);
+        let device = BiometricDevice::new(params.clone());
+        let mut server = AuthenticationServer::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(86_000);
+        let bio = params.sketch().line().random_vector(48, &mut rng);
+        server
+            .enroll(device.enroll("alice", &bio, &mut rng).unwrap())
+            .unwrap();
+        let dup = device
+            .enroll("alice-2", &noisy(&bio, &mut rng), &mut rng)
+            .unwrap();
+        assert!(matches!(
+            server.enroll(dup),
+            Err(ProtocolError::DuplicateBiometric(_))
+        ));
+        // The permissive default accepts the same double-enrollment.
+        let mut permissive = AuthenticationServer::new(SystemParams::insecure_test_defaults());
+        permissive
+            .enroll(device.enroll("alice", &bio, &mut rng).unwrap())
+            .unwrap();
+        permissive
+            .enroll(
+                device
+                    .enroll("alice-2", &noisy(&bio, &mut rng), &mut rng)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(permissive.user_count(), 2);
+    }
+
+    #[test]
+    fn reset_requires_exactly_one_match() {
+        let (device, mut server, bios, mut rng) = setup(3);
+        // One clean match → the id.
+        let probe = device
+            .probe_sketch(&noisy(&bios[1], &mut rng), &mut rng)
+            .unwrap();
+        assert_eq!(server.reset(&probe).unwrap(), "user-1");
+        // No match → NoMatch.
+        let stranger = server.params().sketch().line().random_vector(48, &mut rng);
+        let probe = device.probe_sketch(&stranger, &mut rng).unwrap();
+        assert_eq!(server.reset(&probe).unwrap_err(), ProtocolError::NoMatch);
+        // Enroll the same biometric under a second id (permissive
+        // default): a probe that matches both is ambiguous.
+        let record = device
+            .enroll("user-1-dup", &noisy(&bios[1], &mut rng), &mut rng)
+            .unwrap();
+        server.enroll(record).unwrap();
+        let probe = device.probe_sketch(&bios[1], &mut rng).unwrap();
+        assert_eq!(
+            server.reset(&probe).unwrap_err(),
+            ProtocolError::AmbiguousMatch
+        );
+    }
+
+    #[test]
+    fn authenticate_claimed_is_targeted() {
+        let (device, server, bios, mut rng) = setup(4);
+        let probe = device
+            .probe_sketch(&noisy(&bios[2], &mut rng), &mut rng)
+            .unwrap();
+        assert!(server.authenticate_claimed("user-2", &probe).unwrap());
+        // Matching SOME user is not enough: the claim is checked against
+        // exactly the claimed record.
+        assert!(!server.authenticate_claimed("user-0", &probe).unwrap());
+        assert!(matches!(
+            server.authenticate_claimed("nobody", &probe),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn check_local_uniqueness_masks_to_subset() {
+        let (device, server, bios, mut rng) = setup(4);
+        let probe = device
+            .probe_sketch(&noisy(&bios[3], &mut rng), &mut rng)
+            .unwrap();
+        let others: Vec<UserId> = vec!["user-0".into(), "user-1".into()];
+        // user-3's biometric is unique among {0, 1}…
+        assert!(server.check_local_uniqueness(&probe, &others).unwrap());
+        // …but not once user-3 joins the subset.
+        let all: Vec<UserId> = (0..4).map(|u| format!("user-{u}")).collect();
+        assert!(!server.check_local_uniqueness(&probe, &all).unwrap());
+        // Empty subset: trivially unique.
+        assert!(server.check_local_uniqueness(&probe, &[]).unwrap());
+        assert!(matches!(
+            server.check_local_uniqueness(&probe, &["ghost".into()]),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+        // user_at resolves live slots and refuses tombstones.
+        assert_eq!(server.user_at(3), Some("user-3"));
+        assert_eq!(server.user_at(99), None);
     }
 
     #[test]

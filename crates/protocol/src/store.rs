@@ -70,6 +70,17 @@ pub enum LogEvent {
     Enroll(EnrollmentRecord),
     /// The user with this id was revoked.
     Revoke(UserId),
+    /// A uniqueness-checked enrollment was *refused* because the
+    /// presented sketch already matched the enrolled user `matched`
+    /// (see [`AuthenticationServer::enroll_unique`](crate::AuthenticationServer::enroll_unique)).
+    /// Pure audit record: replay ignores it, and compaction drops it
+    /// with the rest of the journal history.
+    EnrollRejected {
+        /// The id the refused enrollment carried.
+        id: UserId,
+        /// The already-enrolled user whose record matched.
+        matched: UserId,
+    },
 }
 
 impl LogEvent {
@@ -78,6 +89,7 @@ impl LogEvent {
         match self {
             LogEvent::Enroll(record) => LogEventRef::Enroll(record),
             LogEvent::Revoke(id) => LogEventRef::Revoke(id),
+            LogEvent::EnrollRejected { id, matched } => LogEventRef::EnrollRejected { id, matched },
         }
     }
 }
@@ -91,6 +103,14 @@ pub enum LogEventRef<'a> {
     Enroll(&'a EnrollmentRecord),
     /// The user with this id was revoked.
     Revoke(&'a str),
+    /// A uniqueness-checked enrollment of `id` was refused because the
+    /// sketch matched the enrolled user `matched` (audit record).
+    EnrollRejected {
+        /// The id the refused enrollment carried.
+        id: &'a str,
+        /// The already-enrolled user whose record matched.
+        matched: &'a str,
+    },
 }
 
 impl LogEventRef<'_> {
@@ -100,12 +120,17 @@ impl LogEventRef<'_> {
         match self {
             LogEventRef::Enroll(record) => LogEvent::Enroll(record.clone()),
             LogEventRef::Revoke(id) => LogEvent::Revoke(id.to_string()),
+            LogEventRef::EnrollRejected { id, matched } => LogEvent::EnrollRejected {
+                id: id.to_string(),
+                matched: matched.to_string(),
+            },
         }
     }
 }
 
 const EVENT_ENROLL: u8 = 1;
 const EVENT_REVOKE: u8 = 2;
+const EVENT_ENROLL_REJECTED: u8 = 3;
 
 /// One snapshot row, borrowed from the server's live record table: what
 /// [`EnrollmentStore::compact`] streams instead of taking an owned
@@ -185,6 +210,11 @@ fn encode_event(event: LogEventRef<'_>) -> Vec<u8> {
             w.put_u8(EVENT_REVOKE);
             w.put_str(id);
         }
+        LogEventRef::EnrollRejected { id, matched } => {
+            w.put_u8(EVENT_ENROLL_REJECTED);
+            w.put_str(id);
+            w.put_str(matched);
+        }
     }
     w.into_bytes()
 }
@@ -195,6 +225,10 @@ fn decode_event(payload: &[u8]) -> Result<LogEvent, CodecError> {
     let event = match r.get_u8()? {
         EVENT_ENROLL => LogEvent::Enroll(get_record(&mut r)?),
         EVENT_REVOKE => LogEvent::Revoke(r.get_str()?),
+        EVENT_ENROLL_REJECTED => LogEvent::EnrollRejected {
+            id: r.get_str()?,
+            matched: r.get_str()?,
+        },
         _ => return Err(CodecError::Malformed("unknown event tag")),
     };
     r.expect_end()?;
@@ -847,6 +881,10 @@ mod tests {
         for event in [
             LogEvent::Enroll(records[0].clone()),
             LogEvent::Revoke("someone".into()),
+            LogEvent::EnrollRejected {
+                id: "mallory".into(),
+                matched: "alice".into(),
+            },
         ] {
             assert_eq!(decode_event(&encode_event(event.as_ref())).unwrap(), event);
         }

@@ -7,7 +7,9 @@
 //! the serde derives on the message types remain available for
 //! downstream users with their own format.
 
-use crate::messages::{EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, WireHelper};
+use crate::messages::{
+    EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, UserId, WireHelper,
+};
 use crate::ProtocolError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fe_core::RobustData;
@@ -19,6 +21,10 @@ const TAG_ENROLL: u8 = 1;
 const TAG_CHALLENGE: u8 = 2;
 const TAG_RESPONSE: u8 = 3;
 const TAG_OUTCOME: u8 = 4;
+const TAG_ENROLL_UNIQUE: u8 = 5;
+const TAG_RESET: u8 = 6;
+const TAG_AUTH_CLAIMED: u8 = 7;
+const TAG_LOCAL_UNIQUE: u8 = 8;
 
 /// Any protocol message, for tag-dispatched decoding.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +37,33 @@ pub enum Message {
     Response(IdentResponse),
     /// Final outcome notification.
     Outcome(IdentOutcome),
+    /// Uniqueness-checked enrollment request (same payload as
+    /// [`Message::Enroll`]; the server runs
+    /// [`enroll_unique`](crate::AuthenticationServer::enroll_unique)).
+    EnrollUnique(EnrollmentRecord),
+    /// Reset / account-recovery request: succeed only when exactly one
+    /// record matches the probe sketch
+    /// ([`reset`](crate::AuthenticationServer::reset)).
+    Reset {
+        /// The probe sketch.
+        probe: Vec<i64>,
+    },
+    /// Targeted claimed-identity check
+    /// ([`authenticate_claimed`](crate::AuthenticationServer::authenticate_claimed)).
+    AuthenticateClaimed {
+        /// The claimed user id.
+        id: UserId,
+        /// The probe sketch.
+        probe: Vec<i64>,
+    },
+    /// Subset uniqueness check
+    /// ([`check_local_uniqueness`](crate::AuthenticationServer::check_local_uniqueness)).
+    CheckLocalUniqueness {
+        /// The probe sketch.
+        probe: Vec<i64>,
+        /// The user subset to check against.
+        ids: Vec<UserId>,
+    },
 }
 
 fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
@@ -123,6 +156,29 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 IdentOutcome::Rejected => buf.put_u8(0),
             }
         }
+        Message::EnrollUnique(r) => {
+            buf = header(TAG_ENROLL_UNIQUE);
+            put_bytes(&mut buf, r.id.as_bytes());
+            put_bytes(&mut buf, &r.public_key);
+            put_helper(&mut buf, &r.helper);
+        }
+        Message::Reset { probe } => {
+            buf = header(TAG_RESET);
+            put_i64s(&mut buf, probe);
+        }
+        Message::AuthenticateClaimed { id, probe } => {
+            buf = header(TAG_AUTH_CLAIMED);
+            put_bytes(&mut buf, id.as_bytes());
+            put_i64s(&mut buf, probe);
+        }
+        Message::CheckLocalUniqueness { probe, ids } => {
+            buf = header(TAG_LOCAL_UNIQUE);
+            put_i64s(&mut buf, probe);
+            buf.put_u32(ids.len() as u32);
+            for id in ids {
+                put_bytes(&mut buf, id.as_bytes());
+            }
+        }
     }
     buf.to_vec()
 }
@@ -199,6 +255,45 @@ pub fn decode(data: &[u8]) -> Result<Message, ProtocolError> {
                 _ => return Err(ProtocolError::Malformed("bad outcome flag")),
             }
         }
+        TAG_ENROLL_UNIQUE => {
+            let id = String::from_utf8(get_bytes(&mut buf)?)
+                .map_err(|_| ProtocolError::Malformed("id not utf-8"))?;
+            let public_key = get_bytes(&mut buf)?;
+            let helper = get_helper(&mut buf)?;
+            Message::EnrollUnique(EnrollmentRecord {
+                id,
+                public_key,
+                helper,
+            })
+        }
+        TAG_RESET => Message::Reset {
+            probe: get_i64s(&mut buf)?,
+        },
+        TAG_AUTH_CLAIMED => {
+            let id = String::from_utf8(get_bytes(&mut buf)?)
+                .map_err(|_| ProtocolError::Malformed("id not utf-8"))?;
+            let probe = get_i64s(&mut buf)?;
+            Message::AuthenticateClaimed { id, probe }
+        }
+        TAG_LOCAL_UNIQUE => {
+            let probe = get_i64s(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(ProtocolError::Malformed("truncated id count"));
+            }
+            let count = buf.get_u32() as usize;
+            // Like the snapshot loader, cap the preallocation by what
+            // the remaining bytes could possibly hold (4-byte length
+            // prefix per id minimum) so a lying count cannot trigger a
+            // huge allocation.
+            let mut ids = Vec::with_capacity(count.min(buf.remaining() / 4));
+            for _ in 0..count {
+                ids.push(
+                    String::from_utf8(get_bytes(&mut buf)?)
+                        .map_err(|_| ProtocolError::Malformed("id not utf-8"))?,
+                );
+            }
+            Message::CheckLocalUniqueness { probe, ids }
+        }
         _ => return Err(ProtocolError::Malformed("unknown tag")),
     };
     if buf.has_remaining() {
@@ -260,6 +355,49 @@ mod tests {
             let msg = Message::Outcome(o);
             assert_eq!(decode(&encode(&msg)).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn matching_mode_requests_roundtrip() {
+        let record = sample_record();
+        for msg in [
+            Message::EnrollUnique(record),
+            Message::Reset {
+                probe: vec![-3, 0, 399, i64::MIN],
+            },
+            Message::AuthenticateClaimed {
+                id: "claimant".into(),
+                probe: vec![1, 2, 3],
+            },
+            Message::CheckLocalUniqueness {
+                probe: vec![7; 16],
+                ids: vec!["a".into(), "b".into(), "c".into()],
+            },
+            Message::CheckLocalUniqueness {
+                probe: Vec::new(),
+                ids: Vec::new(),
+            },
+        ] {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn matching_mode_requests_reject_truncation() {
+        let msg = Message::CheckLocalUniqueness {
+            probe: vec![5; 8],
+            ids: vec!["alice".into(), "bob".into()],
+        };
+        let bytes = encode(&msg);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(matches!(
+            decode(&extended),
+            Err(ProtocolError::Malformed("trailing bytes"))
+        ));
     }
 
     #[test]

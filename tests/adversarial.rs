@@ -188,6 +188,50 @@ fn forged_public_key_enrollment_does_not_impersonate_existing_user() {
 }
 
 #[test]
+fn two_user_matching_probe_cannot_reset() {
+    // An adversary who engineers a biometric close to *two* enrolled
+    // users (here: a duplicate enrollment admitted under the permissive
+    // policy) must not be able to trigger account reset — the exactly-
+    // one rule refuses the ambiguous probe instead of picking a victim.
+    let mut w = setup(3, 200, 19);
+    let twin_bio = genuine_reading(&mut w, 0);
+    let dup = w
+        .device
+        .enroll("user-0-twin", &twin_bio, &mut w.rng)
+        .unwrap();
+    w.server.enroll(dup).unwrap();
+    let reading = w.bios[0].clone();
+    let probe = w.device.probe_sketch(&reading, &mut w.rng).unwrap();
+    assert_eq!(
+        w.server.reset(&probe).unwrap_err(),
+        ProtocolError::AmbiguousMatch
+    );
+    // A probe near a *unique* user still resets — the refusal above is
+    // the ambiguity, not the mode being broken.
+    let reading = genuine_reading(&mut w, 2);
+    let probe = w.device.probe_sketch(&reading, &mut w.rng).unwrap();
+    assert_eq!(w.server.reset(&probe).unwrap(), "user-2");
+}
+
+#[test]
+fn cross_user_claim_fails_targeted_authentication() {
+    // Mallory presents her own (enrolled) biometric while claiming to
+    // be someone else: the claim is verified against exactly the
+    // claimed record, so matching *some* user gains nothing.
+    let mut w = setup(3, 200, 20);
+    let reading = genuine_reading(&mut w, 0);
+    let probe = w.device.probe_sketch(&reading, &mut w.rng).unwrap();
+    assert!(w.server.authenticate_claimed("user-0", &probe).unwrap());
+    assert!(!w.server.authenticate_claimed("user-1", &probe).unwrap());
+    assert!(!w.server.authenticate_claimed("user-2", &probe).unwrap());
+    // Claiming an unenrolled id is an error, not a silent false.
+    assert_eq!(
+        w.server.authenticate_claimed("ghost", &probe).unwrap_err(),
+        ProtocolError::UnknownUser("ghost".into())
+    );
+}
+
+#[test]
 fn dropped_messages_leave_no_exploitable_state() {
     let mut w = setup(2, 200, 18);
     let reading = genuine_reading(&mut w, 0);
