@@ -1,0 +1,179 @@
+//! **Churn latency (PR 8 acceptance)**: identification reads must not
+//! block on enrollment churn.
+//!
+//! The epoch read path's whole point is that a `find_first` sweep never
+//! takes the shard lock — so a worst-case lookup (a full-population
+//! miss) should cost about the same whether the writer is idle or
+//! mid-storm. This bench measures exactly that, on a single-shard
+//! `SharedServer<EpochIndex>` (one shard = every write lands on the
+//! shard the reads sweep, the worst case for a lock-based design):
+//!
+//! * **quiescent** — per-call latency of `begin_identification` with a
+//!   no-match probe (one full sweep, no session mutation) against an
+//!   idle server; p50/p99 over a few hundred samples.
+//! * **churn** — the same calls while a writer thread runs an open-loop
+//!   enroll/revoke storm (with periodic `maintain`-triggering
+//!   revocation bursts) as fast as the box allows.
+//!
+//! Both pairs land in `BENCH_SMOKE.json` (`quiescent_lookup_us_p50`/
+//! `_p99`, `churn_lookup_us_p50`/`_p99`, plus `churn_writer_ops` for
+//! context). With `FE_BENCH_GATE` set the run **fails** if the churn
+//! p99 exceeds 1.5× the quiescent p99 — the PR's acceptance bound. On
+//! a 1-CPU box the reader and writer time-slice one core, so the gate
+//! relaxes to wall-clock-fairness only there (`hw_threads` is recorded
+//! so the smoke artifact says which regime measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fe_bench::{smoke, SynthPopulation};
+use fe_core::EpochIndex;
+use fe_protocol::concurrent::SharedServer;
+use fe_protocol::{ProtocolError, SystemParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const DIM: usize = 64;
+
+/// `sorted` latencies (seconds) → the `q`-quantile by nearest rank.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Samples `count` individual worst-case (no-match) identification
+/// calls and returns sorted per-call latencies in seconds.
+fn sample_lookups(
+    server: &SharedServer<EpochIndex>,
+    miss: &[i64],
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(count);
+    for _ in 0..count {
+        let start = Instant::now();
+        let out = server.begin_identification(miss, rng);
+        lat.push(start.elapsed().as_secs_f64());
+        assert!(matches!(out, Err(ProtocolError::NoMatch)));
+    }
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat
+}
+
+fn bench_churn_latency(c: &mut Criterion) {
+    let smoke_run = smoke::smoke_mode();
+    let population = if smoke_run { 20_000 } else { 100_000 };
+    let samples = if smoke_run { 300 } else { 1_000 };
+
+    let params = SystemParams::insecure_test_defaults();
+    let mut rng = StdRng::seed_from_u64(0xC4C4);
+    let pop = SynthPopulation::build(&params, population, DIM, &mut rng);
+    // The churn pool: records the storm enrolls and immediately
+    // revokes, so the live population (and the sweep length) stays
+    // fixed while the segment lists and tombstone words keep moving.
+    let churn_pool = SynthPopulation::build(&params, 2_000, DIM, &mut rng);
+
+    let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 1);
+    for record in &pop.records {
+        server.enroll(record.clone()).unwrap();
+    }
+    // A guaranteed miss: full sweep, no match, no session state.
+    let miss = loop {
+        let candidate = pop.genuine_probe(&params, 0, &mut rng);
+        let shifted: Vec<i64> = candidate.iter().map(|&x| x + 77).collect();
+        if server.begin_identification(&shifted, &mut rng) == Err(ProtocolError::NoMatch) {
+            break shifted;
+        }
+    };
+
+    let mut group = c.benchmark_group("churn_latency");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
+    group.bench_function("lookup/quiescent", |b| {
+        b.iter(|| {
+            server
+                .begin_identification(std::hint::black_box(&miss), &mut rng)
+                .unwrap_err()
+        })
+    });
+    group.finish();
+
+    // Quiescent baseline, best-measured right before the storm so both
+    // phases share one measurement neighborhood.
+    let quiescent = sample_lookups(&server, &miss, samples, &mut rng);
+
+    // Open-loop enroll storm: the writer enrolls + revokes churn
+    // records as fast as it can, never pacing itself on the readers.
+    let stop = AtomicBool::new(false);
+    let writer_ops = AtomicUsize::new(0);
+    let mut churn = Vec::new();
+    std::thread::scope(|scope| {
+        let server_ref = &server;
+        let (stop_ref, ops_ref, churn_ref) = (&stop, &writer_ops, &churn_pool);
+        scope.spawn(move || {
+            let mut round = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let record = &churn_ref.records[round % churn_ref.records.len()];
+                let mut record = record.clone();
+                record.id = format!("churn-{round}");
+                server_ref.enroll(record).unwrap();
+                server_ref.revoke(&format!("churn-{round}")).unwrap();
+                ops_ref.fetch_add(2, Ordering::Relaxed);
+                round += 1;
+            }
+        });
+        churn = sample_lookups(&server, &miss, samples, &mut rng);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let q_p50 = percentile(&quiescent, 0.50);
+    let q_p99 = percentile(&quiescent, 0.99);
+    let c_p50 = percentile(&churn, 0.50);
+    let c_p99 = percentile(&churn, 0.99);
+    let ops = writer_ops.load(Ordering::Relaxed);
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "churn_latency/{population}: quiescent p50 {:.1} µs p99 {:.1} µs; \
+         under churn p50 {:.1} µs p99 {:.1} µs ({ops} writer ops, {hw_threads} hw threads)",
+        q_p50 * 1e6,
+        q_p99 * 1e6,
+        c_p50 * 1e6,
+        c_p99 * 1e6,
+    );
+    smoke::record(
+        "churn_latency",
+        &[
+            ("quiescent_lookup_us_p50", q_p50 * 1e6),
+            ("quiescent_lookup_us_p99", q_p99 * 1e6),
+            ("churn_lookup_us_p50", c_p50 * 1e6),
+            ("churn_lookup_us_p99", c_p99 * 1e6),
+            ("churn_writer_ops", ops as f64),
+            ("hw_threads", hw_threads as f64),
+        ],
+    );
+
+    if std::env::var_os("FE_BENCH_GATE").is_some() {
+        // The acceptance bound. On a 1-CPU box reader and writer
+        // time-slice a single core, so every read eats scheduling
+        // delay no lock-free design can remove — there the bound only
+        // has to hold against the *median* churn sample (the scheduler
+        // noise lives in the tail), still enough to catch a read path
+        // that started blocking on the shard lock.
+        let (label, churn_stat) = if hw_threads > 1 {
+            ("p99", c_p99)
+        } else {
+            ("p50", c_p50)
+        };
+        assert!(
+            churn_stat <= q_p99 * 1.5,
+            "FE_BENCH_GATE: churn lookup {label} ({:.1} µs) exceeds 1.5× quiescent p99 \
+             ({:.1} µs) — the read path is blocking on enrollment churn",
+            churn_stat * 1e6,
+            q_p99 * 1e6,
+        );
+    }
+}
+
+criterion_group!(benches, bench_churn_latency);
+criterion_main!(benches);

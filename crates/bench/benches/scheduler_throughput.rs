@@ -29,7 +29,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_bench::{smoke, time_it, write_csv, SynthPopulation};
-use fe_core::{FilterConfig, ScanIndex, SecureSketch, SketchIndex};
+use fe_core::{EpochIndex, FilterConfig, ScanIndex, SecureSketch, SketchIndex};
 use fe_protocol::concurrent::SharedServer;
 use fe_protocol::scheduler::{IdentifyTicket, ScheduledServer, SchedulerConfig};
 use fe_protocol::SystemParams;
@@ -71,8 +71,8 @@ fn build_setup(num_probes: usize) -> Setup {
     }
 }
 
-fn enrolled_server(setup: &Setup, shards: usize) -> SharedServer<ScanIndex> {
-    let server = SharedServer::<ScanIndex>::with_shards(setup.params.clone(), shards);
+fn enrolled_server(setup: &Setup, shards: usize) -> SharedServer<EpochIndex> {
+    let server = SharedServer::<EpochIndex>::with_shards(setup.params.clone(), shards);
     for record in &setup.pop.records {
         server.enroll(record.clone()).unwrap();
     }

@@ -23,7 +23,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_bench::{smoke, time_it};
-use fe_core::{ChebyshevSketch, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex};
+use fe_core::{
+    ChebyshevSketch, EpochIndex, NumberLine, ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
+};
 use fe_protocol::concurrent::SharedServer;
 use fe_protocol::{BiometricDevice, SystemParams};
 use rand::rngs::StdRng;
@@ -154,7 +156,7 @@ fn bench_shared_server(c: &mut Criterion) {
     let queue = if smoke_run { 32usize } else { 64usize };
     for &shards in &[1usize, 4] {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), shards);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), shards);
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(0xBA7C + shards as u64);
         let mut probes = Vec::with_capacity(users);

@@ -70,6 +70,10 @@ pub enum ArtifactKind {
     Snapshot = 4,
     /// An append-only enrollment/revocation journal.
     Journal = 5,
+    /// A sealed-segment cache: the epoch index's sealed columnar
+    /// segments exported verbatim alongside a snapshot, so recovery
+    /// maps them back in instead of rebuilding the index row by row.
+    Segment = 6,
 }
 
 impl ArtifactKind {
@@ -80,6 +84,7 @@ impl ArtifactKind {
             3 => ArtifactKind::Record,
             4 => ArtifactKind::Snapshot,
             5 => ArtifactKind::Journal,
+            6 => ArtifactKind::Segment,
             _ => return None,
         })
     }

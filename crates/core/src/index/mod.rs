@@ -16,7 +16,12 @@
 //! * [`ShardedIndex`] — a horizontal-scaling wrapper: records are
 //!   partitioned round-robin across N inner indexes and looked up on all
 //!   shards in parallel, with stable *global* record ids. Any
-//!   [`SketchIndex`] (scan or bucket) can serve as the shard backend.
+//!   [`SketchIndex`] (scan, bucket, or epoch) can serve as the shard
+//!   backend.
+//! * [`EpochIndex`] — the read-mostly production engine: a mutable head
+//!   arena plus immutable sealed segments, published through an
+//!   epoch-reclaimed snapshot so identification scans never take a lock
+//!   even while enroll/revoke/compact churn runs (see [`epoch`]).
 //!
 //! All three store their rows in the columnar [`store::SketchArena`]:
 //! one contiguous width-adaptive buffer (`i16` cells at the paper's
@@ -30,13 +35,15 @@
 //! through in `DESIGN.md` at the repository root.
 
 mod bucket;
+pub mod epoch;
 mod scan;
 mod sharded;
 pub mod store;
 
 pub use bucket::BucketIndex;
+pub use epoch::{EpochIndex, EpochRead, EpochReader, IndexReader, Segment, SegmentBacking};
 pub use scan::ScanIndex;
-pub use sharded::ShardedIndex;
+pub use sharded::{ShardedIndex, ShardedReader};
 pub use store::{
     CellWidth, Combine, FilterConfig, FilterKernel, PairedArena, ParallelConfig, PlaneDepth,
     RowMask, SketchArena,
@@ -257,6 +264,41 @@ pub trait SketchIndex {
             .map(|(old, sketch)| (old, self.insert(&sketch)))
             .collect()
     }
+
+    /// Makes every pending write visible to detached readers (see
+    /// [`epoch::EpochRead::reader`]) and ends any bulk-load deferral a
+    /// [`SketchIndex::reserve`] hint began. A no-op for indexes without
+    /// a publication step — their writes are immediately visible.
+    fn flush(&mut self) {}
+
+    /// Monotone *structural* generation: bumped whenever record ids are
+    /// renumbered ([`SketchIndex::compact`]) or reset
+    /// ([`SketchIndex::clear`]). Lock-free readers capture it before a
+    /// scan and revalidate under the write path's lock — a changed
+    /// generation means the scanned ids may name different records now.
+    /// Implementations without renumber-aware readers report `0`.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Serializes the index's sealed, fully-live, dense-from-zero
+    /// segment prefix as a checkpoint sidecar blob, or `None` when the
+    /// index holds no such prefix (or does not segment its storage).
+    /// See [`SketchIndex::import_segments`] for the recovery half.
+    fn export_segments(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Installs a blob from [`SketchIndex::export_segments`] into this
+    /// **empty** index, returning how many leading records (ids
+    /// `0..n`) it covers so recovery can skip re-inserting them; `None`
+    /// (leaving the index unchanged) when the blob does not fit this
+    /// index. The default refuses every blob — callers fall back to a
+    /// full replay.
+    fn import_segments(&mut self, blob: &[u8]) -> Option<usize> {
+        let _ = blob;
+        None
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +394,30 @@ mod tests {
     fn sharded_single_shard_end_to_end() {
         let mut rng = StdRng::seed_from_u64(906);
         check_index(ShardedIndex::scan(1, T, KA), &mut rng);
+    }
+
+    /// Tiny epoch thresholds so a 50-record population exercises
+    /// freeze/merge/seal, not just the staging arena.
+    fn small_epoch() -> EpochIndex {
+        EpochIndex::with_thresholds(T, KA, FilterConfig::default(), 8, 2, 32)
+    }
+
+    #[test]
+    fn epoch_index_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(914);
+        check_index(EpochIndex::new(T, KA), &mut rng);
+    }
+
+    #[test]
+    fn epoch_index_segmented_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(915);
+        check_index(small_epoch(), &mut rng);
+    }
+
+    #[test]
+    fn sharded_epoch_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(916);
+        check_index(ShardedIndex::from_fn(3, |_| small_epoch()), &mut rng);
     }
 
     #[test]
@@ -473,6 +539,8 @@ mod tests {
         check_probe_dimension_contract(BucketIndex::new(T, KA, 2));
         check_probe_dimension_contract(ShardedIndex::scan(3, T, KA));
         check_probe_dimension_contract(ShardedIndex::bucket(2, T, KA, 2));
+        check_probe_dimension_contract(EpochIndex::new(T, KA));
+        check_probe_dimension_contract(ShardedIndex::from_fn(2, |_| small_epoch()));
     }
 
     /// The other half of the contract: mixed-dimension *inserts* panic,
@@ -615,6 +683,12 @@ mod tests {
     fn sharded_compaction_reclaims_tombstones() {
         let mut rng = StdRng::seed_from_u64(912);
         check_compaction(ShardedIndex::scan(3, T, KA), &mut rng);
+    }
+
+    #[test]
+    fn epoch_compaction_reclaims_tombstones() {
+        let mut rng = StdRng::seed_from_u64(918);
+        check_compaction(small_epoch(), &mut rng);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Horizontal sharding over any [`SketchIndex`] backend.
 
+use super::epoch::{EpochRead, IndexReader};
 use super::{BucketIndex, RecordId, ScanIndex, SketchIndex};
 use rayon::prelude::*;
 
@@ -390,4 +391,122 @@ impl<I: SketchIndex + Send + Sync> SketchIndex for ShardedIndex<I> {
     // shards skewed by removals and restores the dense arithmetic
     // global↔local mapping (compacting shards independently could not —
     // unequal live counts per shard would break the `g % N` routing).
+
+    fn flush(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush();
+        }
+    }
+
+    /// Sum of the shard generations: any shard renumbering (they only
+    /// renumber together, through this index's own `compact`/`clear`)
+    /// changes the sum, and each addend is monotone, so the sum is a
+    /// valid monotone structural generation for the whole index.
+    fn generation(&self) -> u64 {
+        self.shards.iter().map(SketchIndex::generation).sum()
+    }
+}
+
+/// Lock-free composite reader over the shards of a
+/// [`ShardedIndex`] whose backend is epoch-published (see
+/// [`EpochRead`]): each call fans the probe to every shard's own
+/// reader and folds local ids through the same arithmetic
+/// global↔local mapping the writer uses. Scans are sequential across
+/// shards — each per-shard scan already fans out on the worker pool
+/// for large populations, and nesting another layer of fan-out here
+/// would oversubscribe it.
+#[derive(Debug, Clone)]
+pub struct ShardedReader<R> {
+    shards: Vec<R>,
+}
+
+impl<R: IndexReader> IndexReader for ShardedReader<R> {
+    fn generation(&self) -> u64 {
+        self.shards.iter().map(R::generation).sum()
+    }
+
+    fn find_first(&self, probe: &[i64]) -> Option<RecordId> {
+        let n = self.shards.len();
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, r)| r.find_first(probe).map(|l| l * n + s))
+            .min()
+    }
+
+    fn find_first_batch(&self, probes: &[Vec<i64>]) -> Vec<Option<RecordId>> {
+        let n = self.shards.len();
+        let mut out = vec![None; probes.len()];
+        for (s, r) in self.shards.iter().enumerate() {
+            for (slot, local) in out.iter_mut().zip(r.find_first_batch(probes)) {
+                if let Some(local) = local {
+                    let global = local * n + s;
+                    if slot.is_none_or(|cur| global < cur) {
+                        *slot = Some(global);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn find_at_most(&self, probe: &[i64], budget: usize) -> Vec<RecordId> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        // Exact for the same reason as `ShardedIndex::lookup_at_most`:
+        // any global top-budget id is in some shard's local top-budget.
+        let n = self.shards.len();
+        let mut all: Vec<RecordId> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, r)| {
+                r.find_at_most(probe, budget)
+                    .into_iter()
+                    .map(move |l| l * n + s)
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(budget);
+        all
+    }
+
+    fn find_in_subset(&self, probe: &[i64], subset: &[RecordId], budget: usize) -> Vec<RecordId> {
+        if budget == 0 || subset.is_empty() {
+            return Vec::new();
+        }
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<RecordId>> = vec![Vec::new(); n];
+        for &id in subset {
+            per_shard[id % n].push(id / n);
+        }
+        let mut all: Vec<RecordId> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, r)| {
+                let locals = &per_shard[s];
+                let found = if locals.is_empty() {
+                    Vec::new()
+                } else {
+                    r.find_in_subset(probe, locals, budget)
+                };
+                found.into_iter().map(move |l| l * n + s)
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(budget);
+        all
+    }
+}
+
+impl<I: EpochRead + Send + Sync> EpochRead for ShardedIndex<I> {
+    type Reader = ShardedReader<I::Reader>;
+
+    fn reader(&self) -> ShardedReader<I::Reader> {
+        ShardedReader {
+            shards: self.shards.iter().map(EpochRead::reader).collect(),
+        }
+    }
 }

@@ -184,6 +184,52 @@ impl Cells {
             Cells::I64(v) => v.truncate(cells),
         }
     }
+
+    fn len_cells(&self) -> usize {
+        match self {
+            Cells::I16(v) => v.len(),
+            Cells::I32(v) => v.len(),
+            Cells::I64(v) => v.len(),
+        }
+    }
+
+    /// The column buffer as little-endian bytes, in storage order —
+    /// the sealed-segment frame payload.
+    fn to_le_bytes(&self) -> Vec<u8> {
+        match self {
+            Cells::I16(v) => v.iter().flat_map(|c| c.to_le_bytes()).collect(),
+            Cells::I32(v) => v.iter().flat_map(|c| c.to_le_bytes()).collect(),
+            Cells::I64(v) => v.iter().flat_map(|c| c.to_le_bytes()).collect(),
+        }
+    }
+
+    /// Rebuilds a column buffer from little-endian bytes. `None` when
+    /// the byte count is not a whole number of cells.
+    fn from_le_bytes(width: CellWidth, bytes: &[u8]) -> Option<Cells> {
+        if !bytes.len().is_multiple_of(width.cell_bytes()) {
+            return None;
+        }
+        Some(match width {
+            CellWidth::I16 => Cells::I16(
+                bytes
+                    .chunks_exact(2)
+                    .map(|b| i16::from_le_bytes([b[0], b[1]]))
+                    .collect(),
+            ),
+            CellWidth::I32 => Cells::I32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                    .collect(),
+            ),
+            CellWidth::I64 => Cells::I64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|b| i64::from_le_bytes(b.try_into().expect("chunk of 8")))
+                    .collect(),
+            ),
+        })
+    }
 }
 
 /// How (and whether) a [`SketchArena`] builds its SWAR/SIMD prefilter
@@ -467,6 +513,13 @@ impl RowMask {
             mask.insert(row);
         }
         mask
+    }
+
+    /// Builds a mask directly from packed bitmap words (liveness-word
+    /// layout: bit `r % 64` of word `r / 64` selects row `r`). The
+    /// epoch segment scan compiles its tombstone complement this way.
+    pub(crate) fn from_words(words: Vec<u64>) -> RowMask {
+        RowMask { words }
     }
 
     /// Selects a row (idempotent).
@@ -1915,6 +1968,61 @@ impl SketchArena {
                 f(id, &scratch);
             }
         }
+    }
+
+    /// The column buffer as little-endian bytes in storage order plus
+    /// the liveness words — the payload of a sealed-segment frame
+    /// (round-tripped by [`SketchArena::from_parts`]).
+    pub(crate) fn export_parts(&self) -> (Vec<u8>, &[u64]) {
+        (self.cells.to_le_bytes(), &self.live_bits)
+    }
+
+    /// Rebuilds an arena from a sealed-segment frame: `rows` rows of
+    /// `dim` little-endian cells plus the liveness words. Returns
+    /// `None` on any size mismatch (a corrupt or truncated frame —
+    /// callers fall back to replaying the journal). The prefilter
+    /// plane is rebuilt from the imported cells; cell values are
+    /// trusted to be canonical ring representatives, which the
+    /// exporting arena guarantees and the enclosing frame's checksum
+    /// protects.
+    pub(crate) fn from_parts(
+        t: u64,
+        ka: u64,
+        filter: FilterConfig,
+        dim: usize,
+        rows: usize,
+        cell_bytes: &[u8],
+        mut live_words: Vec<u64>,
+    ) -> Option<SketchArena> {
+        let width = CellWidth::for_ring(ka);
+        if cell_bytes.len() != rows * dim * width.cell_bytes()
+            || live_words.len() != rows.div_ceil(64)
+        {
+            return None;
+        }
+        let cells = Cells::from_le_bytes(width, cell_bytes)?;
+        debug_assert_eq!(cells.len_cells(), rows * dim);
+        // Mask bits past the last row defensively: `live` is counted
+        // from these words, and stray tail bits would corrupt it.
+        if let (Some(last), tail @ 1..) = (live_words.last_mut(), rows % 64) {
+            *last &= (1u64 << tail) - 1;
+        }
+        let live = live_words.iter().map(|w| w.count_ones() as usize).sum();
+        let mut arena = SketchArena::with_filter(t, ka, filter);
+        arena.cells = cells;
+        arena.live_bits = live_words;
+        arena.rows = rows;
+        arena.live = live;
+        arena.dim = Some(dim);
+        arena.stamp_plane();
+        if let (Some(plane), Cells::I16(v)) = (&mut arena.plane, &arena.cells) {
+            let pd = plane.dims();
+            plane.reserve_rows(rows);
+            for row in 0..rows {
+                plane.push_row(row, &v[row * dim..row * dim + pd]);
+            }
+        }
+        Some(arena)
     }
 
     /// Normalizes a probe into this arena's cell width, or `None` when

@@ -4,48 +4,118 @@
 //! The ICDCS venue is a distributed-computing conference; a production
 //! authentication server handles concurrent identification sessions. The
 //! seed implementation serialized *everything* behind one global
-//! `RwLock<AuthenticationServer>`; this wrapper instead partitions users
-//! across `N` independent server shards, each behind its own lock:
+//! `RwLock<AuthenticationServer>`; this wrapper partitions users across
+//! `N` independent server shards and serves the hot path with **no lock
+//! at all**:
 //!
-//! * **Reads scale.** The expensive part of identification — the sketch
-//!   lookup over conditions (1)–(4) — runs under per-shard *read* locks
-//!   ([`AuthenticationServer::lookup_probe`] is `&self`), so lookups
-//!   from many devices proceed in parallel, even on the same shard.
+//! * **Reads never block.** Each shard's sketch index is an
+//!   [`EpochIndex`]: writers publish immutable snapshots (sealed
+//!   segments + a frozen head) through an epoch-protected pointer, and
+//!   every shard keeps a detached [`IndexReader`] over that pointer.
+//!   The expensive part of identification — the sweep over conditions
+//!   (1)–(4) — runs on the reader with no `RwLock`, no mutex, and no
+//!   wait on enrollment churn; only the brief challenge bookkeeping
+//!   afterwards takes the shard's write lock, re-validated by a
+//!   generation check (see below).
+//! * **Journal I/O stays off the read path.** Durable shards keep their
+//!   write-ahead journal *outside* the state lock, behind a dedicated
+//!   per-shard mutex: validate under a read lock, append (+ optional
+//!   fsync) with **no state lock held**, then apply under the write
+//!   lock. A reader never observes a critical section that contains
+//!   disk I/O.
 //! * **Writes are fine-grained.** Enrollment, revocation and challenge
-//!   bookkeeping take a *write* lock on one shard only, leaving the
+//!   bookkeeping take the write lock of one shard only, leaving the
 //!   other `N − 1` shards untouched.
 //! * **Sessions need no coordination.** Shard `i` issues session ids
 //!   `i + 1, i + 1 + N, i + 1 + 2N, …`
 //!   ([`AuthenticationServer::set_session_namespace`]), so a response is
 //!   routed back to its shard by arithmetic alone.
-//! * **Batching amortizes locking.** [`SharedServer::identify_batch`]
-//!   resolves a whole queue of probes with one read-lock acquisition per
-//!   shard and one write-lock acquisition per shard-with-matches,
-//!   instead of two exclusive acquisitions per device.
+//! * **Batching amortizes publication loads.** [`SharedServer::identify_batch`]
+//!   resolves a whole queue of probes with one snapshot load per shard
+//!   sweep and one write-lock acquisition per shard-with-matches.
+//!
+//! # The generation check
+//!
+//! A lock-free scan returns *record slots* that are only meaningful
+//! against the numbering it scanned. Revocation tombstones a slot in
+//! place (the scan simply stops matching it, and every slot-consuming
+//! helper re-validates liveness), but **compaction renumbers**. Every
+//! structural renumbering bumps the index's generation
+//! ([`fe_core::SketchIndex::generation`]), so the scan captures the
+//! published generation first, and any code that consumes scanned slots
+//! under a state lock re-checks it there: mismatch → rescan. Generations
+//! are monotone and renumbering requires the write lock, so an equal
+//! generation under the lock proves the slots are current.
 //!
 //! Users are assigned to shards by a stable hash of their id; probes
 //! (which carry no identity — that is the point of the protocol) are
 //! searched on all shards.
 
 use crate::messages::{EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId};
-use crate::params::SystemParams;
+use crate::params::{DedupPolicy, SystemParams};
 use crate::server::{AuthenticationServer, BuildIndex};
+use crate::store::{EnrollmentStore, LogEventRef};
 use crate::ProtocolError;
-use fe_core::{ScanIndex, SketchIndex};
-use parking_lot::RwLock;
+use fe_core::{EpochIndex, EpochRead, IndexReader};
+use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
+use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// One server shard: the locked writer state, its lock-free index
+/// reader, and (for durable servers) the journal held outside the lock.
+struct Shard<I: EpochRead> {
+    /// Record table, session bookkeeping and the index *writer*.
+    state: RwLock<AuthenticationServer<I>>,
+    /// The shard's write-ahead journal. Held **outside** the state
+    /// lock: appends (and their fsyncs) serialize writers on this
+    /// mutex instead of the state lock, so no reader ever waits on
+    /// disk. The mutex is also what serializes the full
+    /// validate → append → apply write sequence — journal order *is*
+    /// replay order.
+    journal: Option<Mutex<Box<dyn EnrollmentStore>>>,
+    /// Lock-free reader over the index's published snapshots.
+    reader: I::Reader,
+    /// Lock-free scans served (diagnostics; state-locked paths count
+    /// theirs in the server's own counter).
+    reads: AtomicU64,
+}
+
+impl<I: EpochRead> Shard<I> {
+    /// Wraps a built (or recovered) server, detaching its store into
+    /// the journal mutex and taking the index's reader handle.
+    fn from_server(mut server: AuthenticationServer<I>) -> Shard<I> {
+        let journal = server.detach_store().map(Mutex::new);
+        let reader = server.index().reader();
+        Shard {
+            state: RwLock::new(server),
+            journal,
+            reader,
+            reads: AtomicU64::new(0),
+        }
+    }
+}
+
 /// A cloneable, thread-safe handle to a shard-partitioned
-/// [`AuthenticationServer`], generic over the per-shard sketch index.
-#[derive(Debug)]
-pub struct SharedServer<I: SketchIndex = ScanIndex> {
-    shards: Arc<Vec<RwLock<AuthenticationServer<I>>>>,
+/// [`AuthenticationServer`], generic over the per-shard sketch index
+/// (any [`EpochRead`] index; the epoch engine [`EpochIndex`] by
+/// default).
+pub struct SharedServer<I: EpochRead = EpochIndex> {
+    shards: Arc<Vec<Shard<I>>>,
     params: SystemParams,
 }
 
-impl<I: SketchIndex> Clone for SharedServer<I> {
+impl<I: EpochRead> fmt::Debug for SharedServer<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedServer")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: EpochRead> Clone for SharedServer<I> {
     fn clone(&self) -> Self {
         SharedServer {
             shards: Arc::clone(&self.shards),
@@ -64,15 +134,15 @@ fn route_hash(id: &str) -> u64 {
     h
 }
 
-impl SharedServer<ScanIndex> {
-    /// Creates a shared server with a single scan-index shard — the
-    /// seed-compatible configuration.
+impl SharedServer<EpochIndex> {
+    /// Creates a shared server with a single epoch-index shard — the
+    /// default configuration.
     pub fn new(params: SystemParams) -> Self {
         Self::with_shards(params, 1)
     }
 }
 
-impl<I: BuildIndex> SharedServer<I> {
+impl<I: BuildIndex + EpochRead> SharedServer<I> {
     /// Creates a shared server partitioned into `shards` independent
     /// [`AuthenticationServer`]s, each with an index built from
     /// `params` (see [`BuildIndex`]).
@@ -86,7 +156,7 @@ impl<I: BuildIndex> SharedServer<I> {
             .map(|i| {
                 let mut server = AuthenticationServer::<I>::from_params(params.clone());
                 server.set_session_namespace(i as u64 + 1, stride);
-                RwLock::new(server)
+                Shard::from_server(server)
             })
             .collect();
         SharedServer {
@@ -146,8 +216,11 @@ impl<I: BuildIndex> SharedServer<I> {
     /// Opens (or creates) a **durable** shared server at `dir`: one
     /// `shard-NNN/` store per server shard, each an append-only journal
     /// plus compacted snapshots (see [`crate::store::FileStore`]).
-    /// Every shard replays its own snapshot + journal tail, rebuilding
-    /// the full sharded index; enroll/revoke are journaled from then on.
+    /// Every shard replays its own snapshot + journal tail (using the
+    /// sealed-segment cache when one rides along), rebuilding the full
+    /// sharded index; enroll/revoke are journaled from then on — with
+    /// the journal held outside the state lock, so appends and fsyncs
+    /// never stall a reader.
     ///
     /// User → shard routing is a stable hash of the id modulo the shard
     /// count, so the on-disk layout is only meaningful for the count it
@@ -157,7 +230,7 @@ impl<I: BuildIndex> SharedServer<I> {
     /// already holds.
     ///
     /// ```rust
-    /// use fe_core::ScanIndex;
+    /// use fe_core::EpochIndex;
     /// use fe_protocol::concurrent::SharedServer;
     /// use fe_protocol::{BiometricDevice, SystemParams};
     /// use rand::SeedableRng;
@@ -170,13 +243,13 @@ impl<I: BuildIndex> SharedServer<I> {
     /// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     ///
     /// // Lifetime 1: enroll against a 2-shard durable server, then crash.
-    /// let server = SharedServer::<ScanIndex>::durable(params.clone(), 2, &dir)?;
+    /// let server = SharedServer::<EpochIndex>::durable(params.clone(), 2, &dir)?;
     /// let bio = params.sketch().line().random_vector(16, &mut rng);
     /// server.enroll(device.enroll("alice", &bio, &mut rng)?)?;
     /// drop(server);
     ///
     /// // Lifetime 2: recover() adopts the stored shard count and replays.
-    /// let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir)?;
+    /// let server = SharedServer::<EpochIndex>::recover(params.clone(), &dir)?;
     /// assert_eq!((server.num_shards(), server.user_count()), (2, 1));
     /// # std::fs::remove_dir_all(&dir)?;
     /// # Ok(())
@@ -255,7 +328,7 @@ impl<I: BuildIndex> SharedServer<I> {
                 let mut server =
                     AuthenticationServer::<I>::recover(params.clone(), Self::shard_dir(dir, i))?;
                 server.set_session_namespace(i as u64 + 1, stride);
-                Ok(RwLock::new(server))
+                Ok(Shard::from_server(server))
             })
             .collect::<Result<Vec<_>, ProtocolError>>()?;
         Ok(SharedServer {
@@ -281,7 +354,7 @@ impl<I: BuildIndex> SharedServer<I> {
     }
 }
 
-impl<I: SketchIndex> SharedServer<I> {
+impl<I: EpochRead> SharedServer<I> {
     /// The system parameters (lock-free).
     pub fn params(&self) -> &SystemParams {
         &self.params
@@ -292,41 +365,143 @@ impl<I: SketchIndex> SharedServer<I> {
         self.shards.len()
     }
 
-    fn shard_for_user(&self, id: &str) -> &RwLock<AuthenticationServer<I>> {
-        &self.shards[(route_hash(id) % self.shards.len() as u64) as usize]
+    fn shard_index_for_user(&self, id: &str) -> usize {
+        (route_hash(id) % self.shards.len() as u64) as usize
     }
 
-    fn shard_for_session(&self, session: SessionId) -> &RwLock<AuthenticationServer<I>> {
+    fn shard_for_user(&self, id: &str) -> &Shard<I> {
+        &self.shards[self.shard_index_for_user(id)]
+    }
+
+    fn shard_for_session(&self, session: SessionId) -> &Shard<I> {
         // Shard i issues sessions ≡ i + 1 (mod N); session 0 never
         // occurs but would harmlessly map to some shard and then fail
         // with `UnknownSession`.
         &self.shards[((session.wrapping_sub(1)) % self.shards.len() as u64) as usize]
     }
 
-    /// Enrolls a record (write-locks exactly one shard).
+    /// The write sequence for one shard, journal-outside-lock: the
+    /// journal mutex serializes this shard's writers end to end, the
+    /// append (with any fsync) runs under **no state lock**, and only
+    /// the in-memory apply takes the write lock. Readers on the
+    /// lock-free path never wait; even read-locked helpers never sit
+    /// behind disk I/O.
+    fn shard_enroll(
+        &self,
+        shard: &Shard<I>,
+        record: EnrollmentRecord,
+    ) -> Result<(), ProtocolError> {
+        let Some(journal) = &shard.journal else {
+            // No journal: the plain server path (which also has no
+            // store attached) under the write lock.
+            return shard.state.write().enroll(record);
+        };
+        let mut store = journal.lock();
+        shard.state.read().validate_enroll(&record)?;
+        store.append(LogEventRef::Enroll(&record))?;
+        shard.state.write().apply_enroll(record);
+        Ok(())
+    }
+
+    /// [`SharedServer::shard_enroll`] with the home shard's duplicate-
+    /// biometric check (see [`AuthenticationServer::enroll_unique`]),
+    /// journal-outside-lock.
+    fn shard_enroll_unique(
+        &self,
+        shard: &Shard<I>,
+        record: EnrollmentRecord,
+    ) -> Result<(), ProtocolError> {
+        let Some(journal) = &shard.journal else {
+            return shard.state.write().enroll_unique(record);
+        };
+        let mut store = journal.lock();
+        {
+            let server = shard.state.read();
+            server.validate_enroll(&record)?;
+            if let Some(&idx) = server.match_at_most(&record.helper.sketch.inner, 1).first() {
+                let matched = server
+                    .user_at(idx)
+                    .expect("matched slots are live")
+                    .to_string();
+                drop(server);
+                // Audit trail: the refusal is journaled (outside the
+                // state lock), exactly as the single-server path does.
+                store.append(LogEventRef::EnrollRejected {
+                    id: &record.id,
+                    matched: &matched,
+                })?;
+                return Err(ProtocolError::DuplicateBiometric(matched));
+            }
+        }
+        store.append(LogEventRef::Enroll(&record))?;
+        shard.state.write().apply_enroll(record);
+        Ok(())
+    }
+
+    /// Enrolls a record (journal append outside the state lock; the
+    /// write lock of exactly one shard, briefly, for the in-memory
+    /// apply).
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::enroll`].
     pub fn enroll(&self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
-        self.shard_for_user(&record.id).write().enroll(record)
+        if self.params.dedup_policy() == DedupPolicy::RejectMatching {
+            return self.enroll_unique(record);
+        }
+        self.shard_enroll(self.shard_for_user(&record.id), record)
     }
 
-    /// Revokes a user (write-locks exactly one shard).
+    /// Revokes a user (journal append outside the state lock; one
+    /// shard's write lock, briefly, for the in-memory apply).
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::revoke`].
     pub fn revoke(&self, id: &str) -> Result<(), ProtocolError> {
-        self.shard_for_user(id).write().revoke(id)
+        let shard = self.shard_for_user(id);
+        let Some(journal) = &shard.journal else {
+            return shard.state.write().revoke(id);
+        };
+        let mut store = journal.lock();
+        if !shard.state.read().is_enrolled(id) {
+            return Err(ProtocolError::UnknownUser(id.to_string()));
+        }
+        store.append(LogEventRef::Revoke(id))?;
+        assert!(
+            shard.state.write().apply_revoke(id),
+            "validated id must be revocable"
+        );
+        Ok(())
+    }
+
+    /// Lock-free find-first on `shard`, resolved to the matched user id
+    /// under a brief generation-checked read lock. `None` when nothing
+    /// (still) matches.
+    fn resolve_first_match(&self, shard: &Shard<I>, probe: &[i64]) -> Option<String> {
+        loop {
+            let generation = shard.reader.generation();
+            shard.reads.fetch_add(1, Ordering::Relaxed);
+            let hit = shard.reader.find_first(probe)?;
+            let server = shard.state.read();
+            if server.index_generation() != generation {
+                continue; // renumbered mid-scan: the slot is suspect
+            }
+            match server.user_at(hit) {
+                Some(id) => return Some(id.to_string()),
+                // Revoked in the window; the tombstone is already
+                // published, so the rescan sees a smaller match set.
+                None => continue,
+            }
+        }
     }
 
     /// Uniqueness-checked enrollment across the whole partitioned
-    /// population: the non-home shards are scanned under shared read
-    /// locks (find-at-most-1 each), then the record's home shard runs
-    /// its own [`AuthenticationServer::enroll_unique`] under the write
-    /// lock — so only the home shard's duplicate check is atomic with
-    /// the insert. A matching record enrolled on *another* shard in the
-    /// window between the read sweep and the home-shard insert can
-    /// slip through; like the multi-match anomaly documented on
+    /// population: the non-home shards are swept **lock-free**
+    /// (find-at-most-1 on each shard's reader), then the record's home
+    /// shard runs the duplicate check + insert under its journal mutex
+    /// — so only the home shard's check is atomic with the insert. A
+    /// matching record enrolled on *another* shard in the window
+    /// between the sweep and the home-shard insert can slip through;
+    /// like the multi-match anomaly documented on
     /// [`SharedServer::begin_identification`], the false-close bound
     /// makes this a rarity partitioned deployments accept. Cross-shard
     /// refusals are not journaled (no shard owns them); home-shard
@@ -335,29 +510,25 @@ impl<I: SketchIndex> SharedServer<I> {
     /// # Errors
     /// Same as [`AuthenticationServer::enroll_unique`].
     pub fn enroll_unique(&self, record: EnrollmentRecord) -> Result<(), ProtocolError> {
-        let home = self.shard_for_user(&record.id);
-        let probe = &record.helper.sketch.inner;
-        for shard in self.shards.iter() {
-            if std::ptr::eq(shard, home) {
+        let home = self.shard_index_for_user(&record.id);
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == home {
                 continue;
             }
-            let server = shard.read();
-            if let Some(&idx) = server.match_at_most(probe, 1).first() {
-                let matched = server
-                    .user_at(idx)
-                    .expect("matched slots are live")
-                    .to_string();
+            if let Some(matched) = self.resolve_first_match(shard, &record.helper.sketch.inner) {
                 return Err(ProtocolError::DuplicateBiometric(matched));
             }
         }
-        home.write().enroll_unique(record)
+        self.shard_enroll_unique(&self.shards[home], record)
     }
 
     /// Reset / account-recovery lookup across all shards: succeeds only
     /// when **exactly one** enrolled record in the whole population
-    /// matches the probe. Each shard contributes a find-at-most-2 sweep
-    /// under its read lock; the scan stops at the first shard that
-    /// pushes the global tally past one.
+    /// matches the probe. Each shard contributes a **lock-free**
+    /// find-at-most-2 sweep on its reader; matched slots are resolved
+    /// to user ids under a brief generation-checked read lock, and the
+    /// scan stops at the first shard that pushes the global tally past
+    /// one.
     ///
     /// # Errors
     /// [`ProtocolError::NoMatch`] / [`ProtocolError::AmbiguousMatch`] as
@@ -365,24 +536,37 @@ impl<I: SketchIndex> SharedServer<I> {
     pub fn reset(&self, probe: &[i64]) -> Result<crate::messages::UserId, ProtocolError> {
         let mut found: Option<crate::messages::UserId> = None;
         for shard in self.shards.iter() {
-            let server = shard.read();
-            for idx in server.match_at_most(probe, 2) {
-                if found.is_some() {
-                    return Err(ProtocolError::AmbiguousMatch);
+            loop {
+                let generation = shard.reader.generation();
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                let hits = shard.reader.find_at_most(probe, 2);
+                if hits.is_empty() {
+                    break;
                 }
-                found = Some(
-                    server
-                        .user_at(idx)
-                        .expect("matched slots are live")
-                        .to_string(),
-                );
+                let server = shard.state.read();
+                if server.index_generation() != generation {
+                    continue; // renumbered mid-scan: rescan this shard
+                }
+                for idx in hits {
+                    // Slots revoked in the scan→lock window resolve to
+                    // None and simply no longer count as matches.
+                    let Some(id) = server.user_at(idx) else {
+                        continue;
+                    };
+                    if found.is_some() {
+                        return Err(ProtocolError::AmbiguousMatch);
+                    }
+                    found = Some(id.to_string());
+                }
+                break;
             }
         }
         found.ok_or(ProtocolError::NoMatch)
     }
 
     /// Targeted sketch check against a claimed identity, routed straight
-    /// to the user's shard (read lock; no cross-shard search).
+    /// to the user's shard (read lock; no cross-shard search — the O(1)
+    /// subset probe is not worth a generation-checked round trip).
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::authenticate_claimed`].
@@ -392,16 +576,19 @@ impl<I: SketchIndex> SharedServer<I> {
         probe: &[i64],
     ) -> Result<bool, ProtocolError> {
         self.shard_for_user(claimed_id)
+            .state
             .read()
             .authenticate_claimed(claimed_id, probe)
     }
 
     /// Subset uniqueness check: `Ok(true)` when the probe matches none
-    /// of the listed users' records. Ids are grouped by home shard and
-    /// each shard runs one masked find-at-most-1 sweep under its read
-    /// lock. Every listed id is validated even after a match is found,
-    /// so an unknown id fails deterministically regardless of subset
-    /// order.
+    /// of the listed users' records. Ids are grouped by home shard;
+    /// each shard maps them to record slots under a brief read lock
+    /// (erroring deterministically on unknown ids), then runs the
+    /// masked find-at-most-1 sweep **lock-free** on its reader,
+    /// rescanning if the generation moved mid-flight. Every listed id
+    /// is validated even after a match is found, so an unknown id fails
+    /// regardless of subset order.
     ///
     /// # Errors
     /// Same as [`AuthenticationServer::check_local_uniqueness`].
@@ -411,25 +598,49 @@ impl<I: SketchIndex> SharedServer<I> {
         ids: &[crate::messages::UserId],
     ) -> Result<bool, ProtocolError> {
         let n = self.shards.len() as u64;
-        let mut by_shard: Vec<Vec<crate::messages::UserId>> = vec![Vec::new(); self.shards.len()];
+        let mut by_shard: Vec<Vec<&str>> = vec![Vec::new(); self.shards.len()];
         for id in ids {
-            by_shard[(route_hash(id) % n) as usize].push(id.clone());
+            by_shard[(route_hash(id) % n) as usize].push(id.as_str());
         }
         let mut unique = true;
         for (shard, subset) in self.shards.iter().zip(&by_shard) {
             if subset.is_empty() {
                 continue;
             }
-            if !shard.read().check_local_uniqueness(probe, subset)? {
-                unique = false;
+            loop {
+                // Map ids → slots under the read lock (no scan there);
+                // the generation captured inside the lock is what the
+                // slots are valid against.
+                let (generation, slots) = {
+                    let server = shard.state.read();
+                    let mut slots = Vec::with_capacity(subset.len());
+                    for id in subset {
+                        match server.slot_of(id) {
+                            Some(slot) => slots.push(slot),
+                            None => return Err(ProtocolError::UnknownUser((*id).to_string())),
+                        }
+                    }
+                    (server.index_generation(), slots)
+                };
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                if !shard.reader.find_in_subset(probe, &slots, 1).is_empty() {
+                    unique = false;
+                }
+                // The scan ran without the lock: if the numbering moved
+                // while it ran, the slots (and any hit) are suspect —
+                // remap and rescan.
+                if shard.reader.generation() == generation {
+                    break;
+                }
             }
         }
         Ok(unique)
     }
 
-    /// Identification phase 1: the sketch lookup runs under shared read
-    /// locks (shard by shard); only the matched shard is write-locked,
-    /// briefly, to issue the challenge.
+    /// Identification phase 1: the sketch lookup runs **lock-free** on
+    /// each shard's reader; only the matched shard is write-locked,
+    /// briefly, to issue the challenge (generation-checked, see the
+    /// module docs).
     ///
     /// With more than one shard, *which* record wins when several
     /// enrolled users match the same probe (a false-close or duplicate
@@ -449,19 +660,27 @@ impl<I: SketchIndex> SharedServer<I> {
         rng: &mut R,
     ) -> Result<IdentChallenge, ProtocolError> {
         for shard in self.shards.iter() {
-            // Lock upgrade window: the matched record can be revoked
-            // between the shared-lock lookup and the exclusive-lock
-            // challenge issue; `challenge_for_record` re-validates and
-            // we then *re-search this shard* — another live record may
-            // still match. Progress is guaranteed: a refused record was
-            // already removed from the index by the interleaved
-            // revocation, so each retry sees a strictly smaller
+            // Scan→lock window: the matched record can be revoked (or
+            // the numbering compacted) between the lock-free lookup
+            // and the exclusive-lock challenge issue;
+            // `challenge_for_record` re-validates liveness, the
+            // generation check catches renumbering, and we then
+            // *re-search this shard* — another live record may still
+            // match. Progress is guaranteed for revocations: a refused
+            // record's tombstone was published before our write lock
+            // was acquired, so each retry sees a strictly smaller
             // candidate set.
             loop {
-                let Some(record_idx) = shard.read().lookup_probe(probe) else {
+                let generation = shard.reader.generation();
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                let Some(record_idx) = shard.reader.find_first(probe) else {
                     break;
                 };
-                if let Some(chal) = shard.write().challenge_for_record(record_idx, rng) {
+                let mut server = shard.state.write();
+                if server.index_generation() != generation {
+                    continue;
+                }
+                if let Some(chal) = server.challenge_for_record(record_idx, rng) {
                     return Ok(chal);
                 }
             }
@@ -469,16 +688,16 @@ impl<I: SketchIndex> SharedServer<I> {
         Err(ProtocolError::NoMatch)
     }
 
-    /// Batch identification phase 1: resolves many probes per lock
-    /// acquisition. Every shard sees its whole remaining workload
-    /// through the index's batch path — one shared-lock acquisition
-    /// and (for arena-backed indexes) **one pass over the shard's
-    /// storage for the entire batch**, the multi-query kernel the
-    /// request scheduler is built on; the first shard scans the
-    /// caller's slice directly, later shards scan only the probes the
-    /// earlier ones missed. Each shard with matches is write-locked
-    /// once per round to issue its challenges. Results are
-    /// position-aligned with `probes`.
+    /// Batch identification phase 1: resolves many probes per snapshot
+    /// sweep, entirely **lock-free** on the scan side. Every shard sees
+    /// its whole remaining workload through the reader's batch path —
+    /// one snapshot load and (for arena-backed indexes) **one pass over
+    /// the shard's storage for the entire batch**, the multi-query
+    /// kernel the request scheduler is built on; the first shard scans
+    /// the caller's slice directly, later shards scan only the probes
+    /// the earlier ones missed. Each shard with matches is write-locked
+    /// once per round to issue its challenges (generation-checked).
+    /// Results are position-aligned with `probes`.
     ///
     /// Cross-shard match selection follows the same routing-order rule
     /// as [`SharedServer::begin_identification`].
@@ -503,53 +722,55 @@ impl<I: SketchIndex> SharedServer<I> {
                 break;
             }
             // Re-search the shard until a round issues every challenge
-            // it found (a record revoked in the read→write window is
+            // it found (a record revoked in the scan→lock window is
             // re-resolved against this shard's remaining records, as in
-            // `begin_identification`). Retry rounds only re-check the
-            // *refused* probes: a probe that missed this shard cannot
-            // newly match it — removals only shrink the match set.
+            // `begin_identification`; a generation change rescans the
+            // same workload). Retry rounds only re-check the *refused*
+            // probes: a probe that missed this shard cannot newly match
+            // it — removals only shrink the match set.
             let mut retry: Option<Vec<usize>> = None;
             loop {
-                let hits: Vec<(usize, usize)> = {
-                    let server = shard.read();
-                    match &retry {
-                        None if unresolved.len() == probes.len() => {
-                            // Whole batch untouched: use the index's
-                            // batch path directly on the caller's slice.
-                            server
-                                .lookup_probe_batch(probes)
-                                .into_iter()
-                                .enumerate()
-                                .filter_map(|(p, m)| m.map(|idx| (p, idx)))
-                                .collect()
-                        }
-                        None => {
-                            // Later shards get the batch path too: the
-                            // unresolved subset is gathered so the
-                            // shard's storage is swept once for all of
-                            // it, not once per probe (in the reused
-                            // scratch table declared above).
-                            subset.truncate(unresolved.len());
-                            for (slot, &p) in subset.iter_mut().zip(unresolved.iter()) {
-                                slot.clone_from(&probes[p]);
-                            }
-                            for &p in unresolved.iter().skip(subset.len()) {
-                                subset.push(probes[p].clone());
-                            }
-                            server
-                                .lookup_probe_batch(&subset)
-                                .into_iter()
-                                .zip(unresolved.iter())
-                                .filter_map(|(m, &p)| m.map(|idx| (p, idx)))
-                                .collect()
-                        }
-                        // Refusals come from revocation races — rare
-                        // enough that the retry round stays per-probe.
-                        Some(refused) => refused
-                            .iter()
-                            .filter_map(|&p| server.lookup_probe(&probes[p]).map(|idx| (p, idx)))
-                            .collect(),
+                let generation = shard.reader.generation();
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                let hits: Vec<(usize, usize)> = match &retry {
+                    None if unresolved.len() == probes.len() => {
+                        // Whole batch untouched: use the reader's batch
+                        // path directly on the caller's slice.
+                        shard
+                            .reader
+                            .find_first_batch(probes)
+                            .into_iter()
+                            .enumerate()
+                            .filter_map(|(p, m)| m.map(|idx| (p, idx)))
+                            .collect()
                     }
+                    None => {
+                        // Later shards get the batch path too: the
+                        // unresolved subset is gathered so the shard's
+                        // storage is swept once for all of it, not once
+                        // per probe (in the reused scratch table
+                        // declared above).
+                        subset.truncate(unresolved.len());
+                        for (slot, &p) in subset.iter_mut().zip(unresolved.iter()) {
+                            slot.clone_from(&probes[p]);
+                        }
+                        for &p in unresolved.iter().skip(subset.len()) {
+                            subset.push(probes[p].clone());
+                        }
+                        shard
+                            .reader
+                            .find_first_batch(&subset)
+                            .into_iter()
+                            .zip(unresolved.iter())
+                            .filter_map(|(m, &p)| m.map(|idx| (p, idx)))
+                            .collect()
+                    }
+                    // Refusals come from revocation races — rare
+                    // enough that the retry round stays per-probe.
+                    Some(refused) => refused
+                        .iter()
+                        .filter_map(|&p| shard.reader.find_first(&probes[p]).map(|idx| (p, idx)))
+                        .collect(),
                 };
                 if hits.is_empty() {
                     break;
@@ -557,7 +778,10 @@ impl<I: SketchIndex> SharedServer<I> {
                 // One exclusive-lock acquisition issues every challenge
                 // this shard owes the batch this round.
                 let mut refused = Vec::new();
-                let mut server = shard.write();
+                let mut server = shard.state.write();
+                if server.index_generation() != generation {
+                    continue; // renumbered mid-scan: every hit is suspect
+                }
                 for (p, record_idx) in hits {
                     match server.challenge_for_record(record_idx, rng) {
                         Some(chal) => results[p] = Ok(chal),
@@ -567,7 +791,7 @@ impl<I: SketchIndex> SharedServer<I> {
                 drop(server);
                 unresolved.retain(|&p| results[p].is_err());
                 // Another round is only needed when a found record was
-                // revoked in the read→write window.
+                // revoked in the scan→lock window.
                 if refused.is_empty() || unresolved.is_empty() {
                     break;
                 }
@@ -588,6 +812,7 @@ impl<I: SketchIndex> SharedServer<I> {
         rng: &mut R,
     ) -> Result<IdentChallenge, ProtocolError> {
         self.shard_for_user(claimed_id)
+            .state
             .write()
             .begin_verification(claimed_id, rng)
     }
@@ -602,6 +827,7 @@ impl<I: SketchIndex> SharedServer<I> {
         response: &IdentResponse,
     ) -> Result<IdentOutcome, ProtocolError> {
         self.shard_for_session(response.session)
+            .state
             .write()
             .finish_identification(response)
     }
@@ -610,15 +836,19 @@ impl<I: SketchIndex> SharedServer<I> {
     /// the issuing shard by the session-id namespace.
     pub fn cancel_session(&self, session: SessionId) -> bool {
         self.shard_for_session(session)
+            .state
             .write()
             .cancel_session(session)
     }
 
     /// Checkpoints every shard: compacts tombstones in memory and (for
-    /// durable servers) writes a fresh snapshot + truncates each shard's
-    /// journal. Shards are checkpointed one at a time — the server keeps
-    /// serving on the other `N − 1` locks while each snapshot is
-    /// written. Returns the total record slots reclaimed.
+    /// durable servers) writes a fresh snapshot — with the sealed-
+    /// segment cache riding along — and truncates each shard's journal.
+    /// Shards are checkpointed one at a time, each under its journal
+    /// mutex + write lock, so the server keeps serving on the other
+    /// `N − 1` shards (and lock-free reads on *this* shard keep
+    /// matching against the last published snapshot) while each
+    /// snapshot is written. Returns the total record slots reclaimed.
     ///
     /// # Errors
     /// Fails on the first shard whose snapshot cannot be written
@@ -628,7 +858,13 @@ impl<I: SketchIndex> SharedServer<I> {
     pub fn checkpoint(&self) -> Result<usize, ProtocolError> {
         let mut reclaimed = 0;
         for shard in self.shards.iter() {
-            reclaimed += shard.write().checkpoint()?;
+            reclaimed += match &shard.journal {
+                Some(journal) => {
+                    let mut store = journal.lock();
+                    shard.state.write().checkpoint_into(&mut **store)?
+                }
+                None => shard.state.write().checkpoint()?,
+            };
         }
         Ok(reclaimed)
     }
@@ -638,18 +874,26 @@ impl<I: SketchIndex> SharedServer<I> {
     pub fn journal_len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().store().map_or(0, |st| st.journal_len()))
+            .map(|s| s.journal.as_ref().map_or(0, |j| j.lock().journal_len()))
             .sum()
     }
 
     /// Number of enrolled users across all shards.
     pub fn user_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().user_count()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.state.read().user_count())
+            .sum()
     }
 
-    /// Total sketch lookups served across all shards (diagnostics).
+    /// Total sketch lookups served across all shards (diagnostics):
+    /// lock-free reader sweeps plus the state-locked helpers' own
+    /// counts.
     pub fn lookup_count(&self) -> u64 {
-        self.shards.iter().map(|s| s.read().lookup_count()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.state.read().lookup_count() + s.reads.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -660,7 +904,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn enroll_population<I: SketchIndex>(
+    fn enroll_population<I: EpochRead>(
         server: &SharedServer<I>,
         device: &BiometricDevice,
         users: usize,
@@ -678,7 +922,7 @@ mod tests {
         bios
     }
 
-    fn identification_storm<I: SketchIndex + Send + Sync>(server: SharedServer<I>) {
+    fn identification_storm<I: EpochRead + Send + Sync>(server: SharedServer<I>) {
         let params = server.params().clone();
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(808);
@@ -714,7 +958,7 @@ mod tests {
 
     #[test]
     fn concurrent_identifications_four_shards() {
-        identification_storm(SharedServer::<ScanIndex>::with_shards(
+        identification_storm(SharedServer::<EpochIndex>::with_shards(
             SystemParams::insecure_test_defaults(),
             4,
         ));
@@ -723,7 +967,7 @@ mod tests {
     #[test]
     fn concurrent_enrollments_all_land() {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 3);
         let device = BiometricDevice::new(params.clone());
 
         crossbeam::scope(|scope| {
@@ -746,7 +990,7 @@ mod tests {
     #[test]
     fn batch_identification_resolves_whole_queue() {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 4);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 4);
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(4_242);
         let bios = enroll_population(&server, &device, 10, 32, &mut rng);
@@ -788,7 +1032,7 @@ mod tests {
     #[test]
     fn cancel_session_routes_across_shards() {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 3);
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(6_100);
         let bios = enroll_population(&server, &device, 6, 32, &mut rng);
@@ -815,7 +1059,7 @@ mod tests {
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(7_700);
 
-        let server = SharedServer::<ScanIndex>::durable(params.clone(), 3, &dir).unwrap();
+        let server = SharedServer::<EpochIndex>::durable(params.clone(), 3, &dir).unwrap();
         let bios = enroll_population(&server, &device, 8, 32, &mut rng);
         server.revoke("user-3").unwrap();
         server.revoke("user-6").unwrap();
@@ -824,11 +1068,11 @@ mod tests {
 
         // Reopening with the wrong shard count is refused…
         assert!(matches!(
-            SharedServer::<ScanIndex>::durable(params.clone(), 5, &dir),
+            SharedServer::<EpochIndex>::durable(params.clone(), 5, &dir),
             Err(ProtocolError::Storage(_))
         ));
         // …while recover() discovers the stored count.
-        let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+        let server = SharedServer::<EpochIndex>::recover(params.clone(), &dir).unwrap();
         assert_eq!(server.num_shards(), 3);
         assert_eq!(server.user_count(), 6);
 
@@ -855,8 +1099,38 @@ mod tests {
         server.checkpoint().unwrap();
         assert_eq!(server.journal_len(), 0);
         drop(server);
-        let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+        let server = SharedServer::<EpochIndex>::recover(params.clone(), &dir).unwrap();
         assert_eq!(server.user_count(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_enroll_unique_journals_refusals_outside_lock() {
+        let dir = std::env::temp_dir().join(format!("fe-shared-uniq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = SystemParams::insecure_test_defaults();
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(7_900);
+
+        let server = SharedServer::<EpochIndex>::durable(params.clone(), 2, &dir).unwrap();
+        let bios = enroll_population(&server, &device, 4, 32, &mut rng);
+        // A re-enrollment of user-1's biometric under a fresh id is
+        // refused and the refusal is journaled on the home shard.
+        let noisy: Vec<i64> = bios[1].iter().map(|&x| x + 40).collect();
+        let dup = device.enroll("impostor", &noisy, &mut rng).unwrap();
+        assert_eq!(
+            server.enroll_unique(dup).unwrap_err(),
+            ProtocolError::DuplicateBiometric("user-1".into())
+        );
+        let journaled = server.journal_len();
+        assert!(
+            journaled >= 5,
+            "4 enrolls + the audit event, got {journaled}"
+        );
+        drop(server);
+        // The refusal replays as a no-op: same population after crash.
+        let server = SharedServer::<EpochIndex>::recover(params, &dir).unwrap();
+        assert_eq!(server.user_count(), 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -865,13 +1139,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("fe-shared-lost-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::durable(params.clone(), 3, &dir).unwrap();
+        let server = SharedServer::<EpochIndex>::durable(params.clone(), 3, &dir).unwrap();
         drop(server);
         // Lose one shard's data (bad rsync, disk repair, stray rm).
         std::fs::remove_dir_all(dir.join("shard-001")).unwrap();
         // Recovery must refuse instead of silently serving a population
         // with a third of the users gone.
-        match SharedServer::<ScanIndex>::recover(params, &dir) {
+        match SharedServer::<EpochIndex>::recover(params, &dir) {
             Err(ProtocolError::Storage(msg)) => assert!(msg.contains("missing"), "{msg}"),
             other => panic!("expected missing-shard refusal, got {other:?}"),
         }
@@ -884,7 +1158,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         assert!(matches!(
-            SharedServer::<ScanIndex>::recover(SystemParams::insecure_test_defaults(), &dir),
+            SharedServer::<EpochIndex>::recover(SystemParams::insecure_test_defaults(), &dir),
             Err(ProtocolError::Storage(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -893,7 +1167,7 @@ mod tests {
     #[test]
     fn matching_modes_work_across_shards() {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 3);
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(12_000);
         let bios = enroll_population(&server, &device, 6, 32, &mut rng);
@@ -959,7 +1233,7 @@ mod tests {
     #[test]
     fn revocation_routes_to_the_right_shard() {
         let params = SystemParams::insecure_test_defaults();
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 3);
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(5_100);
         let bios = enroll_population(&server, &device, 6, 32, &mut rng);
@@ -988,5 +1262,54 @@ mod tests {
             server.finish_identification(&resp).unwrap().identity(),
             Some("user-4")
         );
+    }
+
+    #[test]
+    fn lock_free_reads_survive_concurrent_churn() {
+        // Readers identify continuously while writers enroll and revoke
+        // on the same shards — the lock-free path must keep returning
+        // consistent results (matched users are genuine, no panics)
+        // through head freezes, merges and revocation tombstones.
+        let params = SystemParams::insecure_test_defaults();
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 2);
+        let device = BiometricDevice::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(31_000);
+        let bios = enroll_population(&server, &device, 6, 32, &mut rng);
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        crossbeam::scope(|scope| {
+            for (u, bio) in bios.iter().enumerate() {
+                let server = server.clone();
+                let device = device.clone();
+                let stop = &stop;
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(32_000 + u as u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let reading: Vec<i64> = bio
+                            .iter()
+                            .map(|&x| x + rng.gen_range(-80i64..=80))
+                            .collect();
+                        let probe = device.probe_sketch(&reading, &mut rng).unwrap();
+                        let chal = server.begin_identification(&probe, &mut rng).unwrap();
+                        let resp = device.respond(&reading, &chal, &mut rng).unwrap();
+                        let outcome = server.finish_identification(&resp).unwrap();
+                        assert_eq!(outcome.identity(), Some(format!("user-{u}").as_str()));
+                    }
+                });
+            }
+            // Writer: churn short-lived users through both shards.
+            let mut wrng = StdRng::seed_from_u64(33_000);
+            for round in 0..20 {
+                let bio = params.sketch().line().random_vector(32, &mut wrng);
+                let id = format!("churn-{round}");
+                server
+                    .enroll(device.enroll(&id, &bio, &mut wrng).unwrap())
+                    .unwrap();
+                server.revoke(&id).unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .expect("threads must not panic");
+        assert_eq!(server.user_count(), 6);
     }
 }

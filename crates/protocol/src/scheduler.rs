@@ -72,7 +72,7 @@ use crate::messages::{EnrollmentRecord, IdentChallenge, UserId};
 use crate::params::SystemParams;
 use crate::server::BuildIndex;
 use crate::ProtocolError;
-use fe_core::{ScanIndex, SketchIndex};
+use fe_core::{EpochIndex, EpochRead};
 use fe_metrics::telemetry::Histogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -271,14 +271,14 @@ impl IdentifyTicket {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ScheduledServer<I: SketchIndex = ScanIndex> {
+pub struct ScheduledServer<I: EpochRead = EpochIndex> {
     server: SharedServer<I>,
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl ScheduledServer<ScanIndex> {
-    /// A scheduled server over `shards` scan-index shards — the common
+impl ScheduledServer<EpochIndex> {
+    /// A scheduled server over `shards` epoch-index shards — the common
     /// configuration ([`SharedServer::with_shards`] +
     /// [`ScheduledServer::new`]).
     ///
@@ -290,7 +290,7 @@ impl ScheduledServer<ScanIndex> {
     }
 }
 
-impl<I: SketchIndex + Send + Sync + 'static> ScheduledServer<I> {
+impl<I: EpochRead + Send + Sync + 'static> ScheduledServer<I> {
     /// Wraps an existing server (in-memory or durable) in a scheduler
     /// and starts its worker pool.
     ///
@@ -461,7 +461,7 @@ impl<I: SketchIndex + Send + Sync + 'static> ScheduledServer<I> {
     }
 }
 
-impl<I: BuildIndex + Send + Sync + 'static> SharedServer<I> {
+impl<I: BuildIndex + EpochRead + Send + Sync + 'static> SharedServer<I> {
     /// A fresh shard-partitioned server behind a request scheduler —
     /// the heavy-traffic entry point (see
     /// [`ScheduledServer`] and the [`crate::scheduler`] module docs).
@@ -477,7 +477,7 @@ impl<I: BuildIndex + Send + Sync + 'static> SharedServer<I> {
     }
 }
 
-impl<I: SketchIndex> Drop for ScheduledServer<I> {
+impl<I: EpochRead> Drop for ScheduledServer<I> {
     fn drop(&mut self) {
         {
             let mut q = lock(&self.inner.queue);
@@ -495,7 +495,11 @@ impl<I: SketchIndex> Drop for ScheduledServer<I> {
 /// One worker: wait for work, hold the batch window open until the
 /// batch fills or the oldest request's deadline passes, drain up to
 /// `max_batch`, execute through the server's batch path, deliver.
-fn worker_loop<I: SketchIndex>(server: SharedServer<I>, inner: Arc<Inner>, seed: u64) {
+fn worker_loop<I: EpochRead + Send + Sync + 'static>(
+    server: SharedServer<I>,
+    inner: Arc<Inner>,
+    seed: u64,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = &inner.config;
     'serve: loop {
@@ -575,7 +579,7 @@ mod tests {
     use crate::BiometricDevice;
 
     fn population(
-        scheduler: &ScheduledServer<ScanIndex>,
+        scheduler: &ScheduledServer<EpochIndex>,
         users: usize,
         dim: usize,
         rng: &mut StdRng,

@@ -14,7 +14,7 @@ use crate::messages::{
 use crate::params::{DedupPolicy, SystemParams};
 use crate::store::{EnrollmentStore, FileStore, LogEvent, LogEventRef, SnapshotRow};
 use crate::ProtocolError;
-use fe_core::{BucketIndex, ScanIndex, ShardedIndex, SketchIndex};
+use fe_core::{BucketIndex, EpochIndex, ScanIndex, ShardedIndex, SketchIndex};
 use fe_crypto::dsa::{DsaSignature, DsaVerifyingKey};
 use fe_crypto::sig::SignatureScheme;
 use rand::Rng;
@@ -68,6 +68,23 @@ impl BuildIndex for ShardedIndex<ScanIndex> {
             ka,
             params.filter_config(),
         )
+    }
+}
+
+impl BuildIndex for EpochIndex {
+    fn build(params: &SystemParams) -> Self {
+        let (t, ka) = sketch_ring(params);
+        EpochIndex::with_filter(t, ka, params.filter_config())
+    }
+}
+
+impl BuildIndex for ShardedIndex<EpochIndex> {
+    fn build(params: &SystemParams) -> Self {
+        let (t, ka) = sketch_ring(params);
+        let filter = params.filter_config();
+        ShardedIndex::from_fn(params.index_config().shards(), |_| {
+            EpochIndex::with_filter(t, ka, filter)
+        })
     }
 }
 
@@ -202,28 +219,52 @@ impl<I: BuildIndex> AuthenticationServer<I> {
     ) -> Result<Self, ProtocolError> {
         let events = store.load()?;
         let mut server = Self::from_params(params);
-        // Bulk-load hint: recovery knows the population size and sketch
-        // dimension up front, so the index builds a pre-sized arena
-        // instead of growing (and re-normalizing capacity) row by row.
         let enrolls = events
             .iter()
             .filter(|e| matches!(e, LogEvent::Enroll(_)))
             .count();
+        // Segment fast path: a checkpoint may have saved the index's
+        // sealed columnar segments alongside the snapshot. Importing
+        // them installs the first `preindexed` snapshot rows wholesale
+        // (the snapshot streams records in index-id order, so segment
+        // row `i` *is* snapshot row `i`); replay then skips the
+        // per-row index insert for exactly that prefix. Purely an
+        // accelerator — `None` at any step falls back to full replay.
+        let mut preindexed = 0usize;
+        if enrolls > 0 {
+            if let Some(blob) = store.load_index_cache() {
+                if let Some(covered) = server.index.import_segments(&blob) {
+                    if covered <= enrolls {
+                        preindexed = covered;
+                    } else {
+                        // A cache claiming more rows than the log holds
+                        // cannot belong to it (contract violation by the
+                        // store); discard and replay from scratch.
+                        server.index = I::build(&server.params);
+                    }
+                }
+            }
+        }
+        // Bulk-load hint: recovery knows the population size and sketch
+        // dimension up front, so the index builds a pre-sized arena
+        // instead of growing (and re-normalizing capacity) row by row.
         if let Some(LogEvent::Enroll(first)) =
             events.iter().find(|e| matches!(e, LogEvent::Enroll(_)))
         {
             server
                 .index
-                .reserve(enrolls, first.helper.sketch.inner.len());
+                .reserve(enrolls - preindexed, first.helper.sketch.inner.len());
             server.records.reserve(enrolls);
             server.by_id.reserve(enrolls);
         }
+        let mut replayed = 0usize;
         for event in events {
             match event {
                 LogEvent::Enroll(record) => {
                     if !server.by_id.contains_key(&record.id) {
                         server.validate_enroll(&record)?;
-                        server.apply_enroll(record);
+                        server.apply_enroll_replayed(record, replayed < preindexed);
+                        replayed += 1;
                     }
                 }
                 LogEvent::Revoke(id) => {
@@ -234,6 +275,9 @@ impl<I: BuildIndex> AuthenticationServer<I> {
                 LogEvent::EnrollRejected { .. } => {}
             }
         }
+        // End any bulk-mode deferral the reserve hint started, so the
+        // recovered population is published to lock-free readers.
+        server.index.flush();
         server.store = Some(store);
         Ok(server)
     }
@@ -358,7 +402,7 @@ impl<I: SketchIndex> AuthenticationServer<I> {
 
     /// In-memory revocation; `false` when the id is unknown (replay
     /// tolerance). Infallible by construction for validated ids.
-    fn apply_revoke(&mut self, id: &str) -> bool {
+    pub(crate) fn apply_revoke(&mut self, id: &str) -> bool {
         let Some(idx) = self.by_id.remove(id) else {
             return false;
         };
@@ -370,7 +414,7 @@ impl<I: SketchIndex> AuthenticationServer<I> {
 
     /// Checks everything that could make [`AuthenticationServer::enroll`]
     /// fail, so the journal append can safely precede the mutation.
-    fn validate_enroll(&self, record: &EnrollmentRecord) -> Result<(), ProtocolError> {
+    pub(crate) fn validate_enroll(&self, record: &EnrollmentRecord) -> Result<(), ProtocolError> {
         if self.by_id.contains_key(&record.id) {
             return Err(ProtocolError::DuplicateUser(record.id.clone()));
         }
@@ -393,15 +437,43 @@ impl<I: SketchIndex> AuthenticationServer<I> {
     }
 
     /// In-memory enrollment of a pre-validated record.
-    fn apply_enroll(&mut self, record: EnrollmentRecord) {
+    pub(crate) fn apply_enroll(&mut self, record: EnrollmentRecord) {
+        self.apply_enroll_replayed(record, false);
+    }
+
+    /// [`AuthenticationServer::apply_enroll`] with recovery's segment
+    /// fast path: when `preindexed`, the sketch row is already in the
+    /// index (installed wholesale from an imported segment cache) and
+    /// must not be inserted twice — the id-mirror contract is checked
+    /// against the cached row instead.
+    fn apply_enroll_replayed(&mut self, record: EnrollmentRecord, preindexed: bool) {
         let public_key = DsaVerifyingKey::from_bytes(&record.public_key);
         let idx = self.records.len();
-        let index_id = self.index.insert(&record.helper.sketch.inner);
-        // Release-enforced: an index that had records inserted and then
-        // removed passes the `is_empty` construction check but assigns
-        // ids offset from the record slots — that must fail loudly at
-        // the first enrollment, not corrupt lookups silently.
-        assert_eq!(index_id, idx, "index ids must mirror record slots");
+        if preindexed {
+            debug_assert!(
+                {
+                    // The arena stores coordinates canonically reduced
+                    // into `[0, ka)`; compare modulo the ring, not raw.
+                    let ka = self.params.sketch().line().interval_len() as i64;
+                    let mut row = Vec::new();
+                    self.index.copy_row_into(idx, &mut row)
+                        && row.len() == record.helper.sketch.inner.len()
+                        && row
+                            .iter()
+                            .zip(&record.helper.sketch.inner)
+                            .all(|(&got, &want)| got.rem_euclid(ka) == want.rem_euclid(ka))
+                },
+                "segment cache row must mirror the replayed record"
+            );
+        } else {
+            let index_id = self.index.insert(&record.helper.sketch.inner);
+            // Release-enforced: an index that had records inserted and
+            // then removed passes the `is_empty` construction check but
+            // assigns ids offset from the record slots — that must fail
+            // loudly at the first enrollment, not corrupt lookups
+            // silently.
+            assert_eq!(index_id, idx, "index ids must mirror record slots");
+        }
         self.by_id.insert(record.id.clone(), idx);
         self.records.push(Some(StoredRecord {
             id: record.id,
@@ -793,6 +865,36 @@ impl<I: SketchIndex> AuthenticationServer<I> {
         self.store.as_deref()
     }
 
+    /// Whether `id` is currently enrolled — pre-validation for journal
+    /// appends that happen outside the state lock (see
+    /// [`crate::concurrent::SharedServer`]).
+    pub(crate) fn is_enrolled(&self, id: &str) -> bool {
+        self.by_id.contains_key(id)
+    }
+
+    /// The record slot a user id currently occupies (`None` when not
+    /// enrolled) — the inverse of [`AuthenticationServer::user_at`],
+    /// for concurrent wrappers that scan lock-free by slot.
+    pub(crate) fn slot_of(&self, id: &str) -> Option<usize> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Detaches and returns the enrollment store, leaving the server
+    /// store-less. The sharded server uses this to move each shard's
+    /// journal *outside* the state lock so appends (and their fsyncs)
+    /// never run inside a critical section a reader could observe.
+    pub(crate) fn detach_store(&mut self) -> Option<Box<dyn EnrollmentStore>> {
+        self.store.take()
+    }
+
+    /// The index's structural generation (see
+    /// [`SketchIndex::generation`]): lock-free readers capture this
+    /// before a scan and re-check it under the lock to detect a
+    /// compaction/renumbering that would invalidate raw record ids.
+    pub fn index_generation(&self) -> u64 {
+        self.index.generation()
+    }
+
     /// Total record slots held, live **and** tombstoned — what revocation
     /// leaves behind until [`AuthenticationServer::compact`] runs.
     pub fn record_slots(&self) -> usize {
@@ -873,17 +975,50 @@ impl<I: SketchIndex> AuthenticationServer<I> {
     /// and the previous snapshot + journal remain authoritative on disk.
     pub fn checkpoint(&mut self) -> Result<usize, ProtocolError> {
         let reclaimed = self.compact();
-        if let Some(store) = &mut self.store {
-            let count = self.by_id.len();
-            let dsa_params = self.params.dsa_params();
-            let mut rows = self.records.iter().flatten().map(|r| SnapshotRow {
-                id: &r.id,
-                public_key: r.public_key.to_bytes(dsa_params),
-                helper: &r.helper,
-            });
-            store.compact(count, &mut rows)?;
+        if let Some(mut store) = self.store.take() {
+            let result = self.write_snapshot(&mut *store);
+            self.store = Some(store);
+            result?;
         }
         Ok(reclaimed)
+    }
+
+    /// [`AuthenticationServer::checkpoint`] against an *external* store
+    /// — the sharded server keeps each shard's journal outside the
+    /// state lock (see [`crate::concurrent::SharedServer`]) and hands
+    /// it in here while holding both.
+    ///
+    /// # Errors
+    /// As [`AuthenticationServer::checkpoint`].
+    pub(crate) fn checkpoint_into(
+        &mut self,
+        store: &mut dyn EnrollmentStore,
+    ) -> Result<usize, ProtocolError> {
+        let reclaimed = self.compact();
+        self.write_snapshot(store)?;
+        Ok(reclaimed)
+    }
+
+    /// The snapshot pass shared by both checkpoint entry points: the
+    /// streamed [`SnapshotRow`] rewrite, then — when the index can
+    /// export one — the sealed-segment sidecar bound to that snapshot.
+    /// Must run *after* [`AuthenticationServer::compact`], which is
+    /// what makes snapshot row `i` and index row `i` the same record
+    /// (the coherence the segment fast path in
+    /// [`AuthenticationServer::recover_with_store`] relies on).
+    fn write_snapshot(&self, store: &mut dyn EnrollmentStore) -> Result<(), ProtocolError> {
+        let count = self.by_id.len();
+        let dsa_params = self.params.dsa_params();
+        let mut rows = self.records.iter().flatten().map(|r| SnapshotRow {
+            id: &r.id,
+            public_key: r.public_key.to_bytes(dsa_params),
+            helper: &r.helper,
+        });
+        store.compact(count, &mut rows)?;
+        if let Some(blob) = self.index.export_segments() {
+            store.save_index_cache(&blob)?;
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example durable_enrollment
 //! ```
 
-use fuzzy_id::core::ScanIndex;
+use fuzzy_id::core::EpochIndex;
 use fuzzy_id::protocol::concurrent::SharedServer;
 use fuzzy_id::protocol::{BiometricDevice, SystemParams};
 use rand::rngs::StdRng;
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Lifetime 1: a durable sharded server ----------------------
     println!("opening durable server at {}", dir.display());
-    let server = SharedServer::<ScanIndex>::durable(params.clone(), 2, &dir)?;
+    let server = SharedServer::<EpochIndex>::durable(params.clone(), 2, &dir)?;
 
     let users = 24usize;
     let dim = 48usize;
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("💥 crashed (dropped the server without shutdown)");
 
     // ---- Lifetime 2: recovery --------------------------------------
-    let server = SharedServer::<ScanIndex>::recover(params.clone(), &dir)?;
+    let server = SharedServer::<EpochIndex>::recover(params.clone(), &dir)?;
     println!(
         "recovered {} shards, {} live users",
         server.num_shards(),

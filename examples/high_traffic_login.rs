@@ -20,7 +20,7 @@
 //!
 //! Run with: `cargo run --release --example high_traffic_login`
 
-use fuzzy_id::core::ScanIndex;
+use fuzzy_id::core::EpochIndex;
 use fuzzy_id::protocol::scheduler::{ScheduledServer, SchedulerConfig};
 use fuzzy_id::protocol::{BiometricDevice, ProtocolError, SystemParams};
 use rand::rngs::StdRng;
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A 2-shard server behind the scheduler: micro-batches of up to 8,
     // flushed after at most 2 ms of coalescing.
-    let scheduler: ScheduledServer<ScanIndex> = ScheduledServer::scan(
+    let scheduler: ScheduledServer<EpochIndex> = ScheduledServer::scan(
         params.clone(),
         2,
         SchedulerConfig {
@@ -135,7 +135,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // immediately with `Overloaded` — the server never builds an
     // unbounded backlog.
     println!("backpressure: flooding a 2-slot admission queue…");
-    let tiny: ScheduledServer<ScanIndex> = ScheduledServer::scan(
+    let tiny: ScheduledServer<EpochIndex> = ScheduledServer::scan(
         params.clone(),
         1,
         SchedulerConfig {

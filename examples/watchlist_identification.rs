@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example watchlist_identification`
 
-use fuzzy_id::core::{ScanIndex, ShardedIndex};
+use fuzzy_id::core::{EpochIndex, ShardedIndex};
 use fuzzy_id::protocol::concurrent::SharedServer;
 use fuzzy_id::protocol::{BiometricDevice, IndexConfig, ProtocolRunner, SystemParams};
 use rand::{Rng, SeedableRng};
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sharded_params = params
         .clone()
         .with_index_config(IndexConfig::ShardedScan { shards: 2 });
-    let server = SharedServer::<ShardedIndex<ScanIndex>>::with_shards(sharded_params.clone(), 4);
+    let server = SharedServer::<ShardedIndex<EpochIndex>>::with_shards(sharded_params.clone(), 4);
     let device = BiometricDevice::new(sharded_params);
     println!(
         "\nsharded server:     {} shards, re-enrolling watch list…",

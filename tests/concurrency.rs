@@ -4,7 +4,7 @@
 //! the sharded configurations (per-shard locks, sharded indexes,
 //! batched identification).
 
-use fuzzy_id::core::{ScanIndex, ShardedIndex, SketchIndex};
+use fuzzy_id::core::{EpochIndex, EpochRead, ShardedIndex};
 use fuzzy_id::protocol::concurrent::SharedServer;
 use fuzzy_id::protocol::{BiometricDevice, IndexConfig, SystemParams};
 use rand::rngs::StdRng;
@@ -17,7 +17,7 @@ fn noisy(bio: &[i64], rng: &mut StdRng) -> Vec<i64> {
 }
 
 /// Every user identifies 3 times concurrently against `server`.
-fn run_identification_storm<I: SketchIndex + Send + Sync>(server: SharedServer<I>, seed: u64) {
+fn run_identification_storm<I: EpochRead + Send + Sync>(server: SharedServer<I>, seed: u64) {
     let params = server.params().clone();
     let device = BiometricDevice::new(params.clone());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -67,7 +67,7 @@ fn parallel_identification_storm_sharded() {
     let params = SystemParams::insecure_test_defaults()
         .with_index_config(IndexConfig::ShardedScan { shards: 2 });
     run_identification_storm(
-        SharedServer::<ShardedIndex<ScanIndex>>::with_shards(params, 4),
+        SharedServer::<ShardedIndex<EpochIndex>>::with_shards(params, 4),
         7_001,
     );
 }
@@ -78,7 +78,7 @@ fn interleaved_sessions_do_not_cross_talk() {
     // session must still resolve to its own user — across shard
     // session-namespaces.
     let params = SystemParams::insecure_test_defaults();
-    let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 3);
+    let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 3);
     let device = BiometricDevice::new(params.clone());
     let mut rng = StdRng::seed_from_u64(7_100);
 
@@ -116,7 +116,7 @@ fn interleaved_sessions_do_not_cross_talk() {
 #[test]
 fn enrollment_and_identification_interleave() {
     let params = SystemParams::insecure_test_defaults();
-    let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 4);
+    let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 4);
     let device = BiometricDevice::new(params.clone());
 
     // Seed population.
@@ -166,7 +166,7 @@ fn concurrent_batches_from_many_frontends() {
     // Several frontend threads each submit a whole batch; all batches
     // resolve correctly and sessions never collide.
     let params = SystemParams::insecure_test_defaults();
-    let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 4);
+    let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 4);
     let device = BiometricDevice::new(params.clone());
     let mut rng = StdRng::seed_from_u64(7_300);
 

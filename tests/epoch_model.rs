@@ -1,0 +1,366 @@
+//! Epoch storage engine vs the Vec-of-Vec reference model: arbitrary
+//! enroll/revoke/maintain/compact interleavings — with tier thresholds
+//! tiny enough that every script crosses freeze, merge, and seal — must
+//! be observably identical to the seed's boxed-row layout, and the
+//! lock-free readers must agree with the writer at every quiescent
+//! point *and* stay coherent while a writer churns under them.
+
+use fuzzy_id::core::conditions::sketches_match;
+use fuzzy_id::core::{EpochIndex, EpochRead, FilterConfig, IndexReader, SketchIndex};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The seed storage layout as the reference model: boxed rows behind
+/// `Option` tombstones (same as `tests/properties.rs`, which pins the
+/// non-epoch indexes to it).
+struct ModelIndex {
+    t: u64,
+    ka: u64,
+    entries: Vec<Option<Vec<i64>>>,
+}
+
+impl ModelIndex {
+    fn new(t: u64, ka: u64) -> Self {
+        ModelIndex {
+            t,
+            ka,
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, sketch: &[i64]) -> usize {
+        self.entries.push(Some(sketch.to_vec()));
+        self.entries.len() - 1
+    }
+
+    fn matches(&self, s: &[i64], probe: &[i64]) -> bool {
+        s.len() == probe.len() && sketches_match(s, probe, self.t, self.ka)
+    }
+
+    fn lookup(&self, probe: &[i64]) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| self.matches(s, probe)))
+    }
+
+    fn lookup_all(&self, probe: &[i64]) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|s| self.matches(s, probe)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn remove(&mut self, id: usize) -> bool {
+        match self.entries.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn compact(&mut self) -> Vec<(usize, usize)> {
+        let mut mapping = Vec::new();
+        let entries = std::mem::take(&mut self.entries);
+        for (old, slot) in entries.into_iter().enumerate() {
+            if let Some(s) = slot {
+                mapping.push((old, self.entries.len()));
+                self.entries.push(Some(s));
+            }
+        }
+        mapping
+    }
+
+    fn live(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+/// One scripted operation, applied to the model and the epoch index in
+/// lockstep.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<i64>),
+    /// Probe near the `n % inserted`-th logged sketch with ±t noise.
+    ProbeNear(usize, Vec<i64>),
+    Probe(Vec<i64>),
+    Remove(usize),
+    /// Tombstone-driven sealed-segment rewrite (ids stable).
+    Maintain,
+    /// Full renumbering compaction.
+    Compact,
+}
+
+/// Ring parameters spanning all three arena cell widths (i16 / i32 /
+/// i64, the latter including the `ka ≥ 2⁶³` i128-widening class).
+fn ring_params() -> impl Strategy<Value = (u64, u64)> {
+    (0u8..4)
+        .prop_flat_map(|width| {
+            let (lo, hi) = match width {
+                0 => (2u64, (1 << 15) - 1),
+                1 => (1u64 << 15, (1 << 31) - 1),
+                2 => (1u64 << 31, (1 << 62) - 1),
+                _ => (1u64 << 63, u64::MAX),
+            };
+            lo..=hi
+        })
+        .prop_flat_map(|ka| (1u64..(ka / 2).clamp(2, 1 << 30), Just(ka)))
+}
+
+fn epoch_case() -> impl Strategy<Value = (u64, u64, Vec<Op>)> {
+    (ring_params(), 1usize..5).prop_flat_map(|((t, ka), dim)| {
+        let half = (ka / 2).min(i64::MAX as u64 / 4) as i64;
+        let op = (
+            0u8..14,
+            prop::collection::vec(-2 * half..=2 * half, dim..dim + 1),
+            prop::collection::vec(-(t as i64)..=(t as i64), dim..dim + 1),
+            any::<usize>(),
+        )
+            .prop_map(|(sel, sketch, noise, n)| match sel {
+                0..=4 => Op::Insert(sketch),
+                5..=7 => Op::ProbeNear(n, noise),
+                8..=9 => Op::Probe(sketch),
+                10..=11 => Op::Remove(n),
+                12 => Op::Maintain,
+                _ => Op::Compact,
+            });
+        (Just(t), Just(ka), prop::collection::vec(op, 1..64))
+    })
+}
+
+/// After every op, a *fresh* lock-free reader must agree with the model
+/// on every read surface it exposes.
+fn check_reader_quiescent(index: &EpochIndex, model: &ModelIndex, probes: &[Vec<i64>]) {
+    let reader = index.reader();
+    prop_assert_eq!(reader.generation(), SketchIndex::generation(index));
+    for probe in probes {
+        let all = model.lookup_all(probe);
+        prop_assert_eq!(reader.find_first(probe), all.first().copied());
+        prop_assert_eq!(&reader.find_at_most(probe, 2), &all[..all.len().min(2)]);
+        prop_assert_eq!(&reader.find_at_most(probe, usize::MAX), &all);
+        // Subset-masked scan over every other logged slot.
+        let subset: Vec<usize> = (0..model.entries.len()).step_by(2).collect();
+        let want: Vec<usize> = all.iter().copied().filter(|id| id % 2 == 0).collect();
+        prop_assert_eq!(
+            reader.find_in_subset(probe, &subset, usize::MAX),
+            want,
+            "subset scan diverged"
+        );
+    }
+    let batch = reader.find_first_batch(probes);
+    for (probe, got) in probes.iter().zip(batch) {
+        prop_assert_eq!(model.lookup(probe), got, "batch path diverged");
+    }
+}
+
+/// Drives one epoch index and the model through the same script.
+fn check_epoch_against_model(mut index: EpochIndex, t: u64, ka: u64, ops: &[Op]) {
+    let mut model = ModelIndex::new(t, ka);
+    let mut inserted: Vec<Vec<i64>> = Vec::new();
+    let mut probes_seen: Vec<Vec<i64>> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(sketch) => {
+                let a = model.insert(sketch);
+                let b = index.insert(sketch);
+                prop_assert_eq!(a, b, "insert ids diverged");
+                inserted.push(sketch.clone());
+            }
+            Op::ProbeNear(n, noise) => {
+                if inserted.is_empty() {
+                    continue;
+                }
+                let base = &inserted[n % inserted.len()];
+                let probe: Vec<i64> = base
+                    .iter()
+                    .zip(noise.iter())
+                    .map(|(&v, &d)| v.saturating_add(d))
+                    .collect();
+                prop_assert_eq!(model.lookup(&probe), index.lookup(&probe));
+                prop_assert_eq!(model.lookup_all(&probe), index.lookup_all(&probe));
+                probes_seen.push(probe);
+            }
+            Op::Probe(probe) => {
+                prop_assert_eq!(model.lookup(probe), index.lookup(probe));
+                prop_assert_eq!(model.lookup_all(probe), index.lookup_all(probe));
+                probes_seen.push(probe.clone());
+            }
+            Op::Remove(n) => {
+                let slots = model.entries.len();
+                if slots == 0 {
+                    continue;
+                }
+                let id = n % slots;
+                prop_assert_eq!(model.remove(id), index.remove(id), "remove({})", id);
+            }
+            Op::Maintain => {
+                // Ids are stable across maintenance, so the model does
+                // nothing — every observable below must still agree.
+                index.maintain();
+            }
+            Op::Compact => {
+                prop_assert_eq!(model.compact(), index.compact());
+                inserted = model.entries.iter().flatten().cloned().collect();
+            }
+        }
+        prop_assert_eq!(model.live(), index.len(), "live count diverged");
+        check_reader_quiescent(&index, &model, &probes_seen);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Epoch index ≡ the Vec-of-Vec model under arbitrary interleavings
+    /// of insert/remove/maintain/compact, with tier thresholds tiny
+    /// enough (freeze at 3 rows, merge at 2 runs, seal at 6 rows) that
+    /// every script exercises the full staging → run → merged → sealed
+    /// pipeline — for each vector kernel, across every cell width the
+    /// ring strategy spans.
+    #[test]
+    fn epoch_index_matches_vec_of_vec_model((t, ka, ops) in epoch_case()) {
+        for filter in [
+            FilterConfig::default(),
+            FilterConfig::swar(),
+            FilterConfig::disabled(),
+        ] {
+            check_epoch_against_model(
+                EpochIndex::with_thresholds(t, ka, filter, 3, 2, 6),
+                t, ka, &ops,
+            );
+        }
+    }
+
+    /// Bulk-mode equivalence: the same scripts driven through a
+    /// `reserve`-primed index (publishes suppressed until `flush`, as
+    /// recovery does) end in the same observable state.
+    #[test]
+    fn epoch_bulk_load_matches_incremental((t, ka, ops) in epoch_case()) {
+        let mut bulk = EpochIndex::with_thresholds(t, ka, FilterConfig::default(), 3, 2, 6);
+        let mut incremental =
+            EpochIndex::with_thresholds(t, ka, FilterConfig::default(), 3, 2, 6);
+        let sketches: Vec<&Vec<i64>> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        if !sketches.is_empty() {
+            let dim = sketches[0].len();
+            // Large `additional` arms bulk mode regardless of count.
+            bulk.reserve(5000, dim);
+            for s in &sketches {
+                prop_assert_eq!(bulk.insert(s), incremental.insert(s));
+            }
+            bulk.flush();
+            prop_assert_eq!(bulk.len(), incremental.len());
+            let reader = bulk.reader();
+            for s in &sketches {
+                prop_assert_eq!(reader.find_first(s), incremental.lookup(s));
+            }
+        }
+    }
+}
+
+/// Readers racing a writer: N reader threads hammer lock-free scans
+/// while the writer churns enrolls, revocations, and maintenance under
+/// them. Every reader observation must be explainable by *some*
+/// published state:
+///
+/// - a stable row (inserted before the readers started, never removed)
+///   is the lowest matching id in **every** snapshot, so `find_first`
+///   on its probe must always return exactly it;
+/// - any id returned for a churn probe must actually match that probe
+///   (ids are append-only outside `compact`, which this test never
+///   calls, so id → content is a pure function);
+/// - snapshot generations never move backwards on a single reader.
+#[test]
+fn concurrent_readers_agree_with_some_published_state() {
+    let (t, ka) = (10u64, 4096u64);
+    let dim = 4usize;
+    let stable = 24usize;
+    // Row id → content, valid for stable and churn rows alike: slot j
+    // sits at ring offset 100·j in every coordinate (> 2t apart, so
+    // probes never cross-match), churn rows offset by +50 (> t from
+    // both neighbors).
+    let row = |j: usize| -> Vec<i64> {
+        let off = if j < stable { 0 } else { 50 };
+        vec![(100 * j as i64 + off) % ka as i64; dim]
+    };
+
+    let mut index = EpochIndex::with_thresholds(t, ka, FilterConfig::default(), 4, 2, 8);
+    for j in 0..stable {
+        assert_eq!(index.insert(&row(j)), j);
+    }
+    let reader_proto = index.reader();
+    let stop = AtomicBool::new(false);
+    let checks = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let reader = reader_proto.clone();
+            let (stop, checks) = (&stop, &checks);
+            scope.spawn(move || {
+                let mut last_gen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let gen = reader.generation();
+                    assert!(gen >= last_gen, "generation moved backwards");
+                    last_gen = gen;
+                    for j in 0..stable {
+                        let probe = row(j);
+                        assert_eq!(
+                            reader.find_first(&probe),
+                            Some(j),
+                            "stable row {j} must match in every snapshot"
+                        );
+                        assert_eq!(reader.find_at_most(&probe, 2), vec![j]);
+                    }
+                    // Churn probes: matches are optional (the row may
+                    // not exist / be revoked in this snapshot), but any
+                    // returned id must genuinely match the probe.
+                    for j in stable..stable + 40 {
+                        let probe = row(j);
+                        for id in reader.find_at_most(&probe, usize::MAX) {
+                            assert!(
+                                sketches_match(&row(id), &probe, t, ka),
+                                "id {id} returned for probe {j} does not match it"
+                            );
+                        }
+                    }
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Writer: 40 churn rounds of enroll + maintain + revoke — every
+        // round crosses freeze/merge/seal boundaries at these tiny
+        // thresholds, so readers race real segment-list publishes.
+        for round in 0..40 {
+            let id = stable + round;
+            assert_eq!(index.insert(&row(id)), id);
+            if round % 3 == 0 {
+                index.maintain();
+            }
+            if round % 2 == 0 {
+                assert!(index.remove(id));
+            }
+        }
+        // Let the readers observe the final state at least once.
+        while checks.load(Ordering::Relaxed) < 6 {
+            std::hint::spin_loop();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiescent cross-check: the final published state equals the
+    // sequential expectation (even churn rows revoked, odd ones live).
+    let reader = index.reader();
+    for j in stable..stable + 40 {
+        let expect = ((j - stable) % 2 == 1).then_some(j);
+        assert_eq!(reader.find_first(&row(j)), expect, "churn row {j}");
+    }
+}

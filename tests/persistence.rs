@@ -2,7 +2,7 @@
 //! killed at arbitrary points, and rebuilt via `recover()` must answer
 //! identification queries exactly like the never-restarted original.
 
-use fuzzy_id::core::ScanIndex;
+use fuzzy_id::core::{EpochIndex, ScanIndex};
 use fuzzy_id::protocol::concurrent::SharedServer;
 use fuzzy_id::protocol::store::{EnrollmentStore, FileStore, LogEventRef, MemoryStore};
 use fuzzy_id::protocol::{
@@ -209,7 +209,7 @@ fn sharded_server_recovery_equivalence() {
     let device = BiometricDevice::new(params.clone());
     let mut rng = StdRng::seed_from_u64(0x5AFE);
 
-    let original = SharedServer::<ScanIndex>::durable(params.clone(), 3, &dir).unwrap();
+    let original = SharedServer::<EpochIndex>::durable(params.clone(), 3, &dir).unwrap();
 
     // N = 40 enrollments: 36 synthetic + 4 real (full-crypto) users.
     let donor = {
@@ -257,7 +257,7 @@ fn sharded_server_recovery_equivalence() {
     // exactly the state a SIGKILL would leave (appends are flushed
     // before each call returns).
     drop(original);
-    let recovered = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+    let recovered = SharedServer::<EpochIndex>::recover(params.clone(), &dir).unwrap();
     assert_eq!(recovered.num_shards(), 3);
     assert_eq!(recovered.user_count(), 28);
 
@@ -406,7 +406,7 @@ fn shared_server_churn_with_checkpoints_stays_bounded() {
         device.enroll("donor", &bio, &mut rng).unwrap().public_key
     };
 
-    let server = SharedServer::<ScanIndex>::durable(params.clone(), 2, &dir).unwrap();
+    let server = SharedServer::<EpochIndex>::durable(params.clone(), 2, &dir).unwrap();
     // A persistent base population…
     for u in 0..5 {
         let (record, _) = synthetic_record(&params, &donor, &format!("base-{u}"), 8, &mut rng);
@@ -427,7 +427,7 @@ fn shared_server_churn_with_checkpoints_stays_bounded() {
 
     // Recover and confirm the snapshot holds exactly the live records.
     drop(server);
-    let recovered = SharedServer::<ScanIndex>::recover(params.clone(), &dir).unwrap();
+    let recovered = SharedServer::<EpochIndex>::recover(params.clone(), &dir).unwrap();
     assert_eq!(recovered.user_count(), 5);
     assert_eq!(recovered.journal_len(), 0);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -508,4 +508,237 @@ proptest! {
 
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sealed-segment checkpoint sidecar (`segments.fsg`): recovery maps the
+// columnar snapshot prefix straight into the epoch index instead of
+// re-inserting row by row — and falls back to a full replay whenever
+// the sidecar is missing, torn, or bound to a different snapshot.
+// ---------------------------------------------------------------------------
+
+/// An epoch-index server with tiny tier thresholds (freeze at 4 rows,
+/// merge at 2 runs, seal at 8 rows) so small test populations actually
+/// produce sealed segments — the default seal point is 65 536 rows.
+fn small_epoch_server(params: &SystemParams) -> AuthenticationServer<EpochIndex> {
+    let t = params.sketch().threshold();
+    let ka = params.sketch().line().interval_len();
+    AuthenticationServer::with_index(
+        params.clone(),
+        EpochIndex::with_thresholds(t, ka, params.filter_config(), 4, 2, 8),
+    )
+}
+
+/// Checkpoint writes the sealed segments as a sidecar; recovery imports
+/// them (visible as non-empty `segments()` on an index whose default
+/// thresholds would have kept every row in staging) and answers lookups
+/// exactly like the never-restarted original.
+#[test]
+fn segment_cache_round_trips_through_checkpoint() {
+    let dir = scratch_dir("segcache");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0x5E6C);
+    let donor = {
+        let bio = params.sketch().line().random_vector(4, &mut rng);
+        device.enroll("donor", &bio, &mut rng).unwrap().public_key
+    };
+
+    let mut server = small_epoch_server(&params);
+    server
+        .attach_store(Box::new(
+            FileStore::open(&dir, params.fingerprint()).unwrap(),
+        ))
+        .unwrap();
+    let mut bios = Vec::new();
+    for u in 0..30 {
+        let (record, bio) = synthetic_record(&params, &donor, &format!("user-{u}"), 6, &mut rng);
+        server.enroll(record).unwrap();
+        bios.push(bio);
+    }
+    server.checkpoint().unwrap();
+    assert!(
+        !server.index().segments().is_empty(),
+        "tiny thresholds must have sealed at least one segment"
+    );
+    assert!(
+        dir.join("segments.fsg").exists(),
+        "checkpoint must write the segment sidecar"
+    );
+
+    let mut probes: Vec<Vec<i64>> = bios
+        .iter()
+        .map(|bio| genuine_probe(&params, bio, &mut rng))
+        .collect();
+    let stranger = params.sketch().line().random_vector(6, &mut rng);
+    probes.push(genuine_probe(&params, &stranger, &mut rng));
+    let expected: Vec<Option<usize>> = probes.iter().map(|p| server.lookup_probe(p)).collect();
+    drop(server); // crash
+
+    let recovered: AuthenticationServer<EpochIndex> =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    assert_eq!(recovered.user_count(), 30);
+    // Proof the sidecar import ran: a default-threshold index seals at
+    // 65 536 rows, so a row-by-row replay of 30 records would leave
+    // `segments()` empty.
+    assert!(
+        !recovered.index().segments().is_empty(),
+        "recovery must map sealed segments from the sidecar"
+    );
+    let got: Vec<Option<usize>> = probes.iter().map(|p| recovered.lookup_probe(p)).collect();
+    assert_eq!(expected, got);
+    assert_eq!(
+        recovered.lookup_probe_batch(&probes),
+        expected,
+        "batch path must agree with the per-probe path after import"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A corrupt, torn, or stale sidecar is *ignored* — never an error:
+/// recovery silently falls back to full journal replay and answers
+/// identically.
+#[test]
+fn damaged_or_stale_segment_cache_falls_back_to_replay() {
+    let dir = scratch_dir("segcache-damage");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0xBADC);
+    let donor = {
+        let bio = params.sketch().line().random_vector(4, &mut rng);
+        device.enroll("donor", &bio, &mut rng).unwrap().public_key
+    };
+
+    let mut server = small_epoch_server(&params);
+    server
+        .attach_store(Box::new(
+            FileStore::open(&dir, params.fingerprint()).unwrap(),
+        ))
+        .unwrap();
+    let mut bios = Vec::new();
+    for u in 0..20 {
+        let (record, bio) = synthetic_record(&params, &donor, &format!("user-{u}"), 6, &mut rng);
+        server.enroll(record).unwrap();
+        bios.push(bio);
+    }
+    server.checkpoint().unwrap();
+    let sidecar = dir.join("segments.fsg");
+    let pristine = std::fs::read(&sidecar).unwrap();
+    let probes: Vec<Vec<i64>> = bios
+        .iter()
+        .map(|bio| genuine_probe(&params, bio, &mut rng))
+        .collect();
+    let expected: Vec<Option<usize>> = probes.iter().map(|p| server.lookup_probe(p)).collect();
+    drop(server);
+
+    // Torn sidecar (kill mid-write of the cache itself).
+    std::fs::write(&sidecar, &pristine[..pristine.len() - 7]).unwrap();
+    let recovered: AuthenticationServer<EpochIndex> =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    assert_eq!(recovered.user_count(), 20);
+    let got: Vec<Option<usize>> = probes.iter().map(|p| recovered.lookup_probe(p)).collect();
+    assert_eq!(expected, got, "torn sidecar must fall back to replay");
+    drop(recovered);
+
+    // Garbage sidecar (wrong magic entirely).
+    std::fs::write(&sidecar, b"not a segment cache at all").unwrap();
+    let recovered: AuthenticationServer<EpochIndex> =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    let got: Vec<Option<usize>> = probes.iter().map(|p| recovered.lookup_probe(p)).collect();
+    assert_eq!(expected, got, "garbage sidecar must fall back to replay");
+    drop(recovered);
+
+    // Stale sidecar: restore the pristine cache, then advance the
+    // snapshot underneath it — the CRC binding must reject the cache
+    // because it describes rows the *old* snapshot numbered.
+    std::fs::write(&sidecar, &pristine).unwrap();
+    let mut server: AuthenticationServer<EpochIndex> =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    server.revoke("user-3").unwrap();
+    server.revoke("user-7").unwrap();
+    server.checkpoint().unwrap(); // rewrites the snapshot
+                                  // The recovered server runs default seal thresholds, so this
+                                  // checkpoint has no sealed prefix to export — and compact() must
+                                  // have eagerly deleted the now-stale sidecar.
+    assert!(
+        !sidecar.exists(),
+        "compact must delete a sidecar it did not rewrite"
+    );
+    let expected2: Vec<Option<usize>> = probes.iter().map(|p| server.lookup_probe(p)).collect();
+    drop(server);
+    // Resurrect the stale sidecar anyway (a crashed copy, a backup
+    // restore): the CRC binding is the second line of defense.
+    std::fs::write(&sidecar, &pristine).unwrap();
+    let recovered: AuthenticationServer<EpochIndex> =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    assert_eq!(recovered.user_count(), 18);
+    assert!(
+        recovered.index().segments().is_empty(),
+        "stale sidecar must be rejected by the snapshot CRC binding"
+    );
+    let got: Vec<Option<usize>> = probes.iter().map(|p| recovered.lookup_probe(p)).collect();
+    assert_eq!(expected2, got, "stale sidecar must fall back to replay");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill *after* a checkpoint with a journal tail on top (enrolls and a
+/// revocation of a sealed, cache-covered row): recovery imports the
+/// sealed prefix, replays the tail over it, and the tombstone flip
+/// lands on the imported segment.
+#[test]
+fn journal_tail_replays_over_imported_segments() {
+    let dir = scratch_dir("segcache-tail");
+    let params = SystemParams::insecure_test_defaults();
+    let device = BiometricDevice::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(0x7A11);
+    let donor = {
+        let bio = params.sketch().line().random_vector(4, &mut rng);
+        device.enroll("donor", &bio, &mut rng).unwrap().public_key
+    };
+
+    let mut server = small_epoch_server(&params);
+    server
+        .attach_store(Box::new(
+            FileStore::open(&dir, params.fingerprint()).unwrap(),
+        ))
+        .unwrap();
+    let mut bios = Vec::new();
+    for u in 0..16 {
+        let (record, bio) = synthetic_record(&params, &donor, &format!("user-{u}"), 6, &mut rng);
+        server.enroll(record).unwrap();
+        bios.push(bio);
+    }
+    server.checkpoint().unwrap();
+    // Journal tail: four more enrollments plus a revocation of user-2,
+    // whose row lives inside a sealed (and cache-covered) segment.
+    for u in 16..20 {
+        let (record, bio) = synthetic_record(&params, &donor, &format!("user-{u}"), 6, &mut rng);
+        server.enroll(record).unwrap();
+        bios.push(bio);
+    }
+    server.revoke("user-2").unwrap();
+    assert!(server.store().unwrap().journal_len() > 0);
+
+    let probes: Vec<Vec<i64>> = bios
+        .iter()
+        .map(|bio| genuine_probe(&params, bio, &mut rng))
+        .collect();
+    let expected: Vec<Option<usize>> = probes.iter().map(|p| server.lookup_probe(p)).collect();
+    let expected_users = server.user_count();
+    drop(server); // crash with snapshot + sidecar + journal tail
+
+    let recovered: AuthenticationServer<EpochIndex> =
+        AuthenticationServer::recover(params.clone(), &dir).unwrap();
+    assert_eq!(recovered.user_count(), expected_users);
+    assert!(
+        !recovered.index().segments().is_empty(),
+        "sealed prefix must come from the sidecar"
+    );
+    let got: Vec<Option<usize>> = probes.iter().map(|p| recovered.lookup_probe(p)).collect();
+    assert_eq!(expected, got);
+    assert_eq!(
+        got[2], None,
+        "revoked user-2 must stay revoked on the imported segment"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -802,3 +802,120 @@ fn heap_bytes_accounting_under_churn() {
     }
     assert!(wide.heap_bytes() >= 3 * index.heap_bytes());
 }
+
+/// `heap_bytes` accounting for the epoch engine: the estimate must
+/// cover segment cells *and* per-segment prefilter planes *and* the
+/// published-snapshot + epoch-garbage overhead — and stay bounded
+/// (proportional to the live population) under sustained churn with
+/// maintenance and compaction, even while detached readers keep old
+/// snapshots reclaimable-but-pinned.
+#[test]
+fn epoch_heap_bytes_covers_segments_planes_and_garbage() {
+    use fuzzy_id::core::{EpochIndex, EpochRead};
+
+    let (t, ka, dim) = (100u64, 400u64, 64usize);
+    // Tiny tiers: 1 000 rows spread over many sealed segments.
+    let mut index = EpochIndex::with_thresholds(t, ka, FilterConfig::default(), 64, 2, 128);
+    for i in 0..1_000i64 {
+        index.insert(&vec![i % 200; dim]);
+    }
+    assert!(!index.segments().is_empty());
+    let full = index.heap_bytes();
+    // Floor: cells (2 bytes × dim) + plane lanes (8 × 2 bytes) + the
+    // liveness bitmap, per row, across all tiers — regardless of how
+    // the rows are distributed over segments. The published snapshot
+    // duplicates the segment *list* (Arc clones, not cells), so the
+    // ceiling stays within a small multiple.
+    assert!(full >= 1_000 * dim * 2 + 1_000 * 8 * 2 + 1_000 / 8);
+    assert!(
+        full <= 6 * (1_000 * (dim + 8) * 2),
+        "unexpected slack: {full}"
+    );
+
+    // Segment metadata must be accounted: more segments over the same
+    // rows costs more than one arena holding them.
+    let mut monolith = EpochIndex::with_thresholds(t, ka, FilterConfig::default(), 2_000, 2, 4_000);
+    for i in 0..1_000i64 {
+        monolith.insert(&vec![i % 200; dim]);
+    }
+    assert!(monolith.segments().is_empty());
+    assert!(full >= monolith.heap_bytes() / 2);
+
+    // Epoch garbage: superseded snapshots awaiting reclamation are
+    // charged until readers quiesce and the publish path collects them.
+    let before_churn = index.heap_bytes();
+    let _reader = index.reader();
+
+    // Sustained churn: enroll + revoke + maintain + periodic compact
+    // stays bounded by a small multiple of the quiescent footprint even
+    // though every round publishes a fresh snapshot (whose predecessor
+    // lands on the garbage list until reclaimed).
+    let bound = before_churn;
+    for round in 0..2_000i64 {
+        let id = index.insert(&vec![round % 200; dim]);
+        index.remove(id);
+        if round % 16 == 0 {
+            index.maintain();
+        }
+        if round % 64 == 0 {
+            index.compact();
+        }
+        assert!(
+            index.heap_bytes() <= 3 * bound,
+            "heap grew unbounded under churn (round {round})"
+        );
+    }
+    index.compact();
+    assert_eq!(index.len(), 1_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Churn-bounded memory, property form: for random tier thresholds
+    /// and churn scripts, `heap_bytes` after `compact()` is bounded by
+    /// a constant multiple of the live population's raw cell bytes —
+    /// segment metadata, planes, and the garbage list included — never
+    /// by the number of enrollments ever made.
+    #[test]
+    fn epoch_heap_bytes_bounded_by_live_population(
+        staging_cap in 2usize..32,
+        merge_runs in 2usize..5,
+        seal_mul in 1usize..4,
+        keep in 8usize..64,
+        churn in 100usize..400,
+        dim in 2usize..16,
+    ) {
+        use fuzzy_id::core::{EpochIndex, EpochRead, IndexReader};
+
+        let (t, ka) = (100u64, 400u64);
+        let seal_rows = staging_cap * merge_runs * seal_mul;
+        let mut index =
+            EpochIndex::with_thresholds(t, ka, FilterConfig::default(), staging_cap, merge_runs, seal_rows);
+        let reader = index.reader();
+        for i in 0..keep {
+            index.insert(&vec![i as i64 % 200; dim]);
+        }
+        for round in 0..churn {
+            let id = index.insert(&vec![round as i64 % 200; dim]);
+            index.remove(id);
+            if round % 32 == 31 {
+                index.maintain();
+            }
+        }
+        index.compact();
+        prop_assert_eq!(index.len(), keep);
+        // Ceiling: canonical cells are 2 bytes at ka = 400; planes add
+        // 8 lanes × 2 bytes; bitmap, Arc/metadata, the published
+        // snapshot, and pinned garbage fit in the constant factor. The
+        // additive term covers fixed per-index overhead at tiny `keep`.
+        let raw = keep * dim * 2;
+        prop_assert!(
+            index.heap_bytes() <= 24 * raw + 4096 * (1 + std::mem::size_of::<usize>()),
+            "heap {} not bounded by live population ({} raw bytes, {} churned)",
+            index.heap_bytes(), raw, churn
+        );
+        // The detached reader still answers from the last publish.
+        prop_assert_eq!(reader.find_first(&vec![0; dim]), index.lookup(&vec![0; dim]));
+    }
+}

@@ -4,7 +4,7 @@
 //! operational contracts (bounded queue backpressure, deadline flush on
 //! a quiet server) hold.
 
-use fuzzy_id::core::ScanIndex;
+use fuzzy_id::core::EpochIndex;
 use fuzzy_id::protocol::concurrent::SharedServer;
 use fuzzy_id::protocol::scheduler::{ScheduledServer, SchedulerConfig};
 use fuzzy_id::protocol::{BiometricDevice, FilterConfig, ProtocolError, SystemParams, WireHelper};
@@ -20,9 +20,9 @@ fn build_population(
     shards: usize,
     users: usize,
     seed: u64,
-) -> (SharedServer<ScanIndex>, BiometricDevice, Vec<Vec<i64>>) {
+) -> (SharedServer<EpochIndex>, BiometricDevice, Vec<Vec<i64>>) {
     let params = SystemParams::insecure_test_defaults();
-    let server = SharedServer::<ScanIndex>::with_shards(params.clone(), shards);
+    let server = SharedServer::<EpochIndex>::with_shards(params.clone(), shards);
     let device = BiometricDevice::new(params.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut bios = Vec::new();
@@ -41,7 +41,7 @@ fn build_population(
 /// design, so equivalence is over the matched record, not the bytes).
 fn matched_helpers(
     results: &[Result<fuzzy_id::protocol::IdentChallenge, ProtocolError>],
-    server: &SharedServer<ScanIndex>,
+    server: &SharedServer<EpochIndex>,
 ) -> Vec<Option<WireHelper>> {
     results
         .iter()
@@ -149,7 +149,7 @@ fn scheduled_batches_agree_across_scan_kernels() {
     for params in configs {
         // Identical seed → identical enrollments and probes on both
         // servers; only the scan kernel differs.
-        let server = SharedServer::<ScanIndex>::with_shards(params.clone(), 2);
+        let server = SharedServer::<EpochIndex>::with_shards(params.clone(), 2);
         let device = BiometricDevice::new(params.clone());
         let mut rng = StdRng::seed_from_u64(0xF117);
         let mut probes = Vec::new();
@@ -242,7 +242,7 @@ fn lone_query_flushes_within_the_window() {
     let window = Duration::from_millis(50);
     // Exercise the SharedServer::scheduled constructor path against an
     // equivalent fresh population.
-    let scheduler = SharedServer::<ScanIndex>::scheduled(
+    let scheduler = SharedServer::<EpochIndex>::scheduled(
         params,
         2,
         SchedulerConfig {

@@ -1,0 +1,441 @@
+//! Epoch-based reclamation and an atomically swappable `Arc` cell —
+//! the offline stand-in for `crossbeam-epoch` / `arc-swap`, reduced to
+//! the one publication pattern this workspace needs: a writer installs
+//! immutable snapshots into an [`ArcCell`], readers load them without
+//! ever taking a lock, and replaced snapshots are freed only once no
+//! reader can still be dereferencing them.
+//!
+//! # How it works
+//!
+//! A global epoch counter ticks forward on every [`ArcCell::store`].
+//! Readers *pin* the current epoch into a per-thread slot before
+//! touching the cell's pointer and unpin after upgrading it to a real
+//! `Arc` (which from then on keeps the value alive by refcount). A
+//! replaced value is tagged with the epoch at which it was unpublished
+//! and parked on a retire list; it is dropped only when every pinned
+//! slot has advanced strictly past that tag — at which point no reader
+//! can still hold the raw pointer without also holding an `Arc`.
+//!
+//! The safety argument, in the `SeqCst` total order every marked
+//! operation participates in:
+//!
+//! 1. a reader performs `slot.store(E_r)` → `ptr.load()`;
+//! 2. a writer performs `ptr.swap(new)` → `tag = EPOCH.fetch_add(1)`;
+//! 3. if the reader observed the *old* pointer, its `ptr.load` ordered
+//!    before the writer's `ptr.swap`, hence its `slot.store` (and the
+//!    `EPOCH.load` feeding it) ordered before the writer's `fetch_add`,
+//!    hence `E_r ≤ tag`;
+//! 4. reclamation frees a value only when the minimum pinned epoch is
+//!    strictly greater than its tag, so the reader above blocks the
+//!    free until it unpins — and it unpins only after
+//!    `Arc::increment_strong_count` has secured the value.
+//!
+//! Pinning is wait-free after a thread's first pin (one `SeqCst` load +
+//! store each way); the first pin claims one of `PIN_SLOTS` static
+//! slots for the thread's lifetime. If every slot is taken, surplus
+//! threads share a mutex-guarded overflow slot — correctness is
+//! unaffected, those threads merely serialize their pin bookkeeping.
+
+// The sanctioned exception to the crate-level `deny(unsafe_code)`: the
+// raw-pointer ⇄ `Arc` round-trips at the heart of any epoch scheme.
+// Every `unsafe` block cites the invariant that justifies it.
+#![allow(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of static per-thread pin slots. Threads beyond this many
+/// concurrent *pinning* threads fall back to the shared overflow slot.
+const PIN_SLOTS: usize = 128;
+
+/// Global epoch. Starts at 1 so a slot value of 0 always means "idle".
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Per-thread pin slots: 0 = idle, otherwise the epoch the thread was
+/// pinned at.
+static SLOTS: [AtomicU64; PIN_SLOTS] = [const { AtomicU64::new(0) }; PIN_SLOTS];
+
+/// Slot ownership claims (a thread owns its slot until it exits).
+static CLAIMS: [AtomicUsize; PIN_SLOTS] = [const { AtomicUsize::new(0) }; PIN_SLOTS];
+
+/// Pin bookkeeping for threads that could not claim a private slot.
+static OVERFLOW: Mutex<OverflowPins> = Mutex::new(OverflowPins {
+    count: 0,
+    epoch: u64::MAX,
+});
+
+struct OverflowPins {
+    /// Number of overflow threads currently pinned.
+    count: usize,
+    /// The *oldest* epoch any of them pinned at (`u64::MAX` when none).
+    epoch: u64,
+}
+
+/// Which pin slot this thread uses, with reentrancy depth (nested pins
+/// keep the outermost epoch, so a pin inside a pinned scope is free).
+struct ThreadPin {
+    slot: Option<usize>,
+    depth: Cell<usize>,
+}
+
+impl ThreadPin {
+    fn claim() -> ThreadPin {
+        let mut slot = None;
+        for (i, claim) in CLAIMS.iter().enumerate() {
+            if claim
+                .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                slot = Some(i);
+                break;
+            }
+        }
+        ThreadPin {
+            slot,
+            depth: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for ThreadPin {
+    fn drop(&mut self) {
+        if let Some(i) = self.slot {
+            SLOTS[i].store(0, Ordering::SeqCst);
+            CLAIMS[i].store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_PIN: ThreadPin = ThreadPin::claim();
+}
+
+/// The smallest epoch any thread is currently pinned at (`u64::MAX`
+/// when no thread is pinned). Values retired at a strictly smaller
+/// epoch are unreachable.
+fn min_pinned() -> u64 {
+    let mut min = u64::MAX;
+    for slot in &SLOTS {
+        let e = slot.load(Ordering::SeqCst);
+        if e != 0 {
+            min = min.min(e);
+        }
+    }
+    let overflow = OVERFLOW.lock().expect("overflow pin state poisoned");
+    if overflow.count > 0 {
+        min = min.min(overflow.epoch);
+    }
+    min
+}
+
+/// An RAII epoch pin: while alive, no value retired at or after the
+/// pinned epoch is reclaimed. Created by [`pin`]; not `Send` (it must
+/// unpin on the thread that pinned).
+pub struct PinGuard {
+    slot: Option<usize>,
+    // !Send + !Sync: the guard manipulates this thread's slot.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Pins the current thread to the current epoch. Reentrant: nested
+/// pins are free and keep the outermost epoch.
+pub fn pin() -> PinGuard {
+    THREAD_PIN.with(|tp| {
+        let depth = tp.depth.get();
+        tp.depth.set(depth + 1);
+        if depth == 0 {
+            match tp.slot {
+                Some(i) => SLOTS[i].store(EPOCH.load(Ordering::SeqCst), Ordering::SeqCst),
+                None => {
+                    let mut overflow = OVERFLOW.lock().expect("overflow pin state poisoned");
+                    if overflow.count == 0 {
+                        overflow.epoch = EPOCH.load(Ordering::SeqCst);
+                    }
+                    overflow.count += 1;
+                }
+            }
+        }
+        PinGuard {
+            slot: tp.slot,
+            _not_send: std::marker::PhantomData,
+        }
+    })
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        // Unpin only when the *last* live guard on this thread drops —
+        // guards may drop in any order, so the decision is keyed off
+        // the reentrancy depth, not off which guard was created first.
+        let last = THREAD_PIN.with(|tp| {
+            let depth = tp.depth.get() - 1;
+            tp.depth.set(depth);
+            depth == 0
+        });
+        if !last {
+            return;
+        }
+        match self.slot {
+            Some(i) => SLOTS[i].store(0, Ordering::SeqCst),
+            None => {
+                let mut overflow = OVERFLOW.lock().expect("overflow pin state poisoned");
+                overflow.count -= 1;
+                if overflow.count == 0 {
+                    overflow.epoch = u64::MAX;
+                }
+            }
+        }
+    }
+}
+
+/// A value replaced out of an [`ArcCell`], parked until the epoch
+/// passes its tag.
+struct Retired<T> {
+    tag: u64,
+    ptr: *const T,
+}
+
+// SAFETY: the raw pointer is an `Arc<T>` payload pointer owned by the
+// retire list (one strong count is dedicated to it); it is only ever
+// turned back into an `Arc` — and dropped — under the cell's writer
+// mutex. `T: Send + Sync` makes cross-thread drop sound.
+unsafe impl<T: Send + Sync> Send for Retired<T> {}
+
+/// Writer-side state: the retire list, behind the mutex that also
+/// serializes all `store`s.
+struct WriterState<T> {
+    retired: Vec<Retired<T>>,
+}
+
+/// A lock-free-readable, atomically swappable `Arc<T>` slot.
+///
+/// [`ArcCell::load`] never blocks and never takes a lock: it pins the
+/// epoch, reads the current pointer, bumps the refcount, and unpins.
+/// [`ArcCell::store`] (serialized by an internal mutex) publishes a new
+/// value, retires the old one, and reclaims any retired value no
+/// pinned reader can still see.
+///
+/// ```rust
+/// use crossbeam::epoch::ArcCell;
+/// use std::sync::Arc;
+///
+/// let cell = ArcCell::new(Arc::new(vec![1, 2, 3]));
+/// assert_eq!(*cell.load(), vec![1, 2, 3]);
+/// cell.store(Arc::new(vec![4]));
+/// assert_eq!(*cell.load(), vec![4]);
+/// ```
+pub struct ArcCell<T: Send + Sync> {
+    ptr: AtomicPtr<T>,
+    writer: Mutex<WriterState<T>>,
+}
+
+impl<T: Send + Sync> ArcCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> ArcCell<T> {
+        ArcCell {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            writer: Mutex::new(WriterState {
+                retired: Vec::new(),
+            }),
+        }
+    }
+
+    /// Loads the current value without blocking (the lock-free read
+    /// path). The returned `Arc` stays valid regardless of subsequent
+    /// [`ArcCell::store`]s.
+    pub fn load(&self) -> Arc<T> {
+        let guard = pin();
+        let ptr = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and cannot have been
+        // reclaimed: reclamation requires every pinned epoch to exceed
+        // the retire tag, and this thread pinned *before* loading the
+        // pointer (see the module-level ordering argument), so as long
+        // as `guard` lives the value is alive. The increment secures a
+        // strong reference before the pin is released.
+        unsafe { Arc::increment_strong_count(ptr) };
+        drop(guard);
+        // SAFETY: the strong count incremented above is handed to the
+        // returned `Arc`.
+        unsafe { Arc::from_raw(ptr) }
+    }
+
+    /// Publishes `value`, retiring the previous one. Stores are
+    /// serialized by an internal mutex (single-writer by design);
+    /// readers are never blocked.
+    pub fn store(&self, value: Arc<T>) {
+        let mut writer = self.writer.lock().expect("ArcCell writer poisoned");
+        let old = self
+            .ptr
+            .swap(Arc::into_raw(value).cast_mut(), Ordering::SeqCst);
+        let tag = EPOCH.fetch_add(1, Ordering::SeqCst);
+        writer.retired.push(Retired { tag, ptr: old });
+        Self::reclaim(&mut writer);
+    }
+
+    /// Drops every retired value whose tag every pinned reader has
+    /// strictly passed.
+    fn reclaim(writer: &mut WriterState<T>) {
+        let min = min_pinned();
+        writer.retired.retain(|r| {
+            if r.tag < min {
+                // SAFETY: tag < min_pinned means no reader pinned at or
+                // before the swap that unpublished this pointer is
+                // still pinned; any thread that loaded it has either
+                // secured an `Arc` (refcount) or unpinned without
+                // using it. Reconstituting the `Arc` drops the strong
+                // count the retire list owned.
+                drop(unsafe { Arc::from_raw(r.ptr) });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Attempts to reclaim retired values now (writer-side maintenance;
+    /// also runs on every [`ArcCell::store`]). Returns how many retired
+    /// values remain parked.
+    pub fn collect(&self) -> usize {
+        let mut writer = self.writer.lock().expect("ArcCell writer poisoned");
+        Self::reclaim(&mut writer);
+        writer.retired.len()
+    }
+
+    /// Number of replaced values awaiting reclamation — the epoch
+    /// garbage list length (memory-accounting hook).
+    pub fn retired_len(&self) -> usize {
+        self.writer
+            .lock()
+            .expect("ArcCell writer poisoned")
+            .retired
+            .len()
+    }
+}
+
+impl<T: Send + Sync> Drop for ArcCell<T> {
+    fn drop(&mut self) {
+        let writer = self.writer.get_mut().expect("ArcCell writer poisoned");
+        for r in writer.retired.drain(..) {
+            // SAFETY: exclusive access (`&mut self`): no reader can be
+            // mid-load on this cell, so the retire list's strong counts
+            // can be released unconditionally.
+            drop(unsafe { Arc::from_raw(r.ptr) });
+        }
+        // SAFETY: same exclusivity; the cell owns one strong count for
+        // the currently published value.
+        drop(unsafe { Arc::from_raw(self.ptr.load(Ordering::SeqCst)) });
+    }
+}
+
+impl<T: Send + Sync + std::fmt::Debug> std::fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcCell")
+            .field("value", &self.load())
+            .field("retired", &self.retired_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// Serializes the tests that assert on reclamation counts: pins
+    /// and the epoch are process-global, so a concurrently pinned
+    /// sibling test would legitimately park reclamation.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serialize() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Counts drops so reclamation is observable.
+    struct DropProbe(Arc<AtomicUsize>);
+    impl Drop for DropProbe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let cell = ArcCell::new(Arc::new(7u64));
+        assert_eq!(*cell.load(), 7);
+        cell.store(Arc::new(8));
+        assert_eq!(*cell.load(), 8);
+    }
+
+    #[test]
+    fn replaced_values_are_dropped_once_unpinned() {
+        let _serial = serialize();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcCell::new(Arc::new(DropProbe(Arc::clone(&drops))));
+        {
+            let _pinned = pin();
+            cell.store(Arc::new(DropProbe(Arc::clone(&drops))));
+            // The pin (taken before the store) blocks reclamation.
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+            assert_eq!(cell.retired_len(), 1);
+        }
+        cell.collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn nested_pins_keep_outermost_epoch() {
+        let _serial = serialize();
+        let outer = pin();
+        let inner = pin();
+        drop(outer);
+        // Still pinned (inner guard active): a store must park.
+        let cell = ArcCell::new(Arc::new(1u8));
+        cell.store(Arc::new(2));
+        assert_eq!(cell.retired_len(), 1);
+        drop(inner);
+        assert_eq!(cell.collect(), 0);
+    }
+
+    #[test]
+    fn loads_see_only_published_values_under_churn() {
+        let _serial = serialize();
+        let cell = Arc::new(ArcCell::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = *cell.load();
+                    assert!(v >= last, "loads went backwards: {last} -> {v}");
+                    last = v;
+                }
+            }));
+        }
+        for i in 1..=1000u64 {
+            cell.store(Arc::new(i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().expect("reader panicked");
+        }
+        assert_eq!(*cell.load(), 1000);
+        // All readers exited and unpinned: everything reclaims.
+        assert_eq!(cell.collect(), 0);
+    }
+
+    #[test]
+    fn dropping_the_cell_frees_current_and_retired() {
+        let _serial = serialize();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcCell::new(Arc::new(DropProbe(Arc::clone(&drops))));
+        let _pinned = pin();
+        cell.store(Arc::new(DropProbe(Arc::clone(&drops))));
+        drop(cell);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,10 +1,17 @@
 //! Offline, API-compatible subset of `crossbeam`.
 //!
-//! Provides [`scope`] (over `std::thread::scope`) and [`channel`]
-//! (over `std::sync::mpsc`) — the two pieces this workspace uses for
-//! its concurrency tests and the in-memory transport.
+//! Provides [`scope`] (over `std::thread::scope`), [`channel`] (over
+//! `std::sync::mpsc`), and [`epoch`] — epoch-based reclamation with an
+//! atomically swappable [`epoch::ArcCell`], the publication primitive
+//! behind the lock-free identification read path.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `epoch` module's raw-pointer ⇄ `Arc`
+// round-trips are the one sanctioned `unsafe` exception (it scopes its
+// own `allow` with the safety argument documented there). Everything
+// else in the shim remains unsafe-free.
+#![deny(unsafe_code)]
+
+pub mod epoch;
 
 use std::any::Any;
 
