@@ -26,6 +26,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fe_bench::{smoke, SynthPopulation};
 use fe_core::EpochIndex;
+use fe_metrics::telemetry::percentile;
 use fe_protocol::concurrent::SharedServer;
 use fe_protocol::{ProtocolError, SystemParams};
 use rand::rngs::StdRng;
@@ -34,12 +35,6 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 const DIM: usize = 64;
-
-/// `sorted` latencies (seconds) → the `q`-quantile by nearest rank.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
-}
 
 /// Samples `count` individual worst-case (no-match) identification
 /// calls and returns sorted per-call latencies in seconds.

@@ -1,0 +1,193 @@
+//! **Networked front door (PR 9 acceptance)**: end-to-end latency of
+//! identification over real loopback sockets, and wire-level load
+//! shedding under an overload storm.
+//!
+//! Three phases against a `NetServer` on `127.0.0.1`:
+//!
+//! * **rtt** — criterion-timed closed-loop `Client::identify` round
+//!   trips (one connection, miss probes → full worst-case sweep each
+//!   call): the per-call overhead of handshake-amortized framing +
+//!   envelope + scheduler + scan, as one number.
+//! * **steady** — an open-loop run (`fe_bench::netload`) at a pace the
+//!   server sustains; p50/p99 land in `BENCH_SMOKE.json` as
+//!   `net_p50_us` / `net_p99_us`. Latencies are measured from each
+//!   request's *scheduled* send time, so queueing the server causes is
+//!   charged, not hidden.
+//! * **storm** — an unpaced pipelined burst against a deliberately tiny
+//!   admission queue (`queue_capacity` 4, one worker, a long batch
+//!   window): most requests must be shed, and every shed must arrive as
+//!   a wire-level `OVERLOADED` **response** — the connection stays up
+//!   and keeps answering. `net_storm_shed` / `net_storm_sent` record
+//!   the observed shedding; the run asserts sheds actually happened and
+//!   that `shed + answered == sent`.
+//!
+//! With `FE_BENCH_GATE` set the run fails unless the storm shed at
+//! least one request *and* every request got a response.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fe_bench::{netload, smoke, SynthPopulation};
+use fe_net::{Client, NetConfig, NetServer};
+use fe_protocol::scheduler::{ScheduledServer, SchedulerConfig};
+use fe_protocol::SystemParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 64;
+
+/// Builds a probe that matches nobody: the worst case (full sweep) and
+/// the steady state of a deployed identification service under probing.
+fn miss_probe(pop: &SynthPopulation, params: &SystemParams, rng: &mut StdRng) -> Vec<i64> {
+    pop.genuine_probe(params, 0, rng)
+        .iter()
+        .map(|&x| x + 77)
+        .collect()
+}
+
+fn bench_net_loopback(c: &mut Criterion) {
+    let smoke_run = smoke::smoke_mode();
+    let population = if smoke_run { 5_000 } else { 50_000 };
+    let params = SystemParams::insecure_test_defaults();
+    let mut rng = StdRng::seed_from_u64(0x9E7);
+    let pop = SynthPopulation::build(&params, population, DIM, &mut rng);
+    let fingerprint = params.fingerprint();
+
+    // ---- serving stack: scheduler + TCP front door -------------------
+    let scheduler = Arc::new(ScheduledServer::scan(
+        params.clone(),
+        2,
+        SchedulerConfig {
+            rng_seed: 0xF00D,
+            ..SchedulerConfig::default()
+        },
+    ));
+    for record in &pop.records {
+        scheduler.server().enroll(record.clone()).unwrap();
+    }
+    let server = NetServer::spawn(Arc::clone(&scheduler), "127.0.0.1:0", NetConfig::default())
+        .expect("bind front door");
+    let addr = server.local_addr();
+
+    let misses: Vec<Vec<i64>> = (0..32)
+        .map(|_| miss_probe(&pop, &params, &mut rng))
+        .collect();
+
+    // ---- phase 1: closed-loop round-trip time ------------------------
+    let mut client = Client::connect(addr, &params).expect("connect");
+    let mut group = c.benchmark_group("net_loopback");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke_run { 1 } else { 3 }));
+    group.warm_up_time(Duration::from_millis(if smoke_run { 100 } else { 500 }));
+    group.bench_function("identify/rtt_miss", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            client
+                .identify(misses[i % misses.len()].clone())
+                .expect_err("miss probe must not match")
+        })
+    });
+    group.finish();
+    drop(client);
+
+    // ---- phase 2: open-loop steady state -----------------------------
+    let steady = netload::run(
+        addr,
+        fingerprint,
+        &misses,
+        &netload::NetLoadConfig {
+            connections: 4,
+            requests_per_conn: if smoke_run { 100 } else { 500 },
+            interval: Duration::from_millis(2),
+            ..netload::NetLoadConfig::default()
+        },
+    );
+    assert_eq!(
+        steady.shed + steady.other_errors,
+        0,
+        "steady pace must not shed"
+    );
+    let p50 = steady.percentile_us(0.50);
+    let p99 = steady.percentile_us(0.99);
+
+    // ---- phase 3: overload storm against a tiny queue ----------------
+    // A second stack whose scheduler *must* shed: one worker holding
+    // batches open for a long window, four admission slots, and an
+    // unpaced pipelined burst many times deeper than the queue.
+    let storm_sched = Arc::new(ScheduledServer::scan(
+        params.clone(),
+        1,
+        SchedulerConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(20),
+            queue_capacity: 4,
+            workers: 1,
+            rng_seed: 0xBAD,
+        },
+    ));
+    for record in &pop.records[..population.min(2_000)] {
+        storm_sched.server().enroll(record.clone()).unwrap();
+    }
+    let storm_server = NetServer::spawn(
+        Arc::clone(&storm_sched),
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .expect("bind storm front door");
+    let storm = netload::run(
+        storm_server.local_addr(),
+        fingerprint,
+        &misses,
+        &netload::NetLoadConfig {
+            connections: 4,
+            requests_per_conn: if smoke_run { 50 } else { 200 },
+            interval: Duration::ZERO,
+            ..netload::NetLoadConfig::default()
+        },
+    );
+    let answered = storm.matched + storm.no_match + storm.shed + storm.other_errors;
+    assert_eq!(
+        answered, storm.sent as u64,
+        "every request must get a wire-level response, shed or served"
+    );
+
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "net_loopback/{population}: steady p50 {p50:.1} µs p99 {p99:.1} µs \
+         ({} reqs); storm {} sent / {} shed / {} served ({hw_threads} hw threads)",
+        steady.sent,
+        storm.sent,
+        storm.shed,
+        storm.matched + storm.no_match,
+    );
+    smoke::record(
+        "net_loopback",
+        &[
+            ("net_p50_us", p50),
+            ("net_p99_us", p99),
+            ("net_requests", steady.sent as f64),
+            ("net_storm_sent", storm.sent as f64),
+            ("net_storm_shed", storm.shed as f64),
+            ("net_storm_served", (storm.matched + storm.no_match) as f64),
+            ("hw_threads", hw_threads as f64),
+        ],
+    );
+
+    if std::env::var_os("FE_BENCH_GATE").is_some() {
+        // The acceptance bound: overload surfaces as wire-level sheds,
+        // never as dropped connections or unanswered requests.
+        assert!(
+            storm.shed > 0,
+            "FE_BENCH_GATE: the storm (queue_capacity 4, {} pipelined requests) \
+             shed nothing — backpressure is not reaching the wire",
+            storm.sent,
+        );
+    }
+
+    storm_server.shutdown();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_net_loopback);
+criterion_main!(benches);

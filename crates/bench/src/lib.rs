@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netload;
 pub mod smoke;
 
 use fe_core::SecureSketch;

@@ -1,0 +1,186 @@
+//! Open-loop loopback load generator for the `fe-net` front door.
+//!
+//! The in-process benches measure the scheduler and the scan kernel;
+//! this module measures what a *caller on a socket* experiences:
+//! handshake, framing, envelope codec, the per-connection reader/writer
+//! pipeline, and the scheduler behind it — end to end.
+//!
+//! # Why open-loop
+//!
+//! A closed-loop client (send, wait, send) self-throttles: when the
+//! server slows down, the offered load drops, and the latency numbers
+//! flatter the server (coordinated omission). This generator instead
+//! fixes a **send schedule** per connection — request `i` is due at
+//! `start + i·interval` — and each latency is measured from the request's
+//! *scheduled* send time to its response. A server that falls behind
+//! pays for the queueing it causes; a shed (`OVERLOADED`) still counts
+//! as a completed (fast-failed) request, exactly as a real caller would
+//! see it.
+//!
+//! Each connection runs a **sender thread** (paces the schedule, writes
+//! pipelined `Identify` frames) and a **receiver thread** (reads
+//! responses, pairs them with send stamps by request id). The server
+//! answers each connection's requests in arrival order, so the receiver
+//! verifies ids match FIFO — any desynchronisation is a protocol bug
+//! and panics the run.
+
+use fe_core::codec::Fingerprint;
+use fe_metrics::telemetry::percentile;
+use fe_net::envelope::{self, ResponseBody};
+use fe_net::frame::{read_frame, write_frame};
+use fe_net::handshake::client_handshake;
+use fe_net::{ErrorCode, DEFAULT_MAX_FRAME};
+use fe_protocol::wire::Message;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Tunables for one load run.
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Concurrent connections, each with its own send schedule.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_conn: usize,
+    /// Scheduled gap between a connection's consecutive requests
+    /// (`Duration::ZERO` = an unpaced storm).
+    pub interval: Duration,
+    /// Frame size limit (must match the server's).
+    pub max_frame: usize,
+}
+
+impl Default for NetLoadConfig {
+    fn default() -> NetLoadConfig {
+        NetLoadConfig {
+            connections: 4,
+            requests_per_conn: 64,
+            interval: Duration::from_micros(500),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Default)]
+pub struct NetLoadReport {
+    /// Requests sent (= responses received; every request is answered).
+    pub sent: usize,
+    /// Challenges received (a probe matched an enrolled record).
+    pub matched: u64,
+    /// `NO_MATCH` verdicts (expected for miss probes).
+    pub no_match: u64,
+    /// `OVERLOADED` verdicts — wire-level sheds.
+    pub shed: u64,
+    /// Any other error code.
+    pub other_errors: u64,
+    /// Per-request latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<f64>,
+}
+
+impl NetLoadReport {
+    /// Exact nearest-rank quantile of the latencies, in microseconds.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        percentile(&self.latencies_us, q)
+    }
+
+    fn absorb(&mut self, other: NetLoadReport) {
+        self.sent += other.sent;
+        self.matched += other.matched;
+        self.no_match += other.no_match;
+        self.shed += other.shed;
+        self.other_errors += other.other_errors;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Runs one open-loop storm of `Identify` requests against a served
+/// address: `connections` sockets, each sending `requests_per_conn`
+/// probes on its schedule (probes are dealt round-robin from `probes`).
+/// Blocks until every response has arrived.
+///
+/// # Panics
+/// Panics on connection, handshake, or protocol violations (a load
+/// generator that soldiers past a desync would report garbage) and if
+/// `probes` is empty.
+pub fn run(
+    addr: SocketAddr,
+    fingerprint: Fingerprint,
+    probes: &[Vec<i64>],
+    config: &NetLoadConfig,
+) -> NetLoadReport {
+    assert!(!probes.is_empty(), "need at least one probe");
+    let mut report = NetLoadReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|conn| {
+                scope.spawn(move || connection_run(addr, fingerprint, probes, config, conn))
+            })
+            .collect();
+        for handle in handles {
+            report.absorb(handle.join().expect("load connection panicked"));
+        }
+    });
+    report
+        .latencies_us
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    report
+}
+
+/// One connection's sender/receiver pair.
+fn connection_run(
+    addr: SocketAddr,
+    fingerprint: Fingerprint,
+    probes: &[Vec<i64>],
+    config: &NetLoadConfig,
+    conn: usize,
+) -> NetLoadReport {
+    let mut stream = TcpStream::connect(addr).expect("connect to front door");
+    stream.set_nodelay(true).expect("set nodelay");
+    client_handshake(&mut stream, &fingerprint, config.max_frame).expect("handshake");
+    let mut read_half = stream.try_clone().expect("clone stream");
+
+    let total = config.requests_per_conn;
+    // Stamps flow sender → receiver in send order; the server answers
+    // in that same order, so the receiver pairs them FIFO.
+    let (stamp_tx, stamp_rx) = mpsc::channel::<(u64, Instant)>();
+
+    let mut report = NetLoadReport::default();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let start = Instant::now();
+            for i in 0..total {
+                let due = start + config.interval * (i as u32);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                // Open-loop stamp: the *scheduled* send time, so server
+                // slowness that backs the sender up is charged to the
+                // measured latency instead of silently shrinking load.
+                stamp_tx
+                    .send((i as u64, due.max(start)))
+                    .expect("receiver alive");
+                let probe = probes[(conn + i * config.connections) % probes.len()].clone();
+                let request = envelope::encode_request(i as u64, &Message::Identify { probe });
+                write_frame(&mut stream, &request, config.max_frame).expect("write request");
+            }
+        });
+
+        for _ in 0..total {
+            let (expected, stamp) = stamp_rx.recv().expect("sender alive");
+            let payload = read_frame(&mut read_half, config.max_frame).expect("read response");
+            let (id, response) = envelope::decode_response(&payload).expect("decode response");
+            assert_eq!(id, expected, "front door answered out of order");
+            let elapsed = Instant::now().saturating_duration_since(stamp);
+            report.latencies_us.push(elapsed.as_secs_f64() * 1e6);
+            report.sent += 1;
+            match response {
+                Ok(ResponseBody::Challenge(_)) => report.matched += 1,
+                Ok(other) => panic!("identify answered with {other:?}"),
+                Err(e) if e.code == ErrorCode::NoMatch => report.no_match += 1,
+                Err(e) if e.code == ErrorCode::Overloaded => report.shed += 1,
+                Err(_) => report.other_errors += 1,
+            }
+        }
+    });
+    report
+}

@@ -163,6 +163,31 @@ impl Histogram {
     }
 }
 
+/// Exact nearest-rank quantile over **sorted** samples — the companion
+/// to [`Histogram`] for offline analysis: benches and load generators
+/// that hold every sample in memory want exact percentiles, not the
+/// ≤ 2× log-bucket bounds the live histograms trade for wait-freedom.
+///
+/// `q` is the quantile in `[0, 1]` (`0.5` = median, `0.99` = p99),
+/// resolved by nearest rank: the smallest sample such that at least
+/// `⌈q·n⌉` samples are ≤ it. Returns `0.0` for an empty slice.
+///
+/// ```rust
+/// use fe_metrics::telemetry::percentile;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+/// assert_eq!(percentile(&sorted, 0.50), 3.0);
+/// assert_eq!(percentile(&sorted, 0.99), 100.0);
+/// assert_eq!(percentile(&[], 0.5), 0.0);
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +256,18 @@ mod tests {
         assert!(snap.p90 <= 15);
         assert!(snap.p99 >= 65_536, "p99 = {}", snap.p99);
         assert_eq!(snap.max, 100_000);
+    }
+
+    #[test]
+    fn exact_percentile_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.90), 90.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[], 0.99), 0.0);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! The blocking client: one TCP connection, synchronous
+//! request/response calls mirroring the server op surface.
+//!
+//! [`Client`] is deliberately the *simple* consumer of the protocol —
+//! one request in flight at a time, strict response-id checking. The
+//! protocol itself allows pipelining (ids exist so responses can be
+//! paired up); the loopback load generator in `fe-bench` drives split
+//! sockets directly through [`crate::envelope`] for that.
+
+use crate::envelope::{self, ResponseBody};
+use crate::error::{NetError, WireError};
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::handshake::client_handshake;
+use fe_core::codec::Fingerprint;
+use fe_protocol::wire::Message;
+use fe_protocol::{
+    EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SystemParams, UserId,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected, handshaken client.
+///
+/// Every call sends one request frame and blocks for its response;
+/// remote errors come back as [`NetError::Remote`] carrying the wire
+/// [`ErrorCode`](crate::ErrorCode) — `OVERLOADED` in particular is how
+/// server-side load shedding reaches the caller.
+///
+/// ```rust
+/// use fe_net::{Client, NetConfig, NetServer};
+/// use fe_protocol::scheduler::{ScheduledServer, SchedulerConfig};
+/// use fe_protocol::{BiometricDevice, SystemParams};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = SystemParams::insecure_test_defaults();
+/// let (server, _scheduler) = NetServer::scan(
+///     params.clone(),
+///     1,
+///     SchedulerConfig { rng_seed: 7, ..SchedulerConfig::default() },
+///     "127.0.0.1:0",
+///     NetConfig::default(),
+/// )?;
+///
+/// // Client side: a device enrolls, then identifies itself.
+/// let device = BiometricDevice::new(params.clone());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let bio = params.sketch().line().random_vector(16, &mut rng);
+///
+/// let mut client = Client::connect(server.local_addr(), &params)?;
+/// client.enroll(device.enroll("alice", &bio, &mut rng)?)?;
+///
+/// let probe = device.probe_sketch(&bio, &mut rng)?;
+/// let challenge = client.identify(probe)?;
+/// let response = device.respond(&bio, &challenge, &mut rng)?;
+/// let outcome = client.finish_identification(&response)?;
+/// assert_eq!(outcome.identity(), Some("alice"));
+///
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and handshakes under `params` with the default frame
+    /// limit ([`DEFAULT_MAX_FRAME`]).
+    ///
+    /// # Errors
+    /// IO errors; [`NetError::VersionMismatch`] /
+    /// [`NetError::FingerprintMismatch`] when the server rejects the
+    /// hello.
+    pub fn connect<A: ToSocketAddrs>(addr: A, params: &SystemParams) -> Result<Client, NetError> {
+        Client::connect_with(addr, params.fingerprint(), DEFAULT_MAX_FRAME)
+    }
+
+    /// Connects with an explicit fingerprint and frame limit (both must
+    /// match the server's).
+    ///
+    /// # Errors
+    /// Same as [`Client::connect`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        fingerprint: Fingerprint,
+        max_frame: usize,
+    ) -> Result<Client, NetError> {
+        let mut stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        client_handshake(&mut stream, &fingerprint, max_frame)?;
+        Ok(Client {
+            stream,
+            max_frame,
+            next_id: 0,
+        })
+    }
+
+    /// One synchronous round trip: send `msg`, await the response with
+    /// the matching id, surface remote errors.
+    fn call(&mut self, msg: &Message) -> Result<ResponseBody, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = envelope::encode_request(id, msg);
+        write_frame(&mut self.stream, &request, self.max_frame)?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        let (got_id, response) = envelope::decode_response(&payload)?;
+        if got_id != id {
+            return Err(NetError::Desync {
+                expected: id,
+                found: got_id,
+            });
+        }
+        response.map_err(NetError::Remote)
+    }
+
+    /// Identification phase 1: returns the server's challenge for the
+    /// matched record.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `NO_MATCH` when nobody matches,
+    /// `OVERLOADED` when the request was shed.
+    pub fn identify(&mut self, probe: Vec<i64>) -> Result<IdentChallenge, NetError> {
+        match self.call(&Message::Identify { probe })? {
+            ResponseBody::Challenge(c) => Ok(c),
+            _ => Err(NetError::UnexpectedResponse("identify expects a challenge")),
+        }
+    }
+
+    /// Batched identification phase 1: one request frame, one response
+    /// frame, per-probe verdicts position-aligned with `probes`.
+    /// Per-probe failures (including `OVERLOADED` sheds) come back in
+    /// their slots, not as a call-level error.
+    ///
+    /// # Errors
+    /// Transport and envelope errors only.
+    pub fn identify_batch(
+        &mut self,
+        probes: Vec<Vec<i64>>,
+    ) -> Result<Vec<Result<IdentChallenge, WireError>>, NetError> {
+        match self.call(&Message::IdentifyBatch { probes })? {
+            ResponseBody::Batch(items) => Ok(items),
+            _ => Err(NetError::UnexpectedResponse("batch expects a batch body")),
+        }
+    }
+
+    /// Identification phase 2: submit the signed challenge response.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `UNKNOWN_SESSION` / `BAD_SIGNATURE` on
+    /// a stale session or failed verification.
+    pub fn finish_identification(
+        &mut self,
+        response: &IdentResponse,
+    ) -> Result<IdentOutcome, NetError> {
+        match self.call(&Message::Response(response.clone()))? {
+            ResponseBody::Outcome(o) => Ok(o),
+            _ => Err(NetError::UnexpectedResponse("finish expects an outcome")),
+        }
+    }
+
+    /// Enrolls a record (no uniqueness sweep).
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `DUPLICATE_USER` when the id is taken.
+    pub fn enroll(&mut self, record: EnrollmentRecord) -> Result<(), NetError> {
+        self.expect_empty(&Message::Enroll(record))
+    }
+
+    /// Uniqueness-checked enrollment.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `DUPLICATE_BIOMETRIC` when the sketch
+    /// already matches an enrolled record, `DUPLICATE_USER` for a taken
+    /// id.
+    pub fn enroll_unique(&mut self, record: EnrollmentRecord) -> Result<(), NetError> {
+        self.expect_empty(&Message::EnrollUnique(record))
+    }
+
+    /// Revokes an enrollment by user id.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `UNKNOWN_USER` when no such user.
+    pub fn revoke(&mut self, id: &str) -> Result<(), NetError> {
+        self.expect_empty(&Message::Revoke { id: id.to_owned() })
+    }
+
+    /// Reset / account recovery: succeeds only when *exactly one*
+    /// record matches, returning that user id.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `NO_MATCH` or `AMBIGUOUS_MATCH`.
+    pub fn reset(&mut self, probe: Vec<i64>) -> Result<UserId, NetError> {
+        match self.call(&Message::Reset { probe })? {
+            ResponseBody::UserId(id) => Ok(id),
+            _ => Err(NetError::UnexpectedResponse("reset expects a user id")),
+        }
+    }
+
+    /// Targeted claimed-identity check: does `probe` match the record
+    /// enrolled under `id`?
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `UNKNOWN_USER` when `id` is not
+    /// enrolled.
+    pub fn authenticate_claimed(&mut self, id: &str, probe: Vec<i64>) -> Result<bool, NetError> {
+        match self.call(&Message::AuthenticateClaimed {
+            id: id.to_owned(),
+            probe,
+        })? {
+            ResponseBody::Flag(v) => Ok(v),
+            _ => Err(NetError::UnexpectedResponse("expected a flag")),
+        }
+    }
+
+    /// Subset uniqueness check: is `probe` distinct from every record in
+    /// `ids`?
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with `UNKNOWN_USER` when a listed id is not
+    /// enrolled.
+    pub fn check_local_uniqueness(
+        &mut self,
+        probe: Vec<i64>,
+        ids: Vec<UserId>,
+    ) -> Result<bool, NetError> {
+        match self.call(&Message::CheckLocalUniqueness { probe, ids })? {
+            ResponseBody::Flag(v) => Ok(v),
+            _ => Err(NetError::UnexpectedResponse("expected a flag")),
+        }
+    }
+
+    fn expect_empty(&mut self, msg: &Message) -> Result<(), NetError> {
+        match self.call(msg)? {
+            ResponseBody::Empty => Ok(()),
+            _ => Err(NetError::UnexpectedResponse("expected an empty ack")),
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Transport error type and the wire error-code registry.
+//!
+//! Two layers of failure are kept distinct:
+//!
+//! * [`NetError`] — everything that can go wrong *locally* on a
+//!   connection: socket I/O, framing violations (bad CRC, oversize,
+//!   truncation, mid-frame stalls), handshake mismatches, and envelope
+//!   decoding. These are connection-scoped; most of them mean the byte
+//!   stream can no longer be trusted and the connection is closed.
+//! * [`WireError`] — an error the *peer* reported inside a well-formed
+//!   response frame: the server ran the request and it failed
+//!   ([`ErrorCode::NoMatch`], [`ErrorCode::Overloaded`], …). The
+//!   connection stays healthy; the next request proceeds normally.
+//!
+//! The numeric registry ([`ErrorCode`]) is part of the wire contract —
+//! see `PROTOCOL.md` § *Error-code registry*. Codes are append-only:
+//! a code is never reused for a different meaning within a protocol
+//! version.
+
+use fe_core::codec::Fingerprint;
+use fe_protocol::ProtocolError;
+use std::error::Error;
+use std::fmt;
+
+/// Wire-level error codes: the `status` byte of an error response.
+///
+/// `0` is reserved for success and never appears here. Every code maps
+/// 1:1 onto the [`ProtocolError`] variant the server produced; codes
+/// are append-only within a protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// No enrolled record matches the probe (`ProtocolError::NoMatch`).
+    NoMatch = 1,
+    /// More than one record matches where exactly one was required
+    /// (`ProtocolError::AmbiguousMatch`).
+    AmbiguousMatch = 2,
+    /// The user id is already enrolled (`ProtocolError::DuplicateUser`).
+    DuplicateUser = 3,
+    /// The biometric is already enrolled under another id
+    /// (`ProtocolError::DuplicateBiometric`).
+    DuplicateBiometric = 4,
+    /// The claimed identity is not enrolled (`ProtocolError::UnknownUser`).
+    UnknownUser = 5,
+    /// Expired, unknown, or replayed challenge session
+    /// (`ProtocolError::UnknownSession`).
+    UnknownSession = 6,
+    /// Challenge response signature failed (`ProtocolError::BadSignature`).
+    BadSignature = 7,
+    /// The request decoded as a frame but not as a valid request
+    /// message (`ProtocolError::Malformed`).
+    Malformed = 8,
+    /// The underlying sketch machinery failed (`ProtocolError::Sketch`).
+    Sketch = 9,
+    /// A durable artifact failed to decode server-side
+    /// (`ProtocolError::Codec`).
+    Codec = 10,
+    /// The server's enrollment store failed (`ProtocolError::Storage`).
+    Storage = 11,
+    /// The admission queue is full: the request was shed, not queued.
+    /// Back off and retry (`ProtocolError::Overloaded`).
+    Overloaded = 12,
+}
+
+impl ErrorCode {
+    /// Decodes a wire status byte (`0` and unknown values yield `None`).
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::NoMatch,
+            2 => ErrorCode::AmbiguousMatch,
+            3 => ErrorCode::DuplicateUser,
+            4 => ErrorCode::DuplicateBiometric,
+            5 => ErrorCode::UnknownUser,
+            6 => ErrorCode::UnknownSession,
+            7 => ErrorCode::BadSignature,
+            8 => ErrorCode::Malformed,
+            9 => ErrorCode::Sketch,
+            10 => ErrorCode::Codec,
+            11 => ErrorCode::Storage,
+            12 => ErrorCode::Overloaded,
+            _ => return None,
+        })
+    }
+
+    /// The status byte this code is encoded as.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::NoMatch => "NO_MATCH",
+            ErrorCode::AmbiguousMatch => "AMBIGUOUS_MATCH",
+            ErrorCode::DuplicateUser => "DUPLICATE_USER",
+            ErrorCode::DuplicateBiometric => "DUPLICATE_BIOMETRIC",
+            ErrorCode::UnknownUser => "UNKNOWN_USER",
+            ErrorCode::UnknownSession => "UNKNOWN_SESSION",
+            ErrorCode::BadSignature => "BAD_SIGNATURE",
+            ErrorCode::Malformed => "MALFORMED",
+            ErrorCode::Sketch => "SKETCH",
+            ErrorCode::Codec => "CODEC",
+            ErrorCode::Storage => "STORAGE",
+            ErrorCode::Overloaded => "OVERLOADED",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An error the peer reported inside a well-formed response: code from
+/// the registry plus a human-readable detail string (possibly empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The registry code.
+    pub code: ErrorCode,
+    /// Server-rendered detail (the `Display` of the underlying
+    /// [`ProtocolError`]; informational only — dispatch on `code`).
+    pub detail: String,
+}
+
+impl WireError {
+    /// Maps a server-side [`ProtocolError`] to its wire representation.
+    pub fn from_protocol(err: &ProtocolError) -> WireError {
+        let code = match err {
+            ProtocolError::NoMatch => ErrorCode::NoMatch,
+            ProtocolError::AmbiguousMatch => ErrorCode::AmbiguousMatch,
+            ProtocolError::DuplicateUser(_) => ErrorCode::DuplicateUser,
+            ProtocolError::DuplicateBiometric(_) => ErrorCode::DuplicateBiometric,
+            ProtocolError::UnknownUser(_) => ErrorCode::UnknownUser,
+            ProtocolError::UnknownSession => ErrorCode::UnknownSession,
+            ProtocolError::BadSignature => ErrorCode::BadSignature,
+            ProtocolError::Malformed(_) => ErrorCode::Malformed,
+            ProtocolError::Sketch(_) => ErrorCode::Sketch,
+            ProtocolError::Codec(_) => ErrorCode::Codec,
+            ProtocolError::Storage(_) => ErrorCode::Storage,
+            ProtocolError::Overloaded => ErrorCode::Overloaded,
+        };
+        WireError {
+            code,
+            detail: err.to_string(),
+        }
+    }
+
+    /// `true` when the server shed this request under load — the one
+    /// error a client should treat as "back off and retry".
+    pub fn is_overloaded(&self) -> bool {
+        self.code == ErrorCode::Overloaded
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "{}", self.code)
+        } else {
+            write!(f, "{}: {}", self.code, self.detail)
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Errors raised by the framed TCP transport.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level I/O failure.
+    Io(std::io::Error),
+    /// A framing violation: the byte stream can no longer be trusted
+    /// and the connection must be closed. The payload names the rule
+    /// that was broken (truncated frame, zero-length frame, mid-frame
+    /// stall, …).
+    BadFrame(&'static str),
+    /// The frame length prefix exceeds the negotiated maximum — either
+    /// an attack or a desynchronized stream; fatal either way.
+    Oversize {
+        /// Length the prefix claimed.
+        claimed: usize,
+        /// The enforced ceiling.
+        max: usize,
+    },
+    /// The frame payload does not match its CRC32.
+    CrcMismatch {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        found: u32,
+    },
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our version.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// The peer's parameter fingerprint differs — same protocol, but a
+    /// sketch under one parameter set is meaningless under another, so
+    /// the handshake fails fast instead of letting every probe miss.
+    FingerprintMismatch {
+        /// Our parameters' fingerprint.
+        ours: Fingerprint,
+        /// The fingerprint the peer announced.
+        theirs: Fingerprint,
+    },
+    /// The handshake reply was not a valid `FENH` message.
+    BadHandshake(&'static str),
+    /// The peer closed the connection (at a frame boundary).
+    ConnectionClosed,
+    /// A response arrived for a different request id than the one in
+    /// flight — the connection is desynchronized.
+    Desync {
+        /// The id we were waiting for.
+        expected: u64,
+        /// The id the response carried.
+        found: u64,
+    },
+    /// A well-formed response of the wrong kind for the request (e.g. a
+    /// boolean where a challenge was expected).
+    UnexpectedResponse(&'static str),
+    /// The peer reported an error for this request; the connection
+    /// itself is healthy.
+    Remote(WireError),
+    /// A payload failed to decode as a protocol message client-side.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket i/o: {e}"),
+            NetError::BadFrame(what) => write!(f, "framing violation: {what}"),
+            NetError::Oversize { claimed, max } => {
+                write!(f, "frame length {claimed} exceeds the {max}-byte limit")
+            }
+            NetError::CrcMismatch { expected, found } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {expected:#010x}, payload {found:#010x}"
+                )
+            }
+            NetError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            NetError::FingerprintMismatch { ours, theirs } => write!(
+                f,
+                "parameter fingerprint mismatch: ours {ours}, peer {theirs}"
+            ),
+            NetError::BadHandshake(what) => write!(f, "bad handshake: {what}"),
+            NetError::ConnectionClosed => write!(f, "peer closed the connection"),
+            NetError::Desync { expected, found } => write!(
+                f,
+                "response id desync: expected request {expected}, got {found}"
+            ),
+            NetError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response kind: {what}")
+            }
+            NetError::Remote(e) => write!(f, "server error: {e}"),
+            NetError::Protocol(e) => write!(f, "payload decode: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Remote(e) => Some(e),
+            NetError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> NetError {
+        NetError::Protocol(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Remote(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_roundtrips_through_its_byte() {
+        for byte in 1u8..=12 {
+            let code = ErrorCode::from_u8(byte).expect("registered code");
+            assert_eq!(code.as_u8(), byte);
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(13), None);
+        assert_eq!(ErrorCode::from_u8(255), None);
+    }
+
+    #[test]
+    fn every_protocol_error_maps_to_a_code() {
+        use fe_core::codec::CodecError;
+        use fe_core::SketchError;
+        let cases: Vec<(ProtocolError, ErrorCode)> = vec![
+            (ProtocolError::NoMatch, ErrorCode::NoMatch),
+            (ProtocolError::AmbiguousMatch, ErrorCode::AmbiguousMatch),
+            (
+                ProtocolError::DuplicateUser("a".into()),
+                ErrorCode::DuplicateUser,
+            ),
+            (
+                ProtocolError::DuplicateBiometric("a".into()),
+                ErrorCode::DuplicateBiometric,
+            ),
+            (
+                ProtocolError::UnknownUser("a".into()),
+                ErrorCode::UnknownUser,
+            ),
+            (ProtocolError::UnknownSession, ErrorCode::UnknownSession),
+            (ProtocolError::BadSignature, ErrorCode::BadSignature),
+            (ProtocolError::Malformed("x"), ErrorCode::Malformed),
+            (
+                ProtocolError::Sketch(SketchError::OutOfRange),
+                ErrorCode::Sketch,
+            ),
+            (ProtocolError::Codec(CodecError::BadMagic), ErrorCode::Codec),
+            (ProtocolError::Storage("io".into()), ErrorCode::Storage),
+            (ProtocolError::Overloaded, ErrorCode::Overloaded),
+        ];
+        for (err, code) in cases {
+            let wire = WireError::from_protocol(&err);
+            assert_eq!(wire.code, code, "{err}");
+            assert_eq!(wire.detail, err.to_string());
+        }
+        assert!(WireError::from_protocol(&ProtocolError::Overloaded).is_overloaded());
+        assert!(!WireError::from_protocol(&ProtocolError::NoMatch).is_overloaded());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Oversize {
+            claimed: 1 << 30,
+            max: 1 << 20,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        let w = WireError {
+            code: ErrorCode::Overloaded,
+            detail: String::new(),
+        };
+        assert_eq!(w.to_string(), "OVERLOADED");
+    }
+}

@@ -1,0 +1,432 @@
+//! The transport frame layer: CRC-checked, length-prefixed frames over
+//! any byte stream.
+//!
+//! The frame layout is exactly the `fe-core::codec` journal frame
+//! ([`fe_core::codec::Writer::put_framed`]), lifted from the disk onto
+//! the socket:
+//!
+//! ```text
+//! +0   u32 BE  payload length N   (1 ≤ N ≤ max_frame)
+//! +4   u32 BE  CRC-32 of payload  (IEEE 802.3, fe_core::codec::crc32)
+//! +8   N bytes payload
+//! ```
+//!
+//! One frame carries one message (a handshake hello, a request
+//! envelope, or a response envelope — see `PROTOCOL.md`). The CRC is a
+//! *corruption* check, not authentication: it catches torn writes,
+//! proxy mangling, and desynchronized streams, the same failures it
+//! catches on the journal. All framing violations are **fatal to the
+//! connection** — once a length prefix or checksum lies, nothing later
+//! on the stream can be trusted.
+//!
+//! [`read_frame`] is the plain blocking reader; [`read_frame_session`]
+//! adds the server's connection-lifecycle concerns (idle timeout,
+//! shutdown flag, mid-frame stall detection) on top of a socket whose
+//! read timeout is set to a short tick.
+
+use crate::error::NetError;
+use fe_core::codec::crc32;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default ceiling on frame payload length: 1 MiB. Large enough for a
+/// 4096-probe identify batch at paper dimensions, small enough that a
+/// hostile length prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of frame overhead ahead of the payload (length + CRC).
+pub const FRAME_HEADER: usize = 8;
+
+/// Writes one frame: length, CRC-32, payload, assembled into a single
+/// buffer so a frame is one `write_all` on the socket.
+///
+/// # Errors
+/// [`NetError::Oversize`] if `payload` exceeds `max_frame`;
+/// [`NetError::BadFrame`] on an empty payload; [`NetError::Io`] on
+/// socket failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: usize) -> Result<(), NetError> {
+    if payload.is_empty() {
+        return Err(NetError::BadFrame("zero-length frame"));
+    }
+    if payload.len() > max_frame {
+        return Err(NetError::Oversize {
+            claimed: payload.len(),
+            max: max_frame,
+        });
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&crc32(payload).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// What a session read produced besides a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, CRC-valid frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// No frame *started* within the idle window — the connection is
+    /// abandoned, not broken.
+    IdleTimeout,
+    /// The shutdown flag was observed; the caller should close.
+    Shutdown,
+}
+
+/// Reads one frame, blocking until it completes.
+///
+/// EOF at a frame boundary is [`NetError::ConnectionClosed`]; EOF (or a
+/// read timeout, if the stream has one) mid-frame is a fatal
+/// [`NetError::BadFrame`].
+///
+/// # Errors
+/// [`NetError::Oversize`] / [`NetError::CrcMismatch`] /
+/// [`NetError::BadFrame`] on framing violations, [`NetError::Io`] on
+/// socket failures.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, NetError> {
+    match read_frame_session(r, max_frame, None)? {
+        FrameEvent::Frame(payload) => Ok(payload),
+        FrameEvent::Closed => Err(NetError::ConnectionClosed),
+        // Without a session, timeouts surface as BadFrame below; these
+        // variants are unreachable but must map to something sane.
+        FrameEvent::IdleTimeout | FrameEvent::Shutdown => Err(NetError::BadFrame("read timed out")),
+    }
+}
+
+/// Connection-lifecycle knobs for [`read_frame_session`].
+#[derive(Debug, Clone, Copy)]
+pub struct Session<'a> {
+    /// Close the connection after this long with no new frame started.
+    pub idle_timeout: Duration,
+    /// Checked at every read-timeout tick; when set, the read returns
+    /// [`FrameEvent::Shutdown`] immediately (even mid-frame).
+    pub shutdown: &'a AtomicBool,
+}
+
+/// Reads one frame with session lifecycle handling.
+///
+/// The stream's read timeout (if any) acts as the polling tick: every
+/// time a read times out, the shutdown flag and the idle clock are
+/// consulted. Three stall cases are distinguished:
+///
+/// * **no frame started** and the idle window elapsed →
+///   [`FrameEvent::IdleTimeout`] (a clean close, not an error);
+/// * **mid-frame** with no forward progress for the idle window → a
+///   fatal [`NetError::BadFrame`] — a peer that sends half a frame and
+///   stops is indistinguishable from a torn stream;
+/// * **shutdown flag set** → [`FrameEvent::Shutdown`] regardless of
+///   progress.
+///
+/// With `session = None` the reader blocks indefinitely (timeouts, if
+/// the stream has any, become mid-frame errors at the first tick).
+///
+/// # Errors
+/// As [`read_frame`].
+pub fn read_frame_session(
+    r: &mut impl Read,
+    max_frame: usize,
+    session: Option<Session<'_>>,
+) -> Result<FrameEvent, NetError> {
+    let mut header = [0u8; FRAME_HEADER];
+    match fill(r, &mut header, true, session.as_ref())? {
+        Filled::Complete => {}
+        Filled::Eof => return Ok(FrameEvent::Closed),
+        Filled::Idle => return Ok(FrameEvent::IdleTimeout),
+        Filled::Shutdown => return Ok(FrameEvent::Shutdown),
+    }
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let expected_crc = u32::from_be_bytes(header[4..].try_into().expect("4 bytes"));
+    if len == 0 {
+        return Err(NetError::BadFrame("zero-length frame"));
+    }
+    if len > max_frame {
+        return Err(NetError::Oversize {
+            claimed: len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload, false, session.as_ref())? {
+        Filled::Complete => {}
+        Filled::Eof => unreachable!("fill maps mid-frame EOF to an error"),
+        Filled::Idle => unreachable!("fill maps mid-frame stalls to an error"),
+        Filled::Shutdown => return Ok(FrameEvent::Shutdown),
+    }
+    let found = crc32(&payload);
+    if found != expected_crc {
+        return Err(NetError::CrcMismatch {
+            expected: expected_crc,
+            found,
+        });
+    }
+    Ok(FrameEvent::Frame(payload))
+}
+
+enum Filled {
+    Complete,
+    /// EOF before the first byte (only reported when `at_boundary`).
+    Eof,
+    Idle,
+    Shutdown,
+}
+
+/// Fills `buf` completely, translating timeouts and EOF into lifecycle
+/// events. `at_boundary` marks the frame header read, where EOF and
+/// idleness are clean; once any byte has arrived (or for the payload,
+/// which always follows a header) both become errors.
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+    session: Option<&Session<'_>>,
+) -> Result<Filled, NetError> {
+    let mut got = 0usize;
+    let mut last_progress = Instant::now();
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if at_boundary && got == 0 {
+                    Ok(Filled::Eof)
+                } else {
+                    Err(NetError::BadFrame("peer closed mid-frame"))
+                };
+            }
+            Ok(n) => {
+                got += n;
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                let Some(s) = session else {
+                    return Err(NetError::BadFrame("read timed out mid-frame"));
+                };
+                if s.shutdown.load(Ordering::Relaxed) {
+                    return Ok(Filled::Shutdown);
+                }
+                if last_progress.elapsed() >= s.idle_timeout {
+                    return if at_boundary && got == 0 {
+                        Ok(Filled::Idle)
+                    } else {
+                        Err(NetError::BadFrame("mid-frame stall"))
+                    };
+                }
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(Filled::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload, DEFAULT_MAX_FRAME).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"hello frames".to_vec();
+        let bytes = frame_bytes(&payload);
+        assert_eq!(bytes.len(), FRAME_HEADER + payload.len());
+        let got = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn layout_matches_codec_put_framed() {
+        // The wire frame IS the journal frame: byte-identical to
+        // Writer::put_framed so the two contracts cannot drift apart.
+        let payload = b"shared layout";
+        let mut w = fe_core::codec::Writer::new();
+        w.put_framed(payload);
+        assert_eq!(frame_bytes(payload), w.into_bytes());
+    }
+
+    #[test]
+    fn eof_at_boundary_is_clean_close() {
+        let err = read_frame(&mut Cursor::new(&[]), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, NetError::ConnectionClosed), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let bytes = frame_bytes(b"truncate me");
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME).unwrap_err();
+            assert!(
+                matches!(err, NetError::BadFrame("peer closed mid-frame")),
+                "prefix {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // Claim u32::MAX bytes; the reader must refuse without trying
+        // to read (or allocate) them.
+        let mut bytes = frame_bytes(b"x");
+        bytes[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(
+            matches!(err, NetError::Oversize { claimed, max }
+                if claimed == u32::MAX as usize && max == DEFAULT_MAX_FRAME),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_length_frame_rejected_both_ways() {
+        let mut bytes = frame_bytes(b"x");
+        bytes[..4].copy_from_slice(&0u32.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(
+            matches!(err, NetError::BadFrame("zero-length frame")),
+            "{err}"
+        );
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &[], DEFAULT_MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut bytes = frame_bytes(b"checksummed payload");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, NetError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_crc_field_fails_crc() {
+        let mut bytes = frame_bytes(b"checksummed payload");
+        bytes[5] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, NetError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn write_respects_max_frame() {
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &[0u8; 100], 64).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Oversize {
+                    claimed: 100,
+                    max: 64
+                }
+            ),
+            "{err}"
+        );
+        assert!(sink.is_empty(), "nothing written on refusal");
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_sequence() {
+        let mut bytes = frame_bytes(b"first");
+        bytes.extend_from_slice(&frame_bytes(b"second"));
+        let mut cursor = Cursor::new(&bytes);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            b"first"
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            b"second"
+        );
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err(),
+            NetError::ConnectionClosed
+        ));
+    }
+
+    /// A reader that yields `WouldBlock` forever after its data runs
+    /// out — models a socket with a read timeout and a stalled peer.
+    struct Stalling {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Stalling {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "tick"));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn idle_connection_times_out_cleanly() {
+        let shutdown = AtomicBool::new(false);
+        let mut r = Stalling {
+            data: Vec::new(),
+            pos: 0,
+        };
+        let event = read_frame_session(
+            &mut r,
+            DEFAULT_MAX_FRAME,
+            Some(Session {
+                idle_timeout: Duration::from_millis(0),
+                shutdown: &shutdown,
+            }),
+        )
+        .unwrap();
+        assert_eq!(event, FrameEvent::IdleTimeout);
+    }
+
+    #[test]
+    fn mid_frame_stall_is_fatal() {
+        let shutdown = AtomicBool::new(false);
+        let bytes = frame_bytes(b"never finishes");
+        let mut r = Stalling {
+            data: bytes[..6].to_vec(),
+            pos: 0,
+        };
+        let err = read_frame_session(
+            &mut r,
+            DEFAULT_MAX_FRAME,
+            Some(Session {
+                idle_timeout: Duration::from_millis(0),
+                shutdown: &shutdown,
+            }),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, NetError::BadFrame("mid-frame stall")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shutdown_flag_interrupts_even_mid_frame() {
+        let shutdown = AtomicBool::new(true);
+        let bytes = frame_bytes(b"interrupted");
+        let mut r = Stalling {
+            data: bytes[..10].to_vec(),
+            pos: 0,
+        };
+        let event = read_frame_session(
+            &mut r,
+            DEFAULT_MAX_FRAME,
+            Some(Session {
+                idle_timeout: Duration::from_secs(3600),
+                shutdown: &shutdown,
+            }),
+        )
+        .unwrap();
+        assert_eq!(event, FrameEvent::Shutdown);
+    }
+}

@@ -1,0 +1,210 @@
+//! The connection handshake: version and parameter-fingerprint
+//! agreement before any request flows.
+//!
+//! A sketch is only meaningful under the exact [`SystemParams`] it was
+//! produced with (ring, threshold, key length, DSA domain — everything
+//! [`SystemParams::fingerprint`] digests). A client on mismatched
+//! parameters would not crash the server; it would silently never
+//! match, which is worse. So the very first frame each way settles both
+//! questions, and a mismatched client fails fast with a typed error
+//! instead of a sea of `NO_MATCH`es.
+//!
+//! Layout (each inside one transport frame, see [`crate::frame`]):
+//!
+//! ```text
+//! client hello:  "FENH" | u16 BE version | 8-byte params fingerprint
+//! server reply:  "FENH" | u16 BE version | u8 status | 8-byte fingerprint
+//! ```
+//!
+//! Reply status: `0` accepted, `1` version mismatch, `2` fingerprint
+//! mismatch. On a nonzero status the server closes the connection after
+//! the reply; the reply carries the *server's* version and fingerprint
+//! so the client can report exactly what differed.
+//!
+//! [`SystemParams`]: fe_protocol::SystemParams
+//! [`SystemParams::fingerprint`]: fe_protocol::SystemParams::fingerprint
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame};
+use fe_core::codec::Fingerprint;
+use std::io::{Read, Write};
+
+/// Magic prefix of both handshake messages.
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"FENH";
+
+/// The transport protocol version this crate speaks.
+///
+/// Versioning policy (normative, see `PROTOCOL.md`): additive changes —
+/// new request tags, new response kinds, new error codes — do **not**
+/// bump this; peers reject unknown tags per-request. Any change to the
+/// frame layout, handshake, envelope, or the meaning of an existing
+/// code does.
+pub const NET_VERSION: u16 = 1;
+
+/// Server verdict on a client hello.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HandshakeStatus {
+    /// Versions and fingerprints agree; requests may flow.
+    Accepted = 0,
+    /// The peer speaks a different transport version.
+    VersionMismatch = 1,
+    /// Same transport, different system parameters.
+    FingerprintMismatch = 2,
+}
+
+impl HandshakeStatus {
+    fn from_u8(v: u8) -> Option<HandshakeStatus> {
+        Some(match v {
+            0 => HandshakeStatus::Accepted,
+            1 => HandshakeStatus::VersionMismatch,
+            2 => HandshakeStatus::FingerprintMismatch,
+            _ => return None,
+        })
+    }
+}
+
+/// Encodes the client hello payload.
+pub fn encode_hello(fingerprint: &Fingerprint) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(14);
+    buf.extend_from_slice(&HANDSHAKE_MAGIC);
+    buf.extend_from_slice(&NET_VERSION.to_be_bytes());
+    buf.extend_from_slice(fingerprint.as_bytes());
+    buf
+}
+
+/// Decodes a client hello payload into `(version, fingerprint)`.
+///
+/// # Errors
+/// [`NetError::BadHandshake`] unless the payload is exactly a
+/// well-formed hello. The version is *returned*, not validated — the
+/// server decides how to answer a mismatch.
+pub fn decode_hello(payload: &[u8]) -> Result<(u16, Fingerprint), NetError> {
+    if payload.len() != 14 {
+        return Err(NetError::BadHandshake("hello length"));
+    }
+    if payload[..4] != HANDSHAKE_MAGIC {
+        return Err(NetError::BadHandshake("hello magic"));
+    }
+    let version = u16::from_be_bytes(payload[4..6].try_into().expect("2 bytes"));
+    let mut fp = [0u8; 8];
+    fp.copy_from_slice(&payload[6..14]);
+    Ok((version, Fingerprint(fp)))
+}
+
+/// Encodes the server reply payload.
+pub fn encode_reply(status: HandshakeStatus, fingerprint: &Fingerprint) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(15);
+    buf.extend_from_slice(&HANDSHAKE_MAGIC);
+    buf.extend_from_slice(&NET_VERSION.to_be_bytes());
+    buf.push(status as u8);
+    buf.extend_from_slice(fingerprint.as_bytes());
+    buf
+}
+
+/// Decodes a server reply payload into `(version, status, fingerprint)`.
+///
+/// # Errors
+/// [`NetError::BadHandshake`] on anything but a well-formed reply.
+pub fn decode_reply(payload: &[u8]) -> Result<(u16, HandshakeStatus, Fingerprint), NetError> {
+    if payload.len() != 15 {
+        return Err(NetError::BadHandshake("reply length"));
+    }
+    if payload[..4] != HANDSHAKE_MAGIC {
+        return Err(NetError::BadHandshake("reply magic"));
+    }
+    let version = u16::from_be_bytes(payload[4..6].try_into().expect("2 bytes"));
+    let status =
+        HandshakeStatus::from_u8(payload[6]).ok_or(NetError::BadHandshake("reply status"))?;
+    let mut fp = [0u8; 8];
+    fp.copy_from_slice(&payload[7..15]);
+    Ok((version, status, Fingerprint(fp)))
+}
+
+/// Runs the client side of the handshake on a fresh stream: sends the
+/// hello, reads the reply, and maps a rejection to its typed error.
+/// Used by [`crate::Client::connect`] and usable directly by custom
+/// transports (the loopback load generator drives raw split sockets
+/// through this).
+///
+/// # Errors
+/// [`NetError::VersionMismatch`] / [`NetError::FingerprintMismatch`]
+/// when the server rejected us (carrying both sides' values);
+/// [`NetError::BadHandshake`] on a malformed reply; framing/IO errors
+/// as usual.
+pub fn client_handshake<S: Read + Write>(
+    stream: &mut S,
+    fingerprint: &Fingerprint,
+    max_frame: usize,
+) -> Result<(), NetError> {
+    write_frame(stream, &encode_hello(fingerprint), max_frame)?;
+    let reply = read_frame(stream, max_frame)?;
+    let (version, status, theirs) = decode_reply(&reply)?;
+    match status {
+        HandshakeStatus::Accepted => Ok(()),
+        HandshakeStatus::VersionMismatch => Err(NetError::VersionMismatch {
+            ours: NET_VERSION,
+            theirs: version,
+        }),
+        HandshakeStatus::FingerprintMismatch => Err(NetError::FingerprintMismatch {
+            ours: *fingerprint,
+            theirs,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(byte: u8) -> Fingerprint {
+        Fingerprint([byte; 8])
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let (version, got) = decode_hello(&encode_hello(&fp(7))).unwrap();
+        assert_eq!(version, NET_VERSION);
+        assert_eq!(got, fp(7));
+    }
+
+    #[test]
+    fn reply_roundtrip_all_statuses() {
+        for status in [
+            HandshakeStatus::Accepted,
+            HandshakeStatus::VersionMismatch,
+            HandshakeStatus::FingerprintMismatch,
+        ] {
+            let (version, got_status, got_fp) =
+                decode_reply(&encode_reply(status, &fp(9))).unwrap();
+            assert_eq!(version, NET_VERSION);
+            assert_eq!(got_status, status);
+            assert_eq!(got_fp, fp(9));
+        }
+    }
+
+    #[test]
+    fn malformed_hellos_rejected() {
+        assert!(decode_hello(&[]).is_err());
+        assert!(decode_hello(&encode_hello(&fp(1))[..13]).is_err());
+        let mut long = encode_hello(&fp(1));
+        long.push(0);
+        assert!(decode_hello(&long).is_err());
+        let mut bad_magic = encode_hello(&fp(1));
+        bad_magic[0] = b'X';
+        assert!(decode_hello(&bad_magic).is_err());
+        // A reply is not a hello (and vice versa): lengths differ.
+        assert!(decode_hello(&encode_reply(HandshakeStatus::Accepted, &fp(1))).is_err());
+        assert!(decode_reply(&encode_hello(&fp(1))).is_err());
+    }
+
+    #[test]
+    fn unknown_reply_status_rejected() {
+        let mut reply = encode_reply(HandshakeStatus::Accepted, &fp(2));
+        reply[6] = 99;
+        assert!(matches!(
+            decode_reply(&reply).unwrap_err(),
+            NetError::BadHandshake("reply status")
+        ));
+    }
+}

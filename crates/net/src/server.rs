@@ -1,0 +1,550 @@
+//! The threaded TCP front door: accept loop, per-connection reader and
+//! writer threads, request dispatch into a [`ScheduledServer`].
+//!
+//! # Thread model
+//!
+//! One **accept thread** owns the (nonblocking) listener: it polls for
+//! new sockets, spawns a pair of threads per connection, and reaps
+//! finished pairs. Each connection gets
+//!
+//! * a **reader** thread — parses frames, decodes envelopes, dispatches
+//!   requests, and pushes one reply per request onto the writer's
+//!   channel **in arrival order**;
+//! * a **writer** thread — resolves each reply (waiting out scheduler
+//!   tickets where needed) and writes the response frame.
+//!
+//! Splitting read from write is what makes the connection a real
+//! pipeline: while the scheduler's micro-batch carries request *n*, the
+//! reader is already admitting requests *n+1, n+2, …*. Because replies
+//! enter the channel in arrival order and the writer resolves them
+//! FIFO, responses leave the socket in request order — a pipelining
+//! client never needs to reorder.
+//!
+//! # Backpressure
+//!
+//! Identification dispatch is [`ScheduledServer::submit`]: when the
+//! admission queue is full the submit fails **immediately** with
+//! [`ProtocolError::Overloaded`], and the reader queues an error reply
+//! carrying [`ErrorCode::Overloaded`](crate::ErrorCode::Overloaded)
+//! instead of a ticket. An overloaded server answers every request it
+//! sheds — it never silently drops a frame or the connection.
+//!
+//! # Failure severities
+//!
+//! A malformed *message* inside a well-formed envelope gets an error
+//! response and the connection lives on. A violation of the transport
+//! itself — bad CRC, oversized length prefix, mid-frame EOF, an
+//! envelope too short to carry a request id — is connection-fatal:
+//! past that point the byte stream cannot be trusted to re-synchronise.
+
+use crate::envelope::{self, Response, ResponseBody};
+use crate::error::WireError;
+use crate::frame::{read_frame_session, write_frame, FrameEvent, Session, DEFAULT_MAX_FRAME};
+use crate::handshake::{self, HandshakeStatus, NET_VERSION};
+use fe_core::codec::Fingerprint;
+use fe_core::{EpochIndex, EpochRead};
+use fe_protocol::scheduler::{IdentifyTicket, ScheduledServer};
+use fe_protocol::wire::Message;
+use fe_protocol::{IdentChallenge, ProtocolError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for the TCP front door.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Largest frame payload accepted or sent
+    /// ([`DEFAULT_MAX_FRAME`] unless raised; both peers must agree).
+    pub max_frame: usize,
+    /// Close a connection after this long without a complete frame.
+    pub idle_timeout: Duration,
+    /// How often blocked reads and the accept loop wake to check the
+    /// idle clock and the shutdown flag. Purely an internal
+    /// responsiveness dial: shutdown and idle detection lag by at most
+    /// one tick.
+    pub poll_tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            idle_timeout: Duration::from_secs(60),
+            poll_tick: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Counters exported by a running [`NetServer`]. All relaxed-atomic;
+/// safe to read while the server serves traffic.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    handshake_failures: AtomicU64,
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_err: AtomicU64,
+    shed: AtomicU64,
+    idle_closed: AtomicU64,
+    fatal_frames: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Connections accepted (including ones later rejected at
+    /// handshake).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected during the handshake (bad hello, version or
+    /// fingerprint mismatch).
+    pub fn handshake_failures(&self) -> u64 {
+        self.handshake_failures.load(Ordering::Relaxed)
+    }
+
+    /// Requests decoded and dispatched.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Success responses written.
+    pub fn responses_ok(&self) -> u64 {
+        self.responses_ok.load(Ordering::Relaxed)
+    }
+
+    /// Error responses written (any code, including `OVERLOADED`).
+    pub fn responses_err(&self) -> u64 {
+        self.responses_err.load(Ordering::Relaxed)
+    }
+
+    /// `OVERLOADED` verdicts sent, counting both whole-request sheds
+    /// and shed slots inside batch responses.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by the idle timeout.
+    pub fn idle_closed(&self) -> u64 {
+        self.idle_closed.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped for transport violations (bad CRC, oversize
+    /// frame, mid-frame EOF, unaddressable envelope).
+    pub fn fatal_frames(&self) -> u64 {
+        self.fatal_frames.load(Ordering::Relaxed)
+    }
+}
+
+/// One queued reply, pushed by the reader in request-arrival order.
+/// Scheduler tickets ride unresolved so the reader can keep admitting
+/// while the writer blocks on results.
+enum Reply {
+    /// Already resolved at dispatch (write ops, errors, sheds).
+    Ready(u64, Response),
+    /// A scheduled identification awaiting its micro-batch.
+    Ticket(u64, IdentifyTicket),
+    /// A batched identification: per-probe tickets (or admission
+    /// refusals), position-aligned.
+    Batch(u64, Vec<Result<IdentifyTicket, ProtocolError>>),
+}
+
+/// A running TCP front door over a [`ScheduledServer`].
+///
+/// Spawning binds the listener and starts the accept thread; the
+/// server then runs until [`NetServer::shutdown`] (or drop, which
+/// shuts down implicitly). See the [module docs](self) for the thread
+/// model and `PROTOCOL.md` for the wire contract it serves.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    metrics: Arc<NetMetrics>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `scheduler` under `config`.
+    ///
+    /// # Errors
+    /// Any [`io::Error`] from binding the listener.
+    pub fn spawn<I, A>(
+        scheduler: Arc<ScheduledServer<I>>,
+        addr: A,
+        config: NetConfig,
+    ) -> io::Result<NetServer>
+    where
+        I: EpochRead + Send + Sync + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(NetMetrics::default());
+        let fingerprint = scheduler.server().params().fingerprint();
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("fe-net-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, scheduler, fingerprint, config, shutdown, metrics)
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept),
+            metrics,
+        })
+    }
+
+    /// A front door over a fresh scan-backed scheduler — the one-call
+    /// setup used by examples and tests
+    /// ([`ScheduledServer::scan`] + [`NetServer::spawn`]).
+    ///
+    /// # Errors
+    /// Any [`io::Error`] from binding the listener.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the scheduler config is degenerate
+    /// (see [`ScheduledServer::new`]).
+    pub fn scan<A: ToSocketAddrs>(
+        params: fe_protocol::SystemParams,
+        shards: usize,
+        sched: fe_protocol::scheduler::SchedulerConfig,
+        addr: A,
+        config: NetConfig,
+    ) -> io::Result<(NetServer, Arc<ScheduledServer<EpochIndex>>)> {
+        let scheduler = Arc::new(ScheduledServer::scan(params, shards, sched));
+        let server = NetServer::spawn(Arc::clone(&scheduler), addr, config)?;
+        Ok((server, scheduler))
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's exported counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Stops accepting, interrupts every connection at its next poll
+    /// tick, and joins all server threads. In-flight replies already
+    /// queued to writers are still delivered before their connections
+    /// close.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop<I: EpochRead + Send + Sync + 'static>(
+    listener: TcpListener,
+    scheduler: Arc<ScheduledServer<I>>,
+    fingerprint: Fingerprint,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<NetMetrics>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                let scheduler = Arc::clone(&scheduler);
+                let shutdown = Arc::clone(&shutdown);
+                let metrics = Arc::clone(&metrics);
+                let config = config.clone();
+                let handle = std::thread::Builder::new()
+                    .name("fe-net-conn".into())
+                    .spawn(move || {
+                        metrics.active.fetch_add(1, Ordering::Relaxed);
+                        serve_connection(
+                            stream,
+                            scheduler,
+                            fingerprint,
+                            config,
+                            shutdown,
+                            metrics.clone(),
+                        );
+                        metrics.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if let Ok(h) = handle {
+                    connections.push(h);
+                }
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll_tick);
+            }
+            // Transient accept errors (e.g. a connection reset between
+            // readiness and accept) are not fatal to the listener.
+            Err(_) => std::thread::sleep(config.poll_tick),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Runs the handshake, then the reader loop; owns the writer thread.
+fn serve_connection<I: EpochRead + Send + Sync + 'static>(
+    stream: TcpStream,
+    scheduler: Arc<ScheduledServer<I>>,
+    fingerprint: Fingerprint,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<NetMetrics>,
+) {
+    let mut reader = stream;
+    // The read timeout is the poll tick that lets blocked reads observe
+    // the idle clock and the shutdown flag (see `frame::Session`).
+    if reader.set_read_timeout(Some(config.poll_tick)).is_err() {
+        return;
+    }
+    let session = Session {
+        idle_timeout: config.idle_timeout,
+        shutdown: &shutdown,
+    };
+
+    // Handshake: first frame in, one frame out; any rejection closes.
+    let hello = match read_frame_session(&mut reader, config.max_frame, Some(session)) {
+        Ok(FrameEvent::Frame(payload)) => payload,
+        _ => {
+            metrics.handshake_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let status = match handshake::decode_hello(&hello) {
+        Ok((version, _)) if version != NET_VERSION => HandshakeStatus::VersionMismatch,
+        Ok((_, theirs)) if theirs != fingerprint => HandshakeStatus::FingerprintMismatch,
+        Ok(_) => HandshakeStatus::Accepted,
+        Err(_) => {
+            // Not even a hello: close without replying (we cannot know
+            // the peer speaks this protocol at all).
+            metrics.handshake_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let reply = handshake::encode_reply(status, &fingerprint);
+    if write_frame(&mut reader, &reply, config.max_frame).is_err()
+        || status != HandshakeStatus::Accepted
+    {
+        metrics.handshake_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    // Writer thread: resolves replies FIFO, writes response frames.
+    let writer_stream = match reader.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let max_frame = config.max_frame;
+    let writer = std::thread::Builder::new()
+        .name("fe-net-write".into())
+        .spawn({
+            let metrics = Arc::clone(&metrics);
+            move || writer_loop(writer_stream, rx, max_frame, metrics)
+        })
+        .expect("spawn connection writer");
+
+    // Reader loop: frame → envelope → dispatch → queue reply.
+    loop {
+        match read_frame_session(&mut reader, config.max_frame, Some(session)) {
+            Ok(FrameEvent::Frame(payload)) => {
+                let (id, msg) = match envelope::decode_request(&payload) {
+                    Ok(decoded) => decoded,
+                    Err(_) => {
+                        // No request id to answer to: transport-fatal.
+                        metrics.fatal_frames.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                };
+                metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let reply = match msg {
+                    Ok(msg) => dispatch(&scheduler, id, msg),
+                    Err(e) => Reply::Ready(id, Err(WireError::from_protocol(&e))),
+                };
+                if tx.send(reply).is_err() {
+                    break; // writer died (peer stopped reading)
+                }
+            }
+            Ok(FrameEvent::Closed) => break,
+            Ok(FrameEvent::IdleTimeout) => {
+                metrics.idle_closed.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Ok(FrameEvent::Shutdown) => break,
+            Err(_) => {
+                metrics.fatal_frames.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+}
+
+/// Maps a protocol-level result into the wire response.
+fn to_response(result: Result<ResponseBody, ProtocolError>) -> Response {
+    result.map_err(|e| WireError::from_protocol(&e))
+}
+
+/// Dispatches one decoded request. Identification rides the scheduler
+/// (tickets resolve in the writer); every other op is synchronous on
+/// the wrapped server — none of them scan-bound.
+fn dispatch<I: EpochRead + Send + Sync + 'static>(
+    scheduler: &ScheduledServer<I>,
+    id: u64,
+    msg: Message,
+) -> Reply {
+    match msg {
+        Message::Identify { probe } => match scheduler.submit(probe) {
+            Ok(ticket) => Reply::Ticket(id, ticket),
+            Err(e) => Reply::Ready(id, Err(WireError::from_protocol(&e))),
+        },
+        Message::IdentifyBatch { probes } => {
+            let tickets = probes.into_iter().map(|p| scheduler.submit(p)).collect();
+            Reply::Batch(id, tickets)
+        }
+        Message::Enroll(record) => Reply::Ready(
+            id,
+            to_response(
+                scheduler
+                    .server()
+                    .enroll(record)
+                    .map(|()| ResponseBody::Empty),
+            ),
+        ),
+        Message::EnrollUnique(record) => Reply::Ready(
+            id,
+            to_response(
+                scheduler
+                    .enroll_unique(record)
+                    .map(|()| ResponseBody::Empty),
+            ),
+        ),
+        Message::Revoke { id: user } => Reply::Ready(
+            id,
+            to_response(
+                scheduler
+                    .server()
+                    .revoke(&user)
+                    .map(|()| ResponseBody::Empty),
+            ),
+        ),
+        Message::Reset { probe } => Reply::Ready(
+            id,
+            to_response(scheduler.reset(&probe).map(ResponseBody::UserId)),
+        ),
+        Message::AuthenticateClaimed { id: user, probe } => Reply::Ready(
+            id,
+            to_response(
+                scheduler
+                    .authenticate_claimed(&user, &probe)
+                    .map(ResponseBody::Flag),
+            ),
+        ),
+        Message::CheckLocalUniqueness { probe, ids } => Reply::Ready(
+            id,
+            to_response(
+                scheduler
+                    .check_local_uniqueness(&probe, &ids)
+                    .map(ResponseBody::Flag),
+            ),
+        ),
+        Message::Response(response) => Reply::Ready(
+            id,
+            to_response(
+                scheduler
+                    .server()
+                    .finish_identification(&response)
+                    .map(ResponseBody::Outcome),
+            ),
+        ),
+        Message::Challenge(_) | Message::Outcome(_) => Reply::Ready(
+            id,
+            Err(WireError::from_protocol(&ProtocolError::Malformed(
+                "response-only message sent as a request",
+            ))),
+        ),
+    }
+}
+
+fn ticket_result(t: Result<IdentifyTicket, ProtocolError>) -> Result<IdentChallenge, WireError> {
+    t.and_then(IdentifyTicket::wait)
+        .map_err(|e| WireError::from_protocol(&e))
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: mpsc::Receiver<Reply>,
+    max_frame: usize,
+    metrics: Arc<NetMetrics>,
+) {
+    for reply in rx {
+        let (id, response) = match reply {
+            Reply::Ready(id, response) => (id, response),
+            Reply::Ticket(id, ticket) => {
+                (id, ticket_result(Ok(ticket)).map(ResponseBody::Challenge))
+            }
+            Reply::Batch(id, tickets) => (
+                id,
+                Ok(ResponseBody::Batch(
+                    tickets.into_iter().map(ticket_result).collect(),
+                )),
+            ),
+        };
+        match &response {
+            Ok(ResponseBody::Batch(items)) => {
+                metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                let sheds = items
+                    .iter()
+                    .filter(|r| r.as_ref().is_err_and(WireError::is_overloaded))
+                    .count() as u64;
+                metrics.shed.fetch_add(sheds, Ordering::Relaxed);
+            }
+            Ok(_) => {
+                metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                if e.is_overloaded() {
+                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let frame = envelope::encode_response(id, &response);
+        if write_frame(&mut stream, &frame, max_frame).is_err() {
+            return; // peer gone; reader will notice EOF and wind down
+        }
+    }
+}

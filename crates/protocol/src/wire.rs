@@ -1,11 +1,56 @@
-//! Binary wire codec for the protocol messages.
+//! Binary wire codec for the protocol messages — the payload layer of
+//! the networked front door.
 //!
-//! A compact, self-describing framing: every message starts with a
-//! 4-byte magic + 1-byte message tag + 2-byte version, followed by
-//! length-prefixed fields. The codec is independent of serde so the
-//! protocol can run over raw sockets without a serialization framework;
-//! the serde derives on the message types remain available for
-//! downstream users with their own format.
+//! A compact, self-describing encoding: every message starts with a
+//! 4-byte magic (`FEID`) + 1-byte message tag + 2-byte version,
+//! followed by big-endian, length-prefixed fields. The codec is
+//! independent of serde so the protocol can run over raw sockets
+//! without a serialization framework; the serde derives on the message
+//! types remain available for downstream users with their own format.
+//!
+//! # Message tags
+//!
+//! | tag | message | direction |
+//! |----:|---------|-----------|
+//! | 0 | [`Message::Identify`] | request |
+//! | 1 | [`Message::Enroll`] | request |
+//! | 2 | [`Message::Challenge`] | response |
+//! | 3 | [`Message::Response`] | request |
+//! | 4 | [`Message::Outcome`] | response |
+//! | 5 | [`Message::EnrollUnique`] | request |
+//! | 6 | [`Message::Reset`] | request |
+//! | 7 | [`Message::AuthenticateClaimed`] | request |
+//! | 8 | [`Message::CheckLocalUniqueness`] | request |
+//! | 9 | [`Message::Revoke`] | request |
+//! | 10 | [`Message::IdentifyBatch`] | request |
+//!
+//! "Direction" is a *convention of the TCP front door* (`fe-net`), not
+//! a property of the codec: [`encode`]/[`decode`] round-trip every
+//! variant. The normative byte-level specification — including how
+//! these messages ride inside CRC-framed transport frames, the
+//! handshake, and the response envelope — lives in `PROTOCOL.md` at the
+//! repository root; this module is its reference implementation for the
+//! message payload layer.
+//!
+//! # Robustness contract
+//!
+//! [`decode`] never panics and never over-allocates from attacker-
+//! controlled length fields: every length is validated against the
+//! bytes actually remaining before use, vector preallocations are
+//! capped by what the buffer could possibly hold, truncated input at
+//! *any* byte offset yields [`ProtocolError::Malformed`], and trailing
+//! garbage is rejected. The tests exercise every proper prefix of every
+//! message kind plus random fuzz buffers.
+//!
+//! ```rust
+//! use fe_protocol::wire::{decode, encode, Message};
+//!
+//! let msg = Message::Identify { probe: vec![1, -2, 300] };
+//! let bytes = encode(&msg);
+//! assert_eq!(decode(&bytes).unwrap(), msg);
+//! // Truncation fails cleanly instead of panicking.
+//! assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+//! ```
 
 use crate::messages::{
     EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, UserId, WireHelper,
@@ -17,6 +62,7 @@ use fe_core::RobustData;
 const MAGIC: &[u8; 4] = b"FEID";
 const VERSION: u16 = 1;
 
+const TAG_IDENTIFY: u8 = 0;
 const TAG_ENROLL: u8 = 1;
 const TAG_CHALLENGE: u8 = 2;
 const TAG_RESPONSE: u8 = 3;
@@ -25,10 +71,20 @@ const TAG_ENROLL_UNIQUE: u8 = 5;
 const TAG_RESET: u8 = 6;
 const TAG_AUTH_CLAIMED: u8 = 7;
 const TAG_LOCAL_UNIQUE: u8 = 8;
+const TAG_REVOKE: u8 = 9;
+const TAG_IDENTIFY_BATCH: u8 = 10;
 
 /// Any protocol message, for tag-dispatched decoding.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
+    /// Identification phase-1 request: find the enrolled record matching
+    /// `probe` and open a challenge session
+    /// ([`begin_identification`](crate::AuthenticationServer::begin_identification)).
+    /// Answered with a [`Message::Challenge`].
+    Identify {
+        /// The probe sketch.
+        probe: Vec<i64>,
+    },
     /// Enrollment record (Fig. 1).
     Enroll(EnrollmentRecord),
     /// Identification challenge (Fig. 3).
@@ -63,6 +119,20 @@ pub enum Message {
         probe: Vec<i64>,
         /// The user subset to check against.
         ids: Vec<UserId>,
+    },
+    /// Revocation request: remove the enrollment under `id`
+    /// ([`revoke`](crate::AuthenticationServer::revoke)).
+    Revoke {
+        /// The user id to revoke.
+        id: UserId,
+    },
+    /// Batched identification phase 1: every probe resolved in one
+    /// server-side pass
+    /// ([`identify_batch`](crate::scheduler::ScheduledServer::identify_batch));
+    /// answered per probe, position-aligned.
+    IdentifyBatch {
+        /// The probe sketches.
+        probes: Vec<Vec<i64>>,
     },
 }
 
@@ -128,6 +198,10 @@ fn header(tag: u8) -> BytesMut {
 pub fn encode(msg: &Message) -> Vec<u8> {
     let mut buf;
     match msg {
+        Message::Identify { probe } => {
+            buf = header(TAG_IDENTIFY);
+            put_i64s(&mut buf, probe);
+        }
         Message::Enroll(r) => {
             buf = header(TAG_ENROLL);
             put_bytes(&mut buf, r.id.as_bytes());
@@ -179,6 +253,17 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 put_bytes(&mut buf, id.as_bytes());
             }
         }
+        Message::Revoke { id } => {
+            buf = header(TAG_REVOKE);
+            put_bytes(&mut buf, id.as_bytes());
+        }
+        Message::IdentifyBatch { probes } => {
+            buf = header(TAG_IDENTIFY_BATCH);
+            buf.put_u32(probes.len() as u32);
+            for probe in probes {
+                put_i64s(&mut buf, probe);
+            }
+        }
     }
     buf.to_vec()
 }
@@ -204,6 +289,9 @@ pub fn decode(data: &[u8]) -> Result<Message, ProtocolError> {
         return Err(ProtocolError::Malformed("unsupported version"));
     }
     let msg = match tag {
+        TAG_IDENTIFY => Message::Identify {
+            probe: get_i64s(&mut buf)?,
+        },
         TAG_ENROLL => {
             let id = String::from_utf8(get_bytes(&mut buf)?)
                 .map_err(|_| ProtocolError::Malformed("id not utf-8"))?;
@@ -294,6 +382,25 @@ pub fn decode(data: &[u8]) -> Result<Message, ProtocolError> {
             }
             Message::CheckLocalUniqueness { probe, ids }
         }
+        TAG_REVOKE => {
+            let id = String::from_utf8(get_bytes(&mut buf)?)
+                .map_err(|_| ProtocolError::Malformed("id not utf-8"))?;
+            Message::Revoke { id }
+        }
+        TAG_IDENTIFY_BATCH => {
+            if buf.remaining() < 4 {
+                return Err(ProtocolError::Malformed("truncated probe count"));
+            }
+            let count = buf.get_u32() as usize;
+            // Prealloc capped by what the remaining bytes could hold
+            // (each probe carries at least its own 4-byte length), so a
+            // lying count cannot trigger a huge allocation.
+            let mut probes = Vec::with_capacity(count.min(buf.remaining() / 4));
+            for _ in 0..count {
+                probes.push(get_i64s(&mut buf)?);
+            }
+            Message::IdentifyBatch { probes }
+        }
         _ => return Err(ProtocolError::Malformed("unknown tag")),
     };
     if buf.has_remaining() {
@@ -380,6 +487,58 @@ mod tests {
         ] {
             assert_eq!(decode(&encode(&msg)).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn front_door_requests_roundtrip() {
+        for msg in [
+            Message::Identify {
+                probe: vec![0, -1, i64::MAX, 42],
+            },
+            Message::Identify { probe: Vec::new() },
+            Message::Revoke {
+                id: "mallory".into(),
+            },
+            Message::IdentifyBatch {
+                probes: vec![vec![1, 2, 3], Vec::new(), vec![i64::MIN]],
+            },
+            Message::IdentifyBatch { probes: Vec::new() },
+        ] {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn front_door_requests_reject_truncation() {
+        for msg in [
+            Message::Identify { probe: vec![9; 12] },
+            Message::Revoke { id: "alice".into() },
+            Message::IdentifyBatch {
+                probes: vec![vec![1, 2], vec![3]],
+            },
+        ] {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+            }
+            let mut extended = bytes;
+            extended.push(0);
+            assert!(matches!(
+                decode(&extended),
+                Err(ProtocolError::Malformed("trailing bytes"))
+            ));
+        }
+    }
+
+    #[test]
+    fn lying_batch_count_cannot_overallocate() {
+        let mut bytes = encode(&Message::IdentifyBatch {
+            probes: vec![vec![7]],
+        });
+        // Header is 7 bytes; the batch count is the next 4. Claim 2^32-1
+        // probes with only one actually present: must fail cleanly.
+        bytes[7..11].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode(&bytes).is_err());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   out via the sharded, batch-capable `concurrent::SharedServer`.
 //! * [`crypto`] (`fe-crypto`) — SHA-256/SHA-512, HMAC, HMAC-DRBG, DSA,
 //!   Schnorr, strong extractors.
+//! * [`net`] (`fe-net`) — the networked front door: framed TCP server,
+//!   blocking client, handshake and envelope codecs (see `PROTOCOL.md`
+//!   for the normative wire spec).
 //! * [`biometric`] (`fe-biometric`) — synthetic biometric workloads.
 //! * [`metrics`] (`fe-metrics`) — metric spaces (Chebyshev, Hamming, …).
 //! * [`ecc`] (`fe-ecc`) — BCH / Reed–Solomon codes for the baselines.
@@ -52,4 +55,5 @@ pub use fe_core as core;
 pub use fe_crypto as crypto;
 pub use fe_ecc as ecc;
 pub use fe_metrics as metrics;
+pub use fe_net as net;
 pub use fe_protocol as protocol;
