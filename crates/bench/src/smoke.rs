@@ -102,6 +102,33 @@ pub fn record(bench: &str, metrics: &[(&str, f64)]) -> PathBuf {
     merge(&dir, merged)
 }
 
+/// Reads the previously recorded value of `bench.metric` from the
+/// merged report — the committed `BENCH_SMOKE.json` at the repository
+/// root, i.e. the fail-if-slower baseline for `FE_BENCH_GATE` checks.
+///
+/// Returns `None` when the file, section, or key is missing, when the
+/// value is `null`, or when the section was recorded under a different
+/// run mode than the current one (full-sweep and smoke numbers must
+/// never be compared). Call this **before** [`record`] — recording
+/// rewrites the report and clobbers the baseline.
+pub fn baseline(bench: &str, metric: &str) -> Option<f64> {
+    let (_, merged) = report_root();
+    let text = std::fs::read_to_string(merged).ok()?;
+    let header = format!("\"{}\": {{", sanitize(bench));
+    let section = text.split(&header).nth(1)?;
+    let section = &section[..section.find('}')?];
+    let mode = section.split("\"smoke\": ").nth(1)?;
+    let recorded_smoke = mode.trim_start().starts_with('1');
+    if recorded_smoke != smoke_mode() {
+        return None;
+    }
+    let value = section
+        .split(&format!("\"{}\": ", sanitize(metric)))
+        .nth(1)?;
+    let end = value.find([',', '\n', '}']).unwrap_or(value.len());
+    value[..end].trim().parse().ok()
+}
+
 /// Rebuilds the merged report from every fragment present.
 fn merge(dir: &PathBuf, path: PathBuf) -> PathBuf {
     let mut fragments: Vec<(String, String)> = std::fs::read_dir(dir)
@@ -162,6 +189,17 @@ mod tests {
         let merged2 = std::fs::read_to_string(&path2).unwrap();
         assert!(merged2.contains("\"unit-test-bench\""));
         assert!(merged2.contains("\"x\": null"));
+        // The baseline reader round-trips what record wrote (run modes
+        // match: both sides of the round trip saw the same env).
+        assert_eq!(baseline("unit-test-bench", "p50_us"), Some(42.0));
+        assert_eq!(
+            baseline("unit-test-bench", "throughput_rps"),
+            Some(1234.568)
+        );
+        // Missing key, null value, missing bench: all `None`.
+        assert_eq!(baseline("unit-test-bench", "nope"), None);
+        assert_eq!(baseline("unit-test-bench2", "x"), None);
+        assert_eq!(baseline("no-such-bench", "p50_us"), None);
         std::env::remove_var("FE_BENCH_SMOKE_OUT");
         std::fs::remove_dir_all(&scratch).unwrap();
     }

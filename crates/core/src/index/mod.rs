@@ -46,7 +46,7 @@ pub use scan::ScanIndex;
 pub use sharded::{ShardedIndex, ShardedReader};
 pub use store::{
     CellWidth, Combine, FilterConfig, FilterKernel, PairedArena, ParallelConfig, PlaneDepth,
-    RowMask, SketchArena,
+    PlaneWidth, RowMask, SketchArena,
 };
 
 /// A unique record handle assigned by the index.

@@ -264,6 +264,10 @@ pub struct FilterConfig {
     pub block_rows: usize,
     /// Multi-core fan-out policy for arena sweeps.
     pub parallel: ParallelConfig,
+    /// Lane width of the plane cells (see [`PlaneWidth`]): 16-bit exact
+    /// residues (4 rows per word) or quantized 8-bit buckets (8 rows
+    /// per word, over-accepting; phase 2 restores exactness).
+    pub width: PlaneWidth,
 }
 
 /// Prefilter plane depth: how many leading coordinates get a packed
@@ -284,6 +288,38 @@ pub enum PlaneDepth {
     Adaptive,
     /// Exactly this many lanes; `Fixed(0)` disables the prefilter.
     Fixed(usize),
+}
+
+/// Lane width of a [`FilterConfig`] prefilter plane.
+///
+/// The 16-bit plane stores each leading coordinate's biased residue
+/// exactly, so its phase-1 test is exact on the plane dimensions. The
+/// 8-bit plane packs twice as many rows per word by storing
+/// *conservatively quantized* residues instead: `bucket = residue / q`
+/// with `q = ⌈ka/256⌉` (the smallest divisor giving ≤ 256 buckets) and
+/// a quantized threshold `t_q = ⌈t'/q⌉ + 1` that over-accepts by
+/// construction — `|bucket_a − bucket_b|` cyclic over `⌈ka/q⌉` buckets
+/// never exceeds `⌈|a − b|_cyc / q⌉ + 1` — so every true match
+/// survives phase 1 and phase 2's exact verify (which re-checks *all*
+/// coordinates under a byte plane) keeps results bit-identical to the
+/// scalar kernel. Speed knob only, like [`FilterKernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaneWidth {
+    /// Pick per arena: the byte plane when the ring is eligible
+    /// (`2·t_q + 1 < ⌈ka/q⌉` — a quantized lane can still reject) and
+    /// its modeled plane traffic (adaptive depth × 1 byte/row) does not
+    /// exceed the 16-bit plane's (depth × 2 bytes/row); the 16-bit
+    /// plane otherwise. At the paper ring (`t = 100, ka = 400`, `q = 2`)
+    /// this picks the byte plane. Never changes results, only speed.
+    #[default]
+    Auto,
+    /// Pin the exact 16-bit plane (4 rows per word).
+    U16,
+    /// Request the quantized 8-bit plane (8 rows per word). Rings where
+    /// quantization leaves no rejection power (`2·t_q + 1 ≥ ⌈ka/q⌉`)
+    /// fall back to the 16-bit plane — a plane that cannot reject is
+    /// pure overhead, whatever the knob says.
+    U8,
 }
 
 /// The vector kernel that scans a [`FilterConfig`] prefilter plane.
@@ -341,9 +377,12 @@ impl ParallelConfig {
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
         ParallelConfig {
-            // A 64k-row i16 sweep is ~100 µs vectorized — comfortably
-            // above the pooled fan-out cost (a few µs).
-            min_rows: 1 << 16,
+            // A 128k-row i16 sweep is ~100 µs vectorized — comfortably
+            // above the pooled fan-out cost (a few µs). The threshold
+            // doubled when the quantized byte plane halved phase-1
+            // traffic per row (the `sweep_policy` bench gates parallel
+            // vs sequential at 10⁶ rows, far past this break-even).
+            min_rows: 1 << 17,
             max_threads: 0,
         }
     }
@@ -404,6 +443,13 @@ impl FilterConfig {
         self.parallel = parallel;
         self
     }
+
+    /// Replaces the plane lane width.
+    #[must_use]
+    pub fn with_width(mut self, width: PlaneWidth) -> FilterConfig {
+        self.width = width;
+        self
+    }
 }
 
 impl Default for FilterConfig {
@@ -413,6 +459,7 @@ impl Default for FilterConfig {
             kernel: FilterKernel::Auto,
             block_rows: Self::DEFAULT_BLOCK_ROWS,
             parallel: ParallelConfig::default(),
+            width: PlaneWidth::Auto,
         }
     }
 }
@@ -427,11 +474,18 @@ fn adaptive_depth(t: u64, ka: u64) -> usize {
     let t_eff = t.min(ka / 2);
     // Coordinates passing one lane: the 2·t_eff+1 residues within
     // cyclic distance t_eff (no overflow: t_eff ≤ ka/2).
-    let passing = 2 * t_eff + 1;
-    if passing >= ka {
+    adaptive_depth_for_rate(2 * t_eff + 1, ka)
+}
+
+/// The shared depth model behind [`adaptive_depth`], parameterized by
+/// the per-lane acceptance count over an arbitrary ring: the 16-bit
+/// plane passes `2·t_eff+1` of `ka` residues, the quantized byte plane
+/// passes `2·t_q+1` of `⌈ka/q⌉` buckets.
+fn adaptive_depth_for_rate(passing: u64, ring: u64) -> usize {
+    if passing >= ring {
         return 0;
     }
-    let rate = passing as f64 / ka as f64;
+    let rate = passing as f64 / ring as f64;
     const TARGET: f64 = 1.0 / 128.0;
     let mut depth = 1usize;
     let mut survivors = rate;
@@ -440,6 +494,42 @@ fn adaptive_depth(t: u64, ka: u64) -> usize {
         depth += 1;
     }
     depth
+}
+
+/// The byte plane's quantization for a ring with `ka < 2¹⁵`:
+/// `(q, kq, tq)` where `q = ⌈ka/256⌉` is the bucket width (1 when the
+/// ring already fits a byte), `kq = ⌈ka/q⌉` the bucket count, and `tq`
+/// the conservative bucket-distance threshold. With `t' = min(t, ka/2)`
+/// the exact residue test `|a − b|_cyc ≤ t'` implies the bucket test
+/// `|a/q − b/q|_cyc ≤ ⌈t'/q⌉ + 1` (bucketing moves each endpoint by
+/// < q, and the wrap-around leg over `kq` buckets shrinks by at most
+/// one extra bucket when `q ∤ ka`), so `tq = ⌈t'/q⌉ + 1` over-accepts
+/// and never over-rejects; `q = 1` needs no slack and keeps `t'`.
+fn quantize_ring(t: u64, ka: u64) -> (u16, u16, u16) {
+    debug_assert!(ka < 1 << 15);
+    let t_eff = t.min(ka / 2) as u16;
+    let ka16 = ka as u16;
+    let q = ka16.div_ceil(256).max(1);
+    let kq = ka16.div_ceil(q);
+    let tq = if q == 1 {
+        t_eff
+    } else {
+        (t_eff.div_ceil(q) + 1).min(kq / 2)
+    };
+    (q, kq, tq)
+}
+
+/// Whether the quantized byte plane can reject anything on this ring:
+/// a bucket lane passes `2·t_q+1` of `kq` buckets, so once that count
+/// reaches `kq` the plane is pure overhead and [`PlaneWidth::Auto`] /
+/// [`PlaneWidth::U8`] fall back to the exact 16-bit plane. Wider rings
+/// (`ka ≥ 2¹⁵`) never build any plane, so they are never eligible.
+fn byte_plane_eligible(t: u64, ka: u64) -> bool {
+    if ka >= 1 << 15 {
+        return false;
+    }
+    let (_, kq, tq) = quantize_ring(t, ka);
+    2 * u64::from(tq) + 1 < u64::from(kq)
 }
 
 /// `0x0001` in every 16-bit lane: broadcasts a lane value by
@@ -612,9 +702,10 @@ impl<'a> SweepCtl<'a> {
 #[allow(unsafe_code)]
 mod avx2 {
     use std::arch::x86_64::{
-        __m256i, _mm256_and_si256, _mm256_cmpeq_epi16, _mm256_min_epu16, _mm256_movemask_epi8,
-        _mm256_or_si256, _mm256_set1_epi16, _mm256_set_epi64x, _mm256_setzero_si256,
-        _mm256_sub_epi16, _mm256_subs_epu16, _mm256_testz_si256,
+        __m256i, _mm256_and_si256, _mm256_cmpeq_epi16, _mm256_cmpeq_epi8, _mm256_min_epu16,
+        _mm256_min_epu8, _mm256_movemask_epi8, _mm256_or_si256, _mm256_set1_epi16,
+        _mm256_set1_epi8, _mm256_set_epi64x, _mm256_setzero_si256, _mm256_sub_epi16,
+        _mm256_sub_epi8, _mm256_subs_epu16, _mm256_subs_epu8, _mm256_testz_si256,
     };
 
     /// Compacts the even bits of a 32-bit mask into 16 bits (AVX2's
@@ -679,6 +770,54 @@ mod avx2 {
         }
         even_bits(_mm256_movemask_epi8(acc) as u32)
     }
+
+    /// Prefilters 32 rows of a quantized byte plane (plane words
+    /// `wi .. wi+4` of every lane) against a probe's bucket values,
+    /// returning one bit per passing row — twice [`quad`]'s rows per
+    /// step, and the byte-granular `movemask` is the row mask directly
+    /// (no even-bit compaction).
+    ///
+    /// # Panics
+    /// Panics when AVX2 is unavailable — which makes the inner
+    /// `unsafe` call sound unconditionally.
+    pub fn quad8(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u32 {
+        assert!(available(), "AVX2 kernel dispatched without AVX2");
+        // SAFETY: the avx2 target feature was just verified above.
+        unsafe { quad8_avx2(lanes, biased, t, ka, wi) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn quad8_avx2(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u32 {
+        let zero = _mm256_setzero_si256();
+        let tv = _mm256_set1_epi8(t as i8);
+        // `ka` is the bucket count ≤ 256; 256 wraps to 0, which is
+        // still correct below: only d = 0 reaches the wrapped lane
+        // (buckets are < ka, so d ≤ ka − 1), and d = 0 always passes.
+        let kav = _mm256_set1_epi8(ka as u8 as i8);
+        let mut acc = _mm256_set1_epi8(-1);
+        for (lane, &pb) in lanes.iter().zip(biased) {
+            // 32 rows of this dimension: 4 packed u64 words, 8 bucket
+            // bytes each. Little-endian byte order matches `movemask`
+            // bit order.
+            let v: __m256i = _mm256_set_epi64x(
+                lane[wi + 3] as i64,
+                lane[wi + 2] as i64,
+                lane[wi + 1] as i64,
+                lane[wi] as i64,
+            );
+            let p = _mm256_set1_epi8(pb as u8 as i8);
+            // Same shape as the u16 kernel, one byte per row: |a − b|,
+            // cyclic min(d, ka − d), then d ≤ t via saturating − t.
+            let diff = _mm256_or_si256(_mm256_subs_epu8(v, p), _mm256_subs_epu8(p, v));
+            let cyc = _mm256_min_epu8(diff, _mm256_sub_epi8(kav, diff));
+            let pass = _mm256_cmpeq_epi8(_mm256_subs_epu8(cyc, tv), zero);
+            acc = _mm256_and_si256(acc, pass);
+            if _mm256_testz_si256(acc, acc) == 1 {
+                return 0;
+            }
+        }
+        _mm256_movemask_epi8(acc) as u32
+    }
 }
 
 /// The AVX-512 prefilter kernel: 32 rows per iteration (8 contiguous
@@ -692,8 +831,8 @@ mod avx2 {
 #[allow(unsafe_code)]
 mod avx512 {
     use std::arch::x86_64::{
-        _mm512_loadu_si512, _mm512_min_epu16, _mm512_or_si512, _mm512_set1_epi16, _mm512_sub_epi16,
-        _mm512_subs_epu16,
+        _mm512_loadu_si512, _mm512_min_epu16, _mm512_min_epu8, _mm512_or_si512, _mm512_set1_epi16,
+        _mm512_set1_epi8, _mm512_sub_epi16, _mm512_sub_epi8, _mm512_subs_epu16, _mm512_subs_epu8,
     };
 
     /// `true` once per process: does this CPU have the foundation +
@@ -741,6 +880,48 @@ mod avx512 {
         }
         acc
     }
+
+    /// Prefilters 64 rows of a quantized byte plane (plane words
+    /// `wi .. wi+8` of every lane) against a probe's bucket values,
+    /// returning one bit per passing row: a whole 64-row liveness
+    /// block's candidate mask from one `cmple_epu8` per dimension —
+    /// twice [`octo`]'s rows per step.
+    ///
+    /// # Panics
+    /// Panics when AVX-512 is unavailable — which makes the inner
+    /// `unsafe` call sound unconditionally.
+    pub fn octo8(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u64 {
+        assert!(available(), "AVX-512 kernel dispatched without AVX-512");
+        // SAFETY: the avx512f/avx512bw target features were just
+        // verified above.
+        unsafe { octo8_avx512(lanes, biased, t, ka, wi) }
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw")]
+    fn octo8_avx512(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u64 {
+        let tv = _mm512_set1_epi8(t as i8);
+        // Bucket count ≤ 256; 256 wraps to 0, reached only by d = 0,
+        // which passes regardless (see the AVX2 byte kernel).
+        let kav = _mm512_set1_epi8(ka as u8 as i8);
+        let mut acc: u64 = !0;
+        for (lane, &pb) in lanes.iter().zip(biased) {
+            // 64 rows of this dimension: 8 packed u64 words, 8 bucket
+            // bytes each, contiguous in the lane — one unaligned
+            // 512-bit load covers a full liveness block.
+            let words = &lane[wi..wi + 8];
+            // SAFETY: the bounds-checked slice above spans exactly the
+            // 64 bytes the unaligned load reads.
+            let v = unsafe { _mm512_loadu_si512(words.as_ptr().cast()) };
+            let p = _mm512_set1_epi8(pb as u8 as i8);
+            let diff = _mm512_or_si512(_mm512_subs_epu8(v, p), _mm512_subs_epu8(p, v));
+            let cyc = _mm512_min_epu8(diff, _mm512_sub_epi8(kav, diff));
+            acc &= std::arch::x86_64::_mm512_cmple_epu8_mask(cyc, tv);
+            if acc == 0 {
+                return 0;
+            }
+        }
+        acc
+    }
 }
 
 /// The NEON prefilter kernel: 8 rows per iteration (2 packed `u64`
@@ -778,6 +959,31 @@ mod neon {
         }
         intr::lane_bits(acc)
     }
+
+    /// Prefilters 16 rows of a quantized byte plane (plane words `wi`,
+    /// `wi+1` of every lane) against a probe's bucket values, returning
+    /// one bit per passing row — twice [`eight`]'s rows per step.
+    pub fn sixteen(lanes: &[Vec<u64>], biased: &[u16], t: u16, ka: u16, wi: usize) -> u16 {
+        let tv = intr::dup8(t as u8);
+        // Bucket count ≤ 256; 256 wraps to 0, reached only by d = 0,
+        // which passes regardless (buckets are < ka, so d ≤ ka − 1 and
+        // the wrapped subtraction is exact for every d ≥ 1).
+        let kav = intr::dup8(ka as u8);
+        let mut acc = intr::dup8(u8::MAX);
+        for (lane, &pb) in lanes.iter().zip(biased) {
+            // 16 rows of this dimension: 2 packed u64 words, loaded as
+            // 16 little-endian u8 lanes.
+            let v = intr::load_pair8(lane[wi], lane[wi + 1]);
+            let p = intr::dup8(pb as u8);
+            let d = intr::abd8(v, p);
+            let cyc = intr::min8(d, intr::sub8(kav, d));
+            acc = intr::and8(acc, intr::cle8(cyc, tv));
+            if intr::maxv8(acc) == 0 {
+                return 0;
+            }
+        }
+        intr::lane_bits16(acc)
+    }
 }
 
 /// The NEON intrinsics façade for [`neon`]: thin real wrappers on
@@ -790,6 +996,12 @@ mod intr {
     /// Per-lane bit weights for [`lane_bits`]: anding with a lane mask
     /// and summing across lanes yields one bit per all-ones lane.
     const BIT_WEIGHTS: [u16; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+    /// Per-lane bit weights for [`lane_bits16`], one byte lane each;
+    /// the two 8-lane halves are summed separately (16 weighted bytes
+    /// would overflow a u8 accumulator) and recombined as low/high
+    /// mask bytes.
+    const BIT_WEIGHTS8: [u8; 16] = [1, 2, 4, 8, 16, 32, 64, 128, 1, 2, 4, 8, 16, 32, 64, 128];
 
     #[cfg(target_arch = "aarch64")]
     mod imp {
@@ -856,6 +1068,72 @@ mod intr {
                 a::vaddvq_u16(a::vandq_u16(mask, weights)) as u8
             }
         }
+
+        /// Byte-lane twin of [`V`] for the quantized plane kernel.
+        pub type W = a::uint8x16_t;
+
+        #[inline]
+        pub fn dup8(x: u8) -> W {
+            // SAFETY: baseline NEON.
+            unsafe { a::vdupq_n_u8(x) }
+        }
+
+        #[inline]
+        pub fn load_pair8(w0: u64, w1: u64) -> W {
+            let words = [w0, w1];
+            // SAFETY: `words` spans the 16 bytes read; aarch64 is
+            // little-endian, so u64 packing order equals lane order.
+            unsafe { a::vld1q_u8(words.as_ptr().cast()) }
+        }
+
+        #[inline]
+        pub fn abd8(x: W, y: W) -> W {
+            // SAFETY: baseline NEON.
+            unsafe { a::vabdq_u8(x, y) }
+        }
+
+        #[inline]
+        pub fn min8(x: W, y: W) -> W {
+            // SAFETY: baseline NEON.
+            unsafe { a::vminq_u8(x, y) }
+        }
+
+        #[inline]
+        pub fn sub8(x: W, y: W) -> W {
+            // SAFETY: baseline NEON.
+            unsafe { a::vsubq_u8(x, y) }
+        }
+
+        #[inline]
+        pub fn and8(x: W, y: W) -> W {
+            // SAFETY: baseline NEON.
+            unsafe { a::vandq_u8(x, y) }
+        }
+
+        #[inline]
+        pub fn cle8(x: W, y: W) -> W {
+            // SAFETY: baseline NEON.
+            unsafe { a::vcleq_u8(x, y) }
+        }
+
+        #[inline]
+        pub fn maxv8(x: W) -> u8 {
+            // SAFETY: baseline NEON.
+            unsafe { a::vmaxvq_u8(x) }
+        }
+
+        #[inline]
+        pub fn lane_bits16(mask: W) -> u16 {
+            // SAFETY: `BIT_WEIGHTS8` spans the 16 bytes read; the
+            // per-half horizontal adds are baseline NEON.
+            unsafe {
+                let weights = a::vld1q_u8(super::BIT_WEIGHTS8.as_ptr());
+                let wm = a::vandq_u8(mask, weights);
+                let lo = u16::from(a::vaddv_u8(a::vget_low_u8(wm)));
+                let hi = u16::from(a::vaddv_u8(a::vget_high_u8(wm)));
+                lo | (hi << 8)
+            }
+        }
     }
 
     #[cfg(not(target_arch = "aarch64"))]
@@ -918,9 +1196,76 @@ mod intr {
                 .map(|(&m, w)| (m & w) as u8)
                 .sum()
         }
+
+        /// Portable stand-in for `uint8x16_t`.
+        #[derive(Clone, Copy)]
+        pub struct W(pub [u8; 16]);
+
+        fn zip8(x: W, y: W, f: impl Fn(u8, u8) -> u8) -> W {
+            let mut out = [0u8; 16];
+            for (o, (a, b)) in out.iter_mut().zip(x.0.iter().zip(y.0.iter())) {
+                *o = f(*a, *b);
+            }
+            W(out)
+        }
+
+        pub fn dup8(x: u8) -> W {
+            W([x; 16])
+        }
+
+        pub fn load_pair8(w0: u64, w1: u64) -> W {
+            let mut out = [0u8; 16];
+            for (i, o) in out.iter_mut().enumerate() {
+                let w = if i < 8 { w0 } else { w1 };
+                *o = (w >> (8 * (i % 8))) as u8;
+            }
+            W(out)
+        }
+
+        pub fn abd8(x: W, y: W) -> W {
+            zip8(x, y, u8::abs_diff)
+        }
+
+        pub fn min8(x: W, y: W) -> W {
+            zip8(x, y, u8::min)
+        }
+
+        pub fn sub8(x: W, y: W) -> W {
+            // vsubq wraps, like the real thing — and the byte kernel
+            // leans on it: a 256-bucket ring's `ka` broadcast wraps to
+            // 0, and `0 − d` wraps back to the exact `256 − d`.
+            zip8(x, y, u8::wrapping_sub)
+        }
+
+        pub fn and8(x: W, y: W) -> W {
+            zip8(x, y, |a, b| a & b)
+        }
+
+        pub fn cle8(x: W, y: W) -> W {
+            zip8(x, y, |a, b| if a <= b { u8::MAX } else { 0 })
+        }
+
+        pub fn maxv8(x: W) -> u8 {
+            x.0.into_iter().max().unwrap_or(0)
+        }
+
+        pub fn lane_bits16(mask: W) -> u16 {
+            let lo: u8 = mask.0[..8]
+                .iter()
+                .zip(&super::BIT_WEIGHTS8[..8])
+                .map(|(&m, &w)| m & w)
+                .sum();
+            let hi: u8 = mask.0[8..]
+                .iter()
+                .zip(&super::BIT_WEIGHTS8[8..])
+                .map(|(&m, &w)| m & w)
+                .sum();
+            u16::from(lo) | (u16::from(hi) << 8)
+        }
     }
 
     pub use imp::{abd, and, cle, dup, lane_bits, load_pair, maxv, min, sub};
+    pub use imp::{abd8, and8, cle8, dup8, lane_bits16, load_pair8, maxv8, min8, sub8};
 }
 
 /// Software prefetch for the phase-2 verify pipeline: a best-effort
@@ -950,10 +1295,30 @@ mod fetch {
     }
 }
 
+/// The lane cell representation a [`FilterPlane`] was built with,
+/// after [`PlaneWidth`] resolution (`Auto` and ineligible-`U8` rings
+/// have already fallen back by the time a plane exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlaneRepr {
+    /// Exact biased residues, 4 × 16-bit lanes per word. Phase 1 is
+    /// exact on the plane dimensions, so phase 2 verifies only the
+    /// remaining `dim − F` coordinates.
+    U16,
+    /// Quantized buckets (`residue / q`), 8 × 8-bit lanes per word.
+    /// Phase 1 over-accepts (see [`PlaneWidth`]), so phase 2 verifies
+    /// *all* coordinates — still a net win: byte lanes reject ≈ as
+    /// sharply per dimension while the plane moves half the bytes.
+    U8 {
+        /// Bucket width `⌈ka/256⌉`.
+        q: u16,
+    },
+}
+
 /// The leading dimensions of every row, stored dimension-major for the
 /// vector prefilter: lane `d` holds coordinate `d` of rows
-/// `0, 1, 2, …` as biased 16-bit residues (`(value mod ka) ∈ [0, ka)`),
-/// four rows packed per `u64` word.
+/// `0, 1, 2, …` as biased 16-bit residues (`(value mod ka) ∈ [0, ka)`)
+/// packed four rows per `u64` word — or, under [`PlaneRepr::U8`], as
+/// quantized 8-bit buckets packed eight rows per word.
 ///
 /// Only rows' *positions* live here — liveness stays in the arena's
 /// bitmap, which the candidate masks are intersected with, so `remove`
@@ -962,15 +1327,26 @@ mod fetch {
 struct FilterPlane {
     /// One packed lane per filter dimension (`min(config.dims, dim)`).
     lanes: Vec<Vec<u64>>,
+    /// Lane cell representation (16-bit exact / 8-bit quantized).
+    repr: PlaneRepr,
     /// Effective threshold `min(t, ka/2)` — the cyclic distance never
     /// exceeds `ka/2`, so clamping preserves the predicate while
-    /// keeping every SWAR constant inside a 15-bit lane.
+    /// keeping every SWAR constant inside a 15-bit lane. Used by the
+    /// exact phase-2 verify.
     t_eff: u16,
     /// The ring circumference (fits: planes only exist for `ka < 2¹⁵`).
+    /// Used for probe biasing and the exact phase-2 verify.
     ka16: u16,
-    /// `0x8000 + t_eff` broadcast: SWAR `absd ≤ t_eff` comparand.
+    /// Threshold the phase-1 kernels compare against: `t_eff` on a
+    /// 16-bit plane, the quantized `t_q` on a byte plane.
+    cmp_t: u16,
+    /// Ring the phase-1 kernels wrap over: `ka` on a 16-bit plane, the
+    /// bucket count `⌈ka/q⌉` (≤ 256) on a byte plane.
+    cmp_ka: u16,
+    /// `0x8000 + cmp_t` broadcast: SWAR `absd ≤ cmp_t` comparand.
     th: u64,
-    /// `ka − t_eff` broadcast: SWAR `absd ≥ ka − t_eff` comparand.
+    /// `cmp_ka − cmp_t` broadcast: SWAR `absd ≥ cmp_ka − cmp_t`
+    /// comparand.
     kmt: u64,
 }
 
@@ -985,16 +1361,27 @@ fn bias16(c: i16, ka16: u16) -> u16 {
 }
 
 impl FilterPlane {
-    fn new(dims: usize, t: u64, ka: u64) -> FilterPlane {
+    fn new(dims: usize, t: u64, ka: u64, repr: PlaneRepr) -> FilterPlane {
         debug_assert!(dims >= 1 && ka < 1 << 15);
         let ka16 = ka as u16;
         let t_eff = t.min(ka / 2) as u16;
+        let (cmp_t, cmp_ka) = match repr {
+            PlaneRepr::U16 => (t_eff, ka16),
+            PlaneRepr::U8 { q } => {
+                let (rq, kq, tq) = quantize_ring(t, ka);
+                debug_assert_eq!(rq, q);
+                (tq, kq)
+            }
+        };
         FilterPlane {
             lanes: vec![Vec::new(); dims],
+            repr,
             t_eff,
             ka16,
-            th: (0x8000 + u64::from(t_eff)) * LANES,
-            kmt: (ka - u64::from(t_eff)) * LANES,
+            cmp_t,
+            cmp_ka,
+            th: (0x8000 + u64::from(cmp_t)) * LANES,
+            kmt: (u64::from(cmp_ka) - u64::from(cmp_t)) * LANES,
         }
     }
 
@@ -1002,12 +1389,39 @@ impl FilterPlane {
         self.lanes.len()
     }
 
+    /// Rows packed per `u64` lane word: 4 × u16 or 8 × u8.
+    fn rows_per_word(&self) -> usize {
+        match self.repr {
+            PlaneRepr::U16 => 4,
+            PlaneRepr::U8 { .. } => 8,
+        }
+    }
+
+    /// First coordinate phase 2 must verify: the 16-bit plane tests
+    /// its dimensions exactly (verify resumes after them), the byte
+    /// plane over-accepts (verify re-checks everything).
+    fn verify_start(&self) -> usize {
+        match self.repr {
+            PlaneRepr::U16 => self.dims(),
+            PlaneRepr::U8 { .. } => 0,
+        }
+    }
+
+    /// Divisor applied to biased probe residues when building
+    /// [`ProbeFilter`] state (1 on the exact 16-bit plane).
+    fn probe_quant(&self) -> u16 {
+        match self.repr {
+            PlaneRepr::U16 => 1,
+            PlaneRepr::U8 { q } => q,
+        }
+    }
+
     fn heap_bytes(&self) -> usize {
         self.lanes.iter().map(|l| l.capacity() * 8).sum()
     }
 
     fn reserve_rows(&mut self, total_rows: usize) {
-        let words = total_rows.div_ceil(4);
+        let words = total_rows.div_ceil(self.rows_per_word());
         for lane in &mut self.lanes {
             lane.reserve(words.saturating_sub(lane.len()));
         }
@@ -1023,14 +1437,19 @@ impl FilterPlane {
     /// residues) to every lane. Rows must arrive densely in order.
     fn push_row(&mut self, row: usize, leading: &[i16]) {
         debug_assert_eq!(leading.len(), self.lanes.len());
-        let (word, slot) = (row / 4, row % 4);
+        let rpw = self.rows_per_word();
+        let (word, slot) = (row / rpw, row % rpw);
+        let (quant, bits) = match self.repr {
+            PlaneRepr::U16 => (1, 16),
+            PlaneRepr::U8 { q } => (q, 8),
+        };
         for (lane, &c) in self.lanes.iter_mut().zip(leading) {
-            let b = u64::from(bias16(c, self.ka16));
+            let b = u64::from(bias16(c, self.ka16) / quant);
             if slot == 0 {
                 debug_assert_eq!(lane.len(), word);
                 lane.push(b);
             } else {
-                lane[word] |= b << (16 * slot);
+                lane[word] |= b << (bits * slot);
             }
         }
     }
@@ -1045,39 +1464,81 @@ impl FilterPlane {
         }
     }
 
-    /// SWAR-prefilters the 4 rows of plane word `wi`, returning one
-    /// low bit per passing row. See `DESIGN.md` for the lane algebra;
-    /// every intermediate stays within its 16-bit lane because values
-    /// are 15-bit residues and `MSBS` supplies the borrow headroom.
+    /// One dimension's SWAR cyclic test on 4 × 16-bit lane values `a`
+    /// against the broadcast probe `pb`, returning the per-lane pass
+    /// MSBs. See `DESIGN.md` for the lane algebra; every intermediate
+    /// stays within its 16-bit lane because values are 15-bit residues
+    /// (buckets ≤ 256 on the byte plane) and `MSBS` supplies the
+    /// borrow headroom.
+    #[inline]
+    fn swar_pass(&self, a: u64, pb: u64) -> u64 {
+        // Per lane: a − b + 0x8000 and b − a + 0x8000 (exact; no
+        // cross-lane borrow since the `MSBS` addend dominates any
+        // 15-bit operand).
+        let d1 = (a | MSBS) - pb;
+        let d2 = (pb | MSBS) - a;
+        // Full-lane mask of a ≥ b from d1's carried MSB.
+        let ge = ((d1 >> 15) & LANES) * 0xFFFF;
+        // |a − b| per lane, MSB bias stripped.
+        let absd = ((d1 & ge) | (d2 & !ge)) & !MSBS;
+        // Cyclic pass: absd ≤ cmp_t  OR  absd ≥ cmp_ka − cmp_t.
+        ((self.th - absd) | ((absd | MSBS) - self.kmt)) & MSBS
+    }
+
+    /// Gathers [`FilterPlane::swar_pass`] survivor MSBs into 4 low
+    /// bits.
+    #[inline]
+    fn swar_gather(acc: u64) -> u64 {
+        ((acc >> 15) & 1) | ((acc >> 30) & 2) | ((acc >> 45) & 4) | ((acc >> 60) & 8)
+    }
+
+    /// SWAR-prefilters the 4 rows of 16-bit plane word `wi`, returning
+    /// one low bit per passing row.
     #[inline]
     fn swar_word(&self, pf: ProbeFilter<'_>, wi: usize) -> u64 {
         let mut acc = MSBS;
         for (lane, &pb) in self.lanes.iter().zip(pf.bcast) {
-            let a = lane[wi];
-            // Per lane: a − b + 0x8000 and b − a + 0x8000 (exact; no
-            // cross-lane borrow since the `MSBS` addend dominates any
-            // 15-bit operand).
-            let d1 = (a | MSBS) - pb;
-            let d2 = (pb | MSBS) - a;
-            // Full-lane mask of a ≥ b from d1's carried MSB.
-            let ge = ((d1 >> 15) & LANES) * 0xFFFF;
-            // |a − b| per lane, MSB bias stripped.
-            let absd = ((d1 & ge) | (d2 & !ge)) & !MSBS;
-            // Cyclic pass: absd ≤ t_eff  OR  absd ≥ ka − t_eff.
-            let pass = ((self.th - absd) | ((absd | MSBS) - self.kmt)) & MSBS;
-            acc &= pass;
+            acc &= self.swar_pass(lane[wi], pb);
             if acc == 0 {
                 return 0;
             }
         }
-        // Gather the surviving per-lane MSBs into 4 low bits.
-        ((acc >> 15) & 1) | ((acc >> 30) & 2) | ((acc >> 45) & 4) | ((acc >> 60) & 8)
+        Self::swar_gather(acc)
     }
 
-    /// Candidate mask for one 64-row block: prefilters plane words
-    /// `16·w .. 16·w+16` against the probe and intersects with the
-    /// block's liveness word (which also discards tail lanes past the
-    /// last real row).
+    /// SWAR-prefilters the 8 rows of byte plane word `wi`, returning
+    /// one low bit per passing row.
+    ///
+    /// Bytes have no spare MSB, so the word is split into its even and
+    /// odd bytes — each a 4 × 16-bit-lane value whose lanes hold a
+    /// bucket ≤ 255, leaving the usual `0x8000` headroom — and both
+    /// halves run the existing 16-bit lane algebra (which computes the
+    /// exact `cmp_ka − absd`, so even the `kq = 256` ring needs no
+    /// wrap-around trick here). The two 4-bit results interleave back
+    /// into byte order.
+    #[inline]
+    fn swar_word_u8(&self, pf: ProbeFilter<'_>, wi: usize) -> u64 {
+        const EVENS: u64 = 0x00FF_00FF_00FF_00FF;
+        let (mut acc_e, mut acc_o) = (MSBS, MSBS);
+        for (lane, &pb) in self.lanes.iter().zip(pf.bcast) {
+            let w = lane[wi];
+            acc_e &= self.swar_pass(w & EVENS, pb);
+            acc_o &= self.swar_pass((w >> 8) & EVENS, pb);
+            if acc_e | acc_o == 0 {
+                return 0;
+            }
+        }
+        // 16-bit lane i of the even half is byte 2i (row bit 2i); of
+        // the odd half, byte 2i+1 — spread each gather bit i to bit 2i
+        // and interleave.
+        let spread = |x: u64| (x & 1) | ((x & 2) << 1) | ((x & 4) << 2) | ((x & 8) << 3);
+        spread(Self::swar_gather(acc_e)) | (spread(Self::swar_gather(acc_o)) << 1)
+    }
+
+    /// Candidate mask for one 64-row block: prefilters the block's
+    /// plane words (16 on the 16-bit plane, 8 on the byte plane)
+    /// against the probe and intersects with the block's liveness word
+    /// (which also discards tail lanes past the last real row).
     fn block_candidates(
         &self,
         kernel: ActiveKernel,
@@ -1085,6 +1546,9 @@ impl FilterPlane {
         w: usize,
         lw: u64,
     ) -> u64 {
+        if let PlaneRepr::U8 { .. } = self.repr {
+            return self.block_candidates_u8(kernel, pf, w, lw);
+        }
         let words = self.lanes[0].len();
         let base = w * 16;
         let mut out = 0u64;
@@ -1098,7 +1562,7 @@ impl FilterPlane {
                     }
                     let wi = base + half * 8;
                     if wi + 8 <= words {
-                        let m = avx512::octo(&self.lanes, pf.biased, self.t_eff, self.ka16, wi);
+                        let m = avx512::octo(&self.lanes, pf.biased, self.cmp_t, self.cmp_ka, wi);
                         out |= u64::from(m) << (half * 32);
                     } else {
                         // Tail of the buffer: too few words for a full
@@ -1118,7 +1582,7 @@ impl FilterPlane {
                     }
                     let wi = base + group * 2;
                     if wi + 2 <= words {
-                        let m = neon::eight(&self.lanes, pf.biased, self.t_eff, self.ka16, wi);
+                        let m = neon::eight(&self.lanes, pf.biased, self.cmp_t, self.cmp_ka, wi);
                         out |= u64::from(m) << (group * 8);
                     } else {
                         for (sub, wi) in (wi..words).enumerate() {
@@ -1136,7 +1600,7 @@ impl FilterPlane {
                     }
                     let wi = base + chunk * 4;
                     if wi + 4 <= words {
-                        let m = avx2::quad(&self.lanes, pf.biased, self.t_eff, self.ka16, wi);
+                        let m = avx2::quad(&self.lanes, pf.biased, self.cmp_t, self.cmp_ka, wi);
                         out |= u64::from(m) << (chunk * 16);
                     } else {
                         // Tail of the buffer: too few words for a full
@@ -1163,17 +1627,99 @@ impl FilterPlane {
         out & lw
     }
 
+    /// [`FilterPlane::block_candidates`] for the byte plane: one
+    /// 64-row block is 8 plane words, so every backend covers twice
+    /// the rows per step — AVX-512 masks the whole block in a single
+    /// 512-bit compare.
+    fn block_candidates_u8(
+        &self,
+        kernel: ActiveKernel,
+        pf: ProbeFilter<'_>,
+        w: usize,
+        lw: u64,
+    ) -> u64 {
+        let words = self.lanes[0].len();
+        let base = w * 8;
+        let mut out = 0u64;
+        match kernel {
+            #[cfg(target_arch = "x86_64")]
+            ActiveKernel::Avx512 => {
+                if base + 8 <= words {
+                    out = avx512::octo8(&self.lanes, pf.biased, self.cmp_t, self.cmp_ka, base);
+                } else {
+                    // Tail of the buffer: too few words for a full
+                    // 64-row vector — finish with SWAR words.
+                    for (sub, wi) in (base..words).enumerate() {
+                        out |= self.swar_word_u8(pf, wi) << (sub * 8);
+                    }
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            ActiveKernel::Neon => {
+                for group in 0..4 {
+                    // Wholly-dead 16-row runs need no prefilter at all.
+                    if (lw >> (group * 16)) & 0xFFFF == 0 {
+                        continue;
+                    }
+                    let wi = base + group * 2;
+                    if wi + 2 <= words {
+                        let m = neon::sixteen(&self.lanes, pf.biased, self.cmp_t, self.cmp_ka, wi);
+                        out |= u64::from(m) << (group * 16);
+                    } else {
+                        for (sub, wi) in (wi..words).enumerate() {
+                            out |= self.swar_word_u8(pf, wi) << (group * 16 + sub * 8);
+                        }
+                    }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            ActiveKernel::Avx2 => {
+                for half in 0..2 {
+                    // Wholly-dead 32-row runs need no prefilter at all.
+                    if (lw >> (half * 32)) & 0xFFFF_FFFF == 0 {
+                        continue;
+                    }
+                    let wi = base + half * 4;
+                    if wi + 4 <= words {
+                        let m = avx2::quad8(&self.lanes, pf.biased, self.cmp_t, self.cmp_ka, wi);
+                        out |= u64::from(m) << (half * 32);
+                    } else {
+                        // Tail of the buffer: too few words for a full
+                        // 32-row vector — finish with SWAR words.
+                        for (sub, wi) in (wi..words).enumerate() {
+                            out |= self.swar_word_u8(pf, wi) << (half * 32 + sub * 8);
+                        }
+                    }
+                }
+            }
+            ActiveKernel::Swar => {
+                for sub in 0..8 {
+                    if (lw >> (sub * 8)) & 0xFF == 0 {
+                        continue;
+                    }
+                    let wi = base + sub;
+                    if wi >= words {
+                        break;
+                    }
+                    out |= self.swar_word_u8(pf, wi) << (sub * 8);
+                }
+            }
+        }
+        out & lw
+    }
+
     /// Phase 1 + phase 2 for one probe: walks the candidate bitmap one
     /// *super-block* (`ctl.block_words` 64-row blocks) at a time —
     /// phase-1 masks for the whole group are computed first, software-
     /// prefetching each survivor's verify cells as its mask comes out,
-    /// then each survivor's *remaining* dimensions (`pd..dim`) are
-    /// exact-verified with the scalar early-abort kernel. The plane
-    /// dimensions were already tested exactly, so together the two
-    /// phases equal a full-row `rows_match`; the prefetch distance is
-    /// what hides phase-2's scattered loads behind phase-1's compute.
-    /// Calls `on_match` for every matching row until it returns
-    /// `false`.
+    /// then each survivor is exact-verified with the scalar early-abort
+    /// kernel from [`FilterPlane::verify_start`] on: the 16-bit plane
+    /// already tested its dimensions exactly so verify covers only
+    /// `pd..dim`, while the byte plane over-accepts and verify re-runs
+    /// the full row. Either way the two phases equal a full-row
+    /// `rows_match`; the prefetch distance is what hides phase-2's
+    /// scattered loads behind phase-1's compute. Calls `on_match` for
+    /// every matching row until it returns `false`.
     fn scan(
         &self,
         col: ColumnView<'_, i16>,
@@ -1183,11 +1729,11 @@ impl FilterPlane {
         ctl: SweepCtl<'_>,
         on_match: &mut dyn FnMut(RecordId) -> bool,
     ) {
-        let pd = self.dims();
+        let vstart = self.verify_start();
         // `min(t, ka/2)` and the real `t` decide conditions (1)–(4)
         // identically (cyclic distance never exceeds ka/2).
         let (t, ka) = (u64::from(self.t_eff), u64::from(self.ka16));
-        let suffix = &probe[pd..];
+        let suffix = &probe[vstart..];
         let mut masks = [0u64; MAX_BLOCK_WORDS];
         let mut w = ctl.words.start;
         while w < ctl.words.end {
@@ -1217,7 +1763,7 @@ impl FilterPlane {
                 while pre != 0 {
                     let row = wi * 64 + pre.trailing_zeros() as usize;
                     pre &= pre - 1;
-                    fetch::prefetch_read(col.cells, row * col.dim + pd);
+                    fetch::prefetch_read(col.cells, row * col.dim + vstart);
                 }
             }
             // Phase 2: exact-verify the super-block's survivors in row
@@ -1227,7 +1773,7 @@ impl FilterPlane {
                 while cand != 0 {
                     let row = wi * 64 + cand.trailing_zeros() as usize;
                     cand &= cand - 1;
-                    let s = &col.cells[row * col.dim + pd..(row + 1) * col.dim];
+                    let s = &col.cells[row * col.dim + vstart..(row + 1) * col.dim];
                     if rows_match(s, suffix, t, ka) && !on_match(row) {
                         return;
                     }
@@ -1257,6 +1803,7 @@ impl FilterPlane {
         results: &mut [Option<RecordId>],
     ) {
         let pd = self.dims();
+        let vstart = self.verify_start();
         let (t, ka) = (u64::from(self.t_eff), u64::from(self.ka16));
         for w in words {
             let lw = col.live[w];
@@ -1270,19 +1817,19 @@ impl FilterPlane {
                     biased: &pf_all.biased[p * pd..(p + 1) * pd],
                     bcast: &pf_all.bcast[p * pd..(p + 1) * pd],
                 };
-                let suffix = &probes[p * col.dim + pd..(p + 1) * col.dim];
+                let suffix = &probes[p * col.dim + vstart..(p + 1) * col.dim];
                 let mut cand = self.block_candidates(kernel, pf, w, lw);
                 let mut pre = cand;
                 while pre != 0 {
                     let row = w * 64 + pre.trailing_zeros() as usize;
                     pre &= pre - 1;
-                    fetch::prefetch_read(col.cells, row * col.dim + pd);
+                    fetch::prefetch_read(col.cells, row * col.dim + vstart);
                 }
                 let mut resolved = false;
                 while cand != 0 {
                     let row = w * 64 + cand.trailing_zeros() as usize;
                     cand &= cand - 1;
-                    let s = &col.cells[row * col.dim + pd..(row + 1) * col.dim];
+                    let s = &col.cells[row * col.dim + vstart..(row + 1) * col.dim];
                     if rows_match(s, suffix, t, ka) {
                         results[p] = Some(row);
                         resolved = true;
@@ -1320,13 +1867,17 @@ struct ScanScratch {
 /// Builds the prefilter probe state (biased residues + SWAR broadcasts)
 /// for every probe in `cells16`: canonical `i16` probe rows laid out
 /// `dim` apart, `pd` plane dimensions each, into the scratch's reused
-/// `biased`/`bcast` buffers. Probes that cannot match (wrong dimension,
+/// `biased`/`bcast` buffers. On a quantized byte plane (`quant > 1`)
+/// the stored values are the probe's *bucket* coordinates, so each
+/// probe of a micro-batch is quantized exactly once here — never per
+/// block inside the sweep. Probes that cannot match (wrong dimension,
 /// pre-zeroed rows) keep their slots so indexing stays uniform.
 fn build_filter_probes(
     cells16: &[i16],
     dim: usize,
     pd: usize,
     ka16: u16,
+    quant: u16,
     biased: &mut Vec<u16>,
     bcast: &mut Vec<u64>,
 ) {
@@ -1337,7 +1888,7 @@ fn build_filter_probes(
     bcast.reserve(count * pd);
     for p in 0..count {
         for &c in &cells16[p * dim..p * dim + pd] {
-            let b = bias16(c, ka16);
+            let b = bias16(c, ka16) / quant;
             biased.push(b);
             bcast.push(u64::from(b) * LANES);
         }
@@ -1720,11 +2271,63 @@ impl SketchArena {
     /// The plane depth this arena's config resolves to for its ring
     /// (before clamping to the stamped dimension):
     /// [`PlaneDepth::Fixed`] verbatim, [`PlaneDepth::Adaptive`] from
-    /// the per-dimension rejection model (see [`PlaneDepth`]).
+    /// the per-dimension rejection model (see [`PlaneDepth`]) — on a
+    /// byte plane, the quantized per-bucket acceptance rate
+    /// `(2·t_q+1)/⌈ka/q⌉`, since byte lanes individually accept more
+    /// often than exact 16-bit lanes.
     pub fn resolved_depth(&self) -> usize {
         match self.filter.depth {
             PlaneDepth::Fixed(d) => d,
-            PlaneDepth::Adaptive => adaptive_depth(self.t, self.ka),
+            PlaneDepth::Adaptive => self.adaptive_depth_for(self.resolved_repr()),
+        }
+    }
+
+    /// [`PlaneDepth::Adaptive`] under a given plane representation.
+    fn adaptive_depth_for(&self, repr: PlaneRepr) -> usize {
+        match repr {
+            PlaneRepr::U16 => adaptive_depth(self.t, self.ka),
+            PlaneRepr::U8 { .. } => {
+                let (_, kq, tq) = quantize_ring(self.t, self.ka);
+                adaptive_depth_for_rate(2 * u64::from(tq) + 1, u64::from(kq))
+            }
+        }
+    }
+
+    /// Resolves [`FilterConfig::width`] for this arena's ring: `U8`
+    /// only when the quantized plane can still reject
+    /// ([`byte_plane_eligible`]); `Auto` additionally requires the
+    /// byte plane's modeled traffic (its depth × 1 byte/row) to not
+    /// exceed the 16-bit plane's (its depth × 2 bytes/row). Only
+    /// meaningful on `i16` rings — wider rings never build a plane.
+    fn resolved_repr(&self) -> PlaneRepr {
+        let byte_repr = || {
+            let (q, _, _) = quantize_ring(self.t, self.ka);
+            PlaneRepr::U8 { q }
+        };
+        match self.filter.width {
+            PlaneWidth::U16 => PlaneRepr::U16,
+            PlaneWidth::U8 if byte_plane_eligible(self.t, self.ka) => byte_repr(),
+            PlaneWidth::U8 => PlaneRepr::U16,
+            PlaneWidth::Auto => {
+                if !byte_plane_eligible(self.t, self.ka) {
+                    return PlaneRepr::U16;
+                }
+                let repr = byte_repr();
+                let (u8_depth, u16_depth) = match self.filter.depth {
+                    // A pinned depth costs the same lanes either way:
+                    // the byte plane halves the traffic outright.
+                    PlaneDepth::Fixed(d) => (d, d),
+                    PlaneDepth::Adaptive => (
+                        self.adaptive_depth_for(repr),
+                        self.adaptive_depth_for(PlaneRepr::U16),
+                    ),
+                };
+                if u8_depth <= u16_depth * 2 {
+                    repr
+                } else {
+                    PlaneRepr::U16
+                }
+            }
         }
     }
 
@@ -1735,7 +2338,7 @@ impl SketchArena {
         let dim = self.dim.unwrap_or(0);
         let pd = self.resolved_depth().min(dim);
         if self.width == CellWidth::I16 && pd > 0 {
-            self.plane = Some(FilterPlane::new(pd, self.t, self.ka));
+            self.plane = Some(FilterPlane::new(pd, self.t, self.ka, self.resolved_repr()));
         }
     }
 
@@ -1760,6 +2363,17 @@ impl SketchArena {
     /// inactive).
     pub fn plane_dims(&self) -> usize {
         self.plane.as_ref().map_or(0, FilterPlane::dims)
+    }
+
+    /// The lane width the live plane was built with — `"u8"`, `"u16"`,
+    /// or `"none"` when no plane exists. Benches use this to label
+    /// ablations, like [`SketchArena::filter_kernel`].
+    pub fn plane_width(&self) -> &'static str {
+        match self.plane.as_ref().map(|p| p.repr) {
+            None => "none",
+            Some(PlaneRepr::U16) => "u16",
+            Some(PlaneRepr::U8 { .. }) => "u8",
+        }
     }
 
     /// The configured prefilter knob (which the ring width may have
@@ -2297,6 +2911,7 @@ impl SketchArena {
                             dim,
                             plane.dims(),
                             plane.ka16,
+                            plane.probe_quant(),
                             &mut s.biased,
                             &mut s.bcast,
                         );
@@ -2563,6 +3178,7 @@ impl SketchArena {
                             dim,
                             plane.dims(),
                             plane.ka16,
+                            plane.probe_quant(),
                             &mut s.biased,
                             &mut s.bcast,
                         );
@@ -3068,15 +3684,32 @@ mod tests {
             wide.heap_bytes()
         );
         // The prefilter plane is accounted for: an identical filtered
-        // arena holds strictly more heap (2 extra bytes per plane cell).
+        // arena holds strictly more heap (1 extra byte per plane cell
+        // on the default quantized byte plane, 2 on a pinned 16-bit
+        // plane).
         let mut filtered = SketchArena::with_capacity(100, 400, 64, 8);
+        let mut filtered16 = SketchArena::with_filter(
+            100,
+            400,
+            FilterConfig::default().with_width(PlaneWidth::U16),
+        );
+        filtered16.reserve(64, 8);
         for i in 0..64i64 {
             filtered.push(&[i; 8]);
+            filtered16.push(&[i; 8]);
         }
+        assert_eq!(filtered.plane_width(), "u8");
+        assert_eq!(filtered16.plane_width(), "u16");
         assert!(
-            filtered.heap_bytes() >= narrow.heap_bytes() + 64 * 8 * 2,
-            "plane bytes missing from heap_bytes: {} vs {}",
+            filtered.heap_bytes() >= narrow.heap_bytes() + 64 * 8,
+            "byte-plane bytes missing from heap_bytes: {} vs {}",
             filtered.heap_bytes(),
+            narrow.heap_bytes()
+        );
+        assert!(
+            filtered16.heap_bytes() >= narrow.heap_bytes() + 64 * 8 * 2,
+            "u16-plane bytes missing from heap_bytes: {} vs {}",
+            filtered16.heap_bytes(),
             narrow.heap_bytes()
         );
     }
@@ -3344,7 +3977,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0x9E09);
         for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
-            let mut plane = FilterPlane::new(3, t, ka);
+            let mut plane = FilterPlane::new(3, t, ka, PlaneRepr::U16);
             for row in 0..64 {
                 let coords: [i16; 3] =
                     std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
@@ -3360,7 +3993,7 @@ mod tests {
                     bcast: &bcast,
                 };
                 for wi in (0..16).step_by(2) {
-                    let neon = neon::eight(&plane.lanes, &probe, plane.t_eff, plane.ka16, wi);
+                    let neon = neon::eight(&plane.lanes, &probe, plane.cmp_t, plane.cmp_ka, wi);
                     let swar = plane.swar_word(pf, wi) | (plane.swar_word(pf, wi + 1) << 4);
                     assert_eq!(u64::from(neon), swar, "t={t} ka={ka} wi={wi}");
                 }
@@ -3378,7 +4011,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0x5125);
         for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
-            let mut plane = FilterPlane::new(4, t, ka);
+            let mut plane = FilterPlane::new(4, t, ka, PlaneRepr::U16);
             for row in 0..64 {
                 let coords: [i16; 4] =
                     std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
@@ -3394,7 +4027,7 @@ mod tests {
                     bcast: &bcast,
                 };
                 for wi in [0, 8] {
-                    let wide = avx512::octo(&plane.lanes, &probe, plane.t_eff, plane.ka16, wi);
+                    let wide = avx512::octo(&plane.lanes, &probe, plane.cmp_t, plane.cmp_ka, wi);
                     let mut swar = 0u64;
                     for sub in 0..8 {
                         swar |= plane.swar_word(pf, wi + sub) << (sub * 4);
@@ -3467,7 +4100,7 @@ mod tests {
         // against the scalar predicate, on an awkward odd ring.
         let ka = 401u64;
         for t in [0u64, 1, 57, 200, 400] {
-            let plane = FilterPlane::new(1, t, ka);
+            let plane = FilterPlane::new(1, t, ka, PlaneRepr::U16);
             for a in 0..ka as i64 {
                 let mut lanes = vec![Vec::new()];
                 let c = canonical(a, ka) as i16;
@@ -3509,5 +4142,285 @@ mod tests {
         // so it genuinely matches too.
         assert_eq!(next, Some(1));
         assert_eq!(arena.find_from(&[12, 12], 3), None);
+    }
+
+    #[test]
+    fn quantize_ring_model() {
+        // Paper ring: q = 2 → 200 buckets, tq = ⌈100/2⌉ + 1 = 51.
+        assert_eq!(quantize_ring(100, 400), (2, 200, 51));
+        // Byte-native rings (ka ≤ 256): no quantization, no slack.
+        assert_eq!(quantize_ring(100, 256), (1, 256, 100));
+        assert_eq!(quantize_ring(1, 7), (1, 7, 1));
+        // Largest i16 ring: q = 128 → exactly 256 buckets (the kernels
+        // broadcast the wrapped 0; see `neon::sixteen`).
+        assert_eq!(quantize_ring(1000, (1 << 15) - 1), (128, 256, 9));
+        // t clamps to the half-ring before quantizing, and tq clamps to
+        // the half-bucket-ring.
+        assert_eq!(quantize_ring(u64::MAX, 400), (2, 200, 100));
+
+        // Eligibility cliff: 2·tq+1 must stay below the bucket count.
+        assert!(byte_plane_eligible(100, 400));
+        assert!(byte_plane_eligible(0, 400));
+        // 2t+1 = 255 < 256 buckets — barely eligible.
+        assert!(byte_plane_eligible(127, 256));
+        // Same threshold, one bucket fewer: 255 ≥ 255.
+        assert!(!byte_plane_eligible(127, 255));
+        // tq saturates at kq/2 = 100: 201 ≥ 200 buckets.
+        assert!(!byte_plane_eligible(198, 400));
+        // Rings wider than i16 never build any plane.
+        assert!(!byte_plane_eligible(100, 1 << 20));
+
+        // Byte-plane adaptive depth at the paper ring: bucket pass rate
+        // 103/200 ≈ ½ lands on the same 8 lanes as the exact plane.
+        assert_eq!(adaptive_depth_for_rate(2 * 51 + 1, 200), 8);
+    }
+
+    #[test]
+    fn auto_width_resolution() {
+        // Paper ring, default config: Auto picks the byte plane (equal
+        // adaptive depth, half the traffic).
+        let mut arena = SketchArena::new(100, 400);
+        arena.push(&[1; 16]);
+        assert_eq!(arena.plane_width(), "u8");
+        assert_eq!(arena.resolved_depth(), 8);
+        // Pinning U16 keeps the exact plane.
+        let mut arena = SketchArena::with_filter(
+            100,
+            400,
+            FilterConfig::default().with_width(PlaneWidth::U16),
+        );
+        arena.push(&[1; 16]);
+        assert_eq!(arena.plane_width(), "u16");
+        // U8 on an ineligible ring (2·tq+1 ≥ kq) silently falls back.
+        let mut arena =
+            SketchArena::with_filter(198, 400, FilterConfig::default().with_width(PlaneWidth::U8));
+        arena.push(&[1; 16]);
+        assert_eq!(arena.plane_width(), "u16");
+        // Wider rings never build a plane, whatever the knob says.
+        let mut arena = SketchArena::with_filter(
+            100,
+            1 << 20,
+            FilterConfig::default().with_width(PlaneWidth::U8),
+        );
+        arena.push(&[1; 16]);
+        assert_eq!(arena.plane_width(), "none");
+        // Disabled filter: no plane either.
+        let mut arena = SketchArena::with_filter(100, 400, FilterConfig::disabled());
+        arena.push(&[1; 16]);
+        assert_eq!(arena.plane_width(), "none");
+    }
+
+    #[test]
+    fn byte_plane_matches_scalar() {
+        // Pinned byte plane across the dim/plane size relations the u16
+        // tests cover, through the widest available dispatch.
+        for dim in [32, 8, 3] {
+            check_filtered_matches_scalar(
+                FilterConfig::default().with_width(PlaneWidth::U8),
+                100,
+                400,
+                dim,
+            );
+        }
+        // The portable SWAR u8 word (even/odd byte split) explicitly.
+        let swar8 = FilterConfig::swar().with_width(PlaneWidth::U8);
+        check_filtered_matches_scalar(swar8, 100, 400, 12);
+        // q = 1 rings: buckets are the residues themselves.
+        check_filtered_matches_scalar(swar8, 1, 7, 5);
+        check_filtered_matches_scalar(swar8, 100, 256, 6);
+        // Largest i16 ring: q = 128, kq = 256 — the wrapped broadcast.
+        check_filtered_matches_scalar(swar8, 1000, (1 << 15) - 1, 12);
+        check_filtered_matches_scalar(
+            FilterConfig::default().with_width(PlaneWidth::U8),
+            1000,
+            (1 << 15) - 1,
+            12,
+        );
+        // Ineligible ring: the knob falls back to u16, results identical.
+        check_filtered_matches_scalar(
+            FilterConfig::default().with_width(PlaneWidth::U8),
+            198,
+            400,
+            6,
+        );
+        // AVX2 pin (SWAR off x86-64) on the byte plane.
+        check_filtered_matches_scalar(
+            FilterConfig::default()
+                .with_kernel(FilterKernel::Avx2)
+                .with_width(PlaneWidth::U8),
+            100,
+            400,
+            12,
+        );
+        // Fixed depths, including deeper than the sketch.
+        for depth in [1, 3, 16] {
+            check_filtered_matches_scalar(
+                FilterConfig::default()
+                    .with_width(PlaneWidth::U8)
+                    .with_depth(PlaneDepth::Fixed(depth)),
+                100,
+                400,
+                12,
+            );
+        }
+    }
+
+    #[test]
+    fn neon_u8_kernel_matches_swar() {
+        // The NEON byte kernel runs everywhere through the emulated
+        // `intr` façade: its 16-row masks must equal two SWAR u8 words.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x8E08);
+        for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
+            let (q, _, _) = quantize_ring(t, ka);
+            let mut plane = FilterPlane::new(3, t, ka, PlaneRepr::U8 { q });
+            for row in 0..128 {
+                let coords: [i16; 3] =
+                    std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
+                plane.push_row(row, &coords);
+            }
+            for _ in 0..40 {
+                let probe: Vec<u16> = (0..3)
+                    .map(|_| {
+                        bias16(canonical(rng.gen_range(0..ka as i64), ka) as i16, ka as u16) / q
+                    })
+                    .collect();
+                let bcast: Vec<u64> = probe.iter().map(|&b| u64::from(b) * LANES).collect();
+                let pf = ProbeFilter {
+                    biased: &probe,
+                    bcast: &bcast,
+                };
+                for wi in (0..16).step_by(2) {
+                    let neon = neon::sixteen(&plane.lanes, &probe, plane.cmp_t, plane.cmp_ka, wi);
+                    let swar = plane.swar_word_u8(pf, wi) | (plane.swar_word_u8(pf, wi + 1) << 8);
+                    assert_eq!(u64::from(neon), swar, "t={t} ka={ka} wi={wi}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_u8_kernel_matches_swar() {
+        if !avx2::available() {
+            return;
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA208);
+        for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
+            let (q, _, _) = quantize_ring(t, ka);
+            let mut plane = FilterPlane::new(4, t, ka, PlaneRepr::U8 { q });
+            for row in 0..128 {
+                let coords: [i16; 4] =
+                    std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
+                plane.push_row(row, &coords);
+            }
+            for _ in 0..40 {
+                let probe: Vec<u16> = (0..4)
+                    .map(|_| {
+                        bias16(canonical(rng.gen_range(0..ka as i64), ka) as i16, ka as u16) / q
+                    })
+                    .collect();
+                let bcast: Vec<u64> = probe.iter().map(|&b| u64::from(b) * LANES).collect();
+                let pf = ProbeFilter {
+                    biased: &probe,
+                    bcast: &bcast,
+                };
+                for wi in (0..16).step_by(4) {
+                    let wide = avx2::quad8(&plane.lanes, &probe, plane.cmp_t, plane.cmp_ka, wi);
+                    let mut swar = 0u64;
+                    for sub in 0..4 {
+                        swar |= plane.swar_word_u8(pf, wi + sub) << (sub * 8);
+                    }
+                    assert_eq!(u64::from(wide), swar, "t={t} ka={ka} wi={wi}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_u8_kernel_matches_swar() {
+        if !avx512::available() {
+            return;
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5128);
+        for (t, ka) in [(100u64, 400u64), (1, 7), (1000, (1 << 15) - 1)] {
+            let (q, _, _) = quantize_ring(t, ka);
+            let mut plane = FilterPlane::new(4, t, ka, PlaneRepr::U8 { q });
+            for row in 0..128 {
+                let coords: [i16; 4] =
+                    std::array::from_fn(|_| canonical(rng.gen_range(0..ka as i64), ka) as i16);
+                plane.push_row(row, &coords);
+            }
+            for _ in 0..40 {
+                let probe: Vec<u16> = (0..4)
+                    .map(|_| {
+                        bias16(canonical(rng.gen_range(0..ka as i64), ka) as i16, ka as u16) / q
+                    })
+                    .collect();
+                let bcast: Vec<u64> = probe.iter().map(|&b| u64::from(b) * LANES).collect();
+                let pf = ProbeFilter {
+                    biased: &probe,
+                    bcast: &bcast,
+                };
+                for wi in [0, 8] {
+                    let wide = avx512::octo8(&plane.lanes, &probe, plane.cmp_t, plane.cmp_ka, wi);
+                    let mut swar = 0u64;
+                    for sub in 0..8 {
+                        swar |= plane.swar_word_u8(pf, wi + sub) << (sub * 8);
+                    }
+                    assert_eq!(wide, swar, "t={t} ka={ka} wi={wi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swar_word_u8_implements_bucket_predicate() {
+        // Exhaustive single-coordinate check of the u8 SWAR algebra on
+        // an awkward odd ring (q = 2, kq = 201): the mask must equal
+        // the bucket-distance predicate exactly, and must accept every
+        // pair the scalar residue predicate accepts (over-accept only —
+        // phase 2 can prune, never resurrect).
+        let ka = 401u64;
+        for t in [0u64, 1, 57, 100, 199] {
+            let (q, kq, tq) = quantize_ring(t, ka);
+            let plane = FilterPlane::new(1, t, ka, PlaneRepr::U8 { q });
+            for a in 0..ka as i64 {
+                let row_bucket = bias16(canonical(a, ka) as i16, ka as u16) / q;
+                // Pack the same row bucket in all eight byte slots.
+                let lanes = vec![vec![u64::from(row_bucket) * 0x0101_0101_0101_0101]];
+                let plane = FilterPlane {
+                    lanes,
+                    ..plane.clone()
+                };
+                for bval in (0..ka as i64).step_by(3) {
+                    let pb = bias16(canonical(bval, ka) as i16, ka as u16) / q;
+                    let biased = [pb];
+                    let bcast = [u64::from(pb) * LANES];
+                    let pf = ProbeFilter {
+                        biased: &biased,
+                        bcast: &bcast,
+                    };
+                    let mask = plane.swar_word_u8(pf, 0);
+                    assert!(mask == 0 || mask == 0xFF, "lanes disagree: {mask:#x}");
+                    let d = row_bucket.abs_diff(pb);
+                    let bucket_close = d.min(kq - d) <= tq;
+                    assert_eq!(
+                        mask == 0xFF,
+                        bucket_close,
+                        "a={a} b={bval} t={t}: mask {mask:#x}"
+                    );
+                    if crate::conditions::cyclic_close(a, bval, t, ka) {
+                        assert_eq!(mask, 0xFF, "a={a} b={bval} t={t}: over-rejected");
+                    }
+                }
+            }
+        }
     }
 }

@@ -83,8 +83,9 @@ pub use error::SketchError;
 pub use fuzzy::{FuzzyExtractor, HelperData};
 pub use index::{
     BucketIndex, CellWidth, Combine, EpochIndex, EpochRead, EpochReader, FilterConfig,
-    FilterKernel, IndexReader, PairedArena, ParallelConfig, PlaneDepth, RecordId, RowMask,
-    ScanIndex, Segment, SegmentBacking, ShardedIndex, ShardedReader, SketchArena, SketchIndex,
+    FilterKernel, IndexReader, PairedArena, ParallelConfig, PlaneDepth, PlaneWidth, RecordId,
+    RowMask, ScanIndex, Segment, SegmentBacking, ShardedIndex, ShardedReader, SketchArena,
+    SketchIndex,
 };
 pub use key::ExtractedKey;
 pub use numberline::NumberLine;

@@ -87,7 +87,7 @@ pub mod wire;
 
 pub use device::BiometricDevice;
 pub use error::ProtocolError;
-pub use fe_core::{FilterConfig, FilterKernel, ParallelConfig, PlaneDepth};
+pub use fe_core::{FilterConfig, FilterKernel, ParallelConfig, PlaneDepth, PlaneWidth};
 pub use messages::{
     EnrollmentRecord, IdentChallenge, IdentOutcome, IdentResponse, SessionId, UserId, WireHelper,
 };

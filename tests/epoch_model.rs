@@ -6,7 +6,7 @@
 //! point *and* stay coherent while a writer churns under them.
 
 use fuzzy_id::core::conditions::sketches_match;
-use fuzzy_id::core::{EpochIndex, EpochRead, FilterConfig, IndexReader, SketchIndex};
+use fuzzy_id::core::{EpochIndex, EpochRead, FilterConfig, IndexReader, PlaneWidth, SketchIndex};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -218,14 +218,19 @@ proptest! {
     /// of insert/remove/maintain/compact, with tier thresholds tiny
     /// enough (freeze at 3 rows, merge at 2 runs, seal at 6 rows) that
     /// every script exercises the full staging → run → merged → sealed
-    /// pipeline — for each vector kernel, across every cell width the
-    /// ring strategy spans.
+    /// pipeline — for each vector kernel and plane width (the sealed
+    /// segments rebuild their quantized byte plane on seal when
+    /// `PlaneWidth::U8` is pinned), across every cell width the ring
+    /// strategy spans.
     #[test]
     fn epoch_index_matches_vec_of_vec_model((t, ka, ops) in epoch_case()) {
         for filter in [
             FilterConfig::default(),
             FilterConfig::swar(),
             FilterConfig::disabled(),
+            FilterConfig::default().with_width(PlaneWidth::U8),
+            FilterConfig::swar().with_width(PlaneWidth::U8),
+            FilterConfig::default().with_width(PlaneWidth::U16),
         ] {
             check_epoch_against_model(
                 EpochIndex::with_thresholds(t, ka, filter, 3, 2, 6),

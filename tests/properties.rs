@@ -7,7 +7,8 @@ use fuzzy_id::core::codec::{
 use fuzzy_id::core::conditions::{cyclic_close, paper_conditions_hold, sketches_match};
 use fuzzy_id::core::{
     BucketIndex, ChebyshevSketch, FilterConfig, FuzzyExtractor, HelperData, NumberLine,
-    ParallelConfig, PlaneDepth, RobustData, ScanIndex, SecureSketch, ShardedIndex, SketchIndex,
+    ParallelConfig, PlaneDepth, PlaneWidth, RobustData, ScanIndex, SecureSketch, ShardedIndex,
+    SketchIndex,
 };
 use fuzzy_id::metrics::{Metric, RingChebyshev};
 use proptest::prelude::*;
@@ -645,6 +646,104 @@ proptest! {
     }
 }
 
+/// `i16`-capable rings biased toward the u8-eligibility cliff: the
+/// byte plane quantizes residues into `kq = ⌈ka/⌈ka/256⌉⌉` buckets and
+/// stands down when `2·tq+1 ≥ kq`, so rings right at a byte's capacity
+/// (255/256/257) and the extremes (tiny, paper, largest i16) are where
+/// an off-by-one in eligibility or bucket math would first surface.
+fn byte_edge_ring() -> impl Strategy<Value = u64> {
+    (0u8..8, 2u64..(1 << 15)).prop_map(|(sel, rand_ka)| match sel {
+        0 => 255,
+        1 => 256,
+        2 => 257,
+        3 => 400,
+        4 => (1 << 15) - 1,
+        _ => rand_ka,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The quantized byte plane (pinned `PlaneWidth::U8`) ≡ the model
+    /// across every cell-width class and kernel — on wide rings (i32/
+    /// i64/i128 cells) and rings where quantization leaves nothing to
+    /// reject, the knob must *transparently* fall back and still agree.
+    /// `U16` pinned runs against the same scripts so both widths of the
+    /// plane are exercised whatever `Auto` resolves to.
+    #[test]
+    fn byte_plane_kernel_scan_index_matches_model((t, ka, _dim, ops) in index_case()) {
+        for filter in [
+            FilterConfig::default().with_width(PlaneWidth::U8),
+            FilterConfig::swar().with_width(PlaneWidth::U8),
+            FilterConfig::default().with_width(PlaneWidth::U16),
+        ] {
+            check_against_model(ScanIndex::with_filter(t, ka, filter), t, ka, &ops);
+        }
+    }
+
+    /// Byte plane × parallel block-sweep: the quantized phase-1 masks
+    /// feed the same chunked verify, so every thread count must return
+    /// results identical to the sequential model sweep.
+    #[test]
+    fn byte_plane_parallel_kernel_matches_model((t, ka, _dim, ops) in index_case()) {
+        rayon::ensure_threads(4);
+        for threads in [2usize, 4] {
+            check_against_model(
+                ScanIndex::with_filter(
+                    t, ka,
+                    FilterConfig::default()
+                        .with_width(PlaneWidth::U8)
+                        .with_parallel(ParallelConfig::forced(threads)),
+                ),
+                t, ka, &ops,
+            );
+        }
+    }
+
+    /// Quantization boundaries: coordinates pinned to bucket edges
+    /// (multiples of `q = ⌈ka/256⌉`, ±1) and to the ring wrap (`ka−1`
+    /// wrapping to `0`), with thresholds straddling the u8-eligibility
+    /// cliff — `2t+1 = 255` (the last byte-sized acceptance window) and
+    /// `2t+1 = 257` (one past it; 256 is unreachable, `2t+1` is odd).
+    /// One dimension makes the plane the entire phase-1 decision: u8,
+    /// u16, and scalar must all equal `cyclic_close`, exactly.
+    #[test]
+    fn byte_plane_bucket_edge_kernel_agrees_with_cyclic_close(
+        ka in byte_edge_ring(),
+        t_sel in 0u8..5,
+        edge_a in 0u64..512,
+        edge_b in 0u64..512,
+        off_a in -1i64..=1,
+        off_b in -1i64..=1,
+    ) {
+        let q = ka.div_ceil(256).max(1);
+        let t = match t_sel {
+            0 => 127,    // 2t+1 = 255: barely byte-sized
+            1 => 128,    // 2t+1 = 257: just past a byte
+            2 => ka / 2, // clamp regime: nothing to reject
+            3 => 0,      // exact-match-only
+            _ => ka / 4,
+        };
+        let a = ((edge_a * q) as i64 + off_a).rem_euclid(ka as i64);
+        let b = ((edge_b * q) as i64 + off_b).rem_euclid(ka as i64);
+        for filter in [
+            FilterConfig::default().with_width(PlaneWidth::U8),
+            FilterConfig::swar().with_width(PlaneWidth::U8),
+            FilterConfig::default().with_width(PlaneWidth::U16),
+        ] {
+            let mut arena = fuzzy_id::core::SketchArena::with_filter(t, ka, filter);
+            arena.push(&[a]);
+            prop_assert_eq!(
+                arena.find_first(&[b]).is_some(),
+                cyclic_close(a, b, t, ka),
+                "{} plane ({} kernel) vs cyclic_close at a={}, b={}, t={}, ka={}, q={}",
+                arena.plane_width(), arena.filter_kernel(), a, b, t, ka, q
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -727,8 +826,9 @@ proptest! {
 /// `heap_bytes` accounting under enroll/revoke/compact churn: memory
 /// tracks the live population (bounded under churn with compaction)
 /// and the width-adaptive layout (2 bytes/coordinate at paper `ka`),
-/// **including** the prefilter plane's packed lanes (2 bytes per plane
-/// cell on the default vectorized index).
+/// **including** the prefilter plane's packed lanes (1 byte per plane
+/// cell on the default vectorized index — paper `ka` takes the
+/// quantized byte plane).
 #[test]
 fn heap_bytes_accounting_under_churn() {
     let (t, ka, dim) = (100u64, 400u64, 64usize);
@@ -738,9 +838,9 @@ fn heap_bytes_accounting_under_churn() {
     }
     let full = index.heap_bytes();
     // i16 cells: the column buffer is dim × 2 bytes per row; the plane
-    // adds 8 lanes × 2 bytes per row; the bitmap 1 bit per row;
+    // adds 8 lanes × 1 byte per row; the bitmap 1 bit per row;
     // capacity slack stays below one doubling.
-    assert!(full >= 1_000 * dim * 2 + 1_000 * 8 * 2 + 1_000 / 8);
+    assert!(full >= 1_000 * dim * 2 + 1_000 * 8 + 1_000 / 8);
     assert!(
         full <= 2 * (2 * 1_000 * (dim + 8) * 2),
         "unexpected slack: {full}"
@@ -763,7 +863,7 @@ fn heap_bytes_accounting_under_churn() {
         "reserve must pre-size the filter plane too"
     );
     assert!(
-        sized.heap_bytes() >= scalar.heap_bytes() + 1_000 * 8 * 2,
+        sized.heap_bytes() >= scalar.heap_bytes() + 1_000 * 8,
         "plane bytes unaccounted: {} vs {}",
         sized.heap_bytes(),
         scalar.heap_bytes()
@@ -821,12 +921,13 @@ fn epoch_heap_bytes_covers_segments_planes_and_garbage() {
     }
     assert!(!index.segments().is_empty());
     let full = index.heap_bytes();
-    // Floor: cells (2 bytes × dim) + plane lanes (8 × 2 bytes) + the
-    // liveness bitmap, per row, across all tiers — regardless of how
-    // the rows are distributed over segments. The published snapshot
-    // duplicates the segment *list* (Arc clones, not cells), so the
-    // ceiling stays within a small multiple.
-    assert!(full >= 1_000 * dim * 2 + 1_000 * 8 * 2 + 1_000 / 8);
+    // Floor: cells (2 bytes × dim) + plane lanes (8 × 1 byte — paper
+    // `ka` takes the quantized byte plane) + the liveness bitmap, per
+    // row, across all tiers — regardless of how the rows are
+    // distributed over segments. The published snapshot duplicates the
+    // segment *list* (Arc clones, not cells), so the ceiling stays
+    // within a small multiple.
+    assert!(full >= 1_000 * dim * 2 + 1_000 * 8 + 1_000 / 8);
     assert!(
         full <= 6 * (1_000 * (dim + 8) * 2),
         "unexpected slack: {full}"
